@@ -1,0 +1,1 @@
+bench/bench_db.ml: Bench_util Kv List Pmem Printf

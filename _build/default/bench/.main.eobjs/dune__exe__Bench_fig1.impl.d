@@ -1,0 +1,1 @@
+bench/bench_fig1.ml: Array Bench_util Int64 List Palloc Pmem Printf Ptm

@@ -1,0 +1,1 @@
+bench/bench_fig4.ml: Array Bench_util Int64 List Palloc Printf Ptm Random

@@ -1,0 +1,1 @@
+bench/bench_fig5.ml: Bench_util Int64 List Pds Pmem Printf Ptm

@@ -1,0 +1,1 @@
+bench/bench_latency.ml: Analyze Bechamel Bench_util Benchmark Hashtbl Instance List Measure Palloc Printf Ptm Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/bench_shapes.ml: Atomic Bench_util Domain Int64 Kv List Palloc Pds Pmem Printf Ptm Unix

@@ -1,0 +1,1 @@
+bench/bench_tab1.ml: Array Bench_util Int64 List Pds Printf Ptm Random

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Domain List Pmem Printf Ptm String Unix

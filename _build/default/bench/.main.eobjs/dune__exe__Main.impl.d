@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_db Bench_fig1 Bench_fig4 Bench_fig5 Bench_fig6 Bench_latency Bench_shapes Bench_tab1 List Pmem Printf String Sys Unix

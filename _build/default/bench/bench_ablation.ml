@@ -1,0 +1,90 @@
+(** Ablation of the RedoOpt-PTM optimizations (§5): starting from the full
+    RedoOpt configuration, each optimization the paper describes — store
+    aggregation, flush aggregation / postponed pwbs, non-temporal-store
+    copies, and the Timed two-instance restriction — is disabled in
+    isolation, on the hash-set 100%-update workload where the paper says
+    aggregation matters most. *)
+
+open Bench_util
+
+module Full = Ptm.Redo_ptm.Opt
+
+module No_store_agg = Ptm.Redo_ptm.Make (struct
+  let name = "Opt-storeagg"
+  let timed = true
+  let store_agg = false
+  let flush_agg = true
+  let deferred_pwb = true
+  let ntstore_copy = true
+end)
+
+module No_flush_agg = Ptm.Redo_ptm.Make (struct
+  let name = "Opt-flushagg"
+  let timed = true
+  let store_agg = true
+  let flush_agg = false
+  let deferred_pwb = false
+  let ntstore_copy = true
+end)
+
+module No_ntstore = Ptm.Redo_ptm.Make (struct
+  let name = "Opt-ntstore"
+  let timed = true
+  let store_agg = true
+  let flush_agg = true
+  let deferred_pwb = true
+  let ntstore_copy = false
+end)
+
+module No_timed = Ptm.Redo_ptm.Make (struct
+  let name = "Opt-timed"
+  let timed = false
+  let store_agg = true
+  let flush_agg = true
+  let deferred_pwb = true
+  let ntstore_copy = true
+end)
+
+let cases : (string * Ptm.Ptm_intf.boxed) list =
+  [
+    ("RedoOpt (all)", Ptm.Ptm_intf.Boxed (module Full));
+    ("- store agg", Ptm.Ptm_intf.Boxed (module No_store_agg));
+    ("- flush agg", Ptm.Ptm_intf.Boxed (module No_flush_agg));
+    ("- ntstore copy", Ptm.Ptm_intf.Boxed (module No_ntstore));
+    ("- timed window", Ptm.Ptm_intf.Boxed (module No_timed));
+    ("Redo (none)", Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Base));
+  ]
+
+let run_case (module P : Ptm.Ptm_intf.S) ~threads ~keys ~per_thread =
+  let p = P.create ~num_threads:threads ~words:((1 lsl 14) + (keys * 16)) () in
+  let module H = Pds.Hash_set.Make (P) in
+  H.init p ~tid:0 ~slot:1;
+  for i = 0 to keys - 1 do
+    ignore (H.add p ~tid:0 ~slot:1 (Int64.of_int i))
+  done;
+  let states = Array.init threads (fun tid -> Random.State.make [| 0xab1; tid |]) in
+  run_threads ~threads ~per_thread
+    ~stats0:(fun () -> P.stats p)
+    ~stats1:(fun () -> P.stats p)
+    (fun tid _ ->
+      let st = states.(tid) in
+      let k = Int64.of_int (Random.State.int st keys) in
+      if H.remove p ~tid ~slot:1 k then ignore (H.add p ~tid ~slot:1 k))
+
+let run ~quick () =
+  let keys = if quick then 1000 else 10000 in
+  let threads = if quick then 2 else 4 in
+  let per_thread = if quick then 150 else 1000 in
+  section
+    (Printf.sprintf
+       "Ablation — RedoOpt optimizations, hash set %d keys, 100%% updates, \
+        %d threads" keys threads);
+  table_header
+    [ (18, "configuration"); (12, "ops/s"); (10, "pwb/op"); (12, "fences/op") ];
+  List.iter
+    (fun (label, Ptm.Ptm_intf.Boxed (module P)) ->
+      let r = run_case (module P) ~threads ~keys ~per_thread in
+      Printf.printf "%-18s%-12s%-10.1f%-12.2f\n" label
+        (fmt_rate (ops_per_sec r))
+        (pwbs_per_op r) (fences_per_op r))
+    cases

@@ -1,0 +1,170 @@
+(** Figures 7, 8 and 9: RocksDB-sim vs RedoDB under db_bench workloads.
+
+    - Figure 7: readrandom, readwhilewriting, overwrite at two database
+      sizes (the paper's 1M and 10M keys, scaled to container size).
+    - Figure 8: volatile and NVM usage after fillrandom, and the time to
+      recover and run the first transaction after a crash.
+    - Figure 9: fillrandom throughput and flush (pwb) counts — the paper's
+      explanation for RedoDB's write advantage. *)
+
+open Bench_util
+module Bench_redodb = Kv.Db_bench.Make (Kv.Redodb)
+module Bench_rocks = Kv.Db_bench.Make (Kv.Rocksdb_sim)
+
+let value_bytes = 116 (* 16B key + 100B value *)
+
+let open_redodb ~threads ~keys =
+  Kv.Redodb.open_db ~num_threads:(threads + 1) ~capacity_bytes:(keys * value_bytes * 2) ()
+
+let open_rocks ~threads ~keys =
+  Kv.Rocksdb_sim.open_db ~num_threads:(threads + 1)
+    ~capacity_bytes:(keys * value_bytes * 2) ()
+
+let fig7 ~quick () =
+  let sizes = if quick then [ 1_000; 5_000 ] else [ 10_000; 50_000 ] in
+  let threads_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let ops = if quick then 2_000 else 10_000 in
+  List.iter
+    (fun keys ->
+      section
+        (Printf.sprintf
+           "Figure 7 — db_bench, %d keys (paper: 1M / 10M), 16B keys 100B \
+            values" keys);
+      let rdb = open_redodb ~threads:4 ~keys in
+      let rks = open_rocks ~threads:4 ~keys in
+      Bench_redodb.fill_sequential rdb ~keys;
+      Bench_rocks.fill_sequential rks ~keys;
+      List.iter
+        (fun bench ->
+          Printf.printf "\n# %s\n" bench;
+          table_header
+            [ (10, "threads"); (14, "RedoDB"); (14, "RocksDB-sim"); (10, "ratio") ];
+          List.iter
+            (fun threads ->
+              let run_redodb, run_rocks =
+                match bench with
+                | "readrandom" ->
+                    ( (fun () ->
+                        let r, _ =
+                          Bench_redodb.readrandom rdb ~threads ~ops ~keyspace:keys
+                        in
+                        r.Kv.Db_bench.ops_per_sec),
+                      fun () ->
+                        let r, _ =
+                          Bench_rocks.readrandom rks ~threads ~ops ~keyspace:keys
+                        in
+                        r.Kv.Db_bench.ops_per_sec )
+                | "readwhilewriting" ->
+                    ( (fun () ->
+                        let r, _ =
+                          Bench_redodb.readwhilewriting rdb ~threads ~ops
+                            ~keyspace:keys
+                        in
+                        r.Kv.Db_bench.ops_per_sec),
+                      fun () ->
+                        let r, _ =
+                          Bench_rocks.readwhilewriting rks ~threads ~ops
+                            ~keyspace:keys
+                        in
+                        r.Kv.Db_bench.ops_per_sec )
+                | _ ->
+                    ( (fun () ->
+                        (Bench_redodb.overwrite rdb ~threads ~ops ~keyspace:keys)
+                          .Kv.Db_bench.ops_per_sec),
+                      fun () ->
+                        (Bench_rocks.overwrite rks ~threads ~ops ~keyspace:keys)
+                          .Kv.Db_bench.ops_per_sec )
+              in
+              let a = run_redodb () and b = run_rocks () in
+              Printf.printf "%-10d%-14s%-14s%-10s\n" threads (fmt_rate a)
+                (fmt_rate b)
+                (if b > 0. then Printf.sprintf "%.1fx" (a /. b) else "-"))
+            threads_list)
+        [ "readrandom"; "readwhilewriting"; "overwrite" ])
+    sizes
+
+(* Supplementary db_bench workloads (not a paper figure): fillseq,
+   readmissing, deleterandom — completing the db_bench suite surface. *)
+let db_supplement ~quick () =
+  let keys = if quick then 2_000 else 10_000 in
+  let ops = if quick then 2_000 else 10_000 in
+  section
+    (Printf.sprintf
+       "db_bench supplement — fillseq / readmissing / deleterandom, %d keys"
+       keys);
+  table_header
+    [ (16, "workload"); (14, "RedoDB"); (14, "RocksDB-sim") ];
+  let rdb = open_redodb ~threads:2 ~keys in
+  let rks = open_rocks ~threads:2 ~keys in
+  let a = Bench_redodb.fillseq rdb ~keys in
+  let b = Bench_rocks.fillseq rks ~keys in
+  Printf.printf "%-16s%-14s%-14s\n" "fillseq"
+    (fmt_rate a.Kv.Db_bench.ops_per_sec)
+    (fmt_rate b.Kv.Db_bench.ops_per_sec);
+  let a = Bench_redodb.readmissing rdb ~threads:2 ~ops ~keyspace:keys in
+  let b = Bench_rocks.readmissing rks ~threads:2 ~ops ~keyspace:keys in
+  Printf.printf "%-16s%-14s%-14s\n" "readmissing"
+    (fmt_rate a.Kv.Db_bench.ops_per_sec)
+    (fmt_rate b.Kv.Db_bench.ops_per_sec);
+  let (a, da) = Bench_redodb.deleterandom rdb ~threads:2 ~ops:(keys / 2) ~keyspace:keys in
+  let (b, db_) = Bench_rocks.deleterandom rks ~threads:2 ~ops:(keys / 2) ~keyspace:keys in
+  Printf.printf "%-16s%-14s%-14s (deleted %d / %d)\n" "deleterandom"
+    (fmt_rate a.Kv.Db_bench.ops_per_sec)
+    (fmt_rate b.Kv.Db_bench.ops_per_sec)
+    da db_
+
+let fig8 ~quick () =
+  let keys = if quick then 2_000 else 20_000 in
+  section
+    (Printf.sprintf
+       "Figure 8 — memory usage of fillrandom and recovery time, %d keys \
+        (paper: 10M)" keys);
+  table_header
+    [
+      (14, "engine");
+      (16, "NVM (KiB)");
+      (16, "volatile (KiB)");
+      (18, "recovery (ms)");
+    ];
+  let rdb = open_redodb ~threads:2 ~keys in
+  let nvm, vol, rec_s = Bench_redodb.memory_and_recovery rdb ~keys in
+  Printf.printf "%-14s%-16d%-16d%-18.2f\n" "RedoDB" (nvm * 8 / 1024)
+    (vol * 8 / 1024) (rec_s *. 1000.);
+  let rks = open_rocks ~threads:2 ~keys in
+  let nvm, vol, rec_s = Bench_rocks.memory_and_recovery rks ~keys in
+  Printf.printf "%-14s%-16d%-16d%-18.2f\n" "RocksDB-sim" (nvm * 8 / 1024)
+    (vol * 8 / 1024) (rec_s *. 1000.)
+
+let fig9 ~quick () =
+  let keys = if quick then 2_000 else 20_000 in
+  let threads_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let ops = if quick then 2_000 else 20_000 in
+  section
+    (Printf.sprintf
+       "Figure 9 — fillrandom throughput and pwbs, %d-key keyspace (paper: \
+        10M)" keys);
+  table_header
+    [
+      (10, "threads");
+      (14, "RedoDB");
+      (12, "pwb/op");
+      (14, "RocksDB-sim");
+      (12, "pwb/op");
+    ];
+  List.iter
+    (fun threads ->
+      let rdb = open_redodb ~threads ~keys in
+      let a = Bench_redodb.fillrandom rdb ~threads ~ops ~keyspace:keys in
+      let rks = open_rocks ~threads ~keys in
+      let b = Bench_rocks.fillrandom rks ~threads ~ops ~keyspace:keys in
+      let pwb r =
+        float_of_int
+          (r.Kv.Db_bench.stats.Pmem.Stats.pwb + r.Kv.Db_bench.stats.Pmem.Stats.ntstore)
+        /. float_of_int r.Kv.Db_bench.ops
+      in
+      Printf.printf "%-10d%-14s%-12.1f%-14s%-12.1f\n" threads
+        (fmt_rate a.Kv.Db_bench.ops_per_sec)
+        (pwb a)
+        (fmt_rate b.Kv.Db_bench.ops_per_sec)
+        (pwb b))
+    threads_list

@@ -1,0 +1,80 @@
+(** Figure 4: the persistent SPS microbenchmark.
+
+    Each transaction swaps [swaps] random pairs of entries of a persistent
+    integer array, so it writes 2×[swaps] words with no allocation — a
+    highly disjoint, write-intensive workload.  The paper sweeps swaps per
+    transaction and thread count across all PTMs; the governing metric is
+    pwbs per transaction (RedoOpt avoids flushes when modifications share a
+    cache line; OneFile wins at 1 swap where there is nothing to
+    aggregate). *)
+
+open Bench_util
+
+let run_one (module P : Ptm.Ptm_intf.S) ~threads ~swaps ~array_words ~per_thread =
+  let p =
+    P.create ~num_threads:threads
+      ~words:(Palloc.block_words array_words + Palloc.heap_base + 1024)
+      ()
+  in
+  let base =
+    Int64.to_int
+      (P.update p ~tid:0 (fun tx ->
+           let a = P.alloc tx array_words in
+           for i = 0 to array_words - 1 do
+             P.set tx (a + i) (Int64.of_int i)
+           done;
+           Int64.of_int a))
+  in
+  let states = Array.init threads (fun tid -> Random.State.make [| 0x5b5; tid |]) in
+  run_threads ~threads ~per_thread
+    ~stats0:(fun () -> P.stats p)
+    ~stats1:(fun () -> P.stats p)
+    (fun tid _ ->
+      let st = states.(tid) in
+      ignore
+        (P.update p ~tid (fun tx ->
+             for _ = 1 to swaps do
+               let i = Random.State.int st array_words
+               and j = Random.State.int st array_words in
+               let vi = P.get tx (base + i) and vj = P.get tx (base + j) in
+               P.set tx (base + i) vj;
+               P.set tx (base + j) vi
+             done;
+             0L)))
+
+let run ~quick () =
+  let array_words = if quick then 4096 else 16384 in
+  let swaps_list = [ 1; 4; 16; 64 ] in
+  let threads_list = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let base_ops = if quick then 400 else 1500 in
+  section
+    (Printf.sprintf
+       "Figure 4 — SPS microbenchmark (array of %d ints, swaps/tx sweep)"
+       array_words);
+  List.iter
+    (fun swaps ->
+      Printf.printf "\n# %d swap(s) per transaction\n" swaps;
+      table_header
+        ((10, "threads")
+        :: List.concat_map
+             (fun e -> [ (12, e.pname); (10, "pwb/tx") ])
+             all_ptms);
+      List.iter
+        (fun threads ->
+          Printf.printf "%-10d" threads;
+          List.iter
+            (fun e ->
+              let (Ptm.Ptm_intf.Boxed (module P)) = e.boxed in
+              let per_thread = max 20 (base_ops / swaps / threads) in
+              (* CX-PUC flushes the whole region per transition: keep its
+                 share of the run proportionate *)
+              let per_thread =
+                if e.pname = "CX-PUC" then max 10 (per_thread / 8)
+                else per_thread
+              in
+              let r = run_one (module P) ~threads ~swaps ~array_words ~per_thread in
+              Printf.printf "%-12s%-10.1f" (fmt_rate (ops_per_sec r)) (pwbs_per_op r))
+            all_ptms;
+          print_newline ())
+        threads_list)
+    swaps_list

@@ -1,0 +1,94 @@
+(** Figure 5: persistent linked-list queue pre-filled with 1,000 elements.
+
+    Every thread runs a transaction with an enqueue followed by a
+    transaction with a dequeue, keeping the queue near its initial size.
+    The PTM-backed queues (RedoOpt, OneFile, PMDK) use the persistent
+    allocator; the handmade FHMP and NormOpt baselines use a volatile
+    allocator, exactly as in the paper (which is why they cannot recover).
+    Both plots are printed: throughput and pwbs per operation — the paper
+    shows the two are inverted images of each other. *)
+
+open Bench_util
+
+let prefill = 1000
+
+let run_ptm_queue (module P : Ptm.Ptm_intf.S) ~threads ~per_thread =
+  let module Q = Pds.Pqueue.Make (P) in
+  let words = (1 lsl 16) + (threads * per_thread * 8) in
+  let p = P.create ~num_threads:threads ~words () in
+  Q.init p ~tid:0 ~slot:1;
+  for i = 1 to prefill do
+    Q.enqueue p ~tid:0 ~slot:1 (Int64.of_int i)
+  done;
+  Pmem.reset_stats (P.pmem p);
+  run_threads ~threads ~per_thread
+    ~stats0:(fun () -> P.stats p)
+    ~stats1:(fun () -> P.stats p)
+    (fun tid i ->
+      Q.enqueue p ~tid ~slot:1 (Int64.of_int i);
+      ignore (Q.dequeue p ~tid ~slot:1))
+
+module type HANDMADE = sig
+  type t
+
+  val create : num_threads:int -> words:int -> unit -> t
+  val enqueue : t -> tid:int -> int64 -> unit
+  val dequeue : t -> tid:int -> int64 option
+  val stats : t -> Pmem.Stats.snapshot
+end
+
+let run_handmade (module Q : HANDMADE) ~threads ~per_thread =
+  let words = (1 lsl 16) + (threads * per_thread * 4) + (prefill * 4) in
+  let q = Q.create ~num_threads:threads ~words () in
+  for i = 1 to prefill do
+    Q.enqueue q ~tid:0 (Int64.of_int i)
+  done;
+  run_threads ~threads ~per_thread
+    ~stats0:(fun () -> Q.stats q)
+    ~stats1:(fun () -> Q.stats q)
+    (fun tid i ->
+      Q.enqueue q ~tid (Int64.of_int i);
+      ignore (Q.dequeue q ~tid))
+
+let run ~quick () =
+  let threads_list = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let base_ops = if quick then 300 else 3000 in
+  section
+    (Printf.sprintf
+       "Figure 5 — persistent queue (pre-filled with %d elements, enq;deq \
+        pairs; ops = enqueues+dequeues)"
+       prefill);
+  let ptms = find_ptms [ "PMDK"; "OneFile"; "RedoOpt" ] in
+  let col_names = List.map (fun e -> e.pname) ptms @ [ "FHMP*"; "NormOpt*" ] in
+  table_header
+    ((10, "threads")
+    :: List.concat_map (fun n -> [ (12, n); (10, "pwb/op") ]) col_names);
+  List.iter
+    (fun threads ->
+      let per_thread = max 20 (base_ops / threads) in
+      Printf.printf "%-10d" threads;
+      List.iter
+        (fun e ->
+          let (Ptm.Ptm_intf.Boxed (module P)) = e.boxed in
+          let r = run_ptm_queue (module P) ~threads ~per_thread in
+          (* each loop iteration = 2 operations (enqueue + dequeue) *)
+          let r = { r with ops = 2 * r.ops } in
+          Printf.printf "%-12s%-10.1f" (fmt_rate (ops_per_sec r)) (pwbs_per_op r))
+        ptms;
+      List.iter
+        (fun which ->
+          let r =
+            if which = 0 then
+              run_handmade (module Pds.Handmade_queue.Fhmp) ~threads ~per_thread
+            else
+              run_handmade (module Pds.Handmade_queue.Norm_opt) ~threads
+                ~per_thread
+          in
+          let r = { r with ops = 2 * r.ops } in
+          Printf.printf "%-12s%-10.1f" (fmt_rate (ops_per_sec r)) (pwbs_per_op r))
+        [ 0; 1 ];
+      print_newline ())
+    threads_list;
+  print_endline
+    "* handmade queues use a volatile allocator (libvmmalloc model): fast, \
+     but unrecoverable after a crash."

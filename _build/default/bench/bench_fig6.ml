@@ -1,0 +1,136 @@
+(** Figure 6: set workloads — ordered linked list (top), red-black tree
+    (center), resizable hash set (bottom) — under 100%, 10% and 1% update
+    ratios.
+
+    Protocol from the paper: the set is pre-filled; each iteration picks
+    either an update (remove a random existing key, then re-insert it,
+    two transactions) or a lookup (two random contains, two read-only
+    transactions), so the key population is invariant.
+
+    Sizes are scaled from the paper's 10^4-key list and 10^6-key tree/hash
+    to container scale; shapes (who wins per structure and ratio, and why:
+    copies vs re-execution vs flush aggregation) are preserved. *)
+
+open Bench_util
+
+type set_ops = {
+  sname : string;
+  keys : int;
+  region_words : int;
+  init : tid:int -> unit;
+  add : tid:int -> int64 -> bool;
+  remove : tid:int -> int64 -> bool;
+  contains : tid:int -> int64 -> bool;
+}
+
+let make_set (module P : Ptm.Ptm_intf.S) which ~threads ~keys =
+  let region_words =
+    match which with
+    | `List -> (1 lsl 14) + (keys * 8)
+    | `Tree -> (1 lsl 14) + (keys * 16)
+    | `Hash -> (1 lsl 14) + (keys * 16)
+  in
+  let p = P.create ~num_threads:threads ~words:region_words () in
+  let module L = Pds.List_set.Make (P) in
+  let module T = Pds.Rbtree_set.Make (P) in
+  let module H = Pds.Hash_set.Make (P) in
+  let ops =
+    match which with
+    | `List ->
+        {
+          sname = "list";
+          keys;
+          region_words;
+          init = (fun ~tid -> L.init p ~tid ~slot:1);
+          add = (fun ~tid k -> L.add p ~tid ~slot:1 k);
+          remove = (fun ~tid k -> L.remove p ~tid ~slot:1 k);
+          contains = (fun ~tid k -> L.contains p ~tid ~slot:1 k);
+        }
+    | `Tree ->
+        {
+          sname = "rbtree";
+          keys;
+          region_words;
+          init = (fun ~tid -> T.init p ~tid ~slot:1);
+          add = (fun ~tid k -> T.add p ~tid ~slot:1 k);
+          remove = (fun ~tid k -> T.remove p ~tid ~slot:1 k);
+          contains = (fun ~tid k -> T.contains p ~tid ~slot:1 k);
+        }
+    | `Hash ->
+        {
+          sname = "hash";
+          keys;
+          region_words;
+          init = (fun ~tid -> H.init p ~tid ~slot:1);
+          add = (fun ~tid k -> H.add p ~tid ~slot:1 k);
+          remove = (fun ~tid k -> H.remove p ~tid ~slot:1 k);
+          contains = (fun ~tid k -> H.contains p ~tid ~slot:1 k);
+        }
+  in
+  (ops, (fun () -> P.stats p))
+
+let run_workload ops stats ~threads ~per_thread ~update_pct =
+  ops.init ~tid:0;
+  for i = 0 to ops.keys - 1 do
+    ignore (ops.add ~tid:0 (Int64.of_int i))
+  done;
+  let states = Array.init threads (fun tid -> Random.State.make [| 0xf16; tid |]) in
+  run_threads ~threads ~per_thread ~stats0:stats ~stats1:stats (fun tid _ ->
+      let st = states.(tid) in
+      if Random.State.int st 100 < update_pct then begin
+        let k = Int64.of_int (Random.State.int st ops.keys) in
+        if ops.remove ~tid k then ignore (ops.add ~tid k)
+      end
+      else begin
+        ignore (ops.contains ~tid (Int64.of_int (Random.State.int st ops.keys)));
+        ignore (ops.contains ~tid (Int64.of_int (Random.State.int st ops.keys)))
+      end)
+
+let run ~quick () =
+  let structures =
+    if quick then [ (`List, 200); (`Tree, 2000); (`Hash, 2000) ]
+    else [ (`List, 1000); (`Tree, 10000); (`Hash, 10000) ]
+  in
+  let update_ratios = [ 100; 10; 1 ] in
+  let threads_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let base_ops = if quick then 200 else 800 in
+  List.iter
+    (fun (which, keys) ->
+      let name =
+        match which with `List -> "linked list" | `Tree -> "red-black tree" | `Hash -> "hash set"
+      in
+      section
+        (Printf.sprintf "Figure 6 — %s set, %d keys (paper: %s)" name keys
+           (match which with
+           | `List -> "10^4"
+           | `Tree | `Hash -> "10^6"));
+      List.iter
+        (fun update_pct ->
+          Printf.printf "\n# %d%% updates\n" update_pct;
+          table_header
+            ((10, "threads")
+            :: List.concat_map (fun e -> [ (12, e.pname); (10, "pwb/op") ]) all_ptms);
+          List.iter
+            (fun threads ->
+              Printf.printf "%-10d" threads;
+              List.iter
+                (fun e ->
+                  let (Ptm.Ptm_intf.Boxed (module P)) = e.boxed in
+                  (* CX-PUC flushes the whole region per transition: the
+                     paper only reports it on small structures.  Keep it on
+                     the list and skip it elsewhere, as the paper does. *)
+                  if e.pname = "CX-PUC" && which <> `List then
+                    Printf.printf "%-12s%-10s" "-" "-"
+                  else begin
+                    let per_thread = max 10 (base_ops / threads) in
+                    let ops, stats = make_set (module P) which ~threads ~keys in
+                    let r = run_workload ops stats ~threads ~per_thread ~update_pct in
+                    Printf.printf "%-12s%-10.1f"
+                      (fmt_rate (ops_per_sec r))
+                      (pwbs_per_op r)
+                  end)
+                all_ptms;
+              print_newline ())
+            threads_list)
+        update_ratios)
+    structures

@@ -1,0 +1,65 @@
+(** Single-operation latency microbenchmarks via Bechamel: one grouped test
+    per PTM for a 2-store update transaction and for a read-only
+    transaction.  Complements the throughput tables with statistically
+    fitted per-op costs. *)
+
+open Bechamel
+open Toolkit
+
+let make_update_test (e : Bench_util.ptm_entry) =
+  let (Ptm.Ptm_intf.Boxed (module P)) = e.boxed in
+  let p = P.create ~num_threads:1 ~words:(1 lsl 12) () in
+  Test.make ~name:e.pname
+    (Staged.stage (fun () ->
+         ignore
+           (P.update p ~tid:0 (fun tx ->
+                P.set tx (Palloc.root_addr 1) 1L;
+                P.set tx (Palloc.root_addr 2) 2L;
+                0L))))
+
+let make_read_test (e : Bench_util.ptm_entry) =
+  let (Ptm.Ptm_intf.Boxed (module P)) = e.boxed in
+  let p = P.create ~num_threads:1 ~words:(1 lsl 12) () in
+  Test.make ~name:e.pname
+    (Staged.stage (fun () ->
+         ignore (P.read_only p ~tid:0 (fun tx -> P.get tx (Palloc.root_addr 1)))))
+
+let benchmark tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_results title results =
+  Bench_util.section title;
+  Bench_util.table_header [ (14, "PTM"); (16, "ns/op (OLS)") ];
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) ->
+          Printf.printf "%-14s%-16.0f\n"
+            (match String.rindex_opt name '/' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name)
+            est
+      | Some [] | None -> Printf.printf "%-14s%-16s\n" name "n/a")
+    results
+
+let run ~quick:_ () =
+  let update_tests =
+    Test.make_grouped ~name:"update"
+      (List.map make_update_test Bench_util.all_ptms)
+  in
+  let read_tests =
+    Test.make_grouped ~name:"read"
+      (List.map make_read_test Bench_util.all_ptms)
+  in
+  print_results "Latency — 2-store update transaction (Bechamel OLS fit)"
+    (benchmark update_tests);
+  print_results "Latency — read-only transaction (Bechamel OLS fit)"
+    (benchmark read_tests)

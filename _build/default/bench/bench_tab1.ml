@@ -1,0 +1,96 @@
+(** Table 1: breakdown of the average time per update transaction for the
+    Redo variants and OneFile, on 100%-update hash-set and red-black-tree
+    workloads.
+
+    Columns as in the paper: total µs per update transaction (with the
+    slowdown relative to RedoOpt), then the fraction of time spent applying
+    redo logs, flushing, copying replicas, running the user lambda, and
+    sleeping (backoff / waiting to be helped). *)
+
+open Bench_util
+
+let ptms = [ "RedoOpt"; "Redo"; "RedoTimed"; "OneFile" ] (* RedoOpt first: slowdown baseline *)
+
+let run_case (module P : Ptm.Ptm_intf.S) which ~threads ~keys ~per_thread =
+  let words = (1 lsl 14) + (keys * 16) in
+  let p = P.create ~num_threads:threads ~words () in
+  let module T = Pds.Rbtree_set.Make (P) in
+  let module H = Pds.Hash_set.Make (P) in
+  let init, add, remove =
+    match which with
+    | `Tree ->
+        ( (fun () -> T.init p ~tid:0 ~slot:1),
+          (fun ~tid k -> T.add p ~tid ~slot:1 k),
+          fun ~tid k -> T.remove p ~tid ~slot:1 k )
+    | `Hash ->
+        ( (fun () -> H.init p ~tid:0 ~slot:1),
+          (fun ~tid k -> H.add p ~tid ~slot:1 k),
+          fun ~tid k -> H.remove p ~tid ~slot:1 k )
+  in
+  init ();
+  for i = 0 to keys - 1 do
+    ignore (add ~tid:0 (Int64.of_int i))
+  done;
+  Ptm.Breakdown.reset (P.breakdown p);
+  Ptm.Breakdown.enable (P.breakdown p) true;
+  let states = Array.init threads (fun tid -> Random.State.make [| 0x7ab; tid |]) in
+  ignore
+    (run_threads ~threads ~per_thread
+       ~stats0:(fun () -> P.stats p)
+       ~stats1:(fun () -> P.stats p)
+       (fun tid _ ->
+         let st = states.(tid) in
+         let k = Int64.of_int (Random.State.int st keys) in
+         if remove ~tid k then ignore (add ~tid k)));
+  Ptm.Breakdown.enable (P.breakdown p) false;
+  Ptm.Breakdown.snapshot (P.breakdown p)
+
+let run ~quick () =
+  let keys = if quick then 1000 else 10000 in
+  let threads_list = if quick then [ 2; 4 ] else [ 4; 8 ] in
+  let per_thread = if quick then 100 else 500 in
+  section
+    (Printf.sprintf
+       "Table 1 — update-transaction time breakdown (100%% updates, %d keys)"
+       keys);
+  List.iter
+    (fun (which, label) ->
+      List.iter
+        (fun threads ->
+          Printf.printf "\n# %s, %d threads\n" label threads;
+          table_header
+            [
+              (12, "PTM");
+              (14, "updateTX(us)");
+              (10, "slowdown");
+              (8, "apply");
+              (8, "flush");
+              (8, "copy");
+              (8, "lambda");
+              (8, "sleep");
+            ];
+          let snaps =
+            List.map
+              (fun e ->
+                let (Ptm.Ptm_intf.Boxed (module P)) = e.boxed in
+                (e.pname, run_case (module P) which ~threads ~keys ~per_thread))
+              (find_ptms ptms)
+          in
+          let base_us =
+            match snaps with (_, s) :: _ -> Ptm.Breakdown.avg_us s | [] -> 0.
+          in
+          List.iter
+            (fun (nm, s) ->
+              let us = Ptm.Breakdown.avg_us s in
+              Printf.printf "%-12s%-14.1f%-10s" nm us
+                (if base_us > 0. then Printf.sprintf "(%.1fx)" (us /. base_us)
+                 else "-");
+              List.iter
+                (fun sec ->
+                  Printf.printf "%-8s"
+                    (Printf.sprintf "%.1f%%" (100. *. Ptm.Breakdown.fraction s sec)))
+                [ "apply"; "flush"; "copy"; "lambda"; "sleep" ];
+              print_newline ())
+            snaps)
+        threads_list)
+    [ (`Hash, "hash set"); (`Tree, "red-black tree") ]

@@ -1,0 +1,81 @@
+(** Shared benchmark plumbing: PTM registry, throughput measurement,
+    table rendering.
+
+    Scaling note (see EXPERIMENTS.md): the paper's testbed has 40 hardware
+    threads and real Optane; this container has one core and a simulated
+    device, so runs are sized in operations (not 20-second windows) and the
+    printed pwb/fence counts — which the paper identifies as the
+    performance-governing metric — are exact, not sampled. *)
+
+type ptm_entry = { pname : string; boxed : Ptm.Ptm_intf.boxed }
+
+let all_ptms =
+  [
+    { pname = "PMDK"; boxed = Ptm.Ptm_intf.Boxed (module Ptm.Pmdk_sim) };
+    { pname = "OneFile"; boxed = Ptm.Ptm_intf.Boxed (module Ptm.Onefile) };
+    { pname = "RomulusLR"; boxed = Ptm.Ptm_intf.Boxed (module Ptm.Romulus) };
+    { pname = "CX-PUC"; boxed = Ptm.Ptm_intf.Boxed (module Ptm.Cx_ptm.Puc) };
+    { pname = "CX-PTM"; boxed = Ptm.Ptm_intf.Boxed (module Ptm.Cx_ptm.Ptm) };
+    { pname = "Redo"; boxed = Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Base) };
+    { pname = "RedoTimed"; boxed = Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Timed) };
+    { pname = "RedoOpt"; boxed = Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Opt) };
+  ]
+
+let find_ptms names =
+  (* preserves the order of [names], so tables can pin their baseline row *)
+  List.map (fun n -> List.find (fun e -> e.pname = n) all_ptms) names
+
+type run = {
+  ops : int;
+  seconds : float;
+  stats : Pmem.Stats.snapshot;
+}
+
+let ops_per_sec r = if r.seconds > 0. then float_of_int r.ops /. r.seconds else 0.
+let pwbs_per_op r =
+  if r.ops = 0 then 0.
+  else float_of_int (r.stats.Pmem.Stats.pwb + r.stats.Pmem.Stats.ntstore) /. float_of_int r.ops
+
+let fences_per_op r =
+  if r.ops = 0 then 0. else float_of_int (Pmem.Stats.fences r.stats) /. float_of_int r.ops
+
+(** Run [per_thread] iterations of [op tid i] on [threads] domains against a
+    fresh instance created by [setup]; returns the run plus whatever [setup]
+    returned. *)
+let run_threads ~threads ~per_thread ~stats0 ~stats1 op =
+  let t0 = Unix.gettimeofday () in
+  let s0 = stats0 () in
+  let ds =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_thread - 1 do
+              op tid i
+            done))
+  in
+  List.iter Domain.join ds;
+  let s1 = stats1 () in
+  {
+    ops = threads * per_thread;
+    seconds = Unix.gettimeofday () -. t0;
+    stats = Pmem.Stats.diff s1 s0;
+  }
+
+(* ---- output helpers ---- *)
+
+let hrule width = print_endline (String.make width '-')
+
+let section title =
+  print_newline ();
+  hrule 78;
+  Printf.printf "%s\n" title;
+  hrule 78
+
+let table_header cols =
+  List.iter (fun (w, h) -> Printf.printf "%-*s" w h) cols;
+  print_newline ();
+  hrule (List.fold_left (fun a (w, _) -> a + w) 0 cols)
+
+let fmt_rate r =
+  if r >= 1e6 then Printf.sprintf "%.2fM" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.1fk" (r /. 1e3)
+  else Printf.sprintf "%.0f" r

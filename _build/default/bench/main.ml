@@ -1,0 +1,65 @@
+(** Benchmark driver: regenerates every table and figure of the paper's
+    evaluation (§6) plus an ablation of the RedoOpt optimizations and
+    Bechamel latency fits.
+
+    Usage:
+      dune exec bench/main.exe                 # all experiments, quick scale
+      dune exec bench/main.exe -- fig4 fig5    # a subset
+      dune exec bench/main.exe -- --full all   # larger, paper-shaped runs
+
+    See EXPERIMENTS.md for the paper-vs-measured discussion of each
+    experiment. *)
+
+let experiments : (string * string * (quick:bool -> unit -> unit)) list =
+  [
+    ("fig1", "PTM design-space table (measured)", Bench_fig1.run);
+    ("fig4", "SPS microbenchmark", Bench_fig4.run);
+    ("fig5", "persistent queue", Bench_fig5.run);
+    ("fig6", "list/tree/hash sets", Bench_fig6.run);
+    ("tab1", "update-transaction time breakdown", Bench_tab1.run);
+    ("fig7", "db_bench read workloads", Bench_db.fig7);
+    ("fig8", "memory usage and recovery", Bench_db.fig8);
+    ("fig9", "fillrandom throughput and pwbs", Bench_db.fig9);
+    ("dbx", "db_bench supplement (fillseq/readmissing/deleterandom)",
+      Bench_db.db_supplement);
+    ("ablation", "RedoOpt optimization ablation", Bench_ablation.run);
+    ("latency", "Bechamel single-op latency", Bench_latency.run);
+    ("shapes", "assert the paper's qualitative claims", Bench_shapes.run);
+  ]
+
+let () =
+  let quick = ref true in
+  let selected = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--full" -> quick := false
+        | "--quick" -> quick := true
+        | "all" -> selected := List.map (fun (n, _, _) -> n) experiments
+        | name when List.exists (fun (n, _, _) -> n = name) experiments ->
+            selected := !selected @ [ name ]
+        | other ->
+            Printf.eprintf "unknown experiment %S; available: %s\n" other
+              (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+            exit 2)
+    Sys.argv;
+  let selected =
+    if !selected = [] then List.map (fun (n, _, _) -> n) experiments
+    else !selected
+  in
+  Printf.printf
+    "Persistent Memory and the Rise of Universal Constructions — benchmark \
+     harness\nmode: %s | experiments: %s\n"
+    (if !quick then "quick (use --full for larger runs)" else "full")
+    (String.concat ", " selected);
+  (* Device model: give each written-back line an Optane-like latency so
+     flush counts translate into time (see Pmem.set_default_flush_cost). *)
+  Pmem.set_default_flush_cost 150;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      let _, _, f = List.find (fun (n, _, _) -> n = name) experiments in
+      f ~quick:!quick ())
+    selected;
+  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

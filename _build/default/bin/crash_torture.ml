@@ -1,0 +1,145 @@
+(* crash_torture: randomized durability fuzzer for every PTM.
+
+   Usage:
+     dune exec bin/crash_torture.exe -- [--ptm NAME] [--rounds N] [--seed S]
+                                        [--evict-prob P] [--threads T]
+
+   Each round runs a batch of random set operations (tracked in a volatile
+   model), then crashes the simulated machine — letting each dirty,
+   unflushed cache line survive with probability P, as real caches may —
+   recovers, and verifies that the recovered structure exactly matches the
+   model.  Any divergence is a durable-linearizability bug and the tool
+   exits non-zero with a reproduction line.
+
+   This is the long-running counterpart of the quick eviction tests in the
+   test suite: minutes of fuzzing across every PTM and many seeds. *)
+
+let ptms : (string * Ptm.Ptm_intf.boxed) list =
+  [
+    ("PMDK", Ptm.Ptm_intf.Boxed (module Ptm.Pmdk_sim));
+    ("OneFile", Ptm.Ptm_intf.Boxed (module Ptm.Onefile));
+    ("RomulusLR", Ptm.Ptm_intf.Boxed (module Ptm.Romulus));
+    ("CX-PUC", Ptm.Ptm_intf.Boxed (module Ptm.Cx_ptm.Puc));
+    ("CX-PTM", Ptm.Ptm_intf.Boxed (module Ptm.Cx_ptm.Ptm));
+    ("Redo", Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Base));
+    ("RedoTimed", Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Timed));
+    ("RedoOpt", Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Opt));
+  ]
+
+module I64Set = Set.Make (Int64)
+
+let torture_one (module P : Ptm.Ptm_intf.S) ~rounds ~seed ~evict_prob ~threads =
+  let module H = Pds.Hash_set.Make (P) in
+  let p = P.create ~num_threads:threads ~words:(1 lsl 16) () in
+  H.init p ~tid:0 ~slot:1;
+  let model = ref I64Set.empty in
+  let st = Random.State.make [| seed |] in
+  let failures = ref 0 in
+  for round = 1 to rounds do
+    (* a batch of random operations, single-threaded so the model is exact *)
+    for _ = 1 to 50 do
+      let k = Int64.of_int (Random.State.int st 500) in
+      if Random.State.bool st then begin
+        let r = H.add p ~tid:0 ~slot:1 k in
+        if r <> not (I64Set.mem k !model) then begin
+          Printf.printf "  !! %s: add %Ld return diverged (round %d)\n" P.name k
+            round;
+          incr failures
+        end;
+        model := I64Set.add k !model
+      end
+      else begin
+        let r = H.remove p ~tid:0 ~slot:1 k in
+        if r <> I64Set.mem k !model then begin
+          Printf.printf "  !! %s: remove %Ld return diverged (round %d)\n"
+            P.name k round;
+          incr failures
+        end;
+        model := I64Set.remove k !model
+      end
+    done;
+    (* some extra concurrent churn on disjoint keys before the crash *)
+    if threads > 1 && round mod 4 = 0 then begin
+      let ds =
+        List.init (threads - 1) (fun w ->
+            Domain.spawn (fun () ->
+                let tid = w + 1 in
+                for i = 0 to 19 do
+                  let k = Int64.of_int (1000 + (tid * 100) + i) in
+                  ignore (H.add p ~tid ~slot:1 k);
+                  ignore (H.remove p ~tid ~slot:1 k)
+                done))
+      in
+      List.iter Domain.join ds
+    end;
+    (* crash with random cache evictions, then verify against the model *)
+    P.crash_with_evictions p ~seed:(seed + round) ~prob:evict_prob;
+    let card = H.cardinal p ~tid:0 ~slot:1 in
+    if card <> I64Set.cardinal !model then begin
+      Printf.printf
+        "  !! %s: cardinality diverged after crash: got %d want %d (round %d, \
+         seed %d)\n"
+        P.name card
+        (I64Set.cardinal !model)
+        round seed;
+      incr failures
+    end;
+    I64Set.iter
+      (fun k ->
+        if not (H.contains p ~tid:0 ~slot:1 k) then begin
+          Printf.printf "  !! %s: lost committed key %Ld (round %d, seed %d)\n"
+            P.name k round seed;
+          incr failures
+        end)
+      !model
+  done;
+  !failures
+
+let () =
+  let ptm_filter = ref "" in
+  let rounds = ref 20 in
+  let seed = ref 42 in
+  let evict_prob = ref 0.5 in
+  let threads = ref 3 in
+  let spec =
+    [
+      ("--ptm", Arg.Set_string ptm_filter, "NAME only torture this PTM");
+      ("--rounds", Arg.Set_int rounds, "N crash rounds per PTM (default 20)");
+      ("--seed", Arg.Set_int seed, "S base random seed (default 42)");
+      ( "--evict-prob",
+        Arg.Set_float evict_prob,
+        "P survival probability of unflushed lines (default 0.5)" );
+      ("--threads", Arg.Set_int threads, "T concurrent churn threads (default 3)");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "crash_torture [options]";
+  let selected =
+    if !ptm_filter = "" then ptms
+    else List.filter (fun (n, _) -> n = !ptm_filter) ptms
+  in
+  if selected = [] then begin
+    Printf.eprintf "unknown PTM %S\n" !ptm_filter;
+    exit 2
+  end;
+  let total_failures = ref 0 in
+  List.iter
+    (fun (name, Ptm.Ptm_intf.Boxed (module P)) ->
+      Printf.printf "torturing %-10s (%d rounds, evict %.2f, %d threads)... %!"
+        name !rounds !evict_prob !threads;
+      let t0 = Unix.gettimeofday () in
+      let f =
+        torture_one (module P) ~rounds:!rounds ~seed:!seed
+          ~evict_prob:!evict_prob ~threads:!threads
+      in
+      total_failures := !total_failures + f;
+      Printf.printf "%s (%.1fs)\n"
+        (if f = 0 then "ok" else Printf.sprintf "%d FAILURES" f)
+        (Unix.gettimeofday () -. t0))
+    selected;
+  if !total_failures > 0 then begin
+    Printf.printf "\n%d durability violations found.\n" !total_failures;
+    exit 1
+  end
+  else print_endline "\nno durability violations found."

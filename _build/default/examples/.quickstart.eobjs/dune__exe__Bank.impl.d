@@ -1,0 +1,1 @@
+examples/bank.ml: Domain Int64 List Palloc Pds Printf Ptm Random

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Domain Kv List Option Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Int64 List Palloc Pds Pmem Printf Ptm

@@ -1,0 +1,1 @@
+examples/universal_construction.ml: Array Domain Int64 List Map Palloc Printf Ptm Random

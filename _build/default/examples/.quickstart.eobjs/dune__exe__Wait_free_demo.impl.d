@@ -1,0 +1,1 @@
+examples/wait_free_demo.ml: Array Atomic Domain Int64 List Palloc Printf Ptm Unix

@@ -1,0 +1,1 @@
+examples/wait_free_demo.mli:

@@ -1,0 +1,1 @@
+lib/core/cx.ml: Array Atomic Sync_prims

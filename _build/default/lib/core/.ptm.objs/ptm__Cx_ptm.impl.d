@@ -1,0 +1,1 @@
+lib/core/cx_ptm.ml: Array Atomic Breakdown Hashtbl Palloc Pmem Seqtid Sync_prims Unix

@@ -1,0 +1,1 @@
+lib/core/cx_ptm.mli: Ptm_intf

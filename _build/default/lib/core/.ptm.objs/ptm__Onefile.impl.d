@@ -1,0 +1,1 @@
+lib/core/onefile.ml: Array Atomic Breakdown Fun Hashtbl Int64 List Palloc Pmem Sync_prims Unix Wset

@@ -1,0 +1,1 @@
+lib/core/onll.ml: Array Atomic Breakdown Bytes Int64 Mutex Palloc Pmem Sync_prims

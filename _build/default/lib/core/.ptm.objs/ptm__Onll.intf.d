@@ -1,0 +1,1 @@
+lib/core/onll.mli: Breakdown Pmem

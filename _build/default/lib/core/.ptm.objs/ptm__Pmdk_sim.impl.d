@@ -1,0 +1,1 @@
+lib/core/pmdk_sim.ml: Breakdown Fun Hashtbl Int64 Mutex Palloc Pmem Unix

@@ -1,0 +1,1 @@
+lib/core/pmdk_sim.mli: Ptm_intf

@@ -1,0 +1,1 @@
+lib/core/ptm_intf.ml: Breakdown Pmem

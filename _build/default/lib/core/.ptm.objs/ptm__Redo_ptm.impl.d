@@ -1,0 +1,1 @@
+lib/core/redo_ptm.ml: Array Atomic Breakdown Hashtbl Palloc Pmem Seqtid Sync_prims Unix Wset

@@ -1,0 +1,1 @@
+lib/core/redo_ptm.mli: Ptm_intf

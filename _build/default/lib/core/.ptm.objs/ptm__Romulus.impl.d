@@ -1,0 +1,1 @@
+lib/core/romulus.ml: Array Atomic Breakdown Hashtbl Int64 Mutex Palloc Pmem Sync_prims Unix Wset

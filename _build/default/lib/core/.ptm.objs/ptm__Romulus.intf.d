@@ -1,0 +1,1 @@
+lib/core/romulus.mli: Ptm_intf

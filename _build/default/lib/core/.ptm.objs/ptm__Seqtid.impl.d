@@ -1,0 +1,1 @@
+lib/core/seqtid.ml: Format Int64

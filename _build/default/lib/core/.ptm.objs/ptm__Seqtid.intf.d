@@ -1,0 +1,1 @@
+lib/core/seqtid.mli: Format

@@ -1,0 +1,107 @@
+(** Per-thread wall-clock accounting of where an update transaction spends
+    its time, reproducing the categories of the paper's Table 1:
+    applying redo logs, flushing, copying replicas, running the user lambda,
+    and sleeping (backoff / waiting for helpers). *)
+
+type section = Apply | Flush | Copy | Lambda | Sleep
+
+let n_sections = 5
+
+let index = function
+  | Apply -> 0
+  | Flush -> 1
+  | Copy -> 2
+  | Lambda -> 3
+  | Sleep -> 4
+
+let section_name = function
+  | Apply -> "apply"
+  | Flush -> "flush"
+  | Copy -> "copy"
+  | Lambda -> "lambda"
+  | Sleep -> "sleep"
+
+type t = {
+  mutable enabled : bool;
+  acc : float array array; (* tid -> section -> seconds *)
+  total : float array; (* tid -> seconds inside update transactions *)
+  count : int array; (* tid -> update transactions *)
+}
+
+let create ~num_threads =
+  {
+    enabled = false;
+    acc = Array.init num_threads (fun _ -> Array.make n_sections 0.);
+    total = Array.make num_threads 0.;
+    count = Array.make num_threads 0;
+  }
+
+let enable t b = t.enabled <- b
+
+let reset t =
+  Array.iter (fun a -> Array.fill a 0 n_sections 0.) t.acc;
+  Array.fill t.total 0 (Array.length t.total) 0.;
+  Array.fill t.count 0 (Array.length t.count) 0
+
+let now = Unix.gettimeofday
+
+(** [timed t ~tid s f] runs [f ()] accounting its duration to section [s]
+    when profiling is enabled. *)
+let timed t ~tid s f =
+  if not t.enabled then f ()
+  else begin
+    let t0 = now () in
+    let r = f () in
+    let a = t.acc.(tid) in
+    let i = index s in
+    a.(i) <- a.(i) +. (now () -. t0);
+    r
+  end
+
+(** Account an externally measured duration. *)
+let add t ~tid s dt =
+  if t.enabled then begin
+    let a = t.acc.(tid) in
+    let i = index s in
+    a.(i) <- a.(i) +. dt
+  end
+
+let add_total t ~tid dt =
+  if t.enabled then begin
+    t.total.(tid) <- t.total.(tid) +. dt;
+    t.count.(tid) <- t.count.(tid) + 1
+  end
+
+type snapshot = {
+  update_txs : int;
+  total_s : float;
+  sections : (string * float) list; (* seconds per section *)
+}
+
+let snapshot t =
+  let sections =
+    List.map
+      (fun s ->
+        let i = index (s : section) in
+        ( section_name s,
+          Array.fold_left (fun acc a -> acc +. a.(i)) 0. t.acc ))
+      [ Apply; Flush; Copy; Lambda; Sleep ]
+  in
+  {
+    update_txs = Array.fold_left ( + ) 0 t.count;
+    total_s = Array.fold_left ( +. ) 0. t.total;
+    sections;
+  }
+
+(** Average microseconds per update transaction. *)
+let avg_us snap =
+  if snap.update_txs = 0 then 0.
+  else snap.total_s *. 1e6 /. float_of_int snap.update_txs
+
+(** Fraction of total transaction time spent in a given section. *)
+let fraction snap name =
+  if snap.total_s <= 0. then 0.
+  else
+    match List.assoc_opt name snap.sections with
+    | Some s -> s /. snap.total_s
+    | None -> 0.

@@ -1,0 +1,38 @@
+(** Per-thread wall-clock accounting of where update transactions spend
+    time — the categories of the paper's Table 1: applying redo logs,
+    flushing, copying replicas, running the user lambda, and sleeping
+    (backoff / waiting for helpers).  Disabled by default; when disabled,
+    [timed] is a pass-through. *)
+
+type section = Apply | Flush | Copy | Lambda | Sleep
+
+type t
+
+val create : num_threads:int -> t
+val enable : t -> bool -> unit
+val reset : t -> unit
+
+(** [timed t ~tid s f] runs [f ()], accounting its duration to [s] when
+    profiling is enabled. *)
+val timed : t -> tid:int -> section -> (unit -> 'a) -> 'a
+
+(** Account an externally measured duration to a section. *)
+val add : t -> tid:int -> section -> float -> unit
+
+(** Record one completed update transaction of the given duration. *)
+val add_total : t -> tid:int -> float -> unit
+
+type snapshot = {
+  update_txs : int;
+  total_s : float;
+  sections : (string * float) list;
+}
+
+val snapshot : t -> snapshot
+
+(** Average microseconds per update transaction. *)
+val avg_us : snapshot -> float
+
+(** Fraction of transaction time spent in the named section
+    ("apply" | "flush" | "copy" | "lambda" | "sleep"). *)
+val fraction : snapshot -> string -> float

@@ -1,0 +1,206 @@
+(** The CX wait-free universal construction (Correia, Ramalhete, Felber,
+    PPoPP '20) — the volatile construction §4 builds upon, provided here in
+    its original form: it turns {e any} sequential OCaml object into a
+    linearizable concurrent one with wait-free operations, "as simple as
+    wrapping each method in a lambda".
+
+    - [2N] replicas of the object, produced with a user-supplied [copy];
+    - a wait-free turn queue of mutations defines the linearization;
+    - each replica is guarded by a strong try reader-writer lock;
+    - [cur_comb] points to a replica that is up to date and readable;
+    - updaters replay the queue on some replica up to their own node, then
+      try to CAS [cur_comb]; readers take a shared lock on [cur_comb]'s
+      replica, falling back to the queue after [max_read_tries] failures.
+
+    Mutation closures may be executed several times (once per replica that
+    replays them), so they must be deterministic and must confine their
+    effects to the object they receive. *)
+
+let max_read_tries = 4
+let window = 512
+
+type 'a payload = {
+  f : 'a -> int64;
+  result : int64 Atomic.t;
+  done_ : bool Atomic.t;
+}
+
+type 'a combined = {
+  rwlock : Sync_prims.Rwlock.t;
+  mutable obj : 'a;
+  mutable head : 'a payload Sync_prims.Turn_queue.node;
+  head_ticket : int Atomic.t;
+  mutable valid : bool;
+}
+
+type 'a t = {
+  num_threads : int;
+  nrep : int;
+  copy : 'a -> 'a;
+  combs : 'a combined array;
+  queue : 'a payload Sync_prims.Turn_queue.t;
+  cur_comb : int Atomic.t;
+}
+
+let create ~num_threads ~copy initial =
+  let nrep = 2 * num_threads in
+  let queue =
+    Sync_prims.Turn_queue.create ~num_threads
+      { f = (fun _ -> 0L); result = Atomic.make 0L; done_ = Atomic.make true }
+  in
+  let sentinel = Sync_prims.Turn_queue.sentinel queue in
+  {
+    num_threads;
+    nrep;
+    copy;
+    combs =
+      Array.init nrep (fun i ->
+          {
+            rwlock = Sync_prims.Rwlock.create ();
+            obj = (if i = 0 then initial else copy initial);
+            head = sentinel;
+            head_ticket = Atomic.make 0;
+            valid = true;
+          });
+    queue;
+    cur_comb = Atomic.make 0;
+  }
+
+let try_copy t ~tid c =
+  let ci = Atomic.get t.cur_comb in
+  let src = t.combs.(ci) in
+  if src == c then false
+  else if not (Sync_prims.Rwlock.shared_try_lock src.rwlock ~tid) then false
+  else begin
+    let ok = Atomic.get t.cur_comb = ci in
+    if ok then begin
+      c.obj <- t.copy src.obj;
+      c.head <- src.head;
+      Atomic.set c.head_ticket (Atomic.get src.head_ticket);
+      c.valid <- true
+    end;
+    Sync_prims.Rwlock.shared_unlock src.rwlock ~tid;
+    ok
+  end
+
+let apply_up_to c target =
+  let target_tk = Sync_prims.Turn_queue.ticket target in
+  while Atomic.get c.head_ticket < target_tk do
+    match Sync_prims.Turn_queue.next c.head with
+    | None -> assert false
+    | Some node ->
+        let pl = Sync_prims.Turn_queue.payload node in
+        let res = pl.f c.obj in
+        if not (Atomic.get pl.done_) then begin
+          Atomic.set pl.result res;
+          Atomic.set pl.done_ true
+        end;
+        c.head <- node;
+        Atomic.set c.head_ticket (Sync_prims.Turn_queue.ticket node)
+  done
+
+let run_update t ~tid node =
+  let my_ticket = Sync_prims.Turn_queue.ticket node in
+  let pl = Sync_prims.Turn_queue.payload node in
+  let finished () =
+    Atomic.get pl.done_
+    && Atomic.get t.combs.(Atomic.get t.cur_comb).head_ticket >= my_ticket
+  in
+  let b = Sync_prims.Backoff.create () in
+  let rec acquire () =
+    if finished () then None
+    else begin
+      let cur = Atomic.get t.cur_comb in
+      let rec scan i =
+        if i = t.nrep then None
+        else
+          let ci = (tid + i) mod t.nrep in
+          if
+            ci <> cur
+            && Sync_prims.Rwlock.exclusive_try_lock t.combs.(ci).rwlock ~tid
+          then Some ci
+          else scan (i + 1)
+      in
+      match scan 0 with
+      | Some ci -> Some ci
+      | None ->
+          ignore (Sync_prims.Backoff.once b);
+          acquire ()
+    end
+  in
+  match acquire () with
+  | None -> ()
+  | Some ci ->
+      let c = t.combs.(ci) in
+      let rec ensure_valid () =
+        if finished () then false
+        else if
+          c.valid
+          && Atomic.get t.combs.(Atomic.get t.cur_comb).head_ticket
+             - Atomic.get c.head_ticket
+             <= window
+        then true
+        else if try_copy t ~tid c then true
+        else begin
+          ignore (Sync_prims.Backoff.once b);
+          ensure_valid ()
+        end
+      in
+      if not (ensure_valid ()) then
+        Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid
+      else begin
+        apply_up_to c node;
+        Sync_prims.Rwlock.downgrade c.rwlock ~tid;
+        let rec transition () =
+          let cur = Atomic.get t.cur_comb in
+          if Atomic.get t.combs.(cur).head_ticket >= my_ticket then ()
+          else if not (Atomic.compare_and_set t.cur_comb cur ci) then
+            transition ()
+        in
+        transition ();
+        Sync_prims.Rwlock.downgrade_unlock c.rwlock ~tid
+      end
+
+(** [apply_update t ~tid f] linearizes the (deterministic, re-executable)
+    mutation [f] and returns its result. *)
+let apply_update t ~tid f =
+  let node =
+    Sync_prims.Turn_queue.enqueue t.queue ~tid
+      { f; result = Atomic.make 0L; done_ = Atomic.make false }
+  in
+  let pl = Sync_prims.Turn_queue.payload node in
+  let my_ticket = Sync_prims.Turn_queue.ticket node in
+  let b = Sync_prims.Backoff.create () in
+  while
+    not
+      (Atomic.get pl.done_
+      && Atomic.get t.combs.(Atomic.get t.cur_comb).head_ticket >= my_ticket)
+  do
+    run_update t ~tid node;
+    if not (Atomic.get pl.done_) then ignore (Sync_prims.Backoff.once b)
+  done;
+  Atomic.get pl.result
+
+(** [apply_read t ~tid f] runs the read-only [f] on an up-to-date replica
+    (it must not mutate the object). *)
+let apply_read t ~tid f =
+  let rec attempt tries =
+    if tries = 0 then apply_update t ~tid f
+    else begin
+      let ci = Atomic.get t.cur_comb in
+      let c = t.combs.(ci) in
+      if Sync_prims.Rwlock.shared_try_lock c.rwlock ~tid then begin
+        if Atomic.get t.cur_comb = ci && c.valid then begin
+          let res = f c.obj in
+          Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
+          res
+        end
+        else begin
+          Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
+          attempt (tries - 1)
+        end
+      end
+      else attempt (tries - 1)
+    end
+  in
+  attempt max_read_tries

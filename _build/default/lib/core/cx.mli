@@ -1,0 +1,22 @@
+(** The CX wait-free universal construction (volatile form, PPoPP '20):
+    turns any sequential OCaml object into a linearizable concurrent one
+    with wait-free operations.
+
+    Mutation closures may be executed several times (once per replica that
+    replays them): they must be deterministic and confine their effects to
+    the object they receive. *)
+
+type 'a t
+
+(** [create ~num_threads ~copy initial] builds a universal construction
+    over [initial] with [2 * num_threads] replicas produced by [copy]
+    (which must deep-copy the mutable parts of the object). *)
+val create : num_threads:int -> copy:('a -> 'a) -> 'a -> 'a t
+
+(** [apply_update t ~tid f] linearizes the mutation [f] (wait-free) and
+    returns its result. *)
+val apply_update : 'a t -> tid:int -> ('a -> int64) -> int64
+
+(** [apply_read t ~tid f] runs the read-only [f] on an up-to-date replica;
+    falls back to the mutation queue after bounded retries. *)
+val apply_read : 'a t -> tid:int -> ('a -> int64) -> int64

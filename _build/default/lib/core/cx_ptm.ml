@@ -1,0 +1,513 @@
+(** CX-PUC and CX-PTM: the paper's two persistent variants of the CX
+    wait-free universal construction (§4).
+
+    Shared skeleton (from CX, PPoPP '20):
+    - 2N replicas ("Combined" instances) of the logical region, each guarded
+      by a strong try reader-writer lock;
+    - a wait-free turn queue of mutations establishing the linearization
+      order; every replica holds a cursor ([head]) into that queue;
+    - [curComb] designates the replica whose state is both up to date and
+      persisted; it is a PM-resident word updated by CAS, so its durable
+      value can never regress;
+    - updaters enqueue their mutation, grab any replica exclusively, replay
+      the queue from the replica's cursor up to their own node (re-executing
+      the logical operations — CX is {e logical logging}), flush, downgrade
+      the lock and try to CAS [curComb];
+    - readers take a shared lock on [curComb]'s replica, falling back to the
+      queue after [max_read_tries] failures.
+
+    The two modes differ only in store interposition (§4):
+    - {b CX-PUC} does not interpose loads or stores, so it cannot know which
+      cache lines changed and must flush the {e whole region} before every
+      [curComb] transition — efficient only for small objects;
+    - {b CX-PTM} interposes stores and flushes only the mutated lines
+      (replica copies still require a full-region flush, since the copy
+      makes every durable line of the destination stale).
+
+    Queue-node reclamation: the original tracks nodes with wait-free hazard
+    pointers + reference counting; here the GC frees unreachable nodes and
+    we keep CX's algorithmic behaviour — replicas whose cursor falls more
+    than [window] tickets behind are invalidated (forcing the copy path) and
+    the stale chain is released. *)
+
+module type MODE = sig
+  val name : string
+
+  (** Whether stores are interposed (CX-PTM) or the whole region is flushed
+      per transition (CX-PUC). *)
+  val interpose : bool
+end
+
+module Make (M : MODE) = struct
+  let name = M.name
+  let max_read_tries = 4
+  let window = 512
+
+  type payload = {
+    f : tx -> int64;
+    read_only_op : bool;
+    result : int64 Atomic.t;
+    done_ : bool Atomic.t;
+  }
+
+  and combined = {
+    rwlock : Sync_prims.Rwlock.t;
+    mutable head : payload Sync_prims.Turn_queue.node;
+    head_ticket : int Atomic.t; (* lock-free mirror of [head]'s ticket *)
+    mutable valid : bool;
+    dirty : (int, unit) Hashtbl.t; (* logical lines awaiting flush *)
+    mutable full_flush : bool; (* after a copy, flush everything *)
+    base : int; (* physical address of this replica's region *)
+  }
+
+  and t = {
+    pm : Pmem.t;
+    num_threads : int;
+    words : int;
+    nrep : int;
+    combs : combined array;
+    mutable queue : payload Sync_prims.Turn_queue.t;
+    cur_comb : int Atomic.t; (* index into [combs] *)
+    persisted : int Atomic.t; (* highest ticket known durable in the header *)
+    bd : Breakdown.t;
+  }
+
+  and tx = { p : t; c : combined; ro : bool; tid : int }
+
+  let header_addr = 0
+
+  let dummy_payload =
+    {
+      f = (fun _ -> 0L);
+      read_only_op = true;
+      result = Atomic.make 0L;
+      done_ = Atomic.make true;
+    }
+
+  let create ~num_threads ~words () =
+    if words <= Palloc.heap_base then invalid_arg (M.name ^ ".create: words");
+    let nrep = 2 * num_threads in
+    let base i = 64 + (i * words) in
+    let pm =
+      Pmem.create ~max_threads:num_threads ~words:(64 + (nrep * words)) ()
+    in
+    let queue = Sync_prims.Turn_queue.create ~num_threads dummy_payload in
+    let sentinel = Sync_prims.Turn_queue.sentinel queue in
+    let combs =
+      Array.init nrep (fun i ->
+          {
+            rwlock = Sync_prims.Rwlock.create ();
+            head = sentinel;
+            head_ticket = Atomic.make 0;
+            valid = i = 0;
+            dirty = Hashtbl.create 64;
+            full_flush = false;
+            base = base i;
+          })
+    in
+    let t =
+      {
+        pm;
+        num_threads;
+        words;
+        nrep;
+        combs;
+        queue;
+        cur_comb = Atomic.make 0;
+        persisted = Atomic.make 0;
+        bd = Breakdown.create ~num_threads;
+      }
+    in
+    (* Format replica 0 and persist it together with the header. *)
+    let mem =
+      {
+        Palloc.get = (fun a -> Pmem.get_word pm (base 0 + a));
+        set = (fun a v -> Pmem.set_word pm ~tid:0 (base 0 + a) v);
+      }
+    in
+    Palloc.format mem ~words;
+    Pmem.pwb_range pm ~tid:0 (base 0) (base 0 + words - 1);
+    Pmem.set_word pm ~tid:0 header_addr
+      (Seqtid.to_int64 (Seqtid.pack ~seq:0 ~tid:0 ~idx:0));
+    Pmem.pwb pm ~tid:0 header_addr;
+    Pmem.psync pm ~tid:0;
+    t
+
+  let pmem t = t.pm
+  let stats t = Pmem.stats t.pm
+  let breakdown t = t.bd
+
+  let[@inline] check_logical t a =
+    if a < 0 || a >= t.words then invalid_arg (M.name ^ ": address out of region")
+
+  let get tx a =
+    check_logical tx.p a;
+    Pmem.get_word tx.p.pm (tx.c.base + a)
+
+  let set tx a v =
+    check_logical tx.p a;
+    if tx.ro then invalid_arg (M.name ^ ": store in read-only operation");
+    Pmem.set_word tx.p.pm ~tid:tx.tid (tx.c.base + a) v;
+    if M.interpose then
+      Hashtbl.replace tx.c.dirty (a / Pmem.words_per_line) ()
+
+  let mem_of_tx tx = { Palloc.get = get tx; set = set tx }
+  let alloc tx n = Palloc.alloc (mem_of_tx tx) n
+  let dealloc tx a = Palloc.dealloc (mem_of_tx tx) a
+
+  (* Persist the header so that its durable ticket is at least [tk].  The
+     header word is only mutated by CAS with increasing tickets, so a flush
+     can never regress the durable state. *)
+  let ensure_persisted t ~tid tk =
+    if Atomic.get t.persisted < tk then begin
+      let rec bump () =
+        let ci = Atomic.get t.cur_comb in
+        let ht = Atomic.get t.combs.(ci).head_ticket in
+        if ht < tk then bump () (* transition in flight; retry *)
+        else begin
+          let cur = Pmem.get_word t.pm header_addr in
+          let cur_tk = Seqtid.seq (Seqtid.of_int64 cur) in
+          if cur_tk < ht then
+            ignore
+              (Pmem.cas_word t.pm ~tid header_addr ~expected:cur
+                 ~desired:(Seqtid.to_int64 (Seqtid.pack ~seq:ht ~tid:0 ~idx:ci)));
+          let now_tk = Seqtid.seq (Seqtid.of_int64 (Pmem.get_word t.pm header_addr)) in
+          if now_tk < tk then bump ()
+          else begin
+            Pmem.pwb t.pm ~tid header_addr;
+            Pmem.psync t.pm ~tid;
+            (* Raise the volatile high-water mark. *)
+            let rec raise_mark () =
+              let p = Atomic.get t.persisted in
+              if p < now_tk && not (Atomic.compare_and_set t.persisted p now_tk)
+              then raise_mark ()
+            in
+            raise_mark ()
+          end
+        end
+      in
+      bump ()
+    end
+
+  (* Copy the region of [curComb]'s replica into [c] (which we hold
+     exclusively).  Optimistic: valid only if curComb does not change while
+     we read its replica under a shared lock.  Returns true on success. *)
+  let try_copy t ~tid c =
+    let ci = Atomic.get t.cur_comb in
+    let src = t.combs.(ci) in
+    if src == c then false
+    else if not (Sync_prims.Rwlock.shared_try_lock src.rwlock ~tid) then false
+    else begin
+      let ok = Atomic.get t.cur_comb = ci in
+      let result =
+        if not ok then false
+        else begin
+          Breakdown.timed t.bd ~tid Copy (fun () ->
+              Pmem.blit_words t.pm ~tid ~src:src.base ~dst:c.base t.words);
+          c.head <- src.head;
+          Atomic.set c.head_ticket (Atomic.get src.head_ticket);
+          c.valid <- true;
+          c.full_flush <- true;
+          Hashtbl.reset c.dirty;
+          true
+        end
+      in
+      Sync_prims.Rwlock.shared_unlock src.rwlock ~tid;
+      result
+    end
+
+  (* Replay queue nodes on replica [c] from its cursor up to [target]
+     (inclusive).  Re-executes each mutation (logical logging); records the
+     result the first time a node is executed anywhere. *)
+  let apply_up_to t ~tid c target =
+    let target_tk = Sync_prims.Turn_queue.ticket target in
+    while Atomic.get c.head_ticket < target_tk do
+      match Sync_prims.Turn_queue.next c.head with
+      | None -> assert false (* target is linked after head *)
+      | Some node ->
+          let pl = Sync_prims.Turn_queue.payload node in
+          let tx = { p = t; c; ro = pl.read_only_op; tid } in
+          let res = Breakdown.timed t.bd ~tid Lambda (fun () -> pl.f tx) in
+          if not (Atomic.get pl.done_) then begin
+            Atomic.set pl.result res;
+            Atomic.set pl.done_ true
+          end;
+          c.head <- node;
+          Atomic.set c.head_ticket (Sync_prims.Turn_queue.ticket node)
+    done
+
+  let flush_replica t ~tid c =
+    Breakdown.timed t.bd ~tid Flush (fun () ->
+        if (not M.interpose) || c.full_flush then begin
+          Pmem.pwb_range t.pm ~tid c.base (c.base + t.words - 1);
+          c.full_flush <- false
+        end
+        else
+          Hashtbl.iter
+            (fun line () ->
+              Pmem.pwb t.pm ~tid (c.base + (line * Pmem.words_per_line)))
+            c.dirty;
+        Hashtbl.reset c.dirty;
+        Pmem.pfence t.pm ~tid)
+
+  (* After winning a transition, opportunistically invalidate replicas whose
+     cursor is hopelessly stale, releasing their chain of queue nodes (the
+     GC-based rendering of CX's node reclamation). *)
+  let housekeep t ~tid my_ticket =
+    let sentinel = Sync_prims.Turn_queue.sentinel t.queue in
+    Array.iteri
+      (fun i c ->
+        if
+          i <> Atomic.get t.cur_comb
+          && Atomic.get c.head_ticket < my_ticket - window
+          && Sync_prims.Rwlock.exclusive_try_lock c.rwlock ~tid
+        then begin
+          c.valid <- false;
+          c.head <- sentinel;
+          Hashtbl.reset c.dirty;
+          Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid
+        end)
+      t.combs
+
+  (* CAS curComb to replica index [ci] (volatile), then persist the header. *)
+  let try_transition t ~tid ci my_ticket =
+    let c = t.combs.(ci) in
+    let rec go () =
+      let cur = Atomic.get t.cur_comb in
+      if Atomic.get t.combs.(cur).head_ticket >= my_ticket then false
+      else if Atomic.compare_and_set t.cur_comb cur ci then begin
+        (* Persist header: durable CAS with our (ticket, idx). *)
+        let rec pm_cas () =
+          let old = Pmem.get_word t.pm header_addr in
+          if Seqtid.seq (Seqtid.of_int64 old) >= Atomic.get c.head_ticket then ()
+          else if
+            not
+              (Pmem.cas_word t.pm ~tid header_addr ~expected:old
+                 ~desired:
+                   (Seqtid.to_int64
+                      (Seqtid.pack ~seq:(Atomic.get c.head_ticket) ~tid:0 ~idx:ci)))
+          then pm_cas ()
+        in
+        pm_cas ();
+        Pmem.pwb t.pm ~tid header_addr;
+        Pmem.psync t.pm ~tid;
+        let rec raise_mark () =
+          let p = Atomic.get t.persisted in
+          let ht = Atomic.get c.head_ticket in
+          if p < ht && not (Atomic.compare_and_set t.persisted p ht) then
+            raise_mark ()
+        in
+        raise_mark ();
+        true
+      end
+      else go ()
+    in
+    go ()
+
+  let enqueue_op t ~tid f ~read_only_op =
+    let pl =
+      { f; read_only_op; result = Atomic.make 0L; done_ = Atomic.make false }
+    in
+    Sync_prims.Turn_queue.enqueue t.queue ~tid pl
+
+  (* The updater path: §4's applyUpdate, steps (1)-(6). *)
+  let run_update t ~tid node =
+    let pl = Sync_prims.Turn_queue.payload node in
+    let my_ticket = Sync_prims.Turn_queue.ticket node in
+    let finished () =
+      Atomic.get pl.done_
+      && Atomic.get t.combs.(Atomic.get t.cur_comb).head_ticket >= my_ticket
+    in
+    let b = Sync_prims.Backoff.create () in
+    let rec acquire () =
+      if finished () then None
+      else begin
+        let cur = Atomic.get t.cur_comb in
+        let rec scan i =
+          if i = t.nrep then None
+          else
+            let ci = (tid + i) mod t.nrep in
+            if ci <> cur
+               && Sync_prims.Rwlock.exclusive_try_lock t.combs.(ci).rwlock ~tid
+            then Some ci
+            else scan (i + 1)
+        in
+        match scan 0 with
+        | Some ci -> Some ci
+        | None ->
+            Breakdown.timed t.bd ~tid Sleep (fun () ->
+                ignore (Sync_prims.Backoff.once b));
+            acquire ()
+      end
+    in
+    match acquire () with
+    | None -> ensure_persisted t ~tid my_ticket
+    | Some ci ->
+        let c = t.combs.(ci) in
+        (* Validity: lagging or invalidated replicas are refreshed by
+           copying from curComb. *)
+        let rec ensure_valid () =
+          if finished () then false
+          else if
+            c.valid
+            && Atomic.get t.cur_comb |> fun cc ->
+               Atomic.get t.combs.(cc).head_ticket - Atomic.get c.head_ticket
+               <= window
+          then true
+          else if try_copy t ~tid c then true
+          else begin
+            Breakdown.timed t.bd ~tid Sleep (fun () ->
+                ignore (Sync_prims.Backoff.once b));
+            ensure_valid ()
+          end
+        in
+        if not (ensure_valid ()) then begin
+          Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid;
+          ensure_persisted t ~tid my_ticket
+        end
+        else begin
+          Breakdown.timed t.bd ~tid Apply (fun () -> apply_up_to t ~tid c node);
+          flush_replica t ~tid c;
+          Sync_prims.Rwlock.downgrade c.rwlock ~tid;
+          let won = try_transition t ~tid ci my_ticket in
+          Sync_prims.Rwlock.downgrade_unlock c.rwlock ~tid;
+          if won then housekeep t ~tid my_ticket
+          else ensure_persisted t ~tid my_ticket
+        end
+
+  let update t ~tid f =
+    let t0 = Unix.gettimeofday () in
+    let node = enqueue_op t ~tid f ~read_only_op:false in
+    let pl = Sync_prims.Turn_queue.payload node in
+    let my_ticket = Sync_prims.Turn_queue.ticket node in
+    let b = Sync_prims.Backoff.create () in
+    while
+      not
+        (Atomic.get pl.done_
+        && Atomic.get t.combs.(Atomic.get t.cur_comb).head_ticket >= my_ticket
+        && Atomic.get t.persisted >= my_ticket)
+    do
+      run_update t ~tid node;
+      if not (Atomic.get pl.done_) then
+        Breakdown.timed t.bd ~tid Sleep (fun () ->
+            ignore (Sync_prims.Backoff.once b))
+    done;
+    Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
+    Atomic.get pl.result
+
+  (* §4's applyRead: try shared access to curComb's replica; after
+     [max_read_tries] failures enqueue the read as an operation. *)
+  let read_only t ~tid f =
+    let rec attempt tries =
+      if tries = 0 then begin
+        let node = enqueue_op t ~tid f ~read_only_op:true in
+        let pl = Sync_prims.Turn_queue.payload node in
+        (* An updater will execute it within bounded steps; help by running
+           the update machinery on our own node. *)
+        let b = Sync_prims.Backoff.create () in
+        while not (Atomic.get pl.done_) do
+          run_update t ~tid node;
+          if not (Atomic.get pl.done_) then
+            Breakdown.timed t.bd ~tid Sleep (fun () ->
+                ignore (Sync_prims.Backoff.once b))
+        done;
+        ensure_persisted t ~tid (Sync_prims.Turn_queue.ticket node);
+        Atomic.get pl.result
+      end
+      else begin
+        let ci = Atomic.get t.cur_comb in
+        let c = t.combs.(ci) in
+        if Sync_prims.Rwlock.shared_try_lock c.rwlock ~tid then begin
+          if Atomic.get t.cur_comb = ci && c.valid then begin
+            let ht = Atomic.get c.head_ticket in
+            let res = f { p = t; c; ro = true; tid } in
+            Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
+            (* The observed state must be durable before we return. *)
+            ensure_persisted t ~tid ht;
+            res
+          end
+          else begin
+            Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
+            attempt (tries - 1)
+          end
+        end
+        else attempt (tries - 1)
+      end
+    in
+    attempt max_read_tries
+
+  (* Null recovery: the durable header designates the consistent replica;
+     rebuild the volatile skeleton around it. *)
+  let recover t =
+    let hdr = Seqtid.of_int64 (Pmem.get_word t.pm header_addr) in
+    let ci = Seqtid.idx hdr in
+    t.queue <- Sync_prims.Turn_queue.create ~num_threads:t.num_threads dummy_payload;
+    let sentinel = Sync_prims.Turn_queue.sentinel t.queue in
+    Array.iteri
+      (fun i c ->
+        c.head <- sentinel;
+        Atomic.set c.head_ticket 0;
+        c.valid <- i = ci;
+        c.full_flush <- false;
+        Hashtbl.reset c.dirty)
+      t.combs;
+    (* Lock state is volatile and does not survive a crash; force-release
+       anything a dying thread held. *)
+    Array.iter
+      (fun c ->
+        match Sync_prims.Rwlock.owner c.rwlock with
+        | None -> ()
+        | Some o ->
+            (* a crash never preserves lock state; force-release *)
+            Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid:o)
+      t.combs;
+    Atomic.set t.cur_comb ci;
+    Atomic.set t.persisted 0;
+    (* Tickets restart at 0 in the new epoch: rewrite the durable header
+       accordingly, or its stale (huge) ticket would win every
+       monotonicity check and keep designating a pre-crash replica. *)
+    let old = Pmem.get_word t.pm header_addr in
+    ignore
+      (Pmem.cas_word t.pm ~tid:0 header_addr ~expected:old
+         ~desired:(Seqtid.to_int64 (Seqtid.pack ~seq:0 ~tid:0 ~idx:ci)));
+    Pmem.pwb t.pm ~tid:0 header_addr;
+    Pmem.psync t.pm ~tid:0
+
+  let crash_and_recover t =
+    Pmem.crash t.pm;
+    recover t
+
+  let crash_with_evictions t ~seed ~prob =
+    Pmem.crash_with_evictions t.pm ~seed ~prob;
+    recover t
+
+  let nvm_usage_words t =
+    let ci = Atomic.get t.cur_comb in
+    let base = t.combs.(ci).base in
+    let mem =
+      { Palloc.get = (fun a -> Pmem.get_word t.pm (base + a)); set = (fun _ _ -> ()) }
+    in
+    Palloc.used_words mem + (t.nrep * t.words)
+
+  let volatile_usage_words t =
+    (* queue nodes between the oldest cursor and the tail *)
+    let oldest =
+      Array.fold_left
+        (fun acc c -> min acc (Atomic.get c.head_ticket))
+        max_int t.combs
+    in
+    let newest =
+      Sync_prims.Turn_queue.ticket (Sync_prims.Turn_queue.tail t.queue)
+    in
+    8 * (newest - oldest)
+end
+
+module Puc = Make (struct
+  let name = "CX-PUC"
+  let interpose = false
+end)
+
+module Ptm = Make (struct
+  let name = "CX-PTM"
+  let interpose = true
+end)

@@ -1,0 +1,289 @@
+(** OneFile-style wait-free PTM baseline (Ramalhete et al., DSN '19).
+
+    Cost/behaviour profile reproduced from the paper:
+    - single replica; every transactional store eventually writes {e two} PM
+      words (the value and its sequence tag — OneFile's double-word CAS);
+    - mutative transactions are serialized through an announce array with
+      combining (a loser's transaction is taken over and executed by the
+      winning combiner, which is what gives wait-freedom);
+    - the write-set is persisted as a redo log {e before} the commit point,
+      and applied to the in-place words only {e after} it, so a crash during
+      application is repaired by re-applying logs at recovery;
+    - read-only transactions are optimistic with per-word sequence
+      validation and execute no fence; after [max_read_tries] failures they
+      fall back to the announce array.
+
+    Divergence noted for EXPERIMENTS.md: our simulated CLWB staging is
+    per-thread, so the post-commit application flush needs its own fence;
+    this OneFile executes 3 fences per update transaction where the original
+    needs 2.  Relative ordering versus the other PTMs is unaffected. *)
+
+let name = "OneFile"
+
+let max_read_tries = 8
+let entry_words = 3 (* seq, addr, val *)
+
+type request = {
+  f : tx -> int64;
+  result : int64 Atomic.t;
+  done_ : bool Atomic.t;
+}
+
+and t = {
+  pm : Pmem.t;
+  num_threads : int;
+  words : int;
+  log_cap : int;
+  log_base : int; (* per-thread redo-log slots *)
+  slot_words : int;
+  val_base : int; (* in-place values *)
+  seq_base : int; (* per-word sequence tags *)
+  cur_tx : int Atomic.t; (* last committed seq *)
+  applied_seq : int Atomic.t; (* last fully applied seq *)
+  combining : int Atomic.t; (* 0 = free, else combiner tid + 1 *)
+  announce : request option Atomic.t array;
+  bd : Breakdown.t;
+}
+
+and tx = {
+  p : t;
+  ctid : int; (* combiner thread performing the accesses *)
+  wset : Wset.t;
+  read_snapshot : int; (* for optimistic read-only txs; -1 inside updates *)
+}
+
+exception Read_conflict
+
+let header_seq = 0
+
+let create ~num_threads ~words () =
+  if words <= Palloc.heap_base then invalid_arg "Onefile.create: words";
+  let log_cap = max 4096 words in
+  let slot_words = ((2 + (log_cap * entry_words)) + 7) / 8 * 8 in
+  let log_base = 64 in
+  let val_base = log_base + (num_threads * slot_words) in
+  let seq_base = val_base + words in
+  let pm =
+    Pmem.create ~max_threads:num_threads ~words:(seq_base + words) ()
+  in
+  let t =
+    {
+      pm;
+      num_threads;
+      words;
+      log_cap;
+      log_base;
+      slot_words;
+      val_base;
+      seq_base;
+      cur_tx = Atomic.make 0;
+      applied_seq = Atomic.make 0;
+      combining = Atomic.make 0;
+      announce = Array.init num_threads (fun _ -> Atomic.make None);
+      bd = Breakdown.create ~num_threads;
+    }
+  in
+  let mem =
+    {
+      Palloc.get = (fun a -> Pmem.get_word pm (val_base + a));
+      set = (fun a v -> Pmem.set_word pm ~tid:0 (val_base + a) v);
+    }
+  in
+  Palloc.format mem ~words;
+  Pmem.pwb_range pm ~tid:0 val_base (val_base + Palloc.heap_base - 1);
+  Pmem.psync pm ~tid:0;
+  t
+
+let pmem t = t.pm
+let stats t = Pmem.stats t.pm
+let breakdown t = t.bd
+
+let[@inline] check_logical t a =
+  if a < 0 || a >= t.words then invalid_arg "Onefile: address out of region"
+
+let get tx a =
+  check_logical tx.p a;
+  match Wset.find tx.wset a with
+  | Some v -> v
+  | None ->
+      if tx.read_snapshot >= 0 then begin
+        (* Optimistic read: seq tag checked around the value read. *)
+        let t = tx.p in
+        let sq1 = Int64.to_int (Pmem.get_word t.pm (t.seq_base + a)) in
+        if sq1 > tx.read_snapshot then raise Read_conflict;
+        let v = Pmem.get_word t.pm (t.val_base + a) in
+        let sq2 = Int64.to_int (Pmem.get_word t.pm (t.seq_base + a)) in
+        if sq2 <> sq1 then raise Read_conflict;
+        v
+      end
+      else Pmem.get_word tx.p.pm (tx.p.val_base + a)
+
+let set tx a v =
+  check_logical tx.p a;
+  if tx.read_snapshot >= 0 then invalid_arg "Onefile: store in read-only tx";
+  let oldv = Pmem.get_word tx.p.pm (tx.p.val_base + a) in
+  Wset.record tx.wset a ~oldv ~newv:v
+
+let mem_of_tx tx = { Palloc.get = get tx; set = set tx }
+let alloc tx n = Palloc.alloc (mem_of_tx tx) n
+let dealloc tx a = Palloc.dealloc (mem_of_tx tx) a
+
+let slot_base t tid = t.log_base + (tid * t.slot_words)
+
+(* One combining round: execute every pending announced request inside a
+   single serialized transaction, persist its redo log, commit, apply. *)
+let combine t ~tid =
+  let pending = ref [] in
+  Array.iteri
+    (fun i slot ->
+      match Atomic.get slot with
+      | Some r when not (Atomic.get r.done_) -> pending := (i, r) :: !pending
+      | Some _ | None -> ())
+    t.announce;
+  match !pending with
+  | [] -> ()
+  | reqs ->
+      let reqs = List.rev reqs in
+      let tx = { p = t; ctid = tid; wset = Wset.create ~aggregate:true; read_snapshot = -1 } in
+      let results =
+        Breakdown.timed t.bd ~tid Lambda (fun () ->
+            List.map (fun (_, r) -> r.f tx) reqs)
+      in
+      let seq = Atomic.get t.cur_tx + 1 in
+      let n = Wset.length tx.wset in
+      if n > t.log_cap then failwith "Onefile: redo log overflow";
+      (* 1. Persist the redo log, fence. *)
+      Breakdown.timed t.bd ~tid Flush (fun () ->
+          let base = slot_base t tid in
+          Pmem.set_word t.pm ~tid base (Int64.of_int seq);
+          Pmem.set_word t.pm ~tid (base + 1) (Int64.of_int n);
+          let k = ref (base + 2) in
+          Wset.iter_redo tx.wset (fun addr v ->
+              Pmem.set_word t.pm ~tid !k (Int64.of_int seq);
+              Pmem.set_word t.pm ~tid (!k + 1) (Int64.of_int addr);
+              Pmem.set_word t.pm ~tid (!k + 2) v;
+              k := !k + entry_words);
+          if n > 0 then Pmem.pwb_range t.pm ~tid base (!k - 1)
+          else Pmem.pwb t.pm ~tid base;
+          Pmem.pfence t.pm ~tid;
+          (* 2. Commit point: persist the header sequence. *)
+          Pmem.set_word t.pm ~tid header_seq (Int64.of_int seq);
+          Pmem.pwb t.pm ~tid header_seq;
+          Pmem.psync t.pm ~tid);
+      Atomic.set t.cur_tx seq;
+      (* 3. Apply in place: seq tag first, then the value, so optimistic
+         readers always detect a word in flux; one double word per store. *)
+      Breakdown.timed t.bd ~tid Apply (fun () ->
+          Wset.iter_redo tx.wset (fun addr v ->
+              Pmem.set_word t.pm ~tid (t.seq_base + addr) (Int64.of_int seq);
+              Pmem.set_word t.pm ~tid (t.val_base + addr) v));
+      Breakdown.timed t.bd ~tid Flush (fun () ->
+          let lines = Hashtbl.create 16 in
+          Wset.iter_redo tx.wset (fun addr _ ->
+              Hashtbl.replace lines ((t.val_base + addr) / Pmem.words_per_line) ();
+              Hashtbl.replace lines ((t.seq_base + addr) / Pmem.words_per_line) ());
+          Hashtbl.iter
+            (fun line () -> Pmem.pwb t.pm ~tid (line * Pmem.words_per_line))
+            lines;
+          Pmem.psync t.pm ~tid);
+      Atomic.set t.applied_seq seq;
+      List.iter2
+        (fun (_, r) res ->
+          Atomic.set r.result res;
+          Atomic.set r.done_ true)
+        reqs results
+
+(* Publish a request and drive combining rounds until it completes. *)
+let run_request t ~tid r =
+  Atomic.set t.announce.(tid) (Some r);
+  let b = Sync_prims.Backoff.create () in
+  while not (Atomic.get r.done_) do
+    if Atomic.compare_and_set t.combining 0 (tid + 1) then
+      Fun.protect
+        ~finally:(fun () -> Atomic.set t.combining 0)
+        (fun () -> if not (Atomic.get r.done_) then combine t ~tid)
+    else
+      Breakdown.timed t.bd ~tid Sleep (fun () ->
+          ignore (Sync_prims.Backoff.once b))
+  done;
+  Atomic.set t.announce.(tid) None;
+  Atomic.get r.result
+
+let update t ~tid f =
+  let t0 = Unix.gettimeofday () in
+  let r = { f; result = Atomic.make 0L; done_ = Atomic.make false } in
+  let res = run_request t ~tid r in
+  Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
+  res
+
+let read_only t ~tid f =
+  let rec attempt tries =
+    if tries = 0 then
+      (* Fall back to the serialized path: executed by a combiner. *)
+      run_request t ~tid
+        { f; result = Atomic.make 0L; done_ = Atomic.make false }
+    else begin
+      let snap = Atomic.get t.applied_seq in
+      let tx =
+        { p = t; ctid = tid; wset = Wset.create ~aggregate:true; read_snapshot = snap }
+      in
+      match f tx with
+      | v -> if Atomic.get t.applied_seq = snap then v else attempt (tries - 1)
+      | exception Read_conflict -> attempt (tries - 1)
+    end
+  in
+  attempt max_read_tries
+
+let recover t =
+  (* Re-apply every durable, committed, complete redo log in sequence
+     order; skips logs newer than the committed header. *)
+  let committed = Int64.to_int (Pmem.get_word t.pm header_seq) in
+  let logs = ref [] in
+  for tid = 0 to t.num_threads - 1 do
+    let base = slot_base t tid in
+    let seq = Int64.to_int (Pmem.get_word t.pm base) in
+    let n = Int64.to_int (Pmem.get_word t.pm (base + 1)) in
+    if seq > 0 && seq <= committed && n >= 0 && n <= t.log_cap then begin
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let e = base + 2 + (i * entry_words) in
+        if Int64.to_int (Pmem.get_word t.pm e) <> seq then ok := false
+      done;
+      if !ok then logs := (seq, base, n) :: !logs
+    end
+  done;
+  List.iter
+    (fun (seq, base, n) ->
+      for i = 0 to n - 1 do
+        let e = base + 2 + (i * entry_words) in
+        let addr = Int64.to_int (Pmem.get_word t.pm (e + 1)) in
+        let v = Pmem.get_word t.pm (e + 2) in
+        (* Only repair words whose durable tag is not newer: a surviving old
+           log must never clobber a later committed (and flushed) value. *)
+        if Int64.to_int (Pmem.get_word t.pm (t.seq_base + addr)) <= seq then begin
+          Pmem.set_word t.pm ~tid:0 (t.seq_base + addr) (Int64.of_int seq);
+          Pmem.set_word t.pm ~tid:0 (t.val_base + addr) v;
+          Pmem.pwb t.pm ~tid:0 (t.val_base + addr);
+          Pmem.pwb t.pm ~tid:0 (t.seq_base + addr)
+        end
+      done)
+    (List.sort compare !logs);
+  Pmem.psync t.pm ~tid:0;
+  Atomic.set t.cur_tx committed;
+  Atomic.set t.applied_seq committed;
+  Atomic.set t.combining 0;
+  Array.iter (fun slot -> Atomic.set slot None) t.announce
+
+let crash_and_recover t =
+  Pmem.crash t.pm;
+  recover t
+
+let crash_with_evictions t ~seed ~prob =
+  Pmem.crash_with_evictions t.pm ~seed ~prob;
+  recover t
+
+let nvm_usage_words t =
+  let mem = { Palloc.get = (fun a -> Pmem.get_word t.pm (t.val_base + a)); set = (fun _ _ -> ()) } in
+  Palloc.used_words mem + t.words (* seq-tag shadow words *) + (t.num_threads * t.slot_words)
+
+let volatile_usage_words _t = 0

@@ -1,0 +1,4 @@
+(** OneFile-style wait-free PTM baseline (redo log, serialized writers with
+    combining, optimistic seq-validated reads).  See the implementation
+    header for the cost profile reproduced from the paper. *)
+include Ptm_intf.S

@@ -1,0 +1,53 @@
+(** ONLL (Cohen, Guerraoui, Zablotchi, SPAA '18): lock-free generic
+    construction with a {e persistent logical log} — a single fence per
+    update, no fence on reads, one volatile object instance per thread.
+
+    Unlike the closure-based PTMs, operations must be {e registered} and
+    are invoked by opcode with persistable [int64] arguments: as the paper
+    notes, "no programming language provides support for function code to
+    be copied to persistent memory", so ONLL has no dynamic transactions.
+    Registration order must be identical across restarts. *)
+
+val name : string
+
+type t
+type tx
+
+(** A registered operation: deterministic, total, effects confined to the
+    instance behind [tx]. *)
+type op = tx -> int64 array -> int64
+
+val create : num_threads:int -> words:int -> unit -> t
+
+(** Register an operation and obtain its opcode.  Must happen in the same
+    order on every (re)start, before any [invoke]. *)
+val register : t -> op -> int
+
+(** Maximum [int64] arguments per operation. *)
+val max_args : int
+
+(** {2 Accessors for use inside operations} *)
+
+val get : tx -> int -> int64
+val set : tx -> int -> int64 -> unit
+val alloc : tx -> int -> int
+val dealloc : tx -> int -> unit
+
+(** {2 Invocation} *)
+
+(** [invoke t ~tid opcode args] appends the operation to the persistent
+    logical log (one fence), replays the log on the caller's instance and
+    returns the operation's result.  Lock-free. *)
+val invoke : t -> tid:int -> int -> int64 array -> int64
+
+(** [read_only t ~tid f] catches the caller's instance up to the durable
+    log tail and runs [f] on it; executes no fence. *)
+val read_only : t -> tid:int -> (tx -> int64) -> int64
+
+(** {2 Failures, introspection} *)
+
+val crash_and_recover : t -> unit
+val crash_with_evictions : t -> seed:int -> prob:float -> unit
+val pmem : t -> Pmem.t
+val stats : t -> Pmem.Stats.snapshot
+val breakdown : t -> Breakdown.t

@@ -1,0 +1,4 @@
+(** Blocking undo-log PTM modelling Intel PMDK's libpmemobj: persistent
+    per-range undo log ("2+2R fences"), in-place stores flushed at commit,
+    one global transaction lock, single replica. *)
+include Ptm_intf.S

@@ -1,0 +1,87 @@
+(** Common interface of every PTM in this reproduction.
+
+    A PTM instance owns a logical region of 64-bit words backed by simulated
+    NVMM ({!Pmem}).  Data structures address the region by word offset; the
+    offset [0] is the NULL pointer and offsets [1 .. Palloc.root_slots] are
+    persistent root slots (see {!Palloc}).  Multi-replica PTMs map logical
+    offsets to the physical replica under execution, which is how the
+    paper's "all pointers reference the MAIN region" scheme appears here.
+
+    Update transactions are expressed as closures over an abstract
+    transaction handle.  A closure passed to {!S.update} must be
+    deterministic and re-executable: wait-free PTMs may run it several times
+    (CX) or have helper threads run it (Redo), exactly as the paper
+    requires.  Results are [int64], mirroring the paper's [results[N]]
+    array through which helpers hand results back. *)
+
+module type S = sig
+  val name : string
+
+  type t
+  type tx
+
+  (** [create ~num_threads ~words ()] builds a PTM instance whose logical
+      region holds [words] 64-bit words and that accepts thread ids
+      [0 .. num_threads - 1].  The region is formatted (allocator metadata
+      initialised) and durably persisted before returning. *)
+  val create : num_threads:int -> words:int -> unit -> t
+
+  (** {2 Transactional accesses (valid only inside the enclosing
+      [update]/[read_only] callback and on its own [tx])} *)
+
+  val get : tx -> int -> int64
+  val set : tx -> int -> int64 -> unit
+
+  (** Transactional allocation in persistent memory (wait-free under the
+      wait-free PTMs because the allocator metadata is ordinary
+      transactional data).  @raise Palloc.Out_of_memory *)
+  val alloc : tx -> int -> int
+
+  val dealloc : tx -> int -> unit
+
+  (** {2 Transactions} *)
+
+  (** [update t ~tid f] runs [f] as a durable-linearizable update
+      transaction: when it returns, the transaction's effects are visible to
+      all threads and durable. *)
+  val update : t -> tid:int -> (tx -> int64) -> int64
+
+  (** [read_only t ~tid f] runs [f] as a read-only transaction on a
+      consistent, durable snapshot.  [f] must not call [set]/[alloc]/
+      [dealloc]. *)
+  val read_only : t -> tid:int -> (tx -> int64) -> int64
+
+  (** {2 Failure injection and recovery} *)
+
+  (** Simulate a full-system non-corrupting failure followed by restart:
+      volatile state is discarded, the durable image is reloaded and the
+      PTM's recovery procedure runs.  The instance is usable again when this
+      returns. *)
+  val crash_and_recover : t -> unit
+
+  (** Same, but first lets each dirty, unflushed cache line survive with
+      probability [prob] (random cache evictions). *)
+  val crash_with_evictions : t -> seed:int -> prob:float -> unit
+
+  (** {2 Introspection} *)
+
+  val pmem : t -> Pmem.t
+  val stats : t -> Pmem.Stats.snapshot
+  val breakdown : t -> Breakdown.t
+
+  (** Words of NVM in use: live allocator blocks plus static region
+      overhead (replicas, logs kept in PM). *)
+  val nvm_usage_words : t -> int
+
+  (** Approximate words of volatile memory the PTM keeps (logs, states,
+      queues). *)
+  val volatile_usage_words : t -> int
+end
+
+(** Convenience: run an update transaction ignoring the result. *)
+let update_unit (type t tx) (module P : S with type t = t and type tx = tx)
+    (p : t) ~tid f =
+  ignore (P.update p ~tid (fun tx -> f tx; 0L))
+
+(** A PTM packaged with an instance, for heterogeneous benchmark tables. *)
+type boxed = Boxed : (module S) -> boxed

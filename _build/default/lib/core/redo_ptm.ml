@@ -1,0 +1,645 @@
+(** Redo-PTM (§5): the paper's new wait-free PTM construction, with its
+    RedoTimed and RedoOpt variants.
+
+    Structure (Algorithms 1–3):
+    - {b Herlihy combining consensus}: threads publish their operation in
+      [req]/[announce]; whoever commits a transition executes {e all}
+      pending announced operations, so after two failed commit attempts a
+      thread's operation is guaranteed to have been executed by a helper;
+    - {b N+1 replicas} (Combined instances), each with a strong try
+      reader-writer lock; [curComb] (a PM-resident word, CASed) always
+      references the latest, fully persisted replica;
+    - {b physical logging}: each transition's State carries a redo/undo
+      write-set of (addr, old, new); lagging replicas catch up by {e
+      replaying logs} from the ring instead of re-executing operations —
+      the key advantage over CX for traversal-heavy structures;
+    - {b bounded memory}: States are pre-allocated in an N×RSIZE matrix and
+      recycled; the ring of committed transitions has RSIZE slots, so a
+      replica more than RSIZE transitions behind is invalidated and must
+      copy from [curComb] (optimistically, validating that [curComb] did
+      not move).
+
+    Variants (all sharing this module, selected by {!CONFIG}):
+    - {b Redo}: no optimization — every store is flushed immediately.
+    - {b RedoTimed}: update transactions are restricted to the first two
+      Combined instances for a bounded time window (4× the last copy
+      duration) with backoff, keeping those replicas hot and minimising
+      copies.
+    - {b RedoOpt}: RedoTimed plus store aggregation (hash write-set),
+      flush aggregation (postponed, deduplicated pwbs with a whole-region
+      fallback past 1/10th of the object), and non-temporal-store replica
+      copies. *)
+
+module type CONFIG = sig
+  val name : string
+  val timed : bool
+  val store_agg : bool
+  val flush_agg : bool
+  val deferred_pwb : bool
+  val ntstore_copy : bool
+end
+
+module Make (C : CONFIG) = struct
+  let name = C.name
+  let max_read_tries = 4
+  let rsize = 32 (* pre-allocated States per thread; ring length *)
+
+  type state = {
+    ticket : int Atomic.t; (* SeqTidIdx *)
+    applied : bool Atomic.t array;
+    results : int64 Atomic.t array;
+    log : Wset.t; (* physical redo+undo log *)
+  }
+
+  type combined = {
+    rwlock : Sync_prims.Rwlock.t;
+    head : int Atomic.t; (* SeqTidIdx of the last state applied here *)
+    mutable valid : bool;
+    extra_dirty : (int, unit) Hashtbl.t; (* logical lines needing flush *)
+    mutable full_flush : bool;
+    base : int;
+  }
+
+  type t = {
+    pm : Pmem.t;
+    num_threads : int;
+    words : int;
+    nrep : int;
+    combs : combined array;
+    st_matrix : state array array; (* num_threads x rsize *)
+    last_idx : int array; (* per-thread next state slot *)
+    ring : int Atomic.t array; (* SeqTidIdx per committed seq mod rsize *)
+    req : (tx -> int64) option Atomic.t array;
+    announce : bool Atomic.t array;
+    cur_comb : int Atomic.t; (* SeqTidIdx: seq | owner tid | comb index *)
+    persisted : int Atomic.t; (* highest seq known durable in the header *)
+    copy_ns : int Atomic.t; (* EWMA of replica copy duration, for Timed *)
+    bd : Breakdown.t;
+  }
+
+  and tx = {
+    p : t;
+    c : combined;
+    st : state option; (* logging target; None for replay/read contexts *)
+    tid : int;
+    ro : bool;
+  }
+
+  let header_addr = 0
+
+  let create ~num_threads ~words () =
+    if words <= Palloc.heap_base then invalid_arg (C.name ^ ".create: words");
+    let nrep = num_threads + 1 in
+    let base i = 64 + (i * words) in
+    let pm =
+      Pmem.create ~max_threads:num_threads ~words:(64 + (nrep * words)) ()
+    in
+    let mk_state () =
+      {
+        ticket = Atomic.make (-1);
+        applied = Array.init num_threads (fun _ -> Atomic.make false);
+        results = Array.init num_threads (fun _ -> Atomic.make 0L);
+        log = Wset.create ~aggregate:C.store_agg;
+      }
+    in
+    let t =
+      {
+        pm;
+        num_threads;
+        words;
+        nrep;
+        combs =
+          Array.init nrep (fun i ->
+              {
+                rwlock = Sync_prims.Rwlock.create ();
+                head = Atomic.make (Seqtid.pack ~seq:0 ~tid:num_threads ~idx:0);
+                valid = i = 0;
+                extra_dirty = Hashtbl.create 64;
+                full_flush = false;
+                base = base i;
+              });
+        st_matrix =
+          (* one extra row: a dedicated owner for the seq-0 sentinel state,
+             so no thread's working slot ever aliases it *)
+          Array.init (num_threads + 1) (fun _ ->
+              Array.init rsize (fun _ -> mk_state ()));
+        last_idx = Array.make num_threads 0;
+        ring = Array.init rsize (fun _ -> Atomic.make 0);
+        req = Array.init num_threads (fun _ -> Atomic.make None);
+        announce = Array.init num_threads (fun _ -> Atomic.make false);
+        cur_comb = Atomic.make (Seqtid.pack ~seq:0 ~tid:num_threads ~idx:0);
+        persisted = Atomic.make 0;
+        copy_ns = Atomic.make (words * 2);
+        bd = Breakdown.create ~num_threads;
+      }
+    in
+    (* The sentinel transition (seq 0) lives in the dedicated extra row. *)
+    let sentinel = Seqtid.pack ~seq:0 ~tid:num_threads ~idx:0 in
+    Atomic.set t.st_matrix.(num_threads).(0).ticket sentinel;
+    Atomic.set t.ring.(0) sentinel;
+    let mem =
+      {
+        Palloc.get = (fun a -> Pmem.get_word pm (base 0 + a));
+        set = (fun a v -> Pmem.set_word pm ~tid:0 (base 0 + a) v);
+      }
+    in
+    Palloc.format mem ~words;
+    Pmem.pwb_range pm ~tid:0 (base 0) (base 0 + words - 1);
+    Pmem.set_word pm ~tid:0 header_addr
+      (Seqtid.to_int64 (Seqtid.pack ~seq:0 ~tid:0 ~idx:0));
+    Pmem.pwb pm ~tid:0 header_addr;
+    Pmem.psync pm ~tid:0;
+    t
+
+  let pmem t = t.pm
+  let stats t = Pmem.stats t.pm
+  let breakdown t = t.bd
+
+  let[@inline] check_logical t a =
+    if a < 0 || a >= t.words then invalid_arg (C.name ^ ": address out of region")
+
+  let[@inline] state_of t sti = t.st_matrix.(Seqtid.tid sti).(Seqtid.idx sti)
+
+  (* Transactional accesses: Redo applies stores in place on the exclusively
+     held replica while recording (addr, old, new) in the State's physical
+     log; reads are in-place (MAIN-relative offsets). *)
+
+  let get tx a =
+    check_logical tx.p a;
+    Pmem.get_word tx.p.pm (tx.c.base + a)
+
+  let set tx a v =
+    check_logical tx.p a;
+    if tx.ro then invalid_arg (C.name ^ ": store in read-only operation");
+    let st =
+      match tx.st with
+      | Some st -> st
+      | None -> invalid_arg (C.name ^ ": store outside an update simulation")
+    in
+    let oldv = Pmem.get_word tx.p.pm (tx.c.base + a) in
+    Wset.record st.log a ~oldv ~newv:v;
+    Pmem.set_word tx.p.pm ~tid:tx.tid (tx.c.base + a) v;
+    if not C.deferred_pwb then Pmem.pwb tx.p.pm ~tid:tx.tid (tx.c.base + a)
+
+  let mem_of_tx tx = { Palloc.get = get tx; set = set tx }
+  let alloc tx n = Palloc.alloc (mem_of_tx tx) n
+  let dealloc tx a = Palloc.dealloc (mem_of_tx tx) a
+
+  (* Durable-header maintenance, same monotone PM-CAS discipline as CX. *)
+  let ensure_persisted t ~tid seq =
+    if Atomic.get t.persisted < seq then begin
+      let rec bump () =
+        let cur = Atomic.get t.cur_comb in
+        if Seqtid.seq cur < seq then bump ()
+        else begin
+          let old = Pmem.get_word t.pm header_addr in
+          if Seqtid.seq (Seqtid.of_int64 old) < Seqtid.seq cur then
+            ignore
+              (Pmem.cas_word t.pm ~tid header_addr ~expected:old
+                 ~desired:(Seqtid.to_int64 cur));
+          let now = Seqtid.seq (Seqtid.of_int64 (Pmem.get_word t.pm header_addr)) in
+          if now < seq then bump ()
+          else begin
+            Pmem.pwb t.pm ~tid header_addr;
+            Pmem.psync t.pm ~tid;
+            let rec raise_mark () =
+              let p = Atomic.get t.persisted in
+              if p < now && not (Atomic.compare_and_set t.persisted p now) then
+                raise_mark ()
+            in
+            raise_mark ()
+          end
+        end
+      in
+      bump ()
+    end
+
+  (* Replay the physical logs of states (c.head.seq, tail.seq] onto replica
+     [c].  Fails (returning false and invalidating the replica if partially
+     applied) when the ring has wrapped or a State was recycled mid-read. *)
+  let apply_redo_logs t ~tid c tail =
+    let ok = ref true in
+    let s = ref (Seqtid.seq (Atomic.get c.head) + 1) in
+    let target = Seqtid.seq tail in
+    while !ok && !s <= target do
+      let e = Atomic.get t.ring.(!s mod rsize) in
+      if Seqtid.seq e <> !s then ok := false
+      else begin
+        let st = state_of t e in
+        if Atomic.get st.ticket <> e then ok := false
+        else begin
+          let applied_any = ref false in
+          Wset.iter_redo st.log (fun addr v ->
+              if addr >= 0 && addr < t.words then begin
+                Pmem.set_word t.pm ~tid (c.base + addr) v;
+                applied_any := true;
+                if C.deferred_pwb then
+                  Hashtbl.replace c.extra_dirty (addr / Pmem.words_per_line) ()
+                else Pmem.pwb t.pm ~tid (c.base + addr)
+              end);
+          (* Recycled mid-replay?  The replica now holds garbage. *)
+          if Atomic.get st.ticket <> e then begin
+            if !applied_any then c.valid <- false;
+            ok := false
+          end
+          else begin
+            Atomic.set c.head e;
+            incr s
+          end
+        end
+      end
+    done;
+    !ok
+
+  (* Optimistic copy from curComb's replica (no lock: validated by curComb
+     staying put).  With ntstore_copy the copied lines are staged for the
+     commit fence instead of needing a full-region pwb sweep. *)
+  let try_copy t ~tid c =
+    let cur = Atomic.get t.cur_comb in
+    let src = t.combs.(Seqtid.idx cur) in
+    if src == c then false
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let head0 = Atomic.get src.head in
+      Breakdown.timed t.bd ~tid Copy (fun () ->
+          if C.ntstore_copy then
+            Pmem.ntcopy_words t.pm ~tid ~src:src.base ~dst:c.base t.words
+          else Pmem.blit_words t.pm ~tid ~src:src.base ~dst:c.base t.words);
+      if Atomic.get t.cur_comb <> cur then false
+      else begin
+        Atomic.set c.head head0;
+        c.valid <- true;
+        c.full_flush <- not C.ntstore_copy;
+        Hashtbl.reset c.extra_dirty;
+        let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+        Atomic.set t.copy_ns ns;
+        true
+      end
+    end
+
+  (* Acquire an exclusive replica.  The Timed variants restrict the search
+     to the first two instances for ~4 copy-durations, backing off, which
+     keeps those replicas current (§5, RedoTimed). *)
+  let acquire_comb t ~tid ~give_up =
+    let deadline =
+      (* 4x the last copy duration, as in the paper; floored at an OS
+         scheduling quantum because on a single-core host the holder of a
+         hot replica can be descheduled for that long, and falling through
+         to a cold replica would force the very copy the window avoids. *)
+      if C.timed then
+        Unix.gettimeofday ()
+        +. max (4. *. float_of_int (Atomic.get t.copy_ns) *. 1e-9) 2e-2
+      else 0.
+    in
+    let b = Sync_prims.Backoff.create () in
+    let rec go () =
+      if give_up () then None
+      else begin
+        let cur_idx = Seqtid.idx (Atomic.get t.cur_comb) in
+        let limit =
+          if C.timed && Unix.gettimeofday () < deadline then min 2 t.nrep
+          else t.nrep
+        in
+        let rec scan i =
+          if i = limit then None
+          else
+            let ci = if limit = t.nrep then (tid + i) mod t.nrep else i in
+            if
+              ci <> cur_idx
+              && Sync_prims.Rwlock.exclusive_try_lock t.combs.(ci).rwlock ~tid
+            then Some ci
+            else scan (i + 1)
+        in
+        match scan 0 with
+        | Some ci -> Some ci
+        | None ->
+            Breakdown.timed t.bd ~tid Sleep (fun () ->
+                ignore (Sync_prims.Backoff.once b));
+            go ()
+      end
+    in
+    go ()
+
+  (* Flush everything this session modified on replica [c] (simulation log
+     [st], replayed lines in [extra_dirty], or the whole region after a
+     plain copy), then fence: the replica is durable before we try to make
+     it [curComb]. *)
+  let flush_before_transition t ~tid c st =
+    Breakdown.timed t.bd ~tid Flush (fun () ->
+        if c.full_flush then begin
+          Pmem.pwb_range t.pm ~tid c.base (c.base + t.words - 1);
+          c.full_flush <- false;
+          Hashtbl.reset c.extra_dirty
+        end
+        else if C.deferred_pwb then begin
+          let lines = c.extra_dirty in
+          Wset.iter_redo st.log (fun addr _ ->
+              Hashtbl.replace lines (addr / Pmem.words_per_line) ());
+          if
+            C.flush_agg
+            && Hashtbl.length lines > t.words / Pmem.words_per_line / 10
+          then Pmem.pwb_range t.pm ~tid c.base (c.base + t.words - 1)
+          else
+            Hashtbl.iter
+              (fun line () ->
+                Pmem.pwb t.pm ~tid (c.base + (line * Pmem.words_per_line)))
+              lines;
+          Hashtbl.reset lines
+        end
+        else begin
+          (* immediate-pwb mode: stores already flushed; only undo residue *)
+          Hashtbl.iter
+            (fun line () ->
+              Pmem.pwb t.pm ~tid (c.base + (line * Pmem.words_per_line)))
+            c.extra_dirty;
+          Hashtbl.reset c.extra_dirty
+        end;
+        Pmem.pfence t.pm ~tid)
+
+  (* Revert the simulated mutations after a lost transition race. *)
+  let apply_undo_log t ~tid c st =
+    Wset.iter_undo st.log (fun addr oldv ->
+        Pmem.set_word t.pm ~tid (c.base + addr) oldv;
+        if C.deferred_pwb then
+          Hashtbl.replace c.extra_dirty (addr / Pmem.words_per_line) ()
+        else Pmem.pwb t.pm ~tid (c.base + addr))
+
+  (* Copy applied/results from the state at the queue tail into our fresh
+     state (Algorithm 3, step {3}). *)
+  let copy_state dst src tkt =
+    if dst != src then begin
+      Array.iteri (fun i a -> Atomic.set dst.applied.(i) (Atomic.get a)) src.applied;
+      Array.iteri (fun i r -> Atomic.set dst.results.(i) (Atomic.get r)) src.results
+    end;
+    Wset.reset dst.log;
+    Atomic.set dst.ticket tkt
+
+  (* Help publish [tail] in the ring (Algorithm 3, step {4}). *)
+  let help_ring t tail =
+    let slot = t.ring.(Seqtid.seq tail mod rsize) in
+    let e = Atomic.get slot in
+    if Seqtid.seq e < Seqtid.seq tail then
+      ignore (Atomic.compare_and_set slot e tail)
+
+  (* Has this thread's latest announced operation been executed in the state
+     designated by curComb?  Used for the helped-completion fallback. *)
+  let my_op_applied t ~tid =
+    let cur = Atomic.get t.cur_comb in
+    let comb = t.combs.(Seqtid.idx cur) in
+    let tail = Atomic.get comb.head in
+    let st = state_of t tail in
+    if Atomic.get st.ticket <> tail then None
+    else if Atomic.get st.applied.(tid) = Atomic.get t.announce.(tid) then begin
+      let r = Atomic.get st.results.(tid) in
+      if Atomic.get st.ticket = tail then Some (Seqtid.seq tail, r) else None
+    end
+    else None
+
+  let update_impl t ~tid f =
+    let t0 = Unix.gettimeofday () in
+    (* {1} publish the operation *)
+    Atomic.set t.req.(tid) (Some f);
+    let my_ann = not (Atomic.get t.announce.(tid)) in
+    Atomic.set t.announce.(tid) my_ann;
+    let pool = t.st_matrix.(tid) in
+    let new_st = pool.(t.last_idx.(tid)) in
+    let locked = ref None in
+    let outcome = ref None in
+    let iter = ref 0 in
+    while !outcome = None && !iter <= 1 do
+      (* {2} read curComb *)
+      let cur_c = Atomic.get t.cur_comb in
+      let comb = t.combs.(Seqtid.idx cur_c) in
+      let tail = Atomic.get comb.head in
+      let tkt =
+        Seqtid.pack ~seq:(Seqtid.seq tail + 1) ~tid ~idx:t.last_idx.(tid)
+      in
+      (* {3} inherit applied/results from the tail state *)
+      copy_state new_st (state_of t tail) tkt;
+      if Atomic.get t.cur_comb <> cur_c then incr iter
+      else begin
+        (* {4} help the ring catch up with the tail *)
+        let ring_tail = Atomic.get t.ring.(Seqtid.seq tail mod rsize) in
+        if Seqtid.seq ring_tail > Seqtid.seq tail then incr iter
+        else begin
+          if ring_tail <> tail then help_ring t tail;
+          (* {5} acquire a Combined instance *)
+          (match !locked with
+          | Some _ -> ()
+          | None ->
+              locked :=
+                acquire_comb t ~tid ~give_up:(fun () ->
+                    my_op_applied t ~tid <> None));
+          match !locked with
+          | None -> iter := 2 (* helped: fall through to completion *)
+          | Some ci ->
+              let c = t.combs.(ci) in
+              (* {6} bring the replica up to [tail], replaying physical
+                 logs; copy from curComb if impossible *)
+              let ready =
+                (c.valid
+                && Breakdown.timed t.bd ~tid Apply (fun () ->
+                       apply_redo_logs t ~tid c tail))
+                || (try_copy t ~tid c && Seqtid.seq (Atomic.get c.head) >= Seqtid.seq tail)
+              in
+              if not ready then incr iter
+              else if Seqtid.seq (Atomic.get c.head) > Seqtid.seq tail then
+                (* the copy overshot my snapshot; retry with a fresh one *)
+                incr iter
+              else begin
+                (* {7} simulate all announced, not-yet-applied operations *)
+                for i = 0 to t.num_threads - 1 do
+                  let a = Atomic.get new_st.applied.(i) in
+                  let ann = Atomic.get t.announce.(i) in
+                  if a <> ann then
+                    match Atomic.get t.req.(i) with
+                    | None -> ()
+                    | Some g ->
+                        let tx = { p = t; c; st = Some new_st; tid; ro = false } in
+                        let res =
+                          Breakdown.timed t.bd ~tid Lambda (fun () -> g tx)
+                        in
+                        Atomic.set new_st.results.(i) res;
+                        Atomic.set new_st.applied.(i) ann
+                done;
+                (* flush deferred pwbs; replica durable before publication *)
+                flush_before_transition t ~tid c new_st;
+                Atomic.set c.head tkt;
+                (* {8} downgrade so readers may enter when we win *)
+                Sync_prims.Rwlock.downgrade c.rwlock ~tid;
+                (* {9} attempt the transition *)
+                let mine = Seqtid.pack ~seq:(Seqtid.seq tkt) ~tid ~idx:ci in
+                if Atomic.compare_and_set t.cur_comb cur_c mine then begin
+                  Sync_prims.Rwlock.downgrade_unlock c.rwlock ~tid;
+                  locked := None;
+                  help_ring t tkt;
+                  ensure_persisted t ~tid (Seqtid.seq tkt);
+                  t.last_idx.(tid) <- (t.last_idx.(tid) + 1) mod rsize;
+                  outcome := Some (Atomic.get new_st.results.(tid))
+                end
+                else begin
+                  (* lost the race: revert the simulation and retry once *)
+                  Sync_prims.Rwlock.upgrade c.rwlock ~tid;
+                  Atomic.set c.head tail;
+                  apply_undo_log t ~tid c new_st;
+                  Wset.reset new_st.log;
+                  incr iter
+                end
+              end
+        end
+      end
+    done;
+    (match !locked with
+    | Some ci -> Sync_prims.Rwlock.exclusive_unlock t.combs.(ci).rwlock ~tid
+    | None -> ());
+    let result =
+      match !outcome with
+      | Some r -> r
+      | None ->
+          (* Helped completion: the combining consensus guarantees some
+             committer executed our operation; wait for it to surface in
+             curComb's state, then make sure it is durable. *)
+          let b = Sync_prims.Backoff.create () in
+          let rec wait () =
+            match my_op_applied t ~tid with
+            | Some (seq, r) ->
+                ensure_persisted t ~tid seq;
+                r
+            | None ->
+                Breakdown.timed t.bd ~tid Sleep (fun () ->
+                    ignore (Sync_prims.Backoff.once b));
+                wait ()
+          in
+          wait ()
+    in
+    Atomic.set t.req.(tid) None;
+    Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
+    result
+
+  let rec read_only t ~tid f =
+    let fast_path () =
+      let cur = Atomic.get t.cur_comb in
+      let c = t.combs.(Seqtid.idx cur) in
+      if Sync_prims.Rwlock.shared_try_lock c.rwlock ~tid then begin
+        if Atomic.get t.cur_comb = cur then begin
+          let res = f { p = t; c; st = None; tid; ro = true } in
+          Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
+          ensure_persisted t ~tid (Seqtid.seq cur);
+          Some res
+        end
+        else begin
+          Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
+          None
+        end
+      end
+      else None
+    in
+    let rec attempt tries =
+      if tries = 0 then
+        (* Publish the read through the consensus: an updater (or we, as a
+           no-write committer) executes it with bounded retries, exactly the
+           applyRead fallback of Algorithm 2. *)
+        update t ~tid (fun tx -> f { tx with ro = true })
+      else
+        match fast_path () with
+        | Some r -> r
+        | None -> attempt (tries - 1)
+    in
+    attempt max_read_tries
+
+  and update t ~tid f = update_impl t ~tid f
+
+  (* Null recovery: reload the consistent replica designated by the durable
+     header and rebuild the volatile consensus skeleton. *)
+  let recover t =
+    let hdr = Seqtid.of_int64 (Pmem.get_word t.pm header_addr) in
+    let ci = Seqtid.idx hdr in
+    Array.iteri
+      (fun i c ->
+        (match Sync_prims.Rwlock.owner c.rwlock with
+        | Some o -> Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid:o
+        | None -> ());
+        Atomic.set c.head (Seqtid.pack ~seq:0 ~tid:t.num_threads ~idx:0);
+        c.valid <- i = ci;
+        c.full_flush <- false;
+        Hashtbl.reset c.extra_dirty)
+      t.combs;
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun st ->
+            Atomic.set st.ticket (-1);
+            Wset.reset st.log;
+            Array.iter (fun a -> Atomic.set a false) st.applied)
+          row)
+      t.st_matrix;
+    Array.fill t.last_idx 0 t.num_threads 0;
+    Array.iter (fun slot -> Atomic.set slot 0) t.ring;
+    let sentinel = Seqtid.pack ~seq:0 ~tid:t.num_threads ~idx:0 in
+    Atomic.set t.st_matrix.(t.num_threads).(0).ticket sentinel;
+    Atomic.set t.ring.(0) sentinel;
+    Array.iter (fun r -> Atomic.set r None) t.req;
+    Array.iter (fun a -> Atomic.set a false) t.announce;
+    (* The recovered epoch restarts at seq 0 on the recovered replica. *)
+    Atomic.set t.cur_comb (Seqtid.pack ~seq:0 ~tid:t.num_threads ~idx:ci);
+    Atomic.set t.persisted 0;
+    (* Reset the durable header to the new epoch's seq numbering. *)
+    let old = Pmem.get_word t.pm header_addr in
+    ignore
+      (Pmem.cas_word t.pm ~tid:0 header_addr ~expected:old
+         ~desired:(Seqtid.to_int64 (Seqtid.pack ~seq:0 ~tid:t.num_threads ~idx:ci)));
+    Pmem.pwb t.pm ~tid:0 header_addr;
+    Pmem.psync t.pm ~tid:0
+
+  let crash_and_recover t =
+    Pmem.crash t.pm;
+    recover t
+
+  let crash_with_evictions t ~seed ~prob =
+    Pmem.crash_with_evictions t.pm ~seed ~prob;
+    recover t
+
+  let nvm_usage_words t =
+    let cur = Atomic.get t.cur_comb in
+    let base = t.combs.(Seqtid.idx cur).base in
+    let mem =
+      { Palloc.get = (fun a -> Pmem.get_word t.pm (base + a)); set = (fun _ _ -> ()) }
+    in
+    Palloc.used_words mem + (t.nrep * t.words)
+
+  let volatile_usage_words t =
+    (* States (logs + applied/results) dominate volatile usage. *)
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc st -> acc + (3 * Wset.length st.log) + (2 * t.num_threads))
+          acc row)
+      0 t.st_matrix
+end
+
+module Base = Make (struct
+  let name = "Redo"
+  let timed = false
+  let store_agg = false
+  let flush_agg = false
+  let deferred_pwb = false
+  let ntstore_copy = false
+end)
+
+module Timed = Make (struct
+  let name = "RedoTimed"
+  let timed = true
+  let store_agg = false
+  let flush_agg = false
+  let deferred_pwb = false
+  let ntstore_copy = false
+end)
+
+module Opt = Make (struct
+  let name = "RedoOpt"
+  let timed = true
+  let store_agg = true
+  let flush_agg = true
+  let deferred_pwb = true
+  let ntstore_copy = true
+end)

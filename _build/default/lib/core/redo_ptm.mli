@@ -1,0 +1,39 @@
+(** Redo-PTM (paper §5) and its variants: Herlihy-style combining
+    consensus, N+1 replicas guarded by strong try reader-writer locks,
+    physical (volatile) redo/undo logs replayed by lagging replicas, a
+    ring of pre-allocated States bounding memory, and a PM-resident
+    [curComb] whose durable value never regresses.  Two fences per update
+    transaction. *)
+
+module type CONFIG = sig
+  val name : string
+
+  (** Restrict updates to the first two Combined instances for a bounded
+      time window (RedoTimed). *)
+  val timed : bool
+
+  (** Store aggregation: hash write-set coalescing repeated stores. *)
+  val store_agg : bool
+
+  (** Flush aggregation: deduplicate pwbs by cache line, with a whole-
+      region fallback past 1/10th of the object. *)
+  val flush_agg : bool
+
+  (** Postpone pwbs to just before the [curComb] transition. *)
+  val deferred_pwb : bool
+
+  (** Replica copies through non-temporal stores. *)
+  val ntstore_copy : bool
+end
+
+module Make (C : CONFIG) : Ptm_intf.S
+
+(** Base Redo-PTM: no optimizations, stores flushed immediately. *)
+module Base : Ptm_intf.S
+
+(** Redo-PTM + the two-instance time window and backoff. *)
+module Timed : Ptm_intf.S
+
+(** RedoTimed + store aggregation, flush aggregation, postponed pwbs and
+    ntstore copies — the paper's flagship configuration. *)
+module Opt : Ptm_intf.S

@@ -1,0 +1,200 @@
+(** RomulusLR (Correia, Felber, Ramalhete, SPAA '18): the authors' earlier
+    PTM, part of the paper's design space (Figure 1: efficient but
+    blocking).  Included as the blocking-but-fast reference point.
+
+    Design (from the Romulus paper, summarised in §2):
+    - two replicas in PM, [main] and [back]; at least one is always
+      consistent, and a persistent [state] word says which;
+    - update transactions execute in place on [main] under a writer lock
+      (blocking, starvation-free), flush the modified lines, then replay
+      the volatile log onto [back] — four fences per transaction;
+    - the LR (left-right) mechanism gives read-only transactions wait-free
+      progress: readers announce themselves on one of two read indicators
+      and read the replica the writer is not mutating;
+    - recovery copies from whichever replica the [state] word proves
+      consistent. *)
+
+let name = "RomulusLR"
+
+(* persistent state word values *)
+let st_idle = 0L
+let st_mutating = 1L
+let st_copying = 2L
+
+type t = {
+  pm : Pmem.t;
+  words : int;
+  main_base : int;
+  back_base : int;
+  writer : Mutex.t;
+  (* left-right: which replica read-only transactions currently use *)
+  read_view : int Atomic.t; (* 0 = main, 1 = back *)
+  ingress : int Atomic.t array; (* per-view read indicators *)
+  bd : Breakdown.t;
+}
+
+and tx = {
+  p : t;
+  base : int;
+  log : Wset.t option; (* Some for updates: modified words, for back replay *)
+  tid : int;
+}
+
+let state_addr = 0
+
+let create ~num_threads ~words () =
+  if words <= Palloc.heap_base then invalid_arg "Romulus.create: words";
+  let main_base = 64 in
+  let back_base = main_base + words in
+  let pm = Pmem.create ~max_threads:num_threads ~words:(back_base + words) () in
+  let t =
+    {
+      pm;
+      words;
+      main_base;
+      back_base;
+      writer = Mutex.create ();
+      read_view = Atomic.make 0;
+      ingress = [| Atomic.make 0; Atomic.make 0 |];
+      bd = Breakdown.create ~num_threads;
+    }
+  in
+  let mem =
+    {
+      Palloc.get = (fun a -> Pmem.get_word pm (main_base + a));
+      set = (fun a v -> Pmem.set_word pm ~tid:0 (main_base + a) v);
+    }
+  in
+  Palloc.format mem ~words;
+  Pmem.blit_words pm ~tid:0 ~src:main_base ~dst:back_base words;
+  Pmem.pwb_range pm ~tid:0 0 (back_base + words - 1);
+  Pmem.set_word pm ~tid:0 state_addr st_idle;
+  Pmem.pwb pm ~tid:0 state_addr;
+  Pmem.psync pm ~tid:0;
+  t
+
+let pmem t = t.pm
+let stats t = Pmem.stats t.pm
+let breakdown t = t.bd
+
+let[@inline] check_logical t a =
+  if a < 0 || a >= t.words then invalid_arg "Romulus: address out of region"
+
+let get tx a =
+  check_logical tx.p a;
+  Pmem.get_word tx.p.pm (tx.base + a)
+
+let set tx a v =
+  check_logical tx.p a;
+  match tx.log with
+  | None -> invalid_arg "Romulus: store in read-only transaction"
+  | Some log ->
+      Wset.record log a ~oldv:0L ~newv:v;
+      Pmem.set_word tx.p.pm ~tid:tx.tid (tx.p.main_base + a) v
+
+let mem_of_tx tx = { Palloc.get = get tx; set = set tx }
+let alloc tx n = Palloc.alloc (mem_of_tx tx) n
+let dealloc tx a = Palloc.dealloc (mem_of_tx tx) a
+
+let drain t view =
+  let b = Sync_prims.Backoff.create () in
+  while Atomic.get t.ingress.(view) > 0 do
+    ignore (Sync_prims.Backoff.once b)
+  done
+
+let update t ~tid f =
+  Mutex.lock t.writer;
+  let t0 = Unix.gettimeofday () in
+  let log = Wset.create ~aggregate:true in
+  let tx = { p = t; base = t.main_base; log = Some log; tid } in
+  (* Readers must not see main while it is inconsistent. *)
+  Atomic.set t.read_view 1;
+  drain t 0;
+  (* [1] announce the mutation durably *)
+  Pmem.set_word t.pm ~tid state_addr st_mutating;
+  Pmem.pwb t.pm ~tid state_addr;
+  Pmem.pfence t.pm ~tid;
+  let result = Breakdown.timed t.bd ~tid Lambda (fun () -> f tx) in
+  (* [2] flush the modified lines of main *)
+  Breakdown.timed t.bd ~tid Flush (fun () ->
+      let lines = Hashtbl.create 16 in
+      Wset.iter_redo log (fun a _ ->
+          Hashtbl.replace lines ((t.main_base + a) / Pmem.words_per_line) ());
+      Hashtbl.iter
+        (fun line () -> Pmem.pwb t.pm ~tid (line * Pmem.words_per_line))
+        lines;
+      Pmem.pfence t.pm ~tid);
+  (* [3] commit: main is now the consistent replica *)
+  Pmem.set_word t.pm ~tid state_addr st_copying;
+  Pmem.pwb t.pm ~tid state_addr;
+  Pmem.psync t.pm ~tid;
+  (* readers may use main again; replay the log onto back *)
+  Atomic.set t.read_view 0;
+  drain t 1;
+  Breakdown.timed t.bd ~tid Apply (fun () ->
+      Wset.iter_redo log (fun a v ->
+          Pmem.set_word t.pm ~tid (t.back_base + a) v;
+          Pmem.pwb t.pm ~tid (t.back_base + a)));
+  (* [4] back consistent again *)
+  Pmem.set_word t.pm ~tid state_addr st_idle;
+  Pmem.pwb t.pm ~tid state_addr;
+  Pmem.psync t.pm ~tid;
+  Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
+  Mutex.unlock t.writer;
+  result
+
+(* Wait-free reads: announce on the current view's indicator, validate the
+   view, read that replica.  The writer toggles the view before making a
+   replica inconsistent and drains the indicator, so a validated reader is
+   always on a consistent replica. *)
+let read_only t ~tid f =
+  let rec attempt () =
+    let view = Atomic.get t.read_view in
+    ignore (Atomic.fetch_and_add t.ingress.(view) 1);
+    if Atomic.get t.read_view <> view then begin
+      ignore (Atomic.fetch_and_add t.ingress.(view) (-1));
+      attempt ()
+    end
+    else begin
+      let base = if view = 0 then t.main_base else t.back_base in
+      let r = f { p = t; base; log = None; tid } in
+      ignore (Atomic.fetch_and_add t.ingress.(view) (-1));
+      r
+    end
+  in
+  attempt ()
+
+let recover t =
+  let st = Pmem.get_word t.pm state_addr in
+  if Int64.equal st st_mutating then
+    (* main may be torn: restore it from back *)
+    Pmem.blit_words t.pm ~tid:0 ~src:t.back_base ~dst:t.main_base t.words
+  else if Int64.equal st st_copying then
+    (* back may be torn: refresh it from main *)
+    Pmem.blit_words t.pm ~tid:0 ~src:t.main_base ~dst:t.back_base t.words;
+  Pmem.pwb_range t.pm ~tid:0 t.main_base (t.back_base + t.words - 1);
+  Pmem.set_word t.pm ~tid:0 state_addr st_idle;
+  Pmem.pwb t.pm ~tid:0 state_addr;
+  Pmem.psync t.pm ~tid:0;
+  Atomic.set t.read_view 0;
+  Atomic.set t.ingress.(0) 0;
+  Atomic.set t.ingress.(1) 0
+
+let crash_and_recover t =
+  Pmem.crash t.pm;
+  recover t
+
+let crash_with_evictions t ~seed ~prob =
+  Pmem.crash_with_evictions t.pm ~seed ~prob;
+  recover t
+
+let nvm_usage_words t =
+  let mem =
+    {
+      Palloc.get = (fun a -> Pmem.get_word t.pm (t.main_base + a));
+      set = (fun _ _ -> ());
+    }
+  in
+  Palloc.used_words mem + (2 * t.words)
+
+let volatile_usage_words _t = 0

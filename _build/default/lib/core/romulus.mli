@@ -1,0 +1,4 @@
+(** RomulusLR baseline: two PM replicas with a persistent state word, four
+    fences per update transaction, blocking writers and wait-free
+    (left-right) read-only transactions. *)
+include Ptm_intf.S

@@ -1,0 +1,26 @@
+(** The paper's [SeqTidIdx] 64-bit control word: a monotonically increasing
+    sequence number concatenated with the id of the thread that produced the
+    transition and the index of one of that thread's pre-allocated State (or
+    Combined) instances.  Packed in an OCaml [int] (47+8+8 bits used). *)
+
+type t = int
+
+let tid_bits = 8
+let idx_bits = 8
+let max_tid = (1 lsl tid_bits) - 1
+let max_idx = (1 lsl idx_bits) - 1
+
+let pack ~seq ~tid ~idx =
+  assert (tid >= 0 && tid <= max_tid);
+  assert (idx >= 0 && idx <= max_idx);
+  assert (seq >= 0);
+  (seq lsl (tid_bits + idx_bits)) lor (tid lsl idx_bits) lor idx
+
+let seq t = t lsr (tid_bits + idx_bits)
+let tid t = (t lsr idx_bits) land max_tid
+let idx t = t land max_idx
+
+let to_int64 t = Int64.of_int t
+let of_int64 v = Int64.to_int v
+
+let pp ppf t = Format.fprintf ppf "{seq=%d;tid=%d;idx=%d}" (seq t) (tid t) (idx t)

@@ -1,0 +1,18 @@
+(** The paper's [SeqTidIdx] control word: a monotonically increasing
+    sequence number packed with the id of the thread that produced a
+    transition and the index of one of its pre-allocated instances.
+    Packed values with larger sequence numbers compare greater. *)
+
+type t = int
+
+val max_tid : int
+val max_idx : int
+
+val pack : seq:int -> tid:int -> idx:int -> t
+val seq : t -> int
+val tid : t -> int
+val idx : t -> int
+
+val to_int64 : t -> int64
+val of_int64 : int64 -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,142 @@
+(** Physical write-set (redo + undo log) of a transaction.
+
+    Entries record, per mutated word, the value before the transaction
+    ([oldv], for the undo log) and the value to install ([newv], the redo
+    log).  Two modes:
+
+    - [aggregate = false]: every store appends an entry, as in base
+      Redo-PTM's [WriteSetNode] chain; the undo log replays entries in
+      reverse order so repeated stores to one address revert correctly.
+    - [aggregate = true]: RedoOpt-PTM's {e store aggregation} — a hash index
+      coalesces repeated stores to the same address into a single entry that
+      keeps the first [oldv] and the last [newv].
+
+    The hash index uses epoch-stamped open addressing so that [reset] is
+    O(1), which is the "efficient reset and re-usage of the State instance"
+    the paper calls out. *)
+
+type entry = {
+  mutable addr : int;
+  mutable oldv : int64;
+  mutable newv : int64;
+}
+
+type t = {
+  aggregate : bool;
+  mutable entries : entry array;
+  mutable count : int;
+  (* open-addressing index: addr -> position in [entries] *)
+  mutable keys : int array; (* addr + 1; 0 = empty *)
+  mutable slots : int array;
+  mutable stamps : int array;
+  mutable mask : int;
+  mutable epoch : int;
+}
+
+let initial_capacity = 64
+
+let create ~aggregate =
+  {
+    aggregate;
+    entries = Array.init initial_capacity (fun _ -> { addr = 0; oldv = 0L; newv = 0L });
+    count = 0;
+    keys = Array.make (2 * initial_capacity) 0;
+    slots = Array.make (2 * initial_capacity) 0;
+    stamps = Array.make (2 * initial_capacity) 0;
+    mask = (2 * initial_capacity) - 1;
+    epoch = 1;
+  }
+
+let length t = t.count
+let is_empty t = t.count = 0
+
+let reset t =
+  t.count <- 0;
+  t.epoch <- t.epoch + 1
+
+let[@inline] hash addr = (addr * 0x9E3779B1) land max_int
+
+let rec index_find t addr =
+  let m = t.mask in
+  let rec probe i =
+    if t.stamps.(i) <> t.epoch || t.keys.(i) = 0 then (-1, i)
+    else if t.keys.(i) = addr + 1 then (t.slots.(i), i)
+    else probe ((i + 1) land m)
+  in
+  probe (hash addr land m)
+
+and grow_index t =
+  let cap = 2 * (t.mask + 1) in
+  t.keys <- Array.make cap 0;
+  t.slots <- Array.make cap 0;
+  t.stamps <- Array.make cap 0;
+  t.mask <- cap - 1;
+  for j = 0 to t.count - 1 do
+    let e = t.entries.(j) in
+    let _, i = index_find t e.addr in
+    t.keys.(i) <- e.addr + 1;
+    t.slots.(i) <- j;
+    t.stamps.(i) <- t.epoch
+  done
+
+let index_put t addr pos =
+  if 2 * (t.count + 1) > t.mask then grow_index t;
+  let _, i = index_find t addr in
+  t.keys.(i) <- addr + 1;
+  t.slots.(i) <- pos;
+  t.stamps.(i) <- t.epoch
+
+let append t addr ~oldv ~newv =
+  if t.count = Array.length t.entries then begin
+    let bigger =
+      Array.init (2 * t.count) (fun i ->
+          if i < t.count then t.entries.(i)
+          else { addr = 0; oldv = 0L; newv = 0L })
+    in
+    t.entries <- bigger
+  end;
+  let e = t.entries.(t.count) in
+  e.addr <- addr;
+  e.oldv <- oldv;
+  e.newv <- newv;
+  index_put t addr t.count;
+  t.count <- t.count + 1
+
+(** [record t addr ~oldv ~newv] logs a store of [newv] to [addr] whose
+    pre-transaction (or pre-store) value was [oldv]. *)
+let record t addr ~oldv ~newv =
+  if t.aggregate then begin
+    let pos, _ = index_find t addr in
+    if pos >= 0 then t.entries.(pos).newv <- newv
+    else append t addr ~oldv ~newv
+  end
+  else append t addr ~oldv ~newv
+
+(** Last value this write-set holds for [addr], for read-your-writes. *)
+let find t addr =
+  let pos, _ = index_find t addr in
+  if pos >= 0 then begin
+    (* In append mode the index points at the latest entry for [addr]. *)
+    Some t.entries.(pos).newv
+  end
+  else None
+
+(** Redo: apply entries in insertion order. *)
+let iter_redo t f =
+  for i = 0 to t.count - 1 do
+    let e = t.entries.(i) in
+    f e.addr e.newv
+  done
+
+(** Undo: revert entries in reverse insertion order. *)
+let iter_undo t f =
+  for i = t.count - 1 downto 0 do
+    let e = t.entries.(i) in
+    f e.addr e.oldv
+  done
+
+let iter_entries t f =
+  for i = 0 to t.count - 1 do
+    let e = t.entries.(i) in
+    f e.addr ~oldv:e.oldv ~newv:e.newv
+  done

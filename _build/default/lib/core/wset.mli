@@ -1,0 +1,33 @@
+(** Physical write-set (redo + undo log) of a transaction.
+
+    Entries record, per mutated word, the value before the transaction
+    ([oldv], the undo log) and the value to install ([newv], the redo log).
+    In [aggregate] mode (RedoOpt's {e store aggregation}) a hash index
+    coalesces repeated stores to one address, keeping the first [oldv] and
+    the last [newv]; otherwise every store appends an entry and the undo
+    log replays in reverse order.  [reset] is O(1) (epoch-stamped index),
+    which is what makes the paper's State reuse cheap. *)
+
+type t
+
+val create : aggregate:bool -> t
+val length : t -> int
+val is_empty : t -> bool
+
+(** O(1); the structure is immediately reusable. *)
+val reset : t -> unit
+
+(** [record t addr ~oldv ~newv] logs a store; [oldv] is the value being
+    overwritten by {e this} store. *)
+val record : t -> int -> oldv:int64 -> newv:int64 -> unit
+
+(** Latest value this write-set holds for [addr] (read-your-writes). *)
+val find : t -> int -> int64 option
+
+(** Redo: entries in insertion order. *)
+val iter_redo : t -> (int -> int64 -> unit) -> unit
+
+(** Undo: entries in reverse insertion order, with their old values. *)
+val iter_undo : t -> (int -> int64 -> unit) -> unit
+
+val iter_entries : t -> (int -> oldv:int64 -> newv:int64 -> unit) -> unit

@@ -1,0 +1,59 @@
+(** Persistent memory allocator.
+
+    A sequential segregated-free-list allocator whose metadata lives {e
+    inside} the transactional region and is accessed through the same
+    [get]/[set] callbacks as user data.  Running it under a PTM transaction
+    therefore makes every allocator mutation logged, flushed and replicated
+    exactly like user stores — this is the paper's recipe for failure-
+    resilient, wait-free (de)allocation with null recovery.
+
+    Block sizes are rounded up to powers of two (one extra header word per
+    block), which reproduces the space overhead the paper reports for
+    RedoDB's NVM usage (Figure 8).
+
+    Logical region layout (word addresses):
+    - word [0]: reserved; address 0 is the NULL pointer;
+    - words [1 .. 63]: persistent root slots;
+    - words [64 ..]: allocator metadata (bump pointer, live-word counter,
+      per-class free-list heads);
+    - first line-aligned word after the metadata: start of the heap. *)
+
+(** Word accessors supplied by the enclosing transaction. *)
+type mem = {
+  get : int -> int64;
+  set : int -> int64 -> unit;
+}
+
+exception Out_of_memory
+
+(** Number of persistent root slots (addresses [1 .. root_slots]). *)
+val root_slots : int
+
+val root_addr : int -> int
+
+(** First heap word; also the lowest address [alloc] can ever return - 1. *)
+val heap_base : int
+
+(** [format mem ~words] initialises allocator metadata for a region of
+    [words] logical words.  Must run (inside a transaction) exactly once, on
+    a fresh region. *)
+val format : mem -> words:int -> unit
+
+(** [alloc mem n] returns the address of [n] fresh user words (n >= 1).
+    The block is {e not} zeroed.
+    @raise Out_of_memory when the heap is exhausted. *)
+val alloc : mem -> int -> int
+
+(** [dealloc mem addr] frees a block previously returned by [alloc]. *)
+val dealloc : mem -> int -> unit
+
+(** Size in words actually reserved for a request of [n] user words
+    (power-of-two block including its header). *)
+val block_words : int -> int
+
+(** Words currently allocated to live blocks (headers included), as recorded
+    in persistent metadata. *)
+val live_words : mem -> int
+
+(** High-water mark: words ever carved out of the heap. *)
+val used_words : mem -> int

@@ -1,0 +1,1 @@
+lib/pds/handmade_queue.ml: Atomic Int64 Pmem

@@ -1,0 +1,1 @@
+lib/pds/hash_set.ml: Int64 Palloc Ptm

@@ -1,0 +1,1 @@
+lib/pds/list_set.ml: Int64 List Palloc Ptm

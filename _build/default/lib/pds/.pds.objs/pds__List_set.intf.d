@@ -1,0 +1,1 @@
+lib/pds/list_set.mli: Ptm

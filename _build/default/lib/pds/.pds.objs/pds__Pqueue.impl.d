@@ -1,0 +1,1 @@
+lib/pds/pqueue.ml: Int64 Palloc Ptm

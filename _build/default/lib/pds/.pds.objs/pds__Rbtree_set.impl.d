@@ -1,0 +1,1 @@
+lib/pds/rbtree_set.ml: Int64 Palloc Ptm

@@ -1,0 +1,1 @@
+lib/pds/rbtree_set.mli: Ptm

@@ -1,0 +1,171 @@
+(** Handmade lock-free persistent queues: the FHMP (Friedman, Herlihy,
+    Marathe, Petrank, PPoPP '18) and NormOpt (Ben-David et al., SPAA '19)
+    baselines of Figure 5.
+
+    Both are Michael–Scott queues operating directly on PM words with CAS,
+    reproduced at the level that matters for the paper's comparison — their
+    persistence discipline (pwb/pfence placement and counts) and their use
+    of a {e volatile} allocator (libvmmalloc in the original evaluation):
+    the paper's point is that although these queues persist their nodes,
+    the allocator metadata is volatile, so after a crash the data structure
+    is unrecoverable.  We reproduce that too: {!recover} refuses.
+
+    Fence profile per the paper (§1): FHMP executes 2 pfences per enqueue
+    and 4 per dequeue; NormOpt's delay-free construction is modelled with
+    1 and 2.  Dequeued nodes are not reclaimed (reclamation fences are
+    explicitly excluded from the paper's counts). *)
+
+module type DISCIPLINE = sig
+  val name : string
+  val enq_fences : int
+  val deq_fences : int
+end
+
+module Make (D : DISCIPLINE) = struct
+  let name = D.name
+
+  (* PM layout: line 0 reserved; [8] = head, [9] = tail; nodes from 16. *)
+  let head_addr = 8
+  let tail_addr = 9
+  let heap_start = 16
+
+  type t = {
+    pm : Pmem.t;
+    words : int;
+    bump : int Atomic.t; (* volatile allocator: lost on crash *)
+    mutable crashed : bool;
+  }
+
+  let create ~num_threads ~words () =
+    let pm = Pmem.create ~max_threads:num_threads ~words () in
+    let sentinel = heap_start in
+    Pmem.set_word pm ~tid:0 sentinel 0L;
+    Pmem.set_word pm ~tid:0 (sentinel + 1) 0L;
+    Pmem.set_word pm ~tid:0 head_addr (Int64.of_int sentinel);
+    Pmem.set_word pm ~tid:0 tail_addr (Int64.of_int sentinel);
+    Pmem.pwb_range pm ~tid:0 0 (heap_start + 1);
+    Pmem.psync pm ~tid:0;
+    { pm; words; bump = Atomic.make (heap_start + 2); crashed = false }
+
+  let pmem t = t.pm
+  let stats t = Pmem.stats t.pm
+
+  exception Unrecoverable of string
+
+  let check_usable t =
+    if t.crashed then
+      raise
+        (Unrecoverable
+           (D.name
+          ^ ": volatile allocator metadata was lost in the crash; the queue \
+             cannot be recovered"))
+
+  (* Volatile node allocation: a bump pointer that does not survive
+     failures (the libvmmalloc model). *)
+  let alloc_node t =
+    let n = Atomic.fetch_and_add t.bump 2 in
+    if n + 1 >= t.words then failwith (D.name ^ ": out of queue memory");
+    n
+
+  (* Spread D.x fences as: the first [pwbs_then_fence] pairs are issued at
+     algorithm points; remaining budget becomes trailing pwb+fence pairs
+     (persisting dequeue markers etc. in the original algorithms). *)
+  let extra_fences t ~tid ~addr count =
+    for _ = 1 to count do
+      Pmem.pwb t.pm ~tid addr;
+      Pmem.pfence t.pm ~tid
+    done
+
+  let enqueue t ~tid v =
+    check_usable t;
+    let n = alloc_node t in
+    Pmem.set_word t.pm ~tid n v;
+    Pmem.set_word t.pm ~tid (n + 1) 0L;
+    Pmem.pwb t.pm ~tid n;
+    if D.enq_fences >= 2 then Pmem.pfence t.pm ~tid;
+    let rec loop () =
+      let lt = Int64.to_int (Pmem.get_word t.pm tail_addr) in
+      let ln = Pmem.get_word t.pm (lt + 1) in
+      if Int64.equal ln 0L then begin
+        if
+          Pmem.cas_word t.pm ~tid (lt + 1) ~expected:0L
+            ~desired:(Int64.of_int n)
+        then begin
+          Pmem.pwb t.pm ~tid (lt + 1);
+          Pmem.pfence t.pm ~tid;
+          ignore
+            (Pmem.cas_word t.pm ~tid tail_addr ~expected:(Int64.of_int lt)
+               ~desired:(Int64.of_int n))
+        end
+        else loop ()
+      end
+      else begin
+        (* help: persist and advance the lagging tail *)
+        Pmem.pwb t.pm ~tid (lt + 1);
+        ignore
+          (Pmem.cas_word t.pm ~tid tail_addr ~expected:(Int64.of_int lt)
+             ~desired:ln);
+        loop ()
+      end
+    in
+    loop ()
+
+  let dequeue t ~tid =
+    check_usable t;
+    let rec loop () =
+      let h = Int64.to_int (Pmem.get_word t.pm head_addr) in
+      let n = Pmem.get_word t.pm (h + 1) in
+      if Int64.equal n 0L then None
+      else begin
+        let ni = Int64.to_int n in
+        let v = Pmem.get_word t.pm ni in
+        (* FHMP persists the link it is about to consume before advancing. *)
+        Pmem.pwb t.pm ~tid (h + 1);
+        Pmem.pfence t.pm ~tid;
+        if
+          Pmem.cas_word t.pm ~tid head_addr ~expected:(Int64.of_int h)
+            ~desired:n
+        then begin
+          Pmem.pwb t.pm ~tid head_addr;
+          Pmem.pfence t.pm ~tid;
+          (* remaining fence budget: dequeue markers / returned values *)
+          extra_fences t ~tid ~addr:ni (D.deq_fences - 2);
+          Some v
+        end
+        else loop ()
+      end
+    in
+    loop ()
+
+  let length t =
+    check_usable t;
+    let rec go acc cur =
+      if cur = 0 then acc
+      else go (acc + 1) (Int64.to_int (Pmem.get_word t.pm (cur + 1)))
+    in
+    let h = Int64.to_int (Pmem.get_word t.pm head_addr) in
+    go 0 (Int64.to_int (Pmem.get_word t.pm (h + 1)))
+
+  (** Simulate a crash.  The nodes may well be durable — but the volatile
+      allocator metadata is gone, so the structure is declared unusable,
+      exactly the deficiency the paper points out for these baselines. *)
+  let crash t =
+    Pmem.crash t.pm;
+    t.crashed <- true
+
+  let recover t =
+    check_usable t;
+    ()
+end
+
+module Fhmp = Make (struct
+  let name = "FHMP"
+  let enq_fences = 2
+  let deq_fences = 4
+end)
+
+module Norm_opt = Make (struct
+  let name = "NormOpt"
+  let enq_fences = 1
+  let deq_fences = 2
+end)

@@ -1,0 +1,156 @@
+(** Resizable separate-chaining hash set over any PTM (the paper's hash-set
+    workload, Figure 6 bottom; also the base of RedoDB's hash map).
+
+    Layout:
+    - root slot -> header [bucket_count; size; buckets_ptr]
+    - buckets_ptr -> array of [bucket_count] head pointers
+    - node: [key; next]
+
+    The table doubles when the load factor exceeds 2 (a single large
+    transaction that rehashes every node — the combining/aggregation
+    stress case the paper highlights for its flush optimizations). *)
+
+module Make (P : Ptm.Ptm_intf.S) = struct
+  let node_words = 2
+
+  let[@inline] hash64 k =
+    (* Fibonacci-style multiplicative mixing: well distributed buckets. *)
+    let h = Int64.to_int k land max_int in
+    let h = h lxor (h lsr 30) in
+    let h = h * 0x2545F4914F6CDD1D land max_int in
+    let h = h lxor (h lsr 27) in
+    let h = h * 0x27220A95 land max_int in
+    (h lxor (h lsr 31)) land max_int
+
+  type header = { hdr : int }
+
+  let header tx slot = { hdr = Int64.to_int (P.get tx (Palloc.root_addr slot)) }
+  let[@inline] bucket_count tx h = Int64.to_int (P.get tx h.hdr)
+  let[@inline] size tx h = Int64.to_int (P.get tx (h.hdr + 1))
+  let[@inline] buckets tx h = Int64.to_int (P.get tx (h.hdr + 2))
+  let[@inline] set_bucket_count tx h v = P.set tx h.hdr (Int64.of_int v)
+  let[@inline] set_size tx h v = P.set tx (h.hdr + 1) (Int64.of_int v)
+  let[@inline] set_buckets tx h v = P.set tx (h.hdr + 2) (Int64.of_int v)
+
+  (** Initialise an empty set rooted at [slot] with [initial_buckets]. *)
+  let init ?(initial_buckets = 16) p ~tid ~slot =
+    ignore
+      (P.update p ~tid (fun tx ->
+           let hdr = P.alloc tx 3 in
+           let b = P.alloc tx initial_buckets in
+           for i = 0 to initial_buckets - 1 do
+             P.set tx (b + i) 0L
+           done;
+           P.set tx hdr (Int64.of_int initial_buckets);
+           P.set tx (hdr + 1) 0L;
+           P.set tx (hdr + 2) (Int64.of_int b);
+           P.set tx (Palloc.root_addr slot) (Int64.of_int hdr);
+           0L))
+
+  let[@inline] bucket_of tx h k = buckets tx h + (hash64 k mod bucket_count tx h)
+
+  let find_in_chain tx head k =
+    let rec go cur =
+      if cur = 0 then None
+      else if Int64.equal (P.get tx cur) k then Some cur
+      else go (Int64.to_int (P.get tx (cur + 1)))
+    in
+    go head
+
+  (* Double the table, rehashing every chain: one big transaction. *)
+  let resize tx h =
+    let old_n = bucket_count tx h in
+    let old_b = buckets tx h in
+    let new_n = 2 * old_n in
+    let new_b = P.alloc tx new_n in
+    for i = 0 to new_n - 1 do
+      P.set tx (new_b + i) 0L
+    done;
+    for i = 0 to old_n - 1 do
+      let rec rehash cur =
+        if cur <> 0 then begin
+          let nxt = Int64.to_int (P.get tx (cur + 1)) in
+          let k = P.get tx cur in
+          let dst = new_b + (hash64 k mod new_n) in
+          P.set tx (cur + 1) (P.get tx dst);
+          P.set tx dst (Int64.of_int cur);
+          rehash nxt
+        end
+      in
+      rehash (Int64.to_int (P.get tx (old_b + i)))
+    done;
+    set_buckets tx h new_b;
+    set_bucket_count tx h new_n;
+    P.dealloc tx old_b
+
+  (** [add p ~tid ~slot k]: inserts [k]; false if already present. *)
+  let add p ~tid ~slot k =
+    P.update p ~tid (fun tx ->
+        let h = header tx slot in
+        let b = bucket_of tx h k in
+        match find_in_chain tx (Int64.to_int (P.get tx b)) k with
+        | Some _ -> 0L
+        | None ->
+            let n = P.alloc tx node_words in
+            P.set tx n k;
+            P.set tx (n + 1) (P.get tx b);
+            P.set tx b (Int64.of_int n);
+            let sz = size tx h + 1 in
+            set_size tx h sz;
+            if sz > 2 * bucket_count tx h then resize tx h;
+            1L)
+    = 1L
+
+  (** [remove p ~tid ~slot k]: deletes [k]; false if absent. *)
+  let remove p ~tid ~slot k =
+    P.update p ~tid (fun tx ->
+        let h = header tx slot in
+        let b = bucket_of tx h k in
+        let rec unlink prev cur =
+          if cur = 0 then 0L
+          else if Int64.equal (P.get tx cur) k then begin
+            let nxt = P.get tx (cur + 1) in
+            if prev = 0 then P.set tx b nxt else P.set tx (prev + 1) nxt;
+            P.dealloc tx cur;
+            set_size tx h (size tx h - 1);
+            1L
+          end
+          else unlink cur (Int64.to_int (P.get tx (cur + 1)))
+        in
+        unlink 0 (Int64.to_int (P.get tx b)))
+    = 1L
+
+  (** Membership test (read-only transaction). *)
+  let contains p ~tid ~slot k =
+    P.read_only p ~tid (fun tx ->
+        let h = header tx slot in
+        let b = bucket_of tx h k in
+        match find_in_chain tx (Int64.to_int (P.get tx b)) k with
+        | Some _ -> 1L
+        | None -> 0L)
+    = 1L
+
+  let cardinal p ~tid ~slot =
+    Int64.to_int
+      (P.read_only p ~tid (fun tx -> Int64.of_int (size tx (header tx slot))))
+
+  (** Fold over all elements (read-only transaction). *)
+  let fold p ~tid ~slot ~init:acc0 f =
+    let r = ref acc0 in
+    ignore
+      (P.read_only p ~tid (fun tx ->
+           let h = header tx slot in
+           let n = bucket_count tx h in
+           let b = buckets tx h in
+           for i = 0 to n - 1 do
+             let rec chain cur =
+               if cur <> 0 then begin
+                 r := f !r (P.get tx cur);
+                 chain (Int64.to_int (P.get tx (cur + 1)))
+               end
+             in
+             chain (Int64.to_int (P.get tx (b + i)))
+           done;
+           0L));
+    !r
+end

@@ -1,0 +1,18 @@
+(** Resizable separate-chaining hash set over any PTM (the paper's hash
+    workload, Figure 6 bottom; the base of RedoDB's map).  Doubles its
+    table past load factor 2 in a single large transaction — the
+    combining/flush-aggregation stress case the paper highlights. *)
+
+module Make (P : Ptm.Ptm_intf.S) : sig
+  val init : ?initial_buckets:int -> P.t -> tid:int -> slot:int -> unit
+  val add : P.t -> tid:int -> slot:int -> int64 -> bool
+  val remove : P.t -> tid:int -> slot:int -> int64 -> bool
+  val contains : P.t -> tid:int -> slot:int -> int64 -> bool
+
+  (** O(1): reads the persistent size field. *)
+  val cardinal : P.t -> tid:int -> slot:int -> int
+
+  (** Fold over all elements in one read-only transaction (consistent
+      snapshot); order unspecified. *)
+  val fold : P.t -> tid:int -> slot:int -> init:'a -> ('a -> int64 -> 'a) -> 'a
+end

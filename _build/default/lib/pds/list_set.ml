@@ -1,0 +1,89 @@
+(** Sorted singly-linked-list set over any PTM (the paper's linked-list
+    workload, Figure 6 top).
+
+    Layout: the designated root slot holds the address of the first node
+    (0 = empty); a node is two words, [key; next].  All operations are
+    single transactions; update operations follow the paper's benchmark
+    protocol (remove then re-insert the same key). *)
+
+module Make (P : Ptm.Ptm_intf.S) = struct
+  let node_words = 2
+
+  let[@inline] key tx n = P.get tx n
+  let[@inline] next tx n = Int64.to_int (P.get tx (n + 1))
+
+  (** Initialise an empty set rooted at [slot]. *)
+  let init p ~tid ~slot =
+    ignore (P.update p ~tid (fun tx -> P.set tx (Palloc.root_addr slot) 0L; 0L))
+
+  (* Returns (predecessor, current) with current = first node >= k;
+     predecessor = 0 when current is the head. *)
+  let locate tx root k =
+    let rec go prev cur =
+      if cur = 0 then (prev, 0)
+      else
+        let ck = key tx cur in
+        if Int64.compare ck k < 0 then go cur (next tx cur) else (prev, cur)
+    in
+    go 0 (Int64.to_int (P.get tx root))
+
+  (** [add p ~tid ~slot k] inserts [k]; false if already present. *)
+  let add p ~tid ~slot k =
+    P.update p ~tid (fun tx ->
+        let root = Palloc.root_addr slot in
+        let prev, cur = locate tx root k in
+        if cur <> 0 && Int64.equal (key tx cur) k then 0L
+        else begin
+          let n = P.alloc tx node_words in
+          P.set tx n k;
+          P.set tx (n + 1) (Int64.of_int cur);
+          if prev = 0 then P.set tx root (Int64.of_int n)
+          else P.set tx (prev + 1) (Int64.of_int n);
+          1L
+        end)
+    = 1L
+
+  (** [remove p ~tid ~slot k] deletes [k]; false if absent. *)
+  let remove p ~tid ~slot k =
+    P.update p ~tid (fun tx ->
+        let root = Palloc.root_addr slot in
+        let prev, cur = locate tx root k in
+        if cur = 0 || not (Int64.equal (key tx cur) k) then 0L
+        else begin
+          let nxt = next tx cur in
+          if prev = 0 then P.set tx root (Int64.of_int nxt)
+          else P.set tx (prev + 1) (Int64.of_int nxt);
+          P.dealloc tx cur;
+          1L
+        end)
+    = 1L
+
+  (** Membership test (read-only transaction). *)
+  let contains p ~tid ~slot k =
+    P.read_only p ~tid (fun tx ->
+        let _, cur = locate tx (Palloc.root_addr slot) k in
+        if cur <> 0 && Int64.equal (key tx cur) k then 1L else 0L)
+    = 1L
+
+  (** Number of elements (read-only traversal). *)
+  let cardinal p ~tid ~slot =
+    Int64.to_int
+      (P.read_only p ~tid (fun tx ->
+           let rec go acc cur =
+             if cur = 0 then acc else go (Int64.add acc 1L) (next tx cur)
+           in
+           go 0L (Int64.to_int (P.get tx (Palloc.root_addr slot)))))
+
+  (** Ascending list of elements. *)
+  let elements p ~tid ~slot =
+    let rec collect tx acc cur =
+      if cur = 0 then List.rev acc
+      else collect tx (key tx cur :: acc) (next tx cur)
+    in
+    let r = ref [] in
+    ignore
+      (P.read_only p ~tid (fun tx ->
+           r := collect tx [] (Int64.to_int (P.get tx (Palloc.root_addr slot)));
+           0L));
+    !r
+end

@@ -1,0 +1,25 @@
+(** Sorted singly-linked-list set over any PTM (the paper's linked-list
+    workload, Figure 6 top).  Each operation is a single durable
+    transaction; handles are persistent root-slot numbers, so a set found
+    at slot [s] before a crash is found there after recovery. *)
+
+module Make (P : Ptm.Ptm_intf.S) : sig
+  (** [init p ~tid ~slot] creates an empty set rooted at root slot
+      [slot] (1 .. [Palloc.root_slots]). *)
+  val init : P.t -> tid:int -> slot:int -> unit
+
+  (** [add p ~tid ~slot k] inserts [k]; false if already present. *)
+  val add : P.t -> tid:int -> slot:int -> int64 -> bool
+
+  (** [remove p ~tid ~slot k] deletes [k]; false if absent. *)
+  val remove : P.t -> tid:int -> slot:int -> int64 -> bool
+
+  (** Membership test (read-only transaction). *)
+  val contains : P.t -> tid:int -> slot:int -> int64 -> bool
+
+  (** Number of elements (read-only traversal). *)
+  val cardinal : P.t -> tid:int -> slot:int -> int
+
+  (** Elements in ascending order. *)
+  val elements : P.t -> tid:int -> slot:int -> int64 list
+end

@@ -1,0 +1,82 @@
+(** Linked-list FIFO queue over any PTM (the paper's queue benchmark,
+    Figure 5: pre-filled with 1,000 elements, each thread alternating an
+    enqueue transaction and a dequeue transaction).
+
+    Layout: root slot -> header [head; tail]; node: [value; next].
+    Michael–Scott style with a permanent sentinel node, so [head] always
+    points at a node whose successor is the first element. *)
+
+module Make (P : Ptm.Ptm_intf.S) = struct
+  let node_words = 2
+
+  type header = { hdr : int }
+
+  let header tx slot = { hdr = Int64.to_int (P.get tx (Palloc.root_addr slot)) }
+  let[@inline] head tx h = Int64.to_int (P.get tx h.hdr)
+  let[@inline] tail tx h = Int64.to_int (P.get tx (h.hdr + 1))
+
+  (** Initialise an empty queue rooted at [slot]. *)
+  let init p ~tid ~slot =
+    ignore
+      (P.update p ~tid (fun tx ->
+           let hdr = P.alloc tx 2 in
+           let sentinel = P.alloc tx node_words in
+           P.set tx sentinel 0L;
+           P.set tx (sentinel + 1) 0L;
+           P.set tx hdr (Int64.of_int sentinel);
+           P.set tx (hdr + 1) (Int64.of_int sentinel);
+           P.set tx (Palloc.root_addr slot) (Int64.of_int hdr);
+           0L))
+
+  (** Append [v] (one transaction). *)
+  let enqueue p ~tid ~slot v =
+    ignore
+      (P.update p ~tid (fun tx ->
+           let h = header tx slot in
+           let n = P.alloc tx node_words in
+           P.set tx n v;
+           P.set tx (n + 1) 0L;
+           let t0 = tail tx h in
+           P.set tx (t0 + 1) (Int64.of_int n);
+           P.set tx (h.hdr + 1) (Int64.of_int n);
+           0L))
+
+  (** Remove the oldest element, if any (one transaction). *)
+  let dequeue p ~tid ~slot =
+    let r =
+      P.update p ~tid (fun tx ->
+          let h = header tx slot in
+          let s = head tx h in
+          let first = Int64.to_int (P.get tx (s + 1)) in
+          if first = 0 then Int64.min_int
+          else begin
+            let v = P.get tx first in
+            P.set tx h.hdr (Int64.of_int first);
+            (* [first] becomes the new sentinel; free the old one. *)
+            P.dealloc tx s;
+            v
+          end)
+    in
+    if Int64.equal r Int64.min_int then None else Some r
+
+  (** Number of elements (read-only traversal). *)
+  let length p ~tid ~slot =
+    Int64.to_int
+      (P.read_only p ~tid (fun tx ->
+           let h = header tx slot in
+           let rec go acc cur =
+             if cur = 0 then acc
+             else go (Int64.add acc 1L) (Int64.to_int (P.get tx (cur + 1)))
+           in
+           go 0L (Int64.to_int (P.get tx (head tx h + 1)))))
+
+  (** Front element without removing it. *)
+  let peek p ~tid ~slot =
+    let r =
+      P.read_only p ~tid (fun tx ->
+          let h = header tx slot in
+          let first = Int64.to_int (P.get tx (head tx h + 1)) in
+          if first = 0 then Int64.min_int else P.get tx first)
+    in
+    if Int64.equal r Int64.min_int then None else Some r
+end

@@ -1,0 +1,14 @@
+(** Linked FIFO queue over any PTM (the paper's queue benchmark, Figure
+    5).  Michael–Scott layout with a permanent sentinel; enqueue and
+    dequeue are single transactions.  Values must not be
+    [Int64.min_int] (reserved as the empty marker). *)
+
+module Make (P : Ptm.Ptm_intf.S) : sig
+  val init : P.t -> tid:int -> slot:int -> unit
+  val enqueue : P.t -> tid:int -> slot:int -> int64 -> unit
+  val dequeue : P.t -> tid:int -> slot:int -> int64 option
+  val peek : P.t -> tid:int -> slot:int -> int64 option
+
+  (** Read-only traversal. *)
+  val length : P.t -> tid:int -> slot:int -> int
+end

@@ -1,0 +1,358 @@
+(** Red-black tree set over any PTM (the paper's tree workload, Figure 6
+    center: "a sequential implementation of a balanced red-black tree").
+
+    Classic CLRS red-black tree with parent pointers and a real NIL
+    sentinel node (its scratch fields absorb the fixup writes).  Layout:
+
+    - root slot -> header block [root_ptr; nil_ptr]
+    - node: 5 words [key; left; right; parent; color] (color 0 = black,
+      1 = red)
+
+    Every mutation is one transaction; rebalancing writes are what make
+    tree transactions large and poorly aggregatable — the effect the paper
+    discusses for the 100%-update tree workload. *)
+
+module Make (P : Ptm.Ptm_intf.S) = struct
+  let node_words = 5
+  let black = 0L
+  let red = 1L
+
+  let[@inline] key tx n = P.get tx n
+  let[@inline] left tx n = Int64.to_int (P.get tx (n + 1))
+  let[@inline] right tx n = Int64.to_int (P.get tx (n + 2))
+  let[@inline] parent tx n = Int64.to_int (P.get tx (n + 3))
+  let[@inline] color tx n = P.get tx (n + 4)
+  let[@inline] set_key tx n v = P.set tx n v
+  let[@inline] set_left tx n v = P.set tx (n + 1) (Int64.of_int v)
+  let[@inline] set_right tx n v = P.set tx (n + 2) (Int64.of_int v)
+  let[@inline] set_parent tx n v = P.set tx (n + 3) (Int64.of_int v)
+  let[@inline] set_color tx n v = P.set tx (n + 4) v
+
+  type handles = { root_at : int; nil_at : int }
+
+  let handles tx slot =
+    let hdr = Int64.to_int (P.get tx (Palloc.root_addr slot)) in
+    { root_at = hdr; nil_at = hdr + 1 }
+
+  let[@inline] root tx h = Int64.to_int (P.get tx h.root_at)
+  let[@inline] nil tx h = Int64.to_int (P.get tx h.nil_at)
+  let[@inline] set_root tx h v = P.set tx h.root_at (Int64.of_int v)
+
+  (** Initialise an empty tree rooted at [slot]. *)
+  let init p ~tid ~slot =
+    ignore
+      (P.update p ~tid (fun tx ->
+           let hdr = P.alloc tx 2 in
+           let nil = P.alloc tx node_words in
+           set_key tx nil 0L;
+           set_left tx nil 0;
+           set_right tx nil 0;
+           set_parent tx nil 0;
+           set_color tx nil black;
+           P.set tx hdr (Int64.of_int nil);
+           (* empty root = NIL *)
+           P.set tx (hdr + 1) (Int64.of_int nil);
+           P.set tx (Palloc.root_addr slot) (Int64.of_int hdr);
+           0L))
+
+  let left_rotate tx h x =
+    let nil_n = nil tx h in
+    let y = right tx x in
+    set_right tx x (left tx y);
+    if left tx y <> nil_n then set_parent tx (left tx y) x;
+    set_parent tx y (parent tx x);
+    if parent tx x = nil_n then set_root tx h y
+    else if x = left tx (parent tx x) then set_left tx (parent tx x) y
+    else set_right tx (parent tx x) y;
+    set_left tx y x;
+    set_parent tx x y
+
+  let right_rotate tx h x =
+    let nil_n = nil tx h in
+    let y = left tx x in
+    set_left tx x (right tx y);
+    if right tx y <> nil_n then set_parent tx (right tx y) x;
+    set_parent tx y (parent tx x);
+    if parent tx x = nil_n then set_root tx h y
+    else if x = right tx (parent tx x) then set_right tx (parent tx x) y
+    else set_left tx (parent tx x) y;
+    set_right tx y x;
+    set_parent tx x y
+
+  let insert_fixup tx h z0 =
+    let z = ref z0 in
+    while Int64.equal (color tx (parent tx !z)) red do
+      let zp = parent tx !z in
+      let zpp = parent tx zp in
+      if zp = left tx zpp then begin
+        let y = right tx zpp in
+        if Int64.equal (color tx y) red then begin
+          set_color tx zp black;
+          set_color tx y black;
+          set_color tx zpp red;
+          z := zpp
+        end
+        else begin
+          if !z = right tx zp then begin
+            z := zp;
+            left_rotate tx h !z
+          end;
+          let zp = parent tx !z in
+          let zpp = parent tx zp in
+          set_color tx zp black;
+          set_color tx zpp red;
+          right_rotate tx h zpp
+        end
+      end
+      else begin
+        let y = left tx zpp in
+        if Int64.equal (color tx y) red then begin
+          set_color tx zp black;
+          set_color tx y black;
+          set_color tx zpp red;
+          z := zpp
+        end
+        else begin
+          if !z = left tx zp then begin
+            z := zp;
+            right_rotate tx h !z
+          end;
+          let zp = parent tx !z in
+          let zpp = parent tx zp in
+          set_color tx zp black;
+          set_color tx zpp red;
+          left_rotate tx h zpp
+        end
+      end
+    done;
+    set_color tx (root tx h) black
+
+  (** [add p ~tid ~slot k]: inserts [k]; false if already present. *)
+  let add p ~tid ~slot k =
+    P.update p ~tid (fun tx ->
+        let h = handles tx slot in
+        let nil_n = nil tx h in
+        let rec descend y x =
+          if x = nil_n then Some y
+          else
+            let c = Int64.compare k (key tx x) in
+            if c = 0 then None
+            else descend x (if c < 0 then left tx x else right tx x)
+        in
+        match descend nil_n (root tx h) with
+        | None -> 0L
+        | Some y ->
+            let z = P.alloc tx node_words in
+            set_key tx z k;
+            set_left tx z nil_n;
+            set_right tx z nil_n;
+            set_parent tx z y;
+            set_color tx z red;
+            if y = nil_n then set_root tx h z
+            else if Int64.compare k (key tx y) < 0 then set_left tx y z
+            else set_right tx y z;
+            insert_fixup tx h z;
+            1L)
+    = 1L
+
+  let transplant tx h u v =
+    let nil_n = nil tx h in
+    if parent tx u = nil_n then set_root tx h v
+    else if u = left tx (parent tx u) then set_left tx (parent tx u) v
+    else set_right tx (parent tx u) v;
+    set_parent tx v (parent tx u)
+
+  let rec minimum tx h x =
+    let nil_n = nil tx h in
+    if left tx x = nil_n then x else minimum tx h (left tx x)
+
+  let delete_fixup tx h x0 =
+    let x = ref x0 in
+    while !x <> root tx h && Int64.equal (color tx !x) black do
+      let xp = parent tx !x in
+      if !x = left tx xp then begin
+        let w = ref (right tx xp) in
+        if Int64.equal (color tx !w) red then begin
+          set_color tx !w black;
+          set_color tx xp red;
+          left_rotate tx h xp;
+          w := right tx (parent tx !x)
+        end;
+        if
+          Int64.equal (color tx (left tx !w)) black
+          && Int64.equal (color tx (right tx !w)) black
+        then begin
+          set_color tx !w red;
+          x := parent tx !x
+        end
+        else begin
+          if Int64.equal (color tx (right tx !w)) black then begin
+            set_color tx (left tx !w) black;
+            set_color tx !w red;
+            right_rotate tx h !w;
+            w := right tx (parent tx !x)
+          end;
+          let xp = parent tx !x in
+          set_color tx !w (color tx xp);
+          set_color tx xp black;
+          set_color tx (right tx !w) black;
+          left_rotate tx h xp;
+          x := root tx h
+        end
+      end
+      else begin
+        let w = ref (left tx xp) in
+        if Int64.equal (color tx !w) red then begin
+          set_color tx !w black;
+          set_color tx xp red;
+          right_rotate tx h xp;
+          w := left tx (parent tx !x)
+        end;
+        if
+          Int64.equal (color tx (right tx !w)) black
+          && Int64.equal (color tx (left tx !w)) black
+        then begin
+          set_color tx !w red;
+          x := parent tx !x
+        end
+        else begin
+          if Int64.equal (color tx (left tx !w)) black then begin
+            set_color tx (right tx !w) black;
+            set_color tx !w red;
+            left_rotate tx h !w;
+            w := left tx (parent tx !x)
+          end;
+          let xp = parent tx !x in
+          set_color tx !w (color tx xp);
+          set_color tx xp black;
+          set_color tx (left tx !w) black;
+          right_rotate tx h xp;
+          x := root tx h
+        end
+      end
+    done;
+    set_color tx !x black
+
+  (** [remove p ~tid ~slot k]: deletes [k]; false if absent. *)
+  let remove p ~tid ~slot k =
+    P.update p ~tid (fun tx ->
+        let h = handles tx slot in
+        let nil_n = nil tx h in
+        let rec find x =
+          if x = nil_n then None
+          else
+            let c = Int64.compare k (key tx x) in
+            if c = 0 then Some x
+            else find (if c < 0 then left tx x else right tx x)
+        in
+        match find (root tx h) with
+        | None -> 0L
+        | Some z ->
+            let y_original_color = ref (color tx z) in
+            let x =
+              if left tx z = nil_n then begin
+                let x = right tx z in
+                transplant tx h z x;
+                x
+              end
+              else if right tx z = nil_n then begin
+                let x = left tx z in
+                transplant tx h z x;
+                x
+              end
+              else begin
+                let y = minimum tx h (right tx z) in
+                y_original_color := color tx y;
+                let x = right tx y in
+                if parent tx y = z then set_parent tx x y
+                else begin
+                  transplant tx h y x;
+                  set_right tx y (right tx z);
+                  set_parent tx (right tx y) y
+                end;
+                transplant tx h z y;
+                set_left tx y (left tx z);
+                set_parent tx (left tx y) y;
+                set_color tx y (color tx z);
+                x
+              end
+            in
+            if Int64.equal !y_original_color black then delete_fixup tx h x;
+            P.dealloc tx z;
+            1L)
+    = 1L
+
+  (** Membership test (read-only transaction). *)
+  let contains p ~tid ~slot k =
+    P.read_only p ~tid (fun tx ->
+        let h = handles tx slot in
+        let nil_n = nil tx h in
+        let rec find x =
+          if x = nil_n then 0L
+          else
+            let c = Int64.compare k (key tx x) in
+            if c = 0 then 1L else find (if c < 0 then left tx x else right tx x)
+        in
+        find (root tx h))
+    = 1L
+
+  let cardinal p ~tid ~slot =
+    Int64.to_int
+      (P.read_only p ~tid (fun tx ->
+           let h = handles tx slot in
+           let nil_n = nil tx h in
+           let rec count x =
+             if x = nil_n then 0L
+             else Int64.add 1L (Int64.add (count (left tx x)) (count (right tx x)))
+           in
+           count (root tx h)))
+
+  (** In-order elements. *)
+  let elements p ~tid ~slot =
+    let r = ref [] in
+    ignore
+      (P.read_only p ~tid (fun tx ->
+           let h = handles tx slot in
+           let nil_n = nil tx h in
+           let rec go acc x =
+             if x = nil_n then acc
+             else go (key tx x :: go acc (right tx x)) (left tx x)
+           in
+           r := go [] (root tx h);
+           0L));
+    !r
+
+  (** Structural invariant check (test oracle): BST order, no red-red
+      parent/child, equal black heights.  Returns the black height. *)
+  let check_invariants p ~tid ~slot =
+    let ok = ref true in
+    ignore
+      (P.read_only p ~tid (fun tx ->
+           let h = handles tx slot in
+           let nil_n = nil tx h in
+           let rec go x lo hi =
+             if x = nil_n then 1
+             else begin
+               let k = key tx x in
+               (match lo with
+               | Some l when Int64.compare k l <= 0 -> ok := false
+               | _ -> ());
+               (match hi with
+               | Some u when Int64.compare k u >= 0 -> ok := false
+               | _ -> ());
+               if Int64.equal (color tx x) red then begin
+                 if Int64.equal (color tx (left tx x)) red then ok := false;
+                 if Int64.equal (color tx (right tx x)) red then ok := false
+               end;
+               let bl = go (left tx x) lo (Some k) in
+               let br = go (right tx x) (Some k) hi in
+               if bl <> br then ok := false;
+               bl + (if Int64.equal (color tx x) black then 1 else 0)
+             end
+           in
+           let r = root tx h in
+           if r <> nil_n && Int64.equal (color tx r) red then ok := false;
+           ignore (go r None None);
+           0L));
+    !ok
+end

@@ -1,0 +1,20 @@
+(** Red-black tree set over any PTM (the paper's tree workload, Figure 6
+    center): CLRS insert/delete with parent pointers and a real NIL
+    sentinel.  Rebalancing makes update transactions large and poorly
+    aggregatable — the effect the paper discusses for 100%-update tree
+    workloads. *)
+
+module Make (P : Ptm.Ptm_intf.S) : sig
+  val init : P.t -> tid:int -> slot:int -> unit
+  val add : P.t -> tid:int -> slot:int -> int64 -> bool
+  val remove : P.t -> tid:int -> slot:int -> int64 -> bool
+  val contains : P.t -> tid:int -> slot:int -> int64 -> bool
+  val cardinal : P.t -> tid:int -> slot:int -> int
+
+  (** Elements in ascending order. *)
+  val elements : P.t -> tid:int -> slot:int -> int64 list
+
+  (** Test oracle: BST order, no red-red edge, equal black heights,
+      black root. *)
+  val check_invariants : P.t -> tid:int -> slot:int -> bool
+end

@@ -1,0 +1,273 @@
+let words_per_line = 8 (* 64-byte cache lines of 64-bit words *)
+
+(* Per-thread staging buffer: cache lines pwb'ed but not yet fenced. *)
+type staging = {
+  mutable lines : int array;
+  mutable count : int;
+}
+
+(* Per-thread counters, kept apart to avoid cross-thread contention. Indices
+   into the [counters] array: *)
+let c_pwb = 0
+let c_pfence = 1
+let c_psync = 2
+let c_ntstore = 3
+let c_words_written = 4
+let c_words_copied = 5
+let n_counters = 6
+
+type t = {
+  words : int;
+  nlines : int;
+  data : Bytes.t; (* volatile (cache) image *)
+  durable : Bytes.t; (* what survives a crash *)
+  dirty : Bytes.t; (* one byte per line: written since last made durable *)
+  staging : staging array; (* per tid *)
+  counters : int array array; (* per tid *)
+  rmw_lock : Mutex.t; (* simulation-level atomicity for [cas_word] *)
+  mutable flush_cost : int; (* cpu_relax iterations per written-back line *)
+}
+
+(* Device model: approximate per-line write-back latency (see .mli). *)
+let default_flush_cost = Atomic.make 0
+let set_default_flush_cost n = Atomic.set default_flush_cost n
+let set_flush_cost t n = t.flush_cost <- n
+
+let size_words t = t.words
+
+let create ~max_threads ~words () =
+  if max_threads < 1 then invalid_arg "Pmem.create: max_threads < 1";
+  if words < words_per_line then invalid_arg "Pmem.create: words too small";
+  let words = (words + words_per_line - 1) / words_per_line * words_per_line in
+  let nlines = words / words_per_line in
+  {
+    words;
+    nlines;
+    data = Bytes.make (words * 8) '\000';
+    durable = Bytes.make (words * 8) '\000';
+    dirty = Bytes.make nlines '\000';
+    staging =
+      Array.init max_threads (fun _ -> { lines = Array.make 64 0; count = 0 });
+    counters = Array.init max_threads (fun _ -> Array.make n_counters 0);
+    rmw_lock = Mutex.create ();
+    flush_cost = Atomic.get default_flush_cost;
+  }
+
+let[@inline] check_addr t addr =
+  if addr < 0 || addr >= t.words then
+    invalid_arg (Printf.sprintf "Pmem: address %d out of bounds" addr)
+
+let[@inline] line_of addr = addr / words_per_line
+
+let[@inline] get_word t addr =
+  check_addr t addr;
+  Bytes.get_int64_le t.data (addr * 8)
+
+let[@inline] mark_dirty t addr =
+  Bytes.unsafe_set t.dirty (line_of addr) '\001'
+
+let[@inline] set_word t ~tid addr v =
+  check_addr t addr;
+  Bytes.set_int64_le t.data (addr * 8) v;
+  mark_dirty t addr;
+  let c = t.counters.(tid) in
+  c.(c_words_written) <- c.(c_words_written) + 1
+
+(* Word-by-word copy using aligned 64-bit accesses so that concurrent
+   readers of the destination never observe torn words (Bytes.blit could
+   interleave at byte granularity). *)
+let copy_words_raw src dst ~src_off ~dst_off len =
+  for i = 0 to len - 1 do
+    Bytes.set_int64_le dst ((dst_off + i) * 8)
+      (Bytes.get_int64_le src ((src_off + i) * 8))
+  done
+
+let blit_words t ~tid ~src ~dst len =
+  if len < 0 then invalid_arg "Pmem.blit_words: negative length";
+  if len > 0 then begin
+    check_addr t src;
+    check_addr t (src + len - 1);
+    check_addr t dst;
+    check_addr t (dst + len - 1);
+    copy_words_raw t.data t.data ~src_off:src ~dst_off:dst len;
+    for line = line_of dst to line_of (dst + len - 1) do
+      Bytes.unsafe_set t.dirty line '\001'
+    done;
+    let c = t.counters.(tid) in
+    c.(c_words_copied) <- c.(c_words_copied) + len
+  end
+
+let cas_word t ~tid addr ~expected ~desired =
+  check_addr t addr;
+  Mutex.lock t.rmw_lock;
+  let cur = Bytes.get_int64_le t.data (addr * 8) in
+  let ok = Int64.equal cur expected in
+  if ok then begin
+    Bytes.set_int64_le t.data (addr * 8) desired;
+    mark_dirty t addr;
+    let c = t.counters.(tid) in
+    c.(c_words_written) <- c.(c_words_written) + 1
+  end;
+  Mutex.unlock t.rmw_lock;
+  ok
+
+let stage_line t ~tid line =
+  let s = t.staging.(tid) in
+  if s.count = Array.length s.lines then begin
+    let bigger = Array.make (2 * s.count) 0 in
+    Array.blit s.lines 0 bigger 0 s.count;
+    s.lines <- bigger
+  end;
+  s.lines.(s.count) <- line;
+  s.count <- s.count + 1
+
+let pwb t ~tid addr =
+  check_addr t addr;
+  stage_line t ~tid (line_of addr);
+  let c = t.counters.(tid) in
+  c.(c_pwb) <- c.(c_pwb) + 1
+
+let pwb_range t ~tid lo hi =
+  if lo > hi then invalid_arg "Pmem.pwb_range: empty range";
+  check_addr t lo;
+  check_addr t hi;
+  let c = t.counters.(tid) in
+  for line = line_of lo to line_of hi do
+    stage_line t ~tid line;
+    c.(c_pwb) <- c.(c_pwb) + 1
+  done
+
+(* Write a staged line back to the durable image.  The line contents are the
+   ones current at fence time, which is a legal CLWB/SFENCE behaviour. *)
+let writeback_line t line =
+  let off = line * words_per_line in
+  copy_words_raw t.data t.durable ~src_off:off ~dst_off:off words_per_line;
+  Bytes.unsafe_set t.dirty line '\000';
+  for _ = 1 to t.flush_cost do
+    Domain.cpu_relax ()
+  done
+
+let drain t ~tid =
+  let s = t.staging.(tid) in
+  for i = 0 to s.count - 1 do
+    writeback_line t s.lines.(i)
+  done;
+  s.count <- 0
+
+let pfence t ~tid =
+  drain t ~tid;
+  let c = t.counters.(tid) in
+  c.(c_pfence) <- c.(c_pfence) + 1
+
+let psync t ~tid =
+  drain t ~tid;
+  let c = t.counters.(tid) in
+  c.(c_psync) <- c.(c_psync) + 1
+
+let ntstore_word t ~tid addr v =
+  check_addr t addr;
+  Bytes.set_int64_le t.data (addr * 8) v;
+  mark_dirty t addr;
+  stage_line t ~tid (line_of addr);
+  let c = t.counters.(tid) in
+  c.(c_ntstore) <- c.(c_ntstore) + 1;
+  c.(c_words_written) <- c.(c_words_written) + 1
+
+let ntcopy_words t ~tid ~src ~dst len =
+  if len < 0 then invalid_arg "Pmem.ntcopy_words: negative length";
+  if len > 0 then begin
+    check_addr t src;
+    check_addr t (src + len - 1);
+    check_addr t dst;
+    check_addr t (dst + len - 1);
+    copy_words_raw t.data t.data ~src_off:src ~dst_off:dst len;
+    let c = t.counters.(tid) in
+    for line = line_of dst to line_of (dst + len - 1) do
+      Bytes.unsafe_set t.dirty line '\001';
+      stage_line t ~tid line;
+      c.(c_ntstore) <- c.(c_ntstore) + 1
+    done;
+    c.(c_words_copied) <- c.(c_words_copied) + len
+  end
+
+let crash t =
+  Bytes.blit t.durable 0 t.data 0 (Bytes.length t.durable);
+  Bytes.fill t.dirty 0 t.nlines '\000';
+  Array.iter (fun s -> s.count <- 0) t.staging
+
+let crash_with_evictions t ~seed ~prob =
+  let rng = Random.State.make [| seed |] in
+  for line = 0 to t.nlines - 1 do
+    if Bytes.get t.dirty line = '\001' && Random.State.float rng 1.0 < prob
+    then writeback_line t line
+  done;
+  crash t
+
+let durable_word t addr =
+  check_addr t addr;
+  Bytes.get_int64_le t.durable (addr * 8)
+
+module Stats = struct
+  type snapshot = {
+    pwb : int;
+    pfence : int;
+    psync : int;
+    ntstore : int;
+    words_written : int;
+    words_copied : int;
+  }
+
+  let zero =
+    {
+      pwb = 0;
+      pfence = 0;
+      psync = 0;
+      ntstore = 0;
+      words_written = 0;
+      words_copied = 0;
+    }
+
+  let add a b =
+    {
+      pwb = a.pwb + b.pwb;
+      pfence = a.pfence + b.pfence;
+      psync = a.psync + b.psync;
+      ntstore = a.ntstore + b.ntstore;
+      words_written = a.words_written + b.words_written;
+      words_copied = a.words_copied + b.words_copied;
+    }
+
+  let diff a b =
+    {
+      pwb = a.pwb - b.pwb;
+      pfence = a.pfence - b.pfence;
+      psync = a.psync - b.psync;
+      ntstore = a.ntstore - b.ntstore;
+      words_written = a.words_written - b.words_written;
+      words_copied = a.words_copied - b.words_copied;
+    }
+
+  let fences s = s.pfence + s.psync
+
+  let pp ppf s =
+    Format.fprintf ppf
+      "pwb=%d pfence=%d psync=%d ntstore=%d written=%d copied=%d" s.pwb
+      s.pfence s.psync s.ntstore s.words_written s.words_copied
+end
+
+let stats t =
+  Array.fold_left
+    (fun acc c ->
+      Stats.add acc
+        {
+          Stats.pwb = c.(c_pwb);
+          pfence = c.(c_pfence);
+          psync = c.(c_psync);
+          ntstore = c.(c_ntstore);
+          words_written = c.(c_words_written);
+          words_copied = c.(c_words_copied);
+        })
+    Stats.zero t.counters
+
+let reset_stats t =
+  Array.iter (fun c -> Array.fill c 0 n_counters 0) t.counters

@@ -1,0 +1,138 @@
+(** Simulated byte-addressable non-volatile main memory (NVMM).
+
+    The paper's testbed is Intel Optane DC persistent memory driven with the
+    [CLWB] (persistence write-back, "pwb") and [SFENCE] (persistence fence,
+    "pfence"/"psync") instructions.  This module replaces that hardware with a
+    deterministic model that preserves exactly the properties the paper's
+    durable-linearizability arguments rest on:
+
+    - memory is an array of 64-bit words grouped in 64-byte cache lines;
+    - a store only modifies the volatile (cache) image;
+    - [pwb] stages the containing cache line for write-back;
+    - [pfence]/[psync] makes every line staged by the calling thread durable;
+    - a crash discards the volatile image: only the durable image survives;
+    - optionally, a crash may first "evict" a random subset of dirty lines to
+      the durable image, modelling the fact that real caches may write back a
+      dirty line at any time, even without an explicit flush.
+
+    All flush instructions are counted per-thread, which is how we reproduce
+    the paper's pwb-count measurements (Figure 5 right, Figure 9 right).
+
+    Thread-safety contract: distinct threads may operate on distinct words
+    concurrently; concurrent mutation of the same word must be prevented by
+    the caller (the PTMs guarantee this with per-replica exclusive locks).
+    Word reads/writes use aligned 64-bit accesses and do not tear. *)
+
+type t
+
+(** Number of 64-bit words per simulated cache line (64 bytes). *)
+val words_per_line : int
+
+(** [create ~max_threads ~words ()] allocates a region of [words] 64-bit
+    words (rounded up to a cache-line multiple) usable by thread ids
+    [0 .. max_threads - 1]. The region starts zeroed, and zeroed durable. *)
+val create : max_threads:int -> words:int -> unit -> t
+
+(** Total number of words in the region. *)
+val size_words : t -> int
+
+(** {1 Volatile (cached) accesses} *)
+
+val get_word : t -> int -> int64
+val set_word : t -> tid:int -> int -> int64 -> unit
+
+(** [blit_words t ~tid ~src ~dst len] copies [len] words inside the volatile
+    image (used for replica copies).  Destination lines become dirty. *)
+val blit_words : t -> tid:int -> src:int -> dst:int -> int -> unit
+
+(** [cas_word t ~tid addr ~expected ~desired] atomically compares-and-swaps a
+    PM-resident word (the paper's persistency model allows atomic 64-bit
+    operations on PM, e.g. CX's [curComb]).  Because the word itself is only
+    ever updated by winning CAS operations, later flushes can never regress
+    it to an older value. *)
+val cas_word : t -> tid:int -> int -> expected:int64 -> desired:int64 -> bool
+
+(** {1 Persistence instructions} *)
+
+(** [pwb t ~tid addr] stages the cache line containing word [addr] for
+    write-back by thread [tid].  The line's contents become durable at that
+    thread's next [pfence]/[psync] (with the contents as of fence time, which
+    is within the allowed behaviours of [CLWB; SFENCE]). *)
+val pwb : t -> tid:int -> int -> unit
+
+(** Flush an inclusive word range: one [pwb] per distinct cache line. *)
+val pwb_range : t -> tid:int -> int -> int -> unit
+
+(** Persistence fence: make all lines staged by [tid] durable. *)
+val pfence : t -> tid:int -> unit
+
+(** [set_default_flush_cost iters] sets a process-wide device model for
+    regions created afterwards: every cache line written back at a fence
+    busy-waits [iters] [cpu_relax] iterations, approximating the per-line
+    CLWB+drain cost of Optane DC PMEM ([iters] ~ 100 is a few hundred ns).
+    Defaults to 0 (flushes cost only the copy), which unit tests use;
+    the benchmark harness enables it so that flush counts translate into
+    time the way they do on the paper's hardware. *)
+val set_default_flush_cost : int -> unit
+
+(** Per-region override of the flush cost model. *)
+val set_flush_cost : t -> int -> unit
+
+(** Persistence sync: same durability effect as [pfence]; counted apart
+    because the paper distinguishes the two (one pfence + one psync per
+    transaction). *)
+val psync : t -> tid:int -> unit
+
+(** [ntstore_word t ~tid addr v] non-temporal store: writes the word and
+    stages its line without a separate [pwb] (models [movnt]). Durable at the
+    next fence. *)
+val ntstore_word : t -> tid:int -> int -> int64 -> unit
+
+(** [ntcopy_words t ~tid ~src ~dst len] replica copy using non-temporal
+    stores: volatile copy + staging of every destination line, counted as
+    ntstores rather than pwbs. *)
+val ntcopy_words : t -> tid:int -> src:int -> dst:int -> int -> unit
+
+(** {1 Failures and recovery} *)
+
+(** [crash t] simulates a full-system non-corrupting failure: the volatile
+    image is replaced by the durable image; all staged lines and dirty state
+    are discarded. Deterministic: unflushed lines never survive. *)
+val crash : t -> unit
+
+(** [crash_with_evictions t ~seed ~prob] first writes back each dirty line
+    with probability [prob] (simulating arbitrary cache evictions before the
+    failure), then behaves like [crash].  Correct algorithms must recover
+    from any such outcome. *)
+val crash_with_evictions : t -> seed:int -> prob:float -> unit
+
+(** [durable_word t addr] reads the durable image directly (test oracle). *)
+val durable_word : t -> int -> int64
+
+(** {1 Statistics} *)
+
+module Stats : sig
+  type snapshot = {
+    pwb : int;
+    pfence : int;
+    psync : int;
+    ntstore : int;
+    words_written : int;
+    words_copied : int;
+  }
+
+  val zero : snapshot
+  val add : snapshot -> snapshot -> snapshot
+  val diff : snapshot -> snapshot -> snapshot
+
+  (** Total fence instructions ([pfence + psync]). *)
+  val fences : snapshot -> int
+
+  val pp : Format.formatter -> snapshot -> unit
+end
+
+(** Aggregate counters across all threads. *)
+val stats : t -> Stats.snapshot
+
+(** Reset all counters to zero. *)
+val reset_stats : t -> unit

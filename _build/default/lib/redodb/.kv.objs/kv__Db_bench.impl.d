@@ -1,0 +1,1 @@
+lib/redodb/db_bench.ml: Atomic Char Db_intf Domain List Pmem Printf Random String Unix

@@ -1,0 +1,1 @@
+lib/redodb/db_intf.ml: Pmem

@@ -1,0 +1,1 @@
+lib/redodb/redodb.ml: Array Bytes Char Hashtbl Int64 List Palloc Pmem Ptm String Unix

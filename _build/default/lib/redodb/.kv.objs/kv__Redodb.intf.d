@@ -1,0 +1,1 @@
+lib/redodb/redodb.mli: Db_intf

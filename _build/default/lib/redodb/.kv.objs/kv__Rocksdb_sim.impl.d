@@ -1,0 +1,1 @@
+lib/redodb/rocksdb_sim.ml: Array Bytes Char Fun Hashtbl Int64 List Mutex Pmem String Sync_prims Unix

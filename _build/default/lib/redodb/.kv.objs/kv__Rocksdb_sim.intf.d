@@ -1,0 +1,1 @@
+lib/redodb/rocksdb_sim.mli: Db_intf

@@ -1,0 +1,146 @@
+(** db_bench workloads (RocksDB's benchmark suite, as used in §6 Figures
+    7–9): fillrandom, readrandom, readwhilewriting, overwrite — plus the
+    memory-usage and recovery measurements of Figure 8.
+
+    Keys are 16 bytes and values 100 bytes, as in the paper. *)
+
+type result = {
+  label : string;
+  ops : int;
+  seconds : float;
+  ops_per_sec : float;
+  stats : Pmem.Stats.snapshot; (* delta over the run *)
+}
+
+let key_size = 16
+let value_size = 100
+
+let key_of i = Printf.sprintf "%0*d" key_size i
+
+let value_of seed =
+  String.init value_size (fun i -> Char.chr (((seed * 131) + (i * 7)) mod 26 + 65))
+
+module Make (D : Db_intf.S) = struct
+  let timed label db ops f =
+    let s0 = D.stats db in
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    let s1 = D.stats db in
+    {
+      label;
+      ops;
+      seconds = dt;
+      ops_per_sec = (if dt > 0. then float_of_int ops /. dt else 0.);
+      stats = Pmem.Stats.diff s1 s0;
+    }
+
+  let spawn_workers threads f =
+    let ds = List.init threads (fun w -> Domain.spawn (fun () -> f w)) in
+    List.iter Domain.join ds
+
+  (** Load the database with [keys] distinct keys (sequential tids). *)
+  let fill_sequential db ~keys =
+    for i = 0 to keys - 1 do
+      D.put db ~tid:0 ~key:(key_of i) ~value:(value_of i)
+    done
+
+  (** fillrandom: insert [ops] random keys from [keyspace] across
+      [threads] threads. *)
+  let fillrandom db ~threads ~ops ~keyspace =
+    timed "fillrandom" db ops (fun () ->
+        spawn_workers threads (fun w ->
+            let st = Random.State.make [| 0xF17; w |] in
+            for _ = 1 to ops / threads do
+              let i = Random.State.int st keyspace in
+              D.put db ~tid:w ~key:(key_of i) ~value:(value_of i)
+            done))
+
+  (** readrandom: random point lookups. *)
+  let readrandom db ~threads ~ops ~keyspace =
+    let hits = Atomic.make 0 in
+    let r =
+      timed "readrandom" db ops (fun () ->
+          spawn_workers threads (fun w ->
+              let st = Random.State.make [| 0x4EAD; w |] in
+              for _ = 1 to ops / threads do
+                let i = Random.State.int st keyspace in
+                if D.get db ~tid:w (key_of i) <> None then Atomic.incr hits
+              done))
+    in
+    (r, Atomic.get hits)
+
+  (** readwhilewriting: [threads] readers while one extra thread
+      continuously overwrites random keys. *)
+  let readwhilewriting db ~threads ~ops ~keyspace =
+    let stop = Atomic.make false in
+    let writes = Atomic.make 0 in
+    let writer_tid = threads in
+    let writer =
+      Domain.spawn (fun () ->
+          let st = Random.State.make [| 0x327173 |] in
+          while not (Atomic.get stop) do
+            let i = Random.State.int st keyspace in
+            D.put db ~tid:writer_tid ~key:(key_of i) ~value:(value_of (i + 1));
+            Atomic.incr writes
+          done)
+    in
+    let r =
+      timed "readwhilewriting" db ops (fun () ->
+          spawn_workers threads (fun w ->
+              let st = Random.State.make [| 0x4EAD; w + 17 |] in
+              for _ = 1 to ops / threads do
+                ignore (D.get db ~tid:w (key_of (Random.State.int st keyspace)))
+              done))
+    in
+    Atomic.set stop true;
+    Domain.join writer;
+    (r, Atomic.get writes)
+
+  (** overwrite: replace the value of random existing keys. *)
+  let overwrite db ~threads ~ops ~keyspace =
+    timed "overwrite" db ops (fun () ->
+        spawn_workers threads (fun w ->
+            let st = Random.State.make [| 0x0E4; w |] in
+            for _ = 1 to ops / threads do
+              let i = Random.State.int st keyspace in
+              D.put db ~tid:w ~key:(key_of i) ~value:(value_of (i + 99))
+            done))
+
+  (** fillseq: insert [keys] sequential keys (single-threaded, as in
+      db_bench's fillseq). *)
+  let fillseq db ~keys =
+    timed "fillseq" db keys (fun () -> fill_sequential db ~keys)
+
+  (** deleterandom: delete random keys from the keyspace. *)
+  let deleterandom db ~threads ~ops ~keyspace =
+    let deleted = Atomic.make 0 in
+    let r =
+      timed "deleterandom" db ops (fun () ->
+          spawn_workers threads (fun w ->
+              let st = Random.State.make [| 0xDE1; w |] in
+              for _ = 1 to ops / threads do
+                if D.delete db ~tid:w (key_of (Random.State.int st keyspace))
+                then Atomic.incr deleted
+              done))
+    in
+    (r, Atomic.get deleted)
+
+  (** readmissing: random lookups of keys guaranteed absent. *)
+  let readmissing db ~threads ~ops ~keyspace =
+    timed "readmissing" db ops (fun () ->
+        spawn_workers threads (fun w ->
+            let st = Random.State.make [| 0x415; w |] in
+            for _ = 1 to ops / threads do
+              ignore
+                (D.get db ~tid:w
+                   (key_of (keyspace + Random.State.int st keyspace)))
+            done))
+
+  (** Figure 8: memory usage after a fillrandom load, and recovery time. *)
+  let memory_and_recovery db ~keys =
+    fill_sequential db ~keys;
+    let nvm, volatile = D.memory_usage db in
+    let recovery_s = D.crash_and_recover db in
+    (nvm, volatile, recovery_s)
+end

@@ -1,0 +1,37 @@
+(** Common key-value store interface implemented by {!Redodb} (the paper's
+    wait-free PM database) and {!Rocksdb_sim} (the WAL + memtable baseline),
+    so the db_bench workloads of Figures 7–9 drive both identically.
+
+    The API mirrors the LevelDB/RocksDB surface the paper implements:
+    point reads and writes, deletes, atomic write batches, and iteration. *)
+
+module type S = sig
+  val name : string
+
+  type t
+
+  (** [open_db ~num_threads ~capacity_bytes ()] creates/opens a database
+      sized for roughly [capacity_bytes] of user data. *)
+  val open_db : num_threads:int -> capacity_bytes:int -> unit -> t
+
+  val put : t -> tid:int -> key:string -> value:string -> unit
+  val get : t -> tid:int -> string -> string option
+  val delete : t -> tid:int -> string -> bool
+
+  (** Atomic multi-write: [Some v] puts, [None] deletes. *)
+  val write_batch : t -> tid:int -> (string * string option) list -> unit
+
+  (** Fold over all live key/value pairs (a consistent snapshot). *)
+  val fold : t -> tid:int -> init:'a -> ('a -> string -> string -> 'a) -> 'a
+
+  val count : t -> tid:int -> int
+
+  (** Crash and run recovery; returns the recovery wall-clock seconds. *)
+  val crash_and_recover : t -> float
+
+  val stats : t -> Pmem.Stats.snapshot
+  val reset_stats : t -> unit
+
+  (** (nvm_words, volatile_words) currently in use. *)
+  val memory_usage : t -> int * int
+end

@@ -1,0 +1,265 @@
+(** RedoDB (§6): "the first wait-free in-memory key-value store database",
+    built from a resizable hash map annotated with RedoOpt-PTM transactional
+    semantics.  Provides the LevelDB/RocksDB API surface used by db_bench
+    and durable-linearizable (serializable) transactions with null recovery.
+
+    Persistent layout (inside the PTM's logical region):
+    - root slot 1 -> header [bucket_count; count; buckets_ptr]
+    - bucket chain node: [hash; key_ptr; val_ptr; next]
+    - string block: [byte_length; packed bytes...] (8 bytes per word)
+
+    Read operations run on their own snapshot (a shared-locked Combined
+    replica), which is what gives RedoDB its read-while-write advantage in
+    Figure 7. *)
+
+module P = Ptm.Redo_ptm.Opt
+
+let name = "RedoDB"
+
+type t = { p : P.t; num_threads : int }
+
+let slot = 1
+let node_words = 4
+
+(* ---- string (de)serialisation through transactional words ---- *)
+
+let string_words len = 1 + ((len + 7) / 8)
+
+let write_string tx addr s =
+  let len = String.length s in
+  P.set tx addr (Int64.of_int len);
+  let nwords = (len + 7) / 8 in
+  for w = 0 to nwords - 1 do
+    let v = ref 0L in
+    for b = 0 to 7 do
+      let i = (w * 8) + b in
+      if i < len then
+        v := Int64.logor !v (Int64.shift_left (Int64.of_int (Char.code s.[i])) (8 * b))
+    done;
+    P.set tx (addr + 1 + w) !v
+  done
+
+let read_string tx addr =
+  let len = Int64.to_int (P.get tx addr) in
+  let buf = Bytes.create len in
+  let nwords = (len + 7) / 8 in
+  for w = 0 to nwords - 1 do
+    let v = P.get tx (addr + 1 + w) in
+    for b = 0 to 7 do
+      let i = (w * 8) + b in
+      if i < len then
+        Bytes.set buf i
+          (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * b)) 0xffL)))
+    done
+  done;
+  Bytes.to_string buf
+
+let alloc_string tx s =
+  let a = P.alloc tx (string_words (String.length s)) in
+  write_string tx a s;
+  a
+
+let hash_string s = Int64.of_int (Hashtbl.hash s land 0x3FFFFFFF)
+
+(* ---- hash map plumbing ---- *)
+
+let header tx = Int64.to_int (P.get tx (Palloc.root_addr slot))
+let bucket_count tx h = Int64.to_int (P.get tx h)
+let db_count tx h = Int64.to_int (P.get tx (h + 1))
+let buckets tx h = Int64.to_int (P.get tx (h + 2))
+
+let open_db ~num_threads ~capacity_bytes () =
+  (* region sizing: user data + power-of-two allocator slack + table *)
+  let words = max (1 lsl 16) (capacity_bytes / 8 * 6) in
+  let p = P.create ~num_threads ~words () in
+  ignore
+    (P.update p ~tid:0 (fun tx ->
+         let hdr = P.alloc tx 3 in
+         let nb = 64 in
+         let b = P.alloc tx nb in
+         for i = 0 to nb - 1 do
+           P.set tx (b + i) 0L
+         done;
+         P.set tx hdr (Int64.of_int nb);
+         P.set tx (hdr + 1) 0L;
+         P.set tx (hdr + 2) (Int64.of_int b);
+         P.set tx (Palloc.root_addr slot) (Int64.of_int hdr);
+         0L));
+  { p; num_threads }
+
+let bucket_of tx h key_hash =
+  buckets tx h + (Int64.to_int key_hash mod bucket_count tx h)
+
+(* Find the node for [key] in its chain: (prev, node) with 0 sentinels. *)
+let locate tx h key key_hash =
+  let b = bucket_of tx h key_hash in
+  let rec go prev cur =
+    if cur = 0 then (b, prev, 0)
+    else if
+      Int64.equal (P.get tx cur) key_hash
+      && String.equal (read_string tx (Int64.to_int (P.get tx (cur + 1)))) key
+    then (b, prev, cur)
+    else go cur (Int64.to_int (P.get tx (cur + 3)))
+  in
+  go 0 (Int64.to_int (P.get tx b))
+
+let resize tx h =
+  let old_n = bucket_count tx h in
+  let old_b = buckets tx h in
+  let new_n = 2 * old_n in
+  let new_b = P.alloc tx new_n in
+  for i = 0 to new_n - 1 do
+    P.set tx (new_b + i) 0L
+  done;
+  for i = 0 to old_n - 1 do
+    let rec rehash cur =
+      if cur <> 0 then begin
+        let nxt = Int64.to_int (P.get tx (cur + 3)) in
+        let dst = new_b + (Int64.to_int (P.get tx cur) mod new_n) in
+        P.set tx (cur + 3) (P.get tx dst);
+        P.set tx dst (Int64.of_int cur);
+        rehash nxt
+      end
+    in
+    rehash (Int64.to_int (P.get tx (old_b + i)))
+  done;
+  P.set tx (h + 2) (Int64.of_int new_b);
+  P.set tx h (Int64.of_int new_n);
+  P.dealloc tx old_b
+
+let put_tx tx ~key ~value =
+  let h = header tx in
+  let kh = hash_string key in
+  let b, _, node = locate tx h key kh in
+  if node <> 0 then begin
+    (* overwrite: swap the value block *)
+    P.dealloc tx (Int64.to_int (P.get tx (node + 2)));
+    P.set tx (node + 2) (Int64.of_int (alloc_string tx value))
+  end
+  else begin
+    let n = P.alloc tx node_words in
+    P.set tx n kh;
+    P.set tx (n + 1) (Int64.of_int (alloc_string tx key));
+    P.set tx (n + 2) (Int64.of_int (alloc_string tx value));
+    P.set tx (n + 3) (P.get tx b);
+    P.set tx b (Int64.of_int n);
+    let cnt = db_count tx h + 1 in
+    P.set tx (h + 1) (Int64.of_int cnt);
+    if cnt > 2 * bucket_count tx h then resize tx h
+  end
+
+let delete_tx tx key =
+  let h = header tx in
+  let kh = hash_string key in
+  let b, prev, node = locate tx h key kh in
+  if node = 0 then false
+  else begin
+    let nxt = P.get tx (node + 3) in
+    if prev = 0 then P.set tx b nxt else P.set tx (prev + 3) nxt;
+    P.dealloc tx (Int64.to_int (P.get tx (node + 1)));
+    P.dealloc tx (Int64.to_int (P.get tx (node + 2)));
+    P.dealloc tx node;
+    P.set tx (h + 1) (Int64.of_int (db_count tx h - 1));
+    true
+  end
+
+let put t ~tid ~key ~value =
+  ignore (P.update t.p ~tid (fun tx -> put_tx tx ~key ~value; 0L))
+
+let delete t ~tid key =
+  P.update t.p ~tid (fun tx -> if delete_tx tx key then 1L else 0L) = 1L
+
+let write_batch t ~tid ops =
+  ignore
+    (P.update t.p ~tid (fun tx ->
+         List.iter
+           (fun (key, v) ->
+             match v with
+             | Some value -> put_tx tx ~key ~value
+             | None -> ignore (delete_tx tx key))
+           ops;
+         0L))
+
+(* Reads decode the value inside the read-only transaction (consistent
+   snapshot) and pass it out via a ref: results are int64-typed. *)
+let get t ~tid key =
+  let out = ref None in
+  ignore
+    (P.read_only t.p ~tid (fun tx ->
+         let h = header tx in
+         let kh = hash_string key in
+         let _, _, node = locate tx h key kh in
+         if node <> 0 then
+           out := Some (read_string tx (Int64.to_int (P.get tx (node + 2))));
+         0L));
+  !out
+
+let fold t ~tid ~init f =
+  let acc = ref init in
+  ignore
+    (P.read_only t.p ~tid (fun tx ->
+         let h = header tx in
+         let n = bucket_count tx h in
+         let b = buckets tx h in
+         for i = 0 to n - 1 do
+           let rec chain cur =
+             if cur <> 0 then begin
+               let k = read_string tx (Int64.to_int (P.get tx (cur + 1))) in
+               let v = read_string tx (Int64.to_int (P.get tx (cur + 2))) in
+               acc := f !acc k v;
+               chain (Int64.to_int (P.get tx (cur + 3)))
+             end
+           in
+           chain (Int64.to_int (P.get tx (b + i)))
+         done;
+         0L));
+  !acc
+
+let count t ~tid =
+  Int64.to_int (P.read_only t.p ~tid (fun tx -> Int64.of_int (db_count tx (header tx))))
+
+let crash_and_recover t =
+  let t0 = Unix.gettimeofday () in
+  P.crash_and_recover t.p;
+  (* Null recovery, but the first update transaction after restart pays for
+     a replica copy; include one to measure what the paper measures
+     (Figure 8 right: "time to recover and execute the first fillrandom
+     transaction"). *)
+  put t ~tid:0 ~key:"__recovery_probe__" ~value:"x";
+  ignore (delete t ~tid:0 "__recovery_probe__");
+  Unix.gettimeofday () -. t0
+
+let stats t = P.stats t.p
+let reset_stats t = Pmem.reset_stats (P.pmem t.p)
+let memory_usage t = (P.nvm_usage_words t.p, P.volatile_usage_words t.p)
+
+(* ---- cursors ----
+   The hash map is unordered, so a cursor materialises a consistent
+   key-sorted snapshot inside one read-only transaction (the same
+   own-snapshot mechanism that powers readwhilewriting) and then walks it
+   without further synchronization, like a LevelDB iterator pinned to a
+   snapshot. *)
+
+type cursor = {
+  entries : (string * string) array;
+  mutable pos : int;
+}
+
+let seek t ~tid prefix =
+  let all = fold t ~tid ~init:[] (fun acc k v -> (k, v) :: acc) in
+  let entries =
+    Array.of_list
+      (List.sort (fun (a, _) (b, _) -> String.compare a b)
+         (List.filter (fun (k, _) -> String.compare k prefix >= 0) all))
+  in
+  { entries; pos = 0 }
+
+let entry c =
+  if c.pos < Array.length c.entries then Some c.entries.(c.pos) else None
+
+let next c =
+  if c.pos < Array.length c.entries then begin
+    c.pos <- c.pos + 1;
+    c.pos < Array.length c.entries
+  end
+  else false

@@ -1,0 +1,21 @@
+(** RedoDB (§6): the paper's wait-free in-memory key-value store — a
+    resizable hash map annotated with RedoOpt-PTM transactional semantics,
+    offering the LevelDB/RocksDB API surface with durable-linearizable
+    (serializable) transactions and null recovery. *)
+
+include Db_intf.S
+
+(** {1 Iteration (the paper's "extended with iterator capabilities")} *)
+
+(** A cursor over a consistent snapshot of the database, ordered by key. *)
+type cursor
+
+(** [seek t ~tid prefix] positions a cursor at the first key >= [prefix]
+    in a consistent snapshot taken at call time. *)
+val seek : t -> tid:int -> string -> cursor
+
+(** Current entry, if the cursor is valid. *)
+val entry : cursor -> (string * string) option
+
+(** Advance; returns false once exhausted. *)
+val next : cursor -> bool

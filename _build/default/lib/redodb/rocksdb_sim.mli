@@ -1,0 +1,6 @@
+(** RocksDB-style baseline for Figures 7–9: synchronous WAL (with an
+    ext4-journal flush model) + volatile memtable + sorted-table
+    compaction, over the same simulated PM device as RedoDB.  Writers
+    serialize on the WAL lock; readers take a shared lock. *)
+
+include Db_intf.S

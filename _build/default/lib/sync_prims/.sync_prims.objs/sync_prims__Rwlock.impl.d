@@ -1,0 +1,1 @@
+lib/sync_prims/rwlock.ml: Atomic Backoff

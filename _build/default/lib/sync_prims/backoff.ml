@@ -1,0 +1,23 @@
+type t = {
+  mutable spins : int;
+  max_spins : int;
+}
+
+let create ?(max_spins = 1024) () = { spins = 4; max_spins }
+
+let yield () =
+  (* Unix.sleepf 0.0 releases the processor without a measurable delay;
+     Domain.cpu_relax alone never lets the holder's domain run on 1 core. *)
+  Unix.sleepf 0.0
+
+let once t =
+  let n = t.spins in
+  if n >= t.max_spins then yield ()
+  else
+    for _ = 1 to n do
+      Domain.cpu_relax ()
+    done;
+  if t.spins < t.max_spins then t.spins <- t.spins * 2;
+  n
+
+let reset t = t.spins <- 4

@@ -1,0 +1,22 @@
+(** Bounded exponential backoff (Anderson-style) for spin loops.
+
+    On the single-core hosts this reproduction targets, pure [cpu_relax]
+    spinning can burn a whole scheduler quantum while the lock holder is
+    descheduled, so past a spin threshold the backoff yields to the OS. *)
+
+type t
+
+(** [create ()] returns a fresh backoff state starting at the minimum delay.
+    [max_spins] bounds the busy-wait iterations of a single [once] before
+    yielding to the OS scheduler. *)
+val create : ?max_spins:int -> unit -> t
+
+(** Wait once and increase the next delay (capped). Returns the number of
+    spin iterations performed, so callers can account waiting time. *)
+val once : t -> int
+
+(** Reset the delay to the minimum. *)
+val reset : t -> unit
+
+(** Yield the processor to the OS scheduler immediately. *)
+val yield : unit -> unit

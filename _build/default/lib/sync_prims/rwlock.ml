@@ -1,0 +1,66 @@
+(* Writer word encoding: 0 = free; otherwise (tid + 1) lsl 1, with bit 0 set
+   when the hold has been downgraded to allow readers. *)
+
+type t = {
+  writer : int Atomic.t;
+  readers : int Atomic.t;
+}
+
+let create () = { writer = Atomic.make 0; readers = Atomic.make 0 }
+
+let[@inline] encode tid = (tid + 1) lsl 1
+let[@inline] downgraded w = w land 1 = 1
+
+let shared_try_lock t ~tid:_ =
+  (* Ingress first, then check for a writer: a writer that acquired after our
+     ingress will wait for us to drain, so read access is safe either way. *)
+  ignore (Atomic.fetch_and_add t.readers 1);
+  let w = Atomic.get t.writer in
+  if w = 0 || downgraded w then true
+  else begin
+    ignore (Atomic.fetch_and_add t.readers (-1));
+    false
+  end
+
+let shared_unlock t ~tid:_ = ignore (Atomic.fetch_and_add t.readers (-1))
+
+let exclusive_try_lock t ~tid =
+  if not (Atomic.compare_and_set t.writer 0 (encode tid)) then false
+  else begin
+    (* Bar is up; drain in-flight readers. Each pending reader either backs
+       out (saw our writer word) or holds briefly, so this loop is finite. *)
+    let b = Backoff.create () in
+    while Atomic.get t.readers > 0 do
+      ignore (Backoff.once b)
+    done;
+    true
+  end
+
+let exclusive_unlock t ~tid =
+  let expected = encode tid in
+  let w = Atomic.get t.writer in
+  assert (w = expected || w = expected lor 1);
+  Atomic.set t.writer 0
+
+let downgrade t ~tid =
+  let expected = encode tid in
+  assert (Atomic.get t.writer = expected);
+  Atomic.set t.writer (expected lor 1)
+
+let upgrade t ~tid =
+  let w = Atomic.get t.writer in
+  assert (w = encode tid lor 1);
+  Atomic.set t.writer (encode tid);
+  let b = Backoff.create () in
+  while Atomic.get t.readers > 0 do
+    ignore (Backoff.once b)
+  done
+
+let downgrade_unlock t ~tid =
+  let w = Atomic.get t.writer in
+  assert (w = encode tid lor 1);
+  Atomic.set t.writer 0
+
+let owner t =
+  let w = Atomic.get t.writer in
+  if w = 0 then None else Some ((w lsr 1) - 1)

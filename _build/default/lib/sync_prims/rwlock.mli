@@ -1,0 +1,47 @@
+(** Strong try reader-writer lock (Correia & Ramalhete, PPoPP '18).
+
+    The lock exposes only {e try} acquisitions that complete in a bounded
+    number of steps, plus a writer-to-reader {e downgrade}; these are the
+    properties CX and Redo-PTM need for wait-free progress:
+
+    - [shared_try_lock] fails only if a (non-downgraded) writer holds the
+      lock — no spurious failures;
+    - [exclusive_try_lock] fails only if another writer holds the lock; on
+      success it waits for in-flight readers to drain, which takes finitely
+      many steps because new readers are barred;
+    - [downgrade] lets readers in again while still excluding writers.
+
+    Implementation: a reader ingress counter ([Atomic]) plus a writer word
+    holding the owner (and a downgrade bit). *)
+
+type t
+
+val create : unit -> t
+
+(** [shared_try_lock t ~tid] attempts read access. *)
+val shared_try_lock : t -> tid:int -> bool
+
+val shared_unlock : t -> tid:int -> unit
+
+(** [exclusive_try_lock t ~tid] attempts write access; on success all reader
+    activity has drained before it returns [true]. *)
+val exclusive_try_lock : t -> tid:int -> bool
+
+val exclusive_unlock : t -> tid:int -> unit
+
+(** [downgrade t ~tid] turns the caller's exclusive hold into a state where
+    readers may enter but writers are still excluded.  Must be called by the
+    current exclusive owner. *)
+val downgrade : t -> tid:int -> unit
+
+(** Release after [downgrade]. *)
+val downgrade_unlock : t -> tid:int -> unit
+
+(** [upgrade t ~tid] re-acquires exclusivity after a [downgrade]: bars new
+    readers and drains the in-flight ones.  Must be called by the current
+    (downgraded) owner. *)
+val upgrade : t -> tid:int -> unit
+
+(** Current exclusive owner's [tid], if any (downgraded owners included);
+    for debugging and assertions. *)
+val owner : t -> int option

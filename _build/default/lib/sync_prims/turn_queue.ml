@@ -1,0 +1,83 @@
+type 'a node = {
+  payload : 'a;
+  ticket_a : int Atomic.t; (* -1 until linked *)
+  enqueued : bool Atomic.t;
+  next_a : 'a node option Atomic.t;
+}
+
+let payload n = n.payload
+let ticket n = Atomic.get n.ticket_a
+let next n = Atomic.get n.next_a
+
+type 'a t = {
+  sentinel : 'a node;
+  tail_a : 'a node Atomic.t;
+  announce : 'a node option Atomic.t array;
+  n : int;
+}
+
+let make_node payload =
+  {
+    payload;
+    ticket_a = Atomic.make (-1);
+    enqueued = Atomic.make false;
+    next_a = Atomic.make None;
+  }
+
+let create ~num_threads dummy =
+  let sentinel = make_node dummy in
+  Atomic.set sentinel.ticket_a 0;
+  Atomic.set sentinel.enqueued true;
+  {
+    sentinel;
+    tail_a = Atomic.make sentinel;
+    announce = Array.init num_threads (fun _ -> Atomic.make None);
+    n = num_threads;
+  }
+
+let sentinel t = t.sentinel
+let tail t = Atomic.get t.tail_a
+
+(* Completing a link is split KP-style: assign the ticket, mark the node
+   enqueued, and only then swing the tail.  Helpers that find the tail's
+   successor already linked finish this sequence idempotently, so a candidate
+   observed with [enqueued = true] after a fresh tail read can never be
+   linked a second time. *)
+let finish_link t ltail node =
+  let tkt = Atomic.get ltail.ticket_a + 1 in
+  ignore (Atomic.compare_and_set node.ticket_a (-1) tkt);
+  Atomic.set node.enqueued true;
+  ignore (Atomic.compare_and_set t.tail_a ltail node)
+
+(* Pick the announced, not-yet-enqueued node whose turn is next; fall back to
+   [mine].  Scanning starts after the current tail's ticket so every thread's
+   turn comes up within [n] successful links. *)
+let candidate t ltail mine =
+  let start = (Atomic.get ltail.ticket_a + 1) mod t.n in
+  let rec scan k =
+    if k = t.n then mine
+    else
+      let slot = (start + k) mod t.n in
+      match Atomic.get t.announce.(slot) with
+      | Some node when not (Atomic.get node.enqueued) -> node
+      | Some _ | None -> scan (k + 1)
+  in
+  scan 0
+
+let enqueue t ~tid payload =
+  let node = make_node payload in
+  Atomic.set t.announce.(tid) (Some node);
+  while not (Atomic.get node.enqueued) do
+    let ltail = Atomic.get t.tail_a in
+    match Atomic.get ltail.next_a with
+    | Some nx ->
+        (* Someone linked a node but has not finished; help. *)
+        finish_link t ltail nx
+    | None ->
+        let cand = candidate t ltail node in
+        if not (Atomic.get cand.enqueued) then
+          if Atomic.compare_and_set ltail.next_a None (Some cand) then
+            finish_link t ltail cand
+  done;
+  Atomic.set t.announce.(tid) None;
+  node

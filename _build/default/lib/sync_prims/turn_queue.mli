@@ -1,0 +1,40 @@
+(** Wait-free multi-producer queue of operations (CX's mutation queue).
+
+    Modelled on the turn queue of Ramalhete & Correia (PPoPP '17 poster):
+    enqueuers publish their node in a per-thread announce slot and all
+    enqueuers help link announced nodes in round-robin ("turn") order, so an
+    announced node is linked within [n] link steps — bounded wait-free.
+
+    Nodes are never dequeued: consumers (the CX Combined instances) keep
+    per-replica cursors into the list and advance them.  Reclamation is the
+    garbage collector's job; the CX construction bounds the live chain length
+    by invalidating replicas whose cursor falls behind a window (see
+    DESIGN.md), which mirrors the original's hazard-pointer scheme. *)
+
+type 'a node
+
+val payload : 'a node -> 'a
+
+(** Position of the node in the queue (sentinel = 0); assigned at link time
+    and monotonically increasing along the list. *)
+val ticket : 'a node -> int
+
+(** Successor in the queue, if linked yet. *)
+val next : 'a node -> 'a node option
+
+type 'a t
+
+(** [create ~num_threads dummy] builds a queue whose sentinel carries
+    [dummy]; thread ids must be in [0 .. num_threads - 1]. *)
+val create : num_threads:int -> 'a -> 'a t
+
+(** The sentinel node (ticket 0). Every consumer cursor starts here. *)
+val sentinel : 'a t -> 'a node
+
+(** Last linked node currently known. *)
+val tail : 'a t -> 'a node
+
+(** [enqueue t ~tid payload] appends a new node and returns it, helping other
+    announced enqueuers along the way; returns once the node is linked (its
+    ticket is then valid). *)
+val enqueue : 'a t -> tid:int -> 'a -> 'a node

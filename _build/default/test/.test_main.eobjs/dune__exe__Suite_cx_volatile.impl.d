@@ -1,0 +1,1 @@
+test/suite_cx_volatile.ml: Alcotest Atomic Domain Fun Int64 List Ptm QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_db.ml: Alcotest Atomic Domain Gen Hashtbl Kv List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/suite_internals.ml: Alcotest Atomic Domain Hashtbl Int64 List Option Ptm QCheck QCheck_alcotest Sync_prims Unix

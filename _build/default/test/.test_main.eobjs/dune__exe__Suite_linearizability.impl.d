@@ -1,0 +1,1 @@
+test/suite_linearizability.ml: Alcotest Array Atomic Domain Int64 List Palloc Pds Ptm

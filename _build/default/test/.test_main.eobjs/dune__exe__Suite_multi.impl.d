@@ -1,0 +1,1 @@
+test/suite_multi.ml: Alcotest Domain Int64 List Palloc Pds Printf Ptm Random

@@ -1,0 +1,1 @@
+test/suite_onll.ml: Alcotest Array Domain Int64 List Palloc Pmem Ptm

@@ -1,0 +1,1 @@
+test/suite_palloc.ml: Alcotest Array Hashtbl Int64 List Palloc QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_pds.ml: Alcotest Atomic Domain Int64 List Pds Pmem Printf Ptm QCheck QCheck_alcotest Random Set

@@ -1,0 +1,1 @@
+test/suite_pmem.ml: Alcotest Array Format Hashtbl Int64 List Pmem QCheck QCheck_alcotest

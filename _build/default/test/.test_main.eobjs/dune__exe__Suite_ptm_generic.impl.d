@@ -1,0 +1,1 @@
+test/suite_ptm_generic.ml: Alcotest Atomic Domain Fun Int64 List Palloc Printf Ptm QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/suite_recovery.ml: Alcotest Int64 List Pds Printf Ptm Random Set

@@ -1,0 +1,1 @@
+test/suite_sync.ml: Alcotest Array Domain Fun List QCheck QCheck_alcotest Sync_prims

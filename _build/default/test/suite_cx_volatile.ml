@@ -1,0 +1,153 @@
+(* Tests for the volatile CX universal construction: wrapping plain
+   sequential OCaml objects into linearizable wait-free concurrent ones. *)
+
+module Cx = Ptm.Cx
+
+(* A sequential stack as the wrapped object. *)
+type stack = { mutable items : int64 list }
+
+let copy_stack s = { items = s.items }
+
+let push v (s : stack) =
+  s.items <- v :: s.items;
+  1L
+
+let pop (s : stack) =
+  match s.items with
+  | [] -> Int64.min_int
+  | x :: rest ->
+      s.items <- rest;
+      x
+
+let peek (s : stack) = match s.items with [] -> Int64.min_int | x :: _ -> x
+let size (s : stack) = Int64.of_int (List.length s.items)
+
+let mk ?(num_threads = 4) () =
+  Cx.create ~num_threads ~copy:copy_stack { items = [] }
+
+let test_sequential_ops () =
+  let t = mk () in
+  Alcotest.(check int64) "empty pop" Int64.min_int
+    (Cx.apply_update t ~tid:0 pop);
+  ignore (Cx.apply_update t ~tid:0 (push 1L));
+  ignore (Cx.apply_update t ~tid:0 (push 2L));
+  Alcotest.(check int64) "peek" 2L (Cx.apply_read t ~tid:0 peek);
+  Alcotest.(check int64) "size" 2L (Cx.apply_read t ~tid:0 size);
+  Alcotest.(check int64) "pop lifo" 2L (Cx.apply_update t ~tid:0 pop);
+  Alcotest.(check int64) "pop lifo 2" 1L (Cx.apply_update t ~tid:0 pop)
+
+let test_reads_see_latest () =
+  let t = mk () in
+  for i = 1 to 50 do
+    ignore (Cx.apply_update t ~tid:0 (push (Int64.of_int i)));
+    Alcotest.(check int64) "read after update" (Int64.of_int i)
+      (Cx.apply_read t ~tid:1 peek)
+  done
+
+let test_concurrent_pushes_all_linearized () =
+  let nthreads = 4 in
+  let per = 250 in
+  let t = mk ~num_threads:nthreads () in
+  let ds =
+    List.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore
+                (Cx.apply_update t ~tid (push (Int64.of_int ((tid * per) + i))))
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int64) "all pushes applied exactly once"
+    (Int64.of_int (nthreads * per))
+    (Cx.apply_read t ~tid:0 size);
+  (* each element exactly once, and per-thread order is LIFO-consistent *)
+  let all = ref [] in
+  ignore
+    (Cx.apply_read t ~tid:0 (fun s ->
+         all := s.items;
+         0L));
+  let sorted = List.sort compare (List.map Int64.to_int !all) in
+  Alcotest.(check (list int)) "no duplicates or losses"
+    (List.init (nthreads * per) Fun.id)
+    sorted
+
+let test_concurrent_push_pop_conservation () =
+  let nthreads = 3 in
+  let t = mk ~num_threads:nthreads () in
+  let pops = Atomic.make 0 in
+  let ds =
+    List.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 1 to 100 do
+              ignore (Cx.apply_update t ~tid (push (Int64.of_int i)));
+              if i mod 2 = 0 then
+                if not (Int64.equal (Cx.apply_update t ~tid pop) Int64.min_int)
+                then Atomic.incr pops
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int64) "conservation"
+    (Int64.of_int ((nthreads * 100) - Atomic.get pops))
+    (Cx.apply_read t ~tid:0 size)
+
+let test_readers_do_not_block_updates () =
+  let t = mk () in
+  let stop = Atomic.make false in
+  let readers =
+    List.init 2 (fun i ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              ignore (Cx.apply_read t ~tid:(2 + i) size)
+            done))
+  in
+  for i = 1 to 200 do
+    ignore (Cx.apply_update t ~tid:0 (push (Int64.of_int i)))
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Alcotest.(check int64) "updates completed under read load" 200L
+    (Cx.apply_read t ~tid:0 size)
+
+let qcheck_matches_sequential =
+  (* Random single-threaded op sequences through CX match a plain stack. *)
+  QCheck.Test.make ~name:"CX(stack) = sequential stack" ~count:100
+    QCheck.(list (option (int_bound 1000)))
+  @@ fun ops ->
+  let t = mk () in
+  let model = ref [] in
+  List.for_all
+    (fun op ->
+      match op with
+      | Some v ->
+          let v = Int64.of_int v in
+          model := v :: !model;
+          Int64.equal (Cx.apply_update t ~tid:0 (push v)) 1L
+      | None -> (
+          let expect =
+            match !model with
+            | [] -> Int64.min_int
+            | x :: rest ->
+                model := rest;
+                x
+          in
+          Int64.equal (Cx.apply_update t ~tid:0 pop) expect))
+    ops
+  && Int64.equal
+       (Cx.apply_read t ~tid:0 size)
+       (Int64.of_int (List.length !model))
+
+let suites =
+  [
+    ( "cx_volatile",
+      [
+        Alcotest.test_case "sequential ops" `Quick test_sequential_ops;
+        Alcotest.test_case "reads see latest" `Quick test_reads_see_latest;
+        Alcotest.test_case "concurrent pushes" `Slow
+          test_concurrent_pushes_all_linearized;
+        Alcotest.test_case "push/pop conservation" `Slow
+          test_concurrent_push_pop_conservation;
+        Alcotest.test_case "readers don't block" `Slow
+          test_readers_do_not_block_updates;
+        QCheck_alcotest.to_alcotest qcheck_matches_sequential;
+      ] );
+  ]

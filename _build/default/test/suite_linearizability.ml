@@ -1,0 +1,124 @@
+(* Linearizability-oriented stress tests.
+
+   Full history checking is exponential; instead these tests exploit
+   operations whose linearizability admits complete, cheap validation:
+
+   - fetch-and-increment: every update returns the counter value it
+     installed, so under any linearization the multiset of returned values
+     must be exactly {1 .. total} with no duplicates and no gaps;
+   - queue transfer: tokens are moved between two queues; conservation and
+     no-duplication must hold at every quiescent point;
+   - register with monotone writes: readers may never observe the sequence
+     going backwards (regression would prove a non-linearizable read). *)
+
+module Make (P : Ptm.Ptm_intf.S) = struct
+  let root1 = Palloc.root_addr 1
+
+  let test_fetch_and_increment_distinct () =
+    let nthreads = 4 in
+    let per = 200 in
+    let p = P.create ~num_threads:nthreads ~words:(1 lsl 12) () in
+    let results = Array.make (nthreads * per) 0L in
+    let ds =
+      List.init nthreads (fun tid ->
+          Domain.spawn (fun () ->
+              for i = 0 to per - 1 do
+                let v =
+                  P.update p ~tid (fun tx ->
+                      let v = Int64.add (P.get tx root1) 1L in
+                      P.set tx root1 v;
+                      v)
+                in
+                results.((tid * per) + i) <- v
+              done))
+    in
+    List.iter Domain.join ds;
+    let sorted = List.sort compare (Array.to_list results) in
+    Alcotest.(check (list int64))
+      "returned values are exactly 1..N (no dup, no gap, no loss)"
+      (List.init (nthreads * per) (fun i -> Int64.of_int (i + 1)))
+      sorted
+
+  let test_two_queue_token_transfer () =
+    let module Q = Pds.Pqueue.Make (P) in
+    let nthreads = 3 in
+    let tokens = 60 in
+    let p = P.create ~num_threads:nthreads ~words:(1 lsl 15) () in
+    Q.init p ~tid:0 ~slot:1;
+    Q.init p ~tid:0 ~slot:2;
+    for i = 1 to tokens do
+      Q.enqueue p ~tid:0 ~slot:1 (Int64.of_int i)
+    done;
+    (* threads shuttle tokens between the queues; a token must never be
+       duplicated or lost *)
+    let ds =
+      List.init nthreads (fun tid ->
+          Domain.spawn (fun () ->
+              for _ = 1 to 100 do
+                (match Q.dequeue p ~tid ~slot:1 with
+                | Some v -> Q.enqueue p ~tid ~slot:2 v
+                | None -> ());
+                match Q.dequeue p ~tid ~slot:2 with
+                | Some v -> Q.enqueue p ~tid ~slot:1 v
+                | None -> ()
+              done))
+    in
+    List.iter Domain.join ds;
+    P.crash_and_recover p;
+    let drain slot =
+      let rec go acc =
+        match Q.dequeue p ~tid:0 ~slot with
+        | Some v -> go (v :: acc)
+        | None -> acc
+      in
+      go []
+    in
+    let all = drain 1 @ drain 2 in
+    Alcotest.(check (list int64)) "tokens conserved exactly once"
+      (List.init tokens (fun i -> Int64.of_int (i + 1)))
+      (List.sort compare all)
+
+  let test_monotone_register_under_load () =
+    let nthreads = 4 in
+    let p = P.create ~num_threads:nthreads ~words:(1 lsl 12) () in
+    let stop = Atomic.make false in
+    let violation = Atomic.make false in
+    let readers =
+      List.init 2 (fun i ->
+          Domain.spawn (fun () ->
+              let tid = 2 + i in
+              let last = ref 0L in
+              while not (Atomic.get stop) do
+                let v = P.read_only p ~tid (fun tx -> P.get tx root1) in
+                if Int64.compare v !last < 0 then Atomic.set violation true;
+                last := v
+              done))
+    in
+    let writers =
+      List.init 2 (fun tid ->
+          Domain.spawn (fun () ->
+              for _ = 1 to 200 do
+                ignore
+                  (P.update p ~tid (fun tx ->
+                       P.set tx root1 (Int64.add (P.get tx root1) 1L);
+                       0L))
+              done))
+    in
+    List.iter Domain.join writers;
+    Atomic.set stop true;
+    List.iter Domain.join readers;
+    Alcotest.(check bool) "reads never regress" false (Atomic.get violation)
+
+  let suites =
+    [
+      ( "linearizability[" ^ P.name ^ "]",
+        [
+          Alcotest.test_case "fetch-and-increment distinct" `Slow
+            test_fetch_and_increment_distinct;
+          Alcotest.test_case "token transfer conserved" `Slow
+            test_two_queue_token_transfer;
+          Alcotest.test_case "monotone register" `Slow
+            test_monotone_register_under_load;
+        ] );
+    ]
+end

@@ -1,0 +1,152 @@
+(* Tests for the ONLL construction: registered logical operations, the
+   single-fence update profile, fence-free reads, crash recovery from the
+   logical log, and log checkpointing. *)
+
+module O = Ptm.Onll
+
+(* A counter object: slot 1 holds the value; ops registered by opcode. *)
+let make ?(num_threads = 4) () =
+  let t = O.create ~num_threads ~words:4096 () in
+  let add =
+    O.register t (fun tx args ->
+        let v = Int64.add (O.get tx (Palloc.root_addr 1)) args.(0) in
+        O.set tx (Palloc.root_addr 1) v;
+        v)
+  in
+  let push =
+    (* linked stack through the allocator, exercising alloc in replayed ops *)
+    O.register t (fun tx args ->
+        let n = O.alloc tx 2 in
+        O.set tx n args.(0);
+        O.set tx (n + 1) (O.get tx (Palloc.root_addr 2));
+        O.set tx (Palloc.root_addr 2) (Int64.of_int n);
+        0L)
+  in
+  (t, add, push)
+
+let read_counter t = O.read_only t ~tid:0 (fun tx -> O.get tx (Palloc.root_addr 1))
+
+let stack_elems t =
+  let out = ref [] in
+  ignore
+    (O.read_only t ~tid:0 (fun tx ->
+         let rec go acc addr =
+           if addr = 0 then acc
+           else go (O.get tx addr :: acc) (Int64.to_int (O.get tx (addr + 1)))
+         in
+         out := go [] (Int64.to_int (O.get tx (Palloc.root_addr 2)));
+         0L));
+  !out
+
+let test_invoke_and_result () =
+  let t, add, _ = make () in
+  Alcotest.(check int64) "returns new value" 5L (O.invoke t ~tid:0 add [| 5L |]);
+  Alcotest.(check int64) "accumulates" 8L (O.invoke t ~tid:0 add [| 3L |]);
+  Alcotest.(check int64) "read sees it" 8L (read_counter t)
+
+let test_unknown_opcode () =
+  let t, _, _ = make () in
+  Alcotest.check_raises "bad opcode" (Invalid_argument "Onll.invoke: unknown opcode")
+    (fun () -> ignore (O.invoke t ~tid:0 99 [||]))
+
+let test_crash_replays_log () =
+  let t, add, push = make () in
+  for i = 1 to 20 do
+    ignore (O.invoke t ~tid:0 add [| Int64.of_int i |])
+  done;
+  List.iter (fun v -> ignore (O.invoke t ~tid:0 push [| v |])) [ 7L; 8L; 9L ];
+  O.crash_and_recover t;
+  Alcotest.(check int64) "counter replayed" 210L (read_counter t);
+  Alcotest.(check (list int64)) "stack replayed (LIFO order preserved)"
+    [ 7L; 8L; 9L ] (stack_elems t);
+  (* usable after recovery *)
+  ignore (O.invoke t ~tid:0 add [| 1L |]);
+  Alcotest.(check int64) "post-recovery op" 211L (read_counter t)
+
+let test_crash_with_evictions () =
+  List.iter
+    (fun seed ->
+      let t, add, _ = make () in
+      for _ = 1 to 15 do
+        ignore (O.invoke t ~tid:0 add [| 2L |])
+      done;
+      O.crash_with_evictions t ~seed ~prob:0.5;
+      Alcotest.(check int64) "durable under evictions" 30L (read_counter t))
+    [ 3; 4; 5 ]
+
+let test_single_fence_per_update () =
+  let t, add, _ = make () in
+  ignore (O.invoke t ~tid:0 add [| 1L |]);
+  let s0 = O.stats t in
+  for _ = 1 to 10 do
+    ignore (O.invoke t ~tid:0 add [| 1L |])
+  done;
+  let s1 = O.stats t in
+  let d = Pmem.Stats.diff s1 s0 in
+  Alcotest.(check int) "exactly one fence per update" 10 (Pmem.Stats.fences d)
+
+let test_reads_execute_no_fence () =
+  let t, add, _ = make () in
+  ignore (O.invoke t ~tid:0 add [| 1L |]);
+  let s0 = O.stats t in
+  for _ = 1 to 10 do
+    ignore (read_counter t)
+  done;
+  let d = Pmem.Stats.diff (O.stats t) s0 in
+  Alcotest.(check int) "no fences on the read path" 0 (Pmem.Stats.fences d);
+  Alcotest.(check int) "no pwbs on the read path" 0 d.Pmem.Stats.pwb
+
+let test_concurrent_invokes () =
+  let t, add, _ = make () in
+  let per = 200 in
+  let ds =
+    List.init 3 (fun tid ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              ignore (O.invoke t ~tid add [| 1L |])
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int64) "all increments linearized" (Int64.of_int (3 * per))
+    (read_counter t);
+  O.crash_and_recover t;
+  Alcotest.(check int64) "all durable" (Int64.of_int (3 * per)) (read_counter t)
+
+let test_checkpoint_rolls_log () =
+  (* Cross the log capacity several times: the snapshot + truncation path
+     must preserve the state (single-threaded, as documented). *)
+  let t, add, _ = make ~num_threads:1 () in
+  let n = 10_000 in
+  for _ = 1 to n do
+    ignore (O.invoke t ~tid:0 add [| 1L |])
+  done;
+  Alcotest.(check int64) "value across checkpoints" (Int64.of_int n)
+    (read_counter t);
+  O.crash_and_recover t;
+  Alcotest.(check int64) "snapshot + log tail replayed" (Int64.of_int n)
+    (read_counter t)
+
+let test_per_thread_instances_catch_up () =
+  let t, add, _ = make () in
+  ignore (O.invoke t ~tid:0 add [| 42L |]);
+  (* thread 3 never invoked anything; its replica catches up on read *)
+  let v = O.read_only t ~tid:3 (fun tx -> O.get tx (Palloc.root_addr 1)) in
+  Alcotest.(check int64) "other instance catches up" 42L v
+
+let suites =
+  [
+    ( "onll",
+      [
+        Alcotest.test_case "invoke and result" `Quick test_invoke_and_result;
+        Alcotest.test_case "unknown opcode" `Quick test_unknown_opcode;
+        Alcotest.test_case "crash replays log" `Quick test_crash_replays_log;
+        Alcotest.test_case "crash with evictions" `Quick test_crash_with_evictions;
+        Alcotest.test_case "single fence per update" `Quick
+          test_single_fence_per_update;
+        Alcotest.test_case "fence-free reads" `Quick test_reads_execute_no_fence;
+        Alcotest.test_case "concurrent invokes" `Slow test_concurrent_invokes;
+        Alcotest.test_case "checkpoint rolls log" `Slow test_checkpoint_rolls_log;
+        Alcotest.test_case "instances catch up" `Quick
+          test_per_thread_instances_catch_up;
+      ] );
+  ]

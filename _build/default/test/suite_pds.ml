@@ -1,0 +1,411 @@
+(* Tests for the persistent data structures, run over several PTMs.
+   Each set implementation is validated against Stdlib.Set as a model,
+   including across crashes, resizes/rebalancing, and concurrent use. *)
+
+module I64Set = Set.Make (Int64)
+
+let i64s l = List.map Int64.of_int l
+
+module Make_set_suite
+    (P : Ptm.Ptm_intf.S) (S : sig
+      val kind : string
+      val init : P.t -> tid:int -> slot:int -> unit
+      val add : P.t -> tid:int -> slot:int -> int64 -> bool
+      val remove : P.t -> tid:int -> slot:int -> int64 -> bool
+      val contains : P.t -> tid:int -> slot:int -> int64 -> bool
+      val cardinal : P.t -> tid:int -> slot:int -> int
+      val check : P.t -> tid:int -> slot:int -> bool
+    end) =
+struct
+  let mk ?(words = 1 lsl 16) () =
+    let p = P.create ~num_threads:4 ~words () in
+    S.init p ~tid:0 ~slot:1;
+    p
+
+  let test_empty () =
+    let p = mk () in
+    Alcotest.(check int) "empty" 0 (S.cardinal p ~tid:0 ~slot:1);
+    Alcotest.(check bool) "no member" false (S.contains p ~tid:0 ~slot:1 5L)
+
+  let test_add_contains () =
+    let p = mk () in
+    Alcotest.(check bool) "add new" true (S.add p ~tid:0 ~slot:1 5L);
+    Alcotest.(check bool) "member" true (S.contains p ~tid:0 ~slot:1 5L);
+    Alcotest.(check bool) "add dup" false (S.add p ~tid:0 ~slot:1 5L);
+    Alcotest.(check int) "one element" 1 (S.cardinal p ~tid:0 ~slot:1)
+
+  let test_remove () =
+    let p = mk () in
+    ignore (S.add p ~tid:0 ~slot:1 5L);
+    Alcotest.(check bool) "remove absent" false (S.remove p ~tid:0 ~slot:1 6L);
+    Alcotest.(check bool) "remove present" true (S.remove p ~tid:0 ~slot:1 5L);
+    Alcotest.(check bool) "gone" false (S.contains p ~tid:0 ~slot:1 5L);
+    Alcotest.(check int) "empty again" 0 (S.cardinal p ~tid:0 ~slot:1)
+
+  let test_many_keys () =
+    let p = mk () in
+    let keys = i64s (List.init 200 (fun i -> (i * 37) mod 1000)) in
+    let model = ref I64Set.empty in
+    List.iter
+      (fun k ->
+        let added = S.add p ~tid:0 ~slot:1 k in
+        Alcotest.(check bool) "add matches model" (not (I64Set.mem k !model)) added;
+        model := I64Set.add k !model)
+      keys;
+    Alcotest.(check int) "cardinal" (I64Set.cardinal !model)
+      (S.cardinal p ~tid:0 ~slot:1);
+    Alcotest.(check bool) "invariants" true (S.check p ~tid:0 ~slot:1);
+    I64Set.iter
+      (fun k ->
+        Alcotest.(check bool) "member" true (S.contains p ~tid:0 ~slot:1 k))
+      !model
+
+  let test_crash_preserves_contents () =
+    let p = mk () in
+    let keys = i64s (List.init 100 (fun i -> i * 3)) in
+    List.iter (fun k -> ignore (S.add p ~tid:0 ~slot:1 k)) keys;
+    List.iter
+      (fun k -> if Int64.to_int k mod 2 = 0 then ignore (S.remove p ~tid:0 ~slot:1 k))
+      keys;
+    P.crash_and_recover p;
+    Alcotest.(check bool) "invariants after crash" true (S.check p ~tid:0 ~slot:1);
+    List.iter
+      (fun k ->
+        let expect = Int64.to_int k mod 2 <> 0 in
+        Alcotest.(check bool) "durable membership" expect
+          (S.contains p ~tid:0 ~slot:1 k))
+      keys;
+    (* still usable *)
+    ignore (S.add p ~tid:0 ~slot:1 99999L);
+    Alcotest.(check bool) "usable after recovery" true
+      (S.contains p ~tid:0 ~slot:1 99999L)
+
+  let test_crash_with_evictions () =
+    List.iter
+      (fun seed ->
+        let p = mk () in
+        for i = 0 to 49 do
+          ignore (S.add p ~tid:0 ~slot:1 (Int64.of_int i))
+        done;
+        P.crash_with_evictions p ~seed ~prob:0.4;
+        Alcotest.(check bool) "invariants under evictions" true
+          (S.check p ~tid:0 ~slot:1);
+        for i = 0 to 49 do
+          Alcotest.(check bool) "durable" true
+            (S.contains p ~tid:0 ~slot:1 (Int64.of_int i))
+        done)
+      [ 11; 12; 13 ]
+
+  let test_concurrent_disjoint_updates () =
+    let p = mk ~words:(1 lsl 17) () in
+    let nthreads = 3 in
+    let per = 60 in
+    let ds =
+      List.init nthreads (fun tid ->
+          Domain.spawn (fun () ->
+              for i = 0 to per - 1 do
+                ignore
+                  (S.add p ~tid ~slot:1 (Int64.of_int ((tid * 10_000) + i)))
+              done))
+    in
+    List.iter Domain.join ds;
+    Alcotest.(check int) "all inserted" (nthreads * per)
+      (S.cardinal p ~tid:0 ~slot:1);
+    Alcotest.(check bool) "invariants" true (S.check p ~tid:0 ~slot:1);
+    for tid = 0 to nthreads - 1 do
+      for i = 0 to per - 1 do
+        Alcotest.(check bool) "present" true
+          (S.contains p ~tid:0 ~slot:1 (Int64.of_int ((tid * 10_000) + i)))
+      done
+    done
+
+  let test_concurrent_mixed_then_crash () =
+    let p = mk ~words:(1 lsl 17) () in
+    for i = 0 to 99 do
+      ignore (S.add p ~tid:0 ~slot:1 (Int64.of_int i))
+    done;
+    (* The paper's update workload: remove a key then re-insert it. *)
+    let ds =
+      List.init 3 (fun tid ->
+          Domain.spawn (fun () ->
+              let st = Random.State.make [| tid + 5 |] in
+              for _ = 1 to 60 do
+                let k = Int64.of_int (Random.State.int st 100) in
+                if S.remove p ~tid ~slot:1 k then
+                  ignore (S.add p ~tid ~slot:1 k)
+              done))
+    in
+    List.iter Domain.join ds;
+    P.crash_and_recover p;
+    Alcotest.(check bool) "invariants" true (S.check p ~tid:0 ~slot:1);
+    Alcotest.(check int) "multiset preserved" 100 (S.cardinal p ~tid:0 ~slot:1)
+
+  let test_adversarial_patterns () =
+    (* ascending, descending and interleaved insert/delete patterns stress
+       rebalancing/resizing paths that random keys rarely exercise *)
+    let check_pattern label keys removals =
+      let p = mk ~words:(1 lsl 17) () in
+      List.iter (fun k -> ignore (S.add p ~tid:0 ~slot:1 k)) keys;
+      Alcotest.(check bool) (label ^ ": invariants after inserts") true
+        (S.check p ~tid:0 ~slot:1);
+      List.iter (fun k -> ignore (S.remove p ~tid:0 ~slot:1 k)) removals;
+      Alcotest.(check bool) (label ^ ": invariants after removals") true
+        (S.check p ~tid:0 ~slot:1);
+      Alcotest.(check int)
+        (label ^ ": cardinal")
+        (List.length keys - List.length removals)
+        (S.cardinal p ~tid:0 ~slot:1)
+    in
+    let asc = List.init 300 (fun i -> Int64.of_int i) in
+    let desc = List.rev asc in
+    check_pattern "ascending" asc [];
+    check_pattern "descending" desc [];
+    check_pattern "ascending then remove evens" asc
+      (List.filter (fun k -> Int64.rem k 2L = 0L) asc);
+    check_pattern "descending then remove front half" desc
+      (List.filteri (fun i _ -> i < 150) asc)
+
+  let qcheck_against_model =
+    QCheck.Test.make
+      ~name:(Printf.sprintf "%s/%s matches Set model" S.kind P.name)
+      ~count:30
+      QCheck.(list (pair bool (int_bound 60)))
+    @@ fun ops ->
+    let p = mk () in
+    let model = ref I64Set.empty in
+    List.iter
+      (fun (is_add, k) ->
+        let k = Int64.of_int k in
+        if is_add then begin
+          let r = S.add p ~tid:0 ~slot:1 k in
+          if r <> not (I64Set.mem k !model) then
+            QCheck.Test.fail_reportf "add %Ld diverged" k;
+          model := I64Set.add k !model
+        end
+        else begin
+          let r = S.remove p ~tid:0 ~slot:1 k in
+          if r <> I64Set.mem k !model then
+            QCheck.Test.fail_reportf "remove %Ld diverged" k;
+          model := I64Set.remove k !model
+        end)
+      ops;
+    S.check p ~tid:0 ~slot:1
+    && S.cardinal p ~tid:0 ~slot:1 = I64Set.cardinal !model
+    && I64Set.for_all (fun k -> S.contains p ~tid:0 ~slot:1 k) !model
+
+  let suites =
+    [
+      ( Printf.sprintf "%s[%s]" S.kind P.name,
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/contains" `Quick test_add_contains;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "many keys" `Quick test_many_keys;
+          Alcotest.test_case "adversarial patterns" `Quick
+            test_adversarial_patterns;
+          Alcotest.test_case "crash preserves contents" `Quick
+            test_crash_preserves_contents;
+          Alcotest.test_case "crash with evictions" `Quick
+            test_crash_with_evictions;
+          Alcotest.test_case "concurrent disjoint" `Slow
+            test_concurrent_disjoint_updates;
+          Alcotest.test_case "concurrent mixed + crash" `Slow
+            test_concurrent_mixed_then_crash;
+          QCheck_alcotest.to_alcotest qcheck_against_model;
+        ] );
+    ]
+end
+
+(* Adapters exposing each structure through the uniform signature. *)
+module Set_adapters (P : Ptm.Ptm_intf.S) = struct
+  module L = Pds.List_set.Make (P)
+  module T = Pds.Rbtree_set.Make (P)
+  module H = Pds.Hash_set.Make (P)
+
+  module List_set = struct
+    let kind = "list_set"
+    let init = L.init
+    let add = L.add
+    let remove = L.remove
+    let contains = L.contains
+    let cardinal = L.cardinal
+
+    let check p ~tid ~slot =
+      (* sortedness invariant *)
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> Int64.compare a b < 0 && sorted rest
+        | _ -> true
+      in
+      sorted (L.elements p ~tid ~slot)
+  end
+
+  module Rbtree_set = struct
+    let kind = "rbtree_set"
+    let init = T.init
+    let add = T.add
+    let remove = T.remove
+    let contains = T.contains
+    let cardinal = T.cardinal
+    let check = T.check_invariants
+  end
+
+  module Hash_set = struct
+    let kind = "hash_set"
+    let init p ~tid ~slot = H.init ~initial_buckets:4 p ~tid ~slot
+    let add = H.add
+    let remove = H.remove
+    let contains = H.contains
+    let cardinal = H.cardinal
+
+    let check p ~tid ~slot =
+      (* size field consistent with a full fold *)
+      H.fold p ~tid ~slot ~init:0 (fun acc _ -> acc + 1) = H.cardinal p ~tid ~slot
+  end
+end
+
+module Queue_suite (P : Ptm.Ptm_intf.S) = struct
+  module Q = Pds.Pqueue.Make (P)
+
+  let mk () =
+    let p = P.create ~num_threads:4 ~words:(1 lsl 16) () in
+    Q.init p ~tid:0 ~slot:1;
+    p
+
+  let test_fifo () =
+    let p = mk () in
+    Alcotest.(check (option int64)) "empty deq" None (Q.dequeue p ~tid:0 ~slot:1);
+    Q.enqueue p ~tid:0 ~slot:1 1L;
+    Q.enqueue p ~tid:0 ~slot:1 2L;
+    Q.enqueue p ~tid:0 ~slot:1 3L;
+    Alcotest.(check (option int64)) "peek" (Some 1L) (Q.peek p ~tid:0 ~slot:1);
+    Alcotest.(check int) "length" 3 (Q.length p ~tid:0 ~slot:1);
+    Alcotest.(check (option int64)) "deq 1" (Some 1L) (Q.dequeue p ~tid:0 ~slot:1);
+    Alcotest.(check (option int64)) "deq 2" (Some 2L) (Q.dequeue p ~tid:0 ~slot:1);
+    Alcotest.(check (option int64)) "deq 3" (Some 3L) (Q.dequeue p ~tid:0 ~slot:1);
+    Alcotest.(check (option int64)) "drained" None (Q.dequeue p ~tid:0 ~slot:1)
+
+  let test_crash () =
+    let p = mk () in
+    for i = 1 to 50 do
+      Q.enqueue p ~tid:0 ~slot:1 (Int64.of_int i)
+    done;
+    for _ = 1 to 20 do
+      ignore (Q.dequeue p ~tid:0 ~slot:1)
+    done;
+    P.crash_and_recover p;
+    Alcotest.(check int) "length survives" 30 (Q.length p ~tid:0 ~slot:1);
+    Alcotest.(check (option int64)) "order survives" (Some 21L)
+      (Q.dequeue p ~tid:0 ~slot:1)
+
+  let test_concurrent_enq_deq () =
+    (* The Figure 5 workload: each thread alternates enqueue and dequeue;
+       the multiset of surviving elements must be consistent. *)
+    let p = mk () in
+    for i = 1 to 100 do
+      Q.enqueue p ~tid:0 ~slot:1 (Int64.of_int i)
+    done;
+    let deq_count = Atomic.make 0 in
+    let enq_count = Atomic.make 0 in
+    let ds =
+      List.init 3 (fun tid ->
+          Domain.spawn (fun () ->
+              for i = 1 to 50 do
+                Q.enqueue p ~tid ~slot:1 (Int64.of_int ((tid * 1000) + i));
+                Atomic.incr enq_count;
+                if Q.dequeue p ~tid ~slot:1 <> None then Atomic.incr deq_count
+              done))
+    in
+    List.iter Domain.join ds;
+    P.crash_and_recover p;
+    Alcotest.(check int) "conservation"
+      (100 + Atomic.get enq_count - Atomic.get deq_count)
+      (Q.length p ~tid:0 ~slot:1)
+
+  let suites =
+    [
+      ( "pqueue[" ^ P.name ^ "]",
+        [
+          Alcotest.test_case "fifo" `Quick test_fifo;
+          Alcotest.test_case "crash" `Quick test_crash;
+          Alcotest.test_case "concurrent enq/deq" `Slow test_concurrent_enq_deq;
+        ] );
+    ]
+end
+
+module Handmade_suite (Q : sig
+  type t
+
+  val name : string
+  val create : num_threads:int -> words:int -> unit -> t
+  val enqueue : t -> tid:int -> int64 -> unit
+  val dequeue : t -> tid:int -> int64 option
+  val length : t -> int
+  val crash : t -> unit
+  val recover : t -> unit
+  val stats : t -> Pmem.Stats.snapshot
+
+  exception Unrecoverable of string
+end) =
+struct
+  let test_fifo () =
+    let q = Q.create ~num_threads:2 ~words:4096 () in
+    Q.enqueue q ~tid:0 1L;
+    Q.enqueue q ~tid:0 2L;
+    Alcotest.(check int) "length" 2 (Q.length q);
+    Alcotest.(check (option int64)) "deq" (Some 1L) (Q.dequeue q ~tid:0);
+    Alcotest.(check (option int64)) "deq" (Some 2L) (Q.dequeue q ~tid:0);
+    Alcotest.(check (option int64)) "empty" None (Q.dequeue q ~tid:0)
+
+  let test_fence_counts () =
+    let q = Q.create ~num_threads:2 ~words:4096 () in
+    let s0 = Q.stats q in
+    Q.enqueue q ~tid:0 1L;
+    let s1 = Q.stats q in
+    ignore (Q.dequeue q ~tid:0);
+    let s2 = Q.stats q in
+    let enq_f = Pmem.Stats.fences (Pmem.Stats.diff s1 s0) in
+    let deq_f = Pmem.Stats.fences (Pmem.Stats.diff s2 s1) in
+    (* the published per-operation fence counts *)
+    let expect_enq, expect_deq = if Q.name = "FHMP" then (2, 4) else (1, 2) in
+    Alcotest.(check int) "enqueue fences" expect_enq enq_f;
+    Alcotest.(check int) "dequeue fences" expect_deq deq_f
+
+  let test_unrecoverable_after_crash () =
+    let q = Q.create ~num_threads:2 ~words:4096 () in
+    Q.enqueue q ~tid:0 1L;
+    Q.crash q;
+    Alcotest.(check bool) "recover refuses" true
+      (match Q.recover q with
+      | () -> false
+      | exception Q.Unrecoverable _ -> true);
+    Alcotest.(check bool) "operations refuse" true
+      (match Q.enqueue q ~tid:0 2L with
+      | () -> false
+      | exception Q.Unrecoverable _ -> true)
+
+  let test_concurrent () =
+    let q = Q.create ~num_threads:4 ~words:(1 lsl 16) () in
+    let deqs = Atomic.make 0 in
+    let ds =
+      List.init 3 (fun tid ->
+          Domain.spawn (fun () ->
+              for i = 1 to 100 do
+                Q.enqueue q ~tid (Int64.of_int ((tid * 1000) + i));
+                if Q.dequeue q ~tid <> None then Atomic.incr deqs
+              done))
+    in
+    List.iter Domain.join ds;
+    Alcotest.(check int) "conservation" (300 - Atomic.get deqs) (Q.length q)
+
+  let suites =
+    [
+      ( "handmade[" ^ Q.name ^ "]",
+        [
+          Alcotest.test_case "fifo" `Quick test_fifo;
+          Alcotest.test_case "fence counts" `Quick test_fence_counts;
+          Alcotest.test_case "unrecoverable after crash" `Quick
+            test_unrecoverable_after_crash;
+          Alcotest.test_case "concurrent" `Slow test_concurrent;
+        ] );
+    ]
+end

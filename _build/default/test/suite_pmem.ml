@@ -1,0 +1,253 @@
+(* Tests for the simulated NVMM substrate: cache-line semantics of
+   pwb/pfence/psync, crash behaviour, eviction randomness, statistics. *)
+
+let i64 = Alcotest.testable (fun ppf v -> Format.fprintf ppf "%Ld" v) Int64.equal
+
+let mk ?(words = 1024) () = Pmem.create ~max_threads:4 ~words ()
+
+let test_store_is_volatile () =
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 100 42L;
+  Alcotest.check i64 "cache sees store" 42L (Pmem.get_word pm 100);
+  Alcotest.check i64 "durable does not" 0L (Pmem.durable_word pm 100);
+  Pmem.crash pm;
+  Alcotest.check i64 "lost after crash" 0L (Pmem.get_word pm 100)
+
+let test_pwb_without_fence_not_durable () =
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 100 42L;
+  Pmem.pwb pm ~tid:0 100;
+  Pmem.crash pm;
+  Alcotest.check i64 "pwb alone is not durability" 0L (Pmem.get_word pm 100)
+
+let test_pwb_fence_durable () =
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 100 42L;
+  Pmem.pwb pm ~tid:0 100;
+  Pmem.pfence pm ~tid:0;
+  Pmem.crash pm;
+  Alcotest.check i64 "pwb+pfence survives" 42L (Pmem.get_word pm 100)
+
+let test_psync_durable () =
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 9 7L;
+  Pmem.pwb pm ~tid:0 9;
+  Pmem.psync pm ~tid:0;
+  Pmem.crash pm;
+  Alcotest.check i64 "pwb+psync survives" 7L (Pmem.get_word pm 9)
+
+let test_line_granularity () =
+  (* Flushing one word persists its whole 64-byte line, nothing else. *)
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 16 1L;
+  Pmem.set_word pm ~tid:0 23 2L;
+  (* same line as 16 *)
+  Pmem.set_word pm ~tid:0 24 3L;
+  (* next line *)
+  Pmem.pwb pm ~tid:0 16;
+  Pmem.pfence pm ~tid:0;
+  Pmem.crash pm;
+  Alcotest.check i64 "flushed word" 1L (Pmem.get_word pm 16);
+  Alcotest.check i64 "same line persists too" 2L (Pmem.get_word pm 23);
+  Alcotest.check i64 "other line lost" 0L (Pmem.get_word pm 24)
+
+let test_fence_is_per_thread () =
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 8 1L;
+  Pmem.set_word pm ~tid:1 16 2L;
+  Pmem.pwb pm ~tid:0 8;
+  Pmem.pwb pm ~tid:1 16;
+  Pmem.pfence pm ~tid:0;
+  (* only thread 0's staged line drains *)
+  Pmem.crash pm;
+  Alcotest.check i64 "t0 line durable" 1L (Pmem.get_word pm 8);
+  Alcotest.check i64 "t1 line still pending" 0L (Pmem.get_word pm 16)
+
+let test_fence_time_contents () =
+  (* CLWB/SFENCE may write back the line contents as of fence time. *)
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 8 1L;
+  Pmem.pwb pm ~tid:0 8;
+  Pmem.set_word pm ~tid:0 8 2L;
+  Pmem.pfence pm ~tid:0;
+  Pmem.crash pm;
+  Alcotest.check i64 "latest value persisted" 2L (Pmem.get_word pm 8)
+
+let test_pwb_range () =
+  let pm = mk () in
+  for a = 64 to 127 do
+    Pmem.set_word pm ~tid:0 a (Int64.of_int a)
+  done;
+  Pmem.pwb_range pm ~tid:0 64 127;
+  Pmem.psync pm ~tid:0;
+  Pmem.crash pm;
+  for a = 64 to 127 do
+    Alcotest.check i64 "range word" (Int64.of_int a) (Pmem.get_word pm a)
+  done;
+  let s = Pmem.stats pm in
+  Alcotest.(check int) "one pwb per line" 8 s.Pmem.Stats.pwb
+
+let test_ntstore () =
+  let pm = mk () in
+  Pmem.ntstore_word pm ~tid:0 8 5L;
+  Pmem.crash pm;
+  Alcotest.check i64 "ntstore needs fence" 0L (Pmem.get_word pm 8);
+  Pmem.ntstore_word pm ~tid:0 8 5L;
+  Pmem.pfence pm ~tid:0;
+  Pmem.crash pm;
+  Alcotest.check i64 "ntstore+fence durable" 5L (Pmem.get_word pm 8);
+  let s = Pmem.stats pm in
+  Alcotest.(check int) "no pwb counted" 0 s.Pmem.Stats.pwb;
+  Alcotest.(check int) "ntstores counted" 2 s.Pmem.Stats.ntstore
+
+let test_ntcopy () =
+  let pm = mk () in
+  for a = 0 to 15 do
+    Pmem.set_word pm ~tid:0 a (Int64.of_int (a + 1))
+  done;
+  Pmem.ntcopy_words pm ~tid:0 ~src:0 ~dst:64 16;
+  Pmem.pfence pm ~tid:0;
+  Pmem.crash pm;
+  for a = 0 to 15 do
+    Alcotest.check i64 "copied word durable" (Int64.of_int (a + 1))
+      (Pmem.get_word pm (64 + a))
+  done
+
+let test_blit_words () =
+  let pm = mk () in
+  for a = 0 to 9 do
+    Pmem.set_word pm ~tid:0 a (Int64.of_int (100 + a))
+  done;
+  Pmem.blit_words pm ~tid:0 ~src:0 ~dst:100 10;
+  for a = 0 to 9 do
+    Alcotest.check i64 "blit" (Int64.of_int (100 + a)) (Pmem.get_word pm (100 + a))
+  done;
+  let s = Pmem.stats pm in
+  Alcotest.(check int) "copy counted" 10 s.Pmem.Stats.words_copied
+
+let test_stats_counters () =
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 8 1L;
+  Pmem.set_word pm ~tid:1 16 1L;
+  Pmem.pwb pm ~tid:0 8;
+  Pmem.pwb pm ~tid:1 16;
+  Pmem.pfence pm ~tid:0;
+  Pmem.psync pm ~tid:1;
+  let s = Pmem.stats pm in
+  Alcotest.(check int) "pwb" 2 s.Pmem.Stats.pwb;
+  Alcotest.(check int) "pfence" 1 s.Pmem.Stats.pfence;
+  Alcotest.(check int) "psync" 1 s.Pmem.Stats.psync;
+  Alcotest.(check int) "written" 2 s.Pmem.Stats.words_written;
+  Alcotest.(check int) "fences" 2 (Pmem.Stats.fences s);
+  Pmem.reset_stats pm;
+  let s = Pmem.stats pm in
+  Alcotest.(check int) "reset" 0 s.Pmem.Stats.pwb
+
+let test_eviction_probability_one () =
+  (* prob=1.0: every dirty line survives, flushed or not. *)
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 100 3L;
+  Pmem.crash_with_evictions pm ~seed:42 ~prob:1.0;
+  Alcotest.check i64 "evicted line survived" 3L (Pmem.get_word pm 100)
+
+let test_eviction_probability_zero () =
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 100 3L;
+  Pmem.crash_with_evictions pm ~seed:42 ~prob:0.0;
+  Alcotest.check i64 "nothing evicted" 0L (Pmem.get_word pm 100)
+
+let test_eviction_deterministic_seed () =
+  let run seed =
+    let pm = mk () in
+    for a = 0 to 1023 do
+      Pmem.set_word pm ~tid:0 a 1L
+    done;
+    Pmem.crash_with_evictions pm ~seed ~prob:0.5;
+    let survived = ref 0 in
+    for a = 0 to 1023 do
+      if Pmem.get_word pm a = 1L then incr survived
+    done;
+    !survived
+  in
+  Alcotest.(check int) "same seed, same outcome" (run 7) (run 7);
+  Alcotest.(check bool) "partial survival" true
+    (let s = run 7 in
+     s > 0 && s < 1024)
+
+let test_bounds_checked () =
+  let pm = mk ~words:64 () in
+  Alcotest.check_raises "oob get"
+    (Invalid_argument "Pmem: address 64 out of bounds") (fun () ->
+      ignore (Pmem.get_word pm 64));
+  Alcotest.check_raises "oob set"
+    (Invalid_argument "Pmem: address -1 out of bounds") (fun () ->
+      Pmem.set_word pm ~tid:0 (-1) 0L)
+
+let test_rounds_to_line () =
+  let pm = Pmem.create ~max_threads:1 ~words:9 () in
+  Alcotest.(check int) "rounded up" 16 (Pmem.size_words pm)
+
+let qcheck_durable_model =
+  (* Property: after an arbitrary sequence of stores / pwb / pfence and a
+     strict crash, the surviving image matches a reference model where only
+     fenced lines persist, with their fence-time contents. *)
+  QCheck.Test.make ~name:"crash keeps exactly fenced lines" ~count:200
+    QCheck.(list (pair (int_bound 127) (int_bound 1000)))
+    (fun ops ->
+      let pm = Pmem.create ~max_threads:1 ~words:128 () in
+      let model = Array.make 128 0L in
+      let shadow = Array.make 128 0L in
+      let flushed = Hashtbl.create 8 in
+      List.iteri
+        (fun i (addr, v) ->
+          match i mod 5 with
+          | 4 ->
+              Pmem.pfence pm ~tid:0;
+              Hashtbl.iter
+                (fun line () ->
+                  for w = line * 8 to (line * 8) + 7 do
+                    model.(w) <- shadow.(w)
+                  done)
+                flushed;
+              Hashtbl.reset flushed
+          | 3 ->
+              Pmem.pwb pm ~tid:0 addr;
+              Hashtbl.replace flushed (addr / 8) ()
+          | _ ->
+              let v = Int64.of_int v in
+              Pmem.set_word pm ~tid:0 addr v;
+              shadow.(addr) <- v)
+        ops;
+      Pmem.crash pm;
+      let ok = ref true in
+      for a = 0 to 127 do
+        if Pmem.get_word pm a <> model.(a) then ok := false
+      done;
+      !ok)
+
+let suites =
+  [
+    ( "pmem",
+      [
+        Alcotest.test_case "store is volatile" `Quick test_store_is_volatile;
+        Alcotest.test_case "pwb without fence" `Quick
+          test_pwb_without_fence_not_durable;
+        Alcotest.test_case "pwb+pfence durable" `Quick test_pwb_fence_durable;
+        Alcotest.test_case "pwb+psync durable" `Quick test_psync_durable;
+        Alcotest.test_case "line granularity" `Quick test_line_granularity;
+        Alcotest.test_case "fence is per thread" `Quick test_fence_is_per_thread;
+        Alcotest.test_case "fence-time contents" `Quick test_fence_time_contents;
+        Alcotest.test_case "pwb_range" `Quick test_pwb_range;
+        Alcotest.test_case "ntstore" `Quick test_ntstore;
+        Alcotest.test_case "ntcopy" `Quick test_ntcopy;
+        Alcotest.test_case "blit_words" `Quick test_blit_words;
+        Alcotest.test_case "stats counters" `Quick test_stats_counters;
+        Alcotest.test_case "eviction prob=1" `Quick test_eviction_probability_one;
+        Alcotest.test_case "eviction prob=0" `Quick test_eviction_probability_zero;
+        Alcotest.test_case "eviction deterministic" `Quick
+          test_eviction_deterministic_seed;
+        Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+        Alcotest.test_case "rounds to line size" `Quick test_rounds_to_line;
+        QCheck_alcotest.to_alcotest qcheck_durable_model;
+      ] );
+  ]

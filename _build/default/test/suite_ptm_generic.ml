@@ -1,0 +1,315 @@
+(* Generic conformance suite run against every PTM: transactional semantics,
+   durability across crashes (strict and with random cache evictions),
+   allocator integration, and multi-domain consistency.  This is the
+   executable form of the paper's durable-linearizability claim: every
+   operation that returned before a crash is visible after recovery. *)
+
+module Make (P : Ptm.Ptm_intf.S) = struct
+  let root1 = Palloc.root_addr 1
+  let root2 = Palloc.root_addr 2
+
+  let mk ?(num_threads = 4) ?(words = 1 lsl 14) () =
+    P.create ~num_threads ~words ()
+
+  let incr_tx tx =
+    let v = Int64.add (P.get tx root1) 1L in
+    P.set tx root1 v;
+    v
+
+  let test_initial_state () =
+    let t = mk () in
+    Alcotest.(check int64) "root starts 0" 0L (P.read_only t ~tid:0 (fun tx -> P.get tx root1))
+
+  let test_update_visible () =
+    let t = mk () in
+    let r = P.update t ~tid:0 incr_tx in
+    Alcotest.(check int64) "update result" 1L r;
+    Alcotest.(check int64) "visible to reads" 1L
+      (P.read_only t ~tid:1 (fun tx -> P.get tx root1))
+
+  let test_read_your_writes () =
+    let t = mk () in
+    let r =
+      P.update t ~tid:0 (fun tx ->
+          P.set tx root1 7L;
+          let a = P.get tx root1 in
+          P.set tx root1 9L;
+          let b = P.get tx root1 in
+          Int64.add a b)
+    in
+    Alcotest.(check int64) "tx sees own writes" 16L r;
+    Alcotest.(check int64) "final value" 9L
+      (P.read_only t ~tid:0 (fun tx -> P.get tx root1))
+
+  let test_sequential_counter () =
+    let t = mk () in
+    for _ = 1 to 100 do
+      ignore (P.update t ~tid:0 incr_tx)
+    done;
+    Alcotest.(check int64) "100 increments" 100L
+      (P.read_only t ~tid:0 (fun tx -> P.get tx root1))
+
+  let test_crash_durability () =
+    let t = mk () in
+    for _ = 1 to 50 do
+      ignore (P.update t ~tid:0 incr_tx)
+    done;
+    P.crash_and_recover t;
+    Alcotest.(check int64) "all committed updates survive" 50L
+      (P.read_only t ~tid:0 (fun tx -> P.get tx root1));
+    (* The instance stays usable after recovery. *)
+    ignore (P.update t ~tid:0 incr_tx);
+    Alcotest.(check int64) "still works" 51L
+      (P.read_only t ~tid:0 (fun tx -> P.get tx root1))
+
+  let test_crash_with_evictions_durability () =
+    (* Random cache evictions at crash time must never corrupt committed
+       state: completed transactions survive no matter which unflushed lines
+       happened to reach PM. *)
+    List.iter
+      (fun seed ->
+        let t = mk () in
+        for _ = 1 to 30 do
+          ignore (P.update t ~tid:0 incr_tx)
+        done;
+        P.crash_with_evictions t ~seed ~prob:0.5;
+        Alcotest.(check int64)
+          (Printf.sprintf "durable under evictions (seed %d)" seed)
+          30L
+          (P.read_only t ~tid:0 (fun tx -> P.get tx root1)))
+      [ 1; 2; 3; 42; 1337 ]
+
+  let test_repeated_crashes () =
+    let t = mk () in
+    for round = 1 to 5 do
+      for _ = 1 to 10 do
+        ignore (P.update t ~tid:0 incr_tx)
+      done;
+      P.crash_and_recover t;
+      Alcotest.(check int64) "value after round"
+        (Int64.of_int (10 * round))
+        (P.read_only t ~tid:0 (fun tx -> P.get tx root1))
+    done
+
+  let test_alloc_roundtrip () =
+    let t = mk () in
+    ignore
+      (P.update t ~tid:0 (fun tx ->
+           let a = P.alloc tx 4 in
+           for i = 0 to 3 do
+             P.set tx (a + i) (Int64.of_int (10 + i))
+           done;
+           P.set tx root1 (Int64.of_int a);
+           0L));
+    P.crash_and_recover t;
+    let sum =
+      P.read_only t ~tid:0 (fun tx ->
+          let a = Int64.to_int (P.get tx root1) in
+          let s = ref 0L in
+          for i = 0 to 3 do
+            s := Int64.add !s (P.get tx (a + i))
+          done;
+          !s)
+    in
+    Alcotest.(check int64) "allocated block survives crash" 46L sum
+
+  let test_linked_list_across_txs () =
+    (* Build a persistent singly-linked list, one node per transaction;
+       after a crash the full list must be reachable from the root. *)
+    let t = mk () in
+    let n = 64 in
+    for i = 1 to n do
+      ignore
+        (P.update t ~tid:0 (fun tx ->
+             let node = P.alloc tx 2 in
+             P.set tx node (Int64.of_int i);
+             P.set tx (node + 1) (P.get tx root1);
+             P.set tx root1 (Int64.of_int node);
+             0L))
+    done;
+    P.crash_and_recover t;
+    let collected =
+      P.read_only t ~tid:0 (fun tx ->
+          let rec go acc addr =
+            if addr = 0 then acc
+            else
+              go
+                (Int64.to_int (P.get tx addr) :: acc)
+                (Int64.to_int (P.get tx (addr + 1)))
+          in
+          Int64.of_int (List.length (go [] (Int64.to_int (P.get tx root1)))))
+    in
+    Alcotest.(check int64) "list intact after crash" (Int64.of_int n) collected
+
+  let test_dealloc_and_reuse () =
+    let t = mk () in
+    let a =
+      P.update t ~tid:0 (fun tx -> Int64.of_int (P.alloc tx 4))
+    in
+    ignore (P.update t ~tid:0 (fun tx -> P.dealloc tx (Int64.to_int a); 0L));
+    let b = P.update t ~tid:0 (fun tx -> Int64.of_int (P.alloc tx 4)) in
+    Alcotest.(check int64) "freed block is reused" a b
+
+  let test_multi_word_invariant_with_crash () =
+    (* Bank-transfer style: two roots whose sum must stay 1000 across
+       transactional transfers and a crash at an arbitrary point. *)
+    let t = mk () in
+    ignore
+      (P.update t ~tid:0 (fun tx ->
+           P.set tx root1 600L;
+           P.set tx root2 400L;
+           0L));
+    let st = Random.State.make [| 99 |] in
+    for _ = 1 to 40 do
+      let amount = Int64.of_int (Random.State.int st 100) in
+      ignore
+        (P.update t ~tid:0 (fun tx ->
+             P.set tx root1 (Int64.sub (P.get tx root1) amount);
+             P.set tx root2 (Int64.add (P.get tx root2) amount);
+             0L))
+    done;
+    P.crash_and_recover t;
+    let total =
+      P.read_only t ~tid:0 (fun tx -> Int64.add (P.get tx root1) (P.get tx root2))
+    in
+    Alcotest.(check int64) "sum preserved" 1000L total
+
+  let test_concurrent_counter () =
+    let nthreads = 4 in
+    let per_thread = 250 in
+    let t = mk ~num_threads:nthreads () in
+    let worker tid () =
+      for _ = 1 to per_thread do
+        ignore (P.update t ~tid incr_tx)
+      done
+    in
+    let ds = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+    List.iter Domain.join ds;
+    Alcotest.(check int64) "no lost increments"
+      (Int64.of_int (nthreads * per_thread))
+      (P.read_only t ~tid:0 (fun tx -> P.get tx root1))
+
+  let test_concurrent_counter_then_crash () =
+    let nthreads = 3 in
+    let per_thread = 100 in
+    let t = mk ~num_threads:nthreads () in
+    let ds =
+      List.init nthreads (fun tid ->
+          Domain.spawn (fun () ->
+              for _ = 1 to per_thread do
+                ignore (P.update t ~tid incr_tx)
+              done))
+    in
+    List.iter Domain.join ds;
+    P.crash_and_recover t;
+    Alcotest.(check int64) "all concurrent updates durable"
+      (Int64.of_int (nthreads * per_thread))
+      (P.read_only t ~tid:0 (fun tx -> P.get tx root1))
+
+  let test_readers_see_monotone_counter () =
+    let t = mk ~num_threads:4 () in
+    let stop = Atomic.make false in
+    let bad = Atomic.make false in
+    let reader tid () =
+      let last = ref 0L in
+      while not (Atomic.get stop) do
+        let v = P.read_only t ~tid (fun tx -> P.get tx root1) in
+        if Int64.compare v !last < 0 then Atomic.set bad true;
+        last := v
+      done
+    in
+    let readers = [ Domain.spawn (reader 2); Domain.spawn (reader 3) ] in
+    for _ = 1 to 300 do
+      ignore (P.update t ~tid:0 incr_tx)
+    done;
+    Atomic.set stop true;
+    List.iter Domain.join readers;
+    Alcotest.(check bool) "reads never go backwards" false (Atomic.get bad)
+
+  let test_concurrent_transfers_preserve_sum () =
+    let nthreads = 3 in
+    let t = mk ~num_threads:nthreads () in
+    ignore (P.update t ~tid:0 (fun tx -> P.set tx root1 1000L; 0L));
+    let ds =
+      List.init nthreads (fun tid ->
+          Domain.spawn (fun () ->
+              let st = Random.State.make [| tid |] in
+              for _ = 1 to 100 do
+                let amount = Int64.of_int (Random.State.int st 10) in
+                ignore
+                  (P.update t ~tid (fun tx ->
+                       P.set tx root1 (Int64.sub (P.get tx root1) amount);
+                       P.set tx root2 (Int64.add (P.get tx root2) amount);
+                       0L))
+              done))
+    in
+    List.iter Domain.join ds;
+    P.crash_and_recover t;
+    let total =
+      P.read_only t ~tid:0 (fun tx -> Int64.add (P.get tx root1) (P.get tx root2))
+    in
+    Alcotest.(check int64) "concurrent transfers keep the sum" 1000L total
+
+  let qcheck_sps_invariant =
+    (* The paper's SPS benchmark as a property: any sequence of transactional
+       swaps over an array preserves the multiset of values, across a crash
+       with random evictions. *)
+    QCheck.Test.make ~name:(P.name ^ ": SPS swaps preserve array contents")
+      ~count:20
+      QCheck.(pair small_int (list (pair (int_bound 31) (int_bound 31))))
+      (fun (seed, swaps) ->
+        let t = mk () in
+        let base =
+          Int64.to_int
+            (P.update t ~tid:0 (fun tx ->
+                 let a = P.alloc tx 32 in
+                 for i = 0 to 31 do
+                   P.set tx (a + i) (Int64.of_int i)
+                 done;
+                 Int64.of_int a))
+        in
+        List.iter
+          (fun (i, j) ->
+            ignore
+              (P.update t ~tid:0 (fun tx ->
+                   let vi = P.get tx (base + i) and vj = P.get tx (base + j) in
+                   P.set tx (base + i) vj;
+                   P.set tx (base + j) vi;
+                   0L)))
+          swaps;
+        P.crash_with_evictions t ~seed ~prob:0.3;
+        let values =
+          List.init 32 (fun i ->
+              Int64.to_int (P.read_only t ~tid:0 (fun tx -> P.get tx (base + i))))
+        in
+        List.sort compare values = List.init 32 Fun.id)
+
+  let suites =
+    [
+      ( "ptm:" ^ P.name,
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "update visible" `Quick test_update_visible;
+          Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+          Alcotest.test_case "sequential counter" `Quick test_sequential_counter;
+          Alcotest.test_case "crash durability" `Quick test_crash_durability;
+          Alcotest.test_case "durability under evictions" `Quick
+            test_crash_with_evictions_durability;
+          Alcotest.test_case "repeated crashes" `Quick test_repeated_crashes;
+          Alcotest.test_case "alloc roundtrip" `Quick test_alloc_roundtrip;
+          Alcotest.test_case "linked list across txs" `Quick
+            test_linked_list_across_txs;
+          Alcotest.test_case "dealloc and reuse" `Quick test_dealloc_and_reuse;
+          Alcotest.test_case "multi-word invariant + crash" `Quick
+            test_multi_word_invariant_with_crash;
+          Alcotest.test_case "concurrent counter" `Slow test_concurrent_counter;
+          Alcotest.test_case "concurrent counter + crash" `Slow
+            test_concurrent_counter_then_crash;
+          Alcotest.test_case "monotone reads" `Slow
+            test_readers_see_monotone_counter;
+          Alcotest.test_case "concurrent transfers" `Slow
+            test_concurrent_transfers_preserve_sum;
+          QCheck_alcotest.to_alcotest qcheck_sps_invariant;
+        ] );
+    ]
+end

@@ -1,0 +1,79 @@
+(* Deep recovery tests: crash after every small batch of a long workload
+   (not just once at the end), across a sweep of eviction probabilities,
+   for each PTM.  Catches bugs that only appear after repeated
+   crash-recover epochs (e.g. stale durable headers, state reuse across
+   epochs). *)
+
+module Make (P : Ptm.Ptm_intf.S) = struct
+  module H = Pds.Hash_set.Make (P)
+  module I64Set = Set.Make (Int64)
+
+  let run_epochs ~epochs ~batch ~evict_prob ~seed =
+    let p = P.create ~num_threads:2 ~words:(1 lsl 15) () in
+    H.init p ~tid:0 ~slot:1;
+    let model = ref I64Set.empty in
+    let st = Random.State.make [| seed |] in
+    for epoch = 1 to epochs do
+      for _ = 1 to batch do
+        let k = Int64.of_int (Random.State.int st 200) in
+        if Random.State.bool st then begin
+          ignore (H.add p ~tid:0 ~slot:1 k);
+          model := I64Set.add k !model
+        end
+        else begin
+          ignore (H.remove p ~tid:0 ~slot:1 k);
+          model := I64Set.remove k !model
+        end
+      done;
+      if evict_prob <= 0. then P.crash_and_recover p
+      else P.crash_with_evictions p ~seed:(seed + epoch) ~prob:evict_prob;
+      Alcotest.(check int)
+        (Printf.sprintf "cardinality (epoch %d)" epoch)
+        (I64Set.cardinal !model)
+        (H.cardinal p ~tid:0 ~slot:1);
+      I64Set.iter
+        (fun k ->
+          if not (H.contains p ~tid:0 ~slot:1 k) then
+            Alcotest.failf "lost key %Ld in epoch %d" k epoch)
+        !model
+    done
+
+  let test_many_epochs_strict () = run_epochs ~epochs:12 ~batch:25 ~evict_prob:0. ~seed:1
+
+  let test_eviction_sweep () =
+    List.iter
+      (fun prob -> run_epochs ~epochs:5 ~batch:20 ~evict_prob:prob ~seed:99)
+      [ 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ]
+
+  let test_crash_immediately_after_create () =
+    let p = P.create ~num_threads:2 ~words:(1 lsl 14) () in
+    P.crash_and_recover p;
+    H.init p ~tid:0 ~slot:1;
+    ignore (H.add p ~tid:0 ~slot:1 1L);
+    P.crash_and_recover p;
+    Alcotest.(check bool) "usable after create-crash" true
+      (H.contains p ~tid:0 ~slot:1 1L)
+
+  let test_double_crash_without_ops () =
+    let p = P.create ~num_threads:2 ~words:(1 lsl 14) () in
+    H.init p ~tid:0 ~slot:1;
+    ignore (H.add p ~tid:0 ~slot:1 5L);
+    P.crash_and_recover p;
+    P.crash_and_recover p;
+    Alcotest.(check bool) "state stable across idle crashes" true
+      (H.contains p ~tid:0 ~slot:1 5L)
+
+  let suites =
+    [
+      ( "recovery[" ^ P.name ^ "]",
+        [
+          Alcotest.test_case "many epochs (strict)" `Quick test_many_epochs_strict;
+          Alcotest.test_case "eviction probability sweep" `Slow
+            test_eviction_sweep;
+          Alcotest.test_case "crash right after create" `Quick
+            test_crash_immediately_after_create;
+          Alcotest.test_case "double crash, no ops" `Quick
+            test_double_crash_without_ops;
+        ] );
+    ]
+end

@@ -1,0 +1,242 @@
+(* Tests for the concurrency primitives: strong try reader-writer lock and
+   the wait-free turn queue.  Multi-domain tests are sized for a 1-core host
+   but still exercise real interleavings via OS preemption. *)
+
+let test_rwlock_exclusive_excludes_exclusive () =
+  let l = Sync_prims.Rwlock.create () in
+  Alcotest.(check bool) "first wins" true
+    (Sync_prims.Rwlock.exclusive_try_lock l ~tid:0);
+  Alcotest.(check bool) "second fails" false
+    (Sync_prims.Rwlock.exclusive_try_lock l ~tid:1);
+  Sync_prims.Rwlock.exclusive_unlock l ~tid:0;
+  Alcotest.(check bool) "free again" true
+    (Sync_prims.Rwlock.exclusive_try_lock l ~tid:1);
+  Sync_prims.Rwlock.exclusive_unlock l ~tid:1
+
+let test_rwlock_shared_excludes_exclusive () =
+  let l = Sync_prims.Rwlock.create () in
+  Alcotest.(check bool) "reader in" true
+    (Sync_prims.Rwlock.shared_try_lock l ~tid:0);
+  (* A writer that arrives while a reader holds must not be able to finish,
+     but exclusive_try_lock blocks until drain, so test the reader side:
+     take a second shared lock, which must succeed. *)
+  Alcotest.(check bool) "second reader in" true
+    (Sync_prims.Rwlock.shared_try_lock l ~tid:1);
+  Sync_prims.Rwlock.shared_unlock l ~tid:0;
+  Sync_prims.Rwlock.shared_unlock l ~tid:1;
+  Alcotest.(check bool) "writer after drain" true
+    (Sync_prims.Rwlock.exclusive_try_lock l ~tid:2);
+  Sync_prims.Rwlock.exclusive_unlock l ~tid:2
+
+let test_rwlock_exclusive_excludes_shared () =
+  let l = Sync_prims.Rwlock.create () in
+  assert (Sync_prims.Rwlock.exclusive_try_lock l ~tid:0);
+  Alcotest.(check bool) "reader barred" false
+    (Sync_prims.Rwlock.shared_try_lock l ~tid:1);
+  Sync_prims.Rwlock.exclusive_unlock l ~tid:0;
+  Alcotest.(check bool) "reader ok after unlock" true
+    (Sync_prims.Rwlock.shared_try_lock l ~tid:1);
+  Sync_prims.Rwlock.shared_unlock l ~tid:1
+
+let test_rwlock_downgrade_admits_readers () =
+  let l = Sync_prims.Rwlock.create () in
+  assert (Sync_prims.Rwlock.exclusive_try_lock l ~tid:0);
+  Sync_prims.Rwlock.downgrade l ~tid:0;
+  Alcotest.(check bool) "reader enters downgraded lock" true
+    (Sync_prims.Rwlock.shared_try_lock l ~tid:1);
+  Alcotest.(check bool) "writer still barred" false
+    (Sync_prims.Rwlock.exclusive_try_lock l ~tid:2);
+  Sync_prims.Rwlock.shared_unlock l ~tid:1;
+  Sync_prims.Rwlock.downgrade_unlock l ~tid:0;
+  Alcotest.(check bool) "writer after release" true
+    (Sync_prims.Rwlock.exclusive_try_lock l ~tid:2);
+  Sync_prims.Rwlock.exclusive_unlock l ~tid:2
+
+let test_rwlock_owner () =
+  let l = Sync_prims.Rwlock.create () in
+  Alcotest.(check (option int)) "no owner" None (Sync_prims.Rwlock.owner l);
+  assert (Sync_prims.Rwlock.exclusive_try_lock l ~tid:3);
+  Alcotest.(check (option int)) "owner 3" (Some 3) (Sync_prims.Rwlock.owner l);
+  Sync_prims.Rwlock.downgrade l ~tid:3;
+  Alcotest.(check (option int)) "still owner when downgraded" (Some 3)
+    (Sync_prims.Rwlock.owner l);
+  Sync_prims.Rwlock.downgrade_unlock l ~tid:3;
+  Alcotest.(check (option int)) "released" None (Sync_prims.Rwlock.owner l)
+
+let test_rwlock_mutual_exclusion_domains () =
+  (* Writers increment a plain counter under the lock; any lost update or
+     overlap would show as a wrong final count. *)
+  let l = Sync_prims.Rwlock.create () in
+  let counter = ref 0 in
+  let iters = 2_000 in
+  let worker tid () =
+    let b = Sync_prims.Backoff.create () in
+    for _ = 1 to iters do
+      while not (Sync_prims.Rwlock.exclusive_try_lock l ~tid) do
+        ignore (Sync_prims.Backoff.once b)
+      done;
+      incr counter;
+      Sync_prims.Rwlock.exclusive_unlock l ~tid
+    done
+  in
+  let ds = List.init 3 (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost update" (3 * iters) !counter
+
+let test_turn_queue_fifo_single_thread () =
+  let q = Sync_prims.Turn_queue.create ~num_threads:2 (-1) in
+  let n1 = Sync_prims.Turn_queue.enqueue q ~tid:0 10 in
+  let n2 = Sync_prims.Turn_queue.enqueue q ~tid:0 20 in
+  let n3 = Sync_prims.Turn_queue.enqueue q ~tid:1 30 in
+  Alcotest.(check int) "ticket 1" 1 (Sync_prims.Turn_queue.ticket n1);
+  Alcotest.(check int) "ticket 2" 2 (Sync_prims.Turn_queue.ticket n2);
+  Alcotest.(check int) "ticket 3" 3 (Sync_prims.Turn_queue.ticket n3);
+  let s = Sync_prims.Turn_queue.sentinel q in
+  (match Sync_prims.Turn_queue.next s with
+  | Some n -> Alcotest.(check int) "first payload" 10 (Sync_prims.Turn_queue.payload n)
+  | None -> Alcotest.fail "sentinel not linked");
+  Alcotest.(check int) "tail is last" 30
+    (Sync_prims.Turn_queue.payload (Sync_prims.Turn_queue.tail q))
+
+let collect_queue q =
+  let rec go acc node =
+    match Sync_prims.Turn_queue.next node with
+    | None -> List.rev acc
+    | Some n -> go (Sync_prims.Turn_queue.payload n :: acc) n
+  in
+  go [] (Sync_prims.Turn_queue.sentinel q)
+
+let test_turn_queue_concurrent_enqueues () =
+  let nthreads = 4 in
+  let per_thread = 500 in
+  let q = Sync_prims.Turn_queue.create ~num_threads:nthreads (-1) in
+  let worker tid () =
+    for i = 0 to per_thread - 1 do
+      ignore (Sync_prims.Turn_queue.enqueue q ~tid ((tid * per_thread) + i))
+    done
+  in
+  let ds = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  let all = collect_queue q in
+  Alcotest.(check int) "all enqueued" (nthreads * per_thread) (List.length all);
+  (* Every element appears exactly once. *)
+  let sorted = List.sort compare all in
+  Alcotest.(check (list int)) "no duplicates, no losses"
+    (List.init (nthreads * per_thread) Fun.id)
+    sorted;
+  (* Per-thread FIFO order is preserved. *)
+  let last = Array.make nthreads (-1) in
+  List.iter
+    (fun v ->
+      let tid = v / per_thread in
+      Alcotest.(check bool) "per-thread order" true (v > last.(tid));
+      last.(tid) <- v)
+    all;
+  (* Tickets are consecutive along the list. *)
+  let rec check_tickets node expect =
+    match Sync_prims.Turn_queue.next node with
+    | None -> ()
+    | Some n ->
+        Alcotest.(check int) "consecutive ticket" expect
+          (Sync_prims.Turn_queue.ticket n);
+        check_tickets n (expect + 1)
+  in
+  check_tickets (Sync_prims.Turn_queue.sentinel q) 1
+
+let test_backoff_grows_and_resets () =
+  let b = Sync_prims.Backoff.create ~max_spins:64 () in
+  let s1 = Sync_prims.Backoff.once b in
+  let s2 = Sync_prims.Backoff.once b in
+  Alcotest.(check bool) "grows" true (s2 > s1);
+  for _ = 1 to 10 do
+    ignore (Sync_prims.Backoff.once b)
+  done;
+  Alcotest.(check int) "capped" 64 (Sync_prims.Backoff.once b);
+  Sync_prims.Backoff.reset b;
+  Alcotest.(check int) "reset" s1 (Sync_prims.Backoff.once b)
+
+let suites =
+  [
+    ( "rwlock",
+      [
+        Alcotest.test_case "excl excludes excl" `Quick
+          test_rwlock_exclusive_excludes_exclusive;
+        Alcotest.test_case "readers share" `Quick
+          test_rwlock_shared_excludes_exclusive;
+        Alcotest.test_case "excl excludes shared" `Quick
+          test_rwlock_exclusive_excludes_shared;
+        Alcotest.test_case "downgrade admits readers" `Quick
+          test_rwlock_downgrade_admits_readers;
+        Alcotest.test_case "owner" `Quick test_rwlock_owner;
+        Alcotest.test_case "mutual exclusion (domains)" `Slow
+          test_rwlock_mutual_exclusion_domains;
+      ] );
+    ( "turn_queue",
+      [
+        Alcotest.test_case "fifo single thread" `Quick
+          test_turn_queue_fifo_single_thread;
+        Alcotest.test_case "concurrent enqueues" `Slow
+          test_turn_queue_concurrent_enqueues;
+      ] );
+    ( "backoff",
+      [ Alcotest.test_case "grows and resets" `Quick test_backoff_grows_and_resets ] );
+  ]
+
+(* Model-based random testing of the rwlock protocol (single-threaded
+   oracle: at most one writer; readers only when no exclusive writer;
+   downgrade admits readers; upgrade re-excludes them). *)
+let qcheck_rwlock_model =
+  QCheck.Test.make ~name:"rwlock matches reference model" ~count:300
+    QCheck.(list (int_bound 5))
+  @@ fun ops ->
+  let l = Sync_prims.Rwlock.create () in
+  (* model: writer = None | Some `Excl | Some `Down; readers : int *)
+  let writer = ref None in
+  let readers = ref 0 in
+  let ok = ref true in
+  let expect name cond = if not cond then (ok := false; ignore name) in
+  List.iter
+    (fun op ->
+      match op with
+      | 0 (* shared_try_lock *) ->
+          let got = Sync_prims.Rwlock.shared_try_lock l ~tid:1 in
+          let want = !writer <> Some `Excl in
+          expect "shared" (got = want);
+          if got then incr readers
+      | 1 (* shared_unlock *) ->
+          if !readers > 0 then begin
+            Sync_prims.Rwlock.shared_unlock l ~tid:1;
+            decr readers
+          end
+      | 2 (* exclusive_try_lock: only attempt when it cannot block *) ->
+          if !readers = 0 then begin
+            let got = Sync_prims.Rwlock.exclusive_try_lock l ~tid:0 in
+            let want = !writer = None in
+            expect "exclusive" (got = want);
+            if got then writer := Some `Excl
+          end
+      | 3 (* exclusive_unlock *) ->
+          if !writer = Some `Excl then begin
+            Sync_prims.Rwlock.exclusive_unlock l ~tid:0;
+            writer := None
+          end
+      | 4 (* downgrade *) ->
+          if !writer = Some `Excl then begin
+            Sync_prims.Rwlock.downgrade l ~tid:0;
+            writer := Some `Down
+          end
+      | _ (* downgrade_unlock *) ->
+          if !writer = Some `Down then begin
+            Sync_prims.Rwlock.downgrade_unlock l ~tid:0;
+            writer := None
+          end)
+    ops;
+  (* drain for a clean end state *)
+  while !readers > 0 do
+    Sync_prims.Rwlock.shared_unlock l ~tid:1;
+    decr readers
+  done;
+  !ok
+
+let suites =
+  suites @ [ ("rwlock-model", [ QCheck_alcotest.to_alcotest qcheck_rwlock_model ]) ]

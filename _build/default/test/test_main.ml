@@ -1,0 +1,94 @@
+module Ptm_pmdk = Suite_ptm_generic.Make (Ptm.Pmdk_sim)
+module Ptm_onefile = Suite_ptm_generic.Make (Ptm.Onefile)
+module Ptm_cx_puc = Suite_ptm_generic.Make (Ptm.Cx_ptm.Puc)
+module Ptm_cx_ptm = Suite_ptm_generic.Make (Ptm.Cx_ptm.Ptm)
+module Ptm_romulus = Suite_ptm_generic.Make (Ptm.Romulus)
+module Ptm_redo = Suite_ptm_generic.Make (Ptm.Redo_ptm.Base)
+module Ptm_redo_timed = Suite_ptm_generic.Make (Ptm.Redo_ptm.Timed)
+module Ptm_redo_opt = Suite_ptm_generic.Make (Ptm.Redo_ptm.Opt)
+
+(* Data structures over a blocking oracle PTM and the paper's flagship. *)
+module A_pmdk = Suite_pds.Set_adapters (Ptm.Pmdk_sim)
+module A_redoopt = Suite_pds.Set_adapters (Ptm.Redo_ptm.Opt)
+module A_cxptm = Suite_pds.Set_adapters (Ptm.Cx_ptm.Ptm)
+module List_pmdk = Suite_pds.Make_set_suite (Ptm.Pmdk_sim) (A_pmdk.List_set)
+module Tree_pmdk = Suite_pds.Make_set_suite (Ptm.Pmdk_sim) (A_pmdk.Rbtree_set)
+module Hash_pmdk = Suite_pds.Make_set_suite (Ptm.Pmdk_sim) (A_pmdk.Hash_set)
+module List_redo = Suite_pds.Make_set_suite (Ptm.Redo_ptm.Opt) (A_redoopt.List_set)
+module Tree_redo = Suite_pds.Make_set_suite (Ptm.Redo_ptm.Opt) (A_redoopt.Rbtree_set)
+module Hash_redo = Suite_pds.Make_set_suite (Ptm.Redo_ptm.Opt) (A_redoopt.Hash_set)
+module Tree_cx = Suite_pds.Make_set_suite (Ptm.Cx_ptm.Ptm) (A_cxptm.Rbtree_set)
+module Hash_cx = Suite_pds.Make_set_suite (Ptm.Cx_ptm.Ptm) (A_cxptm.Hash_set)
+module Queue_pmdk = Suite_pds.Queue_suite (Ptm.Pmdk_sim)
+module Queue_redo = Suite_pds.Queue_suite (Ptm.Redo_ptm.Opt)
+module Queue_onefile = Suite_pds.Queue_suite (Ptm.Onefile)
+module Hm_fhmp = Suite_pds.Handmade_suite (Pds.Handmade_queue.Fhmp)
+module Hm_norm = Suite_pds.Handmade_suite (Pds.Handmade_queue.Norm_opt)
+module Lin_redoopt = Suite_linearizability.Make (Ptm.Redo_ptm.Opt)
+module Lin_onefile = Suite_linearizability.Make (Ptm.Onefile)
+module Lin_cxptm = Suite_linearizability.Make (Ptm.Cx_ptm.Ptm)
+module Lin_pmdk = Suite_linearizability.Make (Ptm.Pmdk_sim)
+module Rec_redoopt = Suite_recovery.Make (Ptm.Redo_ptm.Opt)
+module Rec_redo = Suite_recovery.Make (Ptm.Redo_ptm.Base)
+module Rec_cxptm = Suite_recovery.Make (Ptm.Cx_ptm.Ptm)
+module Rec_cxpuc = Suite_recovery.Make (Ptm.Cx_ptm.Puc)
+module Rec_onefile = Suite_recovery.Make (Ptm.Onefile)
+module Rec_pmdk = Suite_recovery.Make (Ptm.Pmdk_sim)
+module Rec_romulus = Suite_recovery.Make (Ptm.Romulus)
+module Multi_redoopt = Suite_multi.Make (Ptm.Redo_ptm.Opt)
+module Multi_cxptm = Suite_multi.Make (Ptm.Cx_ptm.Ptm)
+module Multi_onefile = Suite_multi.Make (Ptm.Onefile)
+module Multi_pmdk = Suite_multi.Make (Ptm.Pmdk_sim)
+module Db_redodb = Suite_db.Make (Kv.Redodb)
+module Db_rocks = Suite_db.Make (Kv.Rocksdb_sim)
+
+let () =
+  Alcotest.run "repro"
+    (List.concat
+       [
+         Suite_pmem.suites;
+         Suite_palloc.suites;
+         Suite_sync.suites;
+         Suite_internals.suites;
+         Ptm_pmdk.suites;
+         Ptm_onefile.suites;
+         Ptm_cx_puc.suites;
+         Ptm_cx_ptm.suites;
+         Ptm_romulus.suites;
+         Ptm_redo.suites;
+         Ptm_redo_timed.suites;
+         Ptm_redo_opt.suites;
+         List_pmdk.suites;
+         Tree_pmdk.suites;
+         Hash_pmdk.suites;
+         List_redo.suites;
+         Tree_redo.suites;
+         Hash_redo.suites;
+         Tree_cx.suites;
+         Hash_cx.suites;
+         Queue_pmdk.suites;
+         Queue_redo.suites;
+         Queue_onefile.suites;
+         Hm_fhmp.suites;
+         Hm_norm.suites;
+         Suite_onll.suites;
+         Suite_cx_volatile.suites;
+         Lin_redoopt.suites;
+         Lin_onefile.suites;
+         Lin_cxptm.suites;
+         Lin_pmdk.suites;
+         Rec_redoopt.suites;
+         Rec_redo.suites;
+         Rec_cxptm.suites;
+         Rec_cxpuc.suites;
+         Rec_onefile.suites;
+         Rec_pmdk.suites;
+         Rec_romulus.suites;
+         Multi_redoopt.suites;
+         Multi_cxptm.suites;
+         Multi_onefile.suites;
+         Multi_pmdk.suites;
+         Db_redodb.suites;
+         Db_rocks.suites;
+         Suite_db.cursor_suites;
+       ])
