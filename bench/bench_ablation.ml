@@ -16,6 +16,7 @@ module No_store_agg = Ptm.Redo_ptm.Make (struct
   let flush_agg = true
   let deferred_pwb = true
   let ntstore_copy = true
+  let omit_prepub_fence = false
 end)
 
 module No_flush_agg = Ptm.Redo_ptm.Make (struct
@@ -25,6 +26,7 @@ module No_flush_agg = Ptm.Redo_ptm.Make (struct
   let flush_agg = false
   let deferred_pwb = false
   let ntstore_copy = true
+  let omit_prepub_fence = false
 end)
 
 module No_ntstore = Ptm.Redo_ptm.Make (struct
@@ -34,6 +36,7 @@ module No_ntstore = Ptm.Redo_ptm.Make (struct
   let flush_agg = true
   let deferred_pwb = true
   let ntstore_copy = false
+  let omit_prepub_fence = false
 end)
 
 module No_timed = Ptm.Redo_ptm.Make (struct
@@ -43,6 +46,7 @@ module No_timed = Ptm.Redo_ptm.Make (struct
   let flush_agg = true
   let deferred_pwb = true
   let ntstore_copy = true
+  let omit_prepub_fence = false
 end)
 
 let cases : (string * Ptm.Ptm_intf.boxed) list =

@@ -3,16 +3,28 @@
    Usage:
      dune exec bin/crash_torture.exe -- [--ptm NAME] [--rounds N] [--seed S]
                                         [--evict-prob P] [--threads T]
+     dune exec bin/crash_torture.exe -- --mid-op [--ptm NAME] [--seed S]
+                                        [--ops N] [--sample N | --step K]
+                                        [--evict-prob P]
 
-   Each round runs a batch of random set operations (tracked in a volatile
-   model), then crashes the simulated machine — letting each dirty,
-   unflushed cache line survive with probability P, as real caches may —
-   recovers, and verifies that the recovered structure exactly matches the
-   model.  Any divergence is a durable-linearizability bug and the tool
-   exits non-zero with a reproduction line.
+   Default (quiescent) mode: each round runs a batch of random set
+   operations (tracked in a volatile model), then crashes the simulated
+   machine — letting each dirty, unflushed cache line survive with
+   probability P, as real caches may — recovers, and verifies that the
+   recovered structure exactly matches the model.
 
-   This is the long-running counterpart of the quick eviction tests in the
-   test suite: minutes of fuzzing across every PTM and many seeds. *)
+   --mid-op mode crashes *inside* transactions instead: it counts the
+   persistence steps (stores, pwbs, fences, ...) of a deterministic
+   workload, then re-runs it crashing at sampled steps (--sample N points;
+   0 = every step; --step K pins one exact point, as printed by repro
+   lines).  Without --evict-prob the crash is strict (all unflushed lines
+   lost); with it, each dirty line additionally survives with probability
+   P.  The recovered structure must match the model before or after the
+   in-flight operation and must still accept updates.
+
+   Any divergence is a durable-linearizability bug and the tool exits
+   non-zero with a reproduction line.  This is the long-running
+   counterpart of the quick crash tests in the test suite. *)
 
 let ptms : (string * Ptm.Ptm_intf.boxed) list =
   [
@@ -95,21 +107,67 @@ let torture_one (module P : Ptm.Ptm_intf.S) ~rounds ~seed ~evict_prob ~threads =
   done;
   !failures
 
+let midop_one (module P : Ptm.Ptm_intf.S) ~seed ~nops ~step ~sample ~evict_prob
+    =
+  let module E = Ptm.Crash_explorer.Make (P) in
+  let ops = Ptm.Crash_explorer.default_ops ~n:nops ~seed () in
+  let report =
+    if step > 0 then E.sweep ?evict_prob ~seed ~ops ~steps:[ step ] ()
+    else
+      let total = E.total_steps ~ops () in
+      let steps =
+        if sample = 0 then List.init total (fun i -> i + 1)
+        else Ptm.Crash_explorer.sample_steps ~total ~count:sample
+      in
+      E.sweep ?evict_prob ~seed ~ops ~steps ()
+  in
+  Printf.printf "%s\n" (Format.asprintf "%a" Ptm.Crash_explorer.pp_report report);
+  List.iter
+    (fun (v : Ptm.Crash_explorer.violation) ->
+      Printf.printf "  !! step %d (in-flight op %d: %s): %s\n     repro: %s\n"
+        v.step v.op_index
+        (Ptm.Crash_explorer.pp_op v.op)
+        v.detail v.repro)
+    report.violations;
+  List.length report.violations
+
 let () =
   let ptm_filter = ref "" in
   let rounds = ref 20 in
   let seed = ref 42 in
   let evict_prob = ref 0.5 in
+  let evict_set = ref false in
   let threads = ref 3 in
+  let mid_op = ref false in
+  let nops = ref 30 in
+  let sample = ref 40 in
+  let step = ref 0 in
   let spec =
     [
       ("--ptm", Arg.Set_string ptm_filter, "NAME only torture this PTM");
       ("--rounds", Arg.Set_int rounds, "N crash rounds per PTM (default 20)");
       ("--seed", Arg.Set_int seed, "S base random seed (default 42)");
       ( "--evict-prob",
-        Arg.Set_float evict_prob,
-        "P survival probability of unflushed lines (default 0.5)" );
+        Arg.Float
+          (fun p ->
+            evict_prob := p;
+            evict_set := true),
+        "P survival probability of unflushed lines (default 0.5; in --mid-op \
+         mode the default is a strict crash)" );
       ("--threads", Arg.Set_int threads, "T concurrent churn threads (default 3)");
+      ( "--mid-op",
+        Arg.Set mid_op,
+        " crash inside transactions (step sweep) instead of between them" );
+      ( "--ops",
+        Arg.Set_int nops,
+        "N mid-op workload length in operations (default 30)" );
+      ( "--sample",
+        Arg.Set_int sample,
+        "N crash points to sample in --mid-op mode; 0 sweeps every step \
+         (default 40)" );
+      ( "--step",
+        Arg.Set_int step,
+        "K crash at exactly step K in --mid-op mode (from a repro line)" );
     ]
   in
   Arg.parse spec
@@ -124,20 +182,34 @@ let () =
     exit 2
   end;
   let total_failures = ref 0 in
-  List.iter
-    (fun (name, Ptm.Ptm_intf.Boxed (module P)) ->
-      Printf.printf "torturing %-10s (%d rounds, evict %.2f, %d threads)... %!"
-        name !rounds !evict_prob !threads;
-      let t0 = Unix.gettimeofday () in
-      let f =
-        torture_one (module P) ~rounds:!rounds ~seed:!seed
-          ~evict_prob:!evict_prob ~threads:!threads
-      in
-      total_failures := !total_failures + f;
-      Printf.printf "%s (%.1fs)\n"
-        (if f = 0 then "ok" else Printf.sprintf "%d FAILURES" f)
-        (Unix.gettimeofday () -. t0))
-    selected;
+  (if !mid_op then
+     let ep = if !evict_set then Some !evict_prob else None in
+     List.iter
+       (fun (_, Ptm.Ptm_intf.Boxed (module P)) ->
+         let t0 = Unix.gettimeofday () in
+         let f =
+           midop_one (module P) ~seed:!seed ~nops:!nops ~step:!step
+             ~sample:!sample ~evict_prob:ep
+         in
+         total_failures := !total_failures + f;
+         Printf.printf "  (%.1fs)\n" (Unix.gettimeofday () -. t0))
+       selected
+   else
+     List.iter
+       (fun (name, Ptm.Ptm_intf.Boxed (module P)) ->
+         Printf.printf
+           "torturing %-10s (%d rounds, evict %.2f, %d threads)... %!" name
+           !rounds !evict_prob !threads;
+         let t0 = Unix.gettimeofday () in
+         let f =
+           torture_one (module P) ~rounds:!rounds ~seed:!seed
+             ~evict_prob:!evict_prob ~threads:!threads
+         in
+         total_failures := !total_failures + f;
+         Printf.printf "%s (%.1fs)\n"
+           (if f = 0 then "ok" else Printf.sprintf "%d FAILURES" f)
+           (Unix.gettimeofday () -. t0))
+       selected);
   if !total_failures > 0 then begin
     Printf.printf "\n%d durability violations found.\n" !total_failures;
     exit 1

@@ -1,0 +1,329 @@
+(** Systematic mid-transaction crash-surface exploration.
+
+    The quiescent crash tests ([suite_recovery], [bin/crash_torture]) only
+    ever kill the machine {e between} transactions; the paper's
+    durable-linearizability claims are about crashes landing {e anywhere} —
+    between a log persist and a [curComb] CAS, halfway through a replica
+    copy, and so on.  This module turns {!Pmem}'s step-counting injection
+    layer into a prefix-closed durable-linearizability oracle:
+
+    + run a deterministic single-threaded workload once, counting the
+      persistence-relevant steps it executes (N);
+    + for each chosen step [k <= N], re-run the workload from scratch on a
+      fresh instance with a crash armed at step [k];
+    + when {!Pmem.Crash_injected} unwinds out of the in-flight transaction,
+      crash-and-recover (optionally with random cache evictions of the
+      lines dirty at the crash point);
+    + the recovered structure must equal the model either {e before} or
+      {e after} the in-flight operation — prefix-closedness — and must
+      still accept updates.  Anything else is a reported violation carrying
+      a one-line reproduction.
+
+    The workload is a singly-linked list set with an element-count word,
+    self-contained here (the [pds] structures live above this library).  It
+    exercises allocation, deallocation and multi-word pointer surgery, so
+    torn or replayed transactions corrupt it in externally visible ways:
+    the count disagreeing with the chain is exactly the kind of half-applied
+    state a broken PTM leaks. *)
+
+module I64Set = Set.Make (Int64)
+
+type op = Add of int64 | Remove of int64
+
+let pp_op = function
+  | Add k -> Printf.sprintf "add %Ld" k
+  | Remove k -> Printf.sprintf "remove %Ld" k
+
+(** Deterministic workload: [n] add/remove operations over a small keyspace
+    drawn from [seed] (small keyspace = frequent structural hits). *)
+let default_ops ?(n = 12) ~seed () =
+  let st = Random.State.make [| seed; 0x5eed |] in
+  List.init n (fun _ ->
+      let k = Int64.of_int (Random.State.int st 8) in
+      if Random.State.bool st then Add k else Remove k)
+
+let model_apply set = function
+  | Add k -> I64Set.add k set
+  | Remove k -> I64Set.remove k set
+
+type violation = {
+  step : int; (* the step the crash was injected after *)
+  op_index : int; (* index of the in-flight operation *)
+  op : op;
+  detail : string;
+  repro : string; (* one-line reproduction via crash_torture --mid-op *)
+}
+
+type report = {
+  ptm : string;
+  seed : int;
+  total_steps : int; (* steps of the uninterrupted reference run *)
+  steps_tested : int;
+  crashes_injected : int;
+  violations : violation list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-10s steps=%-5d tested=%-5d injected=%-5d violations=%d"
+    r.ptm r.total_steps r.steps_tested r.crashes_injected
+    (List.length r.violations)
+
+(** Evenly spaced sample of [count] steps out of [1..total] (endpoints
+    included); the full range when [count >= total]. *)
+let sample_steps ~total ~count =
+  if total <= 0 || count <= 0 then []
+  else if count >= total then List.init total (fun i -> i + 1)
+  else
+    List.sort_uniq compare
+      (List.init count (fun i -> 1 + (i * (total - 1) / (count - 1))))
+
+module Make (P : Ptm_intf.S) = struct
+  let default_words = 512
+  let head_slot = Palloc.root_addr 1
+  let count_slot = Palloc.root_addr 2
+
+  (* Both root slots start at zero (empty list), so a fresh instance needs
+     no initialisation transaction — keeping run 0 and run k step-aligned
+     from the very first operation. *)
+
+  let apply_op p ~tid op =
+    ignore
+      (P.update p ~tid (fun tx ->
+           match op with
+           | Add k ->
+               let rec find cur =
+                 if cur = 0 then None
+                 else if Int64.equal (P.get tx cur) k then Some cur
+                 else find (Int64.to_int (P.get tx (cur + 1)))
+               in
+               (match find (Int64.to_int (P.get tx head_slot)) with
+               | Some _ -> 0L
+               | None ->
+                   let n = P.alloc tx 2 in
+                   P.set tx n k;
+                   P.set tx (n + 1) (P.get tx head_slot);
+                   P.set tx head_slot (Int64.of_int n);
+                   P.set tx count_slot (Int64.add (P.get tx count_slot) 1L);
+                   1L)
+           | Remove k ->
+               let rec unlink prev cur =
+                 if cur = 0 then 0L
+                 else if Int64.equal (P.get tx cur) k then begin
+                   let nxt = P.get tx (cur + 1) in
+                   if prev = 0 then P.set tx head_slot nxt
+                   else P.set tx (prev + 1) nxt;
+                   P.dealloc tx cur;
+                   P.set tx count_slot (Int64.sub (P.get tx count_slot) 1L);
+                   1L
+                 end
+                 else unlink cur (Int64.to_int (P.get tx (cur + 1)))
+               in
+               unlink 0 (Int64.to_int (P.get tx head_slot))))
+
+  (* Sorted keys + stored cardinality of the recovered structure.  The walk
+     carries fuel: a corrupted chain may be cyclic, and the oracle must
+     report that rather than hang.  The refs are reset inside the closure
+     because some PTMs re-execute read closures (helped reads). *)
+  let contents p ~tid =
+    let keys = ref [] in
+    let count = ref 0 in
+    ignore
+      (P.read_only p ~tid (fun tx ->
+           keys := [];
+           count := Int64.to_int (P.get tx count_slot);
+           let rec walk fuel cur =
+             if cur <> 0 then
+               if fuel = 0 then count := min_int (* cycle: can match nothing *)
+               else begin
+                 keys := P.get tx cur :: !keys;
+                 walk (fuel - 1) (Int64.to_int (P.get tx (cur + 1)))
+               end
+           in
+           walk 4096 (Int64.to_int (P.get tx head_slot));
+           0L));
+    (List.sort Int64.compare !keys, !count)
+
+  let show_set s =
+    String.concat "," (List.map Int64.to_string (I64Set.elements s))
+
+  let show_keys ks = String.concat "," (List.map Int64.to_string ks)
+
+  let mk_repro ~seed ~nops ~evict_prob k =
+    Printf.sprintf "crash_torture --mid-op --ptm %s --seed %d --ops %d --step %d%s"
+      P.name seed nops k
+      (match evict_prob with
+      | None -> ""
+      | Some p -> Printf.sprintf " --evict-prob %g" p)
+
+  (* Durable-linearizability check of the recovered instance, plus a
+     usability probe (recovery must leave a working PTM behind, not just a
+     pretty durable image). *)
+  let verify_recovered p ~k ~op_index ~op ~before ~after ~seed ~nops
+      ~evict_prob =
+    let fail detail =
+      Some
+        {
+          step = k;
+          op_index;
+          op;
+          detail;
+          repro = mk_repro ~seed ~nops ~evict_prob k;
+        }
+    in
+    match contents p ~tid:0 with
+    | exception e ->
+        fail
+          (Printf.sprintf "recovered read-only walk raised %s"
+             (Printexc.to_string e))
+    | keys, count -> (
+        let matches s =
+          keys = I64Set.elements s && count = I64Set.cardinal s
+        in
+        if not (matches before || matches after) then
+          fail
+            (Printf.sprintf
+               "recovered {%s} count=%d equals neither pre-op {%s} nor \
+                post-op {%s} of in-flight op %d (%s)"
+               (show_keys keys) count (show_set before) (show_set after)
+               op_index (pp_op op))
+        else
+          (* probe: the recovered instance must still accept an update *)
+          let probe = 0x7FFF_FFFFL in
+          match apply_op p ~tid:0 (Add probe) with
+          | exception e ->
+              fail
+                (Printf.sprintf "post-recovery update raised %s"
+                   (Printexc.to_string e))
+          | () -> (
+              match contents p ~tid:0 with
+              | exception e ->
+                  fail
+                    (Printf.sprintf "read after post-recovery update raised %s"
+                       (Printexc.to_string e))
+              | keys', _ ->
+                  if List.mem probe keys' then None
+                  else fail "post-recovery update was lost"))
+
+  (* Drive [ops] on [p] until completion or an injected crash; returns the
+     in-flight operation and the model before/after it. *)
+  let exec_until_crash p ops =
+    let rec go i model = function
+      | [] -> None
+      | op :: rest -> (
+          let after = model_apply model op in
+          match apply_op p ~tid:0 op with
+          | () -> go (i + 1) after rest
+          | exception Pmem.Crash_injected -> Some (i, op, model, after))
+    in
+    go 0 I64Set.empty ops
+
+  (** Steps executed by the uninterrupted reference run of [ops]. *)
+  let total_steps ?(num_threads = 2) ?(words = default_words) ~ops () =
+    let p = P.create ~num_threads ~words () in
+    let pm = P.pmem p in
+    Pmem.set_step_tracking pm true;
+    List.iter (apply_op p ~tid:0) ops;
+    Pmem.steps pm
+
+  type point_result = Completed | Survived | Violated of violation
+
+  (* One crash point: fresh instance, crash armed [k] steps in. *)
+  let run_point ~num_threads ~words ~evict_prob ~seed ~ops k =
+    let p = P.create ~num_threads ~words () in
+    let pm = P.pmem p in
+    Pmem.set_step_tracking pm true;
+    Pmem.inject_crash_after_step pm k;
+    match exec_until_crash p ops with
+    | None ->
+        Pmem.clear_injection pm;
+        Completed
+    | Some (op_index, op, before, after) -> (
+        (match evict_prob with
+        | None -> P.crash_and_recover p
+        | Some prob ->
+            (* eviction choices derive deterministically from (seed, k) so
+               the repro line replays the exact same durable image *)
+            P.crash_with_evictions p ~seed:(seed + (911 * k)) ~prob);
+        match
+          verify_recovered p ~k ~op_index ~op ~before ~after ~seed
+            ~nops:(List.length ops) ~evict_prob
+        with
+        | None -> Survived
+        | Some v -> Violated v)
+
+  (** [sweep ~ops ~steps ()] runs one injection per step number in [steps]
+      (step numbers outside [1..total] are skipped).  [evict_prob] switches
+      the crash to eviction mode: each line dirty at the crash point
+      additionally survives with that probability. *)
+  let sweep ?(num_threads = 2) ?(words = default_words) ?evict_prob
+      ?(seed = 0) ~ops ~steps () =
+    let total = total_steps ~num_threads ~words ~ops () in
+    let tested = ref 0 in
+    let injected = ref 0 in
+    let viols = ref [] in
+    List.iter
+      (fun k ->
+        if k >= 1 && k <= total then begin
+          incr tested;
+          match run_point ~num_threads ~words ~evict_prob ~seed ~ops k with
+          | Completed -> ()
+          | Survived -> incr injected
+          | Violated v ->
+              incr injected;
+              viols := v :: !viols
+        end)
+      steps;
+    {
+      ptm = P.name;
+      seed;
+      total_steps = total;
+      steps_tested = !tested;
+      crashes_injected = !injected;
+      violations = List.rev !viols;
+    }
+
+  (** Exhaustive sweep: every step k = 1..N of the reference run. *)
+  let sweep_all ?num_threads ?words ?evict_prob ?(seed = 0) ~ops () =
+    let total = total_steps ?num_threads ?words ~ops () in
+    sweep ?num_threads ?words ?evict_prob ~seed ~ops
+      ~steps:(List.init total (fun i -> i + 1))
+      ()
+
+  (** Probabilistic mode: [trials] runs, each arming a seeded per-step coin
+      instead of a fixed step.  Violations still carry the exact step for a
+      deterministic repro. *)
+  let random_sweep ?(num_threads = 2) ?(words = default_words) ?evict_prob
+      ?(seed = 0) ?(prob = 0.02) ~ops ~trials () =
+    let total = total_steps ~num_threads ~words ~ops () in
+    let injected = ref 0 in
+    let viols = ref [] in
+    for trial = 1 to trials do
+      let p = P.create ~num_threads ~words () in
+      let pm = P.pmem p in
+      Pmem.set_step_tracking pm true;
+      Pmem.inject_crash_probabilistic pm ~seed:(seed + (7919 * trial)) ~prob;
+      match exec_until_crash p ops with
+      | None -> Pmem.clear_injection pm
+      | Some (op_index, op, before, after) -> (
+          incr injected;
+          let k = Pmem.steps pm in
+          (match evict_prob with
+          | None -> P.crash_and_recover p
+          | Some prob ->
+              P.crash_with_evictions p ~seed:(seed + (911 * k)) ~prob);
+          match
+            verify_recovered p ~k ~op_index ~op ~before ~after ~seed
+              ~nops:(List.length ops) ~evict_prob
+          with
+          | None -> ()
+          | Some v -> viols := v :: !viols)
+    done;
+    {
+      ptm = P.name;
+      seed;
+      total_steps = total;
+      steps_tested = trials;
+      crashes_injected = !injected;
+      violations = List.rev !viols;
+    }
+end

@@ -1,0 +1,87 @@
+(** Systematic mid-transaction crash-surface exploration.
+
+    Built on {!Pmem}'s step-counting crash injection: a deterministic
+    workload is run once to count its persistence-relevant steps, then
+    re-run from scratch with a crash armed at chosen steps; after each
+    injected crash the instance is recovered and checked against a
+    prefix-closed durable-linearizability oracle — the recovered structure
+    must equal the model either before or after the in-flight operation,
+    and must still accept updates.  Each violation carries a one-line
+    reproduction for [crash_torture --mid-op]. *)
+
+type op = Add of int64 | Remove of int64
+
+val pp_op : op -> string
+
+(** [default_ops ?n ~seed ()] is a deterministic workload of [n]
+    operations (default 12) over a small keyspace drawn from [seed]. *)
+val default_ops : ?n:int -> seed:int -> unit -> op list
+
+type violation = {
+  step : int;  (** the step the crash was injected after *)
+  op_index : int;  (** index of the in-flight operation *)
+  op : op;
+  detail : string;
+  repro : string;  (** one-line reproduction via [crash_torture --mid-op] *)
+}
+
+type report = {
+  ptm : string;
+  seed : int;
+  total_steps : int;  (** steps of the uninterrupted reference run *)
+  steps_tested : int;
+  crashes_injected : int;
+  violations : violation list;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [sample_steps ~total ~count] is an evenly spaced sample of [count]
+    steps out of [1..total] (endpoints included); the full range when
+    [count >= total]. *)
+val sample_steps : total:int -> count:int -> int list
+
+module Make (P : Ptm_intf.S) : sig
+  (** Steps executed by the uninterrupted reference run of [ops]. *)
+  val total_steps : ?num_threads:int -> ?words:int -> ops:op list -> unit -> int
+
+  (** [sweep ~ops ~steps ()] runs one injection per step number in
+      [steps] (numbers outside [1..total] are skipped); [evict_prob]
+      additionally lets each line dirty at the crash point survive with
+      that probability (default: strict crash).  Both the step stream and
+      the eviction coins are deterministic functions of [seed]. *)
+  val sweep :
+    ?num_threads:int ->
+    ?words:int ->
+    ?evict_prob:float ->
+    ?seed:int ->
+    ops:op list ->
+    steps:int list ->
+    unit ->
+    report
+
+  (** Exhaustive sweep: every step [k = 1..N] of the reference run. *)
+  val sweep_all :
+    ?num_threads:int ->
+    ?words:int ->
+    ?evict_prob:float ->
+    ?seed:int ->
+    ops:op list ->
+    unit ->
+    report
+
+  (** [random_sweep ~ops ~trials ()] arms a seeded per-step coin of
+      probability [prob] (default 0.02) instead of a fixed step, [trials]
+      times; violations still carry the exact step for a deterministic
+      repro. *)
+  val random_sweep :
+    ?num_threads:int ->
+    ?words:int ->
+    ?evict_prob:float ->
+    ?seed:int ->
+    ?prob:float ->
+    ops:op list ->
+    trials:int ->
+    unit ->
+    report
+end

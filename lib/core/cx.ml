@@ -72,15 +72,23 @@ let try_copy t ~tid c =
   if src == c then false
   else if not (Sync_prims.Rwlock.shared_try_lock src.rwlock ~tid) then false
   else begin
-    let ok = Atomic.get t.cur_comb = ci in
-    if ok then begin
-      c.obj <- t.copy src.obj;
-      c.head <- src.head;
-      Atomic.set c.head_ticket (Atomic.get src.head_ticket);
-      c.valid <- true
-    end;
-    Sync_prims.Rwlock.shared_unlock src.rwlock ~tid;
-    ok
+    match
+      let ok = Atomic.get t.cur_comb = ci in
+      if ok then begin
+        c.obj <- t.copy src.obj;
+        c.head <- src.head;
+        Atomic.set c.head_ticket (Atomic.get src.head_ticket);
+        c.valid <- true
+      end;
+      ok
+    with
+    | ok ->
+        Sync_prims.Rwlock.shared_unlock src.rwlock ~tid;
+        ok
+    | exception e ->
+        (* a raising user [copy] must not leak the shared hold *)
+        Sync_prims.Rwlock.shared_unlock src.rwlock ~tid;
+        raise e
   end
 
 let apply_up_to c target =
@@ -130,36 +138,45 @@ let run_update t ~tid node =
   in
   match acquire () with
   | None -> ()
-  | Some ci ->
+  | Some ci -> (
       let c = t.combs.(ci) in
-      let rec ensure_valid () =
-        if finished () then false
-        else if
-          c.valid
-          && Atomic.get t.combs.(Atomic.get t.cur_comb).head_ticket
-             - Atomic.get c.head_ticket
-             <= window
-        then true
-        else if try_copy t ~tid c then true
-        else begin
-          ignore (Sync_prims.Backoff.once b);
-          ensure_valid ()
-        end
-      in
-      if not (ensure_valid ()) then
-        Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid
-      else begin
-        apply_up_to c node;
-        Sync_prims.Rwlock.downgrade c.rwlock ~tid;
-        let rec transition () =
-          let cur = Atomic.get t.cur_comb in
-          if Atomic.get t.combs.(cur).head_ticket >= my_ticket then ()
-          else if not (Atomic.compare_and_set t.cur_comb cur ci) then
-            transition ()
+      try
+        let rec ensure_valid () =
+          if finished () then false
+          else if
+            c.valid
+            && Atomic.get t.combs.(Atomic.get t.cur_comb).head_ticket
+               - Atomic.get c.head_ticket
+               <= window
+          then true
+          else if try_copy t ~tid c then true
+          else begin
+            ignore (Sync_prims.Backoff.once b);
+            ensure_valid ()
+          end
         in
-        transition ();
-        Sync_prims.Rwlock.downgrade_unlock c.rwlock ~tid
-      end
+        if not (ensure_valid ()) then
+          Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid
+        else begin
+          apply_up_to c node;
+          Sync_prims.Rwlock.downgrade c.rwlock ~tid;
+          let rec transition () =
+            let cur = Atomic.get t.cur_comb in
+            if Atomic.get t.combs.(cur).head_ticket >= my_ticket then ()
+            else if not (Atomic.compare_and_set t.cur_comb cur ci) then
+              transition ()
+          in
+          transition ();
+          Sync_prims.Rwlock.downgrade_unlock c.rwlock ~tid
+        end
+      with e ->
+        (* a raising mutation leaves the replica half replayed: invalidate
+           it and release the (exclusive or downgraded) hold *)
+        c.valid <- false;
+        (match Sync_prims.Rwlock.owner c.rwlock with
+        | Some o when o = tid -> Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid
+        | Some _ | None -> ());
+        raise e)
 
 (** [apply_update t ~tid f] linearizes the (deterministic, re-executable)
     mutation [f] and returns its result. *)
@@ -191,9 +208,13 @@ let apply_read t ~tid f =
       let c = t.combs.(ci) in
       if Sync_prims.Rwlock.shared_try_lock c.rwlock ~tid then begin
         if Atomic.get t.cur_comb = ci && c.valid then begin
-          let res = f c.obj in
-          Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
-          res
+          match f c.obj with
+          | res ->
+              Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
+              res
+          | exception e ->
+              Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
+              raise e
         end
         else begin
           Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;

@@ -198,9 +198,8 @@ module Make (M : MODE) = struct
     if src == c then false
     else if not (Sync_prims.Rwlock.shared_try_lock src.rwlock ~tid) then false
     else begin
-      let ok = Atomic.get t.cur_comb = ci in
-      let result =
-        if not ok then false
+      match
+        if Atomic.get t.cur_comb <> ci then false
         else begin
           Breakdown.timed t.bd ~tid Copy (fun () ->
               Pmem.blit_words t.pm ~tid ~src:src.base ~dst:c.base t.words);
@@ -211,9 +210,17 @@ module Make (M : MODE) = struct
           Hashtbl.reset c.dirty;
           true
         end
-      in
-      Sync_prims.Rwlock.shared_unlock src.rwlock ~tid;
-      result
+      with
+      | result ->
+          Sync_prims.Rwlock.shared_unlock src.rwlock ~tid;
+          result
+      | exception e ->
+          (* An unwind mid-copy (e.g. an injected crash) leaves [c] half
+             copied: drop the shared hold on the source and make sure nobody
+             trusts the destination. *)
+          c.valid <- false;
+          Sync_prims.Rwlock.shared_unlock src.rwlock ~tid;
+          raise e
     end
 
   (* Replay queue nodes on replica [c] from its cursor up to [target]
@@ -342,38 +349,48 @@ module Make (M : MODE) = struct
     in
     match acquire () with
     | None -> ensure_persisted t ~tid my_ticket
-    | Some ci ->
+    | Some ci -> (
         let c = t.combs.(ci) in
-        (* Validity: lagging or invalidated replicas are refreshed by
-           copying from curComb. *)
-        let rec ensure_valid () =
+        try
+          (* Validity: lagging or invalidated replicas are refreshed by
+             copying from curComb. *)
+          let rec ensure_valid () =
           if finished () then false
           else if
             c.valid
             && Atomic.get t.cur_comb |> fun cc ->
                Atomic.get t.combs.(cc).head_ticket - Atomic.get c.head_ticket
                <= window
-          then true
-          else if try_copy t ~tid c then true
-          else begin
-            Breakdown.timed t.bd ~tid Sleep (fun () ->
-                ignore (Sync_prims.Backoff.once b));
-            ensure_valid ()
+            then true
+            else if try_copy t ~tid c then true
+            else begin
+              Breakdown.timed t.bd ~tid Sleep (fun () ->
+                  ignore (Sync_prims.Backoff.once b));
+              ensure_valid ()
+            end
+          in
+          if not (ensure_valid ()) then begin
+            Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid;
+            ensure_persisted t ~tid my_ticket
           end
-        in
-        if not (ensure_valid ()) then begin
-          Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid;
-          ensure_persisted t ~tid my_ticket
-        end
-        else begin
-          Breakdown.timed t.bd ~tid Apply (fun () -> apply_up_to t ~tid c node);
-          flush_replica t ~tid c;
-          Sync_prims.Rwlock.downgrade c.rwlock ~tid;
-          let won = try_transition t ~tid ci my_ticket in
-          Sync_prims.Rwlock.downgrade_unlock c.rwlock ~tid;
-          if won then housekeep t ~tid my_ticket
-          else ensure_persisted t ~tid my_ticket
-        end
+          else begin
+            Breakdown.timed t.bd ~tid Apply (fun () -> apply_up_to t ~tid c node);
+            flush_replica t ~tid c;
+            Sync_prims.Rwlock.downgrade c.rwlock ~tid;
+            let won = try_transition t ~tid ci my_ticket in
+            Sync_prims.Rwlock.downgrade_unlock c.rwlock ~tid;
+            if won then housekeep t ~tid my_ticket
+            else ensure_persisted t ~tid my_ticket
+          end
+        with e ->
+          (* Unwind (user lambda raised, or an injected crash): the replica
+             may be half applied and our exclusive/downgraded hold must not
+             leak.  [exclusive_unlock] accepts a downgraded hold. *)
+          c.valid <- false;
+          (match Sync_prims.Rwlock.owner c.rwlock with
+          | Some o when o = tid -> Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid
+          | Some _ | None -> ());
+          raise e)
 
   let update t ~tid f =
     let t0 = Unix.gettimeofday () in
@@ -420,7 +437,13 @@ module Make (M : MODE) = struct
         if Sync_prims.Rwlock.shared_try_lock c.rwlock ~tid then begin
           if Atomic.get t.cur_comb = ci && c.valid then begin
             let ht = Atomic.get c.head_ticket in
-            let res = f { p = t; c; ro = true; tid } in
+            let res =
+              match f { p = t; c; ro = true; tid } with
+              | r -> r
+              | exception e ->
+                  Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
+                  raise e
+            in
             Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
             (* The observed state must be durable before we return. *)
             ensure_persisted t ~tid ht;
@@ -451,16 +474,10 @@ module Make (M : MODE) = struct
         c.full_flush <- false;
         Hashtbl.reset c.dirty)
       t.combs;
-    (* Lock state is volatile and does not survive a crash; force-release
-       anything a dying thread held. *)
-    Array.iter
-      (fun c ->
-        match Sync_prims.Rwlock.owner c.rwlock with
-        | None -> ()
-        | Some o ->
-            (* a crash never preserves lock state; force-release *)
-            Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid:o)
-      t.combs;
+    (* Lock state is volatile and does not survive a crash; reset every
+       lock outright (owner word and reader ingress count — dying readers
+       may have left the count raised). *)
+    Array.iter (fun c -> Sync_prims.Rwlock.reset c.rwlock) t.combs;
     Atomic.set t.cur_comb ci;
     Atomic.set t.persisted 0;
     (* Tickets restart at 0 in the new epoch: rewrite the durable header

@@ -197,16 +197,20 @@ let combine t ~tid =
 let run_request t ~tid r =
   Atomic.set t.announce.(tid) (Some r);
   let b = Sync_prims.Backoff.create () in
-  while not (Atomic.get r.done_) do
-    if Atomic.compare_and_set t.combining 0 (tid + 1) then
-      Fun.protect
-        ~finally:(fun () -> Atomic.set t.combining 0)
-        (fun () -> if not (Atomic.get r.done_) then combine t ~tid)
-    else
-      Breakdown.timed t.bd ~tid Sleep (fun () ->
-          ignore (Sync_prims.Backoff.once b))
-  done;
-  Atomic.set t.announce.(tid) None;
+  (* The announce slot must be retired even when the request's lambda raises
+     out of a combining round (e.g. an injected crash). *)
+  Fun.protect
+    ~finally:(fun () -> Atomic.set t.announce.(tid) None)
+    (fun () ->
+      while not (Atomic.get r.done_) do
+        if Atomic.compare_and_set t.combining 0 (tid + 1) then
+          Fun.protect
+            ~finally:(fun () -> Atomic.set t.combining 0)
+            (fun () -> if not (Atomic.get r.done_) then combine t ~tid)
+        else
+          Breakdown.timed t.bd ~tid Sleep (fun () ->
+              ignore (Sync_prims.Backoff.once b))
+      done);
   Atomic.get r.result
 
 let update t ~tid f =

@@ -3,7 +3,8 @@
     Cost/behaviour profile reproduced from the paper (§2 table):
     - persistent {e physical undo log}: before the first in-place store to a
       cache line in a transaction, the line's pre-image is appended to a log
-      in PM and made durable (one pwb+pfence per new range, "2+2R fences");
+      in PM and made durable, then the log count is persisted behind its own
+      fence (two fences per new range — the "2+2R fences" of §2's table);
     - in-place stores, flushed at commit;
     - blocking progress: one global transaction lock (libpmemobj leaves
       concurrency to the user; the paper runs it the same way);
@@ -100,10 +101,14 @@ let log_line tx line =
       (Pmem.get_word t.pm (t.region_base + base + i))
   done;
   Pmem.pwb_range t.pm ~tid:tx.tid e (e + entry_words - 1);
+  (* The entry must be durable before the count names it: without this
+     fence, an eviction of the count line could publish an entry whose
+     pre-image is still garbage, and recovery would roll back from it. *)
+  Pmem.pfence t.pm ~tid:tx.tid;
   Pmem.set_word t.pm ~tid:tx.tid (log_count_addr t) (Int64.of_int (count + 1));
   Pmem.pwb t.pm ~tid:tx.tid (log_count_addr t);
   Pmem.pfence t.pm ~tid:tx.tid;
-  tx.fences_this_tx <- tx.fences_this_tx + 1
+  tx.fences_this_tx <- tx.fences_this_tx + 2
 
 let set tx a v =
   check_logical tx.p a;
@@ -140,9 +145,14 @@ let update t ~tid f =
     Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
     Mutex.unlock t.lock
   in
-  match Breakdown.timed t.bd ~tid Lambda (fun () -> f tx) with
+  (* The exception branch must also cover [commit] (an injected crash can
+     fire inside it), or the global lock would leak on unwind. *)
+  match
+    let r = Breakdown.timed t.bd ~tid Lambda (fun () -> f tx) in
+    commit tx;
+    r
+  with
   | r ->
-      commit tx;
       finish ();
       r
   | exception e ->

@@ -37,6 +37,12 @@ module type CONFIG = sig
   val flush_agg : bool
   val deferred_pwb : bool
   val ntstore_copy : bool
+
+  (** Fault-injection hook for the crash-point test suite: skip the pfence
+      that makes the replica durable before the [curComb] transition.  Such
+      a configuration is {e deliberately broken} — the crash-surface sweep
+      must catch it.  Always [false] in real configurations. *)
+  val omit_prepub_fence : bool
 end
 
 module Make (C : CONFIG) = struct
@@ -354,7 +360,7 @@ module Make (C : CONFIG) = struct
             c.extra_dirty;
           Hashtbl.reset c.extra_dirty
         end;
-        Pmem.pfence t.pm ~tid)
+        if not C.omit_prepub_fence then Pmem.pfence t.pm ~tid)
 
   (* Revert the simulated mutations after a lost transition race. *)
   let apply_undo_log t ~tid c st =
@@ -406,115 +412,133 @@ module Make (C : CONFIG) = struct
     let locked = ref None in
     let outcome = ref None in
     let iter = ref 0 in
-    while !outcome = None && !iter <= 1 do
-      (* {2} read curComb *)
-      let cur_c = Atomic.get t.cur_comb in
-      let comb = t.combs.(Seqtid.idx cur_c) in
-      let tail = Atomic.get comb.head in
-      let tkt =
-        Seqtid.pack ~seq:(Seqtid.seq tail + 1) ~tid ~idx:t.last_idx.(tid)
-      in
-      (* {3} inherit applied/results from the tail state *)
-      copy_state new_st (state_of t tail) tkt;
-      if Atomic.get t.cur_comb <> cur_c then incr iter
-      else begin
-        (* {4} help the ring catch up with the tail *)
-        let ring_tail = Atomic.get t.ring.(Seqtid.seq tail mod rsize) in
-        if Seqtid.seq ring_tail > Seqtid.seq tail then incr iter
+    try
+      while !outcome = None && !iter <= 1 do
+        (* {2} read curComb *)
+        let cur_c = Atomic.get t.cur_comb in
+        let comb = t.combs.(Seqtid.idx cur_c) in
+        let tail = Atomic.get comb.head in
+        let tkt =
+          Seqtid.pack ~seq:(Seqtid.seq tail + 1) ~tid ~idx:t.last_idx.(tid)
+        in
+        (* {3} inherit applied/results from the tail state *)
+        copy_state new_st (state_of t tail) tkt;
+        if Atomic.get t.cur_comb <> cur_c then incr iter
         else begin
-          if ring_tail <> tail then help_ring t tail;
-          (* {5} acquire a Combined instance *)
-          (match !locked with
-          | Some _ -> ()
-          | None ->
-              locked :=
-                acquire_comb t ~tid ~give_up:(fun () ->
-                    my_op_applied t ~tid <> None));
-          match !locked with
-          | None -> iter := 2 (* helped: fall through to completion *)
-          | Some ci ->
-              let c = t.combs.(ci) in
-              (* {6} bring the replica up to [tail], replaying physical
-                 logs; copy from curComb if impossible *)
-              let ready =
-                (c.valid
-                && Breakdown.timed t.bd ~tid Apply (fun () ->
-                       apply_redo_logs t ~tid c tail))
-                || (try_copy t ~tid c && Seqtid.seq (Atomic.get c.head) >= Seqtid.seq tail)
-              in
-              if not ready then incr iter
-              else if Seqtid.seq (Atomic.get c.head) > Seqtid.seq tail then
-                (* the copy overshot my snapshot; retry with a fresh one *)
-                incr iter
-              else begin
-                (* {7} simulate all announced, not-yet-applied operations *)
-                for i = 0 to t.num_threads - 1 do
-                  let a = Atomic.get new_st.applied.(i) in
-                  let ann = Atomic.get t.announce.(i) in
-                  if a <> ann then
-                    match Atomic.get t.req.(i) with
-                    | None -> ()
-                    | Some g ->
-                        let tx = { p = t; c; st = Some new_st; tid; ro = false } in
-                        let res =
-                          Breakdown.timed t.bd ~tid Lambda (fun () -> g tx)
-                        in
-                        Atomic.set new_st.results.(i) res;
-                        Atomic.set new_st.applied.(i) ann
-                done;
-                (* flush deferred pwbs; replica durable before publication *)
-                flush_before_transition t ~tid c new_st;
-                Atomic.set c.head tkt;
-                (* {8} downgrade so readers may enter when we win *)
-                Sync_prims.Rwlock.downgrade c.rwlock ~tid;
-                (* {9} attempt the transition *)
-                let mine = Seqtid.pack ~seq:(Seqtid.seq tkt) ~tid ~idx:ci in
-                if Atomic.compare_and_set t.cur_comb cur_c mine then begin
-                  Sync_prims.Rwlock.downgrade_unlock c.rwlock ~tid;
-                  locked := None;
-                  help_ring t tkt;
-                  ensure_persisted t ~tid (Seqtid.seq tkt);
-                  t.last_idx.(tid) <- (t.last_idx.(tid) + 1) mod rsize;
-                  outcome := Some (Atomic.get new_st.results.(tid))
-                end
-                else begin
-                  (* lost the race: revert the simulation and retry once *)
-                  Sync_prims.Rwlock.upgrade c.rwlock ~tid;
-                  Atomic.set c.head tail;
-                  apply_undo_log t ~tid c new_st;
-                  Wset.reset new_st.log;
-                  incr iter
-                end
-              end
-        end
-      end
-    done;
-    (match !locked with
-    | Some ci -> Sync_prims.Rwlock.exclusive_unlock t.combs.(ci).rwlock ~tid
-    | None -> ());
-    let result =
-      match !outcome with
-      | Some r -> r
-      | None ->
-          (* Helped completion: the combining consensus guarantees some
-             committer executed our operation; wait for it to surface in
-             curComb's state, then make sure it is durable. *)
-          let b = Sync_prims.Backoff.create () in
-          let rec wait () =
-            match my_op_applied t ~tid with
-            | Some (seq, r) ->
-                ensure_persisted t ~tid seq;
-                r
+          (* {4} help the ring catch up with the tail *)
+          let ring_tail = Atomic.get t.ring.(Seqtid.seq tail mod rsize) in
+          if Seqtid.seq ring_tail > Seqtid.seq tail then incr iter
+          else begin
+            if ring_tail <> tail then help_ring t tail;
+            (* {5} acquire a Combined instance *)
+            (match !locked with
+            | Some _ -> ()
             | None ->
-                Breakdown.timed t.bd ~tid Sleep (fun () ->
-                    ignore (Sync_prims.Backoff.once b));
-                wait ()
-          in
-          wait ()
-    in
-    Atomic.set t.req.(tid) None;
-    Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
-    result
+                locked :=
+                  acquire_comb t ~tid ~give_up:(fun () ->
+                      my_op_applied t ~tid <> None));
+            match !locked with
+            | None -> iter := 2 (* helped: fall through to completion *)
+            | Some ci ->
+                let c = t.combs.(ci) in
+                (* {6} bring the replica up to [tail], replaying physical
+                   logs; copy from curComb if impossible *)
+                let ready =
+                  (c.valid
+                  && Breakdown.timed t.bd ~tid Apply (fun () ->
+                         apply_redo_logs t ~tid c tail))
+                  || (try_copy t ~tid c
+                     && Seqtid.seq (Atomic.get c.head) >= Seqtid.seq tail)
+                in
+                if not ready then incr iter
+                else if Seqtid.seq (Atomic.get c.head) > Seqtid.seq tail then
+                  (* the copy overshot my snapshot; retry with a fresh one *)
+                  incr iter
+                else begin
+                  (* {7} simulate all announced, not-yet-applied operations *)
+                  for i = 0 to t.num_threads - 1 do
+                    let a = Atomic.get new_st.applied.(i) in
+                    let ann = Atomic.get t.announce.(i) in
+                    if a <> ann then
+                      match Atomic.get t.req.(i) with
+                      | None -> ()
+                      | Some g ->
+                          let tx = { p = t; c; st = Some new_st; tid; ro = false } in
+                          let res =
+                            Breakdown.timed t.bd ~tid Lambda (fun () -> g tx)
+                          in
+                          Atomic.set new_st.results.(i) res;
+                          Atomic.set new_st.applied.(i) ann
+                  done;
+                  (* flush deferred pwbs; replica durable before publication *)
+                  flush_before_transition t ~tid c new_st;
+                  Atomic.set c.head tkt;
+                  (* {8} downgrade so readers may enter when we win *)
+                  Sync_prims.Rwlock.downgrade c.rwlock ~tid;
+                  (* {9} attempt the transition *)
+                  let mine = Seqtid.pack ~seq:(Seqtid.seq tkt) ~tid ~idx:ci in
+                  if Atomic.compare_and_set t.cur_comb cur_c mine then begin
+                    Sync_prims.Rwlock.downgrade_unlock c.rwlock ~tid;
+                    locked := None;
+                    help_ring t tkt;
+                    ensure_persisted t ~tid (Seqtid.seq tkt);
+                    t.last_idx.(tid) <- (t.last_idx.(tid) + 1) mod rsize;
+                    outcome := Some (Atomic.get new_st.results.(tid))
+                  end
+                  else begin
+                    (* lost the race: revert the simulation and retry once *)
+                    Sync_prims.Rwlock.upgrade c.rwlock ~tid;
+                    Atomic.set c.head tail;
+                    apply_undo_log t ~tid c new_st;
+                    Wset.reset new_st.log;
+                    incr iter
+                  end
+                end
+          end
+        end
+      done;
+      (match !locked with
+      | Some ci -> Sync_prims.Rwlock.exclusive_unlock t.combs.(ci).rwlock ~tid
+      | None -> ());
+      let result =
+        match !outcome with
+        | Some r -> r
+        | None ->
+            (* Helped completion: the combining consensus guarantees some
+               committer executed our operation; wait for it to surface in
+               curComb's state, then make sure it is durable. *)
+            let b = Sync_prims.Backoff.create () in
+            let rec wait () =
+              match my_op_applied t ~tid with
+              | Some (seq, r) ->
+                  ensure_persisted t ~tid seq;
+                  r
+              | None ->
+                  Breakdown.timed t.bd ~tid Sleep (fun () ->
+                      ignore (Sync_prims.Backoff.once b));
+                  wait ()
+            in
+            wait ()
+      in
+      Atomic.set t.req.(tid) None;
+      Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
+      result
+    with e ->
+      (* Unwind (an injected crash, or a user lambda raising mid-combining):
+         the replica we held may be half simulated — never trust it again —
+         and the exclusive/downgraded hold must not leak.  The published
+         request is retracted so no helper re-executes it later. *)
+      (match !locked with
+      | Some ci ->
+          let c = t.combs.(ci) in
+          c.valid <- false;
+          (match Sync_prims.Rwlock.owner c.rwlock with
+          | Some o when o = tid ->
+              Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid
+          | Some _ | None -> ())
+      | None -> ());
+      Atomic.set t.req.(tid) None;
+      raise e
 
   let rec read_only t ~tid f =
     let fast_path () =
@@ -522,7 +546,13 @@ module Make (C : CONFIG) = struct
       let c = t.combs.(Seqtid.idx cur) in
       if Sync_prims.Rwlock.shared_try_lock c.rwlock ~tid then begin
         if Atomic.get t.cur_comb = cur then begin
-          let res = f { p = t; c; st = None; tid; ro = true } in
+          let res =
+            match f { p = t; c; st = None; tid; ro = true } with
+            | r -> r
+            | exception e ->
+                Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
+                raise e
+          in
           Sync_prims.Rwlock.shared_unlock c.rwlock ~tid;
           ensure_persisted t ~tid (Seqtid.seq cur);
           Some res
@@ -556,9 +586,8 @@ module Make (C : CONFIG) = struct
     let ci = Seqtid.idx hdr in
     Array.iteri
       (fun i c ->
-        (match Sync_prims.Rwlock.owner c.rwlock with
-        | Some o -> Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid:o
-        | None -> ());
+        (* Lock state is volatile: reset owner word and reader count. *)
+        Sync_prims.Rwlock.reset c.rwlock;
         Atomic.set c.head (Seqtid.pack ~seq:0 ~tid:t.num_threads ~idx:0);
         c.valid <- i = ci;
         c.full_flush <- false;
@@ -624,6 +653,7 @@ module Base = Make (struct
   let flush_agg = false
   let deferred_pwb = false
   let ntstore_copy = false
+  let omit_prepub_fence = false
 end)
 
 module Timed = Make (struct
@@ -633,6 +663,7 @@ module Timed = Make (struct
   let flush_agg = false
   let deferred_pwb = false
   let ntstore_copy = false
+  let omit_prepub_fence = false
 end)
 
 module Opt = Make (struct
@@ -642,4 +673,5 @@ module Opt = Make (struct
   let flush_agg = true
   let deferred_pwb = true
   let ntstore_copy = true
+  let omit_prepub_fence = false
 end)

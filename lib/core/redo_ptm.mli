@@ -24,6 +24,12 @@ module type CONFIG = sig
 
   (** Replica copies through non-temporal stores. *)
   val ntstore_copy : bool
+
+  (** Fault-injection hook for the crash-point test suite: skip the pfence
+      that makes the replica durable before the [curComb] transition.  Such
+      a configuration is {e deliberately broken} — the crash-surface sweep
+      must catch it.  Always [false] in real configurations. *)
+  val omit_prepub_fence : bool
 end
 
 module Make (C : CONFIG) : Ptm_intf.S

@@ -102,46 +102,72 @@ let drain t view =
     ignore (Sync_prims.Backoff.once b)
   done
 
+(* Abort after an exception unwound out of [update] (user lambda raised, or
+   an injected crash): restore whichever replica the volatile state word
+   says may be torn, exactly like recovery, then release readers back onto
+   main.  After an injected crash every Pmem mutator is a no-op, which is
+   fine — the harness follows up with [crash_and_recover]. *)
+let abort_update t ~tid =
+  let st = Pmem.get_word t.pm state_addr in
+  if Int64.equal st st_mutating then
+    Pmem.blit_words t.pm ~tid ~src:t.back_base ~dst:t.main_base t.words
+  else if Int64.equal st st_copying then
+    Pmem.blit_words t.pm ~tid ~src:t.main_base ~dst:t.back_base t.words;
+  Pmem.pwb_range t.pm ~tid t.main_base (t.back_base + t.words - 1);
+  Pmem.pfence t.pm ~tid;
+  Pmem.set_word t.pm ~tid state_addr st_idle;
+  Pmem.pwb t.pm ~tid state_addr;
+  Pmem.psync t.pm ~tid;
+  Atomic.set t.read_view 0
+
 let update t ~tid f =
   Mutex.lock t.writer;
   let t0 = Unix.gettimeofday () in
   let log = Wset.create ~aggregate:true in
   let tx = { p = t; base = t.main_base; log = Some log; tid } in
-  (* Readers must not see main while it is inconsistent. *)
-  Atomic.set t.read_view 1;
-  drain t 0;
-  (* [1] announce the mutation durably *)
-  Pmem.set_word t.pm ~tid state_addr st_mutating;
-  Pmem.pwb t.pm ~tid state_addr;
-  Pmem.pfence t.pm ~tid;
-  let result = Breakdown.timed t.bd ~tid Lambda (fun () -> f tx) in
-  (* [2] flush the modified lines of main *)
-  Breakdown.timed t.bd ~tid Flush (fun () ->
-      let lines = Hashtbl.create 16 in
-      Wset.iter_redo log (fun a _ ->
-          Hashtbl.replace lines ((t.main_base + a) / Pmem.words_per_line) ());
-      Hashtbl.iter
-        (fun line () -> Pmem.pwb t.pm ~tid (line * Pmem.words_per_line))
-        lines;
-      Pmem.pfence t.pm ~tid);
-  (* [3] commit: main is now the consistent replica *)
-  Pmem.set_word t.pm ~tid state_addr st_copying;
-  Pmem.pwb t.pm ~tid state_addr;
-  Pmem.psync t.pm ~tid;
-  (* readers may use main again; replay the log onto back *)
-  Atomic.set t.read_view 0;
-  drain t 1;
-  Breakdown.timed t.bd ~tid Apply (fun () ->
-      Wset.iter_redo log (fun a v ->
-          Pmem.set_word t.pm ~tid (t.back_base + a) v;
-          Pmem.pwb t.pm ~tid (t.back_base + a)));
-  (* [4] back consistent again *)
-  Pmem.set_word t.pm ~tid state_addr st_idle;
-  Pmem.pwb t.pm ~tid state_addr;
-  Pmem.psync t.pm ~tid;
-  Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
-  Mutex.unlock t.writer;
-  result
+  match
+    (* Readers must not see main while it is inconsistent. *)
+    Atomic.set t.read_view 1;
+    drain t 0;
+    (* [1] announce the mutation durably *)
+    Pmem.set_word t.pm ~tid state_addr st_mutating;
+    Pmem.pwb t.pm ~tid state_addr;
+    Pmem.pfence t.pm ~tid;
+    let result = Breakdown.timed t.bd ~tid Lambda (fun () -> f tx) in
+    (* [2] flush the modified lines of main *)
+    Breakdown.timed t.bd ~tid Flush (fun () ->
+        let lines = Hashtbl.create 16 in
+        Wset.iter_redo log (fun a _ ->
+            Hashtbl.replace lines ((t.main_base + a) / Pmem.words_per_line) ());
+        Hashtbl.iter
+          (fun line () -> Pmem.pwb t.pm ~tid (line * Pmem.words_per_line))
+          lines;
+        Pmem.pfence t.pm ~tid);
+    (* [3] commit: main is now the consistent replica *)
+    Pmem.set_word t.pm ~tid state_addr st_copying;
+    Pmem.pwb t.pm ~tid state_addr;
+    Pmem.psync t.pm ~tid;
+    (* readers may use main again; replay the log onto back *)
+    Atomic.set t.read_view 0;
+    drain t 1;
+    Breakdown.timed t.bd ~tid Apply (fun () ->
+        Wset.iter_redo log (fun a v ->
+            Pmem.set_word t.pm ~tid (t.back_base + a) v;
+            Pmem.pwb t.pm ~tid (t.back_base + a)));
+    (* [4] back consistent again *)
+    Pmem.set_word t.pm ~tid state_addr st_idle;
+    Pmem.pwb t.pm ~tid state_addr;
+    Pmem.psync t.pm ~tid;
+    result
+  with
+  | result ->
+      Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
+      Mutex.unlock t.writer;
+      result
+  | exception e ->
+      abort_update t ~tid;
+      Mutex.unlock t.writer;
+      raise e
 
 (* Wait-free reads: announce on the current view's indicator, validate the
    view, read that replica.  The writer toggles the view before making a
@@ -157,9 +183,13 @@ let read_only t ~tid f =
     end
     else begin
       let base = if view = 0 then t.main_base else t.back_base in
-      let r = f { p = t; base; log = None; tid } in
-      ignore (Atomic.fetch_and_add t.ingress.(view) (-1));
-      r
+      match f { p = t; base; log = None; tid } with
+      | r ->
+          ignore (Atomic.fetch_and_add t.ingress.(view) (-1));
+          r
+      | exception e ->
+          ignore (Atomic.fetch_and_add t.ingress.(view) (-1));
+          raise e
     end
   in
   attempt ()
@@ -169,8 +199,12 @@ let recover t =
   if Int64.equal st st_mutating then
     (* main may be torn: restore it from back *)
     Pmem.blit_words t.pm ~tid:0 ~src:t.back_base ~dst:t.main_base t.words
-  else if Int64.equal st st_copying then
-    (* back may be torn: refresh it from main *)
+  else
+    (* [st_copying]: back may be torn, refresh it from main.  Also done for
+       [st_idle]: a cache eviction may have made the idle state durable
+       before the back-replay lines of the same transaction, so an idle
+       durable image does not prove back is whole — main, whose flush is
+       fenced before the state word can ever read idle, always is. *)
     Pmem.blit_words t.pm ~tid:0 ~src:t.main_base ~dst:t.back_base t.words;
   Pmem.pwb_range t.pm ~tid:0 t.main_base (t.back_base + t.words - 1);
   Pmem.set_word t.pm ~tid:0 state_addr st_idle;

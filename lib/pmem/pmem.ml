@@ -1,5 +1,7 @@
 let words_per_line = 8 (* 64-byte cache lines of 64-bit words *)
 
+exception Crash_injected
+
 (* Per-thread staging buffer: cache lines pwb'ed but not yet fenced. *)
 type staging = {
   mutable lines : int array;
@@ -16,6 +18,13 @@ let c_words_written = 4
 let c_words_copied = 5
 let n_counters = 6
 
+(* Crash-injection plan: when armed, one persistence-relevant event (a
+   "step") eventually fires the crash. *)
+type plan =
+  | No_plan
+  | At_step of int (* absolute step number at which to fire *)
+  | Probabilistic of { rng : Random.State.t; prob : float }
+
 type t = {
   words : int;
   nlines : int;
@@ -26,6 +35,15 @@ type t = {
   counters : int array array; (* per tid *)
   rmw_lock : Mutex.t; (* simulation-level atomicity for [cas_word] *)
   mutable flush_cost : int; (* cpu_relax iterations per written-back line *)
+  (* Fault injection (see .mli).  [tracking] turns the step counter on;
+     [steps] is the monotone event counter; [frozen] latches after an
+     injected crash so that the region ignores every store/flush until the
+     harness calls [crash]/[crash_with_evictions]. *)
+  mutable tracking : bool;
+  steps : int Atomic.t;
+  mutable plan : plan;
+  mutable frozen : bool;
+  injected : int Atomic.t;
 }
 
 (* Device model: approximate per-line write-back latency (see .mli). *)
@@ -51,6 +69,11 @@ let create ~max_threads ~words () =
     counters = Array.init max_threads (fun _ -> Array.make n_counters 0);
     rmw_lock = Mutex.create ();
     flush_cost = Atomic.get default_flush_cost;
+    tracking = false;
+    steps = Atomic.make 0;
+    plan = No_plan;
+    frozen = false;
+    injected = Atomic.make 0;
   }
 
 let[@inline] check_addr t addr =
@@ -58,6 +81,28 @@ let[@inline] check_addr t addr =
     invalid_arg (Printf.sprintf "Pmem: address %d out of bounds" addr)
 
 let[@inline] line_of addr = addr / words_per_line
+
+(* The crash fires *after* the triggering event took its volatile effect
+   (the store landed, the line got staged, the fence drained): the machine
+   dies between this instruction and the next one.  [frozen] then turns all
+   subsequent mutators into no-ops — the CPU is gone — while keeping the
+   dirty-line set intact so that a later [crash_with_evictions] can still
+   model arbitrary cache evictions of the at-crash dirty lines. *)
+let fire t =
+  t.plan <- No_plan;
+  t.frozen <- true;
+  Atomic.incr t.injected;
+  raise Crash_injected
+
+let[@inline never] step_slow t =
+  let n = 1 + Atomic.fetch_and_add t.steps 1 in
+  match t.plan with
+  | No_plan -> ()
+  | At_step k -> if n >= k then fire t
+  | Probabilistic { rng; prob } ->
+      if Random.State.float rng 1.0 < prob then fire t
+
+let[@inline] step t = if t.tracking then step_slow t
 
 let[@inline] get_word t addr =
   check_addr t addr;
@@ -68,10 +113,13 @@ let[@inline] mark_dirty t addr =
 
 let[@inline] set_word t ~tid addr v =
   check_addr t addr;
-  Bytes.set_int64_le t.data (addr * 8) v;
-  mark_dirty t addr;
-  let c = t.counters.(tid) in
-  c.(c_words_written) <- c.(c_words_written) + 1
+  if not t.frozen then begin
+    Bytes.set_int64_le t.data (addr * 8) v;
+    mark_dirty t addr;
+    let c = t.counters.(tid) in
+    c.(c_words_written) <- c.(c_words_written) + 1;
+    step t
+  end
 
 (* Word-by-word copy using aligned 64-bit accesses so that concurrent
    readers of the destination never observe torn words (Bytes.blit could
@@ -89,16 +137,31 @@ let blit_words t ~tid ~src ~dst len =
     check_addr t (src + len - 1);
     check_addr t dst;
     check_addr t (dst + len - 1);
-    copy_words_raw t.data t.data ~src_off:src ~dst_off:dst len;
-    for line = line_of dst to line_of (dst + len - 1) do
-      Bytes.unsafe_set t.dirty line '\001'
-    done;
-    let c = t.counters.(tid) in
-    c.(c_words_copied) <- c.(c_words_copied) + len
+    if not t.frozen then begin
+      let c = t.counters.(tid) in
+      (* Line by line, one step each: an injected crash can land with the
+         copy half done, exactly like a real replica copy interrupted by a
+         power failure. *)
+      for line = line_of dst to line_of (dst + len - 1) do
+        let lo = max dst (line * words_per_line) in
+        let hi = min (dst + len - 1) (((line + 1) * words_per_line) - 1) in
+        copy_words_raw t.data t.data
+          ~src_off:(src + (lo - dst))
+          ~dst_off:lo
+          (hi - lo + 1);
+        Bytes.unsafe_set t.dirty line '\001';
+        c.(c_words_copied) <- c.(c_words_copied) + (hi - lo + 1);
+        step t
+      done
+    end
   end
 
 let cas_word t ~tid addr ~expected ~desired =
   check_addr t addr;
+  (* A frozen region cannot return a meaningful success/failure — and CAS
+     retry loops (e.g. CX's [curComb] transition) would spin forever on a
+     dead machine — so re-raise instead of no-op'ing. *)
+  if t.frozen then raise Crash_injected;
   Mutex.lock t.rmw_lock;
   let cur = Bytes.get_int64_le t.data (addr * 8) in
   let ok = Int64.equal cur expected in
@@ -109,6 +172,9 @@ let cas_word t ~tid addr ~expected ~desired =
     c.(c_words_written) <- c.(c_words_written) + 1
   end;
   Mutex.unlock t.rmw_lock;
+  (* Step (and possibly raise) only after the lock is released, so an
+     injected crash can never leave [rmw_lock] held. *)
+  if ok then step t;
   ok
 
 let stage_line t ~tid line =
@@ -123,26 +189,40 @@ let stage_line t ~tid line =
 
 let pwb t ~tid addr =
   check_addr t addr;
-  stage_line t ~tid (line_of addr);
-  let c = t.counters.(tid) in
-  c.(c_pwb) <- c.(c_pwb) + 1
+  if not t.frozen then begin
+    stage_line t ~tid (line_of addr);
+    let c = t.counters.(tid) in
+    c.(c_pwb) <- c.(c_pwb) + 1;
+    step t
+  end
 
 let pwb_range t ~tid lo hi =
-  if lo > hi then invalid_arg "Pmem.pwb_range: empty range";
-  check_addr t lo;
-  check_addr t hi;
-  let c = t.counters.(tid) in
-  for line = line_of lo to line_of hi do
-    stage_line t ~tid line;
-    c.(c_pwb) <- c.(c_pwb) + 1
-  done
+  (* An empty range is a legitimate no-op (e.g. flushing a zero-length
+     write-set). *)
+  if lo <= hi then begin
+    check_addr t lo;
+    check_addr t hi;
+    if not t.frozen then begin
+      let c = t.counters.(tid) in
+      for line = line_of lo to line_of hi do
+        stage_line t ~tid line;
+        c.(c_pwb) <- c.(c_pwb) + 1;
+        step t
+      done
+    end
+  end
+
+(* Write a line back to the durable image without the device-latency model
+   (used by simulated crashes, which should not pay it). *)
+let writeback_line_raw t line =
+  let off = line * words_per_line in
+  copy_words_raw t.data t.durable ~src_off:off ~dst_off:off words_per_line;
+  Bytes.unsafe_set t.dirty line '\000'
 
 (* Write a staged line back to the durable image.  The line contents are the
    ones current at fence time, which is a legal CLWB/SFENCE behaviour. *)
 let writeback_line t line =
-  let off = line * words_per_line in
-  copy_words_raw t.data t.durable ~src_off:off ~dst_off:off words_per_line;
-  Bytes.unsafe_set t.dirty line '\000';
+  writeback_line_raw t line;
   for _ = 1 to t.flush_cost do
     Domain.cpu_relax ()
   done
@@ -155,23 +235,32 @@ let drain t ~tid =
   s.count <- 0
 
 let pfence t ~tid =
-  drain t ~tid;
-  let c = t.counters.(tid) in
-  c.(c_pfence) <- c.(c_pfence) + 1
+  if not t.frozen then begin
+    drain t ~tid;
+    let c = t.counters.(tid) in
+    c.(c_pfence) <- c.(c_pfence) + 1;
+    step t
+  end
 
 let psync t ~tid =
-  drain t ~tid;
-  let c = t.counters.(tid) in
-  c.(c_psync) <- c.(c_psync) + 1
+  if not t.frozen then begin
+    drain t ~tid;
+    let c = t.counters.(tid) in
+    c.(c_psync) <- c.(c_psync) + 1;
+    step t
+  end
 
 let ntstore_word t ~tid addr v =
   check_addr t addr;
-  Bytes.set_int64_le t.data (addr * 8) v;
-  mark_dirty t addr;
-  stage_line t ~tid (line_of addr);
-  let c = t.counters.(tid) in
-  c.(c_ntstore) <- c.(c_ntstore) + 1;
-  c.(c_words_written) <- c.(c_words_written) + 1
+  if not t.frozen then begin
+    Bytes.set_int64_le t.data (addr * 8) v;
+    mark_dirty t addr;
+    stage_line t ~tid (line_of addr);
+    let c = t.counters.(tid) in
+    c.(c_ntstore) <- c.(c_ntstore) + 1;
+    c.(c_words_written) <- c.(c_words_written) + 1;
+    step t
+  end
 
 let ntcopy_words t ~tid ~src ~dst len =
   if len < 0 then invalid_arg "Pmem.ntcopy_words: negative length";
@@ -180,32 +269,65 @@ let ntcopy_words t ~tid ~src ~dst len =
     check_addr t (src + len - 1);
     check_addr t dst;
     check_addr t (dst + len - 1);
-    copy_words_raw t.data t.data ~src_off:src ~dst_off:dst len;
-    let c = t.counters.(tid) in
-    for line = line_of dst to line_of (dst + len - 1) do
-      Bytes.unsafe_set t.dirty line '\001';
-      stage_line t ~tid line;
-      c.(c_ntstore) <- c.(c_ntstore) + 1
-    done;
-    c.(c_words_copied) <- c.(c_words_copied) + len
+    if not t.frozen then begin
+      let c = t.counters.(tid) in
+      for line = line_of dst to line_of (dst + len - 1) do
+        let lo = max dst (line * words_per_line) in
+        let hi = min (dst + len - 1) (((line + 1) * words_per_line) - 1) in
+        copy_words_raw t.data t.data
+          ~src_off:(src + (lo - dst))
+          ~dst_off:lo
+          (hi - lo + 1);
+        Bytes.unsafe_set t.dirty line '\001';
+        stage_line t ~tid line;
+        c.(c_ntstore) <- c.(c_ntstore) + 1;
+        c.(c_words_copied) <- c.(c_words_copied) + (hi - lo + 1);
+        step t
+      done
+    end
   end
 
 let crash t =
   Bytes.blit t.durable 0 t.data 0 (Bytes.length t.durable);
   Bytes.fill t.dirty 0 t.nlines '\000';
-  Array.iter (fun s -> s.count <- 0) t.staging
+  Array.iter (fun s -> s.count <- 0) t.staging;
+  t.frozen <- false;
+  t.plan <- No_plan
 
 let crash_with_evictions t ~seed ~prob =
   let rng = Random.State.make [| seed |] in
   for line = 0 to t.nlines - 1 do
     if Bytes.get t.dirty line = '\001' && Random.State.float rng 1.0 < prob
-    then writeback_line t line
+    then writeback_line_raw t line
   done;
   crash t
 
 let durable_word t addr =
   check_addr t addr;
   Bytes.get_int64_le t.durable (addr * 8)
+
+(* ---- Fault injection API ---------------------------------------------- *)
+
+let set_step_tracking t on =
+  t.tracking <- on;
+  if on then Atomic.set t.steps 0
+
+let steps t = Atomic.get t.steps
+let crash_pending t = t.plan <> No_plan
+let crash_fired t = t.frozen
+
+let inject_crash_after_step t n =
+  if n < 1 then invalid_arg "Pmem.inject_crash_after_step: n < 1";
+  if not t.tracking then t.tracking <- true;
+  t.plan <- At_step (Atomic.get t.steps + n)
+
+let inject_crash_probabilistic t ~seed ~prob =
+  if not (prob >= 0.0 && prob <= 1.0) then
+    invalid_arg "Pmem.inject_crash_probabilistic: prob not in [0, 1]";
+  if not t.tracking then t.tracking <- true;
+  t.plan <- Probabilistic { rng = Random.State.make [| seed |]; prob }
+
+let clear_injection t = t.plan <- No_plan
 
 module Stats = struct
   type snapshot = {
@@ -215,6 +337,8 @@ module Stats = struct
     ntstore : int;
     words_written : int;
     words_copied : int;
+    steps : int;
+    crashes_injected : int;
   }
 
   let zero =
@@ -225,6 +349,8 @@ module Stats = struct
       ntstore = 0;
       words_written = 0;
       words_copied = 0;
+      steps = 0;
+      crashes_injected = 0;
     }
 
   let add a b =
@@ -235,6 +361,8 @@ module Stats = struct
       ntstore = a.ntstore + b.ntstore;
       words_written = a.words_written + b.words_written;
       words_copied = a.words_copied + b.words_copied;
+      steps = a.steps + b.steps;
+      crashes_injected = a.crashes_injected + b.crashes_injected;
     }
 
   let diff a b =
@@ -245,29 +373,42 @@ module Stats = struct
       ntstore = a.ntstore - b.ntstore;
       words_written = a.words_written - b.words_written;
       words_copied = a.words_copied - b.words_copied;
+      steps = a.steps - b.steps;
+      crashes_injected = a.crashes_injected - b.crashes_injected;
     }
 
   let fences s = s.pfence + s.psync
 
   let pp ppf s =
     Format.fprintf ppf
-      "pwb=%d pfence=%d psync=%d ntstore=%d written=%d copied=%d" s.pwb
-      s.pfence s.psync s.ntstore s.words_written s.words_copied
+      "pwb=%d pfence=%d psync=%d ntstore=%d written=%d copied=%d steps=%d \
+       injected=%d"
+      s.pwb s.pfence s.psync s.ntstore s.words_written s.words_copied s.steps
+      s.crashes_injected
 end
 
 let stats t =
-  Array.fold_left
-    (fun acc c ->
-      Stats.add acc
-        {
-          Stats.pwb = c.(c_pwb);
-          pfence = c.(c_pfence);
-          psync = c.(c_psync);
-          ntstore = c.(c_ntstore);
-          words_written = c.(c_words_written);
-          words_copied = c.(c_words_copied);
-        })
-    Stats.zero t.counters
+  let base =
+    Array.fold_left
+      (fun acc c ->
+        Stats.add acc
+          {
+            Stats.pwb = c.(c_pwb);
+            pfence = c.(c_pfence);
+            psync = c.(c_psync);
+            ntstore = c.(c_ntstore);
+            words_written = c.(c_words_written);
+            words_copied = c.(c_words_copied);
+            steps = 0;
+            crashes_injected = 0;
+          })
+      Stats.zero t.counters
+  in
+  {
+    base with
+    Stats.steps = Atomic.get t.steps;
+    crashes_injected = Atomic.get t.injected;
+  }
 
 let reset_stats t =
   Array.iter (fun c -> Array.fill c 0 n_counters 0) t.counters

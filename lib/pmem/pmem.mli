@@ -25,6 +25,12 @@
 
 type t
 
+(** Raised by an armed crash-injection plan (see {!section:inject}) at the
+    persistence-relevant event it selected.  After it fires, the region is
+    {e frozen}: every store/flush becomes a silent no-op ([cas_word]
+    re-raises) until {!crash} or {!crash_with_evictions} is called. *)
+exception Crash_injected
+
 (** Number of 64-bit words per simulated cache line (64 bytes). *)
 val words_per_line : int
 
@@ -60,7 +66,8 @@ val cas_word : t -> tid:int -> int -> expected:int64 -> desired:int64 -> bool
     is within the allowed behaviours of [CLWB; SFENCE]). *)
 val pwb : t -> tid:int -> int -> unit
 
-(** Flush an inclusive word range: one [pwb] per distinct cache line. *)
+(** Flush an inclusive word range: one [pwb] per distinct cache line.
+    An empty range ([lo > hi]) is a no-op. *)
 val pwb_range : t -> tid:int -> int -> int -> unit
 
 (** Persistence fence: make all lines staged by [tid] durable. *)
@@ -102,12 +109,58 @@ val crash : t -> unit
 
 (** [crash_with_evictions t ~seed ~prob] first writes back each dirty line
     with probability [prob] (simulating arbitrary cache evictions before the
-    failure), then behaves like [crash].  Correct algorithms must recover
-    from any such outcome. *)
+    failure), then behaves like [crash].  Eviction write-backs do not pay the
+    [flush_cost] device model: no program instruction executes them.
+    Correct algorithms must recover from any such outcome. *)
 val crash_with_evictions : t -> seed:int -> prob:float -> unit
 
 (** [durable_word t addr] reads the durable image directly (test oracle). *)
 val durable_word : t -> int -> int64
+
+(** {1:inject Crash injection}
+
+    A fault-injection layer for mid-transaction crash testing.  When step
+    tracking is on, every persistence-relevant event is numbered by a
+    monotone {e step} counter: each [set_word], [ntstore_word], successful
+    [cas_word], [pwb], [pfence] and [psync] is one step; [pwb_range],
+    [blit_words] and [ntcopy_words] are one step {e per cache line} touched.
+    An injection plan picks a step and raises {!Crash_injected} immediately
+    after that step's effect, freezing the region (stores/flushes no-op;
+    [cas_word] re-raises so that CAS retry loops cannot spin on a dead
+    machine; reads still work).  The dirty-line set at the crash point is
+    preserved, so following up with {!crash_with_evictions} explores
+    arbitrary cache evictions of exactly the lines that were in flux.
+    Tracking adds one branch per event when off (the default).
+
+    Step streams are deterministic for single-threaded workloads, which is
+    what makes [inject_crash_after_step] reproducible; with concurrent
+    threads the numbering depends on the interleaving. *)
+
+(** [set_step_tracking t on] enables/disables the step counter.  Enabling
+    (re)sets the counter to zero. *)
+val set_step_tracking : t -> bool -> unit
+
+(** Current value of the step counter. *)
+val steps : t -> int
+
+(** [inject_crash_after_step t n] arms a crash [n >= 1] steps from now
+    (i.e. at absolute step [steps t + n]).  Implies step tracking (without
+    resetting the counter).  Replaces any previously armed plan. *)
+val inject_crash_after_step : t -> int -> unit
+
+(** [inject_crash_probabilistic t ~seed ~prob] arms a crash that fires at
+    each subsequent step with probability [prob], using a dedicated RNG
+    seeded with [seed].  Implies step tracking. *)
+val inject_crash_probabilistic : t -> seed:int -> prob:float -> unit
+
+(** Disarm the current plan, if any (does not unfreeze a fired crash). *)
+val clear_injection : t -> unit
+
+(** Whether a plan is armed and has not fired yet. *)
+val crash_pending : t -> bool
+
+(** Whether an injected crash has fired and the region is frozen. *)
+val crash_fired : t -> bool
 
 (** {1 Statistics} *)
 
@@ -119,6 +172,8 @@ module Stats : sig
     ntstore : int;
     words_written : int;
     words_copied : int;
+    steps : int; (* persistence-relevant events seen while tracking *)
+    crashes_injected : int; (* Crash_injected raised so far *)
   }
 
   val zero : snapshot
@@ -131,8 +186,11 @@ module Stats : sig
   val pp : Format.formatter -> snapshot -> unit
 end
 
-(** Aggregate counters across all threads. *)
+(** Aggregate counters across all threads, plus the injection counters
+    ([steps], [crashes_injected]). *)
 val stats : t -> Stats.snapshot
 
-(** Reset all counters to zero. *)
+(** Reset all per-thread counters to zero.  The [steps] counter and the
+    injected-crash count are left alone: an armed [At_step] plan is relative
+    to the absolute step counter. *)
 val reset_stats : t -> unit

@@ -61,6 +61,10 @@ let downgrade_unlock t ~tid =
   assert (w = encode tid lor 1);
   Atomic.set t.writer 0
 
+let reset t =
+  Atomic.set t.writer 0;
+  Atomic.set t.readers 0
+
 let owner t =
   let w = Atomic.get t.writer in
   if w = 0 then None else Some ((w lsr 1) - 1)

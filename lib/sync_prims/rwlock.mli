@@ -45,3 +45,9 @@ val upgrade : t -> tid:int -> unit
 (** Current exclusive owner's [tid], if any (downgraded owners included);
     for debugging and assertions. *)
 val owner : t -> int option
+
+(** [reset t] forces the lock back to its freshly-created state — writer word
+    cleared {e and} reader ingress count zeroed.  Only meaningful for crash
+    recovery, where every simulated thread is dead and leftover reader counts
+    or owner words are stale by definition.  Never call it on a live lock. *)
+val reset : t -> unit

@@ -174,6 +174,115 @@ let test_eviction_deterministic_seed () =
     (let s = run 7 in
      s > 0 && s < 1024)
 
+let test_pwb_range_empty_is_noop () =
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 8 1L;
+  Pmem.pwb_range pm ~tid:0 72 64;
+  (* lo > hi: no lines staged *)
+  Pmem.pfence pm ~tid:0;
+  Pmem.crash pm;
+  Alcotest.check i64 "empty range staged nothing" 0L (Pmem.get_word pm 8);
+  let s = Pmem.stats pm in
+  Alcotest.(check int) "no pwb counted" 0 s.Pmem.Stats.pwb
+
+let test_eviction_skips_flush_cost () =
+  (* crash_with_evictions models power-loss cache write-back: it must not
+     run the flush_cost busy-wait that models program-issued pwbs. *)
+  let pm = mk () in
+  Pmem.set_flush_cost pm 5_000_000;
+  for a = 0 to 1023 do
+    Pmem.set_word pm ~tid:0 a 1L
+  done;
+  let t0 = Unix.gettimeofday () in
+  Pmem.crash_with_evictions pm ~seed:3 ~prob:1.0;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.check i64 "lines written back" 1L (Pmem.get_word pm 100);
+  (* 128 dirty lines x 5M iterations would take seconds; write-back must
+     not pay it *)
+  Alcotest.(check bool) "no flush_cost busy-wait" true (dt < 1.0)
+
+let test_step_counting () =
+  let pm = mk () in
+  Pmem.set_word pm ~tid:0 8 1L;
+  (* untracked: no steps *)
+  Alcotest.(check int) "tracking off by default" 0 (Pmem.steps pm);
+  Pmem.set_step_tracking pm true;
+  Pmem.set_word pm ~tid:0 8 2L;
+  Pmem.pwb pm ~tid:0 8;
+  Pmem.pfence pm ~tid:0;
+  Pmem.pwb_range pm ~tid:0 0 23;
+  (* 3 lines *)
+  Pmem.psync pm ~tid:0;
+  Pmem.ntstore_word pm ~tid:0 64 4L;
+  Pmem.ntcopy_words pm ~tid:0 ~src:0 ~dst:128 16;
+  (* 2 lines *)
+  ignore (Pmem.cas_word pm ~tid:0 72 ~expected:0L ~desired:1L);
+  ignore (Pmem.cas_word pm ~tid:0 72 ~expected:9L ~desired:2L);
+  (* failed CAS: no step *)
+  Alcotest.(check int) "events counted" (1 + 1 + 1 + 3 + 1 + 1 + 2 + 1)
+    (Pmem.steps pm);
+  let s = Pmem.stats pm in
+  Alcotest.(check int) "steps in stats" (Pmem.steps pm) s.Pmem.Stats.steps;
+  Pmem.set_step_tracking pm true;
+  Alcotest.(check int) "re-enabling resets the counter" 0 (Pmem.steps pm)
+
+let test_inject_at_step () =
+  let pm = mk () in
+  Pmem.set_step_tracking pm true;
+  Pmem.set_word pm ~tid:0 8 1L;
+  Pmem.pwb pm ~tid:0 8;
+  Pmem.pfence pm ~tid:0;
+  Pmem.inject_crash_after_step pm 2;
+  Alcotest.(check bool) "armed" true (Pmem.crash_pending pm);
+  Pmem.set_word pm ~tid:0 16 2L;
+  (* step 4: survives *)
+  Alcotest.check_raises "fires at relative step 2" Pmem.Crash_injected
+    (fun () -> Pmem.set_word pm ~tid:0 24 3L);
+  Alcotest.(check bool) "fired" true (Pmem.crash_fired pm);
+  (* frozen: mutations are silent no-ops, reads still work *)
+  Pmem.set_word pm ~tid:0 32 9L;
+  Alcotest.check i64 "store ignored while frozen" 0L (Pmem.get_word pm 32);
+  Alcotest.check i64 "reads work while frozen" 2L (Pmem.get_word pm 16);
+  Alcotest.check_raises "cas re-raises while frozen" Pmem.Crash_injected
+    (fun () -> ignore (Pmem.cas_word pm ~tid:0 40 ~expected:0L ~desired:1L));
+  let s = Pmem.stats pm in
+  Alcotest.(check int) "injection counted" 1 s.Pmem.Stats.crashes_injected;
+  (* crash clears the frozen state and the plan *)
+  Pmem.crash pm;
+  Alcotest.(check bool) "unfrozen after crash" false (Pmem.crash_fired pm);
+  Alcotest.(check bool) "plan cleared" false (Pmem.crash_pending pm);
+  Alcotest.check i64 "fenced line survived" 1L (Pmem.get_word pm 8);
+  Alcotest.check i64 "unfenced store before crash lost" 0L (Pmem.get_word pm 16);
+  Pmem.set_word pm ~tid:0 48 5L;
+  Alcotest.check i64 "mutations work again" 5L (Pmem.get_word pm 48)
+
+let test_inject_probabilistic () =
+  (* prob=1.0 must fire on the very next event; same seed, same behaviour *)
+  let pm = mk () in
+  Pmem.set_step_tracking pm true;
+  Pmem.inject_crash_probabilistic pm ~seed:11 ~prob:1.0;
+  Alcotest.check_raises "fires immediately at prob=1" Pmem.Crash_injected
+    (fun () -> Pmem.set_word pm ~tid:0 8 1L);
+  let run seed =
+    let pm = mk () in
+    Pmem.set_step_tracking pm true;
+    Pmem.inject_crash_probabilistic pm ~seed ~prob:0.05;
+    (try
+       for a = 0 to 500 do
+         Pmem.set_word pm ~tid:0 a 1L
+       done
+     with Pmem.Crash_injected -> ());
+    Pmem.steps pm
+  in
+  Alcotest.(check int) "deterministic for a fixed seed" (run 13) (run 13);
+  Alcotest.(check bool) "clear_injection disarms" true
+    (let pm = mk () in
+     Pmem.set_step_tracking pm true;
+     Pmem.inject_crash_probabilistic pm ~seed:1 ~prob:1.0;
+     Pmem.clear_injection pm;
+     Pmem.set_word pm ~tid:0 8 1L;
+     not (Pmem.crash_fired pm))
+
 let test_bounds_checked () =
   let pm = mk ~words:64 () in
   Alcotest.check_raises "oob get"
@@ -246,6 +355,14 @@ let suites =
         Alcotest.test_case "eviction prob=0" `Quick test_eviction_probability_zero;
         Alcotest.test_case "eviction deterministic" `Quick
           test_eviction_deterministic_seed;
+        Alcotest.test_case "empty pwb_range is a no-op" `Quick
+          test_pwb_range_empty_is_noop;
+        Alcotest.test_case "eviction skips flush cost" `Quick
+          test_eviction_skips_flush_cost;
+        Alcotest.test_case "step counting" `Quick test_step_counting;
+        Alcotest.test_case "inject crash at step" `Quick test_inject_at_step;
+        Alcotest.test_case "inject crash probabilistic" `Quick
+          test_inject_probabilistic;
         Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
         Alcotest.test_case "rounds to line size" `Quick test_rounds_to_line;
         QCheck_alcotest.to_alcotest qcheck_durable_model;

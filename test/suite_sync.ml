@@ -83,6 +83,69 @@ let test_rwlock_mutual_exclusion_domains () =
   List.iter Domain.join ds;
   Alcotest.(check int) "no lost update" (3 * iters) !counter
 
+let test_rwlock_upgrade_downgrade_domains () =
+  (* A writer cycles exclusive -> downgrade -> upgrade -> write -> unlock
+     while reader domains hammer shared_try_lock.  Two atomics incremented
+     only under exclusivity make races visible: readers must never observe
+     x <> y, and after [upgrade] returns no reader may still be inside its
+     critical section ([upgrade] bars new readers and drains in-flight
+     ones). *)
+  let l = Sync_prims.Rwlock.create () in
+  let x = Atomic.make 0 in
+  let y = Atomic.make 0 in
+  let readers_inside = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let reader_violations = Atomic.make 0 in
+  let writer_violations = Atomic.make 0 in
+  let writer () =
+    let b = Sync_prims.Backoff.create () in
+    for i = 1 to 400 do
+      while not (Sync_prims.Rwlock.exclusive_try_lock l ~tid:0) do
+        ignore (Sync_prims.Backoff.once b)
+      done;
+      Atomic.incr x;
+      (* x <> y: only ever visible to a racing reader *)
+      Atomic.incr y;
+      Sync_prims.Rwlock.downgrade l ~tid:0;
+      (* readers may flow in now; give them a window *)
+      for _ = 1 to 50 do
+        Domain.cpu_relax ()
+      done;
+      if i mod 2 = 0 then begin
+        Sync_prims.Rwlock.upgrade l ~tid:0;
+        (* exclusivity again: every in-flight reader must have drained *)
+        if Atomic.get readers_inside <> 0 then Atomic.incr writer_violations;
+        Atomic.incr x;
+        Atomic.incr y;
+        Sync_prims.Rwlock.exclusive_unlock l ~tid:0
+      end
+      else Sync_prims.Rwlock.downgrade_unlock l ~tid:0
+    done;
+    Atomic.set stop true
+  in
+  let reader tid () =
+    let b = Sync_prims.Backoff.create () in
+    while not (Atomic.get stop) do
+      if Sync_prims.Rwlock.shared_try_lock l ~tid then begin
+        Atomic.incr readers_inside;
+        if Atomic.get x <> Atomic.get y then Atomic.incr reader_violations;
+        Atomic.decr readers_inside;
+        Sync_prims.Rwlock.shared_unlock l ~tid
+      end
+      else ignore (Sync_prims.Backoff.once b)
+    done
+  in
+  let ds =
+    Domain.spawn writer :: List.init 3 (fun i -> Domain.spawn (reader (i + 1)))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "readers never saw a half write" 0
+    (Atomic.get reader_violations);
+  Alcotest.(check int) "upgrade drained all in-flight readers" 0
+    (Atomic.get writer_violations);
+  Alcotest.(check (option int)) "lock released at the end" None
+    (Sync_prims.Rwlock.owner l)
+
 let test_turn_queue_fifo_single_thread () =
   let q = Sync_prims.Turn_queue.create ~num_threads:2 (-1) in
   let n1 = Sync_prims.Turn_queue.enqueue q ~tid:0 10 in
@@ -170,6 +233,8 @@ let suites =
         Alcotest.test_case "owner" `Quick test_rwlock_owner;
         Alcotest.test_case "mutual exclusion (domains)" `Slow
           test_rwlock_mutual_exclusion_domains;
+        Alcotest.test_case "upgrade/downgrade under contention (domains)" `Slow
+          test_rwlock_upgrade_downgrade_domains;
       ] );
     ( "turn_queue",
       [

@@ -39,6 +39,14 @@ module Multi_redoopt = Suite_multi.Make (Ptm.Redo_ptm.Opt)
 module Multi_cxptm = Suite_multi.Make (Ptm.Cx_ptm.Ptm)
 module Multi_onefile = Suite_multi.Make (Ptm.Onefile)
 module Multi_pmdk = Suite_multi.Make (Ptm.Pmdk_sim)
+module Cp_pmdk = Suite_crashpoints.Make (Ptm.Pmdk_sim)
+module Cp_onefile = Suite_crashpoints.Make (Ptm.Onefile)
+module Cp_romulus = Suite_crashpoints.Make (Ptm.Romulus)
+module Cp_cx_puc = Suite_crashpoints.Make (Ptm.Cx_ptm.Puc)
+module Cp_cx_ptm = Suite_crashpoints.Make (Ptm.Cx_ptm.Ptm)
+module Cp_redo = Suite_crashpoints.Make (Ptm.Redo_ptm.Base)
+module Cp_redo_timed = Suite_crashpoints.Make (Ptm.Redo_ptm.Timed)
+module Cp_redo_opt = Suite_crashpoints.Make (Ptm.Redo_ptm.Opt)
 module Db_redodb = Suite_db.Make (Kv.Redodb)
 module Db_rocks = Suite_db.Make (Kv.Rocksdb_sim)
 
@@ -88,6 +96,15 @@ let () =
          Multi_cxptm.suites;
          Multi_onefile.suites;
          Multi_pmdk.suites;
+         Cp_pmdk.suites;
+         Cp_onefile.suites;
+         Cp_romulus.suites;
+         Cp_cx_puc.suites;
+         Cp_cx_ptm.suites;
+         Cp_redo.suites;
+         Cp_redo_timed.suites;
+         Cp_redo_opt.suites;
+         Suite_crashpoints.mutant_suites;
          Db_redodb.suites;
          Db_rocks.suites;
          Suite_db.cursor_suites;
