@@ -88,6 +88,8 @@ let run ~quick () =
   List.iter
     (fun (label, Ptm.Ptm_intf.Boxed (module P)) ->
       let r = run_case (module P) ~threads ~keys ~per_thread in
+      emit ~exp:"ablation"
+        (run_row ~threads r ~extra:[ ("configuration", Obs.Json.String label) ]);
       Printf.printf "%-18s%-12s%-10.1f%-12.2f\n" label
         (fmt_rate (ops_per_sec r))
         (pwbs_per_op r) (fences_per_op r))

@@ -76,6 +76,18 @@ let fig7 ~quick () =
                           .Kv.Db_bench.ops_per_sec )
               in
               let a = run_redodb () and b = run_rocks () in
+              emit ~exp:"fig7"
+                (Obs.Json.Obj
+                   [
+                     ("bench", Obs.Json.String bench);
+                     ("keys", Obs.Json.Int keys);
+                     ("threads", Obs.Json.Int threads);
+                     ("redodb_ops_per_sec", Obs.Json.Float a);
+                     ("rocksdb_ops_per_sec", Obs.Json.Float b);
+                     ( "ratio",
+                       if b > 0. then Obs.Json.Float (a /. b) else Obs.Json.Null
+                     );
+                   ]);
               Printf.printf "%-10d%-14s%-14s%-10s\n" threads (fmt_rate a)
                 (fmt_rate b)
                 (if b > 0. then Printf.sprintf "%.1fx" (a /. b) else "-"))
@@ -96,18 +108,31 @@ let db_supplement ~quick () =
     [ (16, "workload"); (14, "RedoDB"); (14, "RocksDB-sim") ];
   let rdb = open_redodb ~threads:2 ~keys in
   let rks = open_rocks ~threads:2 ~keys in
+  let emit_row workload a b =
+    emit ~exp:"dbx"
+      (Obs.Json.Obj
+         [
+           ("workload", Obs.Json.String workload);
+           ("keys", Obs.Json.Int keys);
+           ("redodb_ops_per_sec", Obs.Json.Float a);
+           ("rocksdb_ops_per_sec", Obs.Json.Float b);
+         ])
+  in
   let a = Bench_redodb.fillseq rdb ~keys in
   let b = Bench_rocks.fillseq rks ~keys in
+  emit_row "fillseq" a.Kv.Db_bench.ops_per_sec b.Kv.Db_bench.ops_per_sec;
   Printf.printf "%-16s%-14s%-14s\n" "fillseq"
     (fmt_rate a.Kv.Db_bench.ops_per_sec)
     (fmt_rate b.Kv.Db_bench.ops_per_sec);
   let a = Bench_redodb.readmissing rdb ~threads:2 ~ops ~keyspace:keys in
   let b = Bench_rocks.readmissing rks ~threads:2 ~ops ~keyspace:keys in
+  emit_row "readmissing" a.Kv.Db_bench.ops_per_sec b.Kv.Db_bench.ops_per_sec;
   Printf.printf "%-16s%-14s%-14s\n" "readmissing"
     (fmt_rate a.Kv.Db_bench.ops_per_sec)
     (fmt_rate b.Kv.Db_bench.ops_per_sec);
   let (a, da) = Bench_redodb.deleterandom rdb ~threads:2 ~ops:(keys / 2) ~keyspace:keys in
   let (b, db_) = Bench_rocks.deleterandom rks ~threads:2 ~ops:(keys / 2) ~keyspace:keys in
+  emit_row "deleterandom" a.Kv.Db_bench.ops_per_sec b.Kv.Db_bench.ops_per_sec;
   Printf.printf "%-16s%-14s%-14s (deleted %d / %d)\n" "deleterandom"
     (fmt_rate a.Kv.Db_bench.ops_per_sec)
     (fmt_rate b.Kv.Db_bench.ops_per_sec)
@@ -126,12 +151,25 @@ let fig8 ~quick () =
       (16, "volatile (KiB)");
       (18, "recovery (ms)");
     ];
+  let emit_row engine nvm vol rec_s =
+    emit ~exp:"fig8"
+      (Obs.Json.Obj
+         [
+           ("engine", Obs.Json.String engine);
+           ("keys", Obs.Json.Int keys);
+           ("nvm_kib", Obs.Json.Int (nvm * 8 / 1024));
+           ("volatile_kib", Obs.Json.Int (vol * 8 / 1024));
+           ("recovery_ms", Obs.Json.Float (rec_s *. 1000.));
+         ])
+  in
   let rdb = open_redodb ~threads:2 ~keys in
   let nvm, vol, rec_s = Bench_redodb.memory_and_recovery rdb ~keys in
+  emit_row "RedoDB" nvm vol rec_s;
   Printf.printf "%-14s%-16d%-16d%-18.2f\n" "RedoDB" (nvm * 8 / 1024)
     (vol * 8 / 1024) (rec_s *. 1000.);
   let rks = open_rocks ~threads:2 ~keys in
   let nvm, vol, rec_s = Bench_rocks.memory_and_recovery rks ~keys in
+  emit_row "RocksDB-sim" nvm vol rec_s;
   Printf.printf "%-14s%-16d%-16d%-18.2f\n" "RocksDB-sim" (nvm * 8 / 1024)
     (vol * 8 / 1024) (rec_s *. 1000.)
 
@@ -162,6 +200,16 @@ let fig9 ~quick () =
           (r.Kv.Db_bench.stats.Pmem.Stats.pwb + r.Kv.Db_bench.stats.Pmem.Stats.ntstore)
         /. float_of_int r.Kv.Db_bench.ops
       in
+      emit ~exp:"fig9"
+        (Obs.Json.Obj
+           [
+             ("keys", Obs.Json.Int keys);
+             ("threads", Obs.Json.Int threads);
+             ("redodb_ops_per_sec", Obs.Json.Float a.Kv.Db_bench.ops_per_sec);
+             ("redodb_pwb_per_op", Obs.Json.Float (pwb a));
+             ("rocksdb_ops_per_sec", Obs.Json.Float b.Kv.Db_bench.ops_per_sec);
+             ("rocksdb_pwb_per_op", Obs.Json.Float (pwb b));
+           ]);
       Printf.printf "%-10d%-14s%-12.1f%-14s%-12.1f\n" threads
         (fmt_rate a.Kv.Db_bench.ops_per_sec)
         (pwb a)

@@ -65,17 +65,30 @@ let run ~quick:_ () =
       (12, "fences/tx");
       (10, "pwb/tx");
     ];
+  let emit_row name log prog fences pwbs =
+    emit ~exp:"fig1"
+      (Obs.Json.Obj
+         [
+           ("ptm", Obs.Json.String name);
+           ("log_type", Obs.Json.String log);
+           ("progress", Obs.Json.String prog);
+           ("fences_per_tx", Obs.Json.Float fences);
+           ("pwb_per_tx", Obs.Json.Float pwbs);
+         ])
+  in
   List.iter
     (fun e ->
       let (Ptm.Ptm_intf.Boxed (module P)) = e.boxed in
       let log, prog, pf, rep = static_row e.pname in
       let fences, pwbs = measure (module P) in
       Printf.printf "%-12s%-18s%-12s%-12s%-10s%-12.2f%-10.2f\n" e.pname log prog
-        pf rep fences pwbs)
+        pf rep fences pwbs;
+      emit_row e.pname log prog fences pwbs)
     all_ptms;
   let fences, pwbs = measure_onll () in
   Printf.printf "%-12s%-18s%-12s%-12s%-10s%-12.2f%-10.2f\n" "ONLL*"
     "p-logical" "lock-free" "1" "N" fences pwbs;
+  emit_row "ONLL" "p-logical" "lock-free" fences pwbs;
   print_endline
     "* ONLL measured via its registered-operation API (no dynamic \
      transactions; see lib/core/onll.mli)." 

@@ -73,6 +73,13 @@ let run ~quick () =
                 else per_thread
               in
               let r = run_one (module P) ~threads ~swaps ~array_words ~per_thread in
+              emit ~exp:"fig4"
+                (run_row ~threads r
+                   ~extra:
+                     [
+                       ("ptm", Obs.Json.String e.pname);
+                       ("swaps", Obs.Json.Int swaps);
+                     ]);
               Printf.printf "%-12s%-10.1f" (fmt_rate (ops_per_sec r)) (pwbs_per_op r))
             all_ptms;
           print_newline ())

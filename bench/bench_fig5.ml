@@ -21,12 +21,15 @@ let run_ptm_queue (module P : Ptm.Ptm_intf.S) ~threads ~per_thread =
     Q.enqueue p ~tid:0 ~slot:1 (Int64.of_int i)
   done;
   Pmem.reset_stats (P.pmem p);
-  run_threads ~threads ~per_thread
-    ~stats0:(fun () -> P.stats p)
-    ~stats1:(fun () -> P.stats p)
-    (fun tid i ->
-      Q.enqueue p ~tid ~slot:1 (Int64.of_int i);
-      ignore (Q.dequeue p ~tid ~slot:1))
+  let r =
+    run_threads ~threads ~per_thread
+      ~stats0:(fun () -> P.stats p)
+      ~stats1:(fun () -> P.stats p)
+      (fun tid i ->
+        Q.enqueue p ~tid ~slot:1 (Int64.of_int i);
+        ignore (Q.dequeue p ~tid ~slot:1))
+  in
+  (r, pwb_imbalance (P.pmem p) ~threads)
 
 module type HANDMADE = sig
   type t
@@ -70,13 +73,21 @@ let run ~quick () =
       List.iter
         (fun e ->
           let (Ptm.Ptm_intf.Boxed (module P)) = e.boxed in
-          let r = run_ptm_queue (module P) ~threads ~per_thread in
+          let r, imbalance = run_ptm_queue (module P) ~threads ~per_thread in
           (* each loop iteration = 2 operations (enqueue + dequeue) *)
           let r = { r with ops = 2 * r.ops } in
+          emit ~exp:"fig5"
+            (run_row ~threads r
+               ~extra:
+                 [
+                   ("ptm", Obs.Json.String e.pname);
+                   ("pwb_imbalance", Obs.Json.Float imbalance);
+                 ]);
           Printf.printf "%-12s%-10.1f" (fmt_rate (ops_per_sec r)) (pwbs_per_op r))
         ptms;
       List.iter
         (fun which ->
+          let qname = if which = 0 then "FHMP" else "NormOpt" in
           let r =
             if which = 0 then
               run_handmade (module Pds.Handmade_queue.Fhmp) ~threads ~per_thread
@@ -85,6 +96,8 @@ let run ~quick () =
                 ~per_thread
           in
           let r = { r with ops = 2 * r.ops } in
+          emit ~exp:"fig5"
+            (run_row ~threads r ~extra:[ ("ptm", Obs.Json.String qname) ]);
           Printf.printf "%-12s%-10.1f" (fmt_rate (ops_per_sec r)) (pwbs_per_op r))
         [ 0; 1 ];
       print_newline ())

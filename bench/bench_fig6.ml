@@ -125,6 +125,14 @@ let run ~quick () =
                     let per_thread = max 10 (base_ops / threads) in
                     let ops, stats = make_set (module P) which ~threads ~keys in
                     let r = run_workload ops stats ~threads ~per_thread ~update_pct in
+                    emit ~exp:"fig6"
+                      (run_row ~threads r
+                         ~extra:
+                           [
+                             ("ptm", Obs.Json.String e.pname);
+                             ("structure", Obs.Json.String ops.sname);
+                             ("update_pct", Obs.Json.Int update_pct);
+                           ]);
                     Printf.printf "%-12s%-10.1f"
                       (fmt_rate (ops_per_sec r))
                       (pwbs_per_op r)

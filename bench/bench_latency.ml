@@ -35,18 +35,26 @@ let benchmark tests =
   in
   Analyze.all ols Instance.monotonic_clock raw
 
-let print_results title results =
+let print_results ~kind title results =
   Bench_util.section title;
   Bench_util.table_header [ (14, "PTM"); (16, "ns/op (OLS)") ];
   Hashtbl.iter
     (fun name result ->
+      let short =
+        match String.rindex_opt name '/' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
       match Analyze.OLS.estimates result with
       | Some (est :: _) ->
-          Printf.printf "%-14s%-16.0f\n"
-            (match String.rindex_opt name '/' with
-            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
-            | None -> name)
-            est
+          Bench_util.emit ~exp:"latency"
+            (Obs.Json.Obj
+               [
+                 ("ptm", Obs.Json.String short);
+                 ("tx_kind", Obs.Json.String kind);
+                 ("ns_per_op_ols", Obs.Json.Float est);
+               ]);
+          Printf.printf "%-14s%-16.0f\n" short est
       | Some [] | None -> Printf.printf "%-14s%-16s\n" name "n/a")
     results
 
@@ -59,7 +67,8 @@ let run ~quick:_ () =
     Test.make_grouped ~name:"read"
       (List.map make_read_test Bench_util.all_ptms)
   in
-  print_results "Latency — 2-store update transaction (Bechamel OLS fit)"
+  print_results ~kind:"update"
+    "Latency — 2-store update transaction (Bechamel OLS fit)"
     (benchmark update_tests);
-  print_results "Latency — read-only transaction (Bechamel OLS fit)"
+  print_results ~kind:"read" "Latency — read-only transaction (Bechamel OLS fit)"
     (benchmark read_tests)

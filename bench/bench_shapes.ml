@@ -10,6 +10,13 @@ open Bench_util
 let failures = ref 0
 
 let check name cond detail =
+  emit ~exp:"shapes"
+    (Obs.Json.Obj
+       [
+         ("check", Obs.Json.String name);
+         ("pass", Obs.Json.Bool cond);
+         ("detail", Obs.Json.String detail);
+       ]);
   Printf.printf "  [%s] %s%s\n"
     (if cond then "PASS" else "FAIL")
     name

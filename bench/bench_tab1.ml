@@ -82,6 +82,24 @@ let run ~quick () =
           List.iter
             (fun (nm, s) ->
               let us = Ptm.Breakdown.avg_us s in
+              emit ~exp:"tab1"
+                (Obs.Json.Obj
+                   ([
+                      ("ptm", Obs.Json.String nm);
+                      ("structure", Obs.Json.String label);
+                      ("threads", Obs.Json.Int threads);
+                      ("update_tx_us", Obs.Json.Float us);
+                      ( "slowdown",
+                        if base_us > 0. then Obs.Json.Float (us /. base_us)
+                        else Obs.Json.Null );
+                      ( "tx_latency_ns",
+                        Obs.Metrics.hsnap_json s.Ptm.Breakdown.tx_latency );
+                    ]
+                   @ List.map
+                       (fun sec ->
+                         ( "frac_" ^ sec,
+                           Obs.Json.Float (Ptm.Breakdown.fraction s sec) ))
+                       [ "apply"; "flush"; "copy"; "lambda"; "sleep" ]));
               Printf.printf "%-12s%-14.1f%-10s" nm us
                 (if base_us > 0. then Printf.sprintf "(%.1fx)" (us /. base_us)
                  else "-");

@@ -29,6 +29,9 @@ type run = {
   ops : int;
   seconds : float;
   stats : Pmem.Stats.snapshot;
+  lat : Obs.Metrics.hsnap option;
+      (** per-operation latency percentiles; only measured when the
+          metrics layer is enabled ([--metrics]) *)
 }
 
 let ops_per_sec r = if r.seconds > 0. then float_of_int r.ops /. r.seconds else 0.
@@ -43,14 +46,25 @@ let fences_per_op r =
     fresh instance created by [setup]; returns the run plus whatever [setup]
     returned. *)
 let run_threads ~threads ~per_thread ~stats0 ~stats1 op =
+  let lat_h =
+    if Obs.Metrics.is_on () then Some (Obs.Metrics.make_histogram ()) else None
+  in
   let t0 = Unix.gettimeofday () in
   let s0 = stats0 () in
   let ds =
     List.init threads (fun tid ->
         Domain.spawn (fun () ->
-            for i = 0 to per_thread - 1 do
-              op tid i
-            done))
+            match lat_h with
+            | None ->
+                for i = 0 to per_thread - 1 do
+                  op tid i
+                done
+            | Some h ->
+                for i = 0 to per_thread - 1 do
+                  let o0 = Unix.gettimeofday () in
+                  op tid i;
+                  Obs.Metrics.record_span_s h ~tid (Unix.gettimeofday () -. o0)
+                done))
   in
   List.iter Domain.join ds;
   let s1 = stats1 () in
@@ -58,7 +72,71 @@ let run_threads ~threads ~per_thread ~stats0 ~stats1 op =
     ops = threads * per_thread;
     seconds = Unix.gettimeofday () -. t0;
     stats = Pmem.Stats.diff s1 s0;
+    lat = Option.map Obs.Metrics.hsnapshot lat_h;
   }
+
+(* ---- machine-readable results (--json) ---- *)
+
+(* Rows accumulate here as experiments run; bench/main.ml writes the
+   grouped document at exit when [--json FILE] was given.  Appended only
+   from the main domain (worker domains go through [run_threads], which
+   joins before returning), so a plain ref suffices. *)
+let json_rows : (string * Obs.Json.t) list ref = ref []
+
+(** [emit ~exp row] appends one result row under experiment [exp]. *)
+let emit ~exp row = json_rows := (exp, row) :: !json_rows
+
+(** All emitted rows, grouped by experiment in first-emitted order:
+    [{"fig4": [row; ...]; "fig5": [...]; ...}]. *)
+let results_json () =
+  let rows = List.rev !json_rows in
+  let order =
+    List.fold_left
+      (fun acc (e, _) -> if List.mem e acc then acc else acc @ [ e ])
+      [] rows
+  in
+  Obs.Json.Obj
+    (List.map
+       (fun e ->
+         ( e,
+           Obs.Json.List
+             (List.filter_map
+                (fun (e', r) -> if String.equal e' e then Some r else None)
+                rows) ))
+       order)
+
+(** Standard JSON row for a [run]: throughput, pwb/fence rates and (when
+    measured) per-op latency percentiles, plus caller [extra] fields. *)
+let run_row ?(extra = []) ~threads r =
+  let open Obs.Json in
+  Obj
+    (extra
+    @ [
+        ("threads", Int threads);
+        ("ops", Int r.ops);
+        ("seconds", Float r.seconds);
+        ("ops_per_sec", Float (ops_per_sec r));
+        ("pwb_per_op", Float (pwbs_per_op r));
+        ("fences_per_op", Float (fences_per_op r));
+      ]
+    @
+    match r.lat with
+    | None -> []
+    | Some l -> [ ("latency_ns", Obs.Metrics.hsnap_json l) ])
+
+(** Per-thread flush imbalance over the first [threads] slots of [pm]:
+    max/mean of (pwb + ntstore) counts, 1.0 = perfectly balanced. *)
+let pwb_imbalance pm ~threads =
+  let per = Pmem.stats_per_thread pm in
+  let n = min threads (Array.length per) in
+  if n = 0 then 1.
+  else begin
+    let count (s : Pmem.Stats.snapshot) = s.Pmem.Stats.pwb + s.Pmem.Stats.ntstore in
+    let counts = Array.init n (fun i -> count per.(i)) in
+    let total = Array.fold_left ( + ) 0 counts in
+    let mx = Array.fold_left max 0 counts in
+    if total = 0 then 1. else float_of_int (mx * n) /. float_of_int total
+  end
 
 (* ---- output helpers ---- *)
 

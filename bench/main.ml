@@ -7,6 +7,14 @@
       dune exec bench/main.exe -- fig4 fig5    # a subset
       dune exec bench/main.exe -- --full all   # larger, paper-shaped runs
 
+    Observability flags (see README "Observability"):
+      --json FILE     write every selected experiment's results as one
+                      machine-readable JSON document
+      --trace FILE    record typed events and export Chrome trace-event
+                      JSON (open in Perfetto / chrome://tracing)
+      --metrics       enable the metrics registry (per-op latency
+                      percentiles in results; dump printed at exit)
+
     See EXPERIMENTS.md for the paper-vs-measured discussion of each
     experiment. *)
 
@@ -27,27 +35,45 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
     ("shapes", "assert the paper's qualitative claims", Bench_shapes.run);
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--full|--quick] [--json FILE] [--trace FILE] \
+     [--metrics] [all|EXPERIMENT...]\navailable experiments: %s\n"
+    (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+  exit 2
+
 let () =
   let quick = ref true in
   let selected = ref [] in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--full" -> quick := false
-        | "--quick" -> quick := true
-        | "all" -> selected := List.map (fun (n, _, _) -> n) experiments
-        | name when List.exists (fun (n, _, _) -> n = name) experiments ->
-            selected := !selected @ [ name ]
-        | other ->
-            Printf.eprintf "unknown experiment %S; available: %s\n" other
-              (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
-            exit 2)
-    Sys.argv;
+  let json_file = ref None in
+  let trace_file = ref None in
+  let metrics = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest -> quick := false; parse rest
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--json" :: file :: rest -> json_file := Some file; parse rest
+    | "--trace" :: file :: rest -> trace_file := Some file; parse rest
+    | "--metrics" :: rest -> metrics := true; parse rest
+    | ("--json" | "--trace") :: [] ->
+        Printf.eprintf "missing FILE argument\n"; usage ()
+    | "all" :: rest ->
+        selected := List.map (fun (n, _, _) -> n) experiments;
+        parse rest
+    | name :: rest when List.exists (fun (n, _, _) -> n = name) experiments ->
+        selected := !selected @ [ name ];
+        parse rest
+    | other :: _ ->
+        Printf.eprintf "unknown argument %S\n" other;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let selected =
     if !selected = [] then List.map (fun (n, _, _) -> n) experiments
     else !selected
   in
+  if !metrics then Obs.Metrics.enable true;
+  if !trace_file <> None then Obs.Trace.enable ();
   Printf.printf
     "Persistent Memory and the Rise of Universal Constructions — benchmark \
      harness\nmode: %s | experiments: %s\n"
@@ -62,4 +88,35 @@ let () =
       let _, _, f = List.find (fun (n, _, _) -> n = name) experiments in
       f ~quick:!quick ())
     selected;
-  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match !trace_file with
+  | None -> ()
+  | Some file ->
+      Obs.Trace.write_file file;
+      Printf.printf "\ntrace: %d events (%d dropped) -> %s\n"
+        (Obs.Trace.recorded ()) (Obs.Trace.dropped ()) file);
+  (match !json_file with
+  | None -> ()
+  | Some file ->
+      let doc =
+        Obs.Json.Obj
+          ([
+             ("schema", Obs.Json.String "pm-ucs-bench/1");
+             ("mode", Obs.Json.String (if !quick then "quick" else "full"));
+             ( "experiments_run",
+               Obs.Json.List (List.map (fun n -> Obs.Json.String n) selected) );
+             ("wall_s", Obs.Json.Float wall_s);
+             ("results", Bench_util.results_json ());
+           ]
+          @ if !metrics then [ ("metrics", Obs.Metrics.to_json ()) ] else [])
+      in
+      let oc = open_out file in
+      Obs.Json.to_channel oc doc;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "results JSON -> %s\n" file);
+  if !metrics then begin
+    print_newline ();
+    Obs.Metrics.dump Format.std_formatter
+  end;
+  Printf.printf "\ntotal wall time: %.1fs\n" wall_s

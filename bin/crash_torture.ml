@@ -142,6 +142,8 @@ let () =
   let nops = ref 30 in
   let sample = ref 40 in
   let step = ref 0 in
+  let trace_file = ref None in
+  let metrics = ref false in
   let spec =
     [
       ("--ptm", Arg.Set_string ptm_filter, "NAME only torture this PTM");
@@ -168,6 +170,12 @@ let () =
       ( "--step",
         Arg.Set_int step,
         "K crash at exactly step K in --mid-op mode (from a repro line)" );
+      ( "--trace",
+        Arg.String (fun f -> trace_file := Some f),
+        "FILE export a Chrome trace-event JSON of the torture run" );
+      ( "--metrics",
+        Arg.Set metrics,
+        " enable the metrics registry and dump it at exit" );
     ]
   in
   Arg.parse spec
@@ -181,6 +189,19 @@ let () =
     Printf.eprintf "unknown PTM %S\n" !ptm_filter;
     exit 2
   end;
+  if !metrics then Obs.Metrics.enable true;
+  if !trace_file <> None then Obs.Trace.enable ();
+  (* The trace and metrics dump must survive a failing run: that is when
+     they are most useful. *)
+  let flush_observability () =
+    (match !trace_file with
+    | None -> ()
+    | Some file ->
+        Obs.Trace.write_file file;
+        Printf.printf "trace: %d events (%d dropped) -> %s\n"
+          (Obs.Trace.recorded ()) (Obs.Trace.dropped ()) file);
+    if !metrics then Obs.Metrics.dump Format.std_formatter
+  in
   let total_failures = ref 0 in
   (if !mid_op then
      let ep = if !evict_set then Some !evict_prob else None in
@@ -210,6 +231,7 @@ let () =
            (if f = 0 then "ok" else Printf.sprintf "%d FAILURES" f)
            (Unix.gettimeofday () -. t0))
        selected);
+  flush_observability ();
   if !total_failures > 0 then begin
     Printf.printf "\n%d durability violations found.\n" !total_failures;
     exit 1

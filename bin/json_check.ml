@@ -1,0 +1,82 @@
+(* json_check: validate machine-readable bench outputs, for CI.
+
+   Usage:
+     dune exec bin/json_check.exe -- FILE...
+     dune exec bin/json_check.exe -- --trace [--require-phases a,b,c] FILE...
+
+   Plain mode checks each FILE parses as JSON.  --trace mode additionally
+   checks the Chrome trace-event structure: a top-level object with a
+   "traceEvents" array whose elements each carry "name", "ph", "pid",
+   "tid" and a numeric "ts".  --require-phases takes a comma-separated
+   list of event names that must all be present (e.g.
+   lambda,flush,combine — the acceptance gate that a trace spans several
+   distinct PTM phases).  Exits non-zero on the first malformed file. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let check_event file i = function
+  | Obs.Json.Obj kvs as e ->
+      let mem k = List.mem_assoc k kvs in
+      let metadata =
+        match List.assoc_opt "ph" kvs with
+        | Some (Obs.Json.String "M") -> true
+        | _ -> false
+      in
+      if
+        not
+          (mem "name" && mem "ph" && mem "pid"
+          && (metadata || (mem "tid" && mem "ts")))
+      then
+        fail "%s: traceEvents[%d] missing a required field in %s" file i
+          (Obs.Json.to_string e);
+      if not metadata then (
+        match List.assoc "ts" kvs with
+        | Obs.Json.Int _ | Obs.Json.Float _ -> ()
+        | _ -> fail "%s: traceEvents[%d] has a non-numeric ts" file i);
+      (match List.assoc "name" kvs with
+      | Obs.Json.String n -> if metadata then None else Some n
+      | _ -> fail "%s: traceEvents[%d] has a non-string name" file i)
+  | _ -> fail "%s: traceEvents[%d] is not an object" file i
+
+let check_trace ~required file doc =
+  let events =
+    match Obs.Json.member "traceEvents" doc with
+    | Some (Obs.Json.List es) -> es
+    | Some _ -> fail "%s: \"traceEvents\" is not an array" file
+    | None -> fail "%s: no \"traceEvents\" member" file
+  in
+  let names = List.mapi (check_event file) events |> List.filter_map Fun.id in
+  List.iter
+    (fun phase ->
+      if not (List.mem phase names) then
+        fail "%s: required phase %S absent from trace (%d events)" file phase
+          (List.length events))
+    required;
+  Printf.printf "%s: valid Chrome trace, %d events%s\n" file
+    (List.length events)
+    (if required = [] then ""
+     else Printf.sprintf ", phases %s present" (String.concat "," required))
+
+let () =
+  let trace_mode = ref false in
+  let required = ref [] in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--trace" :: rest -> trace_mode := true; parse rest
+    | "--require-phases" :: csv :: rest ->
+        required := String.split_on_char ',' csv;
+        parse rest
+    | [ "--require-phases" ] -> fail "--require-phases needs a,b,c"
+    | f :: rest -> files := !files @ [ f ]; parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !files = [] then fail "usage: json_check [--trace [--require-phases a,b]] FILE...";
+  List.iter
+    (fun file ->
+      match Obs.Json.parse_file file with
+      | Error e -> fail "%s: malformed JSON: %s" file e
+      | Ok doc ->
+          if !trace_mode then check_trace ~required:!required file doc
+          else Printf.printf "%s: valid JSON\n" file)
+    !files

@@ -1,7 +1,12 @@
 (** Per-thread wall-clock accounting of where an update transaction spends
     its time, reproducing the categories of the paper's Table 1:
     applying redo logs, flushing, copying replicas, running the user lambda,
-    and sleeping (backoff / waiting for helpers). *)
+    and sleeping (backoff / waiting for helpers).
+
+    Sections sit on the [Obs] layer: every section feeds a log-bucketed
+    latency histogram (percentiles in {!snapshot}), and when event tracing
+    is enabled each [timed] region is also emitted as a trace span — so a
+    PTM instrumented for Table 1 is automatically visible in Perfetto. *)
 
 type section = Apply | Flush | Copy | Lambda | Sleep
 
@@ -21,11 +26,20 @@ let section_name = function
   | Lambda -> "lambda"
   | Sleep -> "sleep"
 
+let trace_kind = function
+  | Apply -> Obs.Trace.Apply
+  | Flush -> Obs.Trace.Flush
+  | Copy -> Obs.Trace.Copy
+  | Lambda -> Obs.Trace.Lambda
+  | Sleep -> Obs.Trace.Sleep
+
 type t = {
   mutable enabled : bool;
   acc : float array array; (* tid -> section -> seconds *)
   total : float array; (* tid -> seconds inside update transactions *)
   count : int array; (* tid -> update transactions *)
+  sec_hist : Obs.Metrics.histogram array; (* per section *)
+  tx_hist : Obs.Metrics.histogram;
 }
 
 let create ~num_threads =
@@ -34,6 +48,9 @@ let create ~num_threads =
     acc = Array.init num_threads (fun _ -> Array.make n_sections 0.);
     total = Array.make num_threads 0.;
     count = Array.make num_threads 0;
+    sec_hist =
+      Array.init n_sections (fun _ -> Obs.Metrics.make_histogram ());
+    tx_hist = Obs.Metrics.make_histogram ();
   }
 
 let enable t b = t.enabled <- b
@@ -41,21 +58,37 @@ let enable t b = t.enabled <- b
 let reset t =
   Array.iter (fun a -> Array.fill a 0 n_sections 0.) t.acc;
   Array.fill t.total 0 (Array.length t.total) 0.;
-  Array.fill t.count 0 (Array.length t.count) 0
+  Array.fill t.count 0 (Array.length t.count) 0;
+  Array.iter Obs.Metrics.reset_histogram t.sec_hist;
+  Obs.Metrics.reset_histogram t.tx_hist
 
 let now = Unix.gettimeofday
 
 (** [timed t ~tid s f] runs [f ()] accounting its duration to section [s]
-    when profiling is enabled. *)
+    when profiling is enabled, and emitting a trace span when event
+    tracing is on.  Either way the duration is recorded even if [f]
+    raises (the machinery is used around code that can crash-inject). *)
 let timed t ~tid s f =
-  if not t.enabled then f ()
+  if not (t.enabled || Obs.Trace.is_on ()) then f ()
   else begin
     let t0 = now () in
-    let r = f () in
-    let a = t.acc.(tid) in
-    let i = index s in
-    a.(i) <- a.(i) +. (now () -. t0);
-    r
+    let finish () =
+      if t.enabled then begin
+        let dt = now () -. t0 in
+        let a = t.acc.(tid) in
+        let i = index s in
+        a.(i) <- a.(i) +. dt;
+        Obs.Metrics.record_span_s t.sec_hist.(i) ~tid dt
+      end;
+      Obs.Trace.complete (trace_kind s) ~tid ~t0
+    in
+    match f () with
+    | r ->
+        finish ();
+        r
+    | exception e ->
+        finish ();
+        raise e
   end
 
 (** Account an externally measured duration. *)
@@ -63,42 +96,57 @@ let add t ~tid s dt =
   if t.enabled then begin
     let a = t.acc.(tid) in
     let i = index s in
-    a.(i) <- a.(i) +. dt
+    a.(i) <- a.(i) +. dt;
+    Obs.Metrics.record_span_s t.sec_hist.(i) ~tid dt
   end
 
 let add_total t ~tid dt =
   if t.enabled then begin
     t.total.(tid) <- t.total.(tid) +. dt;
-    t.count.(tid) <- t.count.(tid) + 1
+    t.count.(tid) <- t.count.(tid) + 1;
+    Obs.Metrics.record_span_s t.tx_hist ~tid dt
   end
 
 type snapshot = {
   update_txs : int;
   total_s : float;
   sections : (string * float) list; (* seconds per section *)
+  section_latency : (string * Obs.Metrics.hsnap) list;
+  tx_latency : Obs.Metrics.hsnap;
 }
 
 let snapshot t =
+  let all = [ Apply; Flush; Copy; Lambda; Sleep ] in
   let sections =
     List.map
       (fun s ->
         let i = index (s : section) in
         ( section_name s,
           Array.fold_left (fun acc a -> acc +. a.(i)) 0. t.acc ))
-      [ Apply; Flush; Copy; Lambda; Sleep ]
+      all
+  in
+  let section_latency =
+    List.map
+      (fun s ->
+        (section_name s, Obs.Metrics.hsnapshot t.sec_hist.(index s)))
+      all
   in
   {
     update_txs = Array.fold_left ( + ) 0 t.count;
     total_s = Array.fold_left ( +. ) 0. t.total;
     sections;
+    section_latency;
+    tx_latency = Obs.Metrics.hsnapshot t.tx_hist;
   }
 
-(** Average microseconds per update transaction. *)
+(** Average microseconds per update transaction.  An empty snapshot
+    ([update_txs = 0]) is 0, not NaN. *)
 let avg_us snap =
   if snap.update_txs = 0 then 0.
   else snap.total_s *. 1e6 /. float_of_int snap.update_txs
 
-(** Fraction of total transaction time spent in a given section. *)
+(** Fraction of total transaction time spent in a given section.  An
+    empty snapshot ([total_s <= 0.]) is 0, not NaN. *)
 let fraction snap name =
   if snap.total_s <= 0. then 0.
   else

@@ -13,7 +13,10 @@ val enable : t -> bool -> unit
 val reset : t -> unit
 
 (** [timed t ~tid s f] runs [f ()], accounting its duration to [s] when
-    profiling is enabled. *)
+    profiling is enabled.  When [Obs.Trace] is on, the region is also
+    emitted as a trace span (even if [f] raises), so instrumented PTMs
+    show their apply/flush/copy/lambda/sleep phases in exported traces
+    without being profiled. *)
 val timed : t -> tid:int -> section -> (unit -> 'a) -> 'a
 
 (** Account an externally measured duration to a section. *)
@@ -26,13 +29,19 @@ type snapshot = {
   update_txs : int;
   total_s : float;
   sections : (string * float) list;
+  section_latency : (string * Obs.Metrics.hsnap) list;
+      (** per-section latency percentiles (populated while enabled) *)
+  tx_latency : Obs.Metrics.hsnap;
+      (** whole-transaction latency percentiles *)
 }
 
 val snapshot : t -> snapshot
 
-(** Average microseconds per update transaction. *)
+(** Average microseconds per update transaction (0 when
+    [update_txs = 0]). *)
 val avg_us : snapshot -> float
 
 (** Fraction of transaction time spent in the named section
-    ("apply" | "flush" | "copy" | "lambda" | "sleep"). *)
+    ("apply" | "flush" | "copy" | "lambda" | "sleep"); 0 when
+    [total_s <= 0.]. *)
 val fraction : snapshot -> string -> float

@@ -75,10 +75,12 @@ let try_copy t ~tid c =
     match
       let ok = Atomic.get t.cur_comb = ci in
       if ok then begin
-        c.obj <- t.copy src.obj;
+        Obs.Trace.span Obs.Trace.Copy ~tid (fun () ->
+            c.obj <- t.copy src.obj);
         c.head <- src.head;
         Atomic.set c.head_ticket (Atomic.get src.head_ticket);
-        c.valid <- true
+        c.valid <- true;
+        Obs.replica_copied ~tid
       end;
       ok
     with
@@ -91,7 +93,7 @@ let try_copy t ~tid c =
         raise e
   end
 
-let apply_up_to c target =
+let apply_up_to c ~tid target =
   let target_tk = Sync_prims.Turn_queue.ticket target in
   while Atomic.get c.head_ticket < target_tk do
     match Sync_prims.Turn_queue.next c.head with
@@ -100,6 +102,7 @@ let apply_up_to c target =
         let pl = Sync_prims.Turn_queue.payload node in
         let res = pl.f c.obj in
         if not (Atomic.get pl.done_) then begin
+          if node != target then Obs.helped ~tid;
           Atomic.set pl.result res;
           Atomic.set pl.done_ true
         end;
@@ -158,7 +161,8 @@ let run_update t ~tid node =
         if not (ensure_valid ()) then
           Sync_prims.Rwlock.exclusive_unlock c.rwlock ~tid
         else begin
-          apply_up_to c node;
+          Obs.Trace.span Obs.Trace.Apply ~tid (fun () ->
+              apply_up_to c ~tid node);
           Sync_prims.Rwlock.downgrade c.rwlock ~tid;
           let rec transition () =
             let cur = Atomic.get t.cur_comb in
@@ -181,6 +185,7 @@ let run_update t ~tid node =
 (** [apply_update t ~tid f] linearizes the (deterministic, re-executable)
     mutation [f] and returns its result. *)
 let apply_update t ~tid f =
+  let t0 = Unix.gettimeofday () in
   let node =
     Sync_prims.Turn_queue.enqueue t.queue ~tid
       { f; result = Atomic.make 0L; done_ = Atomic.make false }
@@ -194,8 +199,9 @@ let apply_update t ~tid f =
       && Atomic.get t.combs.(Atomic.get t.cur_comb).head_ticket >= my_ticket)
   do
     run_update t ~tid node;
-    if not (Atomic.get pl.done_) then ignore (Sync_prims.Backoff.once b)
+    if not (Atomic.get pl.done_) then ignore (Sync_prims.Backoff.once ~tid b)
   done;
+  Obs.tx_committed ~tid ~t0;
   Atomic.get pl.result
 
 (** [apply_read t ~tid f] runs the read-only [f] on an up-to-date replica

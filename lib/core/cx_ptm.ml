@@ -208,6 +208,7 @@ module Make (M : MODE) = struct
           c.valid <- true;
           c.full_flush <- true;
           Hashtbl.reset c.dirty;
+          Obs.replica_copied ~tid;
           true
         end
       with
@@ -236,6 +237,7 @@ module Make (M : MODE) = struct
           let tx = { p = t; c; ro = pl.read_only_op; tid } in
           let res = Breakdown.timed t.bd ~tid Lambda (fun () -> pl.f tx) in
           if not (Atomic.get pl.done_) then begin
+            if node != target then Obs.helped ~tid;
             Atomic.set pl.result res;
             Atomic.set pl.done_ true
           end;
@@ -398,19 +400,26 @@ module Make (M : MODE) = struct
     let pl = Sync_prims.Turn_queue.payload node in
     let my_ticket = Sync_prims.Turn_queue.ticket node in
     let b = Sync_prims.Backoff.create () in
-    while
-      not
-        (Atomic.get pl.done_
-        && Atomic.get t.combs.(Atomic.get t.cur_comb).head_ticket >= my_ticket
-        && Atomic.get t.persisted >= my_ticket)
-    do
-      run_update t ~tid node;
-      if not (Atomic.get pl.done_) then
-        Breakdown.timed t.bd ~tid Sleep (fun () ->
-            ignore (Sync_prims.Backoff.once b))
-    done;
-    Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
-    Atomic.get pl.result
+    match
+      while
+        not
+          (Atomic.get pl.done_
+          && Atomic.get t.combs.(Atomic.get t.cur_comb).head_ticket >= my_ticket
+          && Atomic.get t.persisted >= my_ticket)
+      do
+        run_update t ~tid node;
+        if not (Atomic.get pl.done_) then
+          Breakdown.timed t.bd ~tid Sleep (fun () ->
+              ignore (Sync_prims.Backoff.once b))
+      done
+    with
+    | () ->
+        Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
+        Obs.tx_committed ~tid ~t0;
+        Atomic.get pl.result
+    | exception e ->
+        Obs.tx_aborted ~tid;
+        raise e
 
   (* §4's applyRead: try shared access to curComb's replica; after
      [max_read_tries] failures enqueue the read as an operation. *)
@@ -462,6 +471,7 @@ module Make (M : MODE) = struct
   (* Null recovery: the durable header designates the consistent replica;
      rebuild the volatile skeleton around it. *)
   let recover t =
+    Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
     let hdr = Seqtid.of_int64 (Pmem.get_word t.pm header_addr) in
     let ci = Seqtid.idx hdr in
     t.queue <- Sync_prims.Turn_queue.create ~num_threads:t.num_threads dummy_payload;

@@ -143,7 +143,10 @@ let combine t ~tid =
   match !pending with
   | [] -> ()
   | reqs ->
+      Obs.Trace.span Obs.Trace.Combine ~tid ~arg:(List.length reqs)
+      @@ fun () ->
       let reqs = List.rev reqs in
+      List.iter (fun (i, _) -> if i <> tid then Obs.helped ~tid) reqs;
       let tx = { p = t; ctid = tid; wset = Wset.create ~aggregate:true; read_snapshot = -1 } in
       let results =
         Breakdown.timed t.bd ~tid Lambda (fun () ->
@@ -216,9 +219,14 @@ let run_request t ~tid r =
 let update t ~tid f =
   let t0 = Unix.gettimeofday () in
   let r = { f; result = Atomic.make 0L; done_ = Atomic.make false } in
-  let res = run_request t ~tid r in
-  Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
-  res
+  match run_request t ~tid r with
+  | res ->
+      Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
+      Obs.tx_committed ~tid ~t0;
+      res
+  | exception e ->
+      Obs.tx_aborted ~tid;
+      raise e
 
 let read_only t ~tid f =
   let rec attempt tries =
@@ -239,6 +247,7 @@ let read_only t ~tid f =
   attempt max_read_tries
 
 let recover t =
+  Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
   (* Re-apply every durable, committed, complete redo log in sequence
      order; skips logs newer than the committed header. *)
   let committed = Int64.to_int (Pmem.get_word t.pm header_seq) in

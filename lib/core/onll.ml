@@ -165,6 +165,7 @@ let catch_up t ~tid upto =
    log.  Runs with the world stopped at a full log (simplified; see
    module doc). *)
 let checkpoint t ~tid =
+  Obs.Trace.span Obs.Trace.Checkpoint ~tid @@ fun () ->
   Mutex.lock t.checkpoint_lock;
   if Atomic.get t.tail >= t.log_cap then begin
     (* wait until every produced entry is durable *)
@@ -218,6 +219,7 @@ let rec invoke t ~tid opcode args =
   let i = reserve () in
   if i >= t.log_cap then invoke t ~tid opcode args
   else begin
+    let t0 = if Obs.is_active () then Unix.gettimeofday () else 0. in
     (* write the logical entry: arguments are persisted, the function is
        not (it is registered code) *)
     let e = log_entry t i in
@@ -249,7 +251,9 @@ let rec invoke t ~tid opcode args =
         raise_mark ());
     (* execute locally: replay everything up to and including my entry;
        the replay of my own entry yields my result *)
-    Breakdown.timed t.bd ~tid Apply (fun () -> catch_up t ~tid (i + 1))
+    let res = Breakdown.timed t.bd ~tid Apply (fun () -> catch_up t ~tid (i + 1)) in
+    if Obs.is_active () then Obs.tx_committed ~tid ~t0;
+    res
   end
 
 (* Read-only: catch up to the committed tail on the local replica and read;
@@ -259,6 +263,7 @@ let read_only t ~tid f =
   f { p = t; replica = t.replicas.(tid); tid; ro = true }
 
 let recover t =
+  Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
   let sel = Int64.to_int (Pmem.get_word t.pm sb_snap_sel) in
   let base = t.snap_base.(sel) in
   t.base_seq <- Int64.to_int (Pmem.get_word t.pm sb_snap_seq);

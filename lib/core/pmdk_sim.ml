@@ -153,9 +153,11 @@ let update t ~tid f =
     r
   with
   | r ->
+      Obs.tx_committed ~tid ~t0;
       finish ();
       r
   | exception e ->
+      Obs.tx_aborted ~tid;
       (* Abort: roll back in volatile memory from the log, then truncate. *)
       let count = Int64.to_int (Pmem.get_word t.pm (log_count_addr t)) in
       for i = count - 1 downto 0 do
@@ -181,6 +183,7 @@ let read_only t ~tid f =
     (fun () -> f tx)
 
 let recover t =
+  Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
   (* Null-ish recovery: if the durable log is non-empty, the crash hit a
      transaction in flight; roll its pre-images back. *)
   let count = Int64.to_int (Pmem.get_word t.pm (log_count_addr t)) in

@@ -279,6 +279,7 @@ module Make (C : CONFIG) = struct
         Hashtbl.reset c.extra_dirty;
         let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
         Atomic.set t.copy_ns ns;
+        Obs.replica_copied ~tid;
         true
       end
     end
@@ -456,20 +457,24 @@ module Make (C : CONFIG) = struct
                   incr iter
                 else begin
                   (* {7} simulate all announced, not-yet-applied operations *)
-                  for i = 0 to t.num_threads - 1 do
-                    let a = Atomic.get new_st.applied.(i) in
-                    let ann = Atomic.get t.announce.(i) in
-                    if a <> ann then
-                      match Atomic.get t.req.(i) with
-                      | None -> ()
-                      | Some g ->
-                          let tx = { p = t; c; st = Some new_st; tid; ro = false } in
-                          let res =
-                            Breakdown.timed t.bd ~tid Lambda (fun () -> g tx)
-                          in
-                          Atomic.set new_st.results.(i) res;
-                          Atomic.set new_st.applied.(i) ann
-                  done;
+                  Obs.Trace.span Obs.Trace.Combine ~tid (fun () ->
+                      for i = 0 to t.num_threads - 1 do
+                        let a = Atomic.get new_st.applied.(i) in
+                        let ann = Atomic.get t.announce.(i) in
+                        if a <> ann then
+                          match Atomic.get t.req.(i) with
+                          | None -> ()
+                          | Some g ->
+                              let tx =
+                                { p = t; c; st = Some new_st; tid; ro = false }
+                              in
+                              let res =
+                                Breakdown.timed t.bd ~tid Lambda (fun () -> g tx)
+                              in
+                              if i <> tid then Obs.helped ~tid;
+                              Atomic.set new_st.results.(i) res;
+                              Atomic.set new_st.applied.(i) ann
+                      done);
                   (* flush deferred pwbs; replica durable before publication *)
                   flush_before_transition t ~tid c new_st;
                   Atomic.set c.head tkt;
@@ -522,6 +527,7 @@ module Make (C : CONFIG) = struct
       in
       Atomic.set t.req.(tid) None;
       Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
+      Obs.tx_committed ~tid ~t0;
       result
     with e ->
       (* Unwind (an injected crash, or a user lambda raising mid-combining):
@@ -538,6 +544,7 @@ module Make (C : CONFIG) = struct
           | Some _ | None -> ())
       | None -> ());
       Atomic.set t.req.(tid) None;
+      Obs.tx_aborted ~tid;
       raise e
 
   let rec read_only t ~tid f =
@@ -582,6 +589,7 @@ module Make (C : CONFIG) = struct
   (* Null recovery: reload the consistent replica designated by the durable
      header and rebuild the volatile consensus skeleton. *)
   let recover t =
+    Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
     let hdr = Seqtid.of_int64 (Pmem.get_word t.pm header_addr) in
     let ci = Seqtid.idx hdr in
     Array.iteri

@@ -162,9 +162,11 @@ let update t ~tid f =
   with
   | result ->
       Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
+      Obs.tx_committed ~tid ~t0;
       Mutex.unlock t.writer;
       result
   | exception e ->
+      Obs.tx_aborted ~tid;
       abort_update t ~tid;
       Mutex.unlock t.writer;
       raise e
@@ -195,6 +197,7 @@ let read_only t ~tid f =
   attempt ()
 
 let recover t =
+  Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
   let st = Pmem.get_word t.pm state_addr in
   if Int64.equal st st_mutating then
     (* main may be torn: restore it from back *)

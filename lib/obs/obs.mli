@@ -1,0 +1,176 @@
+(** Unified observability: JSON values, a metrics registry (per-thread
+    counters + log-bucketed latency histograms), and an event-trace
+    layer exporting Chrome trace-event JSON.
+
+    Both the metrics and the trace layer sit behind global enables;
+    when disabled, every recording entry point is a single branch on a
+    [bool ref] — safe to leave in the hottest paths. *)
+
+val max_tids : int
+(** Per-thread state is kept for thread ids [0 .. max_tids-1]; larger
+    tids are folded in with [land (max_tids - 1)]. *)
+
+(** Minimal JSON: printer and parser, so benches can emit
+    machine-readable results without external dependencies. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val to_channel : out_channel -> t -> unit
+
+  val member : string -> t -> t option
+  (** [member k (Obj kvs)] is the value bound to [k], if any. *)
+
+  val parse : string -> (t, string) result
+  (** Strict parser: the whole input must be one JSON value. *)
+
+  val parse_file : string -> (t, string) result
+end
+
+module Metrics : sig
+  val enable : bool -> unit
+  val is_on : unit -> bool
+
+  (** {2 Counters} — per-thread cells (padded against false sharing),
+      summed on read. [incr]/[add] are no-ops unless [enable true]. *)
+
+  type counter
+
+  val counter : string -> counter
+  (** Registered, idempotent: the same name returns the same counter. *)
+
+  val incr : counter -> tid:int -> unit
+  val add : counter -> tid:int -> int -> unit
+  val counter_value : counter -> int
+  val counter_per_thread : counter -> int array
+  val counter_name : counter -> string
+  val reset_counter : counter -> unit
+
+  (** {2 Histograms} — log-bucketed (16 linear sub-buckets per power of
+      two, ~3% worst-case quantization). Values are non-negative
+      integers, nanoseconds by convention. Recording is NOT gated on
+      the global enable: the owner decides when to measure. *)
+
+  type histogram
+
+  val histogram : string -> histogram
+  (** Registered, idempotent. *)
+
+  val make_histogram : ?name:string -> unit -> histogram
+  (** Unregistered histogram for a caller's private use. *)
+
+  val record_ns : histogram -> tid:int -> int -> unit
+
+  val record_span_s : histogram -> tid:int -> float -> unit
+  (** Record a duration given in seconds. *)
+
+  type hsnap = {
+    count : int;
+    mean_ns : float;
+    max_ns : int;
+    p50 : int;
+    p90 : int;
+    p99 : int;
+    p999 : int;
+  }
+
+  val hsnap_zero : hsnap
+  val hsnapshot : histogram -> hsnap
+  val hsnap_json : hsnap -> Json.t
+  val histogram_name : histogram -> string
+  val reset_histogram : histogram -> unit
+
+  (** {2 Registry} *)
+
+  val all_counters : unit -> counter list
+  val all_histograms : unit -> histogram list
+  val reset_all : unit -> unit
+
+  val to_json : unit -> Json.t
+  (** [{"counters": {...}, "histograms": {...}}]; counters include
+      per-thread values, histograms their percentile snapshots. *)
+
+  val dump : Format.formatter -> unit
+  (** Human-readable listing of all non-zero instruments. *)
+end
+
+module Trace : sig
+  (** Typed events recorded into fixed-size per-thread ring buffers;
+      when a ring wraps, the oldest events are overwritten. *)
+
+  type kind =
+    | Tx  (** update transaction (span) *)
+    | Tx_abort  (** aborted/retried transaction (instant) *)
+    | Combine  (** combining round executing announced ops (span) *)
+    | Helping  (** executed another thread's operation (instant) *)
+    | Copy  (** replica copy (span, via Breakdown) *)
+    | Apply  (** log/queue replay onto a replica (span) *)
+    | Flush  (** pwb+fence batch of a replica or log (span) *)
+    | Lambda  (** user transaction body (span) *)
+    | Sleep  (** backoff/waiting (span) *)
+    | Fence  (** pfence/psync; arg = staged lines drained (instant) *)
+    | Rwlock_acquire  (** exclusive lock acquired (instant) *)
+    | Rwlock_contend  (** lock attempt failed (instant) *)
+    | Recovery  (** post-crash recovery (span) *)
+    | Checkpoint  (** ONLL checkpoint (span) *)
+    | Crash  (** simulated crash / injected crash point (instant) *)
+    | Db_op  (** RedoDB API call (span) *)
+
+  val kind_name : kind -> string
+
+  val enable : ?capacity:int -> unit -> unit
+  (** Clear all rings and start recording. [capacity] is per-thread
+      (default 16384 events). *)
+
+  val disable : unit -> unit
+  val is_on : unit -> bool
+  val clear : unit -> unit
+
+  val instant : ?arg:int -> kind -> tid:int -> unit
+
+  val complete : ?arg:int -> kind -> tid:int -> t0:float -> unit
+  (** Record a span that started at [t0] (Unix.gettimeofday, seconds)
+      and ends now. *)
+
+  val span : ?arg:int -> kind -> tid:int -> (unit -> 'a) -> 'a
+  (** Run a closure as a span. When tracing is off this is just the
+      call. The span is recorded even if the closure raises. *)
+
+  val recorded : unit -> int
+  (** Total events recorded since [enable] (including overwritten). *)
+
+  val dropped : unit -> int
+  (** Events lost to ring wraparound. *)
+
+  val export : unit -> Json.t
+  (** Chrome trace-event JSON: ["X"] (complete) and ["i"] (instant)
+      events with µs timestamps relative to [enable]; load the file in
+      Perfetto (ui.perfetto.dev) or chrome://tracing. *)
+
+  val write_file : string -> unit
+end
+
+val is_active : unit -> bool
+(** True if either metrics or tracing is enabled. *)
+
+(** {2 Cross-PTM instrumentation helpers} — each is a branch-only
+    no-op when the relevant layer is disabled. *)
+
+val tx_committed : tid:int -> t0:float -> unit
+(** Count a committed update transaction that began at [t0]
+    (Unix.gettimeofday, seconds): commit counter + latency histogram +
+    [Tx] trace span. *)
+
+val tx_aborted : tid:int -> unit
+val helped : tid:int -> unit
+val replica_copied : tid:int -> unit
+val rwlock_acquired : tid:int -> unit
+val rwlock_contended : tid:int -> unit
+val backoff_yielded : tid:int -> unit

@@ -92,6 +92,7 @@ let fire t =
   t.plan <- No_plan;
   t.frozen <- true;
   Atomic.incr t.injected;
+  Obs.Trace.instant Obs.Trace.Crash ~tid:0 ~arg:(Atomic.get t.steps);
   raise Crash_injected
 
 let[@inline never] step_slow t =
@@ -236,17 +237,21 @@ let drain t ~tid =
 
 let pfence t ~tid =
   if not t.frozen then begin
+    let staged = t.staging.(tid).count in
     drain t ~tid;
     let c = t.counters.(tid) in
     c.(c_pfence) <- c.(c_pfence) + 1;
+    Obs.Trace.instant Obs.Trace.Fence ~tid ~arg:staged;
     step t
   end
 
 let psync t ~tid =
   if not t.frozen then begin
+    let staged = t.staging.(tid).count in
     drain t ~tid;
     let c = t.counters.(tid) in
     c.(c_psync) <- c.(c_psync) + 1;
+    Obs.Trace.instant Obs.Trace.Fence ~tid ~arg:staged;
     step t
   end
 
@@ -288,6 +293,7 @@ let ntcopy_words t ~tid ~src ~dst len =
   end
 
 let crash t =
+  Obs.Trace.instant Obs.Trace.Crash ~tid:0;
   Bytes.blit t.durable 0 t.data 0 (Bytes.length t.durable);
   Bytes.fill t.dirty 0 t.nlines '\000';
   Array.iter (fun s -> s.count <- 0) t.staging;
@@ -387,21 +393,25 @@ module Stats = struct
       s.crashes_injected
 end
 
+let snapshot_of_counters c =
+  {
+    Stats.pwb = c.(c_pwb);
+    pfence = c.(c_pfence);
+    psync = c.(c_psync);
+    ntstore = c.(c_ntstore);
+    words_written = c.(c_words_written);
+    words_copied = c.(c_words_copied);
+    steps = 0;
+    crashes_injected = 0;
+  }
+
+let stats_of_tid t ~tid = snapshot_of_counters t.counters.(tid)
+let stats_per_thread t = Array.map snapshot_of_counters t.counters
+
 let stats t =
   let base =
     Array.fold_left
-      (fun acc c ->
-        Stats.add acc
-          {
-            Stats.pwb = c.(c_pwb);
-            pfence = c.(c_pfence);
-            psync = c.(c_psync);
-            ntstore = c.(c_ntstore);
-            words_written = c.(c_words_written);
-            words_copied = c.(c_words_copied);
-            steps = 0;
-            crashes_injected = 0;
-          })
+      (fun acc c -> Stats.add acc (snapshot_of_counters c))
       Stats.zero t.counters
   in
   {

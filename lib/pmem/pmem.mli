@@ -190,6 +190,15 @@ end
     ([steps], [crashes_injected]). *)
 val stats : t -> Stats.snapshot
 
+(** Counters of one thread only ([steps]/[crashes_injected] are global and
+    reported as 0 here). *)
+val stats_of_tid : t -> tid:int -> Stats.snapshot
+
+(** One snapshot per thread id [0 .. max_threads - 1] (see
+    {!stats_of_tid}); lets benches report flush imbalance across helper
+    threads. *)
+val stats_per_thread : t -> Stats.snapshot array
+
 (** Reset all per-thread counters to zero.  The [steps] counter and the
     injected-crash count are left alone: an armed [At_step] plan is relative
     to the absolute step counter. *)

@@ -163,13 +163,20 @@ let delete_tx tx key =
     true
   end
 
+(* Db_op trace spans tag the operation kind in [arg]:
+   0 = put, 1 = get, 2 = delete, 3 = write_batch (arg = 3; batch length is
+   visible from the nested Tx span), 4 = fold. *)
+
 let put t ~tid ~key ~value =
+  Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:0 @@ fun () ->
   ignore (P.update t.p ~tid (fun tx -> put_tx tx ~key ~value; 0L))
 
 let delete t ~tid key =
+  Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:2 @@ fun () ->
   P.update t.p ~tid (fun tx -> if delete_tx tx key then 1L else 0L) = 1L
 
 let write_batch t ~tid ops =
+  Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:3 @@ fun () ->
   ignore
     (P.update t.p ~tid (fun tx ->
          List.iter
@@ -183,6 +190,7 @@ let write_batch t ~tid ops =
 (* Reads decode the value inside the read-only transaction (consistent
    snapshot) and pass it out via a ref: results are int64-typed. *)
 let get t ~tid key =
+  Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:1 @@ fun () ->
   let out = ref None in
   ignore
     (P.read_only t.p ~tid (fun tx ->
@@ -195,6 +203,7 @@ let get t ~tid key =
   !out
 
 let fold t ~tid ~init f =
+  Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:4 @@ fun () ->
   let acc = ref init in
   ignore
     (P.read_only t.p ~tid (fun tx ->

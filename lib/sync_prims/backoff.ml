@@ -10,9 +10,12 @@ let yield () =
      Domain.cpu_relax alone never lets the holder's domain run on 1 core. *)
   Unix.sleepf 0.0
 
-let once t =
+let once ?(tid = 0) t =
   let n = t.spins in
-  if n >= t.max_spins then yield ()
+  if n >= t.max_spins then begin
+    Obs.backoff_yielded ~tid;
+    yield ()
+  end
   else
     for _ = 1 to n do
       Domain.cpu_relax ()

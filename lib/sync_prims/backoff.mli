@@ -12,8 +12,10 @@ type t
 val create : ?max_spins:int -> unit -> t
 
 (** Wait once and increase the next delay (capped). Returns the number of
-    spin iterations performed, so callers can account waiting time. *)
-val once : t -> int
+    spin iterations performed, so callers can account waiting time.
+    [tid] only attributes the yield to a thread in the observability
+    counters (defaults to 0). *)
+val once : ?tid:int -> t -> int
 
 (** Reset the delay to the minimum. *)
 val reset : t -> unit

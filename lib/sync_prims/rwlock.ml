@@ -11,7 +11,7 @@ let create () = { writer = Atomic.make 0; readers = Atomic.make 0 }
 let[@inline] encode tid = (tid + 1) lsl 1
 let[@inline] downgraded w = w land 1 = 1
 
-let shared_try_lock t ~tid:_ =
+let shared_try_lock t ~tid =
   (* Ingress first, then check for a writer: a writer that acquired after our
      ingress will wait for us to drain, so read access is safe either way. *)
   ignore (Atomic.fetch_and_add t.readers 1);
@@ -19,20 +19,25 @@ let shared_try_lock t ~tid:_ =
   if w = 0 || downgraded w then true
   else begin
     ignore (Atomic.fetch_and_add t.readers (-1));
+    Obs.rwlock_contended ~tid;
     false
   end
 
 let shared_unlock t ~tid:_ = ignore (Atomic.fetch_and_add t.readers (-1))
 
 let exclusive_try_lock t ~tid =
-  if not (Atomic.compare_and_set t.writer 0 (encode tid)) then false
+  if not (Atomic.compare_and_set t.writer 0 (encode tid)) then begin
+    Obs.rwlock_contended ~tid;
+    false
+  end
   else begin
     (* Bar is up; drain in-flight readers. Each pending reader either backs
        out (saw our writer word) or holds briefly, so this loop is finite. *)
     let b = Backoff.create () in
     while Atomic.get t.readers > 0 do
-      ignore (Backoff.once b)
+      ignore (Backoff.once ~tid b)
     done;
+    Obs.rwlock_acquired ~tid;
     true
   end
 
@@ -53,7 +58,7 @@ let upgrade t ~tid =
   Atomic.set t.writer (encode tid);
   let b = Backoff.create () in
   while Atomic.get t.readers > 0 do
-    ignore (Backoff.once b)
+    ignore (Backoff.once ~tid b)
   done
 
 let downgrade_unlock t ~tid =

@@ -72,12 +72,15 @@ let enqueue t ~tid payload =
     match Atomic.get ltail.next_a with
     | Some nx ->
         (* Someone linked a node but has not finished; help. *)
+        if nx != node then Obs.helped ~tid;
         finish_link t ltail nx
     | None ->
         let cand = candidate t ltail node in
         if not (Atomic.get cand.enqueued) then
-          if Atomic.compare_and_set ltail.next_a None (Some cand) then
+          if Atomic.compare_and_set ltail.next_a None (Some cand) then begin
+            if cand != node then Obs.helped ~tid;
             finish_link t ltail cand
+          end
   done;
   Atomic.set t.announce.(tid) None;
   node

@@ -54,6 +54,7 @@ let () =
   Alcotest.run "repro"
     (List.concat
        [
+         Suite_obs.suites;
          Suite_pmem.suites;
          Suite_palloc.suites;
          Suite_sync.suites;
