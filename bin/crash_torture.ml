@@ -1,11 +1,13 @@
-(* crash_torture: randomized durability fuzzer for every PTM.
+(* crash_torture: randomized durability fuzzer for every PTM (and ONLL).
 
    Usage:
      dune exec bin/crash_torture.exe -- [--ptm NAME] [--rounds N] [--seed S]
-                                        [--evict-prob P] [--threads T]
+                                        [--evict-prob P] [--torn-prob P]
+                                        [--bitflips N] [--threads T]
      dune exec bin/crash_torture.exe -- --mid-op [--ptm NAME] [--seed S]
                                         [--ops N] [--sample N | --step K]
-                                        [--evict-prob P]
+                                        [--evict-prob P] [--torn-prob P]
+                                        [--bitflips N]
 
    Default (quiescent) mode: each round runs a batch of random set
    operations (tracked in a volatile model), then crashes the simulated
@@ -22,106 +24,200 @@
    P.  The recovered structure must match the model before or after the
    in-flight operation and must still accept updates.
 
+   Media faults (both modes): --torn-prob P makes each at-crash eviction
+   persist only a partial cache line (a random word prefix or subset), and
+   --bitflips N flips N random bits in the PTM's durable metadata after
+   the crash.  Torn write-backs must always leave a recoverable,
+   durable-linearizable image; under bit flips a recovery that refuses the
+   image with Ptm.Ptm_intf.Unrecoverable counts as a detection, not a
+   failure — only silent divergence does.  All fault coins are
+   deterministic in --seed, so every printed repro line replays exactly.
+
    Any divergence is a durable-linearizability bug and the tool exits
    non-zero with a reproduction line.  This is the long-running
    counterpart of the quick crash tests in the test suite. *)
 
-let ptms : (string * Ptm.Ptm_intf.boxed) list =
+(* ONLL is not a Ptm_intf.S (registered operations, no dynamic
+   transactions), so the target table distinguishes it. *)
+type target = Std of Ptm.Ptm_intf.boxed | Onll_target
+
+let ptms : (string * target) list =
   [
-    ("PMDK", Ptm.Ptm_intf.Boxed (module Ptm.Pmdk_sim));
-    ("OneFile", Ptm.Ptm_intf.Boxed (module Ptm.Onefile));
-    ("RomulusLR", Ptm.Ptm_intf.Boxed (module Ptm.Romulus));
-    ("CX-PUC", Ptm.Ptm_intf.Boxed (module Ptm.Cx_ptm.Puc));
-    ("CX-PTM", Ptm.Ptm_intf.Boxed (module Ptm.Cx_ptm.Ptm));
-    ("Redo", Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Base));
-    ("RedoTimed", Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Timed));
-    ("RedoOpt", Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Opt));
+    ("PMDK", Std (Ptm.Ptm_intf.Boxed (module Ptm.Pmdk_sim)));
+    ("OneFile", Std (Ptm.Ptm_intf.Boxed (module Ptm.Onefile)));
+    ("RomulusLR", Std (Ptm.Ptm_intf.Boxed (module Ptm.Romulus)));
+    ("CX-PUC", Std (Ptm.Ptm_intf.Boxed (module Ptm.Cx_ptm.Puc)));
+    ("CX-PTM", Std (Ptm.Ptm_intf.Boxed (module Ptm.Cx_ptm.Ptm)));
+    ("Redo", Std (Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Base)));
+    ("RedoTimed", Std (Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Timed)));
+    ("RedoOpt", Std (Ptm.Ptm_intf.Boxed (module Ptm.Redo_ptm.Opt)));
+    ("ONLL", Onll_target);
   ]
 
 module I64Set = Set.Make (Int64)
 
-let torture_one (module P : Ptm.Ptm_intf.S) ~rounds ~seed ~evict_prob ~threads =
+let torture_one (module P : Ptm.Ptm_intf.S) ~rounds ~seed ~evict_prob
+    ~torn_prob ~bitflips ~threads =
   let module H = Pds.Hash_set.Make (P) in
   let p = P.create ~num_threads:threads ~words:(1 lsl 16) () in
   H.init p ~tid:0 ~slot:1;
   let model = ref I64Set.empty in
   let st = Random.State.make [| seed |] in
   let failures = ref 0 in
-  for round = 1 to rounds do
-    (* a batch of random operations, single-threaded so the model is exact *)
-    for _ = 1 to 50 do
-      let k = Int64.of_int (Random.State.int st 500) in
-      if Random.State.bool st then begin
-        let r = H.add p ~tid:0 ~slot:1 k in
-        if r <> not (I64Set.mem k !model) then begin
-          Printf.printf "  !! %s: add %Ld return diverged (round %d)\n" P.name k
-            round;
-          incr failures
-        end;
-        model := I64Set.add k !model
-      end
-      else begin
-        let r = H.remove p ~tid:0 ~slot:1 k in
-        if r <> I64Set.mem k !model then begin
-          Printf.printf "  !! %s: remove %Ld return diverged (round %d)\n"
-            P.name k round;
-          incr failures
-        end;
-        model := I64Set.remove k !model
-      end
-    done;
-    (* some extra concurrent churn on disjoint keys before the crash *)
-    if threads > 1 && round mod 4 = 0 then begin
-      let ds =
-        List.init (threads - 1) (fun w ->
-            Domain.spawn (fun () ->
-                let tid = w + 1 in
-                for i = 0 to 19 do
-                  let k = Int64.of_int (1000 + (tid * 100) + i) in
-                  ignore (H.add p ~tid ~slot:1 k);
-                  ignore (H.remove p ~tid ~slot:1 k)
-                done))
-      in
-      List.iter Domain.join ds
-    end;
-    (* crash with random cache evictions, then verify against the model *)
-    P.crash_with_evictions p ~seed:(seed + round) ~prob:evict_prob;
-    let card = H.cardinal p ~tid:0 ~slot:1 in
-    if card <> I64Set.cardinal !model then begin
-      Printf.printf
-        "  !! %s: cardinality diverged after crash: got %d want %d (round %d, \
-         seed %d)\n"
-        P.name card
-        (I64Set.cardinal !model)
-        round seed;
-      incr failures
-    end;
-    I64Set.iter
-      (fun k ->
-        if not (H.contains p ~tid:0 ~slot:1 k) then begin
-          Printf.printf "  !! %s: lost committed key %Ld (round %d, seed %d)\n"
-            P.name k round seed;
-          incr failures
-        end)
-      !model
-  done;
+  (try
+     for round = 1 to rounds do
+       (* a batch of random operations, single-threaded so the model is
+          exact *)
+       for _ = 1 to 50 do
+         let k = Int64.of_int (Random.State.int st 500) in
+         if Random.State.bool st then begin
+           let r = H.add p ~tid:0 ~slot:1 k in
+           if r <> not (I64Set.mem k !model) then begin
+             Printf.printf "  !! %s: add %Ld return diverged (round %d)\n"
+               P.name k round;
+             incr failures
+           end;
+           model := I64Set.add k !model
+         end
+         else begin
+           let r = H.remove p ~tid:0 ~slot:1 k in
+           if r <> I64Set.mem k !model then begin
+             Printf.printf "  !! %s: remove %Ld return diverged (round %d)\n"
+               P.name k round;
+             incr failures
+           end;
+           model := I64Set.remove k !model
+         end
+       done;
+       (* some extra concurrent churn on disjoint keys before the crash *)
+       if threads > 1 && round mod 4 = 0 then begin
+         let ds =
+           List.init (threads - 1) (fun w ->
+               Domain.spawn (fun () ->
+                   let tid = w + 1 in
+                   for i = 0 to 19 do
+                     let k = Int64.of_int (1000 + (tid * 100) + i) in
+                     ignore (H.add p ~tid ~slot:1 k);
+                     ignore (H.remove p ~tid ~slot:1 k)
+                   done))
+         in
+         List.iter Domain.join ds
+       end;
+       (* crash (with evictions / media faults), then verify vs the model *)
+       (match (torn_prob, bitflips) with
+       | None, 0 ->
+           P.crash_with_evictions p ~seed:(seed + round) ~prob:evict_prob
+       | _ ->
+           P.crash_with_faults p ~seed:(seed + round) ~evict_prob
+             ~torn_prob:(Option.value torn_prob ~default:0.)
+             ~bitflips);
+       let card = H.cardinal p ~tid:0 ~slot:1 in
+       if card <> I64Set.cardinal !model then begin
+         Printf.printf
+           "  !! %s: cardinality diverged after crash: got %d want %d (round \
+            %d, seed %d)\n"
+           P.name card
+           (I64Set.cardinal !model)
+           round seed;
+         incr failures
+       end;
+       I64Set.iter
+         (fun k ->
+           if not (H.contains p ~tid:0 ~slot:1 k) then begin
+             Printf.printf
+               "  !! %s: lost committed key %Ld (round %d, seed %d)\n" P.name k
+               round seed;
+             incr failures
+           end)
+         !model
+     done
+   with Ptm.Ptm_intf.Unrecoverable { detail; _ } ->
+     if bitflips > 0 then
+       Printf.printf "  detected: %s recovery refused corrupt image (%s)\n"
+         P.name detail
+     else begin
+       Printf.printf "  !! %s: Unrecoverable on a flip-free image (%s)\n"
+         P.name detail;
+       incr failures
+     end);
   !failures
 
-let midop_one (module P : Ptm.Ptm_intf.S) ~seed ~nops ~step ~sample ~evict_prob
-    =
-  let module E = Ptm.Crash_explorer.Make (P) in
-  let ops = Ptm.Crash_explorer.default_ops ~n:nops ~seed () in
-  let report =
-    if step > 0 then E.sweep ?evict_prob ~seed ~ops ~steps:[ step ] ()
-    else
-      let total = E.total_steps ~ops () in
-      let steps =
-        if sample = 0 then List.init total (fun i -> i + 1)
-        else Ptm.Crash_explorer.sample_steps ~total ~count:sample
-      in
-      E.sweep ?evict_prob ~seed ~ops ~steps ()
-  in
-  Printf.printf "%s\n" (Format.asprintf "%a" Ptm.Crash_explorer.pp_report report);
+(* Quiescent torture for ONLL.  Every completed invoke fenced its own log
+   entry, so without bit flips recovery must reproduce the model exactly
+   (torn write-backs only affect dirty lines, and fenced lines are clean).
+   Under bit flips ONLL's recovery truncates the log at the first invalid
+   entry, legitimately rolling back to an earlier completed prefix: the
+   recovered state must then match some previous model state, and the
+   model resynchronizes to it. *)
+let torture_onll ~rounds ~seed ~evict_prob ~torn_prob ~bitflips =
+  let module OS = Ptm.Crash_explorer.Onll_sweep in
+  let i = OS.mk ~num_threads:1 ~words:(1 lsl 12) () in
+  let model = ref I64Set.empty in
+  let hist = ref [ I64Set.empty ] in
+  let st = Random.State.make [| seed |] in
+  let failures = ref 0 in
+  (try
+     for round = 1 to rounds do
+       for _ = 1 to 50 do
+         let k = Int64.of_int (Random.State.int st 100) in
+         let op =
+           if Random.State.bool st then Ptm.Crash_explorer.Add k
+           else Ptm.Crash_explorer.Remove k
+         in
+         OS.apply_op i op;
+         (model :=
+            match op with
+            | Add k -> I64Set.add k !model
+            | Remove k -> I64Set.remove k !model);
+         hist := !model :: !hist
+       done;
+       (match (torn_prob, bitflips) with
+       | None, 0 ->
+           Ptm.Onll.crash_with_evictions (OS.onll i) ~seed:(seed + round)
+             ~prob:evict_prob
+       | _ ->
+           Ptm.Onll.crash_with_faults (OS.onll i) ~seed:(seed + round)
+             ~evict_prob
+             ~torn_prob:(Option.value torn_prob ~default:0.)
+             ~bitflips);
+       let keys, count = OS.contents i in
+       let matches s =
+         keys = I64Set.elements s && count = I64Set.cardinal s
+       in
+       if bitflips > 0 then begin
+         match List.find_opt matches !hist with
+         | Some s -> model := s (* log truncated: resync to that prefix *)
+         | None ->
+             Printf.printf
+               "  !! ONLL: recovered state matches no completed prefix \
+                (round %d, seed %d)\n"
+               round seed;
+             incr failures
+       end
+       else if not (matches !model) then begin
+         Printf.printf
+           "  !! ONLL: diverged after crash: got %d keys want %d (round %d, \
+            seed %d)\n"
+           count
+           (I64Set.cardinal !model)
+           round seed;
+         incr failures
+       end
+     done
+   with Ptm.Ptm_intf.Unrecoverable { detail; _ } ->
+     if bitflips > 0 then
+       Printf.printf "  detected: ONLL recovery refused corrupt image (%s)\n"
+         detail
+     else begin
+       Printf.printf "  !! ONLL: Unrecoverable on a flip-free image (%s)\n"
+         detail;
+       incr failures
+     end);
+  !failures
+
+let print_report (report : Ptm.Crash_explorer.report) =
+  Printf.printf "%s\n"
+    (Format.asprintf "%a" Ptm.Crash_explorer.pp_report report);
   List.iter
     (fun (v : Ptm.Crash_explorer.violation) ->
       Printf.printf "  !! step %d (in-flight op %d: %s): %s\n     repro: %s\n"
@@ -131,12 +227,48 @@ let midop_one (module P : Ptm.Ptm_intf.S) ~seed ~nops ~step ~sample ~evict_prob
     report.violations;
   List.length report.violations
 
+let midop_one (module P : Ptm.Ptm_intf.S) ~seed ~nops ~step ~sample
+    ~evict_prob ~torn_prob ~bitflips =
+  let module E = Ptm.Crash_explorer.Make (P) in
+  let ops = Ptm.Crash_explorer.default_ops ~n:nops ~seed () in
+  let report =
+    if step > 0 then
+      E.sweep ?evict_prob ?torn_prob ~bitflips ~seed ~ops ~steps:[ step ] ()
+    else
+      let total = E.total_steps ~ops () in
+      let steps =
+        if sample = 0 then List.init total (fun i -> i + 1)
+        else Ptm.Crash_explorer.sample_steps ~total ~count:sample
+      in
+      E.sweep ?evict_prob ?torn_prob ~bitflips ~seed ~ops ~steps ()
+  in
+  print_report report
+
+let midop_onll ~seed ~nops ~step ~sample ~evict_prob ~torn_prob ~bitflips =
+  let module OS = Ptm.Crash_explorer.Onll_sweep in
+  let ops = Ptm.Crash_explorer.default_ops ~n:nops ~seed () in
+  let report =
+    if step > 0 then
+      OS.sweep ?evict_prob ?torn_prob ~bitflips ~seed ~ops ~steps:[ step ] ()
+    else
+      let total = OS.total_steps ~ops () in
+      let steps =
+        if sample = 0 then List.init total (fun i -> i + 1)
+        else Ptm.Crash_explorer.sample_steps ~total ~count:sample
+      in
+      OS.sweep ?evict_prob ?torn_prob ~bitflips ~seed ~ops ~steps ()
+  in
+  print_report report
+
 let () =
   let ptm_filter = ref "" in
   let rounds = ref 20 in
   let seed = ref 42 in
   let evict_prob = ref 0.5 in
   let evict_set = ref false in
+  let torn_prob = ref 0.0 in
+  let torn_set = ref false in
+  let bitflips = ref 0 in
   let threads = ref 3 in
   let mid_op = ref false in
   let nops = ref 30 in
@@ -156,6 +288,17 @@ let () =
             evict_set := true),
         "P survival probability of unflushed lines (default 0.5; in --mid-op \
          mode the default is a strict crash)" );
+      ( "--torn-prob",
+        Arg.Float
+          (fun p ->
+            torn_prob := p;
+            torn_set := true),
+        "P probability that an at-crash eviction persists only a partial \
+         cache line (default 0: whole-line evictions)" );
+      ( "--bitflips",
+        Arg.Set_int bitflips,
+        "N bits to flip in the PTM's durable metadata after each crash \
+         (default 0); Unrecoverable then counts as detection, not failure" );
       ("--threads", Arg.Set_int threads, "T concurrent churn threads (default 3)");
       ( "--mid-op",
         Arg.Set mid_op,
@@ -202,29 +345,43 @@ let () =
           (Obs.Trace.recorded ()) (Obs.Trace.dropped ()) file);
     if !metrics then Obs.Metrics.dump Format.std_formatter
   in
+  let tp = if !torn_set then Some !torn_prob else None in
   let total_failures = ref 0 in
   (if !mid_op then
      let ep = if !evict_set then Some !evict_prob else None in
      List.iter
-       (fun (_, Ptm.Ptm_intf.Boxed (module P)) ->
+       (fun (_, target) ->
          let t0 = Unix.gettimeofday () in
          let f =
-           midop_one (module P) ~seed:!seed ~nops:!nops ~step:!step
-             ~sample:!sample ~evict_prob:ep
+           match target with
+           | Std (Ptm.Ptm_intf.Boxed (module P)) ->
+               midop_one (module P) ~seed:!seed ~nops:!nops ~step:!step
+                 ~sample:!sample ~evict_prob:ep ~torn_prob:tp
+                 ~bitflips:!bitflips
+           | Onll_target ->
+               midop_onll ~seed:!seed ~nops:!nops ~step:!step ~sample:!sample
+                 ~evict_prob:ep ~torn_prob:tp ~bitflips:!bitflips
          in
          total_failures := !total_failures + f;
          Printf.printf "  (%.1fs)\n" (Unix.gettimeofday () -. t0))
        selected
    else
      List.iter
-       (fun (name, Ptm.Ptm_intf.Boxed (module P)) ->
+       (fun (name, target) ->
          Printf.printf
-           "torturing %-10s (%d rounds, evict %.2f, %d threads)... %!" name
-           !rounds !evict_prob !threads;
+           "torturing %-10s (%d rounds, evict %.2f, torn %.2f, flips %d, %d \
+            threads)... %!"
+           name !rounds !evict_prob !torn_prob !bitflips !threads;
          let t0 = Unix.gettimeofday () in
          let f =
-           torture_one (module P) ~rounds:!rounds ~seed:!seed
-             ~evict_prob:!evict_prob ~threads:!threads
+           match target with
+           | Std (Ptm.Ptm_intf.Boxed (module P)) ->
+               torture_one (module P) ~rounds:!rounds ~seed:!seed
+                 ~evict_prob:!evict_prob ~torn_prob:tp ~bitflips:!bitflips
+                 ~threads:!threads
+           | Onll_target ->
+               torture_onll ~rounds:!rounds ~seed:!seed
+                 ~evict_prob:!evict_prob ~torn_prob:tp ~bitflips:!bitflips
          in
          total_failures := !total_failures + f;
          Printf.printf "%s (%.1fs)\n"

@@ -60,13 +60,32 @@ type report = {
   total_steps : int; (* steps of the uninterrupted reference run *)
   steps_tested : int;
   crashes_injected : int;
+  detected : int;
+      (* recoveries that refused a corrupt image with [Unrecoverable] while
+         bit flips were being injected — the correct outcome, not a
+         violation *)
   violations : violation list;
 }
 
 let pp_report ppf r =
-  Format.fprintf ppf "%-10s steps=%-5d tested=%-5d injected=%-5d violations=%d"
-    r.ptm r.total_steps r.steps_tested r.crashes_injected
+  Format.fprintf ppf
+    "%-10s steps=%-5d tested=%-5d injected=%-5d detected=%-3d violations=%d"
+    r.ptm r.total_steps r.steps_tested r.crashes_injected r.detected
     (List.length r.violations)
+
+(* One-line reproduction matching bin/crash_torture's flag spelling exactly:
+   pasting the line after [dune exec bin/crash_torture.exe --] replays the
+   same crash point, eviction/tear coins and bit-flip targets. *)
+let mk_repro_line ~ptm ~seed ~nops ~evict_prob ~torn_prob ~bitflips k =
+  Printf.sprintf "crash_torture --mid-op --ptm %s --seed %d --ops %d --step %d%s%s%s"
+    ptm seed nops k
+    (match evict_prob with
+    | None -> ""
+    | Some p -> Printf.sprintf " --evict-prob %g" p)
+    (match torn_prob with
+    | None -> ""
+    | Some p -> Printf.sprintf " --torn-prob %g" p)
+    (if bitflips > 0 then Printf.sprintf " --bitflips %d" bitflips else "")
 
 (** Evenly spaced sample of [count] steps out of [1..total] (endpoints
     included); the full range when [count >= total]. *)
@@ -148,18 +167,14 @@ module Make (P : Ptm_intf.S) = struct
 
   let show_keys ks = String.concat "," (List.map Int64.to_string ks)
 
-  let mk_repro ~seed ~nops ~evict_prob k =
-    Printf.sprintf "crash_torture --mid-op --ptm %s --seed %d --ops %d --step %d%s"
-      P.name seed nops k
-      (match evict_prob with
-      | None -> ""
-      | Some p -> Printf.sprintf " --evict-prob %g" p)
+  let mk_repro ~seed ~nops ~evict_prob ~torn_prob ~bitflips k =
+    mk_repro_line ~ptm:P.name ~seed ~nops ~evict_prob ~torn_prob ~bitflips k
 
   (* Durable-linearizability check of the recovered instance, plus a
      usability probe (recovery must leave a working PTM behind, not just a
      pretty durable image). *)
   let verify_recovered p ~k ~op_index ~op ~before ~after ~seed ~nops
-      ~evict_prob =
+      ~evict_prob ~torn_prob ~bitflips =
     let fail detail =
       Some
         {
@@ -167,7 +182,7 @@ module Make (P : Ptm_intf.S) = struct
           op_index;
           op;
           detail;
-          repro = mk_repro ~seed ~nops ~evict_prob k;
+          repro = mk_repro ~seed ~nops ~evict_prob ~torn_prob ~bitflips k;
         }
     in
     match contents p ~tid:0 with
@@ -225,10 +240,17 @@ module Make (P : Ptm_intf.S) = struct
     List.iter (apply_op p ~tid:0) ops;
     Pmem.steps pm
 
-  type point_result = Completed | Survived | Violated of violation
+  type point_result = Completed | Survived | Detected | Violated of violation
 
-  (* One crash point: fresh instance, crash armed [k] steps in. *)
-  let run_point ~num_threads ~words ~evict_prob ~seed ~ops k =
+  (* One crash point: fresh instance, crash armed [k] steps in.  With
+     [torn_prob] or [bitflips] set the crash goes through the media-fault
+     model; {!Ptm_intf.Unrecoverable} raised while bit flips are being
+     injected is the hardened recovery correctly refusing a corrupt image
+     ([Detected]), whereas any exception out of a flip-free recovery is a
+     violation — clean crashes, evictions and torn write-backs must always
+     leave a recoverable image. *)
+  let run_point ~num_threads ~words ~evict_prob ~torn_prob ~bitflips ~seed
+      ~ops k =
     let p = P.create ~num_threads ~words () in
     let pm = P.pmem p in
     Pmem.set_step_tracking pm true;
@@ -238,36 +260,72 @@ module Make (P : Ptm_intf.S) = struct
         Pmem.clear_injection pm;
         Completed
     | Some (op_index, op, before, after) -> (
-        (match evict_prob with
-        | None -> P.crash_and_recover p
-        | Some prob ->
-            (* eviction choices derive deterministically from (seed, k) so
-               the repro line replays the exact same durable image *)
-            P.crash_with_evictions p ~seed:(seed + (911 * k)) ~prob);
-        match
-          verify_recovered p ~k ~op_index ~op ~before ~after ~seed
-            ~nops:(List.length ops) ~evict_prob
-        with
-        | None -> Survived
-        | Some v -> Violated v)
+        let nops = List.length ops in
+        let fail detail =
+          Violated
+            {
+              step = k;
+              op_index;
+              op;
+              detail;
+              repro = mk_repro ~seed ~nops ~evict_prob ~torn_prob ~bitflips k;
+            }
+        in
+        let crash () =
+          match (torn_prob, bitflips) with
+          | None, 0 -> (
+              match evict_prob with
+              | None -> P.crash_and_recover p
+              | Some prob ->
+                  (* eviction choices derive deterministically from (seed, k)
+                     so the repro line replays the exact same durable image *)
+                  P.crash_with_evictions p ~seed:(seed + (911 * k)) ~prob)
+          | _ ->
+              P.crash_with_faults p ~seed:(seed + (911 * k))
+                ~evict_prob:(Option.value evict_prob ~default:0.)
+                ~torn_prob:(Option.value torn_prob ~default:0.)
+                ~bitflips
+        in
+        match crash () with
+        | exception Ptm_intf.Unrecoverable { detail; _ } ->
+            if bitflips > 0 then Detected
+            else
+              fail
+                (Printf.sprintf "recovery refused a flip-free image: %s" detail)
+        | exception e ->
+            fail (Printf.sprintf "recovery raised %s" (Printexc.to_string e))
+        | () -> (
+            match
+              verify_recovered p ~k ~op_index ~op ~before ~after ~seed ~nops
+                ~evict_prob ~torn_prob ~bitflips
+            with
+            | None -> Survived
+            | Some v -> Violated v))
 
   (** [sweep ~ops ~steps ()] runs one injection per step number in [steps]
       (step numbers outside [1..total] are skipped).  [evict_prob] switches
       the crash to eviction mode: each line dirty at the crash point
       additionally survives with that probability. *)
   let sweep ?(num_threads = 2) ?(words = default_words) ?evict_prob
-      ?(seed = 0) ~ops ~steps () =
+      ?torn_prob ?(bitflips = 0) ?(seed = 0) ~ops ~steps () =
     let total = total_steps ~num_threads ~words ~ops () in
     let tested = ref 0 in
     let injected = ref 0 in
+    let det = ref 0 in
     let viols = ref [] in
     List.iter
       (fun k ->
         if k >= 1 && k <= total then begin
           incr tested;
-          match run_point ~num_threads ~words ~evict_prob ~seed ~ops k with
+          match
+            run_point ~num_threads ~words ~evict_prob ~torn_prob ~bitflips
+              ~seed ~ops k
+          with
           | Completed -> ()
           | Survived -> incr injected
+          | Detected ->
+              incr injected;
+              incr det
           | Violated v ->
               incr injected;
               viols := v :: !viols
@@ -279,13 +337,15 @@ module Make (P : Ptm_intf.S) = struct
       total_steps = total;
       steps_tested = !tested;
       crashes_injected = !injected;
+      detected = !det;
       violations = List.rev !viols;
     }
 
   (** Exhaustive sweep: every step k = 1..N of the reference run. *)
-  let sweep_all ?num_threads ?words ?evict_prob ?(seed = 0) ~ops () =
+  let sweep_all ?num_threads ?words ?evict_prob ?torn_prob ?bitflips
+      ?(seed = 0) ~ops () =
     let total = total_steps ?num_threads ?words ~ops () in
-    sweep ?num_threads ?words ?evict_prob ~seed ~ops
+    sweep ?num_threads ?words ?evict_prob ?torn_prob ?bitflips ~seed ~ops
       ~steps:(List.init total (fun i -> i + 1))
       ()
 
@@ -293,9 +353,10 @@ module Make (P : Ptm_intf.S) = struct
       instead of a fixed step.  Violations still carry the exact step for a
       deterministic repro. *)
   let random_sweep ?(num_threads = 2) ?(words = default_words) ?evict_prob
-      ?(seed = 0) ?(prob = 0.02) ~ops ~trials () =
+      ?torn_prob ?(bitflips = 0) ?(seed = 0) ?(prob = 0.02) ~ops ~trials () =
     let total = total_steps ~num_threads ~words ~ops () in
     let injected = ref 0 in
+    let det = ref 0 in
     let viols = ref [] in
     for trial = 1 to trials do
       let p = P.create ~num_threads ~words () in
@@ -307,16 +368,48 @@ module Make (P : Ptm_intf.S) = struct
       | Some (op_index, op, before, after) -> (
           incr injected;
           let k = Pmem.steps pm in
-          (match evict_prob with
-          | None -> P.crash_and_recover p
-          | Some prob ->
-              P.crash_with_evictions p ~seed:(seed + (911 * k)) ~prob);
-          match
-            verify_recovered p ~k ~op_index ~op ~before ~after ~seed
-              ~nops:(List.length ops) ~evict_prob
-          with
-          | None -> ()
-          | Some v -> viols := v :: !viols)
+          let nops = List.length ops in
+          let fail detail =
+            viols :=
+              {
+                step = k;
+                op_index;
+                op;
+                detail;
+                repro =
+                  mk_repro ~seed ~nops ~evict_prob ~torn_prob ~bitflips k;
+              }
+              :: !viols
+          in
+          let crash () =
+            match (torn_prob, bitflips) with
+            | None, 0 -> (
+                match evict_prob with
+                | None -> P.crash_and_recover p
+                | Some prob ->
+                    P.crash_with_evictions p ~seed:(seed + (911 * k)) ~prob)
+            | _ ->
+                P.crash_with_faults p ~seed:(seed + (911 * k))
+                  ~evict_prob:(Option.value evict_prob ~default:0.)
+                  ~torn_prob:(Option.value torn_prob ~default:0.)
+                  ~bitflips
+          in
+          match crash () with
+          | exception Ptm_intf.Unrecoverable { detail; _ } ->
+              if bitflips > 0 then incr det
+              else
+                fail
+                  (Printf.sprintf "recovery refused a flip-free image: %s"
+                     detail)
+          | exception e ->
+              fail (Printf.sprintf "recovery raised %s" (Printexc.to_string e))
+          | () -> (
+              match
+                verify_recovered p ~k ~op_index ~op ~before ~after ~seed ~nops
+                  ~evict_prob ~torn_prob ~bitflips
+              with
+              | None -> ()
+              | Some v -> viols := v :: !viols))
     done;
     {
       ptm = P.name;
@@ -324,6 +417,242 @@ module Make (P : Ptm_intf.S) = struct
       total_steps = total;
       steps_tested = trials;
       crashes_injected = !injected;
+      detected = !det;
       violations = List.rev !viols;
     }
+end
+
+(* ONLL is not a {!Ptm_intf.S} (registered operations instead of dynamic
+   transactions), so it gets a dedicated sweep over the same linked-list
+   workload, with its own oracle: recovery truncates the logical log to the
+   longest valid prefix, so under injected bit flips the recovered state may
+   legitimately equal the model after {e any} prefix of the completed
+   operations — not just before/after the in-flight one. *)
+module Onll_sweep = struct
+  let default_words = 512
+  let head_slot = Palloc.root_addr 1
+  let count_slot = Palloc.root_addr 2
+
+  type inst = { o : Onll.t; add_op : int; remove_op : int }
+
+  let mk ?(num_threads = 2) ?(words = default_words) () =
+    let o = Onll.create ~num_threads ~words () in
+    let add_op =
+      Onll.register o (fun tx args ->
+          let k = args.(0) in
+          let rec find cur =
+            if cur = 0 then None
+            else if Int64.equal (Onll.get tx cur) k then Some cur
+            else find (Int64.to_int (Onll.get tx (cur + 1)))
+          in
+          match find (Int64.to_int (Onll.get tx head_slot)) with
+          | Some _ -> 0L
+          | None ->
+              let n = Onll.alloc tx 2 in
+              Onll.set tx n k;
+              Onll.set tx (n + 1) (Onll.get tx head_slot);
+              Onll.set tx head_slot (Int64.of_int n);
+              Onll.set tx count_slot (Int64.add (Onll.get tx count_slot) 1L);
+              1L)
+    in
+    let remove_op =
+      Onll.register o (fun tx args ->
+          let k = args.(0) in
+          let rec unlink prev cur =
+            if cur = 0 then 0L
+            else if Int64.equal (Onll.get tx cur) k then begin
+              let nxt = Onll.get tx (cur + 1) in
+              if prev = 0 then Onll.set tx head_slot nxt
+              else Onll.set tx (prev + 1) nxt;
+              Onll.dealloc tx cur;
+              Onll.set tx count_slot (Int64.sub (Onll.get tx count_slot) 1L);
+              1L
+            end
+            else unlink cur (Int64.to_int (Onll.get tx (cur + 1)))
+          in
+          unlink 0 (Int64.to_int (Onll.get tx head_slot)))
+    in
+    { o; add_op; remove_op }
+
+  let onll i = i.o
+
+  let apply_op i op =
+    ignore
+      (match op with
+      | Add k -> Onll.invoke i.o ~tid:0 i.add_op [| k |]
+      | Remove k -> Onll.invoke i.o ~tid:0 i.remove_op [| k |])
+
+  let contents i =
+    let keys = ref [] in
+    let count = ref 0 in
+    ignore
+      (Onll.read_only i.o ~tid:0 (fun tx ->
+           keys := [];
+           count := Int64.to_int (Onll.get tx count_slot);
+           let rec walk fuel cur =
+             if cur <> 0 then
+               if fuel = 0 then count := min_int
+               else begin
+                 keys := Onll.get tx cur :: !keys;
+                 walk (fuel - 1) (Int64.to_int (Onll.get tx (cur + 1)))
+               end
+           in
+           walk 4096 (Int64.to_int (Onll.get tx head_slot));
+           0L));
+    (List.sort Int64.compare !keys, !count)
+
+  let mk_repro ~seed ~nops ~evict_prob ~torn_prob ~bitflips k =
+    mk_repro_line ~ptm:Onll.name ~seed ~nops ~evict_prob ~torn_prob ~bitflips k
+
+  (* Run [ops], tracking the model after every completed prefix (newest
+     first), until completion or an injected crash. *)
+  let exec_until_crash i ops =
+    let rec go idx model hist = function
+      | [] -> None
+      | op :: rest -> (
+          let after = model_apply model op in
+          match apply_op i op with
+          | () -> go (idx + 1) after (after :: hist) rest
+          | exception Pmem.Crash_injected -> Some (idx, op, hist, after))
+    in
+    go 0 I64Set.empty [ I64Set.empty ] ops
+
+  let total_steps ?(num_threads = 2) ?(words = default_words) ~ops () =
+    let i = mk ~num_threads ~words () in
+    let pm = Onll.pmem i.o in
+    Pmem.set_step_tracking pm true;
+    List.iter (apply_op i) ops;
+    Pmem.steps pm
+
+  type point_result = Completed | Survived | Detected | Violated of violation
+
+  let run_point ~num_threads ~words ~evict_prob ~torn_prob ~bitflips ~seed
+      ~ops k =
+    let i = mk ~num_threads ~words () in
+    let pm = Onll.pmem i.o in
+    Pmem.set_step_tracking pm true;
+    Pmem.inject_crash_after_step pm k;
+    match exec_until_crash i ops with
+    | None ->
+        Pmem.clear_injection pm;
+        Completed
+    | Some (op_index, op, hist, after) -> (
+        let nops = List.length ops in
+        let fail detail =
+          Violated
+            {
+              step = k;
+              op_index;
+              op;
+              detail;
+              repro = mk_repro ~seed ~nops ~evict_prob ~torn_prob ~bitflips k;
+            }
+        in
+        let crash () =
+          match (torn_prob, bitflips) with
+          | None, 0 -> (
+              match evict_prob with
+              | None -> Onll.crash_and_recover i.o
+              | Some prob ->
+                  Onll.crash_with_evictions i.o ~seed:(seed + (911 * k)) ~prob)
+          | _ ->
+              Onll.crash_with_faults i.o ~seed:(seed + (911 * k))
+                ~evict_prob:(Option.value evict_prob ~default:0.)
+                ~torn_prob:(Option.value torn_prob ~default:0.)
+                ~bitflips
+        in
+        match crash () with
+        | exception Ptm_intf.Unrecoverable { detail; _ } ->
+            if bitflips > 0 then Detected
+            else
+              fail
+                (Printf.sprintf "recovery refused a flip-free image: %s" detail)
+        | exception e ->
+            fail (Printf.sprintf "recovery raised %s" (Printexc.to_string e))
+        | () -> (
+            (* Without bit flips the oracle is the usual prefix-closed one:
+               before or after the in-flight op.  With bit flips, log
+               truncation may legitimately roll further back: any completed
+               prefix is acceptable, silent divergence from all of them is
+               not. *)
+            let ok_states =
+              if bitflips > 0 then after :: hist
+              else [ after; List.hd hist ]
+            in
+            match contents i with
+            | exception e ->
+                fail
+                  (Printf.sprintf "recovered read-only walk raised %s"
+                     (Printexc.to_string e))
+            | keys, count ->
+                let matches s =
+                  keys = I64Set.elements s && count = I64Set.cardinal s
+                in
+                if not (List.exists matches ok_states) then
+                  fail
+                    (Printf.sprintf
+                       "recovered {%s} count=%d matches no completed prefix \
+                        of in-flight op %d (%s)"
+                       (String.concat ","
+                          (List.map Int64.to_string keys))
+                       count op_index (pp_op op))
+                else
+                  let probe = 0x7FFF_FFFFL in
+                  match apply_op i (Add probe) with
+                  | exception e ->
+                      fail
+                        (Printf.sprintf "post-recovery update raised %s"
+                           (Printexc.to_string e))
+                  | () -> (
+                      match contents i with
+                      | exception e ->
+                          fail
+                            (Printf.sprintf
+                               "read after post-recovery update raised %s"
+                               (Printexc.to_string e))
+                      | keys', _ ->
+                          if List.mem probe keys' then Survived
+                          else fail "post-recovery update was lost")))
+
+  let sweep ?(num_threads = 2) ?(words = default_words) ?evict_prob
+      ?torn_prob ?(bitflips = 0) ?(seed = 0) ~ops ~steps () =
+    let total = total_steps ~num_threads ~words ~ops () in
+    let tested = ref 0 in
+    let injected = ref 0 in
+    let det = ref 0 in
+    let viols = ref [] in
+    List.iter
+      (fun k ->
+        if k >= 1 && k <= total then begin
+          incr tested;
+          match
+            run_point ~num_threads ~words ~evict_prob ~torn_prob ~bitflips
+              ~seed ~ops k
+          with
+          | Completed -> ()
+          | Survived -> incr injected
+          | Detected ->
+              incr injected;
+              incr det
+          | Violated v ->
+              incr injected;
+              viols := v :: !viols
+        end)
+      steps;
+    {
+      ptm = Onll.name;
+      seed;
+      total_steps = total;
+      steps_tested = !tested;
+      crashes_injected = !injected;
+      detected = !det;
+      violations = List.rev !viols;
+    }
+
+  let sweep_all ?num_threads ?words ?evict_prob ?torn_prob ?bitflips
+      ?(seed = 0) ~ops () =
+    let total = total_steps ?num_threads ?words ~ops () in
+    sweep ?num_threads ?words ?evict_prob ?torn_prob ?bitflips ~seed ~ops
+      ~steps:(List.init total (fun i -> i + 1))
+      ()
 end

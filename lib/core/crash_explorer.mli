@@ -31,6 +31,9 @@ type report = {
   total_steps : int;  (** steps of the uninterrupted reference run *)
   steps_tested : int;
   crashes_injected : int;
+  detected : int;
+      (** recoveries that correctly refused a bit-flipped image with
+          {!Ptm_intf.Unrecoverable} — only ever non-zero when [bitflips > 0] *)
   violations : violation list;
 }
 
@@ -48,12 +51,19 @@ module Make (P : Ptm_intf.S) : sig
   (** [sweep ~ops ~steps ()] runs one injection per step number in
       [steps] (numbers outside [1..total] are skipped); [evict_prob]
       additionally lets each line dirty at the crash point survive with
-      that probability (default: strict crash).  Both the step stream and
-      the eviction coins are deterministic functions of [seed]. *)
+      that probability (default: strict crash).  [torn_prob] makes each
+      at-crash eviction persist only a partial line, and [bitflips]
+      (default 0) injects that many single-bit corruptions into the PTM's
+      durable metadata after the crash — recovery raising
+      {!Ptm_intf.Unrecoverable} then counts as [detected] rather than a
+      violation.  Step stream, eviction/tear coins and flip targets are
+      all deterministic functions of [seed]. *)
   val sweep :
     ?num_threads:int ->
     ?words:int ->
     ?evict_prob:float ->
+    ?torn_prob:float ->
+    ?bitflips:int ->
     ?seed:int ->
     ops:op list ->
     steps:int list ->
@@ -65,6 +75,8 @@ module Make (P : Ptm_intf.S) : sig
     ?num_threads:int ->
     ?words:int ->
     ?evict_prob:float ->
+    ?torn_prob:float ->
+    ?bitflips:int ->
     ?seed:int ->
     ops:op list ->
     unit ->
@@ -78,10 +90,58 @@ module Make (P : Ptm_intf.S) : sig
     ?num_threads:int ->
     ?words:int ->
     ?evict_prob:float ->
+    ?torn_prob:float ->
+    ?bitflips:int ->
     ?seed:int ->
     ?prob:float ->
     ops:op list ->
     trials:int ->
+    unit ->
+    report
+end
+
+(** Crash-surface sweep for {!Onll}, which is not a {!Ptm_intf.S} (its
+    operations are registered, not dynamic transactions).  Same linked-list
+    workload and flags; the oracle additionally accepts the model after any
+    completed prefix of operations when [bitflips > 0], because ONLL's
+    hardened recovery truncates the logical log at the first entry whose
+    content-sealed tag fails to validate. *)
+module Onll_sweep : sig
+  (** An ONLL instance with the linked-list set operations registered. *)
+  type inst
+
+  val mk : ?num_threads:int -> ?words:int -> unit -> inst
+
+  (** The underlying ONLL, for driving crashes directly. *)
+  val onll : inst -> Onll.t
+
+  val apply_op : inst -> op -> unit
+
+  (** Sorted keys + stored cardinality of the list (fuel-limited walk). *)
+  val contents : inst -> int64 list * int
+
+  val total_steps : ?num_threads:int -> ?words:int -> ops:op list -> unit -> int
+
+  val sweep :
+    ?num_threads:int ->
+    ?words:int ->
+    ?evict_prob:float ->
+    ?torn_prob:float ->
+    ?bitflips:int ->
+    ?seed:int ->
+    ops:op list ->
+    steps:int list ->
+    unit ->
+    report
+
+  val sweep_all :
+    ?num_threads:int ->
+    ?words:int ->
+    ?evict_prob:float ->
+    ?torn_prob:float ->
+    ?bitflips:int ->
+    ?seed:int ->
+    ops:op list ->
     unit ->
     report
 end

@@ -76,6 +76,36 @@ module Make (M : MODE) = struct
 
   let header_addr = 0
 
+  (* Durable-metadata hardening (media-fault model).  The [curComb] header
+     is stored sealed ({!Pmem.Checksum.seal}): the word embeds a validity
+     tag, persists atomically, and CAS semantics are preserved because
+     sealing is deterministic.  Each replica [i] (up to the 62 that fit on
+     the header line) additionally keeps a sealed {e record} at word [1 + i]
+     — its (head ticket, replica index), written right before the flush
+     fence that proves the replica consistent — so that recovery can fall
+     back to the newest validated replica if the header itself is bit-flip
+     corrupt.  Records are invalidated (best effort, unfenced) when a
+     replica is acquired for mutation; the residual window — record evicted
+     early, replica lines not yet fenced, header also corrupt — needs two
+     independent faults and is documented in README's fault-model table. *)
+
+  let max_records = 62
+  let record_addr i = 1 + i
+
+  let unrecoverable detail =
+    Obs.recovery_unrecoverable ();
+    raise (Ptm_intf.Unrecoverable { ptm = M.name; detail })
+
+  let seal_hdr st = Pmem.Checksum.seal (Int64.to_int (Seqtid.to_int64 st))
+
+  (* Outside recovery the header always unseals (recovery rewrites it before
+     handing the instance back), so failure here means the volatile image
+     was corrupted under us — surface it rather than decode garbage. *)
+  let hdr_exn w =
+    match Pmem.Checksum.unseal w with
+    | Some p -> Seqtid.of_int64 (Int64.of_int p)
+    | None -> unrecoverable (Printf.sprintf "curComb header corrupt (%Lx)" w)
+
   let dummy_payload =
     {
       f = (fun _ -> 0L);
@@ -128,8 +158,10 @@ module Make (M : MODE) = struct
     Palloc.format mem ~words;
     Pmem.pwb_range pm ~tid:0 (base 0) (base 0 + words - 1);
     Pmem.set_word pm ~tid:0 header_addr
-      (Seqtid.to_int64 (Seqtid.pack ~seq:0 ~tid:0 ~idx:0));
-    Pmem.pwb pm ~tid:0 header_addr;
+      (seal_hdr (Seqtid.pack ~seq:0 ~tid:0 ~idx:0));
+    Pmem.set_word pm ~tid:0 (record_addr 0)
+      (seal_hdr (Seqtid.pack ~seq:0 ~tid:0 ~idx:0));
+    Pmem.pwb_range pm ~tid:0 header_addr (record_addr 0);
     Pmem.psync pm ~tid:0;
     t
 
@@ -166,12 +198,12 @@ module Make (M : MODE) = struct
         if ht < tk then bump () (* transition in flight; retry *)
         else begin
           let cur = Pmem.get_word t.pm header_addr in
-          let cur_tk = Seqtid.seq (Seqtid.of_int64 cur) in
+          let cur_tk = Seqtid.seq (hdr_exn cur) in
           if cur_tk < ht then
             ignore
               (Pmem.cas_word t.pm ~tid header_addr ~expected:cur
-                 ~desired:(Seqtid.to_int64 (Seqtid.pack ~seq:ht ~tid:0 ~idx:ci)));
-          let now_tk = Seqtid.seq (Seqtid.of_int64 (Pmem.get_word t.pm header_addr)) in
+                 ~desired:(seal_hdr (Seqtid.pack ~seq:ht ~tid:0 ~idx:ci)));
+          let now_tk = Seqtid.seq (hdr_exn (Pmem.get_word t.pm header_addr)) in
           if now_tk < tk then bump ()
           else begin
             Pmem.pwb t.pm ~tid header_addr;
@@ -257,6 +289,15 @@ module Make (M : MODE) = struct
               Pmem.pwb t.pm ~tid (c.base + (line * Pmem.words_per_line)))
             c.dirty;
         Hashtbl.reset c.dirty;
+        (* Refresh this replica's fallback record under the same fence that
+           proves the replica consistent: no extra fence. *)
+        let i = (c.base - 64) / t.words in
+        if i < max_records then begin
+          Pmem.set_word t.pm ~tid (record_addr i)
+            (seal_hdr
+               (Seqtid.pack ~seq:(Atomic.get c.head_ticket) ~tid:0 ~idx:i));
+          Pmem.pwb t.pm ~tid (record_addr i)
+        end;
         Pmem.pfence t.pm ~tid)
 
   (* After winning a transition, opportunistically invalidate replicas whose
@@ -288,12 +329,12 @@ module Make (M : MODE) = struct
         (* Persist header: durable CAS with our (ticket, idx). *)
         let rec pm_cas () =
           let old = Pmem.get_word t.pm header_addr in
-          if Seqtid.seq (Seqtid.of_int64 old) >= Atomic.get c.head_ticket then ()
+          if Seqtid.seq (hdr_exn old) >= Atomic.get c.head_ticket then ()
           else if
             not
               (Pmem.cas_word t.pm ~tid header_addr ~expected:old
                  ~desired:
-                   (Seqtid.to_int64
+                   (seal_hdr
                       (Seqtid.pack ~seq:(Atomic.get c.head_ticket) ~tid:0 ~idx:ci)))
           then pm_cas ()
         in
@@ -353,6 +394,12 @@ module Make (M : MODE) = struct
     | None -> ensure_persisted t ~tid my_ticket
     | Some ci -> (
         let c = t.combs.(ci) in
+        (* Best-effort: retire this replica's fallback record before the
+           replica can become inconsistent under us (copy or apply). *)
+        if ci < max_records then begin
+          Pmem.set_word t.pm ~tid (record_addr ci) 0L;
+          Pmem.pwb t.pm ~tid (record_addr ci)
+        end;
         try
           (* Validity: lagging or invalidated replicas are refreshed by
              copying from curComb. *)
@@ -469,11 +516,66 @@ module Make (M : MODE) = struct
     attempt max_read_tries
 
   (* Null recovery: the durable header designates the consistent replica;
-     rebuild the volatile skeleton around it. *)
+     rebuild the volatile skeleton around it.  If the header's seal is
+     broken (bit flip), fall back to the newest replica whose sealed record
+     validates; raise {!Ptm_intf.Unrecoverable} when no unambiguous
+     candidate exists. *)
   let recover t =
     Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
-    let hdr = Seqtid.of_int64 (Pmem.get_word t.pm header_addr) in
-    let ci = Seqtid.idx hdr in
+    let ci =
+      match Pmem.Checksum.unseal (Pmem.get_word t.pm header_addr) with
+      | Some p ->
+          let ci = Seqtid.idx (Seqtid.of_int64 (Int64.of_int p)) in
+          if ci < 0 || ci >= t.nrep then
+            unrecoverable
+              (Printf.sprintf "curComb header names replica %d of %d" ci
+                 t.nrep);
+          ci
+      | None ->
+          (* Newest validated record wins; a tie between distinct replicas
+             is ambiguous (one of them may have lost a race and reverted),
+             so refuse rather than risk silent corruption. *)
+          let best = ref None in
+          let suspect = ref false in
+          for i = 0 to min t.nrep max_records - 1 do
+            let w = Pmem.get_word t.pm (record_addr i) in
+            match Pmem.Checksum.unseal w with
+            | Some p ->
+                let st = Seqtid.of_int64 (Int64.of_int p) in
+                if Seqtid.idx st = i then begin
+                  let seq = Seqtid.seq st in
+                  match !best with
+                  | None -> best := Some (seq, i, false)
+                  | Some (bseq, _, _) ->
+                      if seq > bseq then best := Some (seq, i, false)
+                      else if seq = bseq then
+                        best :=
+                          Some (bseq, i, true) (* ambiguous tie *)
+                end
+                else suspect := true (* never written with a foreign idx *)
+            | None ->
+                (* Records are only ever written sealed or zeroed
+                   (invalidation), so a nonzero word that fails to unseal is
+                   itself corrupt — and may hide the true newest replica, so
+                   falling back to an older one would silently roll back
+                   committed transactions. *)
+                if not (Int64.equal w 0L) then suspect := true
+          done;
+          if !suspect then
+            unrecoverable
+              "curComb header and a replica record are both corrupt; \
+               surviving records may be stale";
+          (match !best with
+          | None ->
+              unrecoverable
+                "curComb header corrupt and no replica record validates"
+          | Some (_, _, true) ->
+              unrecoverable
+                "curComb header corrupt and newest replica records tie"
+          | Some (_, i, false) ->
+              Obs.recovery_fell_back ();
+              i)
+    in
     t.queue <- Sync_prims.Turn_queue.create ~num_threads:t.num_threads dummy_payload;
     let sentinel = Sync_prims.Turn_queue.sentinel t.queue in
     Array.iteri
@@ -492,13 +594,29 @@ module Make (M : MODE) = struct
     Atomic.set t.persisted 0;
     (* Tickets restart at 0 in the new epoch: rewrite the durable header
        accordingly, or its stale (huge) ticket would win every
-       monotonicity check and keep designating a pre-crash replica. *)
+       monotonicity check and keep designating a pre-crash replica.  The
+       replica records restart with it: only [ci] is consistent now. *)
     let old = Pmem.get_word t.pm header_addr in
     ignore
       (Pmem.cas_word t.pm ~tid:0 header_addr ~expected:old
-         ~desired:(Seqtid.to_int64 (Seqtid.pack ~seq:0 ~tid:0 ~idx:ci)));
-    Pmem.pwb t.pm ~tid:0 header_addr;
+         ~desired:(seal_hdr (Seqtid.pack ~seq:0 ~tid:0 ~idx:ci)));
+    for i = 0 to min t.nrep max_records - 1 do
+      Pmem.set_word t.pm ~tid:0 (record_addr i)
+        (if i = ci then seal_hdr (Seqtid.pack ~seq:0 ~tid:0 ~idx:i) else 0L)
+    done;
+    Pmem.pwb_range t.pm ~tid:0 header_addr (record_addr (min t.nrep max_records - 1));
     Pmem.psync t.pm ~tid:0
+
+  (* Durable metadata: the sealed curComb header and the replica records
+     sharing its cache line. *)
+  let meta_ranges t = [ (header_addr, record_addr (min t.nrep max_records - 1)) ]
+
+  let crash_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips =
+    Pmem.crash_with_faults t.pm ~seed ~evict_prob ~torn_prob;
+    if bitflips > 0 then
+      Pmem.corrupt_words_in t.pm ~seed:(seed + 0x0bf1) ~count:bitflips
+        ~ranges:(meta_ranges t);
+    recover t
 
   let crash_and_recover t =
     Pmem.crash t.pm;

@@ -16,12 +16,29 @@
     Divergence noted for EXPERIMENTS.md: our simulated CLWB staging is
     per-thread, so the post-commit application flush needs its own fence;
     this OneFile executes 3 fences per update transaction where the original
-    needs 2.  Relative ordering versus the other PTMs is unaffected. *)
+    needs 2.  Relative ordering versus the other PTMs is unaffected.
+
+    Durable-metadata hardening (media-fault model): the commit header and
+    each log slot's header are sealed words ({!Pmem.Checksum.seal} — a slot
+    header packs [seq] and [n] into one atomically-persisting word), and
+    every log entry carries a digest of its (seq, addr, val) triple.  Log
+    slots are double-buffered per thread: a combiner alternates between two
+    slots, flipping only after a successful commit, so the slot named by the
+    durable commit header is never under concurrent overwrite — recovery can
+    therefore insist on finding it intact and blame any validation failure
+    on media corruption ({!Ptm_intf.Unrecoverable}).  Logs older than the
+    committed one were fully applied and flushed before the commit header
+    could advance past them (combining is serialized), so recovery replays
+    only the committed log. *)
 
 let name = "OneFile"
 
 let max_read_tries = 8
-let entry_words = 3 (* seq, addr, val *)
+let entry_words = 4 (* seq, addr, val, digest *)
+
+(* Slot-header payload: [seq lsl n_bits lor n] in a 48-bit sealed payload. *)
+let n_bits = 24
+let n_mask = (1 lsl n_bits) - 1
 
 type request = {
   f : tx -> int64;
@@ -42,6 +59,7 @@ and t = {
   applied_seq : int Atomic.t; (* last fully applied seq *)
   combining : int Atomic.t; (* 0 = free, else combiner tid + 1 *)
   announce : request option Atomic.t array;
+  parity : int array; (* which of the two log slots each tid writes next *)
   bd : Breakdown.t;
 }
 
@@ -59,9 +77,11 @@ let header_seq = 0
 let create ~num_threads ~words () =
   if words <= Palloc.heap_base then invalid_arg "Onefile.create: words";
   let log_cap = max 4096 words in
-  let slot_words = ((2 + (log_cap * entry_words)) + 7) / 8 * 8 in
+  if log_cap > n_mask then invalid_arg "Onefile.create: words too large";
+  let slot_words = ((1 + (log_cap * entry_words)) + 7) / 8 * 8 in
   let log_base = 64 in
-  let val_base = log_base + (num_threads * slot_words) in
+  (* Two slots per thread (double buffering, see the header comment). *)
+  let val_base = log_base + (2 * num_threads * slot_words) in
   let seq_base = val_base + words in
   let pm =
     Pmem.create ~max_threads:num_threads ~words:(seq_base + words) ()
@@ -80,6 +100,7 @@ let create ~num_threads ~words () =
       applied_seq = Atomic.make 0;
       combining = Atomic.make 0;
       announce = Array.init num_threads (fun _ -> Atomic.make None);
+      parity = Array.make num_threads 0;
       bd = Breakdown.create ~num_threads;
     }
   in
@@ -90,7 +111,11 @@ let create ~num_threads ~words () =
     }
   in
   Palloc.format mem ~words;
+  (* Sealed commit header for sequence 0: an all-zero word would read as
+     corrupt, and every later recovery unseals this word. *)
+  Pmem.set_word pm ~tid:0 header_seq (Pmem.Checksum.seal 0);
   Pmem.pwb_range pm ~tid:0 val_base (val_base + Palloc.heap_base - 1);
+  Pmem.pwb pm ~tid:0 header_seq;
   Pmem.psync pm ~tid:0;
   t
 
@@ -128,7 +153,10 @@ let mem_of_tx tx = { Palloc.get = get tx; set = set tx }
 let alloc tx n = Palloc.alloc (mem_of_tx tx) n
 let dealloc tx a = Palloc.dealloc (mem_of_tx tx) a
 
-let slot_base t tid = t.log_base + (tid * t.slot_words)
+let slot_base t tid pbit = t.log_base + (((2 * tid) + pbit) * t.slot_words)
+
+let entry_digest seq addr v =
+  Pmem.Checksum.digest [| Int64.of_int seq; Int64.of_int addr; v |]
 
 (* One combining round: execute every pending announced request inside a
    single serialized transaction, persist its redo log, commit, apply. *)
@@ -155,25 +183,32 @@ let combine t ~tid =
       let seq = Atomic.get t.cur_tx + 1 in
       let n = Wset.length tx.wset in
       if n > t.log_cap then failwith "Onefile: redo log overflow";
+      if seq >= 1 lsl (Pmem.Checksum.payload_bits - n_bits) then
+        failwith "Onefile: sequence overflow";
+      let pbit = t.parity.(tid) in
       (* 1. Persist the redo log, fence. *)
       Breakdown.timed t.bd ~tid Flush (fun () ->
-          let base = slot_base t tid in
-          Pmem.set_word t.pm ~tid base (Int64.of_int seq);
-          Pmem.set_word t.pm ~tid (base + 1) (Int64.of_int n);
-          let k = ref (base + 2) in
+          let base = slot_base t tid pbit in
+          Pmem.set_word t.pm ~tid base
+            (Pmem.Checksum.seal ((seq lsl n_bits) lor n));
+          let k = ref (base + 1) in
           Wset.iter_redo tx.wset (fun addr v ->
               Pmem.set_word t.pm ~tid !k (Int64.of_int seq);
               Pmem.set_word t.pm ~tid (!k + 1) (Int64.of_int addr);
               Pmem.set_word t.pm ~tid (!k + 2) v;
+              Pmem.set_word t.pm ~tid (!k + 3) (entry_digest seq addr v);
               k := !k + entry_words);
           if n > 0 then Pmem.pwb_range t.pm ~tid base (!k - 1)
           else Pmem.pwb t.pm ~tid base;
           Pmem.pfence t.pm ~tid;
-          (* 2. Commit point: persist the header sequence. *)
-          Pmem.set_word t.pm ~tid header_seq (Int64.of_int seq);
+          (* 2. Commit point: persist the sealed header sequence. *)
+          Pmem.set_word t.pm ~tid header_seq (Pmem.Checksum.seal seq);
           Pmem.pwb t.pm ~tid header_seq;
           Pmem.psync t.pm ~tid);
       Atomic.set t.cur_tx seq;
+      (* Only now may this thread's *other* slot be reused: the slot named
+         by the durable commit header is never concurrently overwritten. *)
+      t.parity.(tid) <- 1 - pbit;
       (* 3. Apply in place: seq tag first, then the value, so optimistic
          readers always detect a word in flux; one double word per store. *)
       Breakdown.timed t.bd ~tid Apply (fun () ->
@@ -246,41 +281,89 @@ let read_only t ~tid f =
   in
   attempt max_read_tries
 
+let unrecoverable detail =
+  Obs.recovery_unrecoverable ();
+  raise (Ptm_intf.Unrecoverable { ptm = name; detail })
+
+(* Decode a slot's durable sealed header: (seq, n), or None if the slot was
+   never written / belongs to an uncommitted combine torn mid-write / was
+   corrupted. *)
+let slot_header t base =
+  match Pmem.Checksum.unseal (Pmem.get_word t.pm base) with
+  | None -> None
+  | Some payload -> Some (payload lsr n_bits, payload land n_mask)
+
 let recover t =
   Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
-  (* Re-apply every durable, committed, complete redo log in sequence
-     order; skips logs newer than the committed header. *)
-  let committed = Int64.to_int (Pmem.get_word t.pm header_seq) in
-  let logs = ref [] in
-  for tid = 0 to t.num_threads - 1 do
-    let base = slot_base t tid in
-    let seq = Int64.to_int (Pmem.get_word t.pm base) in
-    let n = Int64.to_int (Pmem.get_word t.pm (base + 1)) in
-    if seq > 0 && seq <= committed && n >= 0 && n <= t.log_cap then begin
-      let ok = ref true in
-      for i = 0 to n - 1 do
-        let e = base + 2 + (i * entry_words) in
-        if Int64.to_int (Pmem.get_word t.pm e) <> seq then ok := false
-      done;
-      if !ok then logs := (seq, base, n) :: !logs
-    end
-  done;
-  List.iter
-    (fun (seq, base, n) ->
-      for i = 0 to n - 1 do
-        let e = base + 2 + (i * entry_words) in
-        let addr = Int64.to_int (Pmem.get_word t.pm (e + 1)) in
-        let v = Pmem.get_word t.pm (e + 2) in
-        (* Only repair words whose durable tag is not newer: a surviving old
-           log must never clobber a later committed (and flushed) value. *)
-        if Int64.to_int (Pmem.get_word t.pm (t.seq_base + addr)) <= seq then begin
-          Pmem.set_word t.pm ~tid:0 (t.seq_base + addr) (Int64.of_int seq);
-          Pmem.set_word t.pm ~tid:0 (t.val_base + addr) v;
-          Pmem.pwb t.pm ~tid:0 (t.val_base + addr);
-          Pmem.pwb t.pm ~tid:0 (t.seq_base + addr)
-        end
-      done)
-    (List.sort compare !logs);
+  (* Re-apply the redo log the sealed commit header names.  Older logs were
+     fully applied and flushed before the header could advance past them
+     (combining is serialized), and newer slots were never committed, so the
+     committed log is the only one recovery may replay.  Double buffering
+     guarantees its slot was not under overwrite at crash time: the sealed
+     commit header vouches for it, so any validation failure is media
+     corruption, not a torn crash. *)
+  let committed =
+    match Pmem.Checksum.unseal (Pmem.get_word t.pm header_seq) with
+    | Some c -> c
+    | None ->
+        unrecoverable
+          (Printf.sprintf "commit header corrupt (%Lx)"
+             (Pmem.get_word t.pm header_seq))
+  in
+  (if committed > 0 then
+     let found = ref None in
+     for tid = 0 to t.num_threads - 1 do
+       for pbit = 0 to 1 do
+         let base = slot_base t tid pbit in
+         match slot_header t base with
+         | Some (seq, n) when seq = committed -> found := Some (tid, pbit, base, n)
+         | Some _ | None -> ()
+       done
+     done;
+     match !found with
+     | None ->
+         unrecoverable
+           (Printf.sprintf "log slot for committed seq %d missing or corrupt"
+              committed)
+     | Some (tid_c, pbit_c, base, n) ->
+         if n > t.log_cap then
+           unrecoverable (Printf.sprintf "committed log length %d corrupt" n);
+         for i = 0 to n - 1 do
+           let e = base + 1 + (i * entry_words) in
+           let seq = Int64.to_int (Pmem.get_word t.pm e) in
+           let addr = Int64.to_int (Pmem.get_word t.pm (e + 1)) in
+           let v = Pmem.get_word t.pm (e + 2) in
+           if
+             seq <> committed
+             || not (Int64.equal (entry_digest seq addr v)
+                       (Pmem.get_word t.pm (e + 3)))
+           then
+             unrecoverable
+               (Printf.sprintf "committed log entry %d corrupt" i);
+           if addr < 0 || addr >= t.words then
+             unrecoverable
+               (Printf.sprintf "committed log entry %d: address %d out of \
+                                region" i addr)
+         done;
+         for i = 0 to n - 1 do
+           let e = base + 1 + (i * entry_words) in
+           let addr = Int64.to_int (Pmem.get_word t.pm (e + 1)) in
+           let v = Pmem.get_word t.pm (e + 2) in
+           (* Only repair words whose durable tag is not newer: a replayed
+              log must never clobber a later flushed value (idempotent
+              across double crashes). *)
+           if Int64.to_int (Pmem.get_word t.pm (t.seq_base + addr)) <= committed
+           then begin
+             Pmem.set_word t.pm ~tid:0 (t.seq_base + addr)
+               (Int64.of_int committed);
+             Pmem.set_word t.pm ~tid:0 (t.val_base + addr) v;
+             Pmem.pwb t.pm ~tid:0 (t.val_base + addr);
+             Pmem.pwb t.pm ~tid:0 (t.seq_base + addr)
+           end
+         done;
+         (* The committed slot must stay intact until the next commit:
+            resume its owner's alternation on the other slot. *)
+         t.parity.(tid_c) <- 1 - pbit_c);
   Pmem.psync t.pm ~tid:0;
   Atomic.set t.cur_tx committed;
   Atomic.set t.applied_seq committed;
@@ -295,8 +378,35 @@ let crash_with_evictions t ~seed ~prob =
   Pmem.crash_with_evictions t.pm ~seed ~prob;
   recover t
 
+(* Durable metadata: the commit header plus every log slot with a valid
+   durable header (its header word and the entries it names).  Slots whose
+   header does not unseal are skipped by recovery, so flips there would be
+   no-ops; the header word itself is still a target. *)
+let meta_ranges t =
+  let acc = ref [ (header_seq, header_seq) ] in
+  for tid = t.num_threads - 1 downto 0 do
+    for pbit = 1 downto 0 do
+      let base = slot_base t tid pbit in
+      match
+        Pmem.Checksum.unseal (Pmem.durable_word t.pm base)
+      with
+      | Some payload ->
+          let n = min (payload land n_mask) t.log_cap in
+          acc := (base, base + (n * entry_words)) :: !acc
+      | None -> acc := (base, base) :: !acc
+    done
+  done;
+  !acc
+
+let crash_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips =
+  Pmem.crash_with_faults t.pm ~seed ~evict_prob ~torn_prob;
+  if bitflips > 0 then
+    Pmem.corrupt_words_in t.pm ~seed:(seed + 0x0bf1) ~count:bitflips
+      ~ranges:(meta_ranges t);
+  recover t
+
 let nvm_usage_words t =
   let mem = { Palloc.get = (fun a -> Pmem.get_word t.pm (t.val_base + a)); set = (fun _ _ -> ()) } in
-  Palloc.used_words mem + t.words (* seq-tag shadow words *) + (t.num_threads * t.slot_words)
+  Palloc.used_words mem + t.words (* seq-tag shadow words *) + (2 * t.num_threads * t.slot_words)
 
 let volatile_usage_words _t = 0

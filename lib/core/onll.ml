@@ -21,6 +21,17 @@
     fresh instance; every operation that returned lies inside that prefix
     because its appender fenced a contiguous range.
 
+    Media-fault hardening: entries span cache lines, so a torn write-back
+    can persist an entry's tag line without its argument line.  The tag
+    word is therefore {e content-sealed} — {!Pmem.Checksum.seal} over the
+    global sequence number with the digest of the entry body as cover —
+    and written last; recovery truncates the log at the first entry whose
+    seal does not validate (torn line, bit flip, or stale epoch alike) and
+    durably wipes the suffix.  The superblock (snapshot selector + folded
+    sequence) is one sealed word, so it can neither tear nor silently
+    flip; if its seal is broken nothing designates a consistent snapshot
+    and recovery raises {!Ptm_intf.Unrecoverable}.
+
     Simplification (documented in DESIGN.md): when the log fills up, a
     checkpoint (snapshot of a caught-up instance + log truncation) runs
     under a global lock; ONLL's published construction amortizes this
@@ -54,11 +65,30 @@ and t = {
 
 and tx = { p : t; replica : Bytes.t; tid : int; ro : bool }
 
-(* persistent superblock *)
-let sb_snap_sel = 0
-let sb_snap_seq = 1
+(* Persistent superblock: one sealed word packing [(base_seq lsl 1) lor
+   snap_sel].  A single word persists atomically, so selector and sequence
+   can never be split by a torn write-back. *)
+let sb_addr = 0
+let sb_seal ~base_seq ~sel = Pmem.Checksum.seal ((base_seq lsl 1) lor sel)
 
 let log_entry t i = t.log_base + (i * entry_words)
+
+(* Digest of an entry's body (opcode word + argument slots), the cover for
+   its sealed tag.  Unused argument slots are zeroed by the appender so the
+   cover is a pure function of the logical operation. *)
+let entry_cover t e =
+  Pmem.Checksum.digest
+    (Array.init (entry_words - 1) (fun k -> Pmem.get_word t.pm (e + 1 + k)))
+
+let unrecoverable detail =
+  Obs.recovery_unrecoverable ();
+  raise (Ptm_intf.Unrecoverable { ptm = name; detail })
+
+(* (base_seq, sel); raises when the superblock's seal is broken. *)
+let sb_decode_exn w =
+  match Pmem.Checksum.unseal w with
+  | Some p -> (p lsr 1, p land 1)
+  | None -> unrecoverable "superblock corrupt: snapshot selector/sequence lost"
 
 let create ~num_threads ~words () =
   if words <= Palloc.heap_base then invalid_arg "Onll.create: words";
@@ -98,9 +128,8 @@ let create ~num_threads ~words () =
   in
   Palloc.format mem ~words;
   Pmem.pwb_range pm ~tid:0 snap0 (snap0 + words - 1);
-  Pmem.set_word pm ~tid:0 sb_snap_sel 0L;
-  Pmem.set_word pm ~tid:0 sb_snap_seq 0L;
-  Pmem.pwb pm ~tid:0 sb_snap_sel;
+  Pmem.set_word pm ~tid:0 sb_addr (sb_seal ~base_seq:0 ~sel:0);
+  Pmem.pwb pm ~tid:0 sb_addr;
   Pmem.psync pm ~tid:0;
   (* load every volatile replica from the snapshot *)
   Array.iter
@@ -175,7 +204,8 @@ let checkpoint t ~tid =
       ignore (Sync_prims.Backoff.once b)
     done;
     ignore (catch_up t ~tid n);
-    let sel = 1 - Int64.to_int (Pmem.get_word t.pm sb_snap_sel) in
+    let _, cur_sel = sb_decode_exn (Pmem.get_word t.pm sb_addr) in
+    let sel = 1 - cur_sel in
     let base = t.snap_base.(sel) in
     let r = t.replicas.(tid) in
     for w = 0 to t.words - 1 do
@@ -184,9 +214,8 @@ let checkpoint t ~tid =
     Pmem.pwb_range t.pm ~tid base (base + t.words - 1);
     Pmem.pfence t.pm ~tid;
     t.base_seq <- t.base_seq + n;
-    Pmem.set_word t.pm ~tid sb_snap_seq (Int64.of_int t.base_seq);
-    Pmem.set_word t.pm ~tid sb_snap_sel (Int64.of_int sel);
-    Pmem.pwb t.pm ~tid sb_snap_sel;
+    Pmem.set_word t.pm ~tid sb_addr (sb_seal ~base_seq:t.base_seq ~sel);
+    Pmem.pwb t.pm ~tid sb_addr;
     Pmem.psync t.pm ~tid;
     (* restart the log; replicas other than ours are now "behind zero" and
        resynchronize from our image *)
@@ -226,9 +255,15 @@ let rec invoke t ~tid opcode args =
     Pmem.set_word t.pm ~tid (e + 1)
       (Int64.of_int ((opcode lsl 8) lor Array.length args));
     Array.iteri (fun k v -> Pmem.set_word t.pm ~tid (e + 2 + k) v) args;
-    (* global-sequence tag: also invalidates stale entries from previous
-       log epochs after a checkpoint truncation *)
-    Pmem.set_word t.pm ~tid e (Int64.of_int (t.base_seq + i + 1));
+    for k = Array.length args to max_args - 1 do
+      Pmem.set_word t.pm ~tid (e + 2 + k) 0L
+    done;
+    (* content-sealed global-sequence tag, written last: it validates the
+       entry body it covers, so recovery rejects the entry if its lines
+       persisted only partially (torn write-back), a word was flipped, or
+       it belongs to a previous log epoch after a checkpoint truncation *)
+    Pmem.set_word t.pm ~tid e
+      (Pmem.Checksum.seal ~cover:(entry_cover t e) (t.base_seq + i + 1));
     Atomic.set t.ready.(i) true;
     (* single fence: flush my entry and any complete predecessors so the
        durable prefix is contiguous up to me *)
@@ -264,15 +299,24 @@ let read_only t ~tid f =
 
 let recover t =
   Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
-  let sel = Int64.to_int (Pmem.get_word t.pm sb_snap_sel) in
+  let base_seq, sel = sb_decode_exn (Pmem.get_word t.pm sb_addr) in
   let base = t.snap_base.(sel) in
-  t.base_seq <- Int64.to_int (Pmem.get_word t.pm sb_snap_seq);
-  (* longest contiguous valid prefix of the current log epoch *)
+  t.base_seq <- base_seq;
+  (* Longest contiguous valid prefix of the current log epoch: an entry
+     whose content-sealed tag does not validate — torn write-back, bit
+     flip, or a stale tag from a previous epoch — ends the log.  A benign
+     eviction hole and a corrupted entry are indistinguishable here, so
+     both truncate; every operation that {e returned} fenced a contiguous
+     prefix covering itself and is therefore retained. *)
   let n = ref 0 in
   (try
      for i = 0 to t.log_cap - 1 do
-       if Int64.to_int (Pmem.get_word t.pm (log_entry t i)) <> t.base_seq + i + 1
-       then raise Exit;
+       let e = log_entry t i in
+       (match
+          Pmem.Checksum.unseal ~cover:(entry_cover t e) (Pmem.get_word t.pm e)
+        with
+       | Some p when p = t.base_seq + i + 1 -> ()
+       | Some _ | None -> raise Exit);
        incr n
      done
    with Exit -> ());
@@ -287,10 +331,22 @@ let recover t =
   Array.iteri (fun i rd -> Atomic.set rd (i < !n)) t.ready;
   Atomic.set t.tail !n;
   Atomic.set t.fenced !n;
-  (* wipe any torn suffix so reused slots validate cleanly *)
+  (* wipe any invalid suffix — durably, so a later crash cannot resurrect
+     it — and record whether real residue (not just empty slots) was cut *)
+  let cut = ref false in
   for i = !n to t.log_cap - 1 do
-    Pmem.set_word t.pm ~tid:0 (log_entry t i) 0L
+    let e = log_entry t i in
+    if not (Int64.equal (Pmem.get_word t.pm e) 0L) then cut := true;
+    for k = 0 to entry_words - 1 do
+      Pmem.set_word t.pm ~tid:0 (e + k) 0L
+    done
   done;
+  if !n < t.log_cap then begin
+    Pmem.pwb_range t.pm ~tid:0 (log_entry t !n)
+      (log_entry t t.log_cap - 1);
+    Pmem.psync t.pm ~tid:0
+  end;
+  if !cut then Obs.recovery_truncated_log ();
   ignore (catch_up t ~tid:0 !n)
 
 let crash_and_recover t =
@@ -299,4 +355,42 @@ let crash_and_recover t =
 
 let crash_with_evictions t ~seed ~prob =
   Pmem.crash_with_evictions t.pm ~seed ~prob;
+  recover t
+
+(* Durable metadata: the superblock word and the tags/bodies of the valid
+   durable log prefix (at least one entry slot, so a flip lands somewhere
+   detectable even when the log is empty).  Call after a crash, on the
+   durable image. *)
+let meta_ranges t =
+  let n =
+    match Pmem.Checksum.unseal (Pmem.durable_word t.pm sb_addr) with
+    | None -> 1
+    | Some p ->
+        let bseq = p lsr 1 in
+        let n = ref 0 in
+        (try
+           for i = 0 to t.log_cap - 1 do
+             let e = log_entry t i in
+             let cover =
+               Pmem.Checksum.digest
+                 (Array.init (entry_words - 1) (fun k ->
+                      Pmem.durable_word t.pm (e + 1 + k)))
+             in
+             (match
+                Pmem.Checksum.unseal ~cover (Pmem.durable_word t.pm e)
+              with
+             | Some q when q = bseq + i + 1 -> ()
+             | Some _ | None -> raise Exit);
+             incr n
+           done
+         with Exit -> ());
+        max 1 !n
+  in
+  [ (sb_addr, sb_addr); (t.log_base, t.log_base + (n * entry_words) - 1) ]
+
+let crash_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips =
+  Pmem.crash_with_faults t.pm ~seed ~evict_prob ~torn_prob;
+  if bitflips > 0 then
+    Pmem.corrupt_words_in t.pm ~seed:(seed + 0x0bf1) ~count:bitflips
+      ~ranges:(meta_ranges t);
   recover t

@@ -48,6 +48,19 @@ val read_only : t -> tid:int -> (tx -> int64) -> int64
 
 val crash_and_recover : t -> unit
 val crash_with_evictions : t -> seed:int -> prob:float -> unit
+
+(** Crash under the media-fault model (torn write-backs of dirty lines,
+    then [bitflips] single-bit corruptions confined to {!meta_ranges}),
+    then recover.  Recovery truncates the log at the first entry whose
+    content-sealed tag fails to validate; it raises
+    {!Ptm_intf.Unrecoverable} only if the sealed superblock itself is
+    corrupt.  Deterministic in [seed]. *)
+val crash_with_faults :
+  t -> seed:int -> evict_prob:float -> torn_prob:float -> bitflips:int -> unit
+
+(** Durable-metadata word ranges (superblock + valid durable log prefix);
+    meaningful after a crash, on the durable image. *)
+val meta_ranges : t -> (int * int) list
 val pmem : t -> Pmem.t
 val stats : t -> Pmem.Stats.snapshot
 val breakdown : t -> Breakdown.t

@@ -2,3 +2,16 @@
     per-range undo log ("2+2R fences"), in-place stores flushed at commit,
     one global transaction lock, single replica. *)
 include Ptm_intf.S
+
+(** The log-hardening knob, exposed so that fault-injection tests can build
+    a de-checksummed mutant (à la [RedoNoFence]) and prove the media-fault
+    sweeps catch it. *)
+module type CONFIG = sig
+  val name : string
+
+  (** When false, the undo-log count is a raw integer word and entries are
+      not validated at recovery. *)
+  val checksum_log : bool
+end
+
+module Make (C : CONFIG) : Ptm_intf.S

@@ -14,6 +14,16 @@
     requires.  Results are [int64], mirroring the paper's [results[N]]
     array through which helpers hand results back. *)
 
+(** Raised by recovery when no consistent durable image exists: every
+    candidate copy of the durable metadata (log header, replica record,
+    main/back flag, ...) failed its checksum validation, so presenting any
+    state would risk silent corruption.  [ptm] names the implementation,
+    [detail] says which structure was damaged.  Under the media-fault model
+    this can only follow injected bit flips ({!Pmem.corrupt_words}): clean
+    crashes, evictions and torn write-backs always leave at least one
+    validated image. *)
+exception Unrecoverable of { ptm : string; detail : string }
+
 module type S = sig
   val name : string
 
@@ -62,6 +72,26 @@ module type S = sig
   (** Same, but first lets each dirty, unflushed cache line survive with
       probability [prob] (random cache evictions). *)
   val crash_with_evictions : t -> seed:int -> prob:float -> unit
+
+  (** [crash_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips] crashes
+      under the full media-fault model: dirty lines are evicted with
+      probability [evict_prob], evicted lines are torn with probability
+      [torn_prob] (see {!Pmem.crash_with_faults}), and after the crash
+      [bitflips] random single-bit flips are injected into the durable
+      metadata words reported by {!meta_ranges}; then recovery runs.
+      @raise Unrecoverable if recovery finds no consistent durable image
+      (possible only when [bitflips > 0]). *)
+  val crash_with_faults :
+    t -> seed:int -> evict_prob:float -> torn_prob:float -> bitflips:int -> unit
+
+  (** Inclusive word ranges (physical addresses) of the durable metadata
+      this PTM validates during recovery: checksummed log headers/entries,
+      sealed state words, replica records.  Computed from the current
+      durable image — call it post-crash for fault targeting.  Flips outside
+      these ranges land in user payload words, which carry no redundancy by
+      design and are therefore undetectable (the fault model corrupts
+      metadata to test the detectors, not the data plane). *)
+  val meta_ranges : t -> (int * int) list
 
   (** {2 Introspection} *)
 

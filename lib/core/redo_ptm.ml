@@ -93,6 +93,33 @@ module Make (C : CONFIG) = struct
 
   let header_addr = 0
 
+  (* Durable-metadata hardening (media-fault model), same scheme as CX: the
+     [curComb] header is stored sealed ({!Pmem.Checksum.seal}) — the word
+     embeds a validity tag and persists atomically — and each replica [i]
+     (up to the 62 that fit on the header line) keeps a sealed fallback
+     record at word [1 + i] carrying its (head ticket, replica index),
+     refreshed under the pre-publication fence, so recovery can fall back
+     to the newest validated replica when the header itself is bit-flip
+     corrupt.  Records are retired (best effort, unfenced) when a replica
+     is acquired for mutation and again after a lost transition race. *)
+
+  let max_records = 62
+  let record_addr i = 1 + i
+
+  let unrecoverable detail =
+    Obs.recovery_unrecoverable ();
+    raise (Ptm_intf.Unrecoverable { ptm = C.name; detail })
+
+  let seal_hdr st = Pmem.Checksum.seal (Int64.to_int (Seqtid.to_int64 st))
+
+  (* Outside recovery the header always unseals (recovery rewrites it before
+     handing the instance back), so failure here means the volatile image
+     was corrupted under us — surface it rather than decode garbage. *)
+  let hdr_exn w =
+    match Pmem.Checksum.unseal w with
+    | Some p -> Seqtid.of_int64 (Int64.of_int p)
+    | None -> unrecoverable (Printf.sprintf "curComb header corrupt (%Lx)" w)
+
   let create ~num_threads ~words () =
     if words <= Palloc.heap_base then invalid_arg (C.name ^ ".create: words");
     let nrep = num_threads + 1 in
@@ -152,8 +179,10 @@ module Make (C : CONFIG) = struct
     Palloc.format mem ~words;
     Pmem.pwb_range pm ~tid:0 (base 0) (base 0 + words - 1);
     Pmem.set_word pm ~tid:0 header_addr
-      (Seqtid.to_int64 (Seqtid.pack ~seq:0 ~tid:0 ~idx:0));
-    Pmem.pwb pm ~tid:0 header_addr;
+      (seal_hdr (Seqtid.pack ~seq:0 ~tid:0 ~idx:0));
+    Pmem.set_word pm ~tid:0 (record_addr 0)
+      (seal_hdr (Seqtid.pack ~seq:0 ~tid:0 ~idx:0));
+    Pmem.pwb_range pm ~tid:0 header_addr (record_addr 0);
     Pmem.psync pm ~tid:0;
     t
 
@@ -199,11 +228,11 @@ module Make (C : CONFIG) = struct
         if Seqtid.seq cur < seq then bump ()
         else begin
           let old = Pmem.get_word t.pm header_addr in
-          if Seqtid.seq (Seqtid.of_int64 old) < Seqtid.seq cur then
+          if Seqtid.seq (hdr_exn old) < Seqtid.seq cur then
             ignore
               (Pmem.cas_word t.pm ~tid header_addr ~expected:old
-                 ~desired:(Seqtid.to_int64 cur));
-          let now = Seqtid.seq (Seqtid.of_int64 (Pmem.get_word t.pm header_addr)) in
+                 ~desired:(seal_hdr cur));
+          let now = Seqtid.seq (hdr_exn (Pmem.get_word t.pm header_addr)) in
           if now < seq then bump ()
           else begin
             Pmem.pwb t.pm ~tid header_addr;
@@ -331,7 +360,7 @@ module Make (C : CONFIG) = struct
      [st], replayed lines in [extra_dirty], or the whole region after a
      plain copy), then fence: the replica is durable before we try to make
      it [curComb]. *)
-  let flush_before_transition t ~tid c st =
+  let flush_before_transition t ~tid c st ~tkt =
     Breakdown.timed t.bd ~tid Flush (fun () ->
         if c.full_flush then begin
           Pmem.pwb_range t.pm ~tid c.base (c.base + t.words - 1);
@@ -360,6 +389,16 @@ module Make (C : CONFIG) = struct
               Pmem.pwb t.pm ~tid (c.base + (line * Pmem.words_per_line)))
             c.extra_dirty;
           Hashtbl.reset c.extra_dirty
+        end;
+        (* Refresh this replica's fallback record under the same fence that
+           proves the replica consistent: no extra fence.  [tkt] is the
+           ticket the replica is about to carry ([c.head] is only advanced
+           after this flush). *)
+        let i = (c.base - 64) / t.words in
+        if i < max_records then begin
+          Pmem.set_word t.pm ~tid (record_addr i)
+            (seal_hdr (Seqtid.pack ~seq:(Seqtid.seq tkt) ~tid:0 ~idx:i));
+          Pmem.pwb t.pm ~tid (record_addr i)
         end;
         if not C.omit_prepub_fence then Pmem.pfence t.pm ~tid)
 
@@ -434,10 +473,17 @@ module Make (C : CONFIG) = struct
             (* {5} acquire a Combined instance *)
             (match !locked with
             | Some _ -> ()
-            | None ->
+            | None -> (
                 locked :=
                   acquire_comb t ~tid ~give_up:(fun () ->
-                      my_op_applied t ~tid <> None));
+                      my_op_applied t ~tid <> None);
+                (* Best-effort: retire the fallback record before the
+                   replica can become inconsistent under us. *)
+                match !locked with
+                | Some ci when ci < max_records ->
+                    Pmem.set_word t.pm ~tid (record_addr ci) 0L;
+                    Pmem.pwb t.pm ~tid (record_addr ci)
+                | Some _ | None -> ()));
             match !locked with
             | None -> iter := 2 (* helped: fall through to completion *)
             | Some ci ->
@@ -476,7 +522,7 @@ module Make (C : CONFIG) = struct
                               Atomic.set new_st.applied.(i) ann
                       done);
                   (* flush deferred pwbs; replica durable before publication *)
-                  flush_before_transition t ~tid c new_st;
+                  flush_before_transition t ~tid c new_st ~tkt;
                   Atomic.set c.head tkt;
                   (* {8} downgrade so readers may enter when we win *)
                   Sync_prims.Rwlock.downgrade c.rwlock ~tid;
@@ -495,6 +541,12 @@ module Make (C : CONFIG) = struct
                     Sync_prims.Rwlock.upgrade c.rwlock ~tid;
                     Atomic.set c.head tail;
                     apply_undo_log t ~tid c new_st;
+                    (* The record written under the pre-publication fence
+                       overstates this reverted replica: retire it. *)
+                    if ci < max_records then begin
+                      Pmem.set_word t.pm ~tid (record_addr ci) 0L;
+                      Pmem.pwb t.pm ~tid (record_addr ci)
+                    end;
                     Wset.reset new_st.log;
                     incr iter
                   end
@@ -587,11 +639,65 @@ module Make (C : CONFIG) = struct
   and update t ~tid f = update_impl t ~tid f
 
   (* Null recovery: reload the consistent replica designated by the durable
-     header and rebuild the volatile consensus skeleton. *)
+     header and rebuild the volatile consensus skeleton.  If the header's
+     seal is broken (bit flip), fall back to the newest replica whose sealed
+     record validates; raise {!Ptm_intf.Unrecoverable} when no unambiguous
+     candidate exists. *)
   let recover t =
     Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
-    let hdr = Seqtid.of_int64 (Pmem.get_word t.pm header_addr) in
-    let ci = Seqtid.idx hdr in
+    let ci =
+      match Pmem.Checksum.unseal (Pmem.get_word t.pm header_addr) with
+      | Some p ->
+          let ci = Seqtid.idx (Seqtid.of_int64 (Int64.of_int p)) in
+          if ci < 0 || ci >= t.nrep then
+            unrecoverable
+              (Printf.sprintf "curComb header names replica %d of %d" ci
+                 t.nrep);
+          ci
+      | None ->
+          (* Newest validated record wins; a tie between distinct replicas
+             is ambiguous (one of them may have lost a race and reverted),
+             so refuse rather than risk silent corruption. *)
+          let best = ref None in
+          let suspect = ref false in
+          for i = 0 to min t.nrep max_records - 1 do
+            let w = Pmem.get_word t.pm (record_addr i) in
+            match Pmem.Checksum.unseal w with
+            | Some p ->
+                let st = Seqtid.of_int64 (Int64.of_int p) in
+                if Seqtid.idx st = i then begin
+                  let seq = Seqtid.seq st in
+                  match !best with
+                  | None -> best := Some (seq, i, false)
+                  | Some (bseq, _, _) ->
+                      if seq > bseq then best := Some (seq, i, false)
+                      else if seq = bseq then
+                        best := Some (bseq, i, true) (* ambiguous tie *)
+                end
+                else suspect := true (* never written with a foreign idx *)
+            | None ->
+                (* Records are only ever written sealed or zeroed
+                   (invalidation), so a nonzero word that fails to unseal is
+                   itself corrupt — and may hide the true newest replica, so
+                   falling back to an older one would silently roll back
+                   committed transactions. *)
+                if not (Int64.equal w 0L) then suspect := true
+          done;
+          if !suspect then
+            unrecoverable
+              "curComb header and a replica record are both corrupt; \
+               surviving records may be stale";
+          (match !best with
+          | None ->
+              unrecoverable
+                "curComb header corrupt and no replica record validates"
+          | Some (_, _, true) ->
+              unrecoverable
+                "curComb header corrupt and newest replica records tie"
+          | Some (_, i, false) ->
+              Obs.recovery_fell_back ();
+              i)
+    in
     Array.iteri
       (fun i c ->
         (* Lock state is volatile: reset owner word and reader count. *)
@@ -620,12 +726,18 @@ module Make (C : CONFIG) = struct
     (* The recovered epoch restarts at seq 0 on the recovered replica. *)
     Atomic.set t.cur_comb (Seqtid.pack ~seq:0 ~tid:t.num_threads ~idx:ci);
     Atomic.set t.persisted 0;
-    (* Reset the durable header to the new epoch's seq numbering. *)
+    (* Reset the durable header to the new epoch's seq numbering; the
+       replica records restart with it — only [ci] is consistent now. *)
     let old = Pmem.get_word t.pm header_addr in
     ignore
       (Pmem.cas_word t.pm ~tid:0 header_addr ~expected:old
-         ~desired:(Seqtid.to_int64 (Seqtid.pack ~seq:0 ~tid:t.num_threads ~idx:ci)));
-    Pmem.pwb t.pm ~tid:0 header_addr;
+         ~desired:(seal_hdr (Seqtid.pack ~seq:0 ~tid:t.num_threads ~idx:ci)));
+    for i = 0 to min t.nrep max_records - 1 do
+      Pmem.set_word t.pm ~tid:0 (record_addr i)
+        (if i = ci then seal_hdr (Seqtid.pack ~seq:0 ~tid:0 ~idx:i) else 0L)
+    done;
+    Pmem.pwb_range t.pm ~tid:0 header_addr
+      (record_addr (min t.nrep max_records - 1));
     Pmem.psync t.pm ~tid:0
 
   let crash_and_recover t =
@@ -634,6 +746,17 @@ module Make (C : CONFIG) = struct
 
   let crash_with_evictions t ~seed ~prob =
     Pmem.crash_with_evictions t.pm ~seed ~prob;
+    recover t
+
+  (* Durable metadata: the sealed curComb header and the replica records
+     sharing its cache line. *)
+  let meta_ranges t = [ (header_addr, record_addr (min t.nrep max_records - 1)) ]
+
+  let crash_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips =
+    Pmem.crash_with_faults t.pm ~seed ~evict_prob ~torn_prob;
+    if bitflips > 0 then
+      Pmem.corrupt_words_in t.pm ~seed:(seed + 0x0bf1) ~count:bitflips
+        ~ranges:(meta_ranges t);
     recover t
 
   let nvm_usage_words t =

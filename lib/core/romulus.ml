@@ -16,10 +16,13 @@
 
 let name = "RomulusLR"
 
-(* persistent state word values *)
-let st_idle = 0L
-let st_mutating = 1L
-let st_copying = 2L
+(* Persistent state word values, sealed (Checksum.seal): the word embeds a
+   16-bit validity tag, so recovery can tell the three legitimate states
+   from a bit-flipped one.  A single 64-bit word persists atomically, so the
+   seal can never be torn off its payload. *)
+let st_idle = Pmem.Checksum.seal 0
+let st_mutating = Pmem.Checksum.seal 1
+let st_copying = Pmem.Checksum.seal 2
 
 type t = {
   pm : Pmem.t;
@@ -199,6 +202,22 @@ let read_only t ~tid f =
 let recover t =
   Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
   let st = Pmem.get_word t.pm state_addr in
+  if
+    not
+      (Int64.equal st st_idle || Int64.equal st st_mutating
+      || Int64.equal st st_copying)
+  then begin
+    (* The state word is the only arbiter of which replica is whole; with
+       its seal broken neither replica can be trusted. *)
+    Obs.recovery_unrecoverable ();
+    raise
+      (Ptm_intf.Unrecoverable
+         {
+           ptm = name;
+           detail =
+             Printf.sprintf "state word corrupt (durable value %Lx)" st;
+         })
+  end;
   if Int64.equal st st_mutating then
     (* main may be torn: restore it from back *)
     Pmem.blit_words t.pm ~tid:0 ~src:t.back_base ~dst:t.main_base t.words
@@ -223,6 +242,15 @@ let crash_and_recover t =
 
 let crash_with_evictions t ~seed ~prob =
   Pmem.crash_with_evictions t.pm ~seed ~prob;
+  recover t
+
+let meta_ranges _t = [ (state_addr, state_addr) ]
+
+let crash_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips =
+  Pmem.crash_with_faults t.pm ~seed ~evict_prob ~torn_prob;
+  if bitflips > 0 then
+    Pmem.corrupt_words_in t.pm ~seed:(seed + 0x0bf1) ~count:bitflips
+      ~ranges:(meta_ranges t);
   recover t
 
 let nvm_usage_words t =

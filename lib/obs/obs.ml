@@ -736,3 +736,27 @@ let rwlock_contended ~tid =
 
 let backoff_yielded ~tid =
   if Metrics.is_on () then Metrics.incr backoff_yields ~tid
+
+(* Media-fault and hardened-recovery instruments.  Fault injection happens
+   on a quiesced region (at/after a simulated crash), so the counters are
+   attributed to tid 0. *)
+let fault_torn = Metrics.counter "pmem.fault.torn_line"
+let fault_flip = Metrics.counter "pmem.fault.bit_flip"
+let recovery_fallbacks = Metrics.counter "ptm.recovery.fallback"
+let recovery_truncations = Metrics.counter "ptm.recovery.log_truncated"
+let recovery_failures = Metrics.counter "ptm.recovery.unrecoverable"
+
+let torn_line_persisted () =
+  if Metrics.is_on () then Metrics.incr fault_torn ~tid:0
+
+let bit_flip_injected () =
+  if Metrics.is_on () then Metrics.incr fault_flip ~tid:0
+
+let recovery_fell_back () =
+  if Metrics.is_on () then Metrics.incr recovery_fallbacks ~tid:0
+
+let recovery_truncated_log () =
+  if Metrics.is_on () then Metrics.incr recovery_truncations ~tid:0
+
+let recovery_unrecoverable () =
+  if Metrics.is_on () then Metrics.incr recovery_failures ~tid:0

@@ -174,3 +174,24 @@ val replica_copied : tid:int -> unit
 val rwlock_acquired : tid:int -> unit
 val rwlock_contended : tid:int -> unit
 val backoff_yielded : tid:int -> unit
+
+(** {2 Media-fault and hardened-recovery instruments} — counted on tid 0,
+    since fault injection and recovery run on a quiesced region. *)
+
+val torn_line_persisted : unit -> unit
+(** A dirty line was persisted only partially ([pmem.fault.torn_line]). *)
+
+val bit_flip_injected : unit -> unit
+(** A durable word had one bit flipped ([pmem.fault.bit_flip]). *)
+
+val recovery_fell_back : unit -> unit
+(** Recovery abandoned corrupt primary metadata for a validated fallback
+    replica ([ptm.recovery.fallback]). *)
+
+val recovery_truncated_log : unit -> unit
+(** Recovery rolled a log back to its last intact entry
+    ([ptm.recovery.log_truncated]). *)
+
+val recovery_unrecoverable : unit -> unit
+(** Recovery found no consistent durable image and raised
+    ([ptm.recovery.unrecoverable]). *)

@@ -1,0 +1,36 @@
+(* 64-bit mixing, digests and self-validating sealed words for durable
+   metadata.  See checksum.mli for the design rationale. *)
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let fold acc w = mix (Int64.logxor (Int64.mul acc 0x9e3779b97f4a7c15L) w)
+
+let digest words = Array.fold_left fold 0x51ed270b35af7e01L words
+
+(* Sealed words: [payload] (48 bits) | [tag] (16 bits).  The tag is the top
+   16 bits of [mix (payload lxor salt) `fold` cover].  The salt guarantees
+   that an all-zero word (fresh, wiped or lost region contents) never
+   unseals: every valid sealed word must have been written explicitly. *)
+
+let payload_bits = 48
+let payload_mask = (1 lsl payload_bits) - 1
+let salt = 0xa0761d6478bd642fL
+
+let[@inline] tag_of ~cover payload =
+  let h = fold (mix (Int64.logxor (Int64.of_int payload) salt)) cover in
+  Int64.to_int (Int64.shift_right_logical h payload_bits) land 0xffff
+
+let seal ?(cover = 0L) payload =
+  if payload < 0 || payload > payload_mask then
+    invalid_arg "Checksum.seal: payload out of 48-bit range";
+  Int64.logor (Int64.of_int payload)
+    (Int64.shift_left (Int64.of_int (tag_of ~cover payload)) payload_bits)
+
+let unseal ?(cover = 0L) w =
+  let payload = Int64.to_int (Int64.logand w (Int64.of_int payload_mask)) in
+  let tag = Int64.to_int (Int64.shift_right_logical w payload_bits) land 0xffff in
+  if tag = tag_of ~cover payload then Some payload else None

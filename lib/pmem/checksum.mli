@@ -1,0 +1,41 @@
+(** Checksums and self-validating ("sealed") words for durable metadata.
+
+    The media-fault model ({!Pmem.crash_with_faults}, {!Pmem.corrupt_words})
+    can tear a cache line at word granularity and flip bits inside durable
+    words.  Two consequences for metadata design:
+
+    - any multi-word durable record can be observed partially written, so
+      records need a checksum over the covered words, and
+    - any {e single} 64-bit word still persists atomically (8-byte atomic
+      persists are the paper's baseline assumption), so a word that embeds
+      its own validity tag can be updated and recovered atomically.
+
+    A {e sealed word} packs a payload of up to 48 bits together with a 16-bit
+    tag derived from the payload (and an optional [cover] digest of the words
+    the payload vouches for).  Torn write-back cannot split payload from tag,
+    and a bit flip invalidates the tag with probability [1 - 2^-16].  A salt
+    in the tag derivation ensures the all-zero word never unseals, so fresh
+    or deliberately wiped metadata reads as invalid. *)
+
+(** splitmix64 finalizer: a cheap 64-bit mixing permutation. *)
+val mix : int64 -> int64
+
+(** [fold acc w] absorbs word [w] into digest accumulator [acc]. *)
+val fold : int64 -> int64 -> int64
+
+(** [digest ws] folds all words of [ws] from a fixed non-zero seed. *)
+val digest : int64 array -> int64
+
+(** Number of payload bits in a sealed word (48). *)
+val payload_bits : int
+
+(** [seal ?cover p] packs payload [p] (non-negative, < 2^48) with its tag.
+    [cover] mixes an external digest into the tag, binding the sealed word to
+    the contents it describes.  @raise Invalid_argument if [p] is out of
+    range. *)
+val seal : ?cover:int64 -> int -> int64
+
+(** [unseal ?cover w] returns the payload iff the tag matches (same [cover]
+    as at seal time).  [None] means the word was torn off another epoch,
+    corrupted, or never written. *)
+val unseal : ?cover:int64 -> int64 -> int option

@@ -1,3 +1,5 @@
+module Checksum = Checksum
+
 let words_per_line = 8 (* 64-byte cache lines of 64-bit words *)
 
 exception Crash_injected
@@ -44,6 +46,9 @@ type t = {
   mutable plan : plan;
   mutable frozen : bool;
   injected : int Atomic.t;
+  (* Media-fault counters (see crash_with_faults / corrupt_words). *)
+  torn_lines : int Atomic.t;
+  bit_flips : int Atomic.t;
 }
 
 (* Device model: approximate per-line write-back latency (see .mli). *)
@@ -74,6 +79,8 @@ let create ~max_threads ~words () =
     plan = No_plan;
     frozen = false;
     injected = Atomic.make 0;
+    torn_lines = Atomic.make 0;
+    bit_flips = Atomic.make 0;
   }
 
 let[@inline] check_addr t addr =
@@ -308,6 +315,82 @@ let crash_with_evictions t ~seed ~prob =
   done;
   crash t
 
+(* Torn write-back: persist only some of the line's 8 words.  Half the time
+   a prefix (a write-back interrupted mid-line), half the time an arbitrary
+   proper subset (word-granularity store reordering inside the line).  Every
+   single word still persists atomically — 8-byte atomic persists are the
+   model's baseline — so a torn line can never yield a torn word. *)
+let writeback_line_torn t rng line =
+  let off = line * words_per_line in
+  (if Random.State.bool rng then begin
+     let k = 1 + Random.State.int rng (words_per_line - 1) in
+     copy_words_raw t.data t.durable ~src_off:off ~dst_off:off k
+   end
+   else begin
+     (* nonempty proper subset: mask in [1, 2^8 - 2] *)
+     let mask = 1 + Random.State.int rng ((1 lsl words_per_line) - 2) in
+     for i = 0 to words_per_line - 1 do
+       if mask land (1 lsl i) <> 0 then
+         copy_words_raw t.data t.durable ~src_off:(off + i) ~dst_off:(off + i) 1
+     done
+   end);
+  Atomic.incr t.torn_lines;
+  Obs.torn_line_persisted ()
+
+let crash_with_faults t ~seed ~evict_prob ~torn_prob =
+  if not (evict_prob >= 0.0 && evict_prob <= 1.0) then
+    invalid_arg "Pmem.crash_with_faults: evict_prob not in [0, 1]";
+  if not (torn_prob >= 0.0 && torn_prob <= 1.0) then
+    invalid_arg "Pmem.crash_with_faults: torn_prob not in [0, 1]";
+  let rng = Random.State.make [| seed; 0xfa17 |] in
+  for line = 0 to t.nlines - 1 do
+    if Bytes.get t.dirty line = '\001' && Random.State.float rng 1.0 < evict_prob
+    then
+      if Random.State.float rng 1.0 < torn_prob then
+        writeback_line_torn t rng line
+      else writeback_line_raw t line
+  done;
+  crash t
+
+let corrupt_words_in t ~seed ~count ~ranges =
+  if count < 0 then invalid_arg "Pmem.corrupt_words_in: count < 0";
+  let ranges =
+    List.filter
+      (fun (lo, hi) ->
+        check_addr t lo;
+        check_addr t hi;
+        lo <= hi)
+      ranges
+  in
+  let total = List.fold_left (fun n (lo, hi) -> n + hi - lo + 1) 0 ranges in
+  if total > 0 then begin
+    let rng = Random.State.make [| seed; 0xb17f |] in
+    for _ = 1 to count do
+      let i = Random.State.int rng total in
+      let rec pick i = function
+        | [] -> assert false
+        | (lo, hi) :: tl -> if i <= hi - lo then lo + i else pick (i - (hi - lo + 1)) tl
+      in
+      let addr = pick i ranges in
+      let bit = Random.State.int rng 64 in
+      let flip img =
+        Bytes.set_int64_le img (addr * 8)
+          (Int64.logxor (Bytes.get_int64_le img (addr * 8))
+             (Int64.shift_left 1L bit))
+      in
+      (* A media error corrupts the durable copy; mirror it into the
+         volatile image too so that this can be called on a quiesced,
+         post-crash region without racing the cache model. *)
+      flip t.durable;
+      flip t.data;
+      Atomic.incr t.bit_flips;
+      Obs.bit_flip_injected ()
+    done
+  end
+
+let corrupt_words t ~seed ~count =
+  corrupt_words_in t ~seed ~count ~ranges:[ (0, t.words - 1) ]
+
 let durable_word t addr =
   check_addr t addr;
   Bytes.get_int64_le t.durable (addr * 8)
@@ -345,6 +428,8 @@ module Stats = struct
     words_copied : int;
     steps : int;
     crashes_injected : int;
+    torn_lines : int;
+    bit_flips : int;
   }
 
   let zero =
@@ -357,6 +442,8 @@ module Stats = struct
       words_copied = 0;
       steps = 0;
       crashes_injected = 0;
+      torn_lines = 0;
+      bit_flips = 0;
     }
 
   let add a b =
@@ -369,6 +456,8 @@ module Stats = struct
       words_copied = a.words_copied + b.words_copied;
       steps = a.steps + b.steps;
       crashes_injected = a.crashes_injected + b.crashes_injected;
+      torn_lines = a.torn_lines + b.torn_lines;
+      bit_flips = a.bit_flips + b.bit_flips;
     }
 
   let diff a b =
@@ -381,6 +470,8 @@ module Stats = struct
       words_copied = a.words_copied - b.words_copied;
       steps = a.steps - b.steps;
       crashes_injected = a.crashes_injected - b.crashes_injected;
+      torn_lines = a.torn_lines - b.torn_lines;
+      bit_flips = a.bit_flips - b.bit_flips;
     }
 
   let fences s = s.pfence + s.psync
@@ -388,9 +479,9 @@ module Stats = struct
   let pp ppf s =
     Format.fprintf ppf
       "pwb=%d pfence=%d psync=%d ntstore=%d written=%d copied=%d steps=%d \
-       injected=%d"
+       injected=%d torn=%d flips=%d"
       s.pwb s.pfence s.psync s.ntstore s.words_written s.words_copied s.steps
-      s.crashes_injected
+      s.crashes_injected s.torn_lines s.bit_flips
 end
 
 let snapshot_of_counters c =
@@ -403,6 +494,8 @@ let snapshot_of_counters c =
     words_copied = c.(c_words_copied);
     steps = 0;
     crashes_injected = 0;
+    torn_lines = 0;
+    bit_flips = 0;
   }
 
 let stats_of_tid t ~tid = snapshot_of_counters t.counters.(tid)
@@ -418,6 +511,8 @@ let stats t =
     base with
     Stats.steps = Atomic.get t.steps;
     crashes_injected = Atomic.get t.injected;
+    torn_lines = Atomic.get t.torn_lines;
+    bit_flips = Atomic.get t.bit_flips;
   }
 
 let reset_stats t =

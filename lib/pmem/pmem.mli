@@ -23,6 +23,10 @@
     the caller (the PTMs guarantee this with per-replica exclusive locks).
     Word reads/writes use aligned 64-bit accesses and do not tear. *)
 
+(** Checksums and sealed self-validating words for durable metadata
+    (re-exported: [Pmem] is this library's root module). *)
+module Checksum : module type of Checksum
+
 type t
 
 (** Raised by an armed crash-injection plan (see {!section:inject}) at the
@@ -114,6 +118,35 @@ val crash : t -> unit
     Correct algorithms must recover from any such outcome. *)
 val crash_with_evictions : t -> seed:int -> prob:float -> unit
 
+(** [crash_with_faults t ~seed ~evict_prob ~torn_prob] is the media-fault
+    superset of {!crash_with_evictions}: each dirty line is evicted with
+    probability [evict_prob], and each evicted line is additionally {e torn}
+    with probability [torn_prob] — only a random nonempty proper subset of
+    its 8 words reaches the durable image (half the time a prefix, modelling
+    a write-back cut short; half the time an arbitrary subset, modelling
+    word-granularity reordering).  Individual 64-bit words always persist
+    atomically, matching the paper's 8-byte atomic-persist baseline: tearing
+    breaks multi-word atomicity only.  Deterministic from [seed] (a
+    different stream from [crash_with_evictions], even at [torn_prob = 0]).
+    Torn lines are counted in {!Stats} and the [pmem.fault.torn_line]
+    metric. *)
+val crash_with_faults :
+  t -> seed:int -> evict_prob:float -> torn_prob:float -> unit
+
+(** [corrupt_words t ~seed ~count] flips one random bit in each of [count]
+    randomly drawn durable words (media errors).  The flip is mirrored into
+    the volatile image, so call it on a quiesced region — normally right
+    after a crash, before recovery.  Deterministic from [seed]; counted in
+    {!Stats} and the [pmem.fault.bit_flip] metric. *)
+val corrupt_words : t -> seed:int -> count:int -> unit
+
+(** [corrupt_words_in t ~seed ~count ~ranges] restricts {!corrupt_words} to
+    the union of the given inclusive word ranges (empty ranges are skipped);
+    used to target durable metadata, where corruption is detectable, rather
+    than user payload words, which carry no redundancy by design. *)
+val corrupt_words_in :
+  t -> seed:int -> count:int -> ranges:(int * int) list -> unit
+
 (** [durable_word t addr] reads the durable image directly (test oracle). *)
 val durable_word : t -> int -> int64
 
@@ -174,6 +207,8 @@ module Stats : sig
     words_copied : int;
     steps : int; (* persistence-relevant events seen while tracking *)
     crashes_injected : int; (* Crash_injected raised so far *)
+    torn_lines : int; (* lines persisted partially by crash_with_faults *)
+    bit_flips : int; (* words corrupted by corrupt_words[_in] *)
   }
 
   val zero : snapshot

@@ -238,6 +238,15 @@ let crash_and_recover t =
   ignore (delete t ~tid:0 "__recovery_probe__");
   Unix.gettimeofday () -. t0
 
+let crash_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips =
+  let t0 = Unix.gettimeofday () in
+  match P.crash_with_faults t.p ~seed ~evict_prob ~torn_prob ~bitflips with
+  | () ->
+      put t ~tid:0 ~key:"__recovery_probe__" ~value:"x";
+      ignore (delete t ~tid:0 "__recovery_probe__");
+      Ok (Unix.gettimeofday () -. t0)
+  | exception Ptm.Ptm_intf.Unrecoverable { detail; _ } -> Error detail
+
 let stats t = P.stats t.p
 let reset_stats t = Pmem.reset_stats (P.pmem t.p)
 let memory_usage t = (P.nvm_usage_words t.p, P.volatile_usage_words t.p)

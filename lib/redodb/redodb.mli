@@ -5,6 +5,20 @@
 
 include Db_intf.S
 
+(** Crash under the media-fault model of the backing RedoOpt PTM (torn
+    write-backs, then [bitflips] bit flips in the PTM's durable metadata)
+    and recover.  [Ok elapsed] mirrors {!crash_and_recover}'s timing
+    (recovery plus the first-transaction probe); [Error detail] reports a
+    {!Ptm.Ptm_intf.Unrecoverable} image refused by the hardened recovery —
+    only possible when [bitflips > 0]. *)
+val crash_with_faults :
+  t ->
+  seed:int ->
+  evict_prob:float ->
+  torn_prob:float ->
+  bitflips:int ->
+  (float, string) result
+
 (** {1 Iteration (the paper's "extended with iterator capabilities")} *)
 
 (** A cursor over a consistent snapshot of the database, ordered by key. *)

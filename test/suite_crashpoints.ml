@@ -6,25 +6,33 @@
    Quick tests sample the crash surface; the full per-step sweeps (strict
    and with random cache evictions) run under `Slow (alcotest -e).
 
-   [mutant_suites] instantiates a deliberately broken Redo configuration
-   that skips the pfence before the [curComb] transition and asserts the
-   eviction sweep *catches* it — the sweep must detect real durability
-   bugs, not just rubber-stamp correct PTMs. *)
+   Media-fault sweeps ride the same machinery: torn write-backs
+   (--torn-prob) must never cost recoverability — metadata is fenced
+   before it names anything — while bit-flip rounds (--bitflips, strict
+   crashes) may end in Ptm_intf.Unrecoverable (counted as detections) but
+   never in silent divergence.
+
+   [mutant_suites] instantiates deliberately broken configurations and
+   asserts the sweeps *catch* them — the sweep must detect real durability
+   bugs, not just rubber-stamp correct PTMs: a Redo that skips the pfence
+   before the [curComb] transition (caught by the eviction sweep), and a
+   PMDK whose undo log drops its checksums (caught by the bit-flip
+   sweep). *)
 
 module CE = Ptm.Crash_explorer
+
+let check_clean name (r : CE.report) =
+  List.iter
+    (fun (v : CE.violation) ->
+      Printf.printf "VIOLATION [%s] step=%d: %s\n  repro: %s\n" r.ptm v.step
+        v.detail v.repro)
+    r.violations;
+  Alcotest.(check int) (name ^ ": violations") 0 (List.length r.violations)
 
 module Make (P : Ptm.Ptm_intf.S) = struct
   module E = CE.Make (P)
 
   let ops = CE.default_ops ~n:12 ~seed:42 ()
-
-  let check_clean name (r : CE.report) =
-    List.iter
-      (fun (v : CE.violation) ->
-        Printf.printf "VIOLATION [%s] step=%d: %s\n  repro: %s\n" r.ptm v.step
-          v.detail v.repro)
-      r.violations;
-    Alcotest.(check int) (name ^ ": violations") 0 (List.length r.violations)
 
   let test_sampled_strict () =
     let total = E.total_steps ~ops () in
@@ -50,6 +58,28 @@ module Make (P : Ptm.Ptm_intf.S) = struct
   let test_full_evictions () =
     check_clean "full evictions" (E.sweep_all ~evict_prob:0.5 ~seed:42 ~ops ())
 
+  let test_sampled_torn () =
+    let total = E.total_steps ~ops () in
+    let steps = CE.sample_steps ~total ~count:15 in
+    check_clean "torn sample"
+      (E.sweep ~evict_prob:0.7 ~torn_prob:1.0 ~seed:42 ~ops ~steps ())
+
+  (* Acceptance sweep: with every at-crash eviction tearing, every crash
+     point must still recover durably-linearizably — correct PTMs fence
+     metadata before it names anything, so no fenced line can tear. *)
+  let test_full_torn () =
+    check_clean "full torn (torn-prob 1.0)"
+      (E.sweep_all ~evict_prob:0.7 ~torn_prob:1.0 ~seed:42 ~ops ())
+
+  (* Bit-flip rounds use strict crashes: an eviction can legitimately drop
+     a just-written replica record, and a flip in the header on top of
+     that is a two-fault scenario outside the single-fault contract. *)
+  let test_sampled_bitflips () =
+    let total = E.total_steps ~ops () in
+    let steps = CE.sample_steps ~total ~count:25 in
+    let r = E.sweep ~bitflips:2 ~seed:42 ~ops ~steps () in
+    check_clean "strict bit flips" r
+
   let suites =
     [
       ( "crashpoints[" ^ P.name ^ "]",
@@ -58,8 +88,53 @@ module Make (P : Ptm.Ptm_intf.S) = struct
           Alcotest.test_case "sampled eviction sweep" `Quick
             test_sampled_evictions;
           Alcotest.test_case "probabilistic injection" `Quick test_probabilistic;
+          Alcotest.test_case "sampled torn sweep" `Quick test_sampled_torn;
+          Alcotest.test_case "sampled bit-flip sweep" `Quick
+            test_sampled_bitflips;
           Alcotest.test_case "full strict sweep" `Slow test_full_strict;
           Alcotest.test_case "full eviction sweep" `Slow test_full_evictions;
+          Alcotest.test_case "full torn sweep" `Slow test_full_torn;
+        ] );
+    ]
+end
+
+(* ONLL is not a Ptm_intf.S, so it gets its own sweep harness. *)
+module Onll_tests = struct
+  module OS = CE.Onll_sweep
+
+  let ops = CE.default_ops ~n:12 ~seed:42 ()
+
+  let test_sampled_strict () =
+    let total = OS.total_steps ~ops () in
+    if total <= 0 then Alcotest.fail "ONLL workload produced no steps";
+    let steps = CE.sample_steps ~total ~count:25 in
+    check_clean "ONLL strict sample" (OS.sweep ~seed:42 ~ops ~steps ())
+
+  let test_sampled_torn () =
+    let total = OS.total_steps ~ops () in
+    let steps = CE.sample_steps ~total ~count:15 in
+    check_clean "ONLL torn sample"
+      (OS.sweep ~evict_prob:0.7 ~torn_prob:1.0 ~seed:42 ~ops ~steps ())
+
+  let test_full_torn () =
+    check_clean "ONLL full torn"
+      (OS.sweep_all ~evict_prob:0.7 ~torn_prob:1.0 ~seed:42 ~ops ())
+
+  let test_sampled_bitflips () =
+    let total = OS.total_steps ~ops () in
+    let steps = CE.sample_steps ~total ~count:25 in
+    check_clean "ONLL strict bit flips"
+      (OS.sweep ~bitflips:2 ~seed:42 ~ops ~steps ())
+
+  let suites =
+    [
+      ( "crashpoints[ONLL]",
+        [
+          Alcotest.test_case "sampled strict sweep" `Quick test_sampled_strict;
+          Alcotest.test_case "sampled torn sweep" `Quick test_sampled_torn;
+          Alcotest.test_case "sampled bit-flip sweep" `Quick
+            test_sampled_bitflips;
+          Alcotest.test_case "full torn sweep" `Slow test_full_torn;
         ] );
     ]
 end
@@ -85,11 +160,30 @@ let test_mutant_caught () =
   Alcotest.(check bool)
     "sweep flags the missing pre-publication fence" true (r.violations <> [])
 
+(* Deliberately de-checksummed PMDK: the undo-log count is a raw word and
+   entries carry no digests, so a bit flip in the log silently corrupts the
+   rollback instead of being refused with Unrecoverable. *)
+module Broken_pmdk = Ptm.Pmdk_sim.Make (struct
+  let name = "PmdkNoSum"
+  let checksum_log = false
+end)
+
+module E_broken_pmdk = CE.Make (Broken_pmdk)
+
+let test_desum_mutant_caught () =
+  let ops = CE.default_ops ~n:12 ~seed:42 () in
+  let r = E_broken_pmdk.sweep_all ~bitflips:2 ~seed:42 ~ops () in
+  Alcotest.(check bool)
+    "bit-flip sweep flags the de-checksummed undo log" true
+    (r.violations <> [])
+
 let mutant_suites =
   [
     ( "crashpoints[mutant]",
       [
         Alcotest.test_case "RedoNoFence caught by eviction sweep" `Quick
           test_mutant_caught;
+        Alcotest.test_case "PmdkNoSum caught by bit-flip sweep" `Quick
+          test_desum_mutant_caught;
       ] );
   ]

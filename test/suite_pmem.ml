@@ -296,6 +296,118 @@ let test_rounds_to_line () =
   let pm = Pmem.create ~max_threads:1 ~words:9 () in
   Alcotest.(check int) "rounded up" 16 (Pmem.size_words pm)
 
+let test_checksum_seal_roundtrip () =
+  List.iter
+    (fun p ->
+      match Pmem.Checksum.unseal (Pmem.Checksum.seal p) with
+      | Some p' -> Alcotest.(check int) "payload round-trips" p p'
+      | None -> Alcotest.failf "seal %d did not unseal" p)
+    [ 0; 1; 42; (1 lsl 48) - 1 ];
+  let cover = Pmem.Checksum.digest [| 1L; 2L; 3L |] in
+  (match Pmem.Checksum.unseal ~cover (Pmem.Checksum.seal ~cover 7) with
+  | Some 7 -> ()
+  | _ -> Alcotest.fail "covered seal did not round-trip");
+  Alcotest.(check bool) "wrong cover rejected" true
+    (Pmem.Checksum.unseal ~cover:(Pmem.Checksum.digest [| 1L; 2L; 4L |])
+       (Pmem.Checksum.seal ~cover 7)
+    = None);
+  Alcotest.(check bool) "all-zero word never unseals" true
+    (Pmem.Checksum.unseal 0L = None);
+  Alcotest.check_raises "payload range checked"
+    (Invalid_argument "Checksum.seal: payload out of 48-bit range") (fun () ->
+      ignore (Pmem.Checksum.seal (-1)))
+
+let test_checksum_detects_bit_flips () =
+  (* every single-bit flip of this sealed word must invalidate it (each
+     flip misses detection with probability 2^-16; the assertion is
+     deterministic for the fixed payload) *)
+  let w = Pmem.Checksum.seal 0x1234_5678_9abc in
+  for bit = 0 to 63 do
+    let flipped = Int64.logxor w (Int64.shift_left 1L bit) in
+    match Pmem.Checksum.unseal flipped with
+    | None -> ()
+    | Some p -> Alcotest.failf "flip of bit %d unseals to %d" bit p
+  done
+
+let test_faulty_crash_deterministic () =
+  let run seed =
+    let pm = mk () in
+    for a = 0 to 1023 do
+      Pmem.set_word pm ~tid:0 a (Int64.of_int (a + 1))
+    done;
+    Pmem.crash_with_faults pm ~seed ~evict_prob:0.6 ~torn_prob:0.8;
+    let image = Array.init 1024 (fun a -> Pmem.get_word pm a) in
+    (image, (Pmem.stats pm).Pmem.Stats.torn_lines)
+  in
+  let img1, torn1 = run 5 and img2, torn2 = run 5 in
+  Alcotest.(check bool) "same seed, same durable image" true (img1 = img2);
+  Alcotest.(check int) "same seed, same torn count" torn1 torn2;
+  Alcotest.(check bool) "some lines torn" true (torn1 > 0)
+
+let test_fenced_lines_never_tear () =
+  (* tearing only applies to at-crash evictions of dirty lines; a line
+     made durable through pwb+pfence is clean and must survive intact *)
+  let pm = mk () in
+  for a = 64 to 71 do
+    Pmem.set_word pm ~tid:0 a 7L
+  done;
+  Pmem.pwb pm ~tid:0 64;
+  Pmem.pfence pm ~tid:0;
+  for a = 128 to 135 do
+    Pmem.set_word pm ~tid:0 a 9L
+  done;
+  Pmem.crash_with_faults pm ~seed:3 ~evict_prob:1.0 ~torn_prob:1.0;
+  for a = 64 to 71 do
+    Alcotest.check i64 "fenced line intact" 7L (Pmem.get_word pm a)
+  done
+
+let test_torn_line_is_partial () =
+  (* evict_prob=1 torn_prob=1: the dirty line persists a nonempty proper
+     subset of its words — never all 8, never none *)
+  let pm = mk () in
+  for a = 64 to 71 do
+    Pmem.set_word pm ~tid:0 a 5L
+  done;
+  Pmem.crash_with_faults pm ~seed:11 ~evict_prob:1.0 ~torn_prob:1.0;
+  let survived = ref 0 in
+  for a = 64 to 71 do
+    if Pmem.get_word pm a = 5L then incr survived
+  done;
+  Alcotest.(check bool) "partial persistence" true
+    (!survived > 0 && !survived < 8);
+  Alcotest.(check int) "torn line counted" 1
+    (Pmem.stats pm).Pmem.Stats.torn_lines
+
+let test_corrupt_words_in () =
+  let pm = mk () in
+  for a = 0 to 127 do
+    Pmem.set_word pm ~tid:0 a 0L
+  done;
+  Pmem.pwb_range pm ~tid:0 0 127;
+  Pmem.psync pm ~tid:0;
+  let flip seed =
+    let pm2 = mk () in
+    Pmem.corrupt_words_in pm2 ~seed ~count:4 ~ranges:[ (16, 31) ];
+    Array.init 128 (fun a -> Pmem.durable_word pm2 a)
+  in
+  let img1 = flip 9 and img2 = flip 9 in
+  Alcotest.(check bool) "deterministic from seed" true (img1 = img2);
+  Pmem.corrupt_words_in pm ~seed:9 ~count:4 ~ranges:[ (16, 31) ];
+  for a = 0 to 127 do
+    if a < 16 || a > 31 then
+      Alcotest.check i64 "flips stay inside the ranges" 0L
+        (Pmem.durable_word pm a)
+  done;
+  let corrupted = ref 0 in
+  for a = 16 to 31 do
+    if Pmem.durable_word pm a <> 0L then incr corrupted
+  done;
+  Alcotest.(check bool) "some words corrupted" true (!corrupted > 0);
+  Alcotest.(check int) "bit flips counted" 4
+    (Pmem.stats pm).Pmem.Stats.bit_flips;
+  Alcotest.check i64 "flip mirrored into volatile image"
+    (Pmem.durable_word pm 16) (Pmem.get_word pm 16)
+
 let qcheck_durable_model =
   (* Property: after an arbitrary sequence of stores / pwb / pfence and a
      strict crash, the surviving image matches a reference model where only
@@ -365,6 +477,17 @@ let suites =
           test_inject_probabilistic;
         Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
         Alcotest.test_case "rounds to line size" `Quick test_rounds_to_line;
+        Alcotest.test_case "checksum seal round-trip" `Quick
+          test_checksum_seal_roundtrip;
+        Alcotest.test_case "checksum detects bit flips" `Quick
+          test_checksum_detects_bit_flips;
+        Alcotest.test_case "faulty crash deterministic" `Quick
+          test_faulty_crash_deterministic;
+        Alcotest.test_case "fenced lines never tear" `Quick
+          test_fenced_lines_never_tear;
+        Alcotest.test_case "torn line is partial" `Quick
+          test_torn_line_is_partial;
+        Alcotest.test_case "corrupt_words_in" `Quick test_corrupt_words_in;
         QCheck_alcotest.to_alcotest qcheck_durable_model;
       ] );
   ]

@@ -2,13 +2,14 @@
    (not just once at the end), across a sweep of eviction probabilities,
    for each PTM.  Catches bugs that only appear after repeated
    crash-recover epochs (e.g. stale durable headers, state reuse across
-   epochs). *)
+   epochs).  Torn-epoch and concurrent variants exercise the media-fault
+   crash path ([crash_with_faults]) under the same oracle. *)
 
 module Make (P : Ptm.Ptm_intf.S) = struct
   module H = Pds.Hash_set.Make (P)
   module I64Set = Set.Make (Int64)
 
-  let run_epochs ~epochs ~batch ~evict_prob ~seed =
+  let run_epochs ?(torn_prob = 0.) ~epochs ~batch ~evict_prob ~seed () =
     let p = P.create ~num_threads:2 ~words:(1 lsl 15) () in
     H.init p ~tid:0 ~slot:1;
     let model = ref I64Set.empty in
@@ -25,7 +26,10 @@ module Make (P : Ptm.Ptm_intf.S) = struct
           model := I64Set.remove k !model
         end
       done;
-      if evict_prob <= 0. then P.crash_and_recover p
+      if torn_prob > 0. then
+        P.crash_with_faults p ~seed:(seed + epoch) ~evict_prob ~torn_prob
+          ~bitflips:0
+      else if evict_prob <= 0. then P.crash_and_recover p
       else P.crash_with_evictions p ~seed:(seed + epoch) ~prob:evict_prob;
       Alcotest.(check int)
         (Printf.sprintf "cardinality (epoch %d)" epoch)
@@ -38,12 +42,55 @@ module Make (P : Ptm.Ptm_intf.S) = struct
         !model
     done
 
-  let test_many_epochs_strict () = run_epochs ~epochs:12 ~batch:25 ~evict_prob:0. ~seed:1
+  let test_many_epochs_strict () =
+    run_epochs ~epochs:12 ~batch:25 ~evict_prob:0. ~seed:1 ()
 
   let test_eviction_sweep () =
     List.iter
-      (fun prob -> run_epochs ~epochs:5 ~batch:20 ~evict_prob:prob ~seed:99)
+      (fun prob -> run_epochs ~epochs:5 ~batch:20 ~evict_prob:prob ~seed:99 ())
       [ 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ]
+
+  (* Every at-crash eviction persists only a partial line: fenced metadata
+     must survive untouched, so recovery must still be exact. *)
+  let test_torn_epochs () =
+    List.iter
+      (fun (evict_prob, torn_prob) ->
+        run_epochs ~epochs:4 ~batch:20 ~evict_prob ~torn_prob ~seed:31 ())
+      [ (0.5, 0.5); (0.7, 1.0); (1.0, 1.0) ]
+
+  (* Satellite: a concurrent batch across >= 4 domains, then a quiescent
+     crash with evictions and torn lines.  Each domain owns a disjoint key
+     range so the final model is deterministic despite interleaving. *)
+  let test_concurrent_batch_then_crash () =
+    let domains = 4 and per_domain = 25 in
+    let p = P.create ~num_threads:domains ~words:(1 lsl 15) () in
+    H.init p ~tid:0 ~slot:1;
+    let worker tid =
+      for i = 0 to per_domain - 1 do
+        let k = Int64.of_int ((tid * 1000) + i) in
+        ignore (H.add p ~tid ~slot:1 k);
+        if i mod 3 = 0 then ignore (H.remove p ~tid ~slot:1 k)
+      done
+    in
+    List.init domains (fun tid -> Domain.spawn (fun () -> worker tid))
+    |> List.iter Domain.join;
+    let model = ref I64Set.empty in
+    for tid = 0 to domains - 1 do
+      for i = 0 to per_domain - 1 do
+        if i mod 3 <> 0 then
+          model := I64Set.add (Int64.of_int ((tid * 1000) + i)) !model
+      done
+    done;
+    P.crash_with_faults p ~seed:77 ~evict_prob:0.6 ~torn_prob:0.5 ~bitflips:0;
+    Alcotest.(check int)
+      "cardinality after concurrent batch + faulty crash"
+      (I64Set.cardinal !model)
+      (H.cardinal p ~tid:0 ~slot:1);
+    I64Set.iter
+      (fun k ->
+        if not (H.contains p ~tid:0 ~slot:1 k) then
+          Alcotest.failf "lost key %Ld after concurrent batch" k)
+      !model
 
   let test_crash_immediately_after_create () =
     let p = P.create ~num_threads:2 ~words:(1 lsl 14) () in
@@ -70,6 +117,9 @@ module Make (P : Ptm.Ptm_intf.S) = struct
           Alcotest.test_case "many epochs (strict)" `Quick test_many_epochs_strict;
           Alcotest.test_case "eviction probability sweep" `Slow
             test_eviction_sweep;
+          Alcotest.test_case "torn-line epochs" `Quick test_torn_epochs;
+          Alcotest.test_case "concurrent batch then faulty crash" `Quick
+            test_concurrent_batch_then_crash;
           Alcotest.test_case "crash right after create" `Quick
             test_crash_immediately_after_create;
           Alcotest.test_case "double crash, no ops" `Quick

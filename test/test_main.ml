@@ -105,6 +105,7 @@ let () =
          Cp_redo.suites;
          Cp_redo_timed.suites;
          Cp_redo_opt.suites;
+         Suite_crashpoints.Onll_tests.suites;
          Suite_crashpoints.mutant_suites;
          Db_redodb.suites;
          Db_rocks.suites;
