@@ -8,6 +8,12 @@
                                         [--ops N] [--sample N | --step K]
                                         [--evict-prob P] [--torn-prob P]
                                         [--bitflips N]
+     dune exec bin/crash_torture.exe -- --sched [--ptm NAME] [--sched-seed S]
+                                        [--sched-threads T] [--sched-ops N]
+                                        [--sched-rounds R] [--sched-budget B]
+                                        [--stall TID@STEP[:K]]... [--kill TID@STEP]...
+                                        [--crash-step N] [--evict-prob P]
+                                        [--torn-prob P] [--bitflips N]
 
    Default (quiescent) mode: each round runs a batch of random set
    operations (tracked in a volatile model), then crashes the simulated
@@ -32,6 +38,19 @@
    image with Ptm.Ptm_intf.Unrecoverable counts as a detection, not a
    failure — only silent divergence does.  All fault coins are
    deterministic in --seed, so every printed repro line replays exactly.
+
+   --sched mode runs the deterministic cooperative scheduler with the
+   progress oracle instead: PTM workers become fibers interleaved one
+   interposed atomic access at a time, and a stall/kill adversary freezes
+   or destroys a victim mid-operation.  Wait-free PTMs must complete
+   every announced operation through helping; blocking baselines (PMDK,
+   RomulusLR) must be *detected* as blocked within the step budget rather
+   than hang the harness.  Without explicit injections the calibrated
+   adversary sweep runs --sched-rounds rounds per PTM; with --stall /
+   --kill / --crash-step the exact scenario from a printed repro line is
+   replayed.  --crash-step composes the schedule with the fault stack:
+   whole-machine stop at that step, (media-faulted) crash, recovery,
+   durable-counter check.
 
    Any divergence is a durable-linearizability bug and the tool exits
    non-zero with a reproduction line.  This is the long-running
@@ -260,6 +279,61 @@ let midop_onll ~seed ~nops ~step ~sample ~evict_prob ~torn_prob ~bitflips =
   in
   print_report report
 
+(* Adversarial-schedule progress runs (--sched).  With explicit
+   injections this replays exactly one scenario — the round-trip target
+   of every repro line printed by the sweep — otherwise it runs the
+   calibrated stall/kill/crash sweep. *)
+let sched_one (module P : Ptm.Ptm_intf.S) ~seed ~threads ~ops ~rounds ~budget
+    ~stalls ~kills ~crash_step ~evict_prob ~torn_prob ~bitflips =
+  let module S = Ptm.Crash_explorer.Sched_sweep (P) in
+  let verdicts =
+    if stalls <> [] || kills <> [] || crash_step <> None then
+      [
+        S.run_one ~threads ~ops ~seed ?budget ~stalls ~kills ?crash_step
+          ?evict_prob ?torn_prob ~bitflips ();
+      ]
+    else S.sweep ~threads ~ops ~rounds ~seed ()
+  in
+  List.iter
+    (fun v ->
+      Printf.printf "%s\n%!" (Format.asprintf "%a" Ptm.Progress.pp_verdict v))
+    verdicts;
+  List.iter
+    (fun (v : Ptm.Progress.verdict) ->
+      if not v.ok then Printf.printf "  !! repro: %s\n" v.repro)
+    (S.failures verdicts);
+  List.length (S.failures verdicts)
+
+(* "TID@STEP" / "TID@STEP:K" adversary specs, as printed in repro lines. *)
+let parse_at ~flag s =
+  match String.index_opt s '@' with
+  | None ->
+      raise (Arg.Bad (Printf.sprintf "%s: expected TID@STEP, got %S" flag s))
+  | Some i ->
+      ( String.sub s 0 i,
+        String.sub s (i + 1) (String.length s - i - 1) )
+
+let int_field ~flag s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> raise (Arg.Bad (Printf.sprintf "%s: bad integer %S" flag s))
+
+let parse_kill s =
+  let tid, step = parse_at ~flag:"--kill" s in
+  (int_field ~flag:"--kill" tid, int_field ~flag:"--kill" step)
+
+let parse_stall s =
+  let tid, rest = parse_at ~flag:"--stall" s in
+  let tid = int_field ~flag:"--stall" tid in
+  match String.index_opt rest ':' with
+  | None -> (tid, int_field ~flag:"--stall" rest, None)
+  | Some i ->
+      ( tid,
+        int_field ~flag:"--stall" (String.sub rest 0 i),
+        Some
+          (int_field ~flag:"--stall"
+             (String.sub rest (i + 1) (String.length rest - i - 1))) )
+
 let () =
   let ptm_filter = ref "" in
   let rounds = ref 20 in
@@ -276,6 +350,15 @@ let () =
   let step = ref 0 in
   let trace_file = ref None in
   let metrics = ref false in
+  let sched = ref false in
+  let sched_seed = ref 0 in
+  let sched_threads = ref 3 in
+  let sched_ops = ref 4 in
+  let sched_rounds = ref 6 in
+  let sched_budget = ref None in
+  let stalls = ref [] in
+  let kills = ref [] in
+  let crash_step = ref None in
   let spec =
     [
       ("--ptm", Arg.Set_string ptm_filter, "NAME only torture this PTM");
@@ -313,6 +396,37 @@ let () =
       ( "--step",
         Arg.Set_int step,
         "K crash at exactly step K in --mid-op mode (from a repro line)" );
+      ( "--sched",
+        Arg.Set sched,
+        " run the deterministic-scheduler progress sweep (stall/kill \
+         adversaries + progress oracle) instead of crash torture" );
+      ( "--sched-seed",
+        Arg.Set_int sched_seed,
+        "S scheduler seed for --sched (default 0)" );
+      ( "--sched-threads",
+        Arg.Set_int sched_threads,
+        "T fibers per scheduled run (default 3)" );
+      ( "--sched-ops",
+        Arg.Set_int sched_ops,
+        "N base operations per fiber in --sched mode (default 4)" );
+      ( "--sched-rounds",
+        Arg.Set_int sched_rounds,
+        "R adversary rounds per PTM in the --sched sweep (default 6)" );
+      ( "--sched-budget",
+        Arg.Int (fun b -> sched_budget := Some b),
+        "B scheduler step budget (default 2000000)" );
+      ( "--stall",
+        Arg.String (fun s -> stalls := !stalls @ [ parse_stall s ]),
+        "TID@STEP[:K] stall fiber TID at step STEP (forever, or for K \
+         steps); repeatable; implies a single --sched replay" );
+      ( "--kill",
+        Arg.String (fun s -> kills := !kills @ [ parse_kill s ]),
+        "TID@STEP kill fiber TID at step STEP; repeatable; implies a \
+         single --sched replay" );
+      ( "--crash-step",
+        Arg.Int (fun s -> crash_step := Some s),
+        "N in --sched mode, crash the whole machine at scheduler step N, \
+         recover and check the durable counter" );
       ( "--trace",
         Arg.String (fun f -> trace_file := Some f),
         "FILE export a Chrome trace-event JSON of the torture run" );
@@ -347,7 +461,31 @@ let () =
   in
   let tp = if !torn_set then Some !torn_prob else None in
   let total_failures = ref 0 in
-  (if !mid_op then
+  (if !sched then begin
+     if !ptm_filter = "ONLL" then begin
+       Printf.eprintf "--sched: ONLL has no dynamic transactions to schedule\n";
+       exit 2
+     end;
+     let ep = if !evict_set then Some !evict_prob else None in
+     List.iter
+       (fun (name, target) ->
+         match target with
+         | Onll_target -> ()
+         | Std (Ptm.Ptm_intf.Boxed (module P)) ->
+             Printf.printf "sched %-10s (seed %d, %d threads, %d ops)\n%!" name
+               !sched_seed !sched_threads !sched_ops;
+             let t0 = Unix.gettimeofday () in
+             let f =
+               sched_one (module P) ~seed:!sched_seed ~threads:!sched_threads
+                 ~ops:!sched_ops ~rounds:!sched_rounds ~budget:!sched_budget
+                 ~stalls:!stalls ~kills:!kills ~crash_step:!crash_step
+                 ~evict_prob:ep ~torn_prob:tp ~bitflips:!bitflips
+             in
+             total_failures := !total_failures + f;
+             Printf.printf "  (%.1fs)\n" (Unix.gettimeofday () -. t0))
+       selected
+   end
+   else if !mid_op then
      let ep = if !evict_set then Some !evict_prob else None in
      List.iter
        (fun (_, target) ->
@@ -389,8 +527,9 @@ let () =
            (Unix.gettimeofday () -. t0))
        selected);
   flush_observability ();
+  let what = if !sched then "progress" else "durability" in
   if !total_failures > 0 then begin
-    Printf.printf "\n%d durability violations found.\n" !total_failures;
+    Printf.printf "\n%d %s violations found.\n" !total_failures what;
     exit 1
   end
-  else print_endline "\nno durability violations found."
+  else Printf.printf "\nno %s violations found.\n" what

@@ -422,6 +422,22 @@ module Make (P : Ptm_intf.S) = struct
     }
 end
 
+(* The adversarial-schedule counterpart of the crash sweeps above: where
+   [Make] explores the crash surface (durable linearizability at every
+   persistence step), [Sched_sweep] explores the schedule surface —
+   stall/kill adversaries under the deterministic scheduler and the
+   wait-freedom/blocked-detection oracle.  The machinery lives in
+   {!Progress}; this functor is the exploration entry point alongside
+   the crash sweeps. *)
+module Sched_sweep (P : Ptm_intf.S) = struct
+  include Progress.Make (P)
+
+  (** [all_ok vs] and the number of failed rounds, for harness exit
+      codes. *)
+  let failures vs = List.filter (fun v -> not v.Progress.ok) vs
+  let all_ok vs = failures vs = []
+end
+
 (* ONLL is not a {!Ptm_intf.S} (registered operations instead of dynamic
    transactions), so it gets a dedicated sweep over the same linked-list
    workload, with its own oracle: recovery truncates the logical log to the

@@ -100,6 +100,20 @@ module Make (P : Ptm_intf.S) : sig
     report
 end
 
+(** Adversarial-schedule sweep: the {!Progress} oracle packaged as an
+    exploration entry point alongside the crash sweeps.  [sweep] runs
+    calibrated stall/kill/crash rounds under the deterministic scheduler
+    ({!Sched}); wait-free PTMs must complete every announced operation
+    through helping, blocking PTMs must be detected as blocked. *)
+module Sched_sweep (P : Ptm_intf.S) : sig
+  include module type of Progress.Make (P)
+
+  (** Rounds that failed their oracle. *)
+  val failures : Progress.verdict list -> Progress.verdict list
+
+  val all_ok : Progress.verdict list -> bool
+end
+
 (** Crash-surface sweep for {!Onll}, which is not a {!Ptm_intf.S} (its
     operations are registered, not dynamic transactions).  Same linked-list
     workload and flags; the oracle additionally accepts the model after any

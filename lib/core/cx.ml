@@ -16,6 +16,8 @@
     replays them), so they must be deterministic and must confine their
     effects to the object they receive. *)
 
+module Atomic = Sched.Atomic
+
 let max_read_tries = 4
 let window = 512
 
@@ -40,6 +42,10 @@ type 'a t = {
   combs : 'a combined array;
   queue : 'a payload Sync_prims.Turn_queue.t;
   cur_comb : int Atomic.t;
+  (* Last node each thread enqueued, for [announced_pending] (the turn
+     queue clears its announce slot once the node is linked).  Plain
+     stores: read only by the scheduler harness between fiber steps. *)
+  inflight : 'a payload Sync_prims.Turn_queue.node option array;
 }
 
 let create ~num_threads ~copy initial =
@@ -64,6 +70,7 @@ let create ~num_threads ~copy initial =
           });
     queue;
     cur_comb = Atomic.make 0;
+    inflight = Array.make num_threads None;
   }
 
 let try_copy t ~tid c =
@@ -190,6 +197,7 @@ let apply_update t ~tid f =
     Sync_prims.Turn_queue.enqueue t.queue ~tid
       { f; result = Atomic.make 0L; done_ = Atomic.make false }
   in
+  t.inflight.(tid) <- Some node;
   let pl = Sync_prims.Turn_queue.payload node in
   let my_ticket = Sync_prims.Turn_queue.ticket node in
   let b = Sync_prims.Backoff.create () in
@@ -231,3 +239,16 @@ let apply_read t ~tid f =
     end
   in
   attempt max_read_tries
+
+(* Progress probe (deterministic-scheduler harness): has [tid] announced
+   a mutation that no helper has executed yet?  Conservative — covers the
+   publish window via the turn queue's announce slot and the
+   linked-but-unexecuted window via [inflight]. *)
+let announced_pending t ~tid =
+  let pending n =
+    not (Atomic.get (Sync_prims.Turn_queue.payload n).done_)
+  in
+  match Sync_prims.Turn_queue.announced t.queue ~tid with
+  | Some n -> pending n
+  | None -> (
+      match t.inflight.(tid) with Some n -> pending n | None -> false)

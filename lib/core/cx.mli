@@ -20,3 +20,9 @@ val apply_update : 'a t -> tid:int -> ('a -> int64) -> int64
 (** [apply_read t ~tid f] runs the read-only [f] on an up-to-date replica;
     falls back to the mutation queue after bounded retries. *)
 val apply_read : 'a t -> tid:int -> ('a -> int64) -> int64
+
+(** [announced_pending t ~tid]: has [tid] announced a mutation no helper
+    has completed yet?  Conservative; used by the deterministic-scheduler
+    progress oracle to assert that a stalled announcer's operation is
+    finished by the other threads. *)
+val announced_pending : 'a t -> tid:int -> bool

@@ -38,6 +38,8 @@ module type MODE = sig
   val interpose : bool
 end
 
+module Atomic = Sched.Atomic
+
 module Make (M : MODE) = struct
   let name = M.name
   let max_read_tries = 4
@@ -70,6 +72,13 @@ module Make (M : MODE) = struct
     cur_comb : int Atomic.t; (* index into [combs] *)
     persisted : int Atomic.t; (* highest ticket known durable in the header *)
     bd : Breakdown.t;
+    (* Last node each thread enqueued, for [announced_pending]: the turn
+       queue clears its announce slot once the node is linked, so a probe
+       needs this to keep seeing an op that is linked but not yet
+       executed.  Plain (non-atomic) stores are fine — it is only read by
+       the scheduler harness between fiber steps, and a miss is
+       conservative. *)
+    inflight : payload Sync_prims.Turn_queue.node option array;
   }
 
   and tx = { p : t; c : combined; ro : bool; tid : int }
@@ -146,6 +155,7 @@ module Make (M : MODE) = struct
         cur_comb = Atomic.make 0;
         persisted = Atomic.make 0;
         bd = Breakdown.create ~num_threads;
+        inflight = Array.make num_threads None;
       }
     in
     (* Format replica 0 and persist it together with the header. *)
@@ -358,7 +368,12 @@ module Make (M : MODE) = struct
     let pl =
       { f; read_only_op; result = Atomic.make 0L; done_ = Atomic.make false }
     in
-    Sync_prims.Turn_queue.enqueue t.queue ~tid pl
+    let node = Sync_prims.Turn_queue.enqueue t.queue ~tid pl in
+    (* No yield point between [enqueue] returning and this store, so the
+       probe window where neither the announce slot nor [inflight] names
+       the op is unobservable to the scheduler. *)
+    t.inflight.(tid) <- Some node;
+    node
 
   (* The updater path: §4's applyUpdate, steps (1)-(6). *)
   let run_update t ~tid node =
@@ -577,6 +592,7 @@ module Make (M : MODE) = struct
               i)
     in
     t.queue <- Sync_prims.Turn_queue.create ~num_threads:t.num_threads dummy_payload;
+    Array.fill t.inflight 0 t.num_threads None;
     let sentinel = Sync_prims.Turn_queue.sentinel t.queue in
     Array.iteri
       (fun i c ->
@@ -645,6 +661,24 @@ module Make (M : MODE) = struct
       Sync_prims.Turn_queue.ticket (Sync_prims.Turn_queue.tail t.queue)
     in
     8 * (newest - oldest)
+
+  (* Progress probes (deterministic-scheduler harness).  CX is wait-free:
+     any updater replays the queue past every announced node, so a
+     stalled announcer's op is finished by helpers and no yield point is
+     a hazard.  An op is pending from the announce-slot store until a
+     helper sets [done_]; the announce slot covers the publish window and
+     [inflight] covers the linked-but-unexecuted window. *)
+  let wait_free = true
+  let stall_hazard _t ~tid:_ = false
+
+  let announced_pending t ~tid =
+    let pending n =
+      not (Atomic.get (Sync_prims.Turn_queue.payload n).done_)
+    in
+    match Sync_prims.Turn_queue.announced t.queue ~tid with
+    | Some n -> pending n
+    | None -> (
+        match t.inflight.(tid) with Some n -> pending n | None -> false)
 end
 
 module Puc = Make (struct

@@ -33,6 +33,10 @@
 
 let name = "OneFile"
 
+(* Announce/combining words are yield points under the deterministic
+   scheduler. *)
+module Atomic = Sched.Atomic
+
 let max_read_tries = 8
 let entry_words = 4 (* seq, addr, val, digest *)
 
@@ -410,3 +414,18 @@ let nvm_usage_words t =
   Palloc.used_words mem + t.words (* seq-tag shadow words *) + (2 * t.num_threads * t.slot_words)
 
 let volatile_usage_words _t = 0
+
+(* Progress surface: combining gives wait-freedom on real hardware — the
+   combiner finishes its round in bounded time and every announced request
+   is executed by whichever thread wins [combining].  In the simulation
+   the [combining] register is the stand-in for that bounded round, so the
+   stall adversary must not park a thread while it holds it (an OS never
+   preempts a thread forever; see EXPERIMENTS.md).  Anywhere else a
+   stalled announcer's request is completed by the next combiner. *)
+let wait_free = true
+let stall_hazard t ~tid = Stdlib.Atomic.get t.combining = tid + 1
+
+let announced_pending t ~tid =
+  match Stdlib.Atomic.get t.announce.(tid) with
+  | Some r -> not (Stdlib.Atomic.get r.done_)
+  | None -> false

@@ -46,7 +46,7 @@ module Make (C : CONFIG) = struct
     words : int; (* logical region size *)
     log_cap : int; (* max undo entries *)
     region_base : int;
-    lock : Mutex.t;
+    lock : Sched.Mutex.t;
     bd : Breakdown.t;
   }
 
@@ -105,7 +105,7 @@ module Make (C : CONFIG) = struct
         words;
         log_cap;
         region_base;
-        lock = Mutex.create ();
+        lock = Sched.Mutex.create ();
         bd = Breakdown.create ~num_threads;
       }
     in
@@ -180,12 +180,12 @@ module Make (C : CONFIG) = struct
         Pmem.psync t.pm ~tid:tx.tid)
 
   let update t ~tid f =
-    Mutex.lock t.lock;
+    Sched.Mutex.lock t.lock ~tid;
     let t0 = Unix.gettimeofday () in
     let tx = { p = t; tid; touched = Hashtbl.create 32; fences_this_tx = 0 } in
     let finish () =
       Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
-      Mutex.unlock t.lock
+      Sched.Mutex.unlock t.lock ~tid
     in
     (* The exception branch must also cover [commit] (an injected crash can
        fire inside it), or the global lock would leak on unwind. *)
@@ -218,14 +218,17 @@ module Make (C : CONFIG) = struct
         raise e
 
   let read_only t ~tid f =
-    Mutex.lock t.lock;
+    Sched.Mutex.lock t.lock ~tid;
     let tx = { p = t; tid; touched = Hashtbl.create 1; fences_this_tx = 0 } in
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.lock)
+      ~finally:(fun () -> Sched.Mutex.unlock t.lock ~tid)
       (fun () -> f tx)
 
   let recover t =
     Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
+    (* Lock state is volatile: a thread that died inside the critical
+       section (scheduler crash composition) must not leave it held. *)
+    Sched.Mutex.reset t.lock;
     (* Null-ish recovery: if the durable log is non-empty, the crash hit a
        transaction in flight; roll its pre-images back.  Hardened: the count
        must unseal and stay in range, and every named entry must match its
@@ -296,6 +299,16 @@ module Make (C : CONFIG) = struct
     Palloc.used_words mem + t.region_base
 
   let volatile_usage_words _t = 0
+
+  (* Progress surface: one global lock, no helping.  Stalling the holder
+     blocks everyone — which is exactly what the blocked-detection round
+     of the scheduler sweep targets. *)
+  let wait_free = false
+
+  let stall_hazard t ~tid =
+    match Sched.Mutex.holder t.lock with Some o -> o = tid | None -> false
+
+  let announced_pending _t ~tid:_ = false
 end
 
 include Make (struct

@@ -1,0 +1,482 @@
+(** Progress oracle for the deterministic scheduler ({!Sched}).
+
+    The paper's wait-freedom claims are about {e adversarial} schedules:
+    a thread may be preempted (or die) at any instruction and the other
+    threads must still complete every announced operation in a bounded
+    number of their own steps.  This module runs a counter workload as
+    {!Sched} fibers over a PTM instance and checks exactly that:
+
+    + every fiber performs [ops] update transactions incrementing a
+      shared counter in a persistent root slot, then keeps issuing
+      {e heartbeat} transactions while any stalled/killed thread has an
+      announced-but-incomplete operation (heartbeats are what drive the
+      helping paths — CX queue replay, Redo combining, OneFile
+      combining);
+    + the adversary stalls or kills a chosen thread mid-operation (the
+      stall point is picked inside the victim's operation span measured
+      on a calibration run with the same seed, so the injected run is
+      step-identical up to the injection);
+    + on wait-free PTMs the oracle then requires: no step-budget
+      exhaustion, every live fiber [Finished], no pending announcement
+      left on any stalled/killed thread ({!Ptm_intf.S.announced_pending}),
+      and the counter to equal returned plus helper-completed operations
+      exactly — each announced increment applied exactly once;
+    + blocking PTMs (PMDK-sim, Romulus) get the inverse treatment: the
+      stall is {e hazard-directed} to land precisely while the victim
+      holds the global lock, and the oracle requires the run to be
+      {e detected} as blocked ([budget_exhausted] with runnable fibers
+      left) instead of hanging;
+    + a crash round composes with the fault stack: the scheduler stops
+      the whole machine at a chosen step ([stop_at]) with a thread
+      already stalled, the instance is crash-recovered (optionally
+      through the media-fault model), and durable linearizability of the
+      counter is checked — recovered value within [returned ..
+      returned + in-flight], and the instance still accepts updates.
+
+    Every verdict carries a one-line reproduction for
+    [bin/crash_torture --sched]. *)
+
+type verdict = {
+  ptm : string;
+  scenario : string;
+  seed : int;
+  threads : int;
+  ops : int;  (** base operations per thread (heartbeats come on top) *)
+  steps : int;  (** scheduler steps consumed *)
+  applied : (int * int) list;  (** (tid, step) where injections landed *)
+  completed : int;  (** operations whose announcer's [update] returned *)
+  helped : int;  (** operations first executed by a non-announcer fiber *)
+  stalled_completed : int;
+      (** operations completed by helpers while their announcer was
+          stalled or killed *)
+  max_gap : int;  (** max announce-to-first-execution step gap, -1 if none *)
+  blocked : bool;  (** the run exhausted its step budget *)
+  ok : bool;
+  detail : string;  (** failure explanation, [""] when [ok] *)
+  repro : string;  (** one-line reproduction via [crash_torture --sched] *)
+}
+
+let pp_verdict ppf v =
+  Format.fprintf ppf
+    "%-9s %-16s seed=%-4d %s steps=%-7d completed=%-3d helped=%-3d \
+     stalled-done=%d max-gap=%-6d%s"
+    v.ptm v.scenario v.seed
+    (if v.ok then "ok  " else "FAIL")
+    v.steps v.completed v.helped v.stalled_completed v.max_gap
+    (if v.blocked then " [blocked]" else "");
+  if not v.ok then
+    Format.fprintf ppf "@\n    %s@\n    repro: %s" v.detail v.repro
+
+let default_budget = 2_000_000
+
+module Make (P : Ptm_intf.S) = struct
+  let default_words = 256
+  let counter_slot = Palloc.root_addr 1
+  let max_heartbeats = 64
+
+  (* Heartbeats continue until the last injection had a chance to land
+     (its at-step plus this slack, covering hazard deferral) so helpers
+     are still alive to observe — and finish — the victim's operation. *)
+  let hb_slack = 500
+
+  type cell = {
+    ctid : int;
+    announced_at : int;
+    mutable returned_at : int;  (* -1 until the announcer's update returns *)
+    mutable first_exec : int;  (* -1 until some fiber executes the closure *)
+    mutable executed_by : int;
+  }
+
+  (* One counter increment.  The closure is deterministic and
+     re-executable (CX replays it once per replica; Redo/OneFile may
+     hand it to a combiner); the cell write is a harness-side
+     observation that does not affect the object state. *)
+  let run_op p cells tid =
+    let c =
+      {
+        ctid = tid;
+        announced_at = Sched.now ();
+        returned_at = -1;
+        first_exec = -1;
+        executed_by = -1;
+      }
+    in
+    cells.(tid) <- c :: cells.(tid);
+    ignore
+      (P.update p ~tid (fun tx ->
+           if c.first_exec < 0 then begin
+             c.first_exec <- Sched.now ();
+             c.executed_by <- Option.value (Sched.current ()) ~default:tid
+           end;
+           let v = Int64.add (P.get tx counter_slot) 1L in
+           P.set tx counter_slot v;
+           v));
+    c.returned_at <- Sched.now ()
+
+  let read_counter p ~tid = P.read_only p ~tid (fun tx -> P.get tx counter_slot)
+
+  let probe_update p ~tid =
+    P.update p ~tid (fun tx ->
+        let v = Int64.add (P.get tx counter_slot) 1L in
+        P.set tx counter_slot v;
+        v)
+
+  let exec ~threads ~ops ~seed ~budget ~stalls ~kills ~stop_at ~words () =
+    let p = P.create ~num_threads:threads ~words () in
+    let injections =
+      List.map
+        (fun (tid, at_step, duration) -> Sched.Stall { tid; at_step; duration })
+        stalls
+      @ List.map (fun (tid, at_step) -> Sched.Kill { tid; at_step }) kills
+    in
+    (* Threads that never run again: indefinite stalls and kills.  Their
+       announced operations are the ones only helpers can complete. *)
+    let gone =
+      List.filter_map (fun (t, _, d) -> if d = None then Some t else None) stalls
+      @ List.map fst kills
+    in
+    let cells = Array.make threads [] in
+    let pending_somewhere () =
+      List.exists (fun tid -> P.announced_pending p ~tid) gone
+    in
+    let stop_hb =
+      List.fold_left
+        (fun acc (_, at, _) -> max acc at)
+        (List.fold_left (fun acc (_, at) -> max acc at) 0 kills)
+        stalls
+      + hb_slack
+    in
+    let hazard =
+      if injections = [] then None
+      else if P.wait_free then Some (fun tid -> P.stall_hazard p ~tid)
+      else
+        (* Blocked-detection: defer the injection until the victim holds
+           the global lock, so it provably wedges everyone else. *)
+        Some (fun tid -> not (P.stall_hazard p ~tid))
+    in
+    let fiber tid =
+      for _ = 1 to ops do
+        run_op p cells tid
+      done;
+      if injections <> [] then begin
+        let hb = ref 0 in
+        while
+          !hb < max_heartbeats
+          && (Sched.now () < stop_hb || pending_somewhere ())
+        do
+          incr hb;
+          run_op p cells tid
+        done
+      end
+    in
+    let report =
+      Sched.run ~seed ~budget ~injections ?hazard ?stop_at ~num_fibers:threads
+        fiber
+    in
+    (p, report, cells, gone)
+
+  let mk_repro ~seed ~threads ~ops ~budget ~stalls ~kills ~crash_step
+      ~evict_prob ~torn_prob ~bitflips =
+    let b = Buffer.create 96 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "crash_torture --sched --ptm %s --sched-seed %d --sched-threads %d \
+          --sched-ops %d"
+         P.name seed threads ops);
+    if budget <> default_budget then
+      Buffer.add_string b (Printf.sprintf " --sched-budget %d" budget);
+    List.iter
+      (fun (t, at, d) ->
+        Buffer.add_string b
+          (match d with
+          | None -> Printf.sprintf " --stall %d@%d" t at
+          | Some k -> Printf.sprintf " --stall %d@%d:%d" t at k))
+      stalls;
+    List.iter
+      (fun (t, at) -> Buffer.add_string b (Printf.sprintf " --kill %d@%d" t at))
+      kills;
+    (match crash_step with
+    | None -> ()
+    | Some s -> Buffer.add_string b (Printf.sprintf " --crash-step %d" s));
+    (match evict_prob with
+    | None -> ()
+    | Some p -> Buffer.add_string b (Printf.sprintf " --evict-prob %g" p));
+    (match torn_prob with
+    | None -> ()
+    | Some p -> Buffer.add_string b (Printf.sprintf " --torn-prob %g" p));
+    if bitflips > 0 then
+      Buffer.add_string b (Printf.sprintf " --bitflips %d" bitflips);
+    Buffer.contents b
+
+  let run_one ?(threads = 3) ?(ops = 4) ?(seed = 0) ?(budget = default_budget)
+      ?(stalls = []) ?(kills = []) ?crash_step ?evict_prob ?torn_prob
+      ?(bitflips = 0) ?(words = default_words) ?scenario () =
+    let p, report, cells, gone =
+      exec ~threads ~ops ~seed ~budget ~stalls ~kills ~stop_at:crash_step
+        ~words ()
+    in
+    let all_cells = Array.to_list cells |> List.concat in
+    let is_gone t = List.mem t gone in
+    let completed =
+      List.length (List.filter (fun c -> c.returned_at >= 0) all_cells)
+    in
+    let helped =
+      List.length
+        (List.filter
+           (fun c -> c.first_exec >= 0 && c.executed_by <> c.ctid)
+           all_cells)
+    in
+    let stalled_completed =
+      List.length
+        (List.filter
+           (fun c -> is_gone c.ctid && c.first_exec >= 0 && c.returned_at < 0)
+           all_cells)
+    in
+    let max_gap =
+      List.fold_left
+        (fun acc c ->
+          if c.first_exec >= 0 then max acc (c.first_exec - c.announced_at)
+          else acc)
+        (-1) all_cells
+    in
+    List.iter
+      (fun c ->
+        if c.first_exec >= 0 then
+          Obs.progress_op_completed ~tid:c.ctid
+            ~helped:(c.executed_by <> c.ctid)
+            ~stalled_announcer:(is_gone c.ctid && c.returned_at < 0)
+            ~gap_steps:(c.first_exec - c.announced_at))
+      all_cells;
+    let scenario =
+      match scenario with
+      | Some s -> s
+      | None -> (
+          match (crash_step, P.wait_free, kills, stalls) with
+          | Some _, _, _, _ -> "crash"
+          | None, false, _, _ -> "blocked-detection"
+          | None, true, _ :: _, _ -> "kill"
+          | None, true, [], (_, _, Some _) :: _ -> "timed-stall"
+          | None, true, [], (_, _, None) :: _ -> "stall"
+          | None, true, [], [] -> "plain")
+    in
+    let repro =
+      mk_repro ~seed ~threads ~ops ~budget ~stalls ~kills ~crash_step
+        ~evict_prob ~torn_prob ~bitflips
+    in
+    let verdict ok detail =
+      {
+        ptm = P.name;
+        scenario;
+        seed;
+        threads;
+        ops;
+        steps = report.Sched.steps;
+        applied = report.Sched.applied;
+        completed;
+        helped;
+        stalled_completed;
+        max_gap;
+        blocked = report.Sched.budget_exhausted;
+        ok;
+        detail;
+        repro;
+      }
+    in
+    let excepted =
+      Array.to_list report.Sched.statuses
+      |> List.filter (function Sched.Excepted _ -> true | _ -> false)
+    in
+    if excepted <> [] then
+      verdict false
+        (Format.asprintf "a fiber raised: %a" Sched.pp_status
+           (List.hd excepted))
+    else
+      match crash_step with
+      | Some _ -> (
+          (* Whole-machine crash at the stop step, fibers suspended
+             wherever they were; then recovery and the durable-counter
+             oracle. *)
+          let inflight =
+            List.length
+              (List.filter (fun c -> c.returned_at < 0) all_cells)
+          in
+          let crash () =
+            match (evict_prob, torn_prob, bitflips) with
+            | None, None, 0 -> P.crash_and_recover p
+            | _ ->
+                P.crash_with_faults p ~seed:(seed + 0xc4a5)
+                  ~evict_prob:(Option.value evict_prob ~default:0.)
+                  ~torn_prob:(Option.value torn_prob ~default:0.)
+                  ~bitflips
+          in
+          match crash () with
+          | exception Ptm_intf.Unrecoverable { detail; _ } ->
+              if bitflips > 0 then
+                verdict true
+                  (Printf.sprintf "recovery refused corrupt image: %s" detail)
+              else
+                verdict false
+                  (Printf.sprintf "recovery refused a flip-free image: %s"
+                     detail)
+          | exception e ->
+              verdict false
+                (Printf.sprintf "recovery raised %s" (Printexc.to_string e))
+          | () -> (
+              match read_counter p ~tid:0 with
+              | exception e ->
+                  verdict false
+                    (Printf.sprintf "post-recovery read raised %s"
+                       (Printexc.to_string e))
+              | v ->
+                  let lo = Int64.of_int completed
+                  and hi = Int64.of_int (completed + inflight) in
+                  if Int64.compare v lo < 0 || Int64.compare v hi > 0 then
+                    verdict false
+                      (Printf.sprintf
+                         "recovered counter %Ld outside durable range \
+                          [%Ld, %Ld] (returned=%d, in-flight=%d)"
+                         v lo hi completed inflight)
+                  else if
+                    not (Int64.equal (probe_update p ~tid:0) (Int64.add v 1L))
+                  then
+                    verdict false "post-recovery update did not apply exactly once"
+                  else verdict true ""))
+      | None ->
+          if not P.wait_free then
+            (* Blocked-detection round: the PTM must be flagged as
+               blocked — budget exhausted with live fibers still
+               runnable — rather than hang the harness. *)
+            let n_inj = List.length stalls + List.length kills in
+            if not report.Sched.budget_exhausted then
+              verdict false
+                (Printf.sprintf
+                   "blocking PTM was not detected as blocked (run ended in \
+                    %d steps)"
+                   report.Sched.steps)
+            else if List.length report.Sched.applied < n_inj then
+              verdict false "injection never landed (no lock-holding step)"
+            else if
+              not
+                (Array.exists
+                   (fun st -> st = Sched.Runnable)
+                   report.Sched.statuses)
+            then verdict false "budget exhausted but no fiber was left runnable"
+            else verdict true ""
+          else begin
+            (* Wait-free oracle. *)
+            let bad = ref [] in
+            Array.iteri
+              (fun i st ->
+                match st with
+                | Sched.Finished -> ()
+                | Sched.Stalled | Sched.Killed when is_gone i -> ()
+                | st -> bad := (i, st) :: !bad)
+              report.Sched.statuses;
+            if report.Sched.budget_exhausted then
+              verdict false
+                "step budget exhausted: some live thread could not finish"
+            else if !bad <> [] then
+              let i, st = List.hd !bad in
+              verdict false
+                (Format.asprintf "fiber %d ended %a" i Sched.pp_status st)
+            else
+              match List.filter (fun t -> P.announced_pending p ~tid:t) gone with
+              | t :: _ ->
+                  verdict false
+                    (Printf.sprintf
+                       "announced operation of stalled/killed tid %d was \
+                        never completed by helpers"
+                       t)
+              | [] -> (
+                  let reader =
+                    let rec first i =
+                      if i >= threads then -1
+                      else if is_gone i then first (i + 1)
+                      else i
+                    in
+                    first 0
+                  in
+                  if reader < 0 then
+                    verdict false "every thread was stalled/killed"
+                  else
+                  match read_counter p ~tid:reader with
+                  | exception e ->
+                      verdict false
+                        (Printf.sprintf "post-run read raised %s"
+                           (Printexc.to_string e))
+                  | v ->
+                      let expect =
+                        Int64.of_int (completed + stalled_completed)
+                      in
+                      if not (Int64.equal v expect) then
+                        verdict false
+                          (Printf.sprintf
+                             "counter %Ld <> returned %d + helper-completed \
+                              %d: an announced increment was lost or \
+                              duplicated"
+                             v completed stalled_completed)
+                      else if
+                        not
+                          (Int64.equal
+                             (probe_update p ~tid:reader)
+                             (Int64.add v 1L))
+                      then
+                        verdict false
+                          "post-run update did not apply exactly once"
+                      else verdict true "")
+          end
+
+  (* Per-op (announce, return) step spans of an injection-free run with
+     the same seed: the injected run is step-identical up to the landing
+     point, so a step inside a span provably hits the victim
+     mid-operation. *)
+  let calibrate ~threads ~ops ~seed ~words () =
+    let _p, report, cells, _gone =
+      exec ~threads ~ops ~seed ~budget:default_budget ~stalls:[] ~kills:[]
+        ~stop_at:None ~words ()
+    in
+    ( report.Sched.steps,
+      Array.map
+        (fun l -> List.rev_map (fun c -> (c.announced_at, c.returned_at)) l)
+        cells )
+
+  let sweep ?(threads = 3) ?(ops = 4) ?(rounds = 6) ?(seed = 0)
+      ?(words = default_words) () =
+    List.init rounds (fun r ->
+        let sd = seed + (31 * r) in
+        let total, spans = calibrate ~threads ~ops ~seed:sd ~words () in
+        let target = 1 + (r mod max 1 (threads - 1)) in
+        let a, ret =
+          let l = spans.(target) in
+          List.nth l (min (r mod ops) (List.length l - 1))
+        in
+        let mid = if ret > a then (a + ret) / 2 else a + 1 in
+        if P.wait_free then
+          match r mod 4 with
+          | 0 ->
+              run_one ~threads ~ops ~seed:sd ~words
+                ~stalls:[ (target, mid, None) ]
+                ()
+          | 1 ->
+              run_one ~threads ~ops ~seed:sd ~words ~kills:[ (target, mid) ] ()
+          | 2 ->
+              run_one ~threads ~ops ~seed:sd ~words
+                ~stalls:[ (target, mid, Some 4_000) ]
+                ()
+          | _ ->
+              run_one ~threads ~ops ~seed:sd ~words
+                ~stalls:[ (target, mid, None) ]
+                ~crash_step:(max (total * 3 / 4) (mid + (2 * hb_slack)))
+                ~scenario:"stall+crash" ()
+        else
+          match r mod 2 with
+          | 0 ->
+              run_one ~threads ~ops ~seed:sd ~words ~budget:150_000
+                ~stalls:[ (target, a + 1, None) ]
+                ()
+          | _ ->
+              run_one ~threads ~ops ~seed:sd ~words
+                ~stalls:[ (target, a + 1, None) ]
+                ~crash_step:(max (total / 2) (a + 1 + (2 * hb_slack)))
+                ~scenario:"stall+crash" ())
+end

@@ -1,0 +1,84 @@
+(** Progress oracle for the deterministic scheduler ({!Sched}).
+
+    Runs a shared-counter workload as scheduler fibers over a PTM,
+    injects stall/kill adversaries mid-operation, and checks the paper's
+    progress claims: wait-free PTMs must complete every announced
+    operation through their helping paths even when the announcer never
+    runs again; blocking PTMs must be {e detected} as blocked
+    (step-budget exhaustion) rather than hang the harness.  A crash
+    round composes the scheduler with the fault stack: whole-machine
+    stop at a chosen step, recovery, durable-counter check.
+
+    Every verdict carries a one-line [crash_torture --sched]
+    reproduction that replays the exact schedule. *)
+
+type verdict = {
+  ptm : string;
+  scenario : string;  (** "stall", "kill", "timed-stall",
+                          "blocked-detection", "stall+crash", ... *)
+  seed : int;
+  threads : int;
+  ops : int;  (** base operations per thread (heartbeats come on top) *)
+  steps : int;  (** scheduler steps consumed *)
+  applied : (int * int) list;  (** (tid, step) where injections landed *)
+  completed : int;  (** operations whose announcer's [update] returned *)
+  helped : int;  (** operations first executed by a non-announcer fiber *)
+  stalled_completed : int;
+      (** operations completed by helpers while their announcer was
+          stalled or killed *)
+  max_gap : int;  (** max announce-to-first-execution step gap, -1 if none *)
+  blocked : bool;  (** the run exhausted its step budget *)
+  ok : bool;
+  detail : string;  (** failure explanation, [""] when [ok] *)
+  repro : string;  (** one-line reproduction via [crash_torture --sched] *)
+}
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** Default scheduler step budget (2M steps). *)
+val default_budget : int
+
+module Make (P : Ptm_intf.S) : sig
+  (** [run_one ()] executes one scheduled run and applies the oracle
+      matching the PTM's progress class and the requested scenario.
+
+      [stalls] is a list of [(tid, at_step, duration)] — [None] duration
+      stalls forever; [kills] a list of [(tid, at_step)].  On wait-free
+      PTMs injections are deferred past {!Ptm_intf.S.stall_hazard}
+      steps; on blocking PTMs they are hazard-{e directed} to land while
+      the victim holds the global lock.  [crash_step] stops the whole
+      machine at that scheduler step, crash-recovers (through the
+      media-fault model when [evict_prob]/[torn_prob]/[bitflips] are
+      set) and checks durable linearizability of the counter instead of
+      the liveness oracle. *)
+  val run_one :
+    ?threads:int ->
+    ?ops:int ->
+    ?seed:int ->
+    ?budget:int ->
+    ?stalls:(int * int * int option) list ->
+    ?kills:(int * int) list ->
+    ?crash_step:int ->
+    ?evict_prob:float ->
+    ?torn_prob:float ->
+    ?bitflips:int ->
+    ?words:int ->
+    ?scenario:string ->
+    unit ->
+    verdict
+
+  (** [sweep ()] runs [rounds] adversarial rounds (default 6).  Each
+      round calibrates an injection-free run with the same seed, then
+      places the injection inside a victim operation's step span —
+      cycling stall-forever / kill / timed-stall / stall+crash on
+      wait-free PTMs, and blocked-detection / stall+crash on blocking
+      ones.  Returns one verdict per round. *)
+  val sweep :
+    ?threads:int ->
+    ?ops:int ->
+    ?rounds:int ->
+    ?seed:int ->
+    ?words:int ->
+    unit ->
+    verdict list
+end

@@ -93,6 +93,32 @@ module type S = sig
       metadata to test the detectors, not the data plane). *)
   val meta_ranges : t -> (int * int) list
 
+  (** {2 Progress introspection (deterministic-scheduler harness)} *)
+
+  (** Whether the construction guarantees that an announced operation
+      completes even if the announcing thread never runs again (helpers
+      finish it).  Blocking baselines (PMDK-sim, Romulus) answer [false];
+      the progress sweep expects them to be {e detected} as blocked. *)
+  val wait_free : bool
+
+  (** [stall_hazard t ~tid]: would stopping [tid] {e right now} wedge the
+      simulation itself rather than exercise the algorithm's helping
+      paths?  Used by the scheduler adversary to defer a stall/kill to the
+      target's next hazard-free yield point.  Wait-free PTMs answer [true]
+      only for simulation artifacts whose real-hardware counterpart is
+      released in bounded time (e.g. OneFile's combiner register, a stand-
+      in for its combining round that an OS never parks forever); blocking
+      PTMs answer [true] exactly while [tid] holds the global lock — which
+      is what the blocked-detection round targets. *)
+  val stall_hazard : t -> tid:int -> bool
+
+  (** [announced_pending t ~tid]: has [tid] announced an operation that is
+      not yet completed?  Conservative (never [true] for an operation
+      helpers cannot see yet); the progress oracle requires every pending
+      announcement of a stalled/killed thread to complete on wait-free
+      PTMs.  Always [false] on PTMs with no announcement mechanism. *)
+  val announced_pending : t -> tid:int -> bool
+
   (** {2 Introspection} *)
 
   val pmem : t -> Pmem.t

@@ -45,6 +45,10 @@ module type CONFIG = sig
   val omit_prepub_fence : bool
 end
 
+(* Consensus/replica words are yield points under the deterministic
+   scheduler. *)
+module Atomic = Sched.Atomic
+
 module Make (C : CONFIG) = struct
   let name = C.name
   let max_read_tries = 4
@@ -286,6 +290,14 @@ module Make (C : CONFIG) = struct
     done;
     !ok
 
+  (* Time source for the timed-window optimization.  Under the
+     deterministic scheduler wall-clock reads would leak real time into
+     the schedule and break replay determinism, so time is virtualized
+     as a linear function of the step counter (1 step ~ 1 us). *)
+  let clock () =
+    if Sched.active () then float_of_int (Sched.now ()) *. 1e-6
+    else Unix.gettimeofday ()
+
   (* Optimistic copy from curComb's replica (no lock: validated by curComb
      staying put).  With ntstore_copy the copied lines are staged for the
      commit fence instead of needing a full-region pwb sweep. *)
@@ -294,7 +306,7 @@ module Make (C : CONFIG) = struct
     let src = t.combs.(Seqtid.idx cur) in
     if src == c then false
     else begin
-      let t0 = Unix.gettimeofday () in
+      let t0 = clock () in
       let head0 = Atomic.get src.head in
       Breakdown.timed t.bd ~tid Copy (fun () ->
           if C.ntstore_copy then
@@ -306,7 +318,7 @@ module Make (C : CONFIG) = struct
         c.valid <- true;
         c.full_flush <- not C.ntstore_copy;
         Hashtbl.reset c.extra_dirty;
-        let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+        let ns = int_of_float ((clock () -. t0) *. 1e9) in
         Atomic.set t.copy_ns ns;
         Obs.replica_copied ~tid;
         true
@@ -323,7 +335,7 @@ module Make (C : CONFIG) = struct
          hot replica can be descheduled for that long, and falling through
          to a cold replica would force the very copy the window avoids. *)
       if C.timed then
-        Unix.gettimeofday ()
+        clock ()
         +. max (4. *. float_of_int (Atomic.get t.copy_ns) *. 1e-9) 2e-2
       else 0.
     in
@@ -333,7 +345,7 @@ module Make (C : CONFIG) = struct
       else begin
         let cur_idx = Seqtid.idx (Atomic.get t.cur_comb) in
         let limit =
-          if C.timed && Unix.gettimeofday () < deadline then min 2 t.nrep
+          if C.timed && clock () < deadline then min 2 t.nrep
           else t.nrep
         in
         let rec scan i =
@@ -537,10 +549,20 @@ module Make (C : CONFIG) = struct
                     outcome := Some (Atomic.get new_st.results.(tid))
                   end
                   else begin
-                    (* lost the race: revert the simulation and retry once *)
-                    Sync_prims.Rwlock.upgrade c.rwlock ~tid;
-                    Atomic.set c.head tail;
-                    apply_undo_log t ~tid c new_st;
+                    (* lost the race: revert the simulation and retry once.
+                       The upgrade is bounded — a reader parked inside the
+                       replica (a stalled thread that entered during our
+                       downgrade window) must not be able to block us. *)
+                    (if Sync_prims.Rwlock.try_upgrade c.rwlock ~tid then begin
+                       Atomic.set c.head tail;
+                       apply_undo_log t ~tid c new_st
+                     end
+                     else
+                       (* Abandon the replica instead of reverting it in
+                          place: mark it invalid so the next exclusive
+                          acquirer recopies it from curComb, and release
+                          our hold below. *)
+                       c.valid <- false);
                     (* The record written under the pre-publication fence
                        overstates this reverted replica: retire it. *)
                     if ci < max_records then begin
@@ -548,6 +570,10 @@ module Make (C : CONFIG) = struct
                       Pmem.pwb t.pm ~tid (record_addr ci)
                     end;
                     Wset.reset new_st.log;
+                    if not c.valid then begin
+                      Sync_prims.Rwlock.downgrade_unlock c.rwlock ~tid;
+                      locked := None
+                    end;
                     incr iter
                   end
                 end
@@ -775,6 +801,22 @@ module Make (C : CONFIG) = struct
           (fun acc st -> acc + (3 * Wset.length st.log) + (2 * t.num_threads))
           acc row)
       0 t.st_matrix
+
+  (* Progress surface: the combining consensus makes updates wait-free —
+     a stalled thread at any yield point is helped (its announced request
+     is executed by the next committer; replicas it holds are skipped or
+     abandoned thanks to the bounded try-locks). *)
+  let wait_free = true
+  let stall_hazard _t ~tid:_ = false
+
+  (* Pending iff the operation is published ([req] is set before the
+     [announce] flag flips, so a thread stalled in between is not yet
+     announced and reads as applied) and curComb's tail state has not
+     executed it. *)
+  let announced_pending t ~tid =
+    match Atomic.get t.req.(tid) with
+    | None -> false
+    | Some _ -> my_op_applied t ~tid = None
 end
 
 module Base = Make (struct

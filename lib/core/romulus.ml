@@ -16,6 +16,10 @@
 
 let name = "RomulusLR"
 
+(* Every access to the left-right words is a yield point under the
+   deterministic scheduler. *)
+module Atomic = Sched.Atomic
+
 (* Persistent state word values, sealed (Checksum.seal): the word embeds a
    16-bit validity tag, so recovery can tell the three legitimate states
    from a bit-flipped one.  A single 64-bit word persists atomically, so the
@@ -29,7 +33,7 @@ type t = {
   words : int;
   main_base : int;
   back_base : int;
-  writer : Mutex.t;
+  writer : Sched.Mutex.t;
   (* left-right: which replica read-only transactions currently use *)
   read_view : int Atomic.t; (* 0 = main, 1 = back *)
   ingress : int Atomic.t array; (* per-view read indicators *)
@@ -56,7 +60,7 @@ let create ~num_threads ~words () =
       words;
       main_base;
       back_base;
-      writer = Mutex.create ();
+      writer = Sched.Mutex.create ();
       read_view = Atomic.make 0;
       ingress = [| Atomic.make 0; Atomic.make 0 |];
       bd = Breakdown.create ~num_threads;
@@ -124,7 +128,7 @@ let abort_update t ~tid =
   Atomic.set t.read_view 0
 
 let update t ~tid f =
-  Mutex.lock t.writer;
+  Sched.Mutex.lock t.writer ~tid;
   let t0 = Unix.gettimeofday () in
   let log = Wset.create ~aggregate:true in
   let tx = { p = t; base = t.main_base; log = Some log; tid } in
@@ -166,12 +170,12 @@ let update t ~tid f =
   | result ->
       Breakdown.add_total t.bd ~tid (Unix.gettimeofday () -. t0);
       Obs.tx_committed ~tid ~t0;
-      Mutex.unlock t.writer;
+      Sched.Mutex.unlock t.writer ~tid;
       result
   | exception e ->
       Obs.tx_aborted ~tid;
       abort_update t ~tid;
-      Mutex.unlock t.writer;
+      Sched.Mutex.unlock t.writer ~tid;
       raise e
 
 (* Wait-free reads: announce on the current view's indicator, validate the
@@ -232,6 +236,8 @@ let recover t =
   Pmem.set_word t.pm ~tid:0 state_addr st_idle;
   Pmem.pwb t.pm ~tid:0 state_addr;
   Pmem.psync t.pm ~tid:0;
+  (* Volatile lock/indicator state does not survive the crash. *)
+  Sched.Mutex.reset t.writer;
   Atomic.set t.read_view 0;
   Atomic.set t.ingress.(0) 0;
   Atomic.set t.ingress.(1) 0
@@ -263,3 +269,14 @@ let nvm_usage_words t =
   Palloc.used_words mem + (2 * t.words)
 
 let volatile_usage_words _t = 0
+
+(* Progress surface: updates serialize on the writer lock (blocking);
+   reads are wait-free left-right but a reader parked inside its critical
+   section blocks the writer's indicator drain.  The blocked-detection
+   round stalls the lock holder. *)
+let wait_free = false
+
+let stall_hazard t ~tid =
+  match Sched.Mutex.holder t.writer with Some o -> o = tid | None -> false
+
+let announced_pending _t ~tid:_ = false

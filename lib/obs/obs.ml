@@ -737,6 +737,25 @@ let rwlock_contended ~tid =
 let backoff_yielded ~tid =
   if Metrics.is_on () then Metrics.incr backoff_yields ~tid
 
+let drain_aborts = Metrics.counter "sync.rwlock.drain_aborted"
+
+let rwlock_drain_aborted ~tid =
+  if Metrics.is_on () then Metrics.incr drain_aborts ~tid;
+  Trace.instant Trace.Rwlock_contend ~tid
+
+(* Progress instruments for the deterministic-scheduler harness: how
+   helping behaves when the announcing thread is stalled or dead. *)
+let progress_helped = Metrics.counter "ptm.progress.helped_completion"
+let progress_stalled_done = Metrics.counter "ptm.progress.stalled_op_completed"
+let progress_gap = Metrics.histogram "ptm.progress.announce_to_done_steps"
+
+let progress_op_completed ~tid ~helped:h ~stalled_announcer ~gap_steps =
+  if Metrics.is_on () then begin
+    if h then Metrics.incr progress_helped ~tid;
+    if stalled_announcer then Metrics.incr progress_stalled_done ~tid;
+    if gap_steps >= 0 then Metrics.record_ns progress_gap ~tid gap_steps
+  end
+
 (* Media-fault and hardened-recovery instruments.  Fault injection happens
    on a quiesced region (at/after a simulated crash), so the counters are
    attributed to tid 0. *)

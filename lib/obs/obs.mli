@@ -175,6 +175,21 @@ val rwlock_acquired : tid:int -> unit
 val rwlock_contended : tid:int -> unit
 val backoff_yielded : tid:int -> unit
 
+val rwlock_drain_aborted : tid:int -> unit
+(** A writer gave up draining in-flight readers within the configured
+    budget and backed its writer word off ([sync.rwlock.drain_aborted]). *)
+
+val progress_op_completed :
+  tid:int -> helped:bool -> stalled_announcer:bool -> gap_steps:int -> unit
+(** Scheduler-harness progress record for one completed operation:
+    [helped] counts executions by a thread other than the announcer
+    ([ptm.progress.helped_completion]); [stalled_announcer] counts
+    operations finished while their announcer was stalled or killed
+    ([ptm.progress.stalled_op_completed]); [gap_steps] (ignored when
+    negative) feeds the announce-to-completion scheduler-step histogram
+    ([ptm.progress.announce_to_done_steps] — "ns" fields are steps
+    there). *)
+
 (** {2 Media-fault and hardened-recovery instruments} — counted on tid 0,
     since fault injection and recovery run on a quiesced region. *)
 

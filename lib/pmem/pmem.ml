@@ -113,6 +113,7 @@ let[@inline never] step_slow t =
 let[@inline] step t = if t.tracking then step_slow t
 
 let[@inline] get_word t addr =
+  Sched.yield ();
   check_addr t addr;
   Bytes.get_int64_le t.data (addr * 8)
 
@@ -120,6 +121,7 @@ let[@inline] mark_dirty t addr =
   Bytes.unsafe_set t.dirty (line_of addr) '\001'
 
 let[@inline] set_word t ~tid addr v =
+  Sched.yield ();
   check_addr t addr;
   if not t.frozen then begin
     Bytes.set_int64_le t.data (addr * 8) v;
@@ -151,6 +153,7 @@ let blit_words t ~tid ~src ~dst len =
          copy half done, exactly like a real replica copy interrupted by a
          power failure. *)
       for line = line_of dst to line_of (dst + len - 1) do
+        Sched.yield ();
         let lo = max dst (line * words_per_line) in
         let hi = min (dst + len - 1) (((line + 1) * words_per_line) - 1) in
         copy_words_raw t.data t.data
@@ -165,6 +168,9 @@ let blit_words t ~tid ~src ~dst len =
   end
 
 let cas_word t ~tid addr ~expected ~desired =
+  (* Yield point before the lock: the rmw critical section itself never
+     yields, so a fiber can never be suspended holding [rmw_lock]. *)
+  Sched.yield ();
   check_addr t addr;
   (* A frozen region cannot return a meaningful success/failure — and CAS
      retry loops (e.g. CX's [curComb] transition) would spin forever on a
@@ -284,6 +290,7 @@ let ntcopy_words t ~tid ~src ~dst len =
     if not t.frozen then begin
       let c = t.counters.(tid) in
       for line = line_of dst to line_of (dst + len - 1) do
+        Sched.yield ();
         let lo = max dst (line * words_per_line) in
         let hi = min (dst + len - 1) (((line + 1) * words_per_line) - 1) in
         copy_words_raw t.data t.data

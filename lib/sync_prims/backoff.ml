@@ -6,13 +6,20 @@ type t = {
 let create ?(max_spins = 1024) () = { spins = 4; max_spins }
 
 let yield () =
-  (* Unix.sleepf 0.0 releases the processor without a measurable delay;
-     Domain.cpu_relax alone never lets the holder's domain run on 1 core. *)
-  Unix.sleepf 0.0
+  (* Under the deterministic scheduler, yielding means suspending the
+     fiber; under Domains, Unix.sleepf 0.0 releases the processor
+     without a measurable delay (Domain.cpu_relax alone never lets the
+     holder's domain run on 1 core). *)
+  if Sched.active () then Sched.yield () else Unix.sleepf 0.0
 
 let once ?(tid = 0) t =
   let n = t.spins in
-  if n >= t.max_spins then begin
+  if Sched.active () then
+    (* Spinning burns host CPU without advancing simulated time; one
+       yield point per backoff round keeps the spins-growth contract
+       while handing control back to the scheduler. *)
+    Sched.yield ()
+  else if n >= t.max_spins then begin
     Obs.backoff_yielded ~tid;
     yield ()
   end

@@ -1,6 +1,9 @@
 (* Writer word encoding: 0 = free; otherwise (tid + 1) lsl 1, with bit 0 set
    when the hold has been downgraded to allow readers. *)
 
+(* Every access is a yield point under the deterministic scheduler. *)
+module Atomic = Sched.Atomic
+
 type t = {
   writer : int Atomic.t;
   readers : int Atomic.t;
@@ -10,6 +13,19 @@ let create () = { writer = Atomic.make 0; readers = Atomic.make 0 }
 
 let[@inline] encode tid = (tid + 1) lsl 1
 let[@inline] downgraded w = w land 1 = 1
+
+(* How many backoff rounds a writer spends draining in-flight readers
+   before backing its writer word off.  A reader parked inside its
+   critical section (an OS-preempted — or scheduler-stalled — thread)
+   would otherwise spin the writer forever; bounded draining turns that
+   livelock into an ordinary [false] the caller already handles. *)
+let drain_budget_a = Stdlib.Atomic.make 256
+
+let set_drain_budget n =
+  if n < 1 then invalid_arg "Rwlock.set_drain_budget: budget must be >= 1";
+  Stdlib.Atomic.set drain_budget_a n
+
+let drain_budget () = Stdlib.Atomic.get drain_budget_a
 
 let shared_try_lock t ~tid =
   (* Ingress first, then check for a writer: a writer that acquired after our
@@ -25,36 +41,79 @@ let shared_try_lock t ~tid =
 
 let shared_unlock t ~tid:_ = ignore (Atomic.fetch_and_add t.readers (-1))
 
+(* Bar is assumed up; wait for in-flight readers.  Each pending reader
+   either backs out (saw the writer word) or holds briefly, so this
+   normally takes a handful of rounds; [false] after the budget means
+   some reader is parked in its critical section. *)
+let drain_readers t ~tid =
+  let b = Backoff.create () in
+  let budget = ref (Stdlib.Atomic.get drain_budget_a) in
+  let ok = ref true in
+  while !ok && Atomic.get t.readers > 0 do
+    if !budget = 0 then ok := false
+    else begin
+      decr budget;
+      ignore (Backoff.once ~tid b)
+    end
+  done;
+  !ok
+
+let[@inline never] owner_violation ~fn ~tid w =
+  let held =
+    if w = 0 then "the lock is free"
+    else
+      Printf.sprintf "owner is tid %d%s"
+        ((w lsr 1) - 1)
+        (if downgraded w then " (downgraded)" else "")
+  in
+  invalid_arg (Printf.sprintf "Rwlock.%s: caller tid %d but %s" fn tid held)
+
 let exclusive_try_lock t ~tid =
   if not (Atomic.compare_and_set t.writer 0 (encode tid)) then begin
     Obs.rwlock_contended ~tid;
     false
   end
-  else begin
-    (* Bar is up; drain in-flight readers. Each pending reader either backs
-       out (saw our writer word) or holds briefly, so this loop is finite. *)
-    let b = Backoff.create () in
-    while Atomic.get t.readers > 0 do
-      ignore (Backoff.once ~tid b)
-    done;
+  else if drain_readers t ~tid then begin
     Obs.rwlock_acquired ~tid;
     true
+  end
+  else begin
+    (* A reader never drained: back the bar off so readers and other
+       writers can proceed, and fail like any other contended attempt. *)
+    Atomic.set t.writer 0;
+    Obs.rwlock_drain_aborted ~tid;
+    false
   end
 
 let exclusive_unlock t ~tid =
   let expected = encode tid in
   let w = Atomic.get t.writer in
-  assert (w = expected || w = expected lor 1);
+  if not (w = expected || w = expected lor 1) then
+    owner_violation ~fn:"exclusive_unlock" ~tid w;
   Atomic.set t.writer 0
 
 let downgrade t ~tid =
   let expected = encode tid in
-  assert (Atomic.get t.writer = expected);
+  let w = Atomic.get t.writer in
+  if w <> expected then owner_violation ~fn:"downgrade" ~tid w;
   Atomic.set t.writer (expected lor 1)
+
+let try_upgrade t ~tid =
+  let w = Atomic.get t.writer in
+  if w <> encode tid lor 1 then owner_violation ~fn:"try_upgrade" ~tid w;
+  Atomic.set t.writer (encode tid);
+  if drain_readers t ~tid then true
+  else begin
+    (* Re-admit readers: the caller keeps its downgraded hold and must
+       choose another way to make progress (e.g. abandon the replica). *)
+    Atomic.set t.writer (encode tid lor 1);
+    Obs.rwlock_drain_aborted ~tid;
+    false
+  end
 
 let upgrade t ~tid =
   let w = Atomic.get t.writer in
-  assert (w = encode tid lor 1);
+  if w <> encode tid lor 1 then owner_violation ~fn:"upgrade" ~tid w;
   Atomic.set t.writer (encode tid);
   let b = Backoff.create () in
   while Atomic.get t.readers > 0 do
@@ -63,7 +122,7 @@ let upgrade t ~tid =
 
 let downgrade_unlock t ~tid =
   let w = Atomic.get t.writer in
-  assert (w = encode tid lor 1);
+  if w <> encode tid lor 1 then owner_violation ~fn:"downgrade_unlock" ~tid w;
   Atomic.set t.writer 0
 
 let reset t =

@@ -24,8 +24,16 @@ val shared_try_lock : t -> tid:int -> bool
 val shared_unlock : t -> tid:int -> unit
 
 (** [exclusive_try_lock t ~tid] attempts write access; on success all reader
-    activity has drained before it returns [true]. *)
+    activity has drained before it returns [true].  Draining is bounded (see
+    {!set_drain_budget}): if an in-flight reader is parked inside its
+    critical section — a preempted or stalled thread — the writer word is
+    backed off and the attempt fails rather than spinning forever. *)
 val exclusive_try_lock : t -> tid:int -> bool
+
+(** All owner-checked operations ([exclusive_unlock], [downgrade],
+    [upgrade], [try_upgrade], [downgrade_unlock]) raise [Invalid_argument]
+    with an owner/tid diagnostic when the caller does not hold the lock in
+    the required mode — always on, unlike [assert]. *)
 
 val exclusive_unlock : t -> tid:int -> unit
 
@@ -38,9 +46,24 @@ val downgrade : t -> tid:int -> unit
 val downgrade_unlock : t -> tid:int -> unit
 
 (** [upgrade t ~tid] re-acquires exclusivity after a [downgrade]: bars new
-    readers and drains the in-flight ones.  Must be called by the current
-    (downgraded) owner. *)
+    readers and drains the in-flight ones — {e unboundedly}.  Must be called
+    by the current (downgraded) owner.  Prefer {!try_upgrade} wherever a
+    stalled reader must not be able to block the caller. *)
 val upgrade : t -> tid:int -> unit
+
+(** [try_upgrade t ~tid] is {!upgrade} with the bounded drain of
+    {!exclusive_try_lock}: on budget exhaustion the downgraded hold is
+    restored (readers re-admitted) and the call returns [false]. *)
+val try_upgrade : t -> tid:int -> bool
+
+(** {2 Drain budget} *)
+
+(** [set_drain_budget n] caps the number of backoff rounds a writer spends
+    draining in-flight readers (global; default 256).  Aborted drains are
+    counted on the [sync.rwlock.drain_aborted] metric. *)
+val set_drain_budget : int -> unit
+
+val drain_budget : unit -> int
 
 (** Current exclusive owner's [tid], if any (downgraded owners included);
     for debugging and assertions. *)

@@ -1,3 +1,6 @@
+(* Every access is a yield point under the deterministic scheduler. *)
+module Atomic = Sched.Atomic
+
 type 'a node = {
   payload : 'a;
   ticket_a : int Atomic.t; (* -1 until linked *)
@@ -37,6 +40,7 @@ let create ~num_threads dummy =
 
 let sentinel t = t.sentinel
 let tail t = Atomic.get t.tail_a
+let announced t ~tid = Atomic.get t.announce.(tid)
 
 (* Completing a link is split KP-style: assign the ticket, mark the node
    enqueued, and only then swing the tail.  Helpers that find the tail's

@@ -34,6 +34,12 @@ val sentinel : 'a t -> 'a node
 (** Last linked node currently known. *)
 val tail : 'a t -> 'a node
 
+(** [announced t ~tid] is [tid]'s announce slot: the node it published with
+    {!enqueue} and has not yet observed linked.  Progress probes use this to
+    detect an announced-but-unlinked operation of a stalled thread (helpers
+    will still link it, in turn order). *)
+val announced : 'a t -> tid:int -> 'a node option
+
 (** [enqueue t ~tid payload] appends a new node and returns it, helping other
     announced enqueuers along the way; returns once the node is linked (its
     ticket is then valid). *)

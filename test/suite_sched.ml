@@ -1,0 +1,272 @@
+(* Tests for the deterministic cooperative scheduler and the progress
+   oracle: schedule determinism, stall/kill adversaries via Progress on
+   every PTM, blocked-detection of the lock-based baselines, helped
+   completion on the volatile CX construction, and the bounded-drain /
+   owner-check behavior of the sync primitives. *)
+
+let status_strings r =
+  Array.to_list
+    (Array.map
+       (fun s -> Format.asprintf "%a" Sched.pp_status s)
+       r.Sched.statuses)
+
+(* A small mixed atomic workload whose schedule fingerprint (resume
+   order, step count, final value, statuses) must be a pure function of
+   the seed and the injections. *)
+let fingerprint ~seed ~injections () =
+  let shared = Stdlib.Atomic.make 0 in
+  let order = ref [] in
+  let body _tid =
+    for _ = 1 to 5 do
+      (match Sched.current () with
+      | Some id -> order := id :: !order
+      | None -> ());
+      let v = Sched.Atomic.fetch_and_add shared 1 in
+      if v land 1 = 0 then Sched.Atomic.incr shared
+      else ignore (Sched.Atomic.compare_and_set shared (v + 1) (v + 2));
+      ignore (Sched.Atomic.get shared)
+    done
+  in
+  let r = Sched.run ~seed ~injections ~num_fibers:3 body in
+  ( r.Sched.steps,
+    r.Sched.applied,
+    status_strings r,
+    Stdlib.Atomic.get shared,
+    List.rev !order )
+
+let test_determinism () =
+  let a = fingerprint ~seed:7 ~injections:[] () in
+  let b = fingerprint ~seed:7 ~injections:[] () in
+  Alcotest.(check bool) "same seed, same schedule" true (a = b);
+  let c = fingerprint ~seed:8 ~injections:[] () in
+  let (_, _, _, _, oa), (_, _, _, _, oc) = (a, c) in
+  Alcotest.(check bool) "different seed, different resume order" true
+    (oa <> oc)
+
+let test_injection_determinism () =
+  let inj = [ Sched.Stall { tid = 1; at_step = 10; duration = None } ] in
+  let a = fingerprint ~seed:7 ~injections:inj () in
+  let b = fingerprint ~seed:7 ~injections:inj () in
+  Alcotest.(check bool) "same injected schedule" true (a = b);
+  let _, applied, statuses, _, _ = a in
+  Alcotest.(check bool) "stall landed at its step" true
+    (applied = [ (1, 10) ]);
+  Alcotest.(check string) "victim ended stalled" "stalled"
+    (List.nth statuses 1)
+
+let test_kill_drops_fiber () =
+  let r =
+    Sched.run ~seed:3
+      ~injections:[ Sched.Kill { tid = 0; at_step = 5 } ]
+      ~num_fibers:2
+      (fun _tid ->
+        let a = Stdlib.Atomic.make 0 in
+        for _ = 1 to 20 do
+          Sched.Atomic.incr a
+        done)
+  in
+  Alcotest.(check string) "killed" "killed" (List.nth (status_strings r) 0);
+  Alcotest.(check string) "survivor finished" "finished"
+    (List.nth (status_strings r) 1)
+
+(* The progress oracle itself must be deterministic: a verdict — repro
+   line included — is a pure function of its parameters. *)
+module Prog_cx = Ptm.Progress.Make (Ptm.Cx_ptm.Ptm)
+module Prog_cx_puc = Ptm.Progress.Make (Ptm.Cx_ptm.Puc)
+module Prog_redo = Ptm.Progress.Make (Ptm.Redo_ptm.Base)
+module Prog_redo_timed = Ptm.Progress.Make (Ptm.Redo_ptm.Timed)
+module Prog_redo_opt = Ptm.Progress.Make (Ptm.Redo_ptm.Opt)
+module Prog_onefile = Ptm.Progress.Make (Ptm.Onefile)
+module Prog_pmdk = Ptm.Progress.Make (Ptm.Pmdk_sim)
+module Prog_romulus = Ptm.Progress.Make (Ptm.Romulus)
+
+let test_verdict_determinism () =
+  let run () =
+    Prog_cx.run_one ~seed:9 ~stalls:[ (1, 120, None) ] ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical verdicts" true (a = b);
+  Alcotest.(check bool) "repro names the CLI flags" true
+    (String.length a.Ptm.Progress.repro > 0
+    && String.sub a.Ptm.Progress.repro 0 20 = "crash_torture --sche")
+
+(* Calibrated adversary rounds on the wait-free PTMs: every stall and
+   kill round must complete the frozen announcer's operation through the
+   helping path (stalled_completed >= 1), and every round must satisfy
+   its oracle. *)
+let check_wait_free name sweep () =
+  let vs = sweep ~rounds:4 () in
+  Alcotest.(check int) "four rounds" 4 (List.length vs);
+  List.iter
+    (fun (v : Ptm.Progress.verdict) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s %s seed=%d: %s" name v.scenario v.seed v.detail)
+        "" v.detail;
+      Alcotest.(check bool) (name ^ " " ^ v.scenario ^ " ok") true v.ok;
+      if v.scenario = "stall" || v.scenario = "kill" then
+        Alcotest.(check bool)
+          (name ^ " " ^ v.scenario ^ " helper finished the stalled op") true
+          (v.stalled_completed >= 1))
+    vs
+
+(* The blocking baselines must be detected as blocked — budget exhausted
+   with the victim parked on the global lock — rather than hang, and
+   their stall+crash round must still recover a consistent counter. *)
+let check_blocking name sweep () =
+  let vs = sweep ~rounds:2 () in
+  List.iter
+    (fun (v : Ptm.Progress.verdict) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s %s seed=%d: %s" name v.scenario v.seed v.detail)
+        "" v.detail;
+      Alcotest.(check bool) (name ^ " " ^ v.scenario ^ " ok") true v.ok;
+      if v.scenario = "blocked-detection" then
+        Alcotest.(check bool) (name ^ " flagged as blocked") true v.blocked)
+    vs
+
+(* Helped completion on the volatile CX construction, observed directly
+   through [Cx.announced_pending]: stall the announcer mid-operation and
+   let the others run to completion.  The scan over stall steps is
+   deterministic; at least one step must land inside the announce window
+   so that the helpers — not the announcer — execute the operation. *)
+let test_cx_volatile_helped_completion () =
+  let helped = ref false in
+  List.iter
+    (fun at ->
+      let cx = Ptm.Cx.create ~num_threads:3 ~copy:(fun r -> ref !r) (ref 0L) in
+      let returned = ref 0 in
+      let body tid =
+        let n = if tid = 0 then 1 else 4 in
+        for _ = 1 to n do
+          ignore
+            (Ptm.Cx.apply_update cx ~tid (fun r ->
+                 r := Int64.add !r 1L;
+                 !r));
+          incr returned
+        done
+      in
+      let r =
+        Sched.run ~seed:11
+          ~injections:[ Sched.Stall { tid = 0; at_step = at; duration = None } ]
+          ~num_fibers:3 body
+      in
+      Alcotest.(check bool) "no announced op left behind" false
+        (Ptm.Cx.announced_pending cx ~tid:0);
+      let final =
+        Int64.to_int (Ptm.Cx.apply_read cx ~tid:1 (fun r -> !r))
+      in
+      (* Every linearized increment is applied exactly once: the final
+         value is the returned count, plus one iff the helpers executed
+         the stalled announcer's in-flight operation. *)
+      let extra = final - !returned in
+      Alcotest.(check bool) "no lost or duplicated increment" true
+        (extra = 0 || extra = 1);
+      if r.Sched.statuses.(0) = Sched.Stalled && extra = 1 then helped := true)
+    [ 8; 16; 24; 32; 48; 64; 96 ];
+  Alcotest.(check bool) "a stall landed mid-announce and was helped" true
+    !helped
+
+(* A reader parked inside its critical section must make the writer's
+   bounded drain give up — writer word rolled back, readers unaffected —
+   instead of spinning forever. *)
+let test_rwlock_drain_abort () =
+  let old = Sync_prims.Rwlock.drain_budget () in
+  Fun.protect ~finally:(fun () -> Sync_prims.Rwlock.set_drain_budget old)
+  @@ fun () ->
+  Sync_prims.Rwlock.set_drain_budget 4;
+  let l = Sync_prims.Rwlock.create () in
+  assert (Sync_prims.Rwlock.shared_try_lock l ~tid:1);
+  Alcotest.(check bool) "drain aborted" false
+    (Sync_prims.Rwlock.exclusive_try_lock l ~tid:0);
+  Alcotest.(check (option int)) "writer word rolled back" None
+    (Sync_prims.Rwlock.owner l);
+  Alcotest.(check bool) "new readers unaffected" true
+    (Sync_prims.Rwlock.shared_try_lock l ~tid:2);
+  Sync_prims.Rwlock.shared_unlock l ~tid:2;
+  Sync_prims.Rwlock.shared_unlock l ~tid:1;
+  Alcotest.(check bool) "writer succeeds once drained" true
+    (Sync_prims.Rwlock.exclusive_try_lock l ~tid:0);
+  Sync_prims.Rwlock.exclusive_unlock l ~tid:0
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  | exception Invalid_argument _ -> ()
+
+let test_rwlock_owner_checks () =
+  let l = Sync_prims.Rwlock.create () in
+  expect_invalid "unlock free lock" (fun () ->
+      Sync_prims.Rwlock.exclusive_unlock l ~tid:0);
+  assert (Sync_prims.Rwlock.exclusive_try_lock l ~tid:1);
+  expect_invalid "unlock by non-owner" (fun () ->
+      Sync_prims.Rwlock.exclusive_unlock l ~tid:2);
+  expect_invalid "downgrade by non-owner" (fun () ->
+      Sync_prims.Rwlock.downgrade l ~tid:2);
+  expect_invalid "upgrade without downgrade" (fun () ->
+      Sync_prims.Rwlock.upgrade l ~tid:1);
+  expect_invalid "try_upgrade without downgrade" (fun () ->
+      ignore (Sync_prims.Rwlock.try_upgrade l ~tid:1));
+  expect_invalid "downgrade_unlock without downgrade" (fun () ->
+      Sync_prims.Rwlock.downgrade_unlock l ~tid:1);
+  Sync_prims.Rwlock.exclusive_unlock l ~tid:1
+
+let test_sched_mutex_owner_checks () =
+  let m = Sched.Mutex.create () in
+  expect_invalid "unlock unheld mutex" (fun () -> Sched.Mutex.unlock m ~tid:0);
+  Sched.Mutex.lock m ~tid:1;
+  Alcotest.(check (option int)) "holder tracked" (Some 1)
+    (Sched.Mutex.holder m);
+  expect_invalid "unlock by non-holder" (fun () ->
+      Sched.Mutex.unlock m ~tid:0);
+  Sched.Mutex.unlock m ~tid:1;
+  Alcotest.(check (option int)) "released" None (Sched.Mutex.holder m)
+
+let suites =
+  [
+    ( "sched",
+      [
+        Alcotest.test_case "deterministic schedules" `Quick test_determinism;
+        Alcotest.test_case "deterministic injections" `Quick
+          test_injection_determinism;
+        Alcotest.test_case "kill drops the fiber" `Quick test_kill_drops_fiber;
+        Alcotest.test_case "mutex owner checks" `Quick
+          test_sched_mutex_owner_checks;
+      ] );
+    ( "progress",
+      [
+        Alcotest.test_case "deterministic verdicts" `Quick
+          test_verdict_determinism;
+        Alcotest.test_case "CX volatile helped completion" `Quick
+          test_cx_volatile_helped_completion;
+        Alcotest.test_case "CX-PUC adversary rounds" `Quick
+          (check_wait_free "CX-PUC" (fun ~rounds () ->
+               Prog_cx_puc.sweep ~rounds ()));
+        Alcotest.test_case "CX-PTM adversary rounds" `Quick
+          (check_wait_free "CX-PTM" (fun ~rounds () ->
+               Prog_cx.sweep ~rounds ()));
+        Alcotest.test_case "Redo adversary rounds" `Quick
+          (check_wait_free "Redo" (fun ~rounds () ->
+               Prog_redo.sweep ~rounds ()));
+        Alcotest.test_case "RedoTimed adversary rounds" `Quick
+          (check_wait_free "RedoTimed" (fun ~rounds () ->
+               Prog_redo_timed.sweep ~rounds ()));
+        Alcotest.test_case "RedoOpt adversary rounds" `Quick
+          (check_wait_free "RedoOpt" (fun ~rounds () ->
+               Prog_redo_opt.sweep ~rounds ()));
+        Alcotest.test_case "OneFile adversary rounds" `Quick
+          (check_wait_free "OneFile" (fun ~rounds () ->
+               Prog_onefile.sweep ~rounds ()));
+        Alcotest.test_case "PMDK blocked-detection" `Quick
+          (check_blocking "PMDK" (fun ~rounds () -> Prog_pmdk.sweep ~rounds ()));
+        Alcotest.test_case "RomulusLR blocked-detection" `Quick
+          (check_blocking "RomulusLR" (fun ~rounds () ->
+               Prog_romulus.sweep ~rounds ()));
+      ] );
+    ( "rwlock-progress",
+      [
+        Alcotest.test_case "bounded drain aborts on parked reader" `Quick
+          test_rwlock_drain_abort;
+        Alcotest.test_case "owner checks raise Invalid_argument" `Quick
+          test_rwlock_owner_checks;
+      ] );
+  ]

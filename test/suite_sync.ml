@@ -206,6 +206,66 @@ let test_turn_queue_concurrent_enqueues () =
   in
   check_tickets (Sync_prims.Turn_queue.sentinel q) 1
 
+(* Turn queue under adversarial deterministic schedules: interleave the
+   enqueuers one atomic access at a time and freeze one of them at a
+   chosen step — possibly mid-publish.  Invariants, whatever the stall
+   step: tickets are consecutive along the list, no payload is lost or
+   duplicated, every enqueue that returned is linked, and a node left in
+   the stalled thread's announce slot is linked by the helpers.  The
+   step scan must hit the announce window at least once, so the
+   helped-link path is demonstrably exercised. *)
+let test_turn_queue_adversarial_schedules () =
+  let helped_link = ref false in
+  List.iter
+    (fun at ->
+      let q = Sync_prims.Turn_queue.create ~num_threads:3 (-1) in
+      let per = 5 in
+      let returned = Array.make 3 0 in
+      let body tid =
+        for i = 0 to per - 1 do
+          ignore (Sync_prims.Turn_queue.enqueue q ~tid ((tid * 100) + i));
+          returned.(tid) <- returned.(tid) + 1
+        done
+      in
+      let r =
+        Sched.run ~seed:(at + 1)
+          ~injections:[ Sched.Stall { tid = 1; at_step = at; duration = None } ]
+          ~num_fibers:3 body
+      in
+      let seen = Hashtbl.create 32 in
+      let rec walk node expect =
+        match Sync_prims.Turn_queue.next node with
+        | None -> ()
+        | Some n ->
+            Alcotest.(check int) "consecutive tickets" expect
+              (Sync_prims.Turn_queue.ticket n);
+            let pl = Sync_prims.Turn_queue.payload n in
+            Alcotest.(check bool) "no duplicate payload" false
+              (Hashtbl.mem seen pl);
+            Hashtbl.replace seen pl ();
+            walk n (expect + 1)
+      in
+      walk (Sync_prims.Turn_queue.sentinel q) 1;
+      (* every enqueue that returned must be in the list *)
+      Array.iteri
+        (fun tid n ->
+          for i = 0 to n - 1 do
+            Alcotest.(check bool) "returned enqueue linked" true
+              (Hashtbl.mem seen ((tid * 100) + i))
+          done)
+        returned;
+      (* a node still announced by the frozen enqueuer was linked for it *)
+      (match Sync_prims.Turn_queue.announced q ~tid:1 with
+      | None -> ()
+      | Some n ->
+          Alcotest.(check bool) "announced node linked by helpers" true
+            (Hashtbl.mem seen (Sync_prims.Turn_queue.payload n));
+          if r.Sched.statuses.(1) = Sched.Stalled then helped_link := true)
+      )
+    [ 4; 8; 12; 16; 20; 24; 28; 32; 40; 48 ];
+  Alcotest.(check bool) "a stall landed in the announce window" true
+    !helped_link
+
 let test_backoff_grows_and_resets () =
   let b = Sync_prims.Backoff.create ~max_spins:64 () in
   let s1 = Sync_prims.Backoff.once b in
@@ -242,10 +302,30 @@ let suites =
           test_turn_queue_fifo_single_thread;
         Alcotest.test_case "concurrent enqueues" `Slow
           test_turn_queue_concurrent_enqueues;
+        Alcotest.test_case "adversarial schedules" `Quick
+          test_turn_queue_adversarial_schedules;
       ] );
     ( "backoff",
       [ Alcotest.test_case "grows and resets" `Quick test_backoff_grows_and_resets ] );
   ]
+
+(* Backoff spin-count contract, property-tested: starting from 4, each
+   round doubles the spin count up to the cap (a power of two), and
+   [reset] restores the initial value. *)
+let qcheck_backoff_spin_schedule =
+  QCheck.Test.make ~name:"backoff doubles to cap; reset restores" ~count:100
+    QCheck.(pair (int_range 3 12) (int_range 1 24))
+  @@ fun (max_pow, n) ->
+  let max_spins = 1 lsl max_pow in
+  let b = Sync_prims.Backoff.create ~max_spins () in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let expect = min (4 lsl i) max_spins in
+    if Sync_prims.Backoff.once b <> expect then ok := false
+  done;
+  Sync_prims.Backoff.reset b;
+  if Sync_prims.Backoff.once b <> 4 then ok := false;
+  !ok
 
 (* Model-based random testing of the rwlock protocol (single-threaded
    oracle: at most one writer; readers only when no exclusive writer;
@@ -304,4 +384,9 @@ let qcheck_rwlock_model =
   !ok
 
 let suites =
-  suites @ [ ("rwlock-model", [ QCheck_alcotest.to_alcotest qcheck_rwlock_model ]) ]
+  suites
+  @ [
+      ("rwlock-model", [ QCheck_alcotest.to_alcotest qcheck_rwlock_model ]);
+      ( "backoff-model",
+        [ QCheck_alcotest.to_alcotest qcheck_backoff_spin_schedule ] );
+    ]

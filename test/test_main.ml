@@ -58,6 +58,7 @@ let () =
          Suite_pmem.suites;
          Suite_palloc.suites;
          Suite_sync.suites;
+         Suite_sched.suites;
          Suite_internals.suites;
          Ptm_pmdk.suites;
          Ptm_onefile.suites;
