@@ -1,0 +1,214 @@
+(* Closed-loop load generator for redodb_server.
+
+   N client domains each PUT a disjoint key range over its own
+   connection, retrying on OVERLOADED backpressure; an optional crasher
+   fires the protocol-level CRASH (simulated power failure + per-shard
+   recovery) once a fraction of the total load is in flight.  A final
+   verify phase MGETs every key back over a fresh connection and checks
+   the serving contract: every acknowledged write is present with the
+   exact value written (acked => durable), and any surviving
+   unacknowledged write carries the value that was attempted (batches
+   are all-or-nothing, never mangled).
+
+   Exit status is non-zero if verification fails, so CI can gate on it. *)
+
+let () =
+  let host = ref "127.0.0.1" in
+  let port = ref 7599 in
+  let clients = ref 4 in
+  let ops = ref 2000 in
+  let value_bytes = ref 64 in
+  let seed = ref 42 in
+  let crash_at = ref nan in
+  let json_file = ref "" in
+  let fetch_stats = ref false in
+  let spec =
+    [
+      ("--host", Arg.Set_string host, "ADDR server address (default 127.0.0.1)");
+      ("--port", Arg.Set_int port, "P server port (default 7599)");
+      ("--clients", Arg.Set_int clients, "N closed-loop client connections (default 4)");
+      ("--ops", Arg.Set_int ops, "N PUTs per client (default 2000)");
+      ("--value-bytes", Arg.Set_int value_bytes, "B value payload size (default 64)");
+      ("--seed", Arg.Set_int seed, "S seed for values and the CRASH fault draw (default 42)");
+      ( "--crash-at",
+        Arg.Set_float crash_at,
+        "FRAC send CRASH after this fraction of total ops (e.g. 0.5)" );
+      ("--json", Arg.Set_string json_file, "FILE write a machine-readable report");
+      ("--metrics", Arg.Set fetch_stats, " embed the server's STATS document in the report");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench_serve [options]";
+  (if Sys.unix then
+     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let nclients = !clients and per_client = !ops in
+  let total = nclients * per_client in
+  let key c i = Printf.sprintf "c%d:%06d" c i in
+  let value c i =
+    let stem = Printf.sprintf "v%d-%d-%d." !seed c i in
+    let b = Buffer.create !value_bytes in
+    while Buffer.length b < !value_bytes do
+      Buffer.add_string b stem
+    done;
+    Buffer.sub b 0 !value_bytes
+  in
+  let connect () =
+    Serve.Client.connect ~retries:100 ~retry_delay:0.05 ~host:!host ~port:!port ()
+  in
+  let admin = connect () in
+  Serve.Client.ping admin;
+
+  let acked = Array.init nclients (fun _ -> Array.make per_client false) in
+  let done_ops = Atomic.make 0 in
+  let overloads = Atomic.make 0 in
+  let unavailable = Atomic.make 0 in
+  let client_errors = Atomic.make 0 in
+
+  (* Optional crasher: one power failure at the load threshold. *)
+  let crash_ms = ref nan in
+  let crasher =
+    if Float.is_nan !crash_at then None
+    else begin
+      let threshold = int_of_float (!crash_at *. float_of_int total) in
+      Some
+        (Domain.spawn (fun () ->
+             while Atomic.get done_ops < threshold do
+               Unix.sleepf 0.001
+             done;
+             match
+               Serve.Client.crash admin ~seed:!seed ~evict_prob:0.2 ~torn_prob:0.2
+                 ~bitflips:0
+             with
+             | Ok ms -> crash_ms := ms
+             | Error d -> failwith ("CRASH did not recover: " ^ d)))
+    end
+  in
+
+  let run_client c =
+    let cl = connect () in
+    (try
+       for i = 0 to per_client - 1 do
+         (* Closed loop with bounded retry: OVERLOADED is backpressure
+            (ease off and resend); unavailable means the engine is mid
+            power-failure (wait out the outage).  An op that exhausts its
+            retries stays unacknowledged — the verifier then only checks
+            it was not mangled. *)
+         let rec attempt n =
+           if n < 2000 then
+             match Serve.Client.put cl ~key:(key c i) ~value:(value c i) with
+             | Ok () -> acked.(c).(i) <- true
+             | Error `Overloaded ->
+                 Atomic.incr overloads;
+                 Unix.sleepf 0.0005;
+                 attempt (n + 1)
+             | Error (`Err _) ->
+                 Atomic.incr unavailable;
+                 Unix.sleepf 0.002;
+                 attempt (n + 1)
+         in
+         attempt 0;
+         Atomic.incr done_ops
+       done
+     with e ->
+       Atomic.incr client_errors;
+       Printf.eprintf "client %d died: %s\n%!" c (Printexc.to_string e));
+    Serve.Client.close cl
+  in
+  let t0 = Unix.gettimeofday () in
+  let doms = List.init nclients (fun c -> Domain.spawn (fun () -> run_client c)) in
+  List.iter Domain.join doms;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Option.iter Domain.join crasher;
+
+  (* ---- verify ---- *)
+  let n_acked = ref 0 in
+  Array.iter (Array.iter (fun a -> if a then incr n_acked)) acked;
+  let acked_missing = ref 0 and mangled = ref 0 and unacked_present = ref 0 in
+  let chunk = 64 in
+  for c = 0 to nclients - 1 do
+    let i = ref 0 in
+    while !i < per_client do
+      let n = min chunk (per_client - !i) in
+      let ks = List.init n (fun j -> key c (!i + j)) in
+      (match Serve.Client.mget admin ks with
+      | Ok vs ->
+          List.iteri
+            (fun j v ->
+              let idx = !i + j in
+              match (v, acked.(c).(idx)) with
+              | Some v, was_acked ->
+                  if v <> value c idx then begin
+                    incr mangled;
+                    Printf.eprintf "MANGLED %s\n%!" (key c idx)
+                  end
+                  else if not was_acked then incr unacked_present
+              | None, true ->
+                  incr acked_missing;
+                  Printf.eprintf "ACKED BUT MISSING %s\n%!" (key c idx)
+              | None, false -> ())
+            vs
+      | Error _ -> failwith "verify MGET failed");
+      i := !i + n
+    done
+  done;
+
+  let stats =
+    if !fetch_stats then
+      match Serve.Client.stats admin with
+      | Ok j -> j
+      | Error e -> failwith ("STATS failed: " ^ e)
+    else Obs.Json.Null
+  in
+  Serve.Client.close admin;
+
+  let throughput = if elapsed > 0. then float_of_int !n_acked /. elapsed else 0. in
+  Printf.printf
+    "bench_serve: %d clients x %d ops -> %d acked in %.3fs (%.0f ops/s), %d \
+     overloaded, %d unavailable retries%s\n"
+    nclients per_client !n_acked elapsed throughput (Atomic.get overloads)
+    (Atomic.get unavailable)
+    (if Float.is_nan !crash_ms then "" else Printf.sprintf ", crash outage %.1fms" !crash_ms);
+  Printf.printf "verify: acked_missing=%d mangled=%d unacked_present=%d\n%!"
+    !acked_missing !mangled !unacked_present;
+
+  if !json_file <> "" then begin
+    let open Obs.Json in
+    let doc =
+      Obj
+        [
+          ("schema", String "pm-ucs-serve/1");
+          ("host", String !host);
+          ("port", Int !port);
+          ("clients", Int nclients);
+          ("ops_per_client", Int per_client);
+          ("value_bytes", Int !value_bytes);
+          ("seed", Int !seed);
+          ("crash_at", if Float.is_nan !crash_at then Null else Float !crash_at);
+          ("crash_ms", if Float.is_nan !crash_ms then Null else Float !crash_ms);
+          ("acked", Int !n_acked);
+          ("overloads", Int (Atomic.get overloads));
+          ("unavailable_retries", Int (Atomic.get unavailable));
+          ("elapsed_s", Float elapsed);
+          ("throughput_ops_s", Float throughput);
+          ( "verify",
+            Obj
+              [
+                ("acked_missing", Int !acked_missing);
+                ("mangled", Int !mangled);
+                ("unacked_present", Int !unacked_present);
+                ("checked", Int total);
+              ] );
+          ("server_stats", stats);
+        ]
+    in
+    let oc = open_out !json_file in
+    to_channel oc doc;
+    output_char oc '\n';
+    close_out oc
+  end;
+
+  if !acked_missing > 0 || !mangled > 0 || Atomic.get client_errors > 0 then begin
+    prerr_endline "bench_serve: VERIFICATION FAILED";
+    exit 1
+  end

@@ -318,6 +318,108 @@ let int_field ~flag s =
   | Some n -> n
   | None -> raise (Arg.Bad (Printf.sprintf "%s: bad integer %S" flag s))
 
+(* ---- sharded serving-engine torture (--serve-shards) ----
+
+   Single-threaded random churn against a batched Serve.Engine, with a
+   hard power failure (volatile batching state dropped, every shard
+   crashed through the media-fault path with a per-shard seed) between
+   rounds.  The driver is the client, so the model is exact: every
+   acknowledged write must survive every shard's recovery, across all
+   shards at once — gets, count and a full merged scan are checked. *)
+
+let serve_torture ~shards ~rounds ~seed ~evict_prob ~torn_prob ~bitflips =
+  let module SM = Map.Make (String) in
+  let e =
+    Serve.Engine.create
+      { Serve.Engine.default_config with shards; num_threads = 2 }
+  in
+  let model = ref SM.empty in
+  let st = Random.State.make [| seed |] in
+  let failures = ref 0 in
+  let torn_prob = Option.value torn_prob ~default:0. in
+  (try
+     for round = 1 to rounds do
+       for _ = 1 to 60 do
+         let k = Printf.sprintf "k%03d" (Random.State.int st 300) in
+         if Random.State.int st 4 > 0 then begin
+           let v = Printf.sprintf "v%d.%d" round (Random.State.int st 1000) in
+           (match Serve.Engine.put e ~tid:0 ~key:k ~value:v with
+           | Ok () -> ()
+           | Error err ->
+               Printf.printf "  !! serve: put rejected (%s)\n"
+                 (Serve.Engine.pp_error err);
+               incr failures);
+           model := SM.add k v !model
+         end
+         else begin
+           (match Serve.Engine.delete e ~tid:0 k with
+           | Ok () -> ()
+           | Error err ->
+               Printf.printf "  !! serve: delete rejected (%s)\n"
+                 (Serve.Engine.pp_error err);
+               incr failures);
+           model := SM.remove k !model
+         end
+       done;
+       match
+         Serve.Engine.crash_hard_with_faults e ~seed:(seed + round) ~evict_prob
+           ~torn_prob ~bitflips
+       with
+       | Error detail ->
+           if bitflips > 0 then begin
+             Printf.printf
+               "  detected: shard recovery refused corrupt image (%s)\n" detail;
+             raise Exit
+           end
+           else begin
+             Printf.printf
+               "  !! serve: Unrecoverable on a flip-free image (%s)\n" detail;
+             incr failures;
+             raise Exit
+           end
+       | Ok _ ->
+           let n = Serve.Engine.count e ~tid:0 in
+           if n <> SM.cardinal !model then begin
+             Printf.printf
+               "  !! serve: count diverged after crash: got %d want %d (round \
+                %d, seed %d)\n"
+               n (SM.cardinal !model) round seed;
+             incr failures
+           end;
+           SM.iter
+             (fun k v ->
+               match Serve.Engine.get e ~tid:0 k with
+               | Ok (Some v') when v' = v -> ()
+               | Ok got ->
+                   Printf.printf
+                     "  !! serve: key %s diverged after crash: got %s want %s \
+                      (round %d, seed %d)\n"
+                     k
+                     (Option.value got ~default:"<absent>")
+                     v round seed;
+                   incr failures
+               | Error err ->
+                   Printf.printf "  !! serve: get %s rejected (%s)\n" k
+                     (Serve.Engine.pp_error err);
+                   incr failures)
+             !model;
+           (match Serve.Engine.scan e ~tid:0 ~prefix:"" ~max:(SM.cardinal !model + 8) with
+           | Ok kvs ->
+               if kvs <> SM.bindings !model then begin
+                 Printf.printf
+                   "  !! serve: merged scan diverged after crash (round %d, \
+                    seed %d)\n"
+                   round seed;
+                 incr failures
+               end
+           | Error err ->
+               Printf.printf "  !! serve: scan rejected (%s)\n"
+                 (Serve.Engine.pp_error err);
+               incr failures)
+     done
+   with Exit -> ());
+  !failures
+
 let parse_kill s =
   let tid, step = parse_at ~flag:"--kill" s in
   (int_field ~flag:"--kill" tid, int_field ~flag:"--kill" step)
@@ -359,6 +461,7 @@ let () =
   let stalls = ref [] in
   let kills = ref [] in
   let crash_step = ref None in
+  let serve_shards = ref 0 in
   let spec =
     [
       ("--ptm", Arg.Set_string ptm_filter, "NAME only torture this PTM");
@@ -427,6 +530,10 @@ let () =
         Arg.Int (fun s -> crash_step := Some s),
         "N in --sched mode, crash the whole machine at scheduler step N, \
          recover and check the durable counter" );
+      ( "--serve-shards",
+        Arg.Set_int serve_shards,
+        "N torture the sharded serving engine (lib/serve) with N shards: hard \
+         power failures between churn rounds, media faults per shard" );
       ( "--trace",
         Arg.String (fun f -> trace_file := Some f),
         "FILE export a Chrome trace-event JSON of the torture run" );
@@ -461,7 +568,21 @@ let () =
   in
   let tp = if !torn_set then Some !torn_prob else None in
   let total_failures = ref 0 in
-  (if !sched then begin
+  (if !serve_shards > 0 then begin
+     Printf.printf
+       "torturing serve/%d-shard (%d rounds, evict %.2f, torn %.2f, flips %d)... %!"
+       !serve_shards !rounds !evict_prob !torn_prob !bitflips;
+     let t0 = Unix.gettimeofday () in
+     let f =
+       serve_torture ~shards:!serve_shards ~rounds:!rounds ~seed:!seed
+         ~evict_prob:!evict_prob ~torn_prob:tp ~bitflips:!bitflips
+     in
+     total_failures := !total_failures + f;
+     Printf.printf "%s (%.1fs)\n"
+       (if f = 0 then "ok" else Printf.sprintf "%d FAILURES" f)
+       (Unix.gettimeofday () -. t0)
+   end
+   else if !sched then begin
      if !ptm_filter = "ONLL" then begin
        Printf.eprintf "--sched: ONLL has no dynamic transactions to schedule\n";
        exit 2

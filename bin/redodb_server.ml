@@ -1,0 +1,83 @@
+(* redodb_server: the sharded RedoDB serving engine behind a TCP
+   front-end.  Speaks the length-prefixed text protocol (see README
+   "Serving"); shut it down with SIGINT/SIGTERM or by ^C. *)
+
+let () =
+  let host = ref "127.0.0.1" in
+  let port = ref 7599 in
+  let shards = ref 4 in
+  let no_batch = ref false in
+  let max_batch = ref 16 in
+  let linger_us = ref 0.0 in
+  let queue_cap = ref 64 in
+  let max_conns = ref 8 in
+  let capacity = ref (1 lsl 20) in
+  let flush_cost = ref 150 in
+  let metrics = ref false in
+  let spec =
+    [
+      ("--host", Arg.Set_string host, "ADDR bind address (default 127.0.0.1)");
+      ("--port", Arg.Set_int port, "P listen port, 0 = ephemeral (default 7599)");
+      ("--shards", Arg.Set_int shards, "N hash-partitioned RedoDB shards (default 4)");
+      ("--no-batch", Arg.Set no_batch, " bypass group commit (one txn per write)");
+      ( "--max-batch",
+        Arg.Set_int max_batch,
+        "N group-commit batch size cap (default 16)" );
+      ( "--linger-us",
+        Arg.Set_float linger_us,
+        "US flush deadline of a non-full batch (default 0)" );
+      ( "--queue-cap",
+        Arg.Set_int queue_cap,
+        "N per-shard admission bound; beyond it requests get OVERLOADED (default 64)" );
+      ("--max-conns", Arg.Set_int max_conns, "N connection slots (default 8)");
+      ( "--capacity-bytes",
+        Arg.Set_int capacity,
+        "B total user-data budget across shards (default 1 MiB)" );
+      ( "--flush-cost",
+        Arg.Set_int flush_cost,
+        "ITERS simulated pwb/pfence device cost (default 150)" );
+      ("--metrics", Arg.Set metrics, " record obs metrics (served via STATS)");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "redodb_server [options]";
+  Obs.Metrics.enable !metrics;
+  let cfg =
+    {
+      Serve.Server.host = !host;
+      port = !port;
+      max_conns = !max_conns;
+      engine =
+        {
+          Serve.Engine.shards = !shards;
+          num_threads = !max_conns + 1;
+          capacity_bytes = !capacity;
+          batch = not !no_batch;
+          max_batch = !max_batch;
+          linger_us = !linger_us;
+          linger_steps = 0;
+          queue_cap = !queue_cap;
+        };
+    }
+  in
+  let srv = Serve.Server.start cfg in
+  (* After creation: initialisation flushes must not pay the device cost
+     (a realistic model would stretch startup into seconds). *)
+  Serve.Engine.set_flush_cost (Serve.Server.engine srv) !flush_cost;
+  Printf.printf "redodb_server listening on %s:%d (%d shard%s, %s)\n%!" !host
+    (Serve.Server.port srv) !shards
+    (if !shards = 1 then "" else "s")
+    (if !no_batch then "unbatched" else
+       Printf.sprintf "batched: max %d, linger %.0fus" !max_batch !linger_us);
+  let quit = Atomic.make false in
+  let on_signal _ = Atomic.set quit true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+   with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+   with Invalid_argument _ -> ());
+  while not (Atomic.get quit) do
+    Unix.sleepf 0.1
+  done;
+  Serve.Server.stop srv;
+  prerr_endline "redodb_server: stopped"

@@ -125,6 +125,11 @@ module Make (M : MODE) = struct
 
   let create ~num_threads ~words () =
     if words <= Palloc.heap_base then invalid_arg (M.name ^ ".create: words");
+    (* Line-align the replica stride: a mid-line replica boundary would
+       let one torn write-back corrupt two replicas at once. *)
+    let words =
+      (words + Pmem.words_per_line - 1) / Pmem.words_per_line * Pmem.words_per_line
+    in
     let nrep = 2 * num_threads in
     let base i = 64 + (i * words) in
     let pm =

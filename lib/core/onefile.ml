@@ -80,6 +80,10 @@ let header_seq = 0
 
 let create ~num_threads ~words () =
   if words <= Palloc.heap_base then invalid_arg "Onefile.create: words";
+  (* Line-align the val/seq areas so a torn line never straddles them. *)
+  let words =
+    (words + Pmem.words_per_line - 1) / Pmem.words_per_line * Pmem.words_per_line
+  in
   let log_cap = max 4096 words in
   if log_cap > n_mask then invalid_arg "Onefile.create: words too large";
   let slot_words = ((1 + (log_cap * entry_words)) + 7) / 8 * 8 in

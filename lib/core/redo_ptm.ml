@@ -126,6 +126,12 @@ module Make (C : CONFIG) = struct
 
   let create ~num_threads ~words () =
     if words <= Palloc.heap_base then invalid_arg (C.name ^ ".create: words");
+    (* Replica strides must be cache-line aligned: a replica boundary in
+       the middle of a line would let one torn write-back corrupt two
+       replicas at once, defeating the redundancy recovery relies on. *)
+    let words =
+      (words + Pmem.words_per_line - 1) / Pmem.words_per_line * Pmem.words_per_line
+    in
     let nrep = num_threads + 1 in
     let base i = 64 + (i * words) in
     let pm =

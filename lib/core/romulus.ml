@@ -51,6 +51,11 @@ let state_addr = 0
 
 let create ~num_threads ~words () =
   if words <= Palloc.heap_base then invalid_arg "Romulus.create: words";
+  (* Line-align main/back: a mid-line replica boundary would let one torn
+     write-back corrupt both replicas at once. *)
+  let words =
+    (words + Pmem.words_per_line - 1) / Pmem.words_per_line * Pmem.words_per_line
+  in
   let main_base = 64 in
   let back_base = main_base + words in
   let pm = Pmem.create ~max_threads:num_threads ~words:(back_base + words) () in

@@ -532,6 +532,8 @@ module Trace = struct
     | Checkpoint
     | Crash
     | Db_op
+    | Serve_op
+    | Batch
 
   let kind_name = function
     | Tx -> "tx"
@@ -550,11 +552,13 @@ module Trace = struct
     | Checkpoint -> "checkpoint"
     | Crash -> "crash"
     | Db_op -> "db_op"
+    | Serve_op -> "serve_op"
+    | Batch -> "batch"
 
   let kind_cat = function
     | Fence | Crash -> "pm"
     | Rwlock_acquire | Rwlock_contend | Sleep -> "sync"
-    | Db_op -> "db"
+    | Db_op | Serve_op | Batch -> "db"
     | _ -> "ptm"
 
   type ring = {

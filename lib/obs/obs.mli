@@ -122,6 +122,8 @@ module Trace : sig
     | Checkpoint  (** ONLL checkpoint (span) *)
     | Crash  (** simulated crash / injected crash point (instant) *)
     | Db_op  (** RedoDB API call (span) *)
+    | Serve_op  (** serving-engine request (span; arg = opcode) *)
+    | Batch  (** group-commit batch transaction (span; arg = batch size) *)
 
   val kind_name : kind -> string
 

@@ -16,6 +16,13 @@ module type S = sig
 
   val put : t -> tid:int -> key:string -> value:string -> unit
   val get : t -> tid:int -> string -> string option
+
+  (** Batched point reads: all keys are looked up on one consistent
+      snapshot (a single read-only transaction / read-lock acquisition),
+      which is what a multi-key serving request wants. Results are in
+      request order. *)
+  val get_batch : t -> tid:int -> string list -> string option list
+
   val delete : t -> tid:int -> string -> bool
 
   (** Atomic multi-write: [Some v] puts, [None] deletes. *)

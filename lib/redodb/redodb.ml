@@ -202,6 +202,25 @@ let get t ~tid key =
          0L));
   !out
 
+(* All lookups share one read-only snapshot: one shared-lock acquisition
+   per batch instead of one per key, which is what the serving layer's
+   MGET fast path relies on. *)
+let get_batch t ~tid keys =
+  Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:1 @@ fun () ->
+  let out = ref [] in
+  ignore
+    (P.read_only t.p ~tid (fun tx ->
+         let h = header tx in
+         out :=
+           List.rev_map
+             (fun key ->
+               let _, _, node = locate tx h key (hash_string key) in
+               if node = 0 then None
+               else Some (read_string tx (Int64.to_int (P.get tx (node + 2)))))
+             keys;
+         0L));
+  List.rev !out
+
 let fold t ~tid ~init f =
   Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:4 @@ fun () ->
   let acc = ref init in
@@ -249,6 +268,7 @@ let crash_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips =
 
 let stats t = P.stats t.p
 let reset_stats t = Pmem.reset_stats (P.pmem t.p)
+let set_flush_cost t iters = Pmem.set_flush_cost (P.pmem t.p) iters
 let memory_usage t = (P.nvm_usage_words t.p, P.volatile_usage_words t.p)
 
 (* ---- cursors ----

@@ -19,6 +19,11 @@ val crash_with_faults :
   bitflips:int ->
   (float, string) result
 
+(** Per-instance {!Pmem.set_flush_cost} override, so a serving layer can
+    create regions cheaply and install the device model afterwards
+    (initialisation flushes would otherwise pay it too). *)
+val set_flush_cost : t -> int -> unit
+
 (** {1 Iteration (the paper's "extended with iterator capabilities")} *)
 
 (** A cursor over a consistent snapshot of the database, ordered by key. *)

@@ -282,6 +282,15 @@ let get t ~tid key =
       | Some v -> v
       | None -> sst_lookup t key)
 
+let get_batch t ~tid keys =
+  with_read t ~tid (fun () ->
+      List.map
+        (fun key ->
+          match Hashtbl.find_opt t.memtable key with
+          | Some v -> v
+          | None -> sst_lookup t key)
+        keys)
+
 let fold t ~tid ~init f =
   with_read t ~tid (fun () ->
       let merged = Hashtbl.create 1024 in

@@ -1,0 +1,229 @@
+(* Per-shard group commit: concurrent client requests coalesce into one
+   RedoDB write_batch (one PTM transaction) per batch window.
+
+   There is no dedicated commit thread.  The queue is leader-based, like
+   classic WAL group commit: a client that finds the leader slot free
+   claims it, drains up to [max_batch] requests (waiting out the
+   configurable linger window first, so followers can pile in), runs the
+   combined transaction, acks every drained request, and repeats until
+   its own request is done.  While the leader commits, other clients
+   enqueue — the next leader drains them all, so batches form naturally
+   under load even with a zero linger.
+
+   Admission control is a bounded queue: a full queue rejects the
+   request immediately (`Overloaded) instead of buffering without bound,
+   so overload surfaces as explicit backpressure at the protocol layer.
+
+   The stage runs in two modes, like Sched.Mutex:
+   - under real Domains (the TCP server), waits are Domain.cpu_relax
+     spins and the linger window is wall-clock microseconds;
+   - under the deterministic scheduler (suite_serve), every Sched.Atomic
+     access is a yield point and the linger window is measured in
+     scheduler steps, so batch formation and ack order are a pure
+     function of the schedule seed.
+
+   An acknowledged request is durable: the ack is written only after the
+   PTM transaction that contains it has committed (write_batch returned,
+   two fences retired).  A crash may lose unacknowledged requests —
+   whole batches at a time, never a batch prefix — which is exactly
+   durable linearizability at the serving boundary. *)
+
+module A = Sched.Atomic
+
+type request = {
+  ops : (string * string option) list;
+  state : int A.t;  (* 0 = Pending, 1 = Acked, 2 = Rejected *)
+}
+
+type t = {
+  db : Kv.Redodb.t;
+  shard : int;
+  max_batch : int;
+  linger_us : float;  (* real-time linger of a non-full batch *)
+  linger_steps : int;  (* the same window under the scheduler *)
+  queue_cap : int;
+  lock : Sched.Mutex.t;  (* protects q, sizes, attempts *)
+  q : request Queue.t;
+  qlen : int A.t;  (* mirrors Queue.length q for lock-free peeks *)
+  leader : int A.t;  (* committing tid, or -1 *)
+  crashing : bool A.t;
+  mutable sizes : int list;  (* committed batch sizes, newest first *)
+  mutable attempts : string list list;
+      (* keys of every drained batch, logged BEFORE its commit: the
+         mid-batch crash oracle checks all-or-nothing against this *)
+  c_overload : Obs.Metrics.counter;
+  c_batches : Obs.Metrics.counter;
+  h_batch : Obs.Metrics.histogram;
+  h_qdepth : Obs.Metrics.histogram;
+}
+
+let create ~db ~shard ~max_batch ~linger_us ~linger_steps ~queue_cap =
+  if max_batch < 1 then invalid_arg "Batcher.create: max_batch";
+  if queue_cap < 1 then invalid_arg "Batcher.create: queue_cap";
+  {
+    db;
+    shard;
+    max_batch;
+    linger_us;
+    linger_steps;
+    queue_cap;
+    lock = Sched.Mutex.create ();
+    q = Queue.create ();
+    qlen = A.make 0;
+    leader = A.make (-1);
+    crashing = A.make false;
+    sizes = [];
+    attempts = [];
+    c_overload = Obs.Metrics.counter "serve.overload_rejections";
+    c_batches = Obs.Metrics.counter "serve.batches";
+    h_batch = Obs.Metrics.histogram "serve.batch_size";
+    h_qdepth = Obs.Metrics.histogram (Printf.sprintf "serve.shard%d.queue_depth" shard);
+  }
+
+(* Waiting for an ack can outlast a timeslice (the leader is committing a
+   whole batch through the simulated device), and on few cores a pure
+   spin starves the very leader it waits for — back off to the OS after a
+   burst of spins. *)
+let backoff n =
+  if Sched.active () then Sched.yield ()
+  else if n < 64 then Domain.cpu_relax ()
+  else Unix.sleepf 5e-5
+
+(* Virtualized clock for the linger window, like Redo's timed window:
+   wall-clock reads under the scheduler would leak real time into the
+   schedule and break replay determinism. *)
+let now_expired t ~opened =
+  if Sched.active () then Sched.now () - int_of_float opened >= t.linger_steps
+  else (Unix.gettimeofday () -. opened) *. 1e6 >= t.linger_us
+
+let clock () =
+  if Sched.active () then float_of_int (Sched.now ()) else Unix.gettimeofday ()
+
+(* Drain up to max_batch requests.  Must run with the lock held. *)
+let drain_locked t =
+  let n = min t.max_batch (Queue.length t.q) in
+  let batch = List.init n (fun _ -> Queue.pop t.q) in
+  A.set t.qlen (Queue.length t.q);
+  batch
+
+let commit_batch t ~tid batch =
+  let keys = List.concat_map (fun r -> List.map fst r.ops) batch in
+  Sched.Mutex.lock t.lock ~tid;
+  t.attempts <- keys :: t.attempts;
+  Sched.Mutex.unlock t.lock ~tid;
+  let size = List.length batch in
+  (* If the transaction dies (e.g. allocator exhaustion), the drained
+     requests must not hang their clients: reject them and let the
+     exception surface through the leader's own submit. *)
+  (try
+     Obs.Trace.span Obs.Trace.Batch ~tid ~arg:size @@ fun () ->
+     Kv.Redodb.write_batch t.db ~tid (List.concat_map (fun r -> r.ops) batch)
+   with e ->
+     List.iter (fun r -> A.set r.state 2) batch;
+     raise e);
+  if Obs.Metrics.is_on () then begin
+    Obs.Metrics.incr t.c_batches ~tid;
+    Obs.Metrics.record_ns t.h_batch ~tid size
+  end;
+  Sched.Mutex.lock t.lock ~tid;
+  t.sizes <- size :: t.sizes;
+  Sched.Mutex.unlock t.lock ~tid;
+  List.iter (fun r -> A.set r.state 1) batch
+
+let run_leader t ~tid ~mine =
+  while A.get mine.state = 0 do
+    if A.get t.crashing then begin
+      (* Reject everything still queued (unacknowledged by construction);
+         the engine's quiesce loop waits for this drain. *)
+      Sched.Mutex.lock t.lock ~tid;
+      let batch = ref [] in
+      Queue.iter (fun r -> batch := r :: !batch) t.q;
+      Queue.clear t.q;
+      A.set t.qlen 0;
+      Sched.Mutex.unlock t.lock ~tid;
+      List.iter (fun r -> A.set r.state 2) !batch
+    end
+    else begin
+      (* Linger: give followers a window to fill the batch, bounded by
+         the flush deadline.  A zero window commits what is queued. *)
+      let opened = clock () in
+      let spins = ref 0 in
+      while
+        A.get t.qlen < t.max_batch
+        && (not (now_expired t ~opened))
+        && not (A.get t.crashing)
+      do
+        backoff !spins;
+        incr spins
+      done;
+      Sched.Mutex.lock t.lock ~tid;
+      let batch = drain_locked t in
+      Sched.Mutex.unlock t.lock ~tid;
+      if batch <> [] then
+        if A.get t.crashing then List.iter (fun r -> A.set r.state 2) batch
+        else commit_batch t ~tid batch
+    end
+  done
+
+let submit t ~tid ops =
+  if A.get t.crashing then Error `Rejected
+  else begin
+    Sched.Mutex.lock t.lock ~tid;
+    let admitted = Queue.length t.q < t.queue_cap in
+    let mine = { ops; state = A.make 0 } in
+    if admitted then begin
+      Queue.push mine t.q;
+      A.set t.qlen (Queue.length t.q)
+    end;
+    Sched.Mutex.unlock t.lock ~tid;
+    if not admitted then begin
+      Obs.Metrics.incr t.c_overload ~tid;
+      Error `Overloaded
+    end
+    else begin
+      if Obs.Metrics.is_on () then
+        Obs.Metrics.record_ns t.h_qdepth ~tid (A.get t.qlen);
+      let rec wait n =
+        match A.get mine.state with
+        | 1 -> Result.Ok ()
+        | 2 -> Error `Rejected
+        | _ ->
+            if A.get t.leader = -1 && A.compare_and_set t.leader (-1) tid then begin
+              Fun.protect
+                ~finally:(fun () -> A.set t.leader (-1))
+                (fun () -> run_leader t ~tid ~mine);
+              wait n
+            end
+            else begin
+              backoff n;
+              wait (n + 1)
+            end
+      in
+      wait 0
+    end
+  end
+
+(* ---- crash plumbing (engine-driven) ---- *)
+
+let set_crashing t v = A.set t.crashing v
+let quiesced t = A.get t.leader = -1 && A.get t.qlen = 0
+
+(* Power-failure reset: the queue and every request in it are volatile.
+   Only sound when no live thread is inside submit (fibers suspended
+   forever by a scheduler stop, or the engine's quiesce wait). *)
+let reset t =
+  Queue.clear t.q;
+  A.set t.qlen 0;
+  A.set t.leader (-1);
+  A.set t.crashing false;
+  Sched.Mutex.reset t.lock
+
+(* ---- introspection ---- *)
+
+let stall_hazard t ~tid =
+  A.get t.leader = tid || Sched.Mutex.holder t.lock = Some tid
+
+let queue_depth t = A.get t.qlen
+let batch_sizes t = List.rev t.sizes
+let attempted_batches t = List.rev t.attempts
+let batches_committed t = List.length t.sizes

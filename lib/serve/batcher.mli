@@ -1,0 +1,74 @@
+(** Per-shard group-commit stage: concurrent client write requests
+    coalesce into one RedoDB [write_batch] (one PTM transaction) per
+    batch window, leader-based — the first waiting client commits for
+    everyone, so no dedicated thread exists.  Bounded-queue admission
+    control rejects excess load with [`Overloaded] instead of buffering
+    without bound.
+
+    Dual-mode like {!Sched.Mutex}: under real [Domain]s waits are
+    cpu_relax spins and the linger window is wall-clock; under the
+    deterministic scheduler every access is a yield point and the window
+    counts scheduler steps, so batch formation and ack order are a pure
+    function of the schedule seed. *)
+
+type t
+
+(** [linger_us]/[linger_steps] bound how long a non-full batch waits for
+    followers (the flush deadline) in real/scheduled mode respectively;
+    [0] commits whatever is queued.  [queue_cap] bounds admission. *)
+val create :
+  db:Kv.Redodb.t ->
+  shard:int ->
+  max_batch:int ->
+  linger_us:float ->
+  linger_steps:int ->
+  queue_cap:int ->
+  t
+
+(** Enqueue a write set ([Some v] puts, [None] deletes) and block until
+    its batch durably commits.  [Ok ()] means the containing PTM
+    transaction has committed — the write is durable and visible.
+    [`Overloaded]: the bounded queue was full, nothing was enqueued.
+    [`Rejected]: a crash tore the request down before commit (it was
+    never acknowledged). *)
+val submit :
+  t ->
+  tid:int ->
+  (string * string option) list ->
+  (unit, [ `Overloaded | `Rejected ]) result
+
+(** {2 Crash plumbing (driven by {!Engine})} *)
+
+(** While set, new submissions are rejected and the leader drains the
+    queue by rejection instead of committing. *)
+val set_crashing : t -> bool -> unit
+
+(** No leader committing and nothing queued. *)
+val quiesced : t -> bool
+
+(** Power-failure reset of all volatile stage state (queue, leader,
+    crash flag, lock).  Only sound when no live thread is inside
+    {!submit} — fibers suspended forever by a scheduler stop, or after
+    the engine's quiesce wait. *)
+val reset : t -> unit
+
+(** {2 Introspection} *)
+
+(** Would stalling [tid] right now wedge the stage itself (it is the
+    committing leader or holds the queue lock)?  Mirrors
+    {!Ptm.Ptm_intf.S.stall_hazard}: the scheduler adversary defers
+    injections while true, so stalls land on waiting clients — the case
+    the serving layer must survive. *)
+val stall_hazard : t -> tid:int -> bool
+
+val queue_depth : t -> int
+
+(** Committed batch sizes, oldest first. *)
+val batch_sizes : t -> int list
+
+(** Keys of every drained batch, oldest first, logged {e before} the
+    batch commits: the mid-batch crash oracle checks each batch is
+    all-or-nothing against this. *)
+val attempted_batches : t -> string list list
+
+val batches_committed : t -> int

@@ -1,0 +1,114 @@
+(* Blocking client for the RedoDB wire protocol: one socket, one
+   outstanding request.  Concurrency comes from opening more clients
+   (one per load-generator thread), matching the server's
+   one-domain-per-connection model. *)
+
+type t = { fd : Unix.file_descr; io : Protocol.Io.t }
+
+exception Protocol_error of string
+
+let connect ?(retries = 0) ?(retry_delay = 0.05) ~host ~port () =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let rec go attempt =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+        Unix.setsockopt fd TCP_NODELAY true;
+        { fd; io = Protocol.Io.of_fd fd }
+    | exception Unix.Unix_error ((ECONNREFUSED | ENETUNREACH | ETIMEDOUT), _, _)
+      when attempt < retries ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf retry_delay;
+        go (attempt + 1)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  go 0
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let call t req =
+  Protocol.Io.write_frame t.io (Protocol.encode_req req);
+  match Protocol.Io.read_frame t.io with
+  | Error reason -> raise (Protocol_error reason)
+  | Result.Ok None -> raise (Protocol_error "connection closed by server")
+  | Result.Ok (Some payload) -> (
+      match Protocol.decode_resp payload with
+      | Error reason -> raise (Protocol_error ("bad response: " ^ reason))
+      | Result.Ok resp -> resp)
+
+(* Typed wrappers.  [`Overloaded] is the backpressure signal callers are
+   expected to handle; any other mismatch is a protocol error. *)
+
+let unexpected what (resp : Protocol.resp) =
+  let shape =
+    match resp with
+    | Ok -> "OK"
+    | Ok_ms _ -> "OK_MS"
+    | Val _ -> "VAL"
+    | Nil -> "NIL"
+    | Vals _ -> "VALS"
+    | Kvs _ -> "KVS"
+    | Json _ -> "JSON"
+    | Overloaded -> "OVERLOADED"
+    | Err _ -> "ERR"
+  in
+  raise (Protocol_error (Printf.sprintf "%s: unexpected %s response" what shape))
+
+let ping t = match call t Protocol.Ping with Ok -> () | r -> unexpected "PING" r
+
+let put t ~key ~value =
+  match call t (Protocol.Put (key, value)) with
+  | Ok -> Result.Ok ()
+  | Overloaded -> Error `Overloaded
+  | Err e -> Error (`Err e)
+  | r -> unexpected "PUT" r
+
+let get t key =
+  match call t (Protocol.Get key) with
+  | Val v -> Result.Ok (Some v)
+  | Nil -> Result.Ok None
+  | Overloaded -> Error `Overloaded
+  | Err e -> Error (`Err e)
+  | r -> unexpected "GET" r
+
+let del t key =
+  match call t (Protocol.Del key) with
+  | Ok -> Result.Ok ()
+  | Overloaded -> Error `Overloaded
+  | Err e -> Error (`Err e)
+  | r -> unexpected "DEL" r
+
+let mget t keys =
+  match call t (Protocol.Mget keys) with
+  | Vals vs -> Result.Ok vs
+  | Overloaded -> Error `Overloaded
+  | Err e -> Error (`Err e)
+  | r -> unexpected "MGET" r
+
+let mput t kvs =
+  match call t (Protocol.Mput kvs) with
+  | Ok -> Result.Ok ()
+  | Overloaded -> Error `Overloaded
+  | Err e -> Error (`Err e)
+  | r -> unexpected "MPUT" r
+
+let scan t ~prefix ~max =
+  match call t (Protocol.Scan { prefix; max }) with
+  | Kvs kvs -> Result.Ok kvs
+  | Overloaded -> Error `Overloaded
+  | Err e -> Error (`Err e)
+  | r -> unexpected "SCAN" r
+
+let stats t =
+  match call t Protocol.Stats with
+  | Json s -> Obs.Json.parse s
+  | Err e -> Error e
+  | r -> unexpected "STATS" r
+
+let crash t ~seed ~evict_prob ~torn_prob ~bitflips =
+  match call t (Protocol.Crash { seed; evict_prob; torn_prob; bitflips }) with
+  | Ok_ms ms -> Result.Ok ms
+  | Err e -> Error e
+  | r -> unexpected "CRASH" r

@@ -1,0 +1,53 @@
+(** Blocking client for the RedoDB wire protocol: one socket, one
+    outstanding request.  For concurrency, open one client per thread. *)
+
+type t
+
+(** Unexpected wire behaviour (broken frame, shape mismatch, server
+    closed mid-request).  Distinct from [Error] results, which are
+    well-formed server answers. *)
+exception Protocol_error of string
+
+(** [retries] extra attempts on connection refusal (the server may still
+    be binding), [retry_delay] seconds apart. *)
+val connect :
+  ?retries:int -> ?retry_delay:float -> host:string -> port:int -> unit -> t
+
+val close : t -> unit
+
+(** One raw round-trip. *)
+val call : t -> Protocol.req -> Protocol.resp
+
+(** {2 Typed wrappers} — [`Overloaded] is admission-control backpressure
+    (nothing was enqueued; retry later), [`Err] any other server-side
+    refusal. *)
+
+val ping : t -> unit
+val put : t -> key:string -> value:string -> (unit, [ `Overloaded | `Err of string ]) result
+val get : t -> string -> (string option, [ `Overloaded | `Err of string ]) result
+val del : t -> string -> (unit, [ `Overloaded | `Err of string ]) result
+
+val mget :
+  t -> string list -> (string option list, [ `Overloaded | `Err of string ]) result
+
+val mput :
+  t -> (string * string) list -> (unit, [ `Overloaded | `Err of string ]) result
+
+val scan :
+  t ->
+  prefix:string ->
+  max:int ->
+  ((string * string) list, [ `Overloaded | `Err of string ]) result
+
+(** Parsed STATS document. *)
+val stats : t -> (Obs.Json.t, string) result
+
+(** Simulated power failure + recovery; [Ok] carries the outage in
+    milliseconds, [Error] means the engine stayed down (unrecoverable). *)
+val crash :
+  t ->
+  seed:int ->
+  evict_prob:float ->
+  torn_prob:float ->
+  bitflips:int ->
+  (float, string) result

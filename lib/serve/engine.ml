@@ -1,0 +1,323 @@
+(* Sharded RedoDB serving engine: hash-partitions the keyspace over N
+   independent RedoDB instances (each backed by its own RedoOpt-PTM
+   region) and, when batching is on, funnels each shard's writes through
+   a group-commit stage (Batcher).
+
+   Single-shard ops (GET/PUT/DEL) route to one shard.  Multi-shard ops
+   (MGET/MPUT/SCAN) visit shards in index order, always — operations
+   never hold one shard while waiting on a lower-numbered one, so the
+   deterministic order keeps the engine deadlock-free by construction.
+   Cross-shard requests are per-shard atomic (each shard's slice is one
+   PTM transaction), not globally atomic; README.md "Serving" spells out
+   the contract.
+
+   Crashes route through the per-shard media-fault path
+   (Redodb.crash_with_faults) with distinct derived seeds, so a
+   whole-engine power failure exercises torn write-backs and metadata
+   bit flips on every shard. *)
+
+module A = Sched.Atomic
+
+type config = {
+  shards : int;
+  num_threads : int;  (* accepted tids are 0 .. num_threads - 1 *)
+  capacity_bytes : int;  (* total user-data budget, split across shards *)
+  batch : bool;
+  max_batch : int;
+  linger_us : float;
+  linger_steps : int;
+  queue_cap : int;
+}
+
+let default_config =
+  {
+    shards = 4;
+    num_threads = 9;
+    capacity_bytes = 1 lsl 20;
+    batch = true;
+    max_batch = 16;
+    linger_us = 0.;
+    linger_steps = 0;
+    queue_cap = 64;
+  }
+
+type t = {
+  cfg : config;
+  dbs : Kv.Redodb.t array;
+  batchers : Batcher.t array;  (* empty when cfg.batch = false *)
+  inflight : int A.t;  (* ops currently inside a shard (reads + commits) *)
+  crashing : bool A.t;
+  crash_gate : Sched.Mutex.t;  (* serializes whole-engine crashes *)
+  c_reqs : Obs.Metrics.counter;
+  c_multi : Obs.Metrics.counter;
+}
+
+type error = Overloaded | Unavailable of string
+
+let pp_error = function
+  | Overloaded -> "overloaded"
+  | Unavailable d -> "unavailable: " ^ d
+
+let create cfg =
+  if cfg.shards < 1 then invalid_arg "Engine.create: shards";
+  if cfg.num_threads < 1 then invalid_arg "Engine.create: num_threads";
+  let per_shard = max (1 lsl 14) (cfg.capacity_bytes / cfg.shards) in
+  let dbs =
+    Array.init cfg.shards (fun _ ->
+        Kv.Redodb.open_db ~num_threads:cfg.num_threads ~capacity_bytes:per_shard ())
+  in
+  let batchers =
+    if not cfg.batch then [||]
+    else
+      Array.init cfg.shards (fun shard ->
+          Batcher.create ~db:dbs.(shard) ~shard ~max_batch:cfg.max_batch
+            ~linger_us:cfg.linger_us ~linger_steps:cfg.linger_steps
+            ~queue_cap:cfg.queue_cap)
+  in
+  {
+    cfg;
+    dbs;
+    batchers;
+    inflight = A.make 0;
+    crashing = A.make false;
+    crash_gate = Sched.Mutex.create ();
+    c_reqs = Obs.Metrics.counter "serve.requests";
+    c_multi = Obs.Metrics.counter "serve.multi_shard_ops";
+  }
+
+let config t = t.cfg
+let shards t = t.cfg.shards
+
+(* FNV-1a, deliberately different from the Hashtbl.hash the per-shard
+   bucket chains use: sharding with the same hash would leave each shard
+   using only 1/N of its buckets. *)
+let shard_of t key =
+  if t.cfg.shards = 1 then 0
+  else begin
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h := Int64.logxor !h (Int64.of_int (Char.code c));
+        h := Int64.mul !h 0x100000001b3L)
+      key;
+    Int64.to_int (Int64.rem (Int64.logand !h Int64.max_int) (Int64.of_int t.cfg.shards))
+  end
+
+let relax () = if Sched.active () then Sched.yield () else Domain.cpu_relax ()
+
+(* Every public operation holds an inflight token while it touches a
+   shard; the crash path waits for the count to drain.  The double check
+   after the increment closes the race with a concurrent crash start. *)
+let enter t =
+  if A.get t.crashing then Error (Unavailable "crashing")
+  else begin
+    A.incr t.inflight;
+    if A.get t.crashing then begin
+      A.decr t.inflight;
+      Error (Unavailable "crashing")
+    end
+    else Result.Ok ()
+  end
+
+let exit_ t = A.decr t.inflight
+
+let with_entry t ~tid f =
+  match enter t with
+  | Error e -> Error e
+  | Result.Ok () ->
+      Obs.Metrics.incr t.c_reqs ~tid;
+      Fun.protect ~finally:(fun () -> exit_ t) f
+
+(* ---- writes ---- *)
+
+let submit_shard t ~tid shard ops =
+  if t.cfg.batch then
+    match Batcher.submit t.batchers.(shard) ~tid ops with
+    | Result.Ok () -> Result.Ok ()
+    | Error `Overloaded -> Error Overloaded
+    | Error `Rejected -> Error (Unavailable "crashed before commit")
+  else begin
+    Kv.Redodb.write_batch t.dbs.(shard) ~tid ops;
+    Result.Ok ()
+  end
+
+let put t ~tid ~key ~value =
+  with_entry t ~tid @@ fun () -> submit_shard t ~tid (shard_of t key) [ (key, Some value) ]
+
+let delete t ~tid key =
+  with_entry t ~tid @@ fun () -> submit_shard t ~tid (shard_of t key) [ (key, None) ]
+
+(* Writes grouped by shard, applied strictly in shard-index order.  Each
+   shard's slice is one atomic, durable transaction; the whole request
+   is not globally atomic.  A slice rejected by admission control stops
+   the walk: lower-numbered shards have committed, higher ones were
+   never touched — the caller learns which prefix is in. *)
+let multi_put t ~tid ops =
+  with_entry t ~tid @@ fun () ->
+  Obs.Metrics.incr t.c_multi ~tid;
+  let per_shard = Array.make t.cfg.shards [] in
+  List.iter
+    (fun ((key, _) as op) ->
+      let s = shard_of t key in
+      per_shard.(s) <- op :: per_shard.(s))
+    ops;
+  let rec go s =
+    if s >= t.cfg.shards then Result.Ok ()
+    else if per_shard.(s) = [] then go (s + 1)
+    else
+      match submit_shard t ~tid s (List.rev per_shard.(s)) with
+      | Result.Ok () -> go (s + 1)
+      | Error _ as e -> e
+  in
+  go 0
+
+(* ---- reads (wait-free on the PTM's own snapshots, never batched) ---- *)
+
+let get t ~tid key =
+  with_entry t ~tid @@ fun () -> Result.Ok (Kv.Redodb.get t.dbs.(shard_of t key) ~tid key)
+
+(* One read-only snapshot per visited shard, shards in index order. *)
+let multi_get t ~tid keys =
+  with_entry t ~tid @@ fun () ->
+  Obs.Metrics.incr t.c_multi ~tid;
+  let per_shard = Array.make t.cfg.shards [] in
+  List.iteri
+    (fun i key ->
+      let s = shard_of t key in
+      per_shard.(s) <- (i, key) :: per_shard.(s))
+    keys;
+  let out = Array.make (List.length keys) None in
+  for s = 0 to t.cfg.shards - 1 do
+    match List.rev per_shard.(s) with
+    | [] -> ()
+    | batch ->
+        let vals = Kv.Redodb.get_batch t.dbs.(s) ~tid (List.map snd batch) in
+        List.iter2 (fun (i, _) v -> out.(i) <- v) batch vals
+  done;
+  Result.Ok (Array.to_list out)
+
+let scan t ~tid ~prefix ~max =
+  with_entry t ~tid @@ fun () ->
+  Obs.Metrics.incr t.c_multi ~tid;
+  let in_prefix k =
+    String.length k >= String.length prefix
+    && String.sub k 0 (String.length prefix) = prefix
+  in
+  let all = ref [] in
+  for s = 0 to t.cfg.shards - 1 do
+    let c = Kv.Redodb.seek t.dbs.(s) ~tid prefix in
+    let rec walk () =
+      match Kv.Redodb.entry c with
+      | Some (k, v) when in_prefix k ->
+          all := (k, v) :: !all;
+          ignore (Kv.Redodb.next c);
+          walk ()
+      | _ -> ()
+    in
+    walk ()
+  done;
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !all in
+  Result.Ok (List.filteri (fun i _ -> i < max) sorted)
+
+let count t ~tid =
+  Array.fold_left (fun acc db -> acc + Kv.Redodb.count db ~tid) 0 t.dbs
+
+(* ---- crash and recovery ---- *)
+
+let recover_shards t ~seed ~evict_prob ~torn_prob ~bitflips =
+  let rec go s acc =
+    if s >= t.cfg.shards then Result.Ok acc
+    else
+      match
+        Kv.Redodb.crash_with_faults t.dbs.(s) ~seed:(seed + s) ~evict_prob
+          ~torn_prob ~bitflips
+      with
+      | Result.Ok dt -> go (s + 1) (acc +. dt)
+      | Error detail -> Error (Printf.sprintf "shard %d: %s" s detail)
+  in
+  go 0 0.
+
+(* Whole-engine power failure under load: new requests bounce, queued
+   unacknowledged requests are drained by rejection, in-flight committed
+   batches finish (their acks are valid — the data is durable), then
+   every shard crashes through the media-fault path and recovers. *)
+let crash_with_faults t ~tid ~seed ~evict_prob ~torn_prob ~bitflips =
+  Sched.Mutex.lock t.crash_gate ~tid;
+  Fun.protect ~finally:(fun () -> Sched.Mutex.unlock t.crash_gate ~tid)
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  A.set t.crashing true;
+  Array.iter (fun b -> Batcher.set_crashing b true) t.batchers;
+  while A.get t.inflight > 0 || not (Array.for_all Batcher.quiesced t.batchers) do
+    relax ()
+  done;
+  let r = recover_shards t ~seed ~evict_prob ~torn_prob ~bitflips in
+  (match r with
+  | Result.Ok _ ->
+      Array.iter (fun b -> Batcher.set_crashing b false) t.batchers;
+      A.set t.crashing false
+  | Error _ -> () (* unrecoverable: the engine stays down *));
+  match r with
+  | Result.Ok _ -> Result.Ok (Unix.gettimeofday () -. t0)
+  | Error _ as e -> e
+
+(* Hard power failure for harnesses that already know no live thread is
+   inside the engine (scheduler fibers suspended forever, or a
+   single-threaded torture loop): volatile stage state is dropped like
+   the machine lost it, then the shards recover.  No quiesce — this is
+   how a crash lands mid-batch. *)
+let crash_hard_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips =
+  Array.iter Batcher.reset t.batchers;
+  A.set t.inflight 0;
+  A.set t.crashing false;
+  Sched.Mutex.reset t.crash_gate;
+  recover_shards t ~seed ~evict_prob ~torn_prob ~bitflips
+
+(* ---- introspection ---- *)
+
+(* Installed after creation so the shards' initialisation flushes do not
+   pay the device cost (startup with a realistic model would take
+   seconds); the per-region override survives crash recovery. *)
+let set_flush_cost t iters = Array.iter (fun db -> Kv.Redodb.set_flush_cost db iters) t.dbs
+
+let stall_hazard t ~tid =
+  Array.exists (fun b -> Batcher.stall_hazard b ~tid) t.batchers
+
+let batch_sizes t ~shard = Batcher.batch_sizes t.batchers.(shard)
+let attempted_batches t ~shard = Batcher.attempted_batches t.batchers.(shard)
+
+let queue_depths t =
+  Array.to_list (Array.map Batcher.queue_depth t.batchers)
+
+let stats_json t =
+  let shard_rows =
+    Array.to_list
+      (Array.mapi
+         (fun i db ->
+           let nvm, vol = Kv.Redodb.memory_usage db in
+           Obs.Json.Obj
+             [
+               ("shard", Obs.Json.Int i);
+               ("keys", Obs.Json.Int (Kv.Redodb.count db ~tid:0));
+               ("nvm_words", Obs.Json.Int nvm);
+               ("volatile_words", Obs.Json.Int vol);
+               ( "queue_depth",
+                 if t.cfg.batch then Obs.Json.Int (Batcher.queue_depth t.batchers.(i))
+                 else Obs.Json.Null );
+               ( "batches_committed",
+                 if t.cfg.batch then
+                   Obs.Json.Int (Batcher.batches_committed t.batchers.(i))
+                 else Obs.Json.Null );
+             ])
+         t.dbs)
+  in
+  Obs.Json.Obj
+    [
+      ("engine", Obs.Json.String "RedoDB-sharded");
+      ("shards", Obs.Json.Int t.cfg.shards);
+      ("batch", Obs.Json.Bool t.cfg.batch);
+      ("max_batch", Obs.Json.Int t.cfg.max_batch);
+      ("queue_cap", Obs.Json.Int t.cfg.queue_cap);
+      ("shard_stats", Obs.Json.List shard_rows);
+      ("metrics", Obs.Metrics.to_json ());
+    ]

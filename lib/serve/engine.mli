@@ -1,0 +1,119 @@
+(** Sharded RedoDB serving engine: the keyspace is hash-partitioned
+    (FNV-1a) over [shards] independent RedoDB instances, each backed by
+    its own RedoOpt-PTM region.  Single-shard ops route directly;
+    multi-shard ops ([multi_get]/[multi_put]/[scan]) visit shards in
+    index order — never holding one shard while waiting on a
+    lower-numbered one — so the engine is deadlock-free by construction.
+    With [batch = true], each shard's writes flow through a {!Batcher}
+    group-commit stage.
+
+    Contract: an [Ok] write is durable and visible (its PTM transaction
+    committed before the ack).  Cross-shard requests are per-shard
+    atomic, not globally atomic. *)
+
+type config = {
+  shards : int;
+  num_threads : int;  (** accepted tids are [0 .. num_threads - 1] *)
+  capacity_bytes : int;  (** total user-data budget, split across shards *)
+  batch : bool;  (** route writes through the group-commit stage *)
+  max_batch : int;  (** group-commit batch size cap *)
+  linger_us : float;  (** flush deadline of a non-full batch (wall clock) *)
+  linger_steps : int;  (** the same window in scheduler steps under {!Sched} *)
+  queue_cap : int;  (** per-shard admission bound *)
+}
+
+(** 4 shards, 9 tids, 1 MiB, batching on (cap 16, zero linger), queue cap 64. *)
+val default_config : config
+
+type t
+
+type error =
+  | Overloaded  (** bounded queue full — explicit backpressure, nothing enqueued *)
+  | Unavailable of string  (** crashing/crashed; request not performed *)
+
+val pp_error : error -> string
+val create : config -> t
+val config : t -> config
+val shards : t -> int
+
+(** Which shard owns [key] (stable across restarts). *)
+val shard_of : t -> string -> int
+
+val put : t -> tid:int -> key:string -> value:string -> (unit, error) result
+val get : t -> tid:int -> string -> (string option, error) result
+
+(** Acked delete (no existence report: under group commit the delete is
+    folded into a batch transaction). *)
+val delete : t -> tid:int -> string -> (unit, error) result
+
+(** Results in request order; one read-only snapshot per visited shard. *)
+val multi_get : t -> tid:int -> string list -> (string option list, error) result
+
+(** [Some v] puts, [None] deletes, grouped per shard, shards committed in
+    index order.  On [Error], lower-numbered shards may have committed —
+    per-shard atomicity only. *)
+val multi_put : t -> tid:int -> (string * string option) list -> (unit, error) result
+
+(** Up to [max] key-sorted pairs whose key starts with [prefix], merged
+    across per-shard consistent snapshots. *)
+val scan :
+  t -> tid:int -> prefix:string -> max:int -> ((string * string) list, error) result
+
+val count : t -> tid:int -> int
+
+(** {2 Crash and recovery} *)
+
+(** Whole-engine power failure under load: new requests bounce with
+    [Unavailable], queued unacknowledged writes drain by rejection,
+    in-flight batch commits finish (their acks stay valid), then every
+    shard crashes through the media-fault path
+    ({!Kv.Redodb.crash_with_faults}, seed derived per shard) and
+    recovers.  [Ok seconds] is the total outage; [Error detail] means a
+    shard's recovery refused the image ([bitflips > 0] only) and the
+    engine stays down. *)
+val crash_with_faults :
+  t ->
+  tid:int ->
+  seed:int ->
+  evict_prob:float ->
+  torn_prob:float ->
+  bitflips:int ->
+  (float, string) result
+
+(** Hard power failure for harnesses that guarantee no live thread is
+    inside the engine (scheduler fibers suspended forever, or a
+    single-threaded loop): volatile stage state (queues, leaders, locks)
+    is dropped as the machine would lose it — this is how a crash lands
+    mid-batch — then the shards recover.  [Ok total_recovery_seconds]. *)
+val crash_hard_with_faults :
+  t ->
+  seed:int ->
+  evict_prob:float ->
+  torn_prob:float ->
+  bitflips:int ->
+  (float, string) result
+
+(** Install the {!Pmem.set_flush_cost} device model on every shard
+    (post-creation, so initialisation does not pay it; survives crash
+    recovery). *)
+val set_flush_cost : t -> int -> unit
+
+(** {2 Introspection} *)
+
+(** Scheduler-adversary hazard: [tid] is a committing batch leader or
+    holds a stage lock (see {!Batcher.stall_hazard}). *)
+val stall_hazard : t -> tid:int -> bool
+
+(** Committed batch sizes of one shard, oldest first (batching only). *)
+val batch_sizes : t -> shard:int -> int list
+
+(** Keys of every drained batch of one shard, oldest first, logged
+    before commit — the mid-batch crash oracle's ground truth. *)
+val attempted_batches : t -> shard:int -> string list list
+
+(** Current per-shard queue depths (batching only; [[]] otherwise). *)
+val queue_depths : t -> int list
+
+(** Engine + per-shard stats and the full metrics registry, as JSON
+    (the STATS wire response). *)
+val stats_json : t -> Obs.Json.t

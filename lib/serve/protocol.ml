@@ -1,0 +1,327 @@
+(* Wire protocol of the RedoDB serving front-end.
+
+   Framing: every message (request or response) is one frame
+
+     <decimal payload length> '\n' <payload bytes>
+
+   The payload is a line of space-separated tokens.  A token is either an
+   atom (command word, integer, float — no spaces, never starts with
+   "digits:") or a netstring-encoded string "<len>:<bytes>", which makes
+   keys and values binary-safe (spaces, newlines, NULs).  Examples:
+
+     12\nGET 3:abc             -> VAL 5:hello | NIL
+     PUT 3:abc 5:hello         -> OK | OVERLOADED | ERR 8:crashing
+     DEL 3:abc                 -> OK
+     MGET 1:a 1:b              -> VALS V 2:v1 N
+     MPUT 1:a 2:v1 1:b 2:v2    -> OK
+     SCAN 5:user: 100          -> KVS 2 6:user:1 3:ada 6:user:2 5:grace
+     STATS                     -> JSON <netstring of a JSON document>
+     CRASH 42 0.5 0.3 0        -> OK 12.5 (recovery ms) | ERR <detail>
+     PING                      -> OK
+
+   The same grammar is documented for humans in README.md ("Serving"). *)
+
+(* Frames above this size are rejected rather than buffered: admission
+   control starts at the protocol layer. *)
+let max_frame = 1 lsl 24
+
+type req =
+  | Ping
+  | Get of string
+  | Put of string * string
+  | Del of string
+  | Scan of { prefix : string; max : int }
+  | Mget of string list
+  | Mput of (string * string) list
+  | Stats
+  | Crash of { seed : int; evict_prob : float; torn_prob : float; bitflips : int }
+
+type resp =
+  | Ok
+  | Ok_ms of float
+  | Val of string
+  | Nil
+  | Vals of string option list
+  | Kvs of (string * string) list
+  | Json of string
+  | Overloaded
+  | Err of string
+
+(* ---- payload encoding ---- *)
+
+let add_str b s =
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+let add_sep b = Buffer.add_char b ' '
+
+let payload f =
+  let b = Buffer.create 64 in
+  f b;
+  Buffer.contents b
+
+let encode_req = function
+  | Ping -> "PING"
+  | Get k -> payload (fun b -> Buffer.add_string b "GET "; add_str b k)
+  | Put (k, v) ->
+      payload (fun b ->
+          Buffer.add_string b "PUT ";
+          add_str b k;
+          add_sep b;
+          add_str b v)
+  | Del k -> payload (fun b -> Buffer.add_string b "DEL "; add_str b k)
+  | Scan { prefix; max } ->
+      payload (fun b ->
+          Buffer.add_string b "SCAN ";
+          add_str b prefix;
+          Buffer.add_string b (Printf.sprintf " %d" max))
+  | Mget keys ->
+      payload (fun b ->
+          Buffer.add_string b "MGET";
+          List.iter (fun k -> add_sep b; add_str b k) keys)
+  | Mput kvs ->
+      payload (fun b ->
+          Buffer.add_string b "MPUT";
+          List.iter
+            (fun (k, v) ->
+              add_sep b;
+              add_str b k;
+              add_sep b;
+              add_str b v)
+            kvs)
+  | Stats -> "STATS"
+  | Crash { seed; evict_prob; torn_prob; bitflips } ->
+      Printf.sprintf "CRASH %d %g %g %d" seed evict_prob torn_prob bitflips
+
+let encode_resp = function
+  | Ok -> "OK"
+  | Ok_ms ms -> Printf.sprintf "OK %g" ms
+  | Val v -> payload (fun b -> Buffer.add_string b "VAL "; add_str b v)
+  | Nil -> "NIL"
+  | Vals vs ->
+      payload (fun b ->
+          Buffer.add_string b "VALS";
+          List.iter
+            (function
+              | Some v -> add_sep b; Buffer.add_string b "V "; add_str b v
+              | None -> add_sep b; Buffer.add_char b 'N')
+            vs)
+  | Kvs kvs ->
+      payload (fun b ->
+          Buffer.add_string b (Printf.sprintf "KVS %d" (List.length kvs));
+          List.iter
+            (fun (k, v) ->
+              add_sep b;
+              add_str b k;
+              add_sep b;
+              add_str b v)
+            kvs)
+  | Json j -> payload (fun b -> Buffer.add_string b "JSON "; add_str b j)
+  | Overloaded -> "OVERLOADED"
+  | Err msg -> payload (fun b -> Buffer.add_string b "ERR "; add_str b msg)
+
+(* ---- payload decoding ---- *)
+
+type token = Atom of string | Str of string
+
+(* Tokenizer: a run of digits followed by ':' opens a netstring; anything
+   else is an atom up to the next space. *)
+let tokenize s =
+  let n = String.length s in
+  let rec digits i = if i < n && s.[i] >= '0' && s.[i] <= '9' then digits (i + 1) else i in
+  let rec atom_end i = if i < n && s.[i] <> ' ' then atom_end (i + 1) else i in
+  let rec go acc i =
+    if i >= n then Result.Ok (List.rev acc)
+    else if s.[i] = ' ' then go acc (i + 1)
+    else
+      let d = digits i in
+      if d > i && d < n && s.[d] = ':' then begin
+        let len = int_of_string (String.sub s i (d - i)) in
+        if len > n - d - 1 then Error "truncated string token"
+        else go (Str (String.sub s (d + 1) len) :: acc) (d + 1 + len)
+      end
+      else
+        let e = atom_end i in
+        go (Atom (String.sub s i (e - i)) :: acc) e
+  in
+  go [] 0
+
+let str_tok = function Str s -> Result.Ok s | Atom a -> Error ("expected string, got " ^ a)
+
+let int_tok = function
+  | Atom a -> (
+      match int_of_string_opt a with
+      | Some i -> Result.Ok i
+      | None -> Error ("expected int, got " ^ a))
+  | Str _ -> Error "expected int, got string"
+
+let float_tok = function
+  | Atom a -> (
+      match float_of_string_opt a with
+      | Some f -> Result.Ok f
+      | None -> Error ("expected float, got " ^ a))
+  | Str _ -> Error "expected float, got string"
+
+let ( let* ) = Result.bind
+
+let rec strs acc = function
+  | [] -> Result.Ok (List.rev acc)
+  | t :: rest ->
+      let* s = str_tok t in
+      strs (s :: acc) rest
+
+let rec pairs acc = function
+  | [] -> Result.Ok (List.rev acc)
+  | [ _ ] -> Error "odd number of strings in pair list"
+  | k :: v :: rest ->
+      let* k = str_tok k in
+      let* v = str_tok v in
+      pairs ((k, v) :: acc) rest
+
+let decode_req p =
+  let* toks = tokenize p in
+  match toks with
+  | [ Atom "PING" ] -> Result.Ok Ping
+  | [ Atom "GET"; k ] ->
+      let* k = str_tok k in
+      Result.Ok (Get k)
+  | [ Atom "PUT"; k; v ] ->
+      let* k = str_tok k in
+      let* v = str_tok v in
+      Result.Ok (Put (k, v))
+  | [ Atom "DEL"; k ] ->
+      let* k = str_tok k in
+      Result.Ok (Del k)
+  | [ Atom "SCAN"; prefix; max ] ->
+      let* prefix = str_tok prefix in
+      let* max = int_tok max in
+      Result.Ok (Scan { prefix; max })
+  | Atom "MGET" :: keys ->
+      let* keys = strs [] keys in
+      Result.Ok (Mget keys)
+  | Atom "MPUT" :: kvs ->
+      let* kvs = pairs [] kvs in
+      Result.Ok (Mput kvs)
+  | [ Atom "STATS" ] -> Result.Ok Stats
+  | [ Atom "CRASH"; seed; evict; torn; flips ] ->
+      let* seed = int_tok seed in
+      let* evict_prob = float_tok evict in
+      let* torn_prob = float_tok torn in
+      let* bitflips = int_tok flips in
+      Result.Ok (Crash { seed; evict_prob; torn_prob; bitflips })
+  | Atom c :: _ -> Error ("unknown or malformed command " ^ c)
+  | _ -> Error "empty or malformed request"
+
+let rec vals acc = function
+  | [] -> Result.Ok (List.rev acc)
+  | Atom "N" :: rest -> vals (None :: acc) rest
+  | Atom "V" :: v :: rest ->
+      let* v = str_tok v in
+      vals (Some v :: acc) rest
+  | _ -> Error "malformed VALS item"
+
+let decode_resp p =
+  let* toks = tokenize p in
+  match toks with
+  | [ Atom "OK" ] -> Result.Ok Ok
+  | [ Atom "OK"; ms ] ->
+      let* ms = float_tok ms in
+      Result.Ok (Ok_ms ms)
+  | [ Atom "VAL"; v ] ->
+      let* v = str_tok v in
+      Result.Ok (Val v)
+  | [ Atom "NIL" ] -> Result.Ok Nil
+  | Atom "VALS" :: items ->
+      let* vs = vals [] items in
+      Result.Ok (Vals vs)
+  | Atom "KVS" :: count :: items ->
+      let* n = int_tok count in
+      let* kvs = pairs [] items in
+      if List.length kvs <> n then Error "KVS count mismatch"
+      else Result.Ok (Kvs kvs)
+  | [ Atom "JSON"; j ] ->
+      let* j = str_tok j in
+      Result.Ok (Json j)
+  | [ Atom "OVERLOADED" ] -> Result.Ok Overloaded
+  | [ Atom "ERR"; msg ] ->
+      let* msg = str_tok msg in
+      Result.Ok (Err msg)
+  | _ -> Error "malformed response"
+
+(* ---- framed blocking IO over a file descriptor ---- *)
+
+module Io = struct
+  type t = {
+    fd : Unix.file_descr;
+    buf : Bytes.t;
+    mutable pos : int;  (* next unread byte in [buf] *)
+    mutable len : int;  (* valid bytes in [buf] *)
+  }
+
+  let of_fd fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+  let refill t =
+    let n = Unix.read t.fd t.buf 0 (Bytes.length t.buf) in
+    t.pos <- 0;
+    t.len <- n;
+    n > 0
+
+  let read_byte t =
+    if t.pos >= t.len && not (refill t) then None
+    else begin
+      let c = Bytes.get t.buf t.pos in
+      t.pos <- t.pos + 1;
+      Some c
+    end
+
+  let read_exact t dst off len =
+    let got = min len (t.len - t.pos) in
+    Bytes.blit t.buf t.pos dst off got;
+    t.pos <- t.pos + got;
+    let rec go off len =
+      if len = 0 then true
+      else if t.pos >= t.len && not (refill t) then false
+      else begin
+        let got = min len (t.len - t.pos) in
+        Bytes.blit t.buf t.pos dst off got;
+        t.pos <- t.pos + got;
+        go (off + got) (len - got)
+      end
+    in
+    go (off + got) (len - got)
+
+  (* One frame; [Ok None] is a clean EOF at a frame boundary. *)
+  let read_frame t =
+    let rec header acc ndigits =
+      match read_byte t with
+      | None -> if ndigits = 0 then Result.Ok None else Error "EOF inside frame header"
+      | Some '\n' -> if ndigits = 0 then Error "empty frame header" else Result.Ok (Some acc)
+      | Some c when c >= '0' && c <= '9' ->
+          if ndigits > 8 then Error "frame header too long"
+          else header ((acc * 10) + Char.code c - Char.code '0') (ndigits + 1)
+      | Some c -> Error (Printf.sprintf "bad frame header byte %C" c)
+    in
+    match header 0 0 with
+    | Error _ as e -> e
+    | Result.Ok None -> Result.Ok None
+    | Result.Ok (Some len) ->
+        if len > max_frame then Error "frame too large"
+        else
+          let b = Bytes.create len in
+          if read_exact t b 0 len then Result.Ok (Some (Bytes.unsafe_to_string b))
+          else Error "EOF inside frame payload"
+
+  let write_all fd s =
+    let b = Bytes.unsafe_of_string s in
+    let rec go off len =
+      if len > 0 then begin
+        let n = Unix.write fd b off len in
+        go (off + n) (len - n)
+      end
+    in
+    go 0 (String.length s)
+
+  let write_frame t p =
+    write_all t.fd (string_of_int (String.length p) ^ "\n" ^ p)
+end

@@ -1,0 +1,52 @@
+(** Wire protocol of the RedoDB serving front-end: length-prefixed frames
+    ([<decimal length>'\n'<payload>]) whose payload is a line of
+    space-separated tokens; keys and values travel as binary-safe
+    netstrings ([<len>:<bytes>]).  See README.md "Serving" for the
+    grammar. *)
+
+(** Frames larger than this (16 MiB) are rejected at the framing layer. *)
+val max_frame : int
+
+type req =
+  | Ping
+  | Get of string
+  | Put of string * string
+  | Del of string
+  | Scan of { prefix : string; max : int }
+  | Mget of string list
+  | Mput of (string * string) list
+  | Stats
+  | Crash of { seed : int; evict_prob : float; torn_prob : float; bitflips : int }
+
+type resp =
+  | Ok
+  | Ok_ms of float  (** CRASH acknowledgement carrying recovery milliseconds *)
+  | Val of string
+  | Nil
+  | Vals of string option list  (** MGET results, in request order *)
+  | Kvs of (string * string) list  (** SCAN results, key-sorted *)
+  | Json of string  (** STATS payload: a JSON document *)
+  | Overloaded  (** admission control rejected the request *)
+  | Err of string
+
+(** Payload encoding/decoding (framing excluded). Decoders return a
+    human-readable reason on malformed input — the connection answers
+    [Err reason] rather than dying. *)
+
+val encode_req : req -> string
+val decode_req : string -> (req, string) result
+val encode_resp : resp -> string
+val decode_resp : string -> (resp, string) result
+
+(** Framed blocking IO over a [Unix.file_descr] with an internal read
+    buffer.  One [Io.t] per connection (reads); writes are stateless. *)
+module Io : sig
+  type t
+
+  val of_fd : Unix.file_descr -> t
+
+  (** [Ok None] is a clean EOF at a frame boundary. *)
+  val read_frame : t -> (string option, string) result
+
+  val write_frame : t -> string -> unit
+end

@@ -1,0 +1,216 @@
+(* TCP front-end of the serving engine.
+
+   One accept-loop domain plus one handler domain per live connection.
+   Connections are assigned engine tids from a fixed pool of
+   [max_conns] slots (tid 0 is reserved for the engine owner /
+   in-process callers), so the PTM's thread registration bound is
+   respected no matter how many connections come and go: a finished
+   handler's slot is reaped and reused by a later accept.
+
+   The protocol layer never kills the server: a malformed payload in a
+   well-formed frame answers [Err reason] and the connection continues;
+   a broken frame (unknown stream position) answers [Err] and closes
+   that one connection. *)
+
+module A = Stdlib.Atomic
+
+type conn = {
+  ctid : int;
+  cfd : Unix.file_descr;
+  done_ : bool A.t;
+  mutable cdom : unit Domain.t option;
+}
+
+type config = { host : string; port : int; max_conns : int; engine : Engine.config }
+
+let default_config =
+  { host = "127.0.0.1"; port = 0; max_conns = 8; engine = Engine.default_config }
+
+type t = {
+  cfg : config;
+  eng : Engine.t;
+  listener : Unix.file_descr;
+  bound_port : int;
+  stopping : bool A.t;
+  lock : Mutex.t;  (* protects conns and free_tids *)
+  mutable conns : conn list;
+  mutable free_tids : int list;
+  mutable accept_dom : unit Domain.t option;
+  h_req : Obs.Metrics.histogram;
+}
+
+let err_of_engine = function
+  | Engine.Overloaded -> Protocol.Overloaded
+  | Engine.Unavailable d -> Protocol.Err ("unavailable: " ^ d)
+
+let execute t ~tid (req : Protocol.req) : Protocol.resp =
+  match req with
+  | Ping -> Ok
+  | Get k -> (
+      match Engine.get t.eng ~tid k with
+      | Result.Ok (Some v) -> Val v
+      | Result.Ok None -> Nil
+      | Error e -> err_of_engine e)
+  | Put (k, v) -> (
+      match Engine.put t.eng ~tid ~key:k ~value:v with
+      | Result.Ok () -> Ok
+      | Error e -> err_of_engine e)
+  | Del k -> (
+      match Engine.delete t.eng ~tid k with
+      | Result.Ok () -> Ok
+      | Error e -> err_of_engine e)
+  | Scan { prefix; max } -> (
+      match Engine.scan t.eng ~tid ~prefix ~max with
+      | Result.Ok kvs -> Kvs kvs
+      | Error e -> err_of_engine e)
+  | Mget ks -> (
+      match Engine.multi_get t.eng ~tid ks with
+      | Result.Ok vs -> Vals vs
+      | Error e -> err_of_engine e)
+  | Mput kvs -> (
+      match Engine.multi_put t.eng ~tid (List.map (fun (k, v) -> (k, Some v)) kvs) with
+      | Result.Ok () -> Ok
+      | Error e -> err_of_engine e)
+  | Stats -> Json (Obs.Json.to_string (Engine.stats_json t.eng))
+  | Crash { seed; evict_prob; torn_prob; bitflips } -> (
+      match Engine.crash_with_faults t.eng ~tid ~seed ~evict_prob ~torn_prob ~bitflips with
+      | Result.Ok s -> Ok_ms (s *. 1e3)
+      | Error d -> Err ("unrecoverable: " ^ d))
+
+let serve_one t ~tid req =
+  let t0 = if Obs.Metrics.is_on () then Unix.gettimeofday () else 0.0 in
+  let resp = Obs.Trace.span Obs.Trace.Serve_op ~tid (fun () -> execute t ~tid req) in
+  if Obs.Metrics.is_on () then
+    Obs.Metrics.record_ns t.h_req ~tid
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+  resp
+
+let handle_conn t conn =
+  let io = Protocol.Io.of_fd conn.cfd in
+  let reply resp =
+    try
+      Protocol.Io.write_frame io (Protocol.encode_resp resp);
+      true
+    with _ -> false
+  in
+  let rec loop () =
+    match Protocol.Io.read_frame io with
+    | Result.Ok None -> ()  (* clean EOF *)
+    | Error reason ->
+        (* Stream position is unknown past a framing error: answer once
+           and drop the connection. *)
+        ignore (reply (Protocol.Err ("bad frame: " ^ reason)))
+    | Result.Ok (Some payload) -> (
+        match Protocol.decode_req payload with
+        | Error reason -> if reply (Protocol.Err ("bad request: " ^ reason)) then loop ()
+        | Result.Ok req -> if reply (serve_one t ~tid:conn.ctid req) then loop ())
+  in
+  (try loop () with _ -> ());
+  (try Unix.close conn.cfd with Unix.Unix_error _ -> ());
+  A.set conn.done_ true
+
+(* Join finished handlers and recycle their tids.  Called with the lock
+   held. *)
+let reap_locked t =
+  let live, dead = List.partition (fun c -> not (A.get c.done_)) t.conns in
+  List.iter
+    (fun c ->
+      Option.iter Domain.join c.cdom;
+      t.free_tids <- c.ctid :: t.free_tids)
+    dead;
+  t.conns <- live
+
+let accept_loop t =
+  while not (A.get t.stopping) do
+    match Unix.accept t.listener with
+    | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | fd, _peer ->
+        (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+        Mutex.lock t.lock;
+        reap_locked t;
+        let slot =
+          match t.free_tids with
+          | tid :: rest ->
+              t.free_tids <- rest;
+              Some tid
+          | [] -> None
+        in
+        (match slot with
+        | None ->
+            Mutex.unlock t.lock;
+            (* Connection-slot exhaustion is backpressure too. *)
+            (try
+               Protocol.Io.write_frame (Protocol.Io.of_fd fd)
+                 (Protocol.encode_resp Protocol.Overloaded)
+             with _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+        | Some tid ->
+            let conn = { ctid = tid; cfd = fd; done_ = A.make false; cdom = None } in
+            t.conns <- conn :: t.conns;
+            Mutex.unlock t.lock;
+            conn.cdom <- Some (Domain.spawn (fun () -> handle_conn t conn)))
+  done
+
+let start cfg =
+  if cfg.max_conns < 1 then invalid_arg "Server.start: max_conns";
+  if cfg.engine.Engine.num_threads < cfg.max_conns + 1 then
+    invalid_arg "Server.start: engine.num_threads must exceed max_conns";
+  (if Sys.unix then
+     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let eng = Engine.create cfg.engine in
+  let listener = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt listener SO_REUSEADDR true;
+  (try
+     Unix.bind listener (ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+     Unix.listen listener 64
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listener with
+    | ADDR_INET (_, p) -> p
+    | ADDR_UNIX _ -> cfg.port
+  in
+  let t =
+    {
+      cfg;
+      eng;
+      listener;
+      bound_port;
+      stopping = A.make false;
+      lock = Mutex.create ();
+      conns = [];
+      (* tid 0 stays with the engine owner; connections use 1..max_conns *)
+      free_tids = List.init cfg.max_conns (fun i -> i + 1);
+      accept_dom = None;
+      h_req = Obs.Metrics.histogram "serve.request_ns";
+    }
+  in
+  t.accept_dom <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let port t = t.bound_port
+let engine t = t.eng
+
+let stop t =
+  if not (A.exchange t.stopping true) then begin
+    (* Closing the listener bounces the blocked accept. *)
+    (try Unix.shutdown t.listener SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    Option.iter Domain.join t.accept_dom;
+    t.accept_dom <- None;
+    Mutex.lock t.lock;
+    let conns = t.conns in
+    Mutex.unlock t.lock;
+    (* Dropping the sockets bounces handlers blocked in read. *)
+    List.iter
+      (fun c -> try Unix.shutdown c.cfd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun c -> Option.iter Domain.join c.cdom) conns;
+    Mutex.lock t.lock;
+    t.conns <- [];
+    Mutex.unlock t.lock
+  end
+
+let wait t = Option.iter Domain.join t.accept_dom

@@ -1,0 +1,30 @@
+(** TCP front-end over {!Engine}: an accept-loop domain plus one handler
+    domain per live connection, each assigned an engine tid from a fixed
+    pool of [max_conns] slots (tid 0 is reserved for in-process callers).
+    Speaks the length-prefixed {!Protocol}; malformed requests answer
+    [Err] without killing the server. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
+  max_conns : int;  (** connection-slot pool; excess accepts answer [Overloaded] *)
+  engine : Engine.config;  (** [num_threads] must exceed [max_conns] *)
+}
+
+(** 127.0.0.1, ephemeral port, 8 connection slots, {!Engine.default_config}. *)
+val default_config : config
+
+type t
+
+(** Creates the engine, binds, and returns once the accept loop runs. *)
+val start : config -> t
+
+val port : t -> int
+val engine : t -> Engine.t
+
+(** Idempotent: closes the listener and every live connection, then joins
+    all domains. *)
+val stop : t -> unit
+
+(** Blocks until the accept loop exits (i.e. until {!stop}). *)
+val wait : t -> unit

@@ -61,6 +61,18 @@ module Make (D : Kv.Db_intf.S) = struct
     Alcotest.(check (option string)) "batched put 2" (Some "2") (D.get db ~tid:0 "b");
     Alcotest.(check (option string)) "batched put 3" (Some "3") (D.get db ~tid:0 "c")
 
+  let test_get_batch () =
+    let db = mk () in
+    D.put db ~tid:0 ~key:"a" ~value:"1";
+    D.put db ~tid:0 ~key:"b" ~value:"";
+    D.put db ~tid:0 ~key:"\x00bin" ~value:"raw";
+    Alcotest.(check (list (option string)))
+      "request order, misses as None"
+      [ Some ""; None; Some "1"; Some "raw"; Some "1" ]
+      (D.get_batch db ~tid:0 [ "b"; "nope"; "a"; "\x00bin"; "a" ]);
+    Alcotest.(check (list (option string))) "empty batch" []
+      (D.get_batch db ~tid:0 [])
+
   let test_crash_durability () =
     let db = mk () in
     for i = 0 to 99 do
@@ -169,6 +181,7 @@ module Make (D : Kv.Db_intf.S) = struct
           Alcotest.test_case "empty/binary" `Quick test_empty_value_and_binary_keys;
           Alcotest.test_case "many keys + fold" `Quick test_many_keys_and_fold;
           Alcotest.test_case "write batch" `Quick test_write_batch_atomic;
+          Alcotest.test_case "get batch" `Quick test_get_batch;
           Alcotest.test_case "crash durability" `Quick test_crash_durability;
           Alcotest.test_case "repeated crashes" `Quick test_repeated_crashes;
           Alcotest.test_case "concurrent writers" `Slow test_concurrent_writers;

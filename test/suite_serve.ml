@@ -1,0 +1,474 @@
+(* Tests for the serving layer (lib/serve): wire-protocol round-trips,
+   shard-router correctness against a model, deterministic batch
+   formation under the cooperative scheduler, the stalled-client and
+   overload adversaries, mid-batch crash atomicity, and a loopback
+   socket smoke test of the TCP front-end. *)
+
+module E = Serve.Engine
+module P = Serve.Protocol
+
+let small_engine ?(shards = 2) ?(num_threads = 4) ?(batch = true) ?(max_batch = 4)
+    ?(linger_steps = 0) ?(queue_cap = 16) () =
+  E.create
+    {
+      E.shards;
+      num_threads;
+      capacity_bytes = 1 lsl 16;
+      batch;
+      max_batch;
+      linger_us = 0.;
+      linger_steps;
+      queue_cap;
+    }
+
+(* ---- protocol ---- *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      P.Ping;
+      P.Get "\x00binary\xffkey";
+      P.Put ("k with spaces", "");
+      P.Put ("", "v\nwith\nnewlines");
+      P.Del "k";
+      P.Scan { prefix = ""; max = 0 };
+      P.Scan { prefix = "user:"; max = 1000 };
+      P.Mget [ "a"; "b b"; "" ];
+      P.Mput [ ("k1", "v 1"); ("k2", "") ];
+      P.Stats;
+      P.Crash { seed = 3; evict_prob = 0.5; torn_prob = 0.25; bitflips = 2 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.decode_req (P.encode_req r) with
+      | Ok r' -> Alcotest.(check bool) "req round-trip" true (r = r')
+      | Error e -> Alcotest.fail ("req round-trip: " ^ e))
+    reqs;
+  let resps =
+    [
+      P.Ok;
+      P.Ok_ms 12.5;
+      P.Val "x\ny \x00z";
+      P.Nil;
+      P.Vals [ Some ""; None; Some "v" ];
+      P.Kvs [ ("a", "1"); ("b c", "2") ];
+      P.Kvs [];
+      P.Json "{\"a\": 1}";
+      P.Overloaded;
+      P.Err "boom with spaces";
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.decode_resp (P.encode_resp r) with
+      | Ok r' -> Alcotest.(check bool) "resp round-trip" true (r = r')
+      | Error e -> Alcotest.fail ("resp round-trip: " ^ e))
+    resps
+
+let test_protocol_malformed () =
+  let bad_req s =
+    match P.decode_req s with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed request %S" s)
+    | Error _ -> ()
+  in
+  List.iter bad_req
+    [ ""; "NOPE"; "GET"; "PUT 1:a"; "GET 5:ab"; "GET 2:abc extra"; "SCAN 1:a x" ];
+  match P.decode_resp "VAL" with
+  | Ok _ -> Alcotest.fail "accepted malformed response"
+  | Error _ -> ()
+
+(* ---- shard router vs a model (single-threaded, no scheduler) ---- *)
+
+let test_router_model () =
+  let module SM = Map.Make (String) in
+  let e = small_engine ~shards:3 ~num_threads:2 () in
+  let model = ref SM.empty in
+  let ok = function
+    | Ok v -> v
+    | Error err -> Alcotest.fail (E.pp_error err)
+  in
+  let st = Random.State.make [| 13 |] in
+  for i = 0 to 199 do
+    let k = Printf.sprintf "key:%03d" (Random.State.int st 120) in
+    if Random.State.int st 5 = 0 then begin
+      ok (E.delete e ~tid:0 k);
+      model := SM.remove k !model
+    end
+    else begin
+      let v = Printf.sprintf "val%d" i in
+      ok (E.put e ~tid:0 ~key:k ~value:v);
+      model := SM.add k v !model
+    end
+  done;
+  (* multi_put groups per shard; multi_get must preserve request order *)
+  ok
+    (E.multi_put e ~tid:0
+       [ ("key:000", Some "zero"); ("key:001", None); ("mk", Some "mv") ]);
+  model := SM.add "key:000" "zero" (SM.remove "key:001" !model);
+  model := SM.add "mk" "mv" !model;
+  let asked = [ "mk"; "key:000"; "no-such-key"; "key:002" ] in
+  let got = ok (E.multi_get e ~tid:0 asked) in
+  Alcotest.(check (list (option string)))
+    "multi_get in request order"
+    (List.map (fun k -> SM.find_opt k !model) asked)
+    got;
+  Alcotest.(check int) "count over shards" (SM.cardinal !model) (E.count e ~tid:0);
+  let prefix = "key:0" in
+  let want =
+    SM.bindings !model
+    |> List.filter (fun (k, _) -> String.starts_with ~prefix k)
+  in
+  Alcotest.(check (list (pair string string)))
+    "merged scan is key-sorted and complete" want
+    (ok (E.scan e ~tid:0 ~prefix ~max:1000));
+  let capped = ok (E.scan e ~tid:0 ~prefix ~max:3) in
+  Alcotest.(check (list (pair string string)))
+    "scan honors max"
+    (List.filteri (fun i _ -> i < 3) want)
+    capped;
+  (* keys route to a stable shard, and different shards are actually used *)
+  let shards_hit =
+    List.sort_uniq compare (List.map (fun (k, _) -> E.shard_of e k) (SM.bindings !model))
+  in
+  Alcotest.(check bool) "several shards in use" true (List.length shards_hit > 1)
+
+(* ---- deterministic batch formation under the scheduler ---- *)
+
+let status_strings r =
+  Array.to_list
+    (Array.map (fun s -> Format.asprintf "%a" Sched.pp_status s) r.Sched.statuses)
+
+(* Fingerprint of a scheduled serving run: scheduler steps, fiber
+   statuses, global ack order, and per-shard committed batch sizes must
+   be a pure function of the schedule seed. *)
+let serve_fingerprint ~seed () =
+  let e = small_engine ~linger_steps:4 () in
+  let ack_seq = Stdlib.Atomic.make 0 in
+  let per_fiber = 3 in
+  let acks = Array.make (4 * per_fiber) (-1) in
+  let body fid =
+    for i = 0 to per_fiber - 1 do
+      match
+        E.put e ~tid:fid
+          ~key:(Printf.sprintf "f%d-%d" fid i)
+          ~value:(Printf.sprintf "v%d.%d" fid i)
+      with
+      | Ok () ->
+          acks.((fid * per_fiber) + i) <- Sched.Atomic.fetch_and_add ack_seq 1
+      | Error _ -> ()
+    done
+  in
+  let r = Sched.run ~seed ~num_fibers:4 body in
+  ( r.Sched.steps,
+    status_strings r,
+    Array.to_list acks,
+    E.batch_sizes e ~shard:0,
+    E.batch_sizes e ~shard:1 )
+
+let test_batch_determinism () =
+  let a = serve_fingerprint ~seed:21 () in
+  let b = serve_fingerprint ~seed:21 () in
+  Alcotest.(check bool)
+    "same seed: same steps, statuses, ack order, batch sizes" true (a = b);
+  let c = serve_fingerprint ~seed:22 () in
+  Alcotest.(check bool) "different seed: different schedule" true (a <> c);
+  let steps, statuses, acks, b0, b1 = a in
+  Alcotest.(check bool) "run completed" true (steps > 0);
+  List.iter (fun s -> Alcotest.(check string) "all finished" "finished" s) statuses;
+  Alcotest.(check bool) "every op acked" true
+    (List.for_all (fun x -> x >= 0) acks);
+  Alcotest.(check int) "batches cover all ops" 12
+    (List.fold_left ( + ) 0 b0 + List.fold_left ( + ) 0 b1);
+  Alcotest.(check bool) "group commit coalesced some batch" true
+    (List.exists (fun s -> s > 1) (b0 @ b1))
+
+(* A stalled client must not block other clients' batches: stall fiber 0
+   at a sweep of steps (deferred while it is leader / holds the stage
+   lock, so the stall always lands on a *waiting* client); every other
+   fiber must still finish and its writes must be durable.  If the stall
+   lands after the victim enqueued, some other leader commits the
+   victim's op — the helped case, which must occur somewhere in the
+   sweep. *)
+let test_stalled_client_adversary () =
+  let helped = ref false in
+  let landed = ref false in
+  List.iter
+    (fun at ->
+      let e = small_engine ~shards:1 ~linger_steps:6 () in
+      let body fid =
+        let n = if fid = 0 then 1 else 3 in
+        for i = 0 to n - 1 do
+          ignore
+            (E.put e ~tid:fid
+               ~key:(Printf.sprintf "f%d-%d" fid i)
+               ~value:"v")
+        done
+      in
+      let r =
+        Sched.run ~seed:31
+          ~injections:[ Sched.Stall { tid = 0; at_step = at; duration = None } ]
+          ~hazard:(fun fid -> E.stall_hazard e ~tid:fid)
+          ~num_fibers:4 body
+      in
+      let statuses = status_strings r in
+      List.iteri
+        (fun fid s ->
+          if fid > 0 then
+            Alcotest.(check string)
+              (Printf.sprintf "fiber %d finished despite stall@%d" fid at)
+              "finished" s)
+        statuses;
+      for fid = 1 to 3 do
+        for i = 0 to 2 do
+          match E.get e ~tid:1 (Printf.sprintf "f%d-%d" fid i) with
+          | Ok (Some "v") -> ()
+          | _ ->
+              Alcotest.fail
+                (Printf.sprintf "stall@%d lost f%d-%d of an unstalled client" at
+                   fid i)
+        done
+      done;
+      if List.nth statuses 0 = "stalled" then begin
+        landed := true;
+        match E.get e ~tid:1 "f0-0" with
+        | Ok (Some _) -> helped := true
+        | _ -> ()
+      end)
+    [ 5; 15; 30; 60; 120; 240 ];
+  Alcotest.(check bool) "some stall actually landed" true !landed;
+  Alcotest.(check bool)
+    "a waiting victim's op was committed by another leader" true !helped
+
+(* Crash at an arbitrary scheduler step, drop all volatile batching
+   state, recover every shard through the media-fault path: each drained
+   batch (logged before its commit) must be all-or-nothing, surviving
+   values must be exact, and every acknowledged write must be durable. *)
+let test_midbatch_crash_atomicity () =
+  List.iter
+    (fun stop ->
+      let e = small_engine ~num_threads:3 ~max_batch:3 ~linger_steps:3 () in
+      let per_fiber = 4 in
+      let acked = Array.make (3 * per_fiber) false in
+      let key fid i = Printf.sprintf "f%d-%d" fid i in
+      let value fid i = Printf.sprintf "V%d.%d" fid i in
+      let body fid =
+        for i = 0 to per_fiber - 1 do
+          match E.put e ~tid:fid ~key:(key fid i) ~value:(value fid i) with
+          | Ok () -> acked.((fid * per_fiber) + i) <- true
+          | Error _ -> ()
+        done
+      in
+      ignore (Sched.run ~seed:5 ~stop_at:stop ~num_fibers:3 body);
+      let attempted =
+        List.concat
+          (List.init (E.shards e) (fun s -> E.attempted_batches e ~shard:s))
+      in
+      (match
+         E.crash_hard_with_faults e ~seed:(100 + stop) ~evict_prob:0.5
+           ~torn_prob:0.3 ~bitflips:0
+       with
+      | Ok _ -> ()
+      | Error d ->
+          Alcotest.fail (Printf.sprintf "stop@%d: flip-free recovery failed: %s" stop d));
+      (* all-or-nothing per attempted batch (keys are written once, so a
+         key's presence tells whether its batch's transaction committed) *)
+      List.iter
+        (fun batch ->
+          let present =
+            List.length
+              (List.filter
+                 (fun k ->
+                   match E.get e ~tid:0 k with Ok (Some _) -> true | _ -> false)
+                 batch)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "stop@%d: batch committed atomically (%d/%d)" stop
+               present (List.length batch))
+            true
+            (present = 0 || present = List.length batch))
+        attempted;
+      (* acked => durable with the exact value; survivors are unmangled *)
+      for fid = 0 to 2 do
+        for i = 0 to per_fiber - 1 do
+          match E.get e ~tid:0 (key fid i) with
+          | Ok (Some v) ->
+              Alcotest.(check string)
+                (Printf.sprintf "stop@%d: value of %s" stop (key fid i))
+                (value fid i) v
+          | Ok None ->
+              if acked.((fid * per_fiber) + i) then
+                Alcotest.fail
+                  (Printf.sprintf "stop@%d: acked write %s lost" stop (key fid i))
+          | Error err -> Alcotest.fail (E.pp_error err)
+        done
+      done)
+    [ 10; 25; 40; 60; 90; 130; 200; 300 ]
+
+(* Bounded-queue admission control: with a long linger and a tiny queue,
+   excess clients get an immediate Overloaded — and the rejection counter
+   matches. *)
+let test_overload_backpressure () =
+  let was_on = Obs.Metrics.is_on () in
+  Obs.Metrics.enable true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.enable was_on) @@ fun () ->
+  let c = Obs.Metrics.counter "serve.overload_rejections" in
+  let before = Obs.Metrics.counter_value c in
+  let e =
+    small_engine ~shards:1 ~num_threads:6 ~max_batch:4 ~linger_steps:50
+      ~queue_cap:2 ()
+  in
+  let outcomes = Array.make 6 `Pending in
+  let body fid =
+    outcomes.(fid) <-
+      (match E.put e ~tid:fid ~key:(Printf.sprintf "k%d" fid) ~value:"v" with
+      | Ok () -> `Acked
+      | Error E.Overloaded -> `Overloaded
+      | Error (E.Unavailable _) -> `Unavailable)
+  in
+  let r = Sched.run ~seed:3 ~num_fibers:6 body in
+  List.iter (fun s -> Alcotest.(check string) "no fiber wedged" "finished" s)
+    (status_strings r);
+  let rejected =
+    Array.to_list outcomes |> List.filter (fun o -> o = `Overloaded) |> List.length
+  in
+  let acked =
+    Array.to_list outcomes |> List.filter (fun o -> o = `Acked) |> List.length
+  in
+  Alcotest.(check bool) "some client was rejected" true (rejected >= 1);
+  Alcotest.(check bool) "admitted clients were served" true (acked >= 1);
+  Alcotest.(check int) "every client got a definite answer" 6 (rejected + acked);
+  Alcotest.(check int) "rejection counter matches" rejected
+    (Obs.Metrics.counter_value c - before);
+  (* rejected writes were never applied *)
+  Array.iteri
+    (fun fid o ->
+      let present =
+        match E.get e ~tid:0 (Printf.sprintf "k%d" fid) with
+        | Ok (Some _) -> true
+        | _ -> false
+      in
+      match o with
+      | `Acked -> Alcotest.(check bool) "acked key present" true present
+      | `Overloaded -> Alcotest.(check bool) "rejected key absent" false present
+      | _ -> ())
+    outcomes
+
+(* Real domains: concurrent writers racing a whole-engine power failure.
+   Every write acknowledged before, during or after the outage must be
+   durable afterwards. *)
+let test_domain_crash_under_load () =
+  let e = small_engine ~num_threads:4 () in
+  let writers = 3 and per_writer = 40 in
+  let acked = Array.init writers (fun _ -> Array.make per_writer false) in
+  let key w i = Printf.sprintf "w%d:%03d" w i in
+  let doms =
+    List.init writers (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_writer - 1 do
+              match E.put e ~tid:(w + 1) ~key:(key w i) ~value:(string_of_int i) with
+              | Ok () -> acked.(w).(i) <- true
+              | Error _ -> Domain.cpu_relax ()
+            done))
+  in
+  Unix.sleepf 0.0005;
+  (match
+     E.crash_with_faults e ~tid:0 ~seed:9 ~evict_prob:0.5 ~torn_prob:0.3
+       ~bitflips:0
+   with
+  | Ok dt -> Alcotest.(check bool) "outage took time" true (dt >= 0.)
+  | Error d -> Alcotest.fail ("flip-free recovery failed: " ^ d));
+  List.iter Domain.join doms;
+  for w = 0 to writers - 1 do
+    for i = 0 to per_writer - 1 do
+      if acked.(w).(i) then
+        match E.get e ~tid:0 (key w i) with
+        | Ok (Some v) ->
+            Alcotest.(check string) (key w i ^ " value") (string_of_int i) v
+        | _ -> Alcotest.fail (Printf.sprintf "acked write %s lost" (key w i))
+    done
+  done
+
+(* ---- loopback TCP smoke (server + client over a real socket) ---- *)
+
+let test_socket_smoke () =
+  match
+    Serve.Server.start
+      {
+        Serve.Server.host = "127.0.0.1";
+        port = 0;
+        max_conns = 2;
+        engine =
+          {
+            E.default_config with
+            shards = 2;
+            num_threads = 3;
+            capacity_bytes = 1 lsl 16;
+          };
+      }
+  with
+  | exception Unix.Unix_error ((EPERM | EACCES | EADDRNOTAVAIL), _, _) ->
+      Printf.printf "socket smoke skipped: loopback sockets unavailable\n"
+  | srv ->
+      Fun.protect ~finally:(fun () -> Serve.Server.stop srv) @@ fun () ->
+      let c =
+        Serve.Client.connect ~retries:50 ~host:"127.0.0.1"
+          ~port:(Serve.Server.port srv) ()
+      in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      Serve.Client.ping c;
+      let ok = function
+        | Ok v -> v
+        | Error `Overloaded -> Alcotest.fail "unexpected overload"
+        | Error (`Err e) -> Alcotest.fail e
+      in
+      ok (Serve.Client.put c ~key:"alpha" ~value:"1");
+      ok (Serve.Client.mput c [ ("beta", "2"); ("gamma", "3") ]);
+      Alcotest.(check (option string)) "get over the wire" (Some "1")
+        (ok (Serve.Client.get c "alpha"));
+      Alcotest.(check (list (option string)))
+        "mget over the wire"
+        [ Some "2"; None; Some "3" ]
+        (ok (Serve.Client.mget c [ "beta"; "nope"; "gamma" ]));
+      Alcotest.(check (list (pair string string)))
+        "scan over the wire"
+        [ ("alpha", "1"); ("beta", "2"); ("gamma", "3") ]
+        (ok (Serve.Client.scan c ~prefix:"" ~max:10));
+      (match Serve.Client.stats c with
+      | Ok j ->
+          Alcotest.(check bool) "stats reports both shards" true
+            (Obs.Json.member "shards" j = Some (Obs.Json.Int 2))
+      | Error e -> Alcotest.fail ("stats: " ^ e));
+      (match Serve.Client.crash c ~seed:4 ~evict_prob:0.5 ~torn_prob:0.3 ~bitflips:0 with
+      | Ok ms -> Alcotest.(check bool) "recovery time reported" true (ms >= 0.)
+      | Error e -> Alcotest.fail ("crash: " ^ e));
+      Alcotest.(check (option string)) "durable across the wire crash" (Some "1")
+        (ok (Serve.Client.get c "alpha"));
+      ok (Serve.Client.del c "alpha");
+      Alcotest.(check (option string)) "deleted" None (ok (Serve.Client.get c "alpha"))
+
+let suites =
+  [
+    ( "serve-protocol",
+      [
+        Alcotest.test_case "round-trips" `Quick test_protocol_roundtrip;
+        Alcotest.test_case "malformed input is rejected" `Quick
+          test_protocol_malformed;
+      ] );
+    ( "serve-engine",
+      [
+        Alcotest.test_case "shard router vs model" `Quick test_router_model;
+        Alcotest.test_case "deterministic batch formation" `Quick
+          test_batch_determinism;
+        Alcotest.test_case "stalled client cannot block batches" `Quick
+          test_stalled_client_adversary;
+        Alcotest.test_case "mid-batch crash atomicity" `Quick
+          test_midbatch_crash_atomicity;
+        Alcotest.test_case "overload backpressure" `Quick
+          test_overload_backpressure;
+        Alcotest.test_case "crash under concurrent domain load" `Quick
+          test_domain_crash_under_load;
+      ] );
+    ( "serve-wire",
+      [ Alcotest.test_case "loopback socket smoke" `Quick test_socket_smoke ] );
+  ]

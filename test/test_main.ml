@@ -111,4 +111,5 @@ let () =
          Db_redodb.suites;
          Db_rocks.suites;
          Suite_db.cursor_suites;
+         Suite_serve.suites;
        ])
