@@ -1,16 +1,27 @@
 (* Closed-loop load generator for redodb_server.
 
-   N client domains each PUT a disjoint key range over its own
-   connection, retrying on OVERLOADED backpressure; an optional crasher
-   fires the protocol-level CRASH (simulated power failure + per-shard
-   recovery) once a fraction of the total load is in flight.  A final
-   verify phase MGETs every key back over a fresh connection and checks
-   the serving contract: every acknowledged write is present with the
-   exact value written (acked => durable), and any surviving
+   N client domains each drive a PUT/MPUT/SCAN mix over a disjoint key
+   range on their own connection, retrying on OVERLOADED backpressure;
+   an optional crasher fires the protocol-level CRASH (simulated power
+   failure + per-shard recovery + cross-shard commit recovery) once a
+   fraction of the total load is in flight.  MPUTs span the shards (a
+   group of derived keys sharing one value), exercising the two-phase
+   cross-shard commit; SCANs exercise the epoch-validated snapshot
+   path.  Client-side latencies are recorded per op class (p50/p99).
+
+   A final verify phase MGETs every key back over a fresh connection
+   and checks the serving contract: every acknowledged write is present
+   with the exact value written (acked => durable); any surviving
    unacknowledged write carries the value that was attempted (batches
-   are all-or-nothing, never mangled).
+   are all-or-nothing, never mangled); and every MPUT group — acked or
+   not — is present all-or-nothing across shards (no prefix commits).
 
    Exit status is non-zero if verification fails, so CI can gate on it. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
 
 let () =
   let host = ref "127.0.0.1" in
@@ -22,17 +33,31 @@ let () =
   let crash_at = ref nan in
   let json_file = ref "" in
   let fetch_stats = ref false in
+  let mput_every = ref 0 in
+  let mput_size = ref 4 in
+  let scan_every = ref 0 in
+  let scan_max = ref 100 in
   let spec =
     [
       ("--host", Arg.Set_string host, "ADDR server address (default 127.0.0.1)");
       ("--port", Arg.Set_int port, "P server port (default 7599)");
       ("--clients", Arg.Set_int clients, "N closed-loop client connections (default 4)");
-      ("--ops", Arg.Set_int ops, "N PUTs per client (default 2000)");
+      ("--ops", Arg.Set_int ops, "N ops per client (default 2000)");
       ("--value-bytes", Arg.Set_int value_bytes, "B value payload size (default 64)");
       ("--seed", Arg.Set_int seed, "S seed for values and the CRASH fault draw (default 42)");
       ( "--crash-at",
         Arg.Set_float crash_at,
         "FRAC send CRASH after this fraction of total ops (e.g. 0.5)" );
+      ( "--mput-every",
+        Arg.Set_int mput_every,
+        "N every Nth op is a cross-shard MPUT (0 = never; default 0)" );
+      ( "--mput-size",
+        Arg.Set_int mput_size,
+        "K keys per MPUT group (default 4)" );
+      ( "--scan-every",
+        Arg.Set_int scan_every,
+        "N every Nth op is a snapshot SCAN (0 = never; default 0)" );
+      ("--scan-max", Arg.Set_int scan_max, "M SCAN result cap (default 100)");
       ("--json", Arg.Set_string json_file, "FILE write a machine-readable report");
       ("--metrics", Arg.Set fetch_stats, " embed the server's STATS document in the report");
     ]
@@ -45,6 +70,9 @@ let () =
   let nclients = !clients and per_client = !ops in
   let total = nclients * per_client in
   let key c i = Printf.sprintf "c%d:%06d" c i in
+  (* MPUT groups spread over shards: the per-member suffix changes the
+     FNV-1a route, so a group of >= 2 keys almost always crosses shards. *)
+  let mkey c i j = Printf.sprintf "c%d:m%06d:%d" c i j in
   let value c i =
     let stem = Printf.sprintf "v%d-%d-%d." !seed c i in
     let b = Buffer.create !value_bytes in
@@ -52,6 +80,11 @@ let () =
       Buffer.add_string b stem
     done;
     Buffer.sub b 0 !value_bytes
+  in
+  let op_kind i =
+    if !mput_every > 0 && i mod !mput_every = 0 then `Mput
+    else if !scan_every > 0 && i mod !scan_every = !scan_every / 2 then `Scan
+    else `Put
   in
   let connect () =
     Serve.Client.connect ~retries:100 ~retry_delay:0.05 ~host:!host ~port:!port ()
@@ -63,7 +96,12 @@ let () =
   let done_ops = Atomic.make 0 in
   let overloads = Atomic.make 0 in
   let unavailable = Atomic.make 0 in
+  let in_doubt = Atomic.make 0 in
   let client_errors = Atomic.make 0 in
+  let lat_put = Array.init nclients (fun _ -> ref []) in
+  let lat_mput = Array.init nclients (fun _ -> ref []) in
+  let lat_scan = Array.init nclients (fun _ -> ref []) in
+  let last_epoch = Atomic.make 0 in
 
   (* Optional crasher: one power failure at the load threshold. *)
   let crash_ms = ref nan in
@@ -87,27 +125,71 @@ let () =
 
   let run_client c =
     let cl = connect () in
+    let timed lats f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (match r with
+      | Ok _ -> lats := (Unix.gettimeofday () -. t0) :: !lats
+      | Error _ -> ());
+      r
+    in
     (try
        for i = 0 to per_client - 1 do
          (* Closed loop with bounded retry: OVERLOADED is backpressure
-            (ease off and resend); unavailable means the engine is mid
-            power-failure (wait out the outage).  An op that exhausts its
-            retries stays unacknowledged — the verifier then only checks
-            it was not mangled. *)
-         let rec attempt n =
+            (ease off and resend); UNAVAILABLE means the engine is mid
+            power-failure with no durable effect (wait out the outage);
+            INDOUBT is retried too — values are a pure function of the
+            key, so a replay of a recovered-forward transaction is
+            idempotent.  An op that exhausts its retries stays
+            unacknowledged — the verifier then only checks it was not
+            mangled or partially committed. *)
+         let rec attempt n (op : unit -> (unit, Serve.Client.error) result) =
            if n < 2000 then
-             match Serve.Client.put cl ~key:(key c i) ~value:(value c i) with
+             match op () with
              | Ok () -> acked.(c).(i) <- true
              | Error `Overloaded ->
                  Atomic.incr overloads;
                  Unix.sleepf 0.0005;
-                 attempt (n + 1)
-             | Error (`Err _) ->
+                 attempt (n + 1) op
+             | Error (`InDoubt _) ->
+                 Atomic.incr in_doubt;
+                 Unix.sleepf 0.002;
+                 attempt (n + 1) op
+             | Error (`Unavailable _) | Error (`Err _) ->
                  Atomic.incr unavailable;
                  Unix.sleepf 0.002;
-                 attempt (n + 1)
+                 attempt (n + 1) op
          in
-         attempt 0;
+         (match op_kind i with
+         | `Put ->
+             attempt 0 (fun () ->
+                 Result.map
+                   (fun () -> ())
+                   (timed lat_put.(c) (fun () ->
+                        Serve.Client.put cl ~key:(key c i) ~value:(value c i))))
+         | `Mput ->
+             let kvs =
+               List.init !mput_size (fun j -> (mkey c i j, value c i))
+             in
+             attempt 0 (fun () ->
+                 Result.map
+                   (fun (_txid, epoch) ->
+                     (* monotone commit epochs, observed client-side *)
+                     let rec bump () =
+                       let seen = Atomic.get last_epoch in
+                       if epoch > seen && not (Atomic.compare_and_set last_epoch seen epoch)
+                       then bump ()
+                     in
+                     bump ())
+                   (timed lat_mput.(c) (fun () -> Serve.Client.mput cl kvs)))
+         | `Scan ->
+             attempt 0 (fun () ->
+                 Result.map
+                   (fun (_ : (string * string) list) -> ())
+                   (timed lat_scan.(c) (fun () ->
+                        Serve.Client.scan cl
+                          ~prefix:(Printf.sprintf "c%d:m" c)
+                          ~max:!scan_max))));
          Atomic.incr done_ops
        done
      with e ->
@@ -125,32 +207,72 @@ let () =
   let n_acked = ref 0 in
   Array.iter (Array.iter (fun a -> if a then incr n_acked)) acked;
   let acked_missing = ref 0 and mangled = ref 0 and unacked_present = ref 0 in
+  let mput_partial = ref 0 in
+  let mget ks =
+    match Serve.Client.mget admin ks with
+    | Ok vs -> vs
+    | Error _ -> failwith "verify MGET failed"
+  in
   let chunk = 64 in
   for c = 0 to nclients - 1 do
-    let i = ref 0 in
-    while !i < per_client do
-      let n = min chunk (per_client - !i) in
-      let ks = List.init n (fun j -> key c (!i + j)) in
-      (match Serve.Client.mget admin ks with
-      | Ok vs ->
-          List.iteri
-            (fun j v ->
-              let idx = !i + j in
-              match (v, acked.(c).(idx)) with
+    (* point writes *)
+    let put_idx =
+      List.filter (fun i -> op_kind i = `Put) (List.init per_client (fun i -> i))
+    in
+    let rec chunks = function
+      | [] -> ()
+      | l ->
+          let n = min chunk (List.length l) in
+          let now = List.filteri (fun i _ -> i < n) l
+          and rest = List.filteri (fun i _ -> i >= n) l in
+          List.iter2
+            (fun i v ->
+              match (v, acked.(c).(i)) with
               | Some v, was_acked ->
-                  if v <> value c idx then begin
+                  if v <> value c i then begin
                     incr mangled;
-                    Printf.eprintf "MANGLED %s\n%!" (key c idx)
+                    Printf.eprintf "MANGLED %s\n%!" (key c i)
                   end
                   else if not was_acked then incr unacked_present
               | None, true ->
                   incr acked_missing;
-                  Printf.eprintf "ACKED BUT MISSING %s\n%!" (key c idx)
+                  Printf.eprintf "ACKED BUT MISSING %s\n%!" (key c i)
               | None, false -> ())
-            vs
-      | Error _ -> failwith "verify MGET failed");
-      i := !i + n
-    done
+            now
+            (mget (List.map (key c) now));
+          chunks rest
+    in
+    chunks put_idx;
+    (* cross-shard MPUT groups: exact all-or-nothing, acked => all *)
+    List.iter
+      (fun i ->
+        if op_kind i = `Mput then begin
+          let ks = List.init !mput_size (mkey c i) in
+          let vs = mget ks in
+          let there = List.filter (fun v -> v <> None) vs in
+          let n_there = List.length there in
+          List.iter2
+            (fun k v ->
+              match v with
+              | Some v when v <> value c i ->
+                  incr mangled;
+                  Printf.eprintf "MANGLED %s\n%!" k
+              | _ -> ())
+            ks vs;
+          if acked.(c).(i) then begin
+            if n_there <> !mput_size then begin
+              incr acked_missing;
+              Printf.eprintf "ACKED MPUT PARTIAL/MISSING c%d:%d (%d/%d)\n%!" c i
+                n_there !mput_size
+            end
+          end
+          else if n_there <> 0 && n_there <> !mput_size then begin
+            incr mput_partial;
+            Printf.eprintf "MPUT PREFIX COMMIT c%d:%d (%d/%d)\n%!" c i n_there
+              !mput_size
+          end
+        end)
+      (List.init per_client (fun i -> i))
   done;
 
   let stats =
@@ -162,15 +284,32 @@ let () =
   in
   Serve.Client.close admin;
 
+  let lat_json lats =
+    let all =
+      Array.to_list lats |> List.concat_map (fun r -> !r) |> Array.of_list
+    in
+    Array.sort compare all;
+    let n = Array.length all in
+    let open Obs.Json in
+    if n = 0 then Null
+    else
+      Obj
+        [
+          ("count", Int n);
+          ("p50_us", Float (percentile all 0.50 *. 1e6));
+          ("p99_us", Float (percentile all 0.99 *. 1e6));
+        ]
+  in
   let throughput = if elapsed > 0. then float_of_int !n_acked /. elapsed else 0. in
   Printf.printf
     "bench_serve: %d clients x %d ops -> %d acked in %.3fs (%.0f ops/s), %d \
-     overloaded, %d unavailable retries%s\n"
+     overloaded, %d unavailable, %d in-doubt retries%s\n"
     nclients per_client !n_acked elapsed throughput (Atomic.get overloads)
-    (Atomic.get unavailable)
+    (Atomic.get unavailable) (Atomic.get in_doubt)
     (if Float.is_nan !crash_ms then "" else Printf.sprintf ", crash outage %.1fms" !crash_ms);
-  Printf.printf "verify: acked_missing=%d mangled=%d unacked_present=%d\n%!"
-    !acked_missing !mangled !unacked_present;
+  Printf.printf
+    "verify: acked_missing=%d mangled=%d unacked_present=%d mput_partial=%d\n%!"
+    !acked_missing !mangled !unacked_present !mput_partial;
 
   if !json_file <> "" then begin
     let open Obs.Json in
@@ -184,19 +323,33 @@ let () =
           ("ops_per_client", Int per_client);
           ("value_bytes", Int !value_bytes);
           ("seed", Int !seed);
+          ("mput_every", Int !mput_every);
+          ("mput_size", Int !mput_size);
+          ("scan_every", Int !scan_every);
+          ("scan_max", Int !scan_max);
           ("crash_at", if Float.is_nan !crash_at then Null else Float !crash_at);
           ("crash_ms", if Float.is_nan !crash_ms then Null else Float !crash_ms);
           ("acked", Int !n_acked);
           ("overloads", Int (Atomic.get overloads));
           ("unavailable_retries", Int (Atomic.get unavailable));
+          ("in_doubt_retries", Int (Atomic.get in_doubt));
           ("elapsed_s", Float elapsed);
           ("throughput_ops_s", Float throughput);
+          ("max_commit_epoch", Int (Atomic.get last_epoch));
+          ( "latency",
+            Obj
+              [
+                ("put", lat_json lat_put);
+                ("mput", lat_json lat_mput);
+                ("scan", lat_json lat_scan);
+              ] );
           ( "verify",
             Obj
               [
                 ("acked_missing", Int !acked_missing);
                 ("mangled", Int !mangled);
                 ("unacked_present", Int !unacked_present);
+                ("mput_partial", Int !mput_partial);
                 ("checked", Int total);
               ] );
           ("server_stats", stats);
@@ -208,7 +361,10 @@ let () =
     close_out oc
   end;
 
-  if !acked_missing > 0 || !mangled > 0 || Atomic.get client_errors > 0 then begin
+  if
+    !acked_missing > 0 || !mangled > 0 || !mput_partial > 0
+    || Atomic.get client_errors > 0
+  then begin
     prerr_endline "bench_serve: VERIFICATION FAILED";
     exit 1
   end

@@ -14,6 +14,10 @@
                                         [--stall TID@STEP[:K]]... [--kill TID@STEP]...
                                         [--crash-step N] [--evict-prob P]
                                         [--torn-prob P] [--bitflips N]
+     dune exec bin/crash_torture.exe -- --serve-mput N [--rounds R] [--seed S]
+                                        [--crash-phase P] [--mutant M]...
+                                        [--evict-prob P] [--torn-prob P]
+                                        [--bitflips N]
 
    Default (quiescent) mode: each round runs a batch of random set
    operations (tracked in a volatile model), then crashes the simulated
@@ -420,6 +424,176 @@ let serve_torture ~shards ~rounds ~seed ~evict_prob ~torn_prob ~bitflips =
    with Exit -> ());
   !failures
 
+(* ---- cross-shard MPUT torture (--serve-mput) ----
+
+   Each round runs on a FRESH engine, so a printed repro line replays
+   exactly with --rounds 1: random single-key churn builds an exact
+   model, one multi-shard MPUT (one key on every shard) is armed to
+   power-fail at a 2PC phase boundary drawn from the round's RNG (or
+   pinned by --crash-phase), the whole machine crashes through the
+   media-fault path, and the recovered image is audited — churn keys
+   exact, the MPUT all-or-nothing across shards (all keys exact if it
+   was acknowledged), the merged scan free of half-applied slices and
+   commit metadata, and a fresh cross-shard MPUT still committing.
+   Guard-dropping mutants (--mutant) must make this sweep fail; CI runs
+   them to prove the sweep can see each violation class. *)
+
+let serve_mput_torture ~shards ~rounds ~seed ~evict_prob ~torn_prob ~bitflips
+    ~crash_phase ~mutants =
+  let module SM = Map.Make (String) in
+  let module E = Serve.Engine in
+  let module C = Serve.Commit in
+  let torn_prob = Option.value torn_prob ~default:0. in
+  let failures = ref 0 in
+  let repro round_seed phase =
+    Printf.sprintf
+      "--serve-mput %d --rounds 1 --seed %d%s --evict-prob %g --torn-prob %g \
+       --bitflips %d%s"
+      shards (round_seed - 1)
+      (match phase with
+      | None -> ""
+      | Some p -> Printf.sprintf " --crash-phase %s" (C.pp_phase p))
+      evict_prob torn_prob bitflips
+      (String.concat ""
+         (List.map (fun m -> " --mutant " ^ C.pp_mutant m) mutants))
+  in
+  (* phase draw: always consume the RNG so --crash-phase replays see the
+     same stream, then override with the pinned phase *)
+  let boundaries =
+    None
+    :: List.concat
+         [
+           List.init shards (fun i -> Some (C.Prepare (i + 1)));
+           [ Some C.Decide ];
+           List.init shards (fun i -> Some (C.Apply (i + 1)));
+           [ Some C.Forget ];
+         ]
+  in
+  for round = 1 to rounds do
+    let round_seed = seed + round in
+    let st = Random.State.make [| round_seed; 0x2bc |] in
+    let e = E.create { E.default_config with shards; num_threads = 2 } in
+    E.set_mutants e mutants;
+    let drawn = List.nth boundaries (Random.State.int st (List.length boundaries)) in
+    let phase = match crash_phase with Some _ as p -> p | None -> drawn in
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          incr failures;
+          Printf.printf "  !! serve-mput: %s (round %d)\n     repro: %s\n" msg
+            round (repro round_seed phase))
+        fmt
+    in
+    (* churn: exact volatile model of the single-key traffic *)
+    let model = ref SM.empty in
+    for _ = 1 to 40 do
+      let k = Printf.sprintf "k%03d" (Random.State.int st 200) in
+      if Random.State.int st 4 > 0 then begin
+        let v = Printf.sprintf "v%d.%d" round_seed (Random.State.int st 1000) in
+        (match E.put e ~tid:0 ~key:k ~value:v with
+        | Ok () -> ()
+        | Error err -> fail "churn put rejected (%s)" (E.pp_error err));
+        model := SM.add k v !model
+      end
+      else begin
+        (match E.delete e ~tid:0 k with
+        | Ok () -> ()
+        | Error err -> fail "churn delete rejected (%s)" (E.pp_error err));
+        model := SM.remove k !model
+      end
+    done;
+    (* one key per shard, probed so the MPUT spans every shard *)
+    let mput_kvs =
+      List.init shards (fun s ->
+          let rec probe n =
+            let k = Printf.sprintf "x%d.%d.%d" round_seed s n in
+            if E.shard_of e k = s then k else probe (n + 1)
+          in
+          (probe 0, Printf.sprintf "mv%d.%d" round_seed s))
+    in
+    E.set_crash_after e phase;
+    let outcome =
+      match
+        E.multi_put e ~tid:0 (List.map (fun (k, v) -> (k, Some v)) mput_kvs)
+      with
+      | Ok _ -> `Acked
+      | Error _ -> `Unacked
+      | exception C.Injected_crash _ -> `Unacked
+    in
+    match
+      E.crash_hard_with_faults e ~seed:round_seed ~evict_prob ~torn_prob
+        ~bitflips
+    with
+    | Error detail ->
+        if bitflips > 0 then
+          Printf.printf
+            "  detected: recovery refused corrupt image (round %d: %s)\n" round
+            detail
+        else fail "Unrecoverable on a flip-free image (%s)" detail
+    | Ok _ ->
+        (* churn keys: exact *)
+        SM.iter
+          (fun k v ->
+            match E.get e ~tid:0 k with
+            | Ok (Some v') when v' = v -> ()
+            | Ok got ->
+                fail "churn key %s diverged: got %s want %s" k
+                  (Option.value got ~default:"<absent>")
+                  v
+            | Error err -> fail "get %s rejected (%s)" k (E.pp_error err))
+          !model;
+        (* the MPUT: atomic across shards, exact if acknowledged *)
+        let got =
+          List.map
+            (fun (k, v) ->
+              match E.get e ~tid:0 k with
+              | Ok r -> (k, v, r)
+              | Error err ->
+                  fail "get %s rejected (%s)" k (E.pp_error err);
+                  (k, v, None))
+            mput_kvs
+        in
+        List.iter
+          (fun (k, v, r) ->
+            match r with
+            | Some v' when v' <> v ->
+                fail "MPUT key %s mangled: got %s want %s" k v' v
+            | _ -> ())
+          got;
+        let present = List.length (List.filter (fun (_, _, r) -> r <> None) got) in
+        let applied = present = shards in
+        if outcome = `Acked && not applied then
+          fail "acked MPUT lost or partial after crash (%d/%d keys)" present
+            shards
+        else if (not applied) && present > 0 then
+          fail "MPUT prefix commit: %d/%d keys durable" present shards;
+        (* merged image: user keys only, no half slice, no metadata leak *)
+        let expect =
+          if applied then
+            List.fold_left (fun m (k, v) -> SM.add k v m) !model mput_kvs
+          else !model
+        in
+        (match E.scan e ~tid:0 ~prefix:"" ~max:(SM.cardinal expect + 8) with
+        | Ok kvs ->
+            if kvs <> SM.bindings expect then
+              fail "merged scan diverged after crash"
+        | Error err -> fail "scan rejected (%s)" (E.pp_error err));
+        let decided, applied_n = E.commit_stats e in
+        if decided <> applied_n then
+          fail "recovery left an incomplete commit (decided %d, applied %d)"
+            decided applied_n;
+        (* liveness: the recovered engine still commits across shards *)
+        (match
+           E.multi_put e ~tid:0
+             (List.map (fun (k, _) -> (k, Some "alive")) mput_kvs)
+         with
+        | Ok _ -> ()
+        | Error err -> fail "post-recovery MPUT failed (%s)" (E.pp_error err)
+        | exception C.Injected_crash _ ->
+            fail "crash armed across recovery (phase not cleared)")
+  done;
+  !failures
+
 let parse_kill s =
   let tid, step = parse_at ~flag:"--kill" s in
   (int_field ~flag:"--kill" tid, int_field ~flag:"--kill" step)
@@ -462,6 +636,9 @@ let () =
   let kills = ref [] in
   let crash_step = ref None in
   let serve_shards = ref 0 in
+  let serve_mput = ref 0 in
+  let crash_phase = ref None in
+  let mutants = ref [] in
   let spec =
     [
       ("--ptm", Arg.Set_string ptm_filter, "NAME only torture this PTM");
@@ -534,6 +711,38 @@ let () =
         Arg.Set_int serve_shards,
         "N torture the sharded serving engine (lib/serve) with N shards: hard \
          power failures between churn rounds, media faults per shard" );
+      ( "--serve-mput",
+        Arg.Set_int serve_mput,
+        "N torture the cross-shard commit with N shards: each round arms a \
+         multi-shard MPUT to power-fail at a random 2PC phase boundary and \
+         audits all-or-nothing after recovery" );
+      ( "--crash-phase",
+        Arg.String
+          (fun s ->
+            match Serve.Commit.parse_phase s with
+            | Some p -> crash_phase := Some p
+            | None ->
+                raise
+                  (Arg.Bad
+                     (Printf.sprintf
+                        "--crash-phase: expected prepare:K | decide | apply:K \
+                         | forget, got %S"
+                        s))),
+        "P pin the --serve-mput crash boundary (from a repro line)" );
+      ( "--mutant",
+        Arg.String
+          (fun s ->
+            match Serve.Commit.parse_mutant s with
+            | Some m -> mutants := !mutants @ [ m ]
+            | None ->
+                raise
+                  (Arg.Bad
+                     (Printf.sprintf
+                        "--mutant: expected skip-2pc | no-rollforward | \
+                         no-read-validation, got %S"
+                        s))),
+        "M drop a commit-protocol guard in --serve-mput mode (the sweep must \
+         then fail); repeatable" );
       ( "--trace",
         Arg.String (fun f -> trace_file := Some f),
         "FILE export a Chrome trace-event JSON of the torture run" );
@@ -568,7 +777,31 @@ let () =
   in
   let tp = if !torn_set then Some !torn_prob else None in
   let total_failures = ref 0 in
-  (if !serve_shards > 0 then begin
+  (if !serve_mput > 0 then begin
+     Printf.printf
+       "torturing serve-mput/%d-shard (%d rounds, evict %.2f, torn %.2f, \
+        flips %d%s%s)... %!"
+       !serve_mput !rounds !evict_prob !torn_prob !bitflips
+       (match !crash_phase with
+       | None -> ""
+       | Some p -> ", phase " ^ Serve.Commit.pp_phase p)
+       (match !mutants with
+       | [] -> ""
+       | ms ->
+           ", mutants "
+           ^ String.concat "," (List.map Serve.Commit.pp_mutant ms));
+     let t0 = Unix.gettimeofday () in
+     let f =
+       serve_mput_torture ~shards:!serve_mput ~rounds:!rounds ~seed:!seed
+         ~evict_prob:!evict_prob ~torn_prob:tp ~bitflips:!bitflips
+         ~crash_phase:!crash_phase ~mutants:!mutants
+     in
+     total_failures := !total_failures + f;
+     Printf.printf "%s (%.1fs)\n"
+       (if f = 0 then "ok" else Printf.sprintf "%d FAILURES" f)
+       (Unix.gettimeofday () -. t0)
+   end
+   else if !serve_shards > 0 then begin
      Printf.printf
        "torturing serve/%d-shard (%d rounds, evict %.2f, torn %.2f, flips %d)... %!"
        !serve_shards !rounds !evict_prob !torn_prob !bitflips;

@@ -74,10 +74,14 @@ let () =
     | Ok v -> v
     | Error err -> failwith (E.pp_error err)
   in
-  ok
-    (E.multi_put e ~tid:0
-       (List.init 20 (fun i ->
-            (Printf.sprintf "city:%02d" i, Some (string_of_int (i * 111))))));
+  let ack =
+    ok
+      (E.multi_put e ~tid:0
+         (List.init 20 (fun i ->
+              (Printf.sprintf "city:%02d" i, Some (string_of_int (i * 111))))))
+  in
+  Printf.printf "MPUT committed atomically across shards: txid %d, epoch %d\n"
+    ack.E.txid ack.E.epoch;
   Printf.printf "city:07 = %s (from shard %d)\n"
     (Option.value ~default:"<none>" (ok (E.get e ~tid:0 "city:07")))
     (E.shard_of e "city:07");

@@ -534,6 +534,7 @@ module Trace = struct
     | Db_op
     | Serve_op
     | Batch
+    | Commit
 
   let kind_name = function
     | Tx -> "tx"
@@ -554,11 +555,12 @@ module Trace = struct
     | Db_op -> "db_op"
     | Serve_op -> "serve_op"
     | Batch -> "batch"
+    | Commit -> "commit"
 
   let kind_cat = function
     | Fence | Crash -> "pm"
     | Rwlock_acquire | Rwlock_contend | Sleep -> "sync"
-    | Db_op | Serve_op | Batch -> "db"
+    | Db_op | Serve_op | Batch | Commit -> "db"
     | _ -> "ptm"
 
   type ring = {

@@ -124,6 +124,7 @@ module Trace : sig
     | Db_op  (** RedoDB API call (span) *)
     | Serve_op  (** serving-engine request (span; arg = opcode) *)
     | Batch  (** group-commit batch transaction (span; arg = batch size) *)
+    | Commit  (** cross-shard two-phase commit (span; arg = txid) *)
 
   val kind_name : kind -> string
 

@@ -187,6 +187,49 @@ let write_batch t ~tid ops =
            ops;
          0L))
 
+(* Value lookup usable inside any transaction (update or read-only). *)
+let lookup_tx tx key =
+  let h = header tx in
+  let _, _, node = locate tx h key (hash_string key) in
+  if node = 0 then None
+  else Some (read_string tx (Int64.to_int (P.get tx (node + 2))))
+
+(* Guarded conditional batch: in ONE transaction, iff [guard] is live,
+   apply [ops], delete [guard], and raise each decimal-string high-water
+   key in [hwms] to at least its paired value.  Returns whether the guard
+   was present (i.e. the batch applied).  The guard is what makes
+   cross-shard roll-forward idempotent: of all racing appliers of a
+   decided transaction (the committing writer, helping readers, recovery)
+   exactly one commits the data — a second attempt sees the guard gone
+   and leaves the shard untouched, so it can never revert keys that newer
+   transactions have since overwritten. *)
+let apply_guarded t ~tid ~guard ~hwms ops =
+  Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:3 @@ fun () ->
+  P.update t.p ~tid (fun tx ->
+      let h = header tx in
+      let _, _, g = locate tx h guard (hash_string guard) in
+      if g = 0 then 0L
+      else begin
+        List.iter
+          (fun (key, v) ->
+            match v with
+            | Some value -> put_tx tx ~key ~value
+            | None -> ignore (delete_tx tx key))
+          ops;
+        ignore (delete_tx tx guard);
+        List.iter
+          (fun (key, n) ->
+            let cur =
+              match lookup_tx tx key with
+              | Some s -> Option.value (int_of_string_opt s) ~default:(-1)
+              | None -> -1
+            in
+            if n > cur then put_tx tx ~key ~value:(string_of_int n))
+          hwms;
+        1L
+      end)
+  = 1L
+
 (* Reads decode the value inside the read-only transaction (consistent
    snapshot) and pass it out via a ref: results are int64-typed. *)
 let get t ~tid key =

@@ -24,6 +24,24 @@ val crash_with_faults :
     (initialisation flushes would otherwise pay it too). *)
 val set_flush_cost : t -> int -> unit
 
+(** [apply_guarded t ~tid ~guard ~hwms ops]: in ONE transaction, iff
+    [guard] is a live key, apply [ops] ([Some v] puts, [None] deletes),
+    delete [guard], and raise each decimal-string high-water key in
+    [hwms] to at least its paired value; returns whether the guard was
+    present (i.e. the batch applied).  The guard makes cross-shard
+    roll-forward idempotent: of all racing appliers of a decided
+    transaction (the committing writer, helping readers, recovery)
+    exactly one commits the data — a later attempt sees the guard gone
+    and leaves the shard untouched, so it can never revert keys that
+    newer transactions have since overwritten. *)
+val apply_guarded :
+  t ->
+  tid:int ->
+  guard:string ->
+  hwms:(string * int) list ->
+  (string * string option) list ->
+  bool
+
 (** {1 Iteration (the paper's "extended with iterator capabilities")} *)
 
 (** A cursor over a consistent snapshot of the database, ordered by key. *)

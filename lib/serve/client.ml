@@ -5,6 +5,9 @@
 
 type t = { fd : Unix.file_descr; io : Protocol.Io.t }
 
+type error =
+  [ `Overloaded | `Unavailable of string | `InDoubt of int | `Err of string ]
+
 exception Protocol_error of string
 
 let connect ?(retries = 0) ?(retry_delay = 0.05) ~host ~port () =
@@ -39,7 +42,10 @@ let call t req =
       | Result.Ok resp -> resp)
 
 (* Typed wrappers.  [`Overloaded] is the backpressure signal callers are
-   expected to handle; any other mismatch is a protocol error. *)
+   expected to handle; [`Unavailable] means the request took no durable
+   effect and is retryable after recovery; [`InDoubt] means an MPUT's
+   outcome is unknown until recovery resolves it.  Any other shape
+   mismatch is a protocol error. *)
 
 let unexpected what (resp : Protocol.resp) =
   let shape =
@@ -52,6 +58,9 @@ let unexpected what (resp : Protocol.resp) =
     | Kvs _ -> "KVS"
     | Json _ -> "JSON"
     | Overloaded -> "OVERLOADED"
+    | Committed _ -> "COMMITTED"
+    | Unavail _ -> "UNAVAILABLE"
+    | In_doubt _ -> "INDOUBT"
     | Err _ -> "ERR"
   in
   raise (Protocol_error (Printf.sprintf "%s: unexpected %s response" what shape))
@@ -62,6 +71,7 @@ let put t ~key ~value =
   match call t (Protocol.Put (key, value)) with
   | Ok -> Result.Ok ()
   | Overloaded -> Error `Overloaded
+  | Unavail d -> Error (`Unavailable d)
   | Err e -> Error (`Err e)
   | r -> unexpected "PUT" r
 
@@ -70,6 +80,7 @@ let get t key =
   | Val v -> Result.Ok (Some v)
   | Nil -> Result.Ok None
   | Overloaded -> Error `Overloaded
+  | Unavail d -> Error (`Unavailable d)
   | Err e -> Error (`Err e)
   | r -> unexpected "GET" r
 
@@ -77,6 +88,7 @@ let del t key =
   match call t (Protocol.Del key) with
   | Ok -> Result.Ok ()
   | Overloaded -> Error `Overloaded
+  | Unavail d -> Error (`Unavailable d)
   | Err e -> Error (`Err e)
   | r -> unexpected "DEL" r
 
@@ -84,13 +96,16 @@ let mget t keys =
   match call t (Protocol.Mget keys) with
   | Vals vs -> Result.Ok vs
   | Overloaded -> Error `Overloaded
+  | Unavail d -> Error (`Unavailable d)
   | Err e -> Error (`Err e)
   | r -> unexpected "MGET" r
 
 let mput t kvs =
   match call t (Protocol.Mput kvs) with
-  | Ok -> Result.Ok ()
+  | Committed { txid; epoch } -> Result.Ok (txid, epoch)
   | Overloaded -> Error `Overloaded
+  | Unavail d -> Error (`Unavailable d)
+  | In_doubt txid -> Error (`InDoubt txid)
   | Err e -> Error (`Err e)
   | r -> unexpected "MPUT" r
 
@@ -98,6 +113,7 @@ let scan t ~prefix ~max =
   match call t (Protocol.Scan { prefix; max }) with
   | Kvs kvs -> Result.Ok kvs
   | Overloaded -> Error `Overloaded
+  | Unavail d -> Error (`Unavailable d)
   | Err e -> Error (`Err e)
   | r -> unexpected "SCAN" r
 

@@ -19,25 +19,27 @@ val close : t -> unit
 val call : t -> Protocol.req -> Protocol.resp
 
 (** {2 Typed wrappers} — [`Overloaded] is admission-control backpressure
-    (nothing was enqueued; retry later), [`Err] any other server-side
-    refusal. *)
+    (nothing was enqueued; retry now), [`Unavailable] means the request
+    took no durable effect (engine crashing/crashed or a definite
+    cross-shard abort; retry after recovery), [`InDoubt txid] means an
+    MPUT prepared durably but its outcome is unknown until recovery —
+    re-read before replaying.  [`Err] is any other server-side refusal. *)
+
+type error =
+  [ `Overloaded | `Unavailable of string | `InDoubt of int | `Err of string ]
 
 val ping : t -> unit
-val put : t -> key:string -> value:string -> (unit, [ `Overloaded | `Err of string ]) result
-val get : t -> string -> (string option, [ `Overloaded | `Err of string ]) result
-val del : t -> string -> (unit, [ `Overloaded | `Err of string ]) result
+val put : t -> key:string -> value:string -> (unit, error) result
+val get : t -> string -> (string option, error) result
+val del : t -> string -> (unit, error) result
+val mget : t -> string list -> (string option list, error) result
 
-val mget :
-  t -> string list -> (string option list, [ `Overloaded | `Err of string ]) result
-
-val mput :
-  t -> (string * string) list -> (unit, [ `Overloaded | `Err of string ]) result
+(** [Ok (txid, epoch)]: the MPUT committed all-or-nothing across shards
+    at commit epoch [epoch] ([txid] = 0 for a single-shard MPUT). *)
+val mput : t -> (string * string) list -> (int * int, error) result
 
 val scan :
-  t ->
-  prefix:string ->
-  max:int ->
-  ((string * string) list, [ `Overloaded | `Err of string ]) result
+  t -> prefix:string -> max:int -> ((string * string) list, error) result
 
 (** Parsed STATS document. *)
 val stats : t -> (Obs.Json.t, string) result

@@ -1,0 +1,246 @@
+(* Durable artifacts of the cross-shard atomic commit protocol.
+
+   The engine gives `multi_put` all-or-nothing semantics across shards
+   with a two-phase protocol whose every durable artifact lives INSIDE
+   the shards' own RedoDB regions, written through ordinary PTM
+   transactions — so each record inherits the per-shard durability,
+   torn-line and bit-flip hardening that PR 3 built, for free:
+
+   - a PREPARE record per participating shard ("m!p!<txid>"), staging
+     that shard's slice of the write set plus the full participant
+     list, so any shard's region alone names everyone involved
+     (self-describing, in the spirit of Puddles' application-independent
+     recovery);
+   - one DECISION record on the coordinator shard — the lowest
+     participating index — ("m!d!<txid>") carrying the commit epoch.
+     Its commit IS the commit point of the whole transaction;
+   - per-shard high-water keys ("m!he" epoch, "m!ht" txid) raised
+     transactionally with each apply, so epochs and txids stay monotone
+     across crashes even after all records are forgotten.
+
+   User keys are escaped with a 'u' prefix at the engine boundary, which
+   keeps this metadata namespace ('m' prefix) collision-free against
+   arbitrary binary user keys.
+
+   Record values carry their own splitmix64 digest: the PTM already
+   refuses corrupt metadata, but the digest makes the records themselves
+   end-to-end self-validating — recovery refuses to guess at a commit
+   decision it cannot authenticate. *)
+
+(* ---- key schema ---- *)
+
+let user_key k = "u" ^ k
+let user_of_internal k = String.sub k 1 (String.length k - 1)
+
+let prep_prefix = "m!p!"
+let dec_prefix = "m!d!"
+let epoch_hwm_key = "m!he"
+let txid_hwm_key = "m!ht"
+let prep_key txid = Printf.sprintf "%s%010d" prep_prefix txid
+let dec_key txid = Printf.sprintf "%s%010d" dec_prefix txid
+
+let classify_key k =
+  if String.length k > 0 && k.[0] = 'u' then `User
+  else
+    let txid_of prefix =
+      int_of_string_opt
+        (String.sub k (String.length prefix) (String.length k - String.length prefix))
+    in
+    if String.starts_with ~prefix:prep_prefix k then
+      match txid_of prep_prefix with Some t -> `Prep t | None -> `Other
+    else if String.starts_with ~prefix:dec_prefix k then
+      match txid_of dec_prefix with Some t -> `Decision t | None -> `Other
+    else `Other
+
+(* ---- record codec (digest-framed, binary-safe) ---- *)
+
+let digest_string s =
+  let acc = ref 0x2545f4914f6cdd1dL in
+  String.iter (fun c -> acc := Pmem.Checksum.fold !acc (Int64.of_int (Char.code c))) s;
+  !acc
+
+let frame body = Printf.sprintf "%016Lx%s" (digest_string body) body
+
+let unframe s =
+  if String.length s < 16 then None
+  else
+    let body = String.sub s 16 (String.length s - 16) in
+    match Int64.of_string_opt ("0x" ^ String.sub s 0 16) with
+    | Some d when Int64.equal d (digest_string body) -> Some body
+    | _ -> None
+
+let add_int b n =
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_char b ';'
+
+let add_str b s =
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+exception Bad_record
+
+(* Tiny cursor parser; any malformation raises and the decoder returns
+   None — an unparseable record is treated as corruption, never guessed
+   at. *)
+type cursor = { s : string; mutable pos : int }
+
+let take_until c cur =
+  match String.index_from_opt cur.s cur.pos c with
+  | None -> raise Bad_record
+  | Some i ->
+      let tok = String.sub cur.s cur.pos (i - cur.pos) in
+      cur.pos <- i + 1;
+      tok
+
+let take_int cur =
+  match int_of_string_opt (take_until ';' cur) with
+  | Some n -> n
+  | None -> raise Bad_record
+
+let take_str cur =
+  let len =
+    match int_of_string_opt (take_until ':' cur) with
+    | Some n when n >= 0 && n <= String.length cur.s - cur.pos -> n
+    | _ -> raise Bad_record
+  in
+  let s = String.sub cur.s cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let take_ints cur =
+  let n = take_int cur in
+  List.init n (fun _ -> take_int cur)
+
+(* prepare record: txid, participant shards, this shard's write set *)
+let encode_prep ~txid ~participants ~ops =
+  let b = Buffer.create 128 in
+  add_int b txid;
+  add_int b (List.length participants);
+  List.iter (add_int b) participants;
+  add_int b (List.length ops);
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Some v ->
+          Buffer.add_char b 'P';
+          add_str b k;
+          add_str b v
+      | None ->
+          Buffer.add_char b 'D';
+          add_str b k)
+    ops;
+  frame (Buffer.contents b)
+
+let decode_prep s =
+  match unframe s with
+  | None -> None
+  | Some body -> (
+      let cur = { s = body; pos = 0 } in
+      try
+        let txid = take_int cur in
+        let participants = take_ints cur in
+        let nops = take_int cur in
+        let ops =
+          List.init nops (fun _ ->
+              if cur.pos >= String.length body then raise Bad_record
+              else
+                let tag = body.[cur.pos] in
+                cur.pos <- cur.pos + 1;
+                match tag with
+                | 'P' ->
+                    let k = take_str cur in
+                    let v = take_str cur in
+                    (k, Some v)
+                | 'D' -> (take_str cur, None)
+                | _ -> raise Bad_record)
+        in
+        if cur.pos <> String.length body then None
+        else Some (txid, participants, ops)
+      with Bad_record -> None)
+
+(* decision record: txid, commit epoch, participant shards *)
+let encode_decision ~txid ~epoch ~participants =
+  let b = Buffer.create 32 in
+  add_int b txid;
+  add_int b epoch;
+  add_int b (List.length participants);
+  List.iter (add_int b) participants;
+  frame (Buffer.contents b)
+
+let decode_decision s =
+  match unframe s with
+  | None -> None
+  | Some body -> (
+      let cur = { s = body; pos = 0 } in
+      try
+        let txid = take_int cur in
+        let epoch = take_int cur in
+        let participants = take_ints cur in
+        if cur.pos <> String.length body then None
+        else Some (txid, epoch, participants)
+      with Bad_record -> None)
+
+(* ---- protocol phase boundaries (crash-injection points) ---- *)
+
+(* Each constructor names the instant JUST AFTER that phase's durable
+   action committed: [Prepare k] after the k-th participant's prepare
+   record, [Decide] after the decision record, [Apply k] after the k-th
+   participant's guarded apply, [Forget] after the decision record was
+   deleted.  The sweeps crash at every one of these. *)
+type phase = Prepare of int | Decide | Apply of int | Forget
+
+exception Injected_crash of phase
+
+let pp_phase = function
+  | Prepare k -> Printf.sprintf "prepare:%d" k
+  | Decide -> "decide"
+  | Apply k -> Printf.sprintf "apply:%d" k
+  | Forget -> "forget"
+
+let parse_phase s =
+  let split_ord prefix =
+    let plen = String.length prefix in
+    if
+      String.length s > plen + 1
+      && String.sub s 0 plen = prefix
+      && s.[plen] = ':'
+    then int_of_string_opt (String.sub s (plen + 1) (String.length s - plen - 1))
+    else None
+  in
+  match s with
+  | "decide" -> Some Decide
+  | "forget" -> Some Forget
+  | _ -> (
+      match split_ord "prepare" with
+      | Some k -> Some (Prepare k)
+      | None -> ( match split_ord "apply" with Some k -> Some (Apply k) | None -> None))
+
+(* ---- guard-dropping mutants ----
+
+   Each mutant removes one safety guard of the protocol so the sweeps
+   can demonstrate the violation class that guard prevents (the same
+   methodology as the RedoNoFence / PmdkNoSum mutants):
+
+   - [Skip_2pc]: multi_put commits per-shard batches directly, the
+     pre-commit-layer behavior.  A crash between shard commits leaves a
+     durable PREFIX of the write set — the prefix-commit violation.
+   - [No_rollforward]: acks at the decision record (legal only if
+     recovery completes in-doubt commits) AND recovery treats decision
+     records as absent, rolling every prepared shard back.  A crash
+     after the ack loses or half-applies an ACKED multi_put.
+   - [No_read_validation]: snapshot reads skip epoch validation and
+     helping, so a scan can interleave with the apply phase and observe
+     a half-applied multi_put. *)
+type mutant = Skip_2pc | No_rollforward | No_read_validation
+
+let pp_mutant = function
+  | Skip_2pc -> "skip-2pc"
+  | No_rollforward -> "no-rollforward"
+  | No_read_validation -> "no-read-validation"
+
+let parse_mutant = function
+  | "skip-2pc" -> Some Skip_2pc
+  | "no-rollforward" -> Some No_rollforward
+  | "no-read-validation" -> Some No_read_validation
+  | _ -> None

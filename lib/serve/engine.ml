@@ -3,18 +3,30 @@
    region) and, when batching is on, funnels each shard's writes through
    a group-commit stage (Batcher).
 
-   Single-shard ops (GET/PUT/DEL) route to one shard.  Multi-shard ops
-   (MGET/MPUT/SCAN) visit shards in index order, always — operations
-   never hold one shard while waiting on a lower-numbered one, so the
-   deterministic order keeps the engine deadlock-free by construction.
-   Cross-shard requests are per-shard atomic (each shard's slice is one
-   PTM transaction), not globally atomic; README.md "Serving" spells out
-   the contract.
+   Single-shard ops (GET/PUT/DEL) route to one shard.  Cross-shard
+   multi_put runs a two-phase commit over the per-shard PTM
+   transactions (see Commit for the durable record formats): prepare
+   records staged on every participating shard, one decision record on
+   the coordinator shard (the lowest participating index) whose commit
+   is the commit point, then guarded idempotent applies that fold the
+   staged writes into the user keyspace and raise the per-shard
+   epoch/txid high-water marks.  multi_get/scan are epoch-validated
+   snapshot reads: they first help any decided-but-unapplied commit to
+   completion, then validate that no cross-shard commit decided during
+   the read — so they can never observe a half-applied multi_put.
+
+   User keys are escaped ('u' prefix) at this boundary so the commit
+   metadata ('m' prefix) shares the shards' keyspace — and thereby the
+   PTM's durability and media-fault hardening — without collisions.
+
+   Shards are always visited in index order — operations never hold one
+   shard while waiting on a lower-numbered one, so the deterministic
+   order keeps the engine deadlock-free by construction.
 
    Crashes route through the per-shard media-fault path
-   (Redodb.crash_with_faults) with distinct derived seeds, so a
-   whole-engine power failure exercises torn write-backs and metadata
-   bit flips on every shard. *)
+   (Redodb.crash_with_faults) with distinct derived seeds, then through
+   commit recovery, which completes or rolls back in-doubt cross-shard
+   transactions from the durable records alone. *)
 
 module A = Sched.Atomic
 
@@ -41,6 +53,14 @@ let default_config =
     queue_cap = 64;
   }
 
+(* A decided-but-not-yet-forgotten cross-shard transaction, published so
+   that any reader (or the recovery path) can drive it to completion. *)
+type pending = {
+  p_epoch : int;
+  p_parts : int list;  (* participating shards, ascending; head = coordinator *)
+  p_ops : (int * (string * string option) list) list;  (* per-shard slices *)
+}
+
 type t = {
   cfg : config;
   dbs : Kv.Redodb.t array;
@@ -48,15 +68,34 @@ type t = {
   inflight : int A.t;  (* ops currently inside a shard (reads + commits) *)
   crashing : bool A.t;
   crash_gate : Sched.Mutex.t;  (* serializes whole-engine crashes *)
+  (* cross-shard commit state (volatile; rebuilt by recover_commit) *)
+  next_txid : int A.t;
+  epoch_src : int A.t;  (* last granted commit epoch; gaps are harmless *)
+  decided : int A.t;  (* cross-shard txns whose decision record committed *)
+  applied : int A.t;  (* of those, fully applied on every shard *)
+  reg_lock : Sched.Mutex.t;
+  registry : (int, pending) Hashtbl.t;  (* guarded by reg_lock *)
+  commit_window : bool array;  (* per tid: between decide commit and publish *)
+  mutable mutants : Commit.mutant list;
+  mutable crash_after : Commit.phase option;
   c_reqs : Obs.Metrics.counter;
   c_multi : Obs.Metrics.counter;
+  c_prep : Obs.Metrics.counter;
+  c_dec : Obs.Metrics.counter;
+  c_apply : Obs.Metrics.counter;
+  c_helped : Obs.Metrics.counter;
+  c_rollf : Obs.Metrics.counter;
+  c_rollb : Obs.Metrics.counter;
+  c_retry : Obs.Metrics.counter;
 }
 
-type error = Overloaded | Unavailable of string
+type ack = { txid : int; epoch : int }
+type error = Overloaded | Unavailable of string | In_doubt of int
 
 let pp_error = function
   | Overloaded -> "overloaded"
   | Unavailable d -> "unavailable: " ^ d
+  | In_doubt txid -> Printf.sprintf "in doubt: txn %d" txid
 
 let create cfg =
   if cfg.shards < 1 then invalid_arg "Engine.create: shards";
@@ -81,14 +120,41 @@ let create cfg =
     inflight = A.make 0;
     crashing = A.make false;
     crash_gate = Sched.Mutex.create ();
+    next_txid = A.make 1;
+    epoch_src = A.make 0;
+    decided = A.make 0;
+    applied = A.make 0;
+    reg_lock = Sched.Mutex.create ();
+    registry = Hashtbl.create 16;
+    commit_window = Array.make cfg.num_threads false;
+    mutants = [];
+    crash_after = None;
     c_reqs = Obs.Metrics.counter "serve.requests";
     c_multi = Obs.Metrics.counter "serve.multi_shard_ops";
+    c_prep = Obs.Metrics.counter "serve.commit.prepares";
+    c_dec = Obs.Metrics.counter "serve.commit.decides";
+    c_apply = Obs.Metrics.counter "serve.commit.applies";
+    c_helped = Obs.Metrics.counter "serve.commit.helped_applies";
+    c_rollf = Obs.Metrics.counter "serve.commit.rollforwards";
+    c_rollb = Obs.Metrics.counter "serve.commit.rollbacks";
+    c_retry = Obs.Metrics.counter "serve.commit.snapshot_retries";
   }
 
 let config t = t.cfg
 let shards t = t.cfg.shards
+let set_mutants t ms = t.mutants <- ms
+let set_crash_after t p = t.crash_after <- p
+let current_epoch t = A.get t.epoch_src
 
-(* FNV-1a, deliberately different from the Hashtbl.hash the per-shard
+let maybe_crash t phase =
+  match t.crash_after with
+  | Some p when p = phase ->
+      t.crash_after <- None;
+      raise (Commit.Injected_crash phase)
+  | _ -> ()
+
+(* FNV-1a over the USER key (routing is independent of the internal
+   escaping), deliberately different from the Hashtbl.hash the per-shard
    bucket chains use: sharding with the same hash would leave each shard
    using only 1/N of its buckets. *)
 let shard_of t key =
@@ -142,39 +208,215 @@ let submit_shard t ~tid shard ops =
   end
 
 let put t ~tid ~key ~value =
-  with_entry t ~tid @@ fun () -> submit_shard t ~tid (shard_of t key) [ (key, Some value) ]
+  with_entry t ~tid @@ fun () ->
+  submit_shard t ~tid (shard_of t key) [ (Commit.user_key key, Some value) ]
 
 let delete t ~tid key =
-  with_entry t ~tid @@ fun () -> submit_shard t ~tid (shard_of t key) [ (key, None) ]
+  with_entry t ~tid @@ fun () ->
+  submit_shard t ~tid (shard_of t key) [ (Commit.user_key key, None) ]
 
-(* Writes grouped by shard, applied strictly in shard-index order.  Each
-   shard's slice is one atomic, durable transaction; the whole request
-   is not globally atomic.  A slice rejected by admission control stops
-   the walk: lower-numbered shards have committed, higher ones were
-   never touched — the caller learns which prefix is in. *)
+(* ---- cross-shard commit ---- *)
+
+(* Definite abort of a not-yet-decided transaction: delete its prepare
+   records.  Goes straight to the PTM (one transaction per shard) — the
+   batcher is for acked user writes; abort must also work while the
+   batcher is already rejecting during a crash start. *)
+let rollback t ~tid txid shards =
+  List.iter
+    (fun s -> Kv.Redodb.write_batch t.dbs.(s) ~tid [ (Commit.prep_key txid, None) ])
+    shards;
+  if shards <> [] then Obs.Metrics.incr t.c_rollb ~tid
+
+(* Guarded applies of a decided transaction, shards in index order.
+   apply_guarded commits a shard's slice iff its prepare record is still
+   live, so racing appliers (writer, helpers, recovery) are harmless:
+   exactly one commits per shard, and a false return PROVES that shard's
+   apply already committed. *)
+let run_applies t ~tid ~helper ~inject txid p =
+  List.iteri
+    (fun i (s, ops) ->
+      let did =
+        Kv.Redodb.apply_guarded t.dbs.(s) ~tid ~guard:(Commit.prep_key txid)
+          ~hwms:
+            [ (Commit.epoch_hwm_key, p.p_epoch); (Commit.txid_hwm_key, txid) ]
+          ops
+      in
+      if did then begin
+        Obs.Metrics.incr t.c_apply ~tid;
+        if helper then Obs.Metrics.incr t.c_helped ~tid
+      end;
+      if inject then maybe_crash t (Commit.Apply (i + 1)))
+    p.p_ops
+
+(* Drive a decided transaction to completion.  The registry
+   check-and-remove under reg_lock is the completion point: exactly one
+   of the racing completers (writer, helping readers) claims it, counts
+   it applied, and forgets the decision record. *)
+let complete t ~tid ~helper ~inject txid p =
+  run_applies t ~tid ~helper ~inject txid p;
+  Sched.Mutex.lock t.reg_lock ~tid;
+  let mine = Hashtbl.mem t.registry txid in
+  if mine then begin
+    Hashtbl.remove t.registry txid;
+    A.incr t.applied
+  end;
+  Sched.Mutex.unlock t.reg_lock ~tid;
+  if mine then begin
+    Kv.Redodb.write_batch t.dbs.(List.hd p.p_parts) ~tid
+      [ (Commit.dec_key txid, None) ];
+    if inject then maybe_crash t Commit.Forget
+  end
+
+(* Readers help every published decided transaction to completion before
+   taking their snapshots — the lock-free-style helping that keeps
+   snapshot reads from blocking on (or being blocked by) writers. *)
+let help_complete t ~tid =
+  Sched.Mutex.lock t.reg_lock ~tid;
+  let pend = Hashtbl.fold (fun txid p acc -> (txid, p) :: acc) t.registry [] in
+  Sched.Mutex.unlock t.reg_lock ~tid;
+  List.iter
+    (fun (txid, p) -> complete t ~tid ~helper:true ~inject:false txid p)
+    (List.sort compare pend)
+
+let publish t ~tid txid p =
+  Sched.Mutex.lock t.reg_lock ~tid;
+  Hashtbl.replace t.registry txid p;
+  A.incr t.decided;
+  Sched.Mutex.unlock t.reg_lock ~tid
+
+let two_phase t ~tid slices parts =
+  let txid = A.fetch_and_add t.next_txid 1 in
+  Obs.Trace.span Obs.Trace.Commit ~tid ~arg:txid @@ fun () ->
+  (* PREPARE: stage each shard's slice, shards in index order. *)
+  let rec prepare k done_ = function
+    | [] -> Result.Ok ()
+    | (s, ops) :: rest -> (
+        let record = Commit.encode_prep ~txid ~participants:parts ~ops in
+        match submit_shard t ~tid s [ (Commit.prep_key txid, Some record) ] with
+        | Result.Ok () ->
+            Obs.Metrics.incr t.c_prep ~tid;
+            maybe_crash t (Commit.Prepare k);
+            prepare (k + 1) (s :: done_) rest
+        | Error e ->
+            rollback t ~tid txid done_;
+            Error e)
+  in
+  match prepare 1 [] slices with
+  | Error _ as e -> e
+  | Result.Ok () -> (
+      (* DECIDE: the decision record's commit is the commit point.  The
+         commit_window flag marks this thread as stall-hazardous until
+         the decision is published in the registry — a thread frozen
+         between a durable decision and its publication would leave
+         readers with a decided count they cannot help to completion. *)
+      t.commit_window.(tid) <- true;
+      Fun.protect ~finally:(fun () -> t.commit_window.(tid) <- false)
+      @@ fun () ->
+      let epoch = 1 + A.fetch_and_add t.epoch_src 1 in
+      let record = Commit.encode_decision ~txid ~epoch ~participants:parts in
+      let coord = List.hd parts in
+      match submit_shard t ~tid coord [ (Commit.dec_key txid, Some record) ] with
+      | Error e ->
+          (* a rejected submit was never committed: definite abort *)
+          rollback t ~tid txid parts;
+          Error e
+      | exception (Commit.Injected_crash _ as ex) -> raise ex
+      | exception _ ->
+          (* unknown decide outcome after durable prepares: the one case
+             the engine cannot resolve itself — surface the txid so the
+             client can reason about the replay after recovery. *)
+          Error (In_doubt txid)
+      | Result.Ok () ->
+          Obs.Metrics.incr t.c_dec ~tid;
+          maybe_crash t Commit.Decide;
+          let p = { p_epoch = epoch; p_parts = parts; p_ops = slices } in
+          publish t ~tid txid p;
+          (* Published: helpers can now finish the commit, so freezing
+             this thread is once again harmless — drop the hazard. *)
+          t.commit_window.(tid) <- false;
+          if not (List.mem Commit.No_rollforward t.mutants) then
+            complete t ~tid ~helper:false ~inject:true txid p;
+          Result.Ok { txid; epoch })
+
+(* Writes grouped by shard.  One shard: a single atomic PTM transaction
+   (fast path, no commit records).  Several shards: the two-phase
+   protocol — all-or-nothing across shards, with the ack carrying the
+   transaction's commit epoch. *)
 let multi_put t ~tid ops =
   with_entry t ~tid @@ fun () ->
   Obs.Metrics.incr t.c_multi ~tid;
   let per_shard = Array.make t.cfg.shards [] in
   List.iter
-    (fun ((key, _) as op) ->
+    (fun (key, v) ->
       let s = shard_of t key in
-      per_shard.(s) <- op :: per_shard.(s))
+      per_shard.(s) <- (Commit.user_key key, v) :: per_shard.(s))
     ops;
-  let rec go s =
-    if s >= t.cfg.shards then Result.Ok ()
-    else if per_shard.(s) = [] then go (s + 1)
-    else
-      match submit_shard t ~tid s (List.rev per_shard.(s)) with
-      | Result.Ok () -> go (s + 1)
-      | Error _ as e -> e
-  in
-  go 0
+  let parts = ref [] in
+  for s = t.cfg.shards - 1 downto 0 do
+    if per_shard.(s) <> [] then parts := s :: !parts
+  done;
+  let slices = List.map (fun s -> (s, List.rev per_shard.(s))) !parts in
+  match slices with
+  | [] -> Result.Ok { txid = 0; epoch = A.get t.epoch_src }
+  | [ (s, ops) ] -> (
+      match submit_shard t ~tid s ops with
+      | Result.Ok () -> Result.Ok { txid = 0; epoch = A.get t.epoch_src }
+      | Error _ as e -> e)
+  | _ when List.mem Commit.Skip_2pc t.mutants ->
+      (* mutant: the pre-commit-layer behavior — independent per-shard
+         commits in index order; a crash between them durably applies a
+         prefix of the write set. *)
+      let rec go k = function
+        | [] -> Result.Ok { txid = 0; epoch = A.get t.epoch_src }
+        | (s, ops) :: rest -> (
+            match submit_shard t ~tid s ops with
+            | Result.Ok () ->
+                maybe_crash t (Commit.Prepare k);
+                go (k + 1) rest
+            | Error _ as e -> e)
+      in
+      go 1 slices
+  | _ -> two_phase t ~tid slices !parts
 
-(* ---- reads (wait-free on the PTM's own snapshots, never batched) ---- *)
+(* ---- reads (epoch-validated snapshots, never batched) ---- *)
 
+(* A multi-shard read is consistent iff no cross-shard commit was in
+   flight across it: every decided transaction was fully applied before
+   the first per-shard snapshot (applied = decided) and no new decision
+   landed before the last one (decided unchanged).  Readers help pending
+   commits forward rather than waiting them out, so writers never block
+   readers; a reader retries only if a commit decided DURING its
+   snapshots.  (Optimistic, not wait-free: under a sustained stream of
+   overlapping cross-shard commits a reader can retry repeatedly.) *)
+let snapshot_read t ~tid f =
+  if List.mem Commit.No_read_validation t.mutants then f ()
+  else begin
+    let rec loop () =
+      help_complete t ~tid;
+      let d0 = A.get t.decided in
+      if A.get t.applied <> d0 then begin
+        Obs.Metrics.incr t.c_retry ~tid;
+        relax ();
+        loop ()
+      end
+      else begin
+        let r = f () in
+        if A.get t.decided <> d0 then begin
+          Obs.Metrics.incr t.c_retry ~tid;
+          relax ();
+          loop ()
+        end
+        else r
+      end
+    in
+    loop ()
+  end
+
+(* Single-key reads need no epoch validation: each shard apply is one
+   atomic PTM transaction, so a key is never observably half-written. *)
 let get t ~tid key =
-  with_entry t ~tid @@ fun () -> Result.Ok (Kv.Redodb.get t.dbs.(shard_of t key) ~tid key)
+  with_entry t ~tid @@ fun () ->
+  Result.Ok (Kv.Redodb.get t.dbs.(shard_of t key) ~tid (Commit.user_key key))
 
 (* One read-only snapshot per visited shard, shards in index order. *)
 let multi_get t ~tid keys =
@@ -184,43 +426,54 @@ let multi_get t ~tid keys =
   List.iteri
     (fun i key ->
       let s = shard_of t key in
-      per_shard.(s) <- (i, key) :: per_shard.(s))
+      per_shard.(s) <- (i, Commit.user_key key) :: per_shard.(s))
     keys;
-  let out = Array.make (List.length keys) None in
-  for s = 0 to t.cfg.shards - 1 do
-    match List.rev per_shard.(s) with
-    | [] -> ()
-    | batch ->
-        let vals = Kv.Redodb.get_batch t.dbs.(s) ~tid (List.map snd batch) in
-        List.iter2 (fun (i, _) v -> out.(i) <- v) batch vals
-  done;
-  Result.Ok (Array.to_list out)
+  Result.Ok
+    ( snapshot_read t ~tid @@ fun () ->
+      let out = Array.make (List.length keys) None in
+      for s = 0 to t.cfg.shards - 1 do
+        match List.rev per_shard.(s) with
+        | [] -> ()
+        | batch ->
+            let vals = Kv.Redodb.get_batch t.dbs.(s) ~tid (List.map snd batch) in
+            List.iter2 (fun (i, _) v -> out.(i) <- v) batch vals
+      done;
+      Array.to_list out )
 
 let scan t ~tid ~prefix ~max =
   with_entry t ~tid @@ fun () ->
   Obs.Metrics.incr t.c_multi ~tid;
+  let iprefix = Commit.user_key prefix in
   let in_prefix k =
-    String.length k >= String.length prefix
-    && String.sub k 0 (String.length prefix) = prefix
+    String.length k >= String.length iprefix
+    && String.sub k 0 (String.length iprefix) = iprefix
   in
-  let all = ref [] in
-  for s = 0 to t.cfg.shards - 1 do
-    let c = Kv.Redodb.seek t.dbs.(s) ~tid prefix in
-    let rec walk () =
-      match Kv.Redodb.entry c with
-      | Some (k, v) when in_prefix k ->
-          all := (k, v) :: !all;
-          ignore (Kv.Redodb.next c);
-          walk ()
-      | _ -> ()
-    in
-    walk ()
-  done;
-  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !all in
-  Result.Ok (List.filteri (fun i _ -> i < max) sorted)
+  Result.Ok
+    ( snapshot_read t ~tid @@ fun () ->
+      let all = ref [] in
+      for s = 0 to t.cfg.shards - 1 do
+        let c = Kv.Redodb.seek t.dbs.(s) ~tid iprefix in
+        let rec walk () =
+          match Kv.Redodb.entry c with
+          | Some (k, v) when in_prefix k ->
+              all := (Commit.user_of_internal k, v) :: !all;
+              ignore (Kv.Redodb.next c);
+              walk ()
+          | _ -> ()
+        in
+        walk ()
+      done;
+      let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !all in
+      List.filteri (fun i _ -> i < max) sorted )
 
+(* User keys only — commit metadata and high-water marks are not data. *)
 let count t ~tid =
-  Array.fold_left (fun acc db -> acc + Kv.Redodb.count db ~tid) 0 t.dbs
+  Array.fold_left
+    (fun acc db ->
+      acc
+      + Kv.Redodb.fold db ~tid ~init:0 (fun n k _ ->
+            if String.length k > 0 && k.[0] = 'u' then n + 1 else n))
+    0 t.dbs
 
 (* ---- crash and recovery ---- *)
 
@@ -237,10 +490,109 @@ let recover_shards t ~seed ~evict_prob ~torn_prob ~bitflips =
   in
   go 0 0.
 
+(* Commit recovery, from the durable records alone (every shard's region
+   is self-describing: any prepare record names all participants).
+   Decided transactions are rolled FORWARD — each shard still holding a
+   prepare record gets its guarded apply, then the decision record is
+   forgotten.  Prepared-but-undecided transactions are rolled BACK.  A
+   record that fails its digest is corruption the media-fault layer
+   missed: recovery refuses to guess and the engine stays down.  Finally
+   the volatile commit state (txid/epoch sources, decided/applied,
+   registry) is rebuilt from the high-water marks. *)
+let recover_commit t =
+  Obs.Trace.span Obs.Trace.Recovery ~tid:0 @@ fun () ->
+  let preps = Hashtbl.create 16 in
+  let decs = Hashtbl.create 16 in
+  let max_txid = ref 0 in
+  let max_epoch = ref 0 in
+  let bad = ref [] in
+  Array.iteri
+    (fun s db ->
+      Kv.Redodb.fold db ~tid:0 ~init:() (fun () k v ->
+          if k = Commit.epoch_hwm_key then
+            max_epoch := max !max_epoch (Option.value (int_of_string_opt v) ~default:0)
+          else if k = Commit.txid_hwm_key then
+            max_txid := max !max_txid (Option.value (int_of_string_opt v) ~default:0)
+          else
+            match Commit.classify_key k with
+            | `Prep tx -> (
+                match Commit.decode_prep v with
+                | Some (txid, _, ops) when txid = tx ->
+                    Hashtbl.replace preps (txid, s) ops;
+                    max_txid := max !max_txid txid
+                | _ ->
+                    bad :=
+                      Printf.sprintf "shard %d: corrupt prepare record %S" s k
+                      :: !bad)
+            | `Decision tx -> (
+                match Commit.decode_decision v with
+                | Some (txid, epoch, parts) when txid = tx ->
+                    Hashtbl.replace decs txid (epoch, parts, s);
+                    max_txid := max !max_txid txid;
+                    max_epoch := max !max_epoch epoch
+                | _ ->
+                    bad :=
+                      Printf.sprintf "shard %d: corrupt decision record %S" s k
+                      :: !bad)
+            | `User | `Other -> ()))
+    t.dbs;
+  match !bad with
+  | detail :: _ -> Error detail
+  | [] ->
+      let no_rf = List.mem Commit.No_rollforward t.mutants in
+      Hashtbl.iter
+        (fun txid (epoch, parts, s_dec) ->
+          if not no_rf then
+            List.iter
+              (fun s ->
+                match Hashtbl.find_opt preps (txid, s) with
+                | Some ops ->
+                    let did =
+                      Kv.Redodb.apply_guarded t.dbs.(s) ~tid:0
+                        ~guard:(Commit.prep_key txid)
+                        ~hwms:
+                          [
+                            (Commit.epoch_hwm_key, epoch);
+                            (Commit.txid_hwm_key, txid);
+                          ]
+                        ops
+                    in
+                    if did then Obs.Metrics.incr t.c_rollf ~tid:0;
+                    Hashtbl.remove preps (txid, s)
+                | None -> ())
+              parts;
+          Kv.Redodb.write_batch t.dbs.(s_dec) ~tid:0 [ (Commit.dec_key txid, None) ])
+        decs;
+      Hashtbl.iter
+        (fun ((txid, s) as key) _ ->
+          ignore key;
+          if no_rf || not (Hashtbl.mem decs txid) then begin
+            Kv.Redodb.write_batch t.dbs.(s) ~tid:0 [ (Commit.prep_key txid, None) ];
+            Obs.Metrics.incr t.c_rollb ~tid:0
+          end)
+        preps;
+      A.set t.next_txid (!max_txid + 1);
+      A.set t.epoch_src !max_epoch;
+      A.set t.decided 0;
+      A.set t.applied 0;
+      Hashtbl.reset t.registry;
+      Sched.Mutex.reset t.reg_lock;
+      Array.fill t.commit_window 0 (Array.length t.commit_window) false;
+      Result.Ok ()
+
+let recover_all t ~seed ~evict_prob ~torn_prob ~bitflips =
+  match recover_shards t ~seed ~evict_prob ~torn_prob ~bitflips with
+  | Error _ as e -> e
+  | Result.Ok dt -> (
+      match recover_commit t with
+      | Result.Ok () -> Result.Ok dt
+      | Error detail -> Error ("commit recovery: " ^ detail))
+
 (* Whole-engine power failure under load: new requests bounce, queued
    unacknowledged requests are drained by rejection, in-flight committed
    batches finish (their acks are valid — the data is durable), then
-   every shard crashes through the media-fault path and recovers. *)
+   every shard crashes through the media-fault path, recovers, and
+   commit recovery resolves in-doubt cross-shard transactions. *)
 let crash_with_faults t ~tid ~seed ~evict_prob ~torn_prob ~bitflips =
   Sched.Mutex.lock t.crash_gate ~tid;
   Fun.protect ~finally:(fun () -> Sched.Mutex.unlock t.crash_gate ~tid)
@@ -251,7 +603,7 @@ let crash_with_faults t ~tid ~seed ~evict_prob ~torn_prob ~bitflips =
   while A.get t.inflight > 0 || not (Array.for_all Batcher.quiesced t.batchers) do
     relax ()
   done;
-  let r = recover_shards t ~seed ~evict_prob ~torn_prob ~bitflips in
+  let r = recover_all t ~seed ~evict_prob ~torn_prob ~bitflips in
   (match r with
   | Result.Ok _ ->
       Array.iter (fun b -> Batcher.set_crashing b false) t.batchers;
@@ -262,16 +614,19 @@ let crash_with_faults t ~tid ~seed ~evict_prob ~torn_prob ~bitflips =
   | Error _ as e -> e
 
 (* Hard power failure for harnesses that already know no live thread is
-   inside the engine (scheduler fibers suspended forever, or a
-   single-threaded torture loop): volatile stage state is dropped like
-   the machine lost it, then the shards recover.  No quiesce — this is
-   how a crash lands mid-batch. *)
+   inside the engine (scheduler fibers suspended forever, a
+   single-threaded torture loop, or a thread that just raised
+   Commit.Injected_crash out of the engine): volatile stage and commit
+   state is dropped like the machine lost it, then the shards recover
+   and commit recovery runs.  No quiesce — this is how a crash lands
+   mid-batch or mid-2PC. *)
 let crash_hard_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips =
   Array.iter Batcher.reset t.batchers;
   A.set t.inflight 0;
   A.set t.crashing false;
   Sched.Mutex.reset t.crash_gate;
-  recover_shards t ~seed ~evict_prob ~torn_prob ~bitflips
+  t.crash_after <- None;
+  recover_all t ~seed ~evict_prob ~torn_prob ~bitflips
 
 (* ---- introspection ---- *)
 
@@ -282,12 +637,25 @@ let set_flush_cost t iters = Array.iter (fun db -> Kv.Redodb.set_flush_cost db i
 
 let stall_hazard t ~tid =
   Array.exists (fun b -> Batcher.stall_hazard b ~tid) t.batchers
+  || (tid >= 0 && tid < Array.length t.commit_window && t.commit_window.(tid))
+  || Sched.Mutex.holder t.reg_lock = Some tid
 
 let batch_sizes t ~shard = Batcher.batch_sizes t.batchers.(shard)
-let attempted_batches t ~shard = Batcher.attempted_batches t.batchers.(shard)
+
+(* The oracle's ground truth is in USER terms: internal user keys are
+   unescaped and commit metadata writes (which are not acked user data)
+   are dropped. *)
+let attempted_batches t ~shard =
+  List.map
+    (List.filter_map (fun k ->
+         if String.length k > 0 && k.[0] = 'u' then Some (Commit.user_of_internal k)
+         else None))
+    (Batcher.attempted_batches t.batchers.(shard))
 
 let queue_depths t =
   Array.to_list (Array.map Batcher.queue_depth t.batchers)
+
+let commit_stats t = (A.get t.decided, A.get t.applied)
 
 let stats_json t =
   let shard_rows =
@@ -318,6 +686,11 @@ let stats_json t =
       ("batch", Obs.Json.Bool t.cfg.batch);
       ("max_batch", Obs.Json.Int t.cfg.max_batch);
       ("queue_cap", Obs.Json.Int t.cfg.queue_cap);
+      ("epoch", Obs.Json.Int (A.get t.epoch_src));
+      ("next_txid", Obs.Json.Int (A.get t.next_txid));
+      ("decided", Obs.Json.Int (A.get t.decided));
+      ("applied", Obs.Json.Int (A.get t.applied));
+      ("pending_commits", Obs.Json.Int (Hashtbl.length t.registry));
       ("shard_stats", Obs.Json.List shard_rows);
       ("metrics", Obs.Metrics.to_json ());
     ]

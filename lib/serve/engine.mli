@@ -1,15 +1,20 @@
 (** Sharded RedoDB serving engine: the keyspace is hash-partitioned
     (FNV-1a) over [shards] independent RedoDB instances, each backed by
     its own RedoOpt-PTM region.  Single-shard ops route directly;
-    multi-shard ops ([multi_get]/[multi_put]/[scan]) visit shards in
-    index order — never holding one shard while waiting on a
-    lower-numbered one — so the engine is deadlock-free by construction.
-    With [batch = true], each shard's writes flow through a {!Batcher}
-    group-commit stage.
+    multi-shard ops visit shards in index order — never holding one
+    shard while waiting on a lower-numbered one — so the engine is
+    deadlock-free by construction.  With [batch = true], each shard's
+    writes flow through a {!Batcher} group-commit stage.
 
     Contract: an [Ok] write is durable and visible (its PTM transaction
-    committed before the ack).  Cross-shard requests are per-shard
-    atomic, not globally atomic. *)
+    committed before the ack).  A cross-shard [multi_put] is
+    ALL-OR-NOTHING across shards: it runs a two-phase commit over the
+    per-shard PTM transactions (prepare records on every participating
+    shard, a decision record on the coordinator shard, guarded
+    idempotent applies — see {!Commit} for the durable formats), and its
+    ack carries the transaction's commit epoch.  [multi_get]/[scan] are
+    epoch-validated snapshot reads that help pending commits to
+    completion and therefore never observe a half-applied [multi_put]. *)
 
 type config = {
   shards : int;
@@ -27,9 +32,23 @@ val default_config : config
 
 type t
 
+(** Ack of a [multi_put].  [txid = 0] for the single-shard fast path
+    (one atomic PTM transaction, no commit records; [epoch] is then the
+    engine's epoch at the ack, for information only).  For a cross-shard
+    transaction, [txid] is its unique id and [epoch] its commit epoch —
+    monotone over acked cross-shard commits, including across crashes
+    (the per-shard high-water marks persist it). *)
+type ack = { txid : int; epoch : int }
+
 type error =
   | Overloaded  (** bounded queue full — explicit backpressure, nothing enqueued *)
-  | Unavailable of string  (** crashing/crashed; request not performed *)
+  | Unavailable of string
+      (** crashing/crashed or definitely aborted; the request took no
+          durable effect and is safe to retry after recovery *)
+  | In_doubt of int
+      (** the named cross-shard transaction prepared durably but its
+          decide outcome is unknown; recovery will complete or roll it
+          back — the caller must re-read before replaying *)
 
 val pp_error : error -> string
 val create : config -> t
@@ -46,20 +65,38 @@ val get : t -> tid:int -> string -> (string option, error) result
     folded into a batch transaction). *)
 val delete : t -> tid:int -> string -> (unit, error) result
 
-(** Results in request order; one read-only snapshot per visited shard. *)
+(** Results in request order; epoch-validated consistent snapshot. *)
 val multi_get : t -> tid:int -> string list -> (string option list, error) result
 
-(** [Some v] puts, [None] deletes, grouped per shard, shards committed in
-    index order.  On [Error], lower-numbered shards may have committed —
-    per-shard atomicity only. *)
-val multi_put : t -> tid:int -> (string * string option) list -> (unit, error) result
+(** [Some v] puts, [None] deletes.  All-or-nothing across shards; the
+    ack's [epoch] orders the commit against snapshot reads. *)
+val multi_put : t -> tid:int -> (string * string option) list -> (ack, error) result
 
 (** Up to [max] key-sorted pairs whose key starts with [prefix], merged
-    across per-shard consistent snapshots. *)
+    across per-shard snapshots taken at one validated epoch — a scan
+    never observes a partially applied [multi_put]. *)
 val scan :
   t -> tid:int -> prefix:string -> max:int -> ((string * string) list, error) result
 
+(** Live user keys (commit metadata and high-water marks excluded). *)
 val count : t -> tid:int -> int
+
+(** Last granted commit epoch. *)
+val current_epoch : t -> int
+
+(** (decided, applied) cross-shard commit counts since last recovery. *)
+val commit_stats : t -> int * int
+
+(** {2 Fault injection} *)
+
+(** Install guard-dropping protocol mutants (sweep calibration only). *)
+val set_mutants : t -> Commit.mutant list -> unit
+
+(** Arm a one-shot whole-machine crash ({!Commit.Injected_crash} raised
+    out of the next [multi_put]) just after the named 2PC phase
+    boundary's durable action.  The harness catches the exception and
+    calls {!crash_hard_with_faults}. *)
+val set_crash_after : t -> Commit.phase option -> unit
 
 (** {2 Crash and recovery} *)
 
@@ -68,9 +105,11 @@ val count : t -> tid:int -> int
     in-flight batch commits finish (their acks stay valid), then every
     shard crashes through the media-fault path
     ({!Kv.Redodb.crash_with_faults}, seed derived per shard) and
-    recovers.  [Ok seconds] is the total outage; [Error detail] means a
-    shard's recovery refused the image ([bitflips > 0] only) and the
-    engine stays down. *)
+    recovers, and commit recovery rolls decided cross-shard
+    transactions forward and undecided ones back from the durable
+    records alone.  [Ok seconds] is the total outage; [Error detail]
+    means a shard's recovery refused the image or a commit record
+    failed its digest, and the engine stays down. *)
 val crash_with_faults :
   t ->
   tid:int ->
@@ -81,10 +120,12 @@ val crash_with_faults :
   (float, string) result
 
 (** Hard power failure for harnesses that guarantee no live thread is
-    inside the engine (scheduler fibers suspended forever, or a
-    single-threaded loop): volatile stage state (queues, leaders, locks)
-    is dropped as the machine would lose it — this is how a crash lands
-    mid-batch — then the shards recover.  [Ok total_recovery_seconds]. *)
+    inside the engine (scheduler fibers suspended forever, a
+    single-threaded loop, or the thread that just raised
+    {!Commit.Injected_crash}): volatile stage and commit state (queues,
+    leaders, locks, the commit registry) is dropped as the machine would
+    lose it — this is how a crash lands mid-batch or mid-2PC — then the
+    shards recover and commit recovery runs.  [Ok total_recovery_seconds]. *)
 val crash_hard_with_faults :
   t ->
   seed:int ->
@@ -100,20 +141,24 @@ val set_flush_cost : t -> int -> unit
 
 (** {2 Introspection} *)
 
-(** Scheduler-adversary hazard: [tid] is a committing batch leader or
-    holds a stage lock (see {!Batcher.stall_hazard}). *)
+(** Scheduler-adversary hazard: [tid] is a committing batch leader,
+    holds a stage or registry lock, or sits between a durable commit
+    decision and its registry publication (see {!Batcher.stall_hazard}).
+    Freezing a thread there could wedge readers with a decided commit
+    they cannot help to completion. *)
 val stall_hazard : t -> tid:int -> bool
 
 (** Committed batch sizes of one shard, oldest first (batching only). *)
 val batch_sizes : t -> shard:int -> int list
 
-(** Keys of every drained batch of one shard, oldest first, logged
-    before commit — the mid-batch crash oracle's ground truth. *)
+(** USER keys of every drained batch of one shard, oldest first, logged
+    before commit — the mid-batch crash oracle's ground truth.  Commit
+    metadata writes are excluded: they are not acked user data. *)
 val attempted_batches : t -> shard:int -> string list list
 
 (** Current per-shard queue depths (batching only; [[]] otherwise). *)
 val queue_depths : t -> int list
 
-(** Engine + per-shard stats and the full metrics registry, as JSON
-    (the STATS wire response). *)
+(** Engine + per-shard stats, commit-state snapshot, and the full
+    metrics registry, as JSON (the STATS wire response). *)
 val stats_json : t -> Obs.Json.t

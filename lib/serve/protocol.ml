@@ -13,7 +13,9 @@
      PUT 3:abc 5:hello         -> OK | OVERLOADED | ERR 8:crashing
      DEL 3:abc                 -> OK
      MGET 1:a 1:b              -> VALS V 2:v1 N
-     MPUT 1:a 2:v1 1:b 2:v2    -> OK
+     MPUT 1:a 2:v1 1:b 2:v2    -> COMMITTED 7 3 (txid, commit epoch)
+                                | UNAVAILABLE 8:crashing (retryable)
+                                | INDOUBT 7 (outcome unknown until recovery)
      SCAN 5:user: 100          -> KVS 2 6:user:1 3:ada 6:user:2 5:grace
      STATS                     -> JSON <netstring of a JSON document>
      CRASH 42 0.5 0.3 0        -> OK 12.5 (recovery ms) | ERR <detail>
@@ -45,6 +47,9 @@ type resp =
   | Kvs of (string * string) list
   | Json of string
   | Overloaded
+  | Committed of { txid : int; epoch : int }
+  | Unavail of string
+  | In_doubt of int
   | Err of string
 
 (* ---- payload encoding ---- *)
@@ -119,6 +124,9 @@ let encode_resp = function
             kvs)
   | Json j -> payload (fun b -> Buffer.add_string b "JSON "; add_str b j)
   | Overloaded -> "OVERLOADED"
+  | Committed { txid; epoch } -> Printf.sprintf "COMMITTED %d %d" txid epoch
+  | Unavail d -> payload (fun b -> Buffer.add_string b "UNAVAILABLE "; add_str b d)
+  | In_doubt txid -> Printf.sprintf "INDOUBT %d" txid
   | Err msg -> payload (fun b -> Buffer.add_string b "ERR "; add_str b msg)
 
 (* ---- payload decoding ---- *)
@@ -244,6 +252,16 @@ let decode_resp p =
       let* j = str_tok j in
       Result.Ok (Json j)
   | [ Atom "OVERLOADED" ] -> Result.Ok Overloaded
+  | [ Atom "COMMITTED"; txid; epoch ] ->
+      let* txid = int_tok txid in
+      let* epoch = int_tok epoch in
+      Result.Ok (Committed { txid; epoch })
+  | [ Atom "UNAVAILABLE"; d ] ->
+      let* d = str_tok d in
+      Result.Ok (Unavail d)
+  | [ Atom "INDOUBT"; txid ] ->
+      let* txid = int_tok txid in
+      Result.Ok (In_doubt txid)
   | [ Atom "ERR"; msg ] ->
       let* msg = str_tok msg in
       Result.Ok (Err msg)

@@ -27,6 +27,18 @@ type resp =
   | Kvs of (string * string) list  (** SCAN results, key-sorted *)
   | Json of string  (** STATS payload: a JSON document *)
   | Overloaded  (** admission control rejected the request *)
+  | Committed of { txid : int; epoch : int }
+      (** MPUT ack: all-or-nothing across shards; [epoch] is the commit
+          epoch ordering the transaction against snapshot reads ([txid]
+          = 0 for the single-shard fast path, which has no 2PC record) *)
+  | Unavail of string
+      (** the request took no durable effect (engine crashing/crashed or
+          the transaction definitely aborted) — safe to retry after
+          recovery *)
+  | In_doubt of int
+      (** MPUT outcome unknown: the named transaction prepared durably
+          but the decide result was lost; recovery completes or rolls it
+          back, so the client must re-read before replaying *)
   | Err of string
 
 (** Payload encoding/decoding (framing excluded). Decoders return a

@@ -41,7 +41,8 @@ type t = {
 
 let err_of_engine = function
   | Engine.Overloaded -> Protocol.Overloaded
-  | Engine.Unavailable d -> Protocol.Err ("unavailable: " ^ d)
+  | Engine.Unavailable d -> Protocol.Unavail d
+  | Engine.In_doubt txid -> Protocol.In_doubt txid
 
 let execute t ~tid (req : Protocol.req) : Protocol.resp =
   match req with
@@ -69,7 +70,7 @@ let execute t ~tid (req : Protocol.req) : Protocol.resp =
       | Error e -> err_of_engine e)
   | Mput kvs -> (
       match Engine.multi_put t.eng ~tid (List.map (fun (k, v) -> (k, Some v)) kvs) with
-      | Result.Ok () -> Ok
+      | Result.Ok { Engine.txid; epoch } -> Committed { txid; epoch }
       | Error e -> err_of_engine e)
   | Stats -> Json (Obs.Json.to_string (Engine.stats_json t.eng))
   | Crash { seed; evict_prob; torn_prob; bitflips } -> (

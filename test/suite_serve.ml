@@ -1,11 +1,14 @@
 (* Tests for the serving layer (lib/serve): wire-protocol round-trips,
    shard-router correctness against a model, deterministic batch
    formation under the cooperative scheduler, the stalled-client and
-   overload adversaries, mid-batch crash atomicity, and a loopback
-   socket smoke test of the TCP front-end. *)
+   overload adversaries, mid-batch crash atomicity, the cross-shard
+   two-phase commit (phase-boundary crash sweep, guard-dropping mutants,
+   snapshot-read consistency, stalled-coordinator helping), and a
+   loopback socket smoke test of the TCP front-end. *)
 
 module E = Serve.Engine
 module P = Serve.Protocol
+module C = Serve.Commit
 
 let small_engine ?(shards = 2) ?(num_threads = 4) ?(batch = true) ?(max_batch = 4)
     ?(linger_steps = 0) ?(queue_cap = 16) () =
@@ -56,6 +59,10 @@ let test_protocol_roundtrip () =
       P.Kvs [];
       P.Json "{\"a\": 1}";
       P.Overloaded;
+      P.Committed { txid = 17; epoch = 9 };
+      P.Committed { txid = 0; epoch = 0 };
+      P.Unavail "crashing";
+      P.In_doubt 23;
       P.Err "boom with spaces";
     ]
   in
@@ -102,9 +109,10 @@ let test_router_model () =
     end
   done;
   (* multi_put groups per shard; multi_get must preserve request order *)
-  ok
-    (E.multi_put e ~tid:0
-       [ ("key:000", Some "zero"); ("key:001", None); ("mk", Some "mv") ]);
+  ignore
+    (ok
+       (E.multi_put e ~tid:0
+          [ ("key:000", Some "zero"); ("key:001", None); ("mk", Some "mv") ]));
   model := SM.add "key:000" "zero" (SM.remove "key:001" !model);
   model := SM.add "mk" "mv" !model;
   let asked = [ "mk"; "key:000"; "no-such-key"; "key:002" ] in
@@ -324,7 +332,7 @@ let test_overload_backpressure () =
       (match E.put e ~tid:fid ~key:(Printf.sprintf "k%d" fid) ~value:"v" with
       | Ok () -> `Acked
       | Error E.Overloaded -> `Overloaded
-      | Error (E.Unavailable _) -> `Unavailable)
+      | Error (E.Unavailable _ | E.In_doubt _) -> `Unavailable)
   in
   let r = Sched.run ~seed:3 ~num_fibers:6 body in
   List.iter (fun s -> Alcotest.(check string) "no fiber wedged" "finished" s)
@@ -389,6 +397,295 @@ let test_domain_crash_under_load () =
     done
   done
 
+(* ---- cross-shard two-phase commit ---- *)
+
+let okc = function
+  | Ok v -> v
+  | Error err -> Alcotest.fail (E.pp_error err)
+
+(* A key owned by [shard], found by probing "<tag><n>". *)
+let key_on e shard tag =
+  let rec go i =
+    let k = Printf.sprintf "%s%d" tag i in
+    if E.shard_of e k = shard then k else go (i + 1)
+  in
+  go 0
+
+let present e k =
+  match E.get e ~tid:0 k with Ok (Some v) -> Some v | _ -> None
+
+(* Crash at every 2PC phase boundary of a two-shard multi_put, recover
+   hard, and audit exact all-or-nothing: before the decision record the
+   transaction must vanish entirely; from the decision on it must be
+   rolled forward entirely.  The engine must stay usable afterwards. *)
+let test_commit_phase_crash_sweep () =
+  let phases =
+    [ C.Prepare 1; C.Prepare 2; C.Decide; C.Apply 1; C.Apply 2; C.Forget ]
+  in
+  List.iteri
+    (fun round phase ->
+      let e = small_engine ~shards:2 ~num_threads:2 () in
+      let name what =
+        Printf.sprintf "crash@%s: %s" (C.pp_phase phase) what
+      in
+      okc (E.put e ~tid:0 ~key:"base" ~value:"b");
+      let ka = key_on e 0 "a" and kb = key_on e 1 "b" in
+      E.set_crash_after e (Some phase);
+      (match E.multi_put e ~tid:0 [ (ka, Some "va"); (kb, Some "vb") ] with
+      | exception C.Injected_crash p ->
+          Alcotest.(check string) (name "crashed at the armed boundary")
+            (C.pp_phase phase) (C.pp_phase p)
+      | Ok _ -> Alcotest.fail (name "expected an injected crash")
+      | Error err -> Alcotest.fail (name (E.pp_error err)));
+      (match
+         E.crash_hard_with_faults e ~seed:(500 + round) ~evict_prob:0.5
+           ~torn_prob:0.3 ~bitflips:0
+       with
+      | Ok _ -> ()
+      | Error d -> Alcotest.fail (name ("recovery failed: " ^ d)));
+      let committed = match phase with C.Prepare _ -> false | _ -> true in
+      let expect = if committed then (Some "va", Some "vb") else (None, None) in
+      Alcotest.(check (pair (option string) (option string)))
+        (name "exact all-or-nothing across shards") expect
+        (present e ka, present e kb);
+      Alcotest.(check (option string)) (name "unrelated key intact") (Some "b")
+        (present e "base");
+      Alcotest.(check int) (name "user-key count excludes commit metadata")
+        (if committed then 3 else 1)
+        (E.count e ~tid:0);
+      (* post-recovery the engine commits fresh cross-shard transactions *)
+      let ack = okc (E.multi_put e ~tid:0 [ (ka, Some "A2"); (kb, Some "B2") ]) in
+      Alcotest.(check bool) (name "post-recovery commit acked") true
+        (ack.E.txid > 0 && ack.E.epoch > 0);
+      Alcotest.(check (pair (option string) (option string)))
+        (name "post-recovery commit applied") (Some "A2", Some "B2")
+        (present e ka, present e kb))
+    phases
+
+(* Commit epochs in acks are strictly monotone, and survive a hard crash
+   via the per-shard high-water marks: the epoch source never regresses
+   below any acked cross-shard commit. *)
+let test_commit_epoch_monotone () =
+  let e = small_engine ~shards:2 ~num_threads:2 () in
+  let ka = key_on e 0 "a" and kb = key_on e 1 "b" in
+  let epochs =
+    List.init 5 (fun i ->
+        (okc
+           (E.multi_put e ~tid:0
+              [ (ka, Some (string_of_int i)); (kb, Some (string_of_int i)) ]))
+          .E.epoch)
+  in
+  let rec strictly_up = function
+    | a :: (b :: _ as rest) -> a < b && strictly_up rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ack epochs strictly increase" true (strictly_up epochs);
+  let last = List.nth epochs 4 in
+  (match
+     E.crash_hard_with_faults e ~seed:77 ~evict_prob:0.5 ~torn_prob:0.3
+       ~bitflips:0
+   with
+  | Ok _ -> ()
+  | Error d -> Alcotest.fail d);
+  Alcotest.(check bool) "epoch source survives the crash (hwm)" true
+    (E.current_epoch e >= last);
+  let ack = okc (E.multi_put e ~tid:0 [ (ka, Some "z"); (kb, Some "z") ]) in
+  Alcotest.(check bool) "post-crash epoch above every acked epoch" true
+    (ack.E.epoch > last)
+
+(* Guard-dropping mutants: each demonstrates the violation class its
+   guard prevents, and the clean protocol is shown immune on the same
+   schedule.  Skip_2pc: a crash between per-shard commits leaves a
+   durable prefix of the write set. *)
+let test_mutant_skip_2pc () =
+  let run ~mutants =
+    let e = small_engine ~shards:2 ~num_threads:2 () in
+    E.set_mutants e mutants;
+    let ka = key_on e 0 "a" and kb = key_on e 1 "b" in
+    (* seed both keys, then crash an overwriting MPUT between shards *)
+    ignore (okc (E.multi_put e ~tid:0 [ (ka, Some "va"); (kb, Some "vb") ]));
+    E.set_crash_after e (Some (C.Prepare 1));
+    (match E.multi_put e ~tid:0 [ (ka, Some "VA"); (kb, Some "VB") ] with
+    | exception C.Injected_crash _ -> ()
+    | Ok _ -> Alcotest.fail "expected an injected crash"
+    | Error err -> Alcotest.fail (E.pp_error err));
+    (match
+       E.crash_hard_with_faults e ~seed:31 ~evict_prob:0.5 ~torn_prob:0.3
+         ~bitflips:0
+     with
+    | Ok _ -> ()
+    | Error d -> Alcotest.fail d);
+    (present e ka, present e kb)
+  in
+  (* mutant: shard 0's slice committed alone — the prefix the sweep must
+     catch *)
+  Alcotest.(check (pair (option string) (option string)))
+    "skip-2pc leaves a durable prefix"
+    (Some "VA", Some "vb")
+    (run ~mutants:[ C.Skip_2pc ]);
+  (* clean protocol, same crash point: all-or-nothing (the second MPUT
+     vanishes — its prepare was rolled back) *)
+  Alcotest.(check (pair (option string) (option string)))
+    "real protocol rolls the prepared slice back"
+    (Some "va", Some "vb")
+    (run ~mutants:[])
+
+(* No_rollforward: acking at the decision record is only sound if
+   recovery completes in-doubt commits; dropping roll-forward loses an
+   ACKED multi_put wholesale. *)
+let test_mutant_no_rollforward () =
+  let e = small_engine ~shards:2 ~num_threads:2 () in
+  E.set_mutants e [ C.No_rollforward ];
+  let ka = key_on e 0 "a" and kb = key_on e 1 "b" in
+  let ack = okc (E.multi_put e ~tid:0 [ (ka, Some "va"); (kb, Some "vb") ]) in
+  Alcotest.(check bool) "mutant acked the commit" true (ack.E.txid > 0);
+  (match
+     E.crash_hard_with_faults e ~seed:32 ~evict_prob:0.5 ~torn_prob:0.3
+       ~bitflips:0
+   with
+  | Ok _ -> ()
+  | Error d -> Alcotest.fail d);
+  Alcotest.(check (pair (option string) (option string)))
+    "acked multi_put lost without roll-forward" (None, None)
+    (present e ka, present e kb);
+  (* clean protocol on the same schedule: the ack survives the crash *)
+  let e = small_engine ~shards:2 ~num_threads:2 () in
+  let ka = key_on e 0 "a" and kb = key_on e 1 "b" in
+  let ack = okc (E.multi_put e ~tid:0 [ (ka, Some "va"); (kb, Some "vb") ]) in
+  Alcotest.(check bool) "clean protocol acked" true (ack.E.txid > 0);
+  (match
+     E.crash_hard_with_faults e ~seed:32 ~evict_prob:0.5 ~torn_prob:0.3
+       ~bitflips:0
+   with
+  | Ok _ -> ()
+  | Error d -> Alcotest.fail d);
+  Alcotest.(check (pair (option string) (option string)))
+    "acked multi_put durable with roll-forward" (Some "va", Some "vb")
+    (present e ka, present e kb)
+
+(* Deterministic scheduler: a writer streams cross-shard MPUT pairs
+   (same value on both shards) while readers scan.  A consistent scan
+   must always see the pair equal; the epoch-validated snapshot
+   guarantees it on every seed, and the No_read_validation mutant is
+   caught observing a half-applied MPUT somewhere in the same sweep. *)
+let scan_partial_violations ~mutants ~seed =
+  let e = small_engine ~shards:2 ~num_threads:4 ~linger_steps:2 () in
+  E.set_mutants e mutants;
+  let ka = key_on e 0 "pa" and kb = key_on e 1 "pb" in
+  let violations = ref 0 in
+  let body fid =
+    if fid = 0 then
+      for i = 1 to 4 do
+        ignore
+          (E.multi_put e ~tid:0
+             [ (ka, Some (string_of_int i)); (kb, Some (string_of_int i)) ])
+      done
+    else
+      for _ = 1 to 8 do
+        match E.scan e ~tid:fid ~prefix:"p" ~max:10 with
+        | Ok kvs ->
+            if List.assoc_opt ka kvs <> List.assoc_opt kb kvs then
+              incr violations
+        | Error _ -> ()
+      done
+  in
+  ignore (Sched.run ~seed ~num_fibers:3 body);
+  !violations
+
+let scan_seed_sweep = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+
+let test_scan_never_observes_partial_mput () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: scan saw only whole MPUTs" seed)
+        0
+        (scan_partial_violations ~mutants:[] ~seed))
+    scan_seed_sweep;
+  (* the same sweep must be able to catch the dropped guard, or it
+     proves nothing *)
+  let caught =
+    List.exists
+      (fun seed ->
+        scan_partial_violations ~mutants:[ C.No_read_validation ] ~seed > 0)
+      scan_seed_sweep
+  in
+  Alcotest.(check bool)
+    "sweep catches the no-read-validation mutant on some seed" true caught
+
+(* Stall the coordinator at a sweep of steps (deferred while it is
+   hazard-protected: leader, registry lock holder, or inside the
+   decide->publish window).  Readers must never see a partial MPUT, and
+   when the stall lands after the decision, another client's helping
+   completes the commit the coordinator never finished. *)
+let test_stalled_coordinator_helping () =
+  let was_on = Obs.Metrics.is_on () in
+  Obs.Metrics.enable true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.enable was_on) @@ fun () ->
+  let c_helped = Obs.Metrics.counter "serve.commit.helped_applies" in
+  let helped_before = Obs.Metrics.counter_value c_helped in
+  let landed = ref false in
+  let completed_by_others = ref 0 in
+  List.iter
+    (fun at ->
+      let e = small_engine ~shards:2 ~num_threads:4 ~linger_steps:4 () in
+      let ka = key_on e 0 "ha" and kb = key_on e 1 "hb" in
+      let partial = ref false in
+      let body fid =
+        if fid = 0 then
+          ignore (E.multi_put e ~tid:0 [ (ka, Some "x"); (kb, Some "x") ])
+        else
+          for _ = 1 to 8 do
+            match E.scan e ~tid:fid ~prefix:"h" ~max:10 with
+            | Ok kvs -> (
+                match (List.assoc_opt ka kvs, List.assoc_opt kb kvs) with
+                | Some _, Some _ | None, None -> ()
+                | _ -> partial := true)
+            | Error _ -> ()
+          done
+      in
+      let r =
+        Sched.run ~seed:41
+          ~injections:[ Sched.Stall { tid = 0; at_step = at; duration = None } ]
+          ~hazard:(fun fid -> E.stall_hazard e ~tid:fid)
+          ~num_fibers:3 body
+      in
+      let statuses = status_strings r in
+      List.iteri
+        (fun fid s ->
+          if fid > 0 then
+            Alcotest.(check string)
+              (Printf.sprintf "reader %d finished despite stall@%d" fid at)
+              "finished" s)
+        statuses;
+      Alcotest.(check bool)
+        (Printf.sprintf "stall@%d: no reader saw a partial MPUT" at)
+        false !partial;
+      (* a late scan helps any published-but-unfinished commit home *)
+      ignore (E.scan e ~tid:1 ~prefix:"h" ~max:10);
+      let decided, applied = E.commit_stats e in
+      Alcotest.(check int)
+        (Printf.sprintf "stall@%d: every decided commit reached applied" at)
+        decided applied;
+      if List.nth statuses 0 = "stalled" then begin
+        landed := true;
+        if decided > 0 then begin
+          (* the coordinator never returned, yet the commit is complete *)
+          Alcotest.(check (pair (option string) (option string)))
+            (Printf.sprintf "stall@%d: helped commit fully visible" at)
+            (Some "x", Some "x")
+            (present e ka, present e kb);
+          incr completed_by_others
+        end
+      end)
+    [ 5; 20; 80; 320; 640; 700; 750; 800; 900; 1000; 1200; 1500; 1800; 2200 ];
+  Alcotest.(check bool) "some stall actually landed" true !landed;
+  Alcotest.(check bool)
+    "a stalled coordinator's commit was completed by another client" true
+    (!completed_by_others >= 1);
+  Alcotest.(check bool) "helping was counted" true
+    (Obs.Metrics.counter_value c_helped > helped_before)
+
 (* ---- loopback TCP smoke (server + client over a real socket) ---- *)
 
 let test_socket_smoke () =
@@ -420,10 +717,15 @@ let test_socket_smoke () =
       let ok = function
         | Ok v -> v
         | Error `Overloaded -> Alcotest.fail "unexpected overload"
+        | Error (`Unavailable d) -> Alcotest.fail ("unavailable: " ^ d)
+        | Error (`InDoubt txid) ->
+            Alcotest.fail (Printf.sprintf "in doubt: txn %d" txid)
         | Error (`Err e) -> Alcotest.fail e
       in
       ok (Serve.Client.put c ~key:"alpha" ~value:"1");
-      ok (Serve.Client.mput c [ ("beta", "2"); ("gamma", "3") ]);
+      let txid, epoch = ok (Serve.Client.mput c [ ("beta", "2"); ("gamma", "3") ]) in
+      Alcotest.(check bool) "mput ack carries txid and epoch" true
+        (txid >= 0 && epoch >= 0);
       Alcotest.(check (option string)) "get over the wire" (Some "1")
         (ok (Serve.Client.get c "alpha"));
       Alcotest.(check (list (option string)))
@@ -468,6 +770,21 @@ let suites =
           test_overload_backpressure;
         Alcotest.test_case "crash under concurrent domain load" `Quick
           test_domain_crash_under_load;
+      ] );
+    ( "serve-commit",
+      [
+        Alcotest.test_case "2PC phase-boundary crash sweep" `Quick
+          test_commit_phase_crash_sweep;
+        Alcotest.test_case "commit epochs monotone across crashes" `Quick
+          test_commit_epoch_monotone;
+        Alcotest.test_case "mutant: skip-2pc leaves a prefix" `Quick
+          test_mutant_skip_2pc;
+        Alcotest.test_case "mutant: no roll-forward loses acked MPUT" `Quick
+          test_mutant_no_rollforward;
+        Alcotest.test_case "scan never observes a partial MPUT" `Quick
+          test_scan_never_observes_partial_mput;
+        Alcotest.test_case "stalled coordinator is helped to completion" `Quick
+          test_stalled_coordinator_helping;
       ] );
     ( "serve-wire",
       [ Alcotest.test_case "loopback socket smoke" `Quick test_socket_smoke ] );
