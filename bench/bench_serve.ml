@@ -23,6 +23,57 @@ let percentile sorted p =
   if n = 0 then nan
   else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
 
+(* ---- SLO gates ----
+
+   "--slo p99:get:5ms,p99:mput:50ms": each entry is <quantile>:<class>:
+   <bound>, asserted against the SERVER-side sliding windows
+   (serve.win.<class> in the STATS document) — the latency the server
+   actually delivered over the trailing window, not the closed-loop
+   client view. *)
+
+type slo = { s_spec : string; s_q : string; s_class : string; s_bound_ns : int }
+
+let parse_bound_ns s =
+  let num suffix =
+    float_of_string_opt (String.sub s 0 (String.length s - String.length suffix))
+  in
+  let conv suffix mult =
+    if String.length s > String.length suffix
+       && Filename.check_suffix s suffix
+    then Option.map (fun f -> int_of_float (f *. mult)) (num suffix)
+    else None
+  in
+  (* longest suffix first: "ms" also ends in "s" *)
+  match conv "ms" 1e6 with
+  | Some _ as r -> r
+  | None -> (
+      match conv "us" 1e3 with
+      | Some _ as r -> r
+      | None -> (
+          match conv "ns" 1. with
+          | Some _ as r -> r
+          | None -> conv "s" 1e9))
+
+let parse_slo spec =
+  match String.split_on_char ':' spec with
+  | [ q; cls; bound ] ->
+      let q_ok = List.mem q [ "p50"; "p90"; "p99"; "p999" ] in
+      let c_ok = List.mem cls [ "get"; "put"; "del"; "mget"; "mput"; "scan" ] in
+      (match (q_ok, c_ok, parse_bound_ns bound) with
+      | true, true, Some b when b > 0 ->
+          { s_spec = spec; s_q = q; s_class = cls; s_bound_ns = b }
+      | _ ->
+          raise
+            (Arg.Bad
+               (Printf.sprintf
+                  "bad --slo entry %S (want <p50|p90|p99|p999>:<get|put|del|mget|mput|scan>:<bound><ns|us|ms|s>)"
+                  spec)))
+  | _ -> raise (Arg.Bad (Printf.sprintf "bad --slo entry %S" spec))
+
+let parse_slos s =
+  List.map parse_slo
+    (List.filter (fun e -> e <> "") (String.split_on_char ',' s))
+
 let () =
   let host = ref "127.0.0.1" in
   let port = ref 7599 in
@@ -37,6 +88,10 @@ let () =
   let mput_size = ref 4 in
   let scan_every = ref 0 in
   let scan_max = ref 100 in
+  let slos = ref [] in
+  let stats_file = ref "" in
+  let prom_file = ref "" in
+  let prom_at = ref 0.5 in
   let spec =
     [
       ("--host", Arg.Set_string host, "ADDR server address (default 127.0.0.1)");
@@ -60,6 +115,19 @@ let () =
       ("--scan-max", Arg.Set_int scan_max, "M SCAN result cap (default 100)");
       ("--json", Arg.Set_string json_file, "FILE write a machine-readable report");
       ("--metrics", Arg.Set fetch_stats, " embed the server's STATS document in the report");
+      ( "--slo",
+        Arg.String (fun s -> slos := !slos @ parse_slos s),
+        "SPEC comma-separated server-side window assertions, e.g. \
+         p99:get:5ms,p99:mput:50ms (exit 1 on violation)" );
+      ( "--stats-file",
+        Arg.Set_string stats_file,
+        "FILE write the final server STATS document (JSON) to FILE" );
+      ( "--prom-file",
+        Arg.Set_string prom_file,
+        "FILE scrape METRICS mid-load and write the Prometheus text to FILE" );
+      ( "--prom-at",
+        Arg.Set_float prom_at,
+        "FRAC fraction of total ops after which --prom-file scrapes (default 0.5)" );
     ]
   in
   Arg.parse spec
@@ -120,6 +188,34 @@ let () =
              with
              | Ok ms -> crash_ms := ms
              | Error d -> failwith ("CRASH did not recover: " ^ d)))
+    end
+  in
+
+  (* Optional mid-load METRICS scrape: proves the telemetry plane answers
+     while the server is under fire, on its own connection so it never
+     interleaves with the admin socket. *)
+  let prom_ok = ref true in
+  let prom_scraper =
+    if !prom_file = "" then None
+    else begin
+      let threshold =
+        max 1 (int_of_float (!prom_at *. float_of_int total))
+      in
+      Some
+        (Domain.spawn (fun () ->
+             while Atomic.get done_ops < threshold do
+               Unix.sleepf 0.001
+             done;
+             let cl = connect () in
+             (match Serve.Client.metrics cl with
+             | Ok text ->
+                 let oc = open_out !prom_file in
+                 output_string oc text;
+                 close_out oc
+             | Error e ->
+                 prom_ok := false;
+                 Printf.eprintf "mid-load METRICS failed: %s\n%!" e);
+             Serve.Client.close cl))
     end
   in
 
@@ -202,6 +298,7 @@ let () =
   List.iter Domain.join doms;
   let elapsed = Unix.gettimeofday () -. t0 in
   Option.iter Domain.join crasher;
+  Option.iter Domain.join prom_scraper;
 
   (* ---- verify ---- *)
   let n_acked = ref 0 in
@@ -275,14 +372,58 @@ let () =
       (List.init per_client (fun i -> i))
   done;
 
+  let want_stats = !fetch_stats || !slos <> [] || !stats_file <> "" in
   let stats =
-    if !fetch_stats then
+    if want_stats then
       match Serve.Client.stats admin with
       | Ok j -> j
       | Error e -> failwith ("STATS failed: " ^ e)
     else Obs.Json.Null
   in
   Serve.Client.close admin;
+  if !stats_file <> "" then begin
+    let oc = open_out !stats_file in
+    Obs.Json.to_channel oc stats;
+    output_char oc '\n';
+    close_out oc
+  end;
+
+  (* Server-side windowed percentiles and the SLO verdicts.  A gate that
+     cannot find its window FAILS: an unevaluable SLO must not pass. *)
+  let windows =
+    Option.value (Obs.Json.member "windows" stats) ~default:Obs.Json.Null
+  in
+  let slo_rows =
+    List.map
+      (fun s ->
+        let observed =
+          match Obs.Json.member ("serve.win." ^ s.s_class) windows with
+          | Some w -> (
+              match Obs.Json.member (s.s_q ^ "_ns") w with
+              | Some (Obs.Json.Int n) -> Some n
+              | _ -> None)
+          | None -> None
+        in
+        let pass = match observed with Some n -> n <= s.s_bound_ns | None -> false in
+        Printf.printf "slo %s: observed %s bound %dns -> %s\n%!" s.s_spec
+          (match observed with Some n -> Printf.sprintf "%dns" n | None -> "n/a")
+          s.s_bound_ns
+          (if pass then "PASS" else "FAIL");
+        (s, observed, pass))
+      !slos
+  in
+  let slo_failed = List.exists (fun (_, _, pass) -> not pass) slo_rows in
+
+  (* Satellite view of the batching behavior, from the server's own
+     metrics registry (requires the server to run --metrics). *)
+  let server_hist name =
+    match Obs.Json.member "metrics" stats with
+    | Some m -> (
+        match Obs.Json.member "histograms" m with
+        | Some hs -> Option.value (Obs.Json.member name hs) ~default:Obs.Json.Null
+        | None -> Obs.Json.Null)
+    | None -> Obs.Json.Null
+  in
 
   let lat_json lats =
     let all =
@@ -352,6 +493,28 @@ let () =
                 ("mput_partial", Int !mput_partial);
                 ("checked", Int total);
               ] );
+          ("server_windows", windows);
+          ( "server_batching",
+            Obj
+              [
+                ("queue_wait", server_hist "serve.stage.queue");
+                ("batch_size", server_hist "serve.batch_size");
+              ] );
+          ( "slo",
+            List
+              (List.map
+                 (fun (s, observed, pass) ->
+                   Obj
+                     [
+                       ("spec", String s.s_spec);
+                       ("quantile", String s.s_q);
+                       ("class", String s.s_class);
+                       ("bound_ns", Int s.s_bound_ns);
+                       ( "observed_ns",
+                         match observed with Some n -> Int n | None -> Null );
+                       ("pass", Bool pass);
+                     ])
+                 slo_rows) );
           ("server_stats", stats);
         ]
     in
@@ -366,5 +529,13 @@ let () =
     || Atomic.get client_errors > 0
   then begin
     prerr_endline "bench_serve: VERIFICATION FAILED";
+    exit 1
+  end;
+  if slo_failed then begin
+    prerr_endline "bench_serve: SLO VIOLATED";
+    exit 1
+  end;
+  if not !prom_ok then begin
+    prerr_endline "bench_serve: mid-load METRICS scrape failed";
     exit 1
   end

@@ -3,6 +3,8 @@
    Usage:
      dune exec bin/json_check.exe -- FILE...
      dune exec bin/json_check.exe -- --trace [--require-phases a,b,c] FILE...
+     dune exec bin/json_check.exe -- --serve-stats FILE...
+     dune exec bin/json_check.exe -- --prom FILE...
 
    Plain mode checks each FILE parses as JSON.  --trace mode additionally
    checks the Chrome trace-event structure: a top-level object with a
@@ -10,7 +12,13 @@
    "tid" and a numeric "ts".  --require-phases takes a comma-separated
    list of event names that must all be present (e.g.
    lambda,flush,combine — the acceptance gate that a trace spans several
-   distinct PTM phases).  Exits non-zero on the first malformed file. *)
+   distinct PTM phases).  --serve-stats validates the serving STATS
+   document (per-shard rows with heat sketches, the "windows" member
+   with percentile snapshots).  --prom validates Prometheus text
+   exposition 0.0.4 (not JSON): every non-comment line is
+   <name>[{labels}] <value>, every sample is preceded by a # TYPE for
+   its family, and at least one sample exists.  Exits non-zero on the
+   first malformed file. *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -57,13 +65,137 @@ let check_trace ~required file doc =
     (if required = [] then ""
      else Printf.sprintf ", phases %s present" (String.concat "," required))
 
+(* ---- serving STATS document ---- *)
+
+let check_window file name = function
+  | Obs.Json.Obj kvs ->
+      List.iter
+        (fun k ->
+          match List.assoc_opt k kvs with
+          | Some (Obs.Json.Int _ | Obs.Json.Float _) -> ()
+          | _ -> fail "%s: window %S lacks numeric %S" file name k)
+        [ "window_s"; "count"; "p50_ns"; "p90_ns"; "p99_ns"; "p999_ns" ]
+  | _ -> fail "%s: window %S is not an object" file name
+
+let check_serve_stats file doc =
+  let mem k =
+    match Obs.Json.member k doc with
+    | Some v -> v
+    | None -> fail "%s: STATS lacks %S" file k
+  in
+  (match mem "shards" with
+  | Obs.Json.Int n when n >= 1 -> ()
+  | _ -> fail "%s: bad \"shards\"" file);
+  let shard_rows =
+    match mem "shard_stats" with
+    | Obs.Json.List rows -> rows
+    | _ -> fail "%s: \"shard_stats\" is not an array" file
+  in
+  List.iteri
+    (fun i row ->
+      match Obs.Json.member "heat" row with
+      | Some (Obs.Json.List hs) when List.length hs = 16 -> ()
+      | _ -> fail "%s: shard_stats[%d] lacks a 16-bucket \"heat\" sketch" file i)
+    shard_rows;
+  let windows =
+    match mem "windows" with
+    | Obs.Json.Obj kvs -> kvs
+    | _ -> fail "%s: \"windows\" is not an object" file
+  in
+  List.iter
+    (fun cls ->
+      let name = "serve.win." ^ cls in
+      match List.assoc_opt name windows with
+      | Some w -> check_window file name w
+      | None -> fail "%s: windows lacks %S" file name)
+    [ "get"; "put"; "del"; "mget"; "mput"; "scan" ];
+  ignore (mem "epoch");
+  ignore (mem "pending_commits");
+  Printf.printf "%s: valid serving STATS (%d shards, %d windows)\n" file
+    (List.length shard_rows) (List.length windows)
+
+(* ---- Prometheus text exposition 0.0.4 ---- *)
+
+let prom_name_ok s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+(* name of a sample line: up to '{' or the first space *)
+let sample_family line =
+  let cut =
+    match String.index_opt line '{' with
+    | Some i -> i
+    | None -> ( match String.index_opt line ' ' with Some i -> i | None -> 0)
+  in
+  String.sub line 0 cut
+
+let check_prom file =
+  let ic = open_in file in
+  let typed = Hashtbl.create 16 in
+  let samples = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if line = "" then ()
+       else if String.length line > 6 && String.sub line 0 7 = "# TYPE " then begin
+         match String.split_on_char ' ' line with
+         | [ "#"; "TYPE"; name; kind ] ->
+             if not (prom_name_ok name) then
+               fail "%s:%d: bad metric name %S" file !lineno name;
+             if not (List.mem kind [ "counter"; "gauge"; "summary"; "histogram" ])
+             then fail "%s:%d: bad TYPE kind %S" file !lineno kind;
+             Hashtbl.replace typed name ()
+         | _ -> fail "%s:%d: malformed TYPE line %S" file !lineno line
+       end
+       else if line.[0] = '#' then ()  (* HELP or comment *)
+       else begin
+         (* <name>[{labels}] <value> *)
+         let fam = sample_family line in
+         (* summary quantile samples use the family name; _sum/_count
+            suffixes belong to their family too *)
+         let base =
+           if Filename.check_suffix fam "_sum" then
+             String.sub fam 0 (String.length fam - 4)
+           else if Filename.check_suffix fam "_count" then
+             String.sub fam 0 (String.length fam - 6)
+           else fam
+         in
+         if not (prom_name_ok fam) then
+           fail "%s:%d: bad sample name %S" file !lineno fam;
+         if not (Hashtbl.mem typed fam || Hashtbl.mem typed base) then
+           fail "%s:%d: sample %S has no preceding # TYPE" file !lineno fam;
+         (match String.rindex_opt line ' ' with
+         | None -> fail "%s:%d: sample line has no value: %S" file !lineno line
+         | Some i -> (
+             let v = String.sub line (i + 1) (String.length line - i - 1) in
+             match float_of_string_opt v with
+             | Some _ -> ()
+             | None -> fail "%s:%d: non-numeric sample value %S" file !lineno v));
+         incr samples
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !samples = 0 then fail "%s: no samples in exposition" file;
+  Printf.printf "%s: valid Prometheus exposition, %d samples, %d families\n" file
+    !samples (Hashtbl.length typed)
+
 let () =
   let trace_mode = ref false in
+  let serve_stats_mode = ref false in
+  let prom_mode = ref false in
   let required = ref [] in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
     | "--trace" :: rest -> trace_mode := true; parse rest
+    | "--serve-stats" :: rest -> serve_stats_mode := true; parse rest
+    | "--prom" :: rest -> prom_mode := true; parse rest
     | "--require-phases" :: csv :: rest ->
         required := String.split_on_char ',' csv;
         parse rest
@@ -71,12 +203,17 @@ let () =
     | f :: rest -> files := !files @ [ f ]; parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !files = [] then fail "usage: json_check [--trace [--require-phases a,b]] FILE...";
+  if !files = [] then
+    fail
+      "usage: json_check [--trace [--require-phases a,b] | --serve-stats | --prom] FILE...";
   List.iter
     (fun file ->
-      match Obs.Json.parse_file file with
-      | Error e -> fail "%s: malformed JSON: %s" file e
-      | Ok doc ->
-          if !trace_mode then check_trace ~required:!required file doc
-          else Printf.printf "%s: valid JSON\n" file)
+      if !prom_mode then check_prom file
+      else
+        match Obs.Json.parse_file file with
+        | Error e -> fail "%s: malformed JSON: %s" file e
+        | Ok doc ->
+            if !trace_mode then check_trace ~required:!required file doc
+            else if !serve_stats_mode then check_serve_stats file doc
+            else Printf.printf "%s: valid JSON\n" file)
     !files

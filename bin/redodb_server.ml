@@ -14,6 +14,7 @@ let () =
   let capacity = ref (1 lsl 20) in
   let flush_cost = ref 150 in
   let metrics = ref false in
+  let trace_file = ref "" in
   let spec =
     [
       ("--host", Arg.Set_string host, "ADDR bind address (default 127.0.0.1)");
@@ -37,12 +38,17 @@ let () =
         Arg.Set_int flush_cost,
         "ITERS simulated pwb/pfence device cost (default 150)" );
       ("--metrics", Arg.Set metrics, " record obs metrics (served via STATS)");
+      ( "--trace",
+        Arg.Set_string trace_file,
+        "FILE record request span trees; Chrome trace JSON is written to \
+         FILE on shutdown" );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "redodb_server [options]";
   Obs.Metrics.enable !metrics;
+  if !trace_file <> "" then Obs.Trace.enable ();
   let cfg =
     {
       Serve.Server.host = !host;
@@ -80,4 +86,8 @@ let () =
     Unix.sleepf 0.1
   done;
   Serve.Server.stop srv;
+  if !trace_file <> "" then begin
+    Obs.Trace.write_file !trace_file;
+    Printf.eprintf "redodb_server: trace written to %s\n%!" !trace_file
+  end;
   prerr_endline "redodb_server: stopped"

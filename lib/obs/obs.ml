@@ -367,6 +367,39 @@ module Metrics = struct
   let hsnap_zero =
     { count = 0; mean_ns = 0.; max_ns = 0; p50 = 0; p90 = 0; p99 = 0; p999 = 0 }
 
+  (* Percentile snapshot of one merged bucket array — shared between the
+     registry histograms and the sliding windows. *)
+  let snap_of_merged merged ~count ~sum ~max_v =
+    if count = 0 then hsnap_zero
+    else begin
+      let percentile q =
+        let rank =
+          let r = int_of_float (ceil (q *. float_of_int count)) in
+          if r < 1 then 1 else r
+        in
+        let acc = ref 0 and res = ref max_v in
+        (try
+           for i = 0 to n_buckets - 1 do
+             acc := !acc + merged.(i);
+             if !acc >= rank then begin
+               res := bucket_value i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !res > max_v then max_v else !res
+      in
+      {
+        count;
+        mean_ns = sum /. float_of_int count;
+        max_ns = max_v;
+        p50 = percentile 0.50;
+        p90 = percentile 0.90;
+        p99 = percentile 0.99;
+        p999 = percentile 0.999;
+      }
+    end
+
   let hsnapshot h =
     let count = ref 0 and sum = ref 0. and max_v = ref 0 in
     for t = 0 to max_tids - 1 do
@@ -383,32 +416,7 @@ module Metrics = struct
           if Array.length row > 0 then
             Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) row)
         h.rows;
-      let percentile q =
-        let rank =
-          let r = int_of_float (ceil (q *. float_of_int !count)) in
-          if r < 1 then 1 else r
-        in
-        let acc = ref 0 and res = ref !max_v in
-        (try
-           for i = 0 to n_buckets - 1 do
-             acc := !acc + merged.(i);
-             if !acc >= rank then begin
-               res := bucket_value i;
-               raise Exit
-             end
-           done
-         with Exit -> ());
-        if !res > !max_v then !max_v else !res
-      in
-      {
-        count = !count;
-        mean_ns = !sum /. float_of_int !count;
-        max_ns = !max_v;
-        p50 = percentile 0.50;
-        p90 = percentile 0.90;
-        p99 = percentile 0.99;
-        p999 = percentile 0.999;
-      }
+      snap_of_merged merged ~count:!count ~sum:!sum ~max_v:!max_v
     end
 
   let reset_histogram h =
@@ -514,6 +522,130 @@ module Metrics = struct
       (all_histograms ())
 end
 
+(* Sliding-window histograms: the live telemetry plane.  A window is a
+   ring of [epochs] bucket arrays, each covering [epoch_s] seconds;
+   recording lands in the slot of the value's absolute epoch and slots
+   the clock has moved past are recycled in place, so the record path
+   never allocates and a read merges at most [epochs] preallocated
+   arrays.  Deliberately lock-free with plain int cells: a lost
+   increment under concurrent recorders skews a telemetry percentile by
+   one sample, which is harmless; the registry itself is mutexed. *)
+module Window = struct
+  type t = {
+    wname : string;
+    epochs : int;
+    epoch_s : float;
+    wbuckets : int array array;  (* epochs x n_buckets *)
+    wcount : int array;
+    wsum : float array;
+    wmax : int array;
+    mutable cur_abs : int;  (* absolute epoch owning the current slot *)
+  }
+
+  let make ?(epochs = 10) ?(epoch_s = 1.0) name =
+    if epochs < 1 then invalid_arg "Obs.Window.create: epochs";
+    if epoch_s <= 0. then invalid_arg "Obs.Window.create: epoch_s";
+    {
+      wname = name;
+      epochs;
+      epoch_s;
+      wbuckets = Array.make_matrix epochs Metrics.n_buckets 0;
+      wcount = Array.make epochs 0;
+      wsum = Array.make epochs 0.;
+      wmax = Array.make epochs 0;
+      cur_abs = 0;
+    }
+
+  let wmutex = Mutex.create ()
+  let wreg : (string, t) Hashtbl.t = Hashtbl.create 8
+  let worder : t list ref = ref []
+
+  let create ?epochs ?epoch_s name =
+    Mutex.protect wmutex (fun () ->
+        match Hashtbl.find_opt wreg name with
+        | Some w -> w
+        | None ->
+            let w = make ?epochs ?epoch_s name in
+            Hashtbl.add wreg name w;
+            worder := w :: !worder;
+            w)
+
+  let name w = w.wname
+  let window_s w = float_of_int w.epochs *. w.epoch_s
+  let all () = List.rev !worder
+  let find name = Mutex.protect wmutex (fun () -> Hashtbl.find_opt wreg name)
+
+  let clear_slot w i =
+    Array.fill w.wbuckets.(i) 0 Metrics.n_buckets 0;
+    w.wcount.(i) <- 0;
+    w.wsum.(i) <- 0.;
+    w.wmax.(i) <- 0
+
+  (* Advance to absolute epoch [abs]: every slot the clock moved past is
+     stale (its epoch fell out of the window) and is recycled. *)
+  let rotate w abs =
+    if abs > w.cur_abs then begin
+      let gap = abs - w.cur_abs in
+      let n = if gap > w.epochs then w.epochs else gap in
+      for k = 1 to n do
+        clear_slot w ((w.cur_abs + k) mod w.epochs)
+      done;
+      w.cur_abs <- abs
+    end
+
+  let abs_of w now = int_of_float (now /. w.epoch_s)
+
+  let record_ns w ?now v =
+    let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+    let v = if v < 0 then 0 else v in
+    rotate w (abs_of w now);
+    let i = w.cur_abs mod w.epochs in
+    let b = Metrics.bucket_of v in
+    w.wbuckets.(i).(b) <- w.wbuckets.(i).(b) + 1;
+    w.wcount.(i) <- w.wcount.(i) + 1;
+    w.wsum.(i) <- w.wsum.(i) +. float_of_int v;
+    if v > w.wmax.(i) then w.wmax.(i) <- v
+
+  let record_span_s w ?now dt = record_ns w ?now (int_of_float (dt *. 1e9))
+
+  let snapshot ?now w =
+    let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+    rotate w (abs_of w now);
+    let count = ref 0 and sum = ref 0. and max_v = ref 0 in
+    for i = 0 to w.epochs - 1 do
+      count := !count + w.wcount.(i);
+      sum := !sum +. w.wsum.(i);
+      if w.wmax.(i) > !max_v then max_v := w.wmax.(i)
+    done;
+    if !count = 0 then Metrics.hsnap_zero
+    else begin
+      let merged = Array.make Metrics.n_buckets 0 in
+      Array.iter
+        (fun row -> Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) row)
+        w.wbuckets;
+      Metrics.snap_of_merged merged ~count:!count ~sum:!sum ~max_v:!max_v
+    end
+
+  let reset w =
+    for i = 0 to w.epochs - 1 do
+      clear_slot w i
+    done
+
+  let to_json ?now () =
+    Json.Obj
+      (List.map
+         (fun w ->
+           let s = snapshot ?now w in
+           ( w.wname,
+             Json.Obj
+               (("window_s", Json.Float (window_s w))
+               ::
+               (match Metrics.hsnap_json s with
+               | Json.Obj kvs -> kvs
+               | _ -> [])) ))
+         (all ()))
+end
+
 module Trace = struct
   type kind =
     | Tx
@@ -535,6 +667,13 @@ module Trace = struct
     | Serve_op
     | Batch
     | Commit
+    | Ingress
+    | Queue_wait
+    | Linger
+    | Drain
+    | Prepare
+    | Decide
+    | Ack
 
   let kind_name = function
     | Tx -> "tx"
@@ -556,11 +695,20 @@ module Trace = struct
     | Serve_op -> "serve_op"
     | Batch -> "batch"
     | Commit -> "commit"
+    | Ingress -> "ingress"
+    | Queue_wait -> "queue_wait"
+    | Linger -> "linger"
+    | Drain -> "drain"
+    | Prepare -> "prepare"
+    | Decide -> "decide"
+    | Ack -> "ack"
 
   let kind_cat = function
     | Fence | Crash -> "pm"
     | Rwlock_acquire | Rwlock_contend | Sleep -> "sync"
-    | Db_op | Serve_op | Batch | Commit -> "db"
+    | Db_op | Serve_op | Batch | Commit | Ingress | Queue_wait | Linger | Drain
+    | Prepare | Decide | Ack ->
+        "db"
     | _ -> "ptm"
 
   type ring = {
@@ -569,6 +717,7 @@ module Trace = struct
     rts : float array; (* absolute microseconds *)
     rdur : float array; (* microseconds; < 0 encodes an instant *)
     rarg : int array;
+    rrid : int array; (* request id; 0 = none *)
   }
 
   let default_capacity = 16384
@@ -600,12 +749,13 @@ module Trace = struct
             rts = Array.make c 0.;
             rdur = Array.make c 0.;
             rarg = Array.make c 0;
+            rrid = Array.make c 0;
           }
         in
         rings.(tid) <- Some r;
         r
 
-  let record k ~tid ~ts ~dur ~arg =
+  let record k ~tid ~ts ~dur ~arg ~rid =
     let tid = tid land tid_mask in
     let r = ring_for tid in
     let i = r.n mod Array.length r.ks in
@@ -613,28 +763,29 @@ module Trace = struct
     r.rts.(i) <- ts;
     r.rdur.(i) <- dur;
     r.rarg.(i) <- arg;
+    r.rrid.(i) <- rid;
     r.n <- r.n + 1
 
-  let instant ?(arg = 0) k ~tid =
-    if !on then record k ~tid ~ts:(now_us ()) ~dur:(-1.) ~arg
+  let instant ?(arg = 0) ?(rid = 0) k ~tid =
+    if !on then record k ~tid ~ts:(now_us ()) ~dur:(-1.) ~arg ~rid
 
   (* [t0] is Unix.gettimeofday () sampled at span start, in seconds. *)
-  let complete ?(arg = 0) k ~tid ~t0 =
+  let complete ?(arg = 0) ?(rid = 0) k ~tid ~t0 =
     if !on then begin
       let ts = t0 *. 1e6 in
-      record k ~tid ~ts ~dur:(now_us () -. ts) ~arg
+      record k ~tid ~ts ~dur:(now_us () -. ts) ~arg ~rid
     end
 
-  let span ?(arg = 0) k ~tid f =
+  let span ?(arg = 0) ?(rid = 0) k ~tid f =
     if not !on then f ()
     else begin
       let t0 = Unix.gettimeofday () in
       match f () with
       | r ->
-          complete ~arg k ~tid ~t0;
+          complete ~arg ~rid k ~tid ~t0;
           r
       | exception e ->
-          complete ~arg k ~tid ~t0;
+          complete ~arg ~rid k ~tid ~t0;
           raise e
     end
 
@@ -660,6 +811,10 @@ module Trace = struct
           let first = max 0 (r.n - c) in
           for j = r.n - 1 downto first do
             let i = j mod c in
+            let args =
+              let v = [ ("v", Json.Int r.rarg.(i)) ] in
+              if r.rrid.(i) <> 0 then ("rid", Json.Int r.rrid.(i)) :: v else v
+            in
             let common =
               [
                 ("name", Json.String (kind_name r.ks.(i)));
@@ -667,7 +822,7 @@ module Trace = struct
                 ("ts", Json.Float (r.rts.(i) -. !base_us));
                 ("pid", Json.Int 0);
                 ("tid", Json.Int tid);
-                ("args", Json.Obj [ ("v", Json.Int r.rarg.(i)) ]);
+                ("args", Json.Obj args);
               ]
             in
             let ev =
@@ -705,6 +860,73 @@ module Trace = struct
 end
 
 let is_active () = Metrics.is_on () || Trace.is_on ()
+
+(* Prometheus text exposition 0.0.4.  Metric names must match
+   [a-zA-Z_:][a-zA-Z0-9_:]*; registry names use dots, so sanitize. *)
+let prom_name s =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    s
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let prometheus ?(extra = []) () =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun c ->
+      let v = Metrics.counter_value c in
+      if v <> 0 then begin
+        let n = prom_name (Metrics.counter_name c) in
+        line "# TYPE %s counter" n;
+        line "%s %d" n v
+      end)
+    (Metrics.all_counters ());
+  let summary name ?(labels = "") (s : Metrics.hsnap) =
+    let n = prom_name name in
+    let q ql v =
+      let sep = if labels = "" then "" else "," in
+      line "%s{quantile=\"%s\"%s%s} %d" n ql sep labels v
+    in
+    line "# TYPE %s summary" n;
+    q "0.5" s.Metrics.p50;
+    q "0.9" s.Metrics.p90;
+    q "0.99" s.Metrics.p99;
+    q "0.999" s.Metrics.p999;
+    line "%s_sum %s" n (prom_float (s.Metrics.mean_ns *. float_of_int s.Metrics.count));
+    line "%s_count %d" n s.Metrics.count
+  in
+  List.iter
+    (fun h ->
+      let s = Metrics.hsnapshot h in
+      if s.Metrics.count > 0 then summary (Metrics.histogram_name h) s)
+    (Metrics.all_histograms ());
+  List.iter
+    (fun w ->
+      let s = Window.snapshot w in
+      if s.Metrics.count > 0 then
+        summary (Window.name w)
+          ~labels:(Printf.sprintf "window=\"%s\"" (prom_float (Window.window_s w)))
+          s)
+    (Window.all ());
+  List.iter
+    (fun (name, v) ->
+      let base =
+        match String.index_opt name '{' with
+        | Some i -> String.sub name 0 i
+        | None -> name
+      in
+      line "# TYPE %s gauge" base;
+      line "%s %s" name (prom_float v))
+    extra;
+  Buffer.contents buf
 
 (* Standard cross-PTM instruments. *)
 let tx_commits = Metrics.counter "ptm.tx.commit"

@@ -101,6 +101,53 @@ module Metrics : sig
   (** Human-readable listing of all non-zero instruments. *)
 end
 
+module Window : sig
+  (** Sliding-window histograms: [epochs] rotating epoch slots of
+      [epoch_s] seconds each, merged on read — so "p99 over the last
+      10 s" is cheap, and the record path is allocation-free (bucket
+      increments into preallocated slots).  Recording is NOT gated on
+      [Metrics.enable]: windows are the live telemetry plane a running
+      server exposes through STATS/METRICS.  Concurrent recorders may
+      lose individual increments (plain int cells, no locking) — fine
+      for telemetry percentiles, not for exact accounting. *)
+
+  type t
+
+  val create : ?epochs:int -> ?epoch_s:float -> string -> t
+  (** Registered, idempotent by name: the same name returns the same
+      window (the [epochs]/[epoch_s] of the first creation win).
+      Defaults: 10 epochs of 1 s — a ~10 s sliding window. *)
+
+  val name : t -> string
+
+  val window_s : t -> float
+  (** Total window span, [epochs * epoch_s] seconds. *)
+
+  val record_ns : t -> ?now:float -> int -> unit
+  (** Record a non-negative value (nanoseconds by convention) at time
+      [now] (seconds; defaults to [Unix.gettimeofday ()]).  Epochs the
+      value's timestamp has moved past are recycled in place.  [now] is
+      exposed so tests (and the deterministic scheduler) can drive
+      rotation explicitly. *)
+
+  val record_span_s : t -> ?now:float -> float -> unit
+  (** Record a duration given in seconds. *)
+
+  val snapshot : ?now:float -> t -> Metrics.hsnap
+  (** Merge the live epochs (values recorded within the last
+      [window_s] seconds as of [now]) into one percentile snapshot. *)
+
+  val reset : t -> unit
+
+  val all : unit -> t list
+  val find : string -> t option
+
+  val to_json : ?now:float -> unit -> Json.t
+  (** [{"<name>": {"window_s": ..., "count": ..., "p99_ns": ...}, ...}]
+      for every registered window — the "windows" member of the serving
+      STATS document. *)
+end
+
 module Trace : sig
   (** Typed events recorded into fixed-size per-thread ring buffers;
       when a ring wraps, the oldest events are overwritten. *)
@@ -125,6 +172,13 @@ module Trace : sig
     | Serve_op  (** serving-engine request (span; arg = opcode) *)
     | Batch  (** group-commit batch transaction (span; arg = batch size) *)
     | Commit  (** cross-shard two-phase commit (span; arg = txid) *)
+    | Ingress  (** wire-frame parse of one request (span) *)
+    | Queue_wait  (** request sat in a batcher queue awaiting drain (span) *)
+    | Linger  (** leader's batch-fill window (span; arg = batch size) *)
+    | Drain  (** leader drained the queue into a batch (span; arg = size) *)
+    | Prepare  (** 2PC prepare on one shard (span; arg = shard) *)
+    | Decide  (** 2PC decision-record commit (span; arg = txid) *)
+    | Ack  (** response frame write (span) *)
 
   val kind_name : kind -> string
 
@@ -136,13 +190,17 @@ module Trace : sig
   val is_on : unit -> bool
   val clear : unit -> unit
 
-  val instant : ?arg:int -> kind -> tid:int -> unit
+  val instant : ?arg:int -> ?rid:int -> kind -> tid:int -> unit
+  (** [rid] is the request id of the wire request this event belongs to
+      (0 = none).  Every event of one request carries the same [rid], so
+      a request's span tree can be followed across threads and layers in
+      the exported trace (the ["rid"] member of each event's args). *)
 
-  val complete : ?arg:int -> kind -> tid:int -> t0:float -> unit
+  val complete : ?arg:int -> ?rid:int -> kind -> tid:int -> t0:float -> unit
   (** Record a span that started at [t0] (Unix.gettimeofday, seconds)
       and ends now. *)
 
-  val span : ?arg:int -> kind -> tid:int -> (unit -> 'a) -> 'a
+  val span : ?arg:int -> ?rid:int -> kind -> tid:int -> (unit -> 'a) -> 'a
   (** Run a closure as a span. When tracing is off this is just the
       call. The span is recorded even if the closure raises. *)
 
@@ -162,6 +220,16 @@ end
 
 val is_active : unit -> bool
 (** True if either metrics or tracing is enabled. *)
+
+val prometheus : ?extra:(string * float) list -> unit -> string
+(** Prometheus text exposition (version 0.0.4) of the whole registry:
+    every counter as a [counter], every non-empty histogram and every
+    window as a [summary] (quantile samples plus [_count]/[_sum];
+    windows additionally carry a [{window="<seconds>"}] label on their
+    quantile samples).  Registry names are sanitized to the Prometheus
+    grammar ([.] and other invalid characters become [_]).  [extra]
+    appends caller gauges; their names are emitted verbatim and may
+    embed a [{label="value"}] suffix. *)
 
 (** {2 Cross-PTM instrumentation helpers} — each is a branch-only
     no-op when the relevant layer is disabled. *)

@@ -33,6 +33,8 @@ module A = Sched.Atomic
 type request = {
   ops : (string * string option) list;
   state : int A.t;  (* 0 = Pending, 1 = Acked, 2 = Rejected *)
+  rid : int;  (* wire request id (0 = none), carried into trace spans *)
+  t_enq : float;  (* gettimeofday at enqueue, 0. when obs is inactive *)
 }
 
 type t = {
@@ -55,6 +57,10 @@ type t = {
   c_batches : Obs.Metrics.counter;
   h_batch : Obs.Metrics.histogram;
   h_qdepth : Obs.Metrics.histogram;
+  h_queue : Obs.Metrics.histogram;  (* enqueue -> drain wait, ns *)
+  h_linger : Obs.Metrics.histogram;  (* leader batch-fill window, ns *)
+  h_drain : Obs.Metrics.histogram;  (* queue drain under the lock, ns *)
+  h_txn : Obs.Metrics.histogram;  (* combined write_batch transaction, ns *)
 }
 
 let create ~db ~shard ~max_batch ~linger_us ~linger_steps ~queue_cap =
@@ -78,6 +84,10 @@ let create ~db ~shard ~max_batch ~linger_us ~linger_steps ~queue_cap =
     c_batches = Obs.Metrics.counter "serve.batches";
     h_batch = Obs.Metrics.histogram "serve.batch_size";
     h_qdepth = Obs.Metrics.histogram (Printf.sprintf "serve.shard%d.queue_depth" shard);
+    h_queue = Obs.Metrics.histogram "serve.stage.queue";
+    h_linger = Obs.Metrics.histogram "serve.stage.linger";
+    h_drain = Obs.Metrics.histogram "serve.stage.drain";
+    h_txn = Obs.Metrics.histogram "serve.stage.txn";
   }
 
 (* Waiting for an ack can outlast a timeslice (the leader is committing a
@@ -106,12 +116,31 @@ let drain_locked t =
   A.set t.qlen (Queue.length t.q);
   batch
 
+(* Queue wait ends when the leader drains the request into a batch: one
+   Queue_wait span per request (linked by its rid) plus the
+   serve.stage.queue distribution. *)
+let note_drained t ~tid batch =
+  if Obs.is_active () then begin
+    let now = Unix.gettimeofday () in
+    let on = Obs.Metrics.is_on () in
+    List.iter
+      (fun r ->
+        if r.t_enq > 0. then begin
+          Obs.Trace.complete Obs.Trace.Queue_wait ~tid ~rid:r.rid ~t0:r.t_enq;
+          if on then
+            Obs.Metrics.record_ns t.h_queue ~tid
+              (int_of_float ((now -. r.t_enq) *. 1e9))
+        end)
+      batch
+  end
+
 let commit_batch t ~tid batch =
   let keys = List.concat_map (fun r -> List.map fst r.ops) batch in
   Sched.Mutex.lock t.lock ~tid;
   t.attempts <- keys :: t.attempts;
   Sched.Mutex.unlock t.lock ~tid;
   let size = List.length batch in
+  let t_txn = if Obs.Metrics.is_on () then Unix.gettimeofday () else 0. in
   (* If the transaction dies (e.g. allocator exhaustion), the drained
      requests must not hang their clients: reject them and let the
      exception surface through the leader's own submit. *)
@@ -123,7 +152,10 @@ let commit_batch t ~tid batch =
      raise e);
   if Obs.Metrics.is_on () then begin
     Obs.Metrics.incr t.c_batches ~tid;
-    Obs.Metrics.record_ns t.h_batch ~tid size
+    Obs.Metrics.record_ns t.h_batch ~tid size;
+    if t_txn > 0. then
+      Obs.Metrics.record_ns t.h_txn ~tid
+        (int_of_float ((Unix.gettimeofday () -. t_txn) *. 1e9))
   end;
   Sched.Mutex.lock t.lock ~tid;
   t.sizes <- size :: t.sizes;
@@ -145,7 +177,12 @@ let run_leader t ~tid ~mine =
     end
     else begin
       (* Linger: give followers a window to fill the batch, bounded by
-         the flush deadline.  A zero window commits what is queued. *)
+         the flush deadline.  A zero window commits what is queued.
+         (Observability timestamps are wall clock even under the
+         scheduler — recording never yields, so determinism holds; only
+         the linger logic itself uses the virtual clock.) *)
+      let obs = Obs.is_active () in
+      let t_linger = if obs then Unix.gettimeofday () else 0. in
       let opened = clock () in
       let spins = ref 0 in
       while
@@ -156,21 +193,36 @@ let run_leader t ~tid ~mine =
         backoff !spins;
         incr spins
       done;
+      let t_drain = if obs then Unix.gettimeofday () else 0. in
       Sched.Mutex.lock t.lock ~tid;
       let batch = drain_locked t in
       Sched.Mutex.unlock t.lock ~tid;
+      let size = List.length batch in
+      if obs then begin
+        Obs.Trace.complete Obs.Trace.Linger ~tid ~arg:size ~t0:t_linger;
+        Obs.Trace.complete Obs.Trace.Drain ~tid ~arg:size ~t0:t_drain;
+        if Obs.Metrics.is_on () then begin
+          let now = Unix.gettimeofday () in
+          Obs.Metrics.record_ns t.h_linger ~tid
+            (int_of_float ((t_drain -. t_linger) *. 1e9));
+          Obs.Metrics.record_ns t.h_drain ~tid
+            (int_of_float ((now -. t_drain) *. 1e9))
+        end
+      end;
+      note_drained t ~tid batch;
       if batch <> [] then
         if A.get t.crashing then List.iter (fun r -> A.set r.state 2) batch
         else commit_batch t ~tid batch
     end
   done
 
-let submit t ~tid ops =
+let submit t ~tid ?(rid = 0) ops =
   if A.get t.crashing then Error `Rejected
   else begin
+    let t_enq = if Obs.is_active () then Unix.gettimeofday () else 0. in
     Sched.Mutex.lock t.lock ~tid;
     let admitted = Queue.length t.q < t.queue_cap in
-    let mine = { ops; state = A.make 0 } in
+    let mine = { ops; state = A.make 0; rid; t_enq } in
     if admitted then begin
       Queue.push mine t.q;
       A.set t.qlen (Queue.length t.q)

@@ -30,10 +30,15 @@ val create :
     transaction has committed — the write is durable and visible.
     [`Overloaded]: the bounded queue was full, nothing was enqueued.
     [`Rejected]: a crash tore the request down before commit (it was
-    never acknowledged). *)
+    never acknowledged).  [rid] is the wire request id (0 = none): the
+    request's queue-wait trace span carries it, linking the span into
+    the request's tree.  The stage also feeds the
+    [serve.stage.{queue,linger,drain,txn}] latency histograms when
+    metrics are on. *)
 val submit :
   t ->
   tid:int ->
+  ?rid:int ->
   (string * string option) list ->
   (unit, [ `Overloaded | `Rejected ]) result
 

@@ -3,7 +3,11 @@
    (one per load-generator thread), matching the server's
    one-domain-per-connection model. *)
 
-type t = { fd : Unix.file_descr; io : Protocol.Io.t }
+type t = {
+  fd : Unix.file_descr;
+  io : Protocol.Io.t;
+  mutable next_rid : int;  (* request ids are per-connection, from 1 *)
+}
 
 type error =
   [ `Overloaded | `Unavailable of string | `InDoubt of int | `Err of string ]
@@ -17,7 +21,7 @@ let connect ?(retries = 0) ?(retry_delay = 0.05) ~host ~port () =
     match Unix.connect fd addr with
     | () ->
         Unix.setsockopt fd TCP_NODELAY true;
-        { fd; io = Protocol.Io.of_fd fd }
+        { fd; io = Protocol.Io.of_fd fd; next_rid = 1 }
     | exception Unix.Unix_error ((ECONNREFUSED | ENETUNREACH | ETIMEDOUT), _, _)
       when attempt < retries ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -31,15 +35,26 @@ let connect ?(retries = 0) ?(retry_delay = 0.05) ~host ~port () =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* Every request carries a fresh id; the response must echo it (0 is
+   tolerated — a pre-RID server).  A non-zero mismatch means the stream
+   slipped a frame: fail loudly rather than mispair request/response. *)
 let call t req =
-  Protocol.Io.write_frame t.io (Protocol.encode_req req);
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  Protocol.Io.write_frame t.io (Protocol.encode_req ~rid req);
   match Protocol.Io.read_frame t.io with
   | Error reason -> raise (Protocol_error reason)
   | Result.Ok None -> raise (Protocol_error "connection closed by server")
   | Result.Ok (Some payload) -> (
-      match Protocol.decode_resp payload with
+      match Protocol.decode_resp_rid payload with
       | Error reason -> raise (Protocol_error ("bad response: " ^ reason))
-      | Result.Ok resp -> resp)
+      | Result.Ok (r, _) when r <> 0 && r <> rid ->
+          raise
+            (Protocol_error
+               (Printf.sprintf "response RID %d does not match request RID %d" r rid))
+      | Result.Ok (_, resp) -> resp)
+
+let last_rid t = t.next_rid - 1
 
 (* Typed wrappers.  [`Overloaded] is the backpressure signal callers are
    expected to handle; [`Unavailable] means the request took no durable
@@ -47,23 +62,24 @@ let call t req =
    outcome is unknown until recovery resolves it.  Any other shape
    mismatch is a protocol error. *)
 
-let unexpected what (resp : Protocol.resp) =
-  let shape =
-    match resp with
-    | Ok -> "OK"
-    | Ok_ms _ -> "OK_MS"
-    | Val _ -> "VAL"
-    | Nil -> "NIL"
-    | Vals _ -> "VALS"
-    | Kvs _ -> "KVS"
-    | Json _ -> "JSON"
-    | Overloaded -> "OVERLOADED"
-    | Committed _ -> "COMMITTED"
-    | Unavail _ -> "UNAVAILABLE"
-    | In_doubt _ -> "INDOUBT"
-    | Err _ -> "ERR"
-  in
-  raise (Protocol_error (Printf.sprintf "%s: unexpected %s response" what shape))
+let shape (resp : Protocol.resp) =
+  match resp with
+  | Ok -> "OK"
+  | Ok_ms _ -> "OK_MS"
+  | Val _ -> "VAL"
+  | Nil -> "NIL"
+  | Vals _ -> "VALS"
+  | Kvs _ -> "KVS"
+  | Json _ -> "JSON"
+  | Text _ -> "TEXT"
+  | Overloaded -> "OVERLOADED"
+  | Committed _ -> "COMMITTED"
+  | Unavail _ -> "UNAVAILABLE"
+  | In_doubt _ -> "INDOUBT"
+  | Err _ -> "ERR"
+
+let unexpected what resp =
+  raise (Protocol_error (Printf.sprintf "%s: unexpected %s response" what (shape resp)))
 
 let ping t = match call t Protocol.Ping with Ok -> () | r -> unexpected "PING" r
 
@@ -117,11 +133,25 @@ let scan t ~prefix ~max =
   | Err e -> Error (`Err e)
   | r -> unexpected "SCAN" r
 
+(* Admin calls never raise on a well-formed reply of the wrong shape:
+   the server legitimately answers OVERLOADED/UNAVAILABLE under load or
+   mid-crash, and a stats probe must degrade to an [Error], not tear
+   down the caller. *)
 let stats t =
   match call t Protocol.Stats with
   | Json s -> Obs.Json.parse s
+  | Overloaded -> Error "overloaded"
+  | Unavail d -> Error ("unavailable: " ^ d)
   | Err e -> Error e
-  | r -> unexpected "STATS" r
+  | r -> Error (Printf.sprintf "STATS: unexpected %s response" (shape r))
+
+let metrics t =
+  match call t Protocol.Metrics with
+  | Text s -> Result.Ok s
+  | Overloaded -> Error "overloaded"
+  | Unavail d -> Error ("unavailable: " ^ d)
+  | Err e -> Error e
+  | r -> Error (Printf.sprintf "METRICS: unexpected %s response" (shape r))
 
 let crash t ~seed ~evict_prob ~torn_prob ~bitflips =
   match call t (Protocol.Crash { seed; evict_prob; torn_prob; bitflips }) with

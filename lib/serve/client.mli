@@ -15,8 +15,14 @@ val connect :
 
 val close : t -> unit
 
-(** One raw round-trip. *)
+(** One raw round-trip.  Every request is sent with a fresh
+    per-connection request id (from 1); a response echoing a different
+    non-zero id raises {!Protocol_error} (a zero id — a pre-RID server —
+    is tolerated). *)
 val call : t -> Protocol.req -> Protocol.resp
+
+(** Request id of the most recent {!call} (0 before the first). *)
+val last_rid : t -> int
 
 (** {2 Typed wrappers} — [`Overloaded] is admission-control backpressure
     (nothing was enqueued; retry now), [`Unavailable] means the request
@@ -41,8 +47,14 @@ val mput : t -> (string * string) list -> (int * int, error) result
 val scan :
   t -> prefix:string -> max:int -> ((string * string) list, error) result
 
-(** Parsed STATS document. *)
+(** Parsed STATS document.  Never raises on a well-formed reply: an
+    off-shape answer (e.g. [OVERLOADED] under load) is an [Error]. *)
 val stats : t -> (Obs.Json.t, string) result
+
+(** Prometheus text exposition of the server's metrics registry plus
+    live engine gauges (the METRICS wire request).  Same error contract
+    as {!stats}. *)
+val metrics : t -> (string, string) result
 
 (** Simulated power failure + recovery; [Ok] carries the outage in
     milliseconds, [Error] means the engine stayed down (unrecoverable). *)

@@ -87,6 +87,10 @@ type t = {
   c_rollf : Obs.Metrics.counter;
   c_rollb : Obs.Metrics.counter;
   c_retry : Obs.Metrics.counter;
+  h_prep : Obs.Metrics.histogram;
+  h_dec : Obs.Metrics.histogram;
+  h_app : Obs.Metrics.histogram;
+  heat : int array array;  (* per-shard key-popularity sketch *)
 }
 
 type ack = { txid : int; epoch : int }
@@ -138,6 +142,10 @@ let create cfg =
     c_rollf = Obs.Metrics.counter "serve.commit.rollforwards";
     c_rollb = Obs.Metrics.counter "serve.commit.rollbacks";
     c_retry = Obs.Metrics.counter "serve.commit.snapshot_retries";
+    h_prep = Obs.Metrics.histogram "serve.stage.prepare";
+    h_dec = Obs.Metrics.histogram "serve.stage.decide";
+    h_app = Obs.Metrics.histogram "serve.stage.apply";
+    heat = Array.make_matrix cfg.shards 16 0;
   }
 
 let config t = t.cfg
@@ -169,6 +177,37 @@ let shard_of t key =
     Int64.to_int (Int64.rem (Int64.logand !h Int64.max_int) (Int64.of_int t.cfg.shards))
   end
 
+(* Key-popularity sketch: 16 buckets per shard, indexed by a hash
+   independent of the routing FNV (deliberately — the sketch answers "is
+   the load on this shard skewed", not "which shard").  Plain int cells;
+   a lost increment under races only blurs a telemetry histogram. *)
+let touch t s key =
+  if Obs.Metrics.is_on () then begin
+    let b = Hashtbl.hash key land 15 in
+    t.heat.(s).(b) <- t.heat.(s).(b) + 1
+  end
+
+(* One 2PC stage: a trace span (linked to the request by rid) plus a
+   serve.stage.* latency histogram, recorded even if [f] raises. *)
+let stage h kind ~tid ~arg ~rid f =
+  if not (Obs.is_active ()) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let note () =
+      Obs.Trace.complete kind ~tid ~arg ~rid ~t0;
+      if Obs.Metrics.is_on () then
+        Obs.Metrics.record_ns h ~tid
+          (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+    in
+    match f () with
+    | r ->
+        note ();
+        r
+    | exception e ->
+        note ();
+        raise e
+  end
+
 let relax () = if Sched.active () then Sched.yield () else Domain.cpu_relax ()
 
 (* Every public operation holds an inflight token while it touches a
@@ -196,9 +235,9 @@ let with_entry t ~tid f =
 
 (* ---- writes ---- *)
 
-let submit_shard t ~tid shard ops =
+let submit_shard t ~tid ?(rid = 0) shard ops =
   if t.cfg.batch then
-    match Batcher.submit t.batchers.(shard) ~tid ops with
+    match Batcher.submit t.batchers.(shard) ~tid ~rid ops with
     | Result.Ok () -> Result.Ok ()
     | Error `Overloaded -> Error Overloaded
     | Error `Rejected -> Error (Unavailable "crashed before commit")
@@ -207,13 +246,17 @@ let submit_shard t ~tid shard ops =
     Result.Ok ()
   end
 
-let put t ~tid ~key ~value =
+let put ?(rid = 0) t ~tid ~key ~value =
   with_entry t ~tid @@ fun () ->
-  submit_shard t ~tid (shard_of t key) [ (Commit.user_key key, Some value) ]
+  let s = shard_of t key in
+  touch t s key;
+  submit_shard t ~tid ~rid s [ (Commit.user_key key, Some value) ]
 
-let delete t ~tid key =
+let delete t ~tid ?(rid = 0) key =
   with_entry t ~tid @@ fun () ->
-  submit_shard t ~tid (shard_of t key) [ (Commit.user_key key, None) ]
+  let s = shard_of t key in
+  touch t s key;
+  submit_shard t ~tid ~rid s [ (Commit.user_key key, None) ]
 
 (* ---- cross-shard commit ---- *)
 
@@ -232,10 +275,11 @@ let rollback t ~tid txid shards =
    live, so racing appliers (writer, helpers, recovery) are harmless:
    exactly one commits per shard, and a false return PROVES that shard's
    apply already committed. *)
-let run_applies t ~tid ~helper ~inject txid p =
+let run_applies t ~tid ~helper ~inject ?(rid = 0) txid p =
   List.iteri
     (fun i (s, ops) ->
       let did =
+        stage t.h_app Obs.Trace.Apply ~tid ~arg:s ~rid @@ fun () ->
         Kv.Redodb.apply_guarded t.dbs.(s) ~tid ~guard:(Commit.prep_key txid)
           ~hwms:
             [ (Commit.epoch_hwm_key, p.p_epoch); (Commit.txid_hwm_key, txid) ]
@@ -252,8 +296,8 @@ let run_applies t ~tid ~helper ~inject txid p =
    check-and-remove under reg_lock is the completion point: exactly one
    of the racing completers (writer, helping readers) claims it, counts
    it applied, and forgets the decision record. *)
-let complete t ~tid ~helper ~inject txid p =
-  run_applies t ~tid ~helper ~inject txid p;
+let complete t ~tid ~helper ~inject ?(rid = 0) txid p =
+  run_applies t ~tid ~helper ~inject ~rid txid p;
   Sched.Mutex.lock t.reg_lock ~tid;
   let mine = Hashtbl.mem t.registry txid in
   if mine then begin
@@ -284,15 +328,18 @@ let publish t ~tid txid p =
   A.incr t.decided;
   Sched.Mutex.unlock t.reg_lock ~tid
 
-let two_phase t ~tid slices parts =
+let two_phase t ~tid ~rid slices parts =
   let txid = A.fetch_and_add t.next_txid 1 in
-  Obs.Trace.span Obs.Trace.Commit ~tid ~arg:txid @@ fun () ->
+  Obs.Trace.span Obs.Trace.Commit ~tid ~arg:txid ~rid @@ fun () ->
   (* PREPARE: stage each shard's slice, shards in index order. *)
   let rec prepare k done_ = function
     | [] -> Result.Ok ()
     | (s, ops) :: rest -> (
         let record = Commit.encode_prep ~txid ~participants:parts ~ops in
-        match submit_shard t ~tid s [ (Commit.prep_key txid, Some record) ] with
+        match
+          stage t.h_prep Obs.Trace.Prepare ~tid ~arg:s ~rid @@ fun () ->
+          submit_shard t ~tid ~rid s [ (Commit.prep_key txid, Some record) ]
+        with
         | Result.Ok () ->
             Obs.Metrics.incr t.c_prep ~tid;
             maybe_crash t (Commit.Prepare k);
@@ -315,7 +362,10 @@ let two_phase t ~tid slices parts =
       let epoch = 1 + A.fetch_and_add t.epoch_src 1 in
       let record = Commit.encode_decision ~txid ~epoch ~participants:parts in
       let coord = List.hd parts in
-      match submit_shard t ~tid coord [ (Commit.dec_key txid, Some record) ] with
+      match
+        stage t.h_dec Obs.Trace.Decide ~tid ~arg:txid ~rid @@ fun () ->
+        submit_shard t ~tid ~rid coord [ (Commit.dec_key txid, Some record) ]
+      with
       | Error e ->
           (* a rejected submit was never committed: definite abort *)
           rollback t ~tid txid parts;
@@ -335,20 +385,21 @@ let two_phase t ~tid slices parts =
              this thread is once again harmless — drop the hazard. *)
           t.commit_window.(tid) <- false;
           if not (List.mem Commit.No_rollforward t.mutants) then
-            complete t ~tid ~helper:false ~inject:true txid p;
+            complete t ~tid ~helper:false ~inject:true ~rid txid p;
           Result.Ok { txid; epoch })
 
 (* Writes grouped by shard.  One shard: a single atomic PTM transaction
    (fast path, no commit records).  Several shards: the two-phase
    protocol — all-or-nothing across shards, with the ack carrying the
    transaction's commit epoch. *)
-let multi_put t ~tid ops =
+let multi_put t ~tid ?(rid = 0) ops =
   with_entry t ~tid @@ fun () ->
   Obs.Metrics.incr t.c_multi ~tid;
   let per_shard = Array.make t.cfg.shards [] in
   List.iter
     (fun (key, v) ->
       let s = shard_of t key in
+      touch t s key;
       per_shard.(s) <- (Commit.user_key key, v) :: per_shard.(s))
     ops;
   let parts = ref [] in
@@ -359,7 +410,7 @@ let multi_put t ~tid ops =
   match slices with
   | [] -> Result.Ok { txid = 0; epoch = A.get t.epoch_src }
   | [ (s, ops) ] -> (
-      match submit_shard t ~tid s ops with
+      match submit_shard t ~tid ~rid s ops with
       | Result.Ok () -> Result.Ok { txid = 0; epoch = A.get t.epoch_src }
       | Error _ as e -> e)
   | _ when List.mem Commit.Skip_2pc t.mutants ->
@@ -376,7 +427,7 @@ let multi_put t ~tid ops =
             | Error _ as e -> e)
       in
       go 1 slices
-  | _ -> two_phase t ~tid slices !parts
+  | _ -> two_phase t ~tid ~rid slices !parts
 
 (* ---- reads (epoch-validated snapshots, never batched) ---- *)
 
@@ -416,7 +467,9 @@ let snapshot_read t ~tid f =
    atomic PTM transaction, so a key is never observably half-written. *)
 let get t ~tid key =
   with_entry t ~tid @@ fun () ->
-  Result.Ok (Kv.Redodb.get t.dbs.(shard_of t key) ~tid (Commit.user_key key))
+  let s = shard_of t key in
+  touch t s key;
+  Result.Ok (Kv.Redodb.get t.dbs.(s) ~tid (Commit.user_key key))
 
 (* One read-only snapshot per visited shard, shards in index order. *)
 let multi_get t ~tid keys =
@@ -426,6 +479,7 @@ let multi_get t ~tid keys =
   List.iteri
     (fun i key ->
       let s = shard_of t key in
+      touch t s key;
       per_shard.(s) <- (i, Commit.user_key key) :: per_shard.(s))
     keys;
   Result.Ok
@@ -676,6 +730,10 @@ let stats_json t =
                  if t.cfg.batch then
                    Obs.Json.Int (Batcher.batches_committed t.batchers.(i))
                  else Obs.Json.Null );
+               ( "heat",
+                 Obs.Json.List
+                   (Array.to_list (Array.map (fun n -> Obs.Json.Int n) t.heat.(i)))
+               );
              ])
          t.dbs)
   in
@@ -692,5 +750,6 @@ let stats_json t =
       ("applied", Obs.Json.Int (A.get t.applied));
       ("pending_commits", Obs.Json.Int (Hashtbl.length t.registry));
       ("shard_stats", Obs.Json.List shard_rows);
+      ("windows", Obs.Window.to_json ());
       ("metrics", Obs.Metrics.to_json ());
     ]

@@ -58,19 +58,27 @@ val shards : t -> int
 (** Which shard owns [key] (stable across restarts). *)
 val shard_of : t -> string -> int
 
-val put : t -> tid:int -> key:string -> value:string -> (unit, error) result
+(** Write entry points take an optional wire request id [rid] (0 =
+    none): it rides into every trace span the request produces — queue
+    wait, 2PC prepare/decide/apply, the commit itself — so one request's
+    span tree can be followed across threads in the trace export. *)
+
+val put :
+  ?rid:int -> t -> tid:int -> key:string -> value:string -> (unit, error) result
+
 val get : t -> tid:int -> string -> (string option, error) result
 
 (** Acked delete (no existence report: under group commit the delete is
     folded into a batch transaction). *)
-val delete : t -> tid:int -> string -> (unit, error) result
+val delete : t -> tid:int -> ?rid:int -> string -> (unit, error) result
 
 (** Results in request order; epoch-validated consistent snapshot. *)
 val multi_get : t -> tid:int -> string list -> (string option list, error) result
 
 (** [Some v] puts, [None] deletes.  All-or-nothing across shards; the
     ack's [epoch] orders the commit against snapshot reads. *)
-val multi_put : t -> tid:int -> (string * string option) list -> (ack, error) result
+val multi_put :
+  t -> tid:int -> ?rid:int -> (string * string option) list -> (ack, error) result
 
 (** Up to [max] key-sorted pairs whose key starts with [prefix], merged
     across per-shard snapshots taken at one validated epoch — a scan
@@ -159,6 +167,8 @@ val attempted_batches : t -> shard:int -> string list list
 (** Current per-shard queue depths (batching only; [[]] otherwise). *)
 val queue_depths : t -> int list
 
-(** Engine + per-shard stats, commit-state snapshot, and the full
-    metrics registry, as JSON (the STATS wire response). *)
+(** Engine + per-shard stats (counters, queue depths, key-popularity
+    heat sketches), commit-state snapshot, the sliding-window percentile
+    snapshots ([windows]), and the full metrics registry, as JSON (the
+    STATS wire response). *)
 val stats_json : t -> Obs.Json.t

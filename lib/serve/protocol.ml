@@ -18,8 +18,16 @@
                                 | INDOUBT 7 (outcome unknown until recovery)
      SCAN 5:user: 100          -> KVS 2 6:user:1 3:ada 6:user:2 5:grace
      STATS                     -> JSON <netstring of a JSON document>
+     METRICS                   -> TEXT <netstring of Prometheus exposition>
      CRASH 42 0.5 0.3 0        -> OK 12.5 (recovery ms) | ERR <detail>
      PING                      -> OK
+
+   Trace context: any payload may start with "RID <n> " (n > 0), a
+   client-assigned request id echoed on the response — e.g.
+
+     RID 7 GET 3:abc           -> RID 7 VAL 5:hello
+
+   Absent prefix = id 0, so old clients and servers interoperate.
 
    The same grammar is documented for humans in README.md ("Serving"). *)
 
@@ -36,6 +44,7 @@ type req =
   | Mget of string list
   | Mput of (string * string) list
   | Stats
+  | Metrics
   | Crash of { seed : int; evict_prob : float; torn_prob : float; bitflips : int }
 
 type resp =
@@ -46,6 +55,7 @@ type resp =
   | Vals of string option list
   | Kvs of (string * string) list
   | Json of string
+  | Text of string
   | Overloaded
   | Committed of { txid : int; epoch : int }
   | Unavail of string
@@ -66,7 +76,13 @@ let payload f =
   f b;
   Buffer.contents b
 
-let encode_req = function
+(* "RID <n> " trace-context prefix; omitted when the id is 0. *)
+let with_rid rid p = if rid > 0 then Printf.sprintf "RID %d %s" rid p else p
+
+let encode_req ?(rid = 0) req =
+  with_rid rid
+  @@
+  match req with
   | Ping -> "PING"
   | Get k -> payload (fun b -> Buffer.add_string b "GET "; add_str b k)
   | Put (k, v) ->
@@ -96,10 +112,14 @@ let encode_req = function
               add_str b v)
             kvs)
   | Stats -> "STATS"
+  | Metrics -> "METRICS"
   | Crash { seed; evict_prob; torn_prob; bitflips } ->
       Printf.sprintf "CRASH %d %g %g %d" seed evict_prob torn_prob bitflips
 
-let encode_resp = function
+let encode_resp ?(rid = 0) resp =
+  with_rid rid
+  @@
+  match resp with
   | Ok -> "OK"
   | Ok_ms ms -> Printf.sprintf "OK %g" ms
   | Val v -> payload (fun b -> Buffer.add_string b "VAL "; add_str b v)
@@ -123,6 +143,7 @@ let encode_resp = function
               add_str b v)
             kvs)
   | Json j -> payload (fun b -> Buffer.add_string b "JSON "; add_str b j)
+  | Text t -> payload (fun b -> Buffer.add_string b "TEXT "; add_str b t)
   | Overloaded -> "OVERLOADED"
   | Committed { txid; epoch } -> Printf.sprintf "COMMITTED %d %d" txid epoch
   | Unavail d -> payload (fun b -> Buffer.add_string b "UNAVAILABLE "; add_str b d)
@@ -187,8 +208,13 @@ let rec pairs acc = function
       let* v = str_tok v in
       pairs ((k, v) :: acc) rest
 
-let decode_req p =
-  let* toks = tokenize p in
+let split_rid = function
+  | Atom "RID" :: n :: rest ->
+      let* rid = int_tok n in
+      if rid <= 0 then Error "RID must be positive" else Result.Ok (rid, rest)
+  | toks -> Result.Ok (0, toks)
+
+let decode_req_toks toks =
   match toks with
   | [ Atom "PING" ] -> Result.Ok Ping
   | [ Atom "GET"; k ] ->
@@ -212,6 +238,7 @@ let decode_req p =
       let* kvs = pairs [] kvs in
       Result.Ok (Mput kvs)
   | [ Atom "STATS" ] -> Result.Ok Stats
+  | [ Atom "METRICS" ] -> Result.Ok Metrics
   | [ Atom "CRASH"; seed; evict; torn; flips ] ->
       let* seed = int_tok seed in
       let* evict_prob = float_tok evict in
@@ -221,6 +248,14 @@ let decode_req p =
   | Atom c :: _ -> Error ("unknown or malformed command " ^ c)
   | _ -> Error "empty or malformed request"
 
+let decode_req_rid p =
+  let* toks = tokenize p in
+  let* rid, toks = split_rid toks in
+  let* req = decode_req_toks toks in
+  Result.Ok (rid, req)
+
+let decode_req p = Result.map snd (decode_req_rid p)
+
 let rec vals acc = function
   | [] -> Result.Ok (List.rev acc)
   | Atom "N" :: rest -> vals (None :: acc) rest
@@ -229,8 +264,7 @@ let rec vals acc = function
       vals (Some v :: acc) rest
   | _ -> Error "malformed VALS item"
 
-let decode_resp p =
-  let* toks = tokenize p in
+let decode_resp_toks toks =
   match toks with
   | [ Atom "OK" ] -> Result.Ok Ok
   | [ Atom "OK"; ms ] ->
@@ -251,6 +285,9 @@ let decode_resp p =
   | [ Atom "JSON"; j ] ->
       let* j = str_tok j in
       Result.Ok (Json j)
+  | [ Atom "TEXT"; t ] ->
+      let* t = str_tok t in
+      Result.Ok (Text t)
   | [ Atom "OVERLOADED" ] -> Result.Ok Overloaded
   | [ Atom "COMMITTED"; txid; epoch ] ->
       let* txid = int_tok txid in
@@ -266,6 +303,14 @@ let decode_resp p =
       let* msg = str_tok msg in
       Result.Ok (Err msg)
   | _ -> Error "malformed response"
+
+let decode_resp_rid p =
+  let* toks = tokenize p in
+  let* rid, toks = split_rid toks in
+  let* resp = decode_resp_toks toks in
+  Result.Ok (rid, resp)
+
+let decode_resp p = Result.map snd (decode_resp_rid p)
 
 (* ---- framed blocking IO over a file descriptor ---- *)
 

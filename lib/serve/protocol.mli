@@ -16,6 +16,7 @@ type req =
   | Mget of string list
   | Mput of (string * string) list
   | Stats
+  | Metrics  (** Prometheus text exposition of the server's registry *)
   | Crash of { seed : int; evict_prob : float; torn_prob : float; bitflips : int }
 
 type resp =
@@ -26,6 +27,7 @@ type resp =
   | Vals of string option list  (** MGET results, in request order *)
   | Kvs of (string * string) list  (** SCAN results, key-sorted *)
   | Json of string  (** STATS payload: a JSON document *)
+  | Text of string  (** METRICS payload: Prometheus text exposition *)
   | Overloaded  (** admission control rejected the request *)
   | Committed of { txid : int; epoch : int }
       (** MPUT ack: all-or-nothing across shards; [epoch] is the commit
@@ -43,12 +45,23 @@ type resp =
 
 (** Payload encoding/decoding (framing excluded). Decoders return a
     human-readable reason on malformed input — the connection answers
-    [Err reason] rather than dying. *)
+    [Err reason] rather than dying.
 
-val encode_req : req -> string
+    {b Trace context}: every payload may start with an optional
+    [RID <n>] prefix (n > 0) carrying a client-assigned request id; the
+    server echoes it on the matching response, which both links the
+    request's spans in the trace export and is the frame-format
+    groundwork for pipelining.  A payload without the prefix has id 0 —
+    old clients and servers interoperate unchanged.  [encode_req]/
+    [encode_resp] emit the prefix when [rid > 0]; [decode_req]/
+    [decode_resp] accept and discard it, the [_rid] variants return it. *)
+
+val encode_req : ?rid:int -> req -> string
 val decode_req : string -> (req, string) result
-val encode_resp : resp -> string
+val decode_req_rid : string -> (int * req, string) result
+val encode_resp : ?rid:int -> resp -> string
 val decode_resp : string -> (resp, string) result
+val decode_resp_rid : string -> (int * resp, string) result
 
 (** Framed blocking IO over a [Unix.file_descr] with an internal read
     buffer.  One [Io.t] per connection (reads); writes are stateless. *)

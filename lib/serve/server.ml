@@ -37,14 +37,49 @@ type t = {
   mutable free_tids : int list;
   mutable accept_dom : unit Domain.t option;
   h_req : Obs.Metrics.histogram;
+  h_parse : Obs.Metrics.histogram;
+  h_ack : Obs.Metrics.histogram;
+  wins : Obs.Window.t array;  (* per op class, indexed like win_class *)
 }
+
+(* Sliding-window class of a request, or -1 for untracked admin ops.
+   These windows are the always-on telemetry plane (STATS "windows", the
+   SLO gates): recording is NOT gated on Metrics.enable. *)
+let win_names = [| "serve.win.get"; "serve.win.put"; "serve.win.del";
+                   "serve.win.mget"; "serve.win.mput"; "serve.win.scan" |]
+
+let win_class : Protocol.req -> int = function
+  | Get _ -> 0
+  | Put _ -> 1
+  | Del _ -> 2
+  | Mget _ -> 3
+  | Mput _ -> 4
+  | Scan _ -> 5
+  | Ping | Stats | Metrics | Crash _ -> -1
 
 let err_of_engine = function
   | Engine.Overloaded -> Protocol.Overloaded
   | Engine.Unavailable d -> Protocol.Unavail d
   | Engine.In_doubt txid -> Protocol.In_doubt txid
 
-let execute t ~tid (req : Protocol.req) : Protocol.resp =
+(* Engine gauges appended to the Prometheus exposition: the live values
+   a scraper wants that are not registry counters/histograms. *)
+let prom_gauges t =
+  let depths =
+    List.mapi
+      (fun i d -> (Printf.sprintf "redodb_shard_queue_depth{shard=\"%d\"}" i, float_of_int d))
+      (Engine.queue_depths t.eng)
+  in
+  let decided, applied = Engine.commit_stats t.eng in
+  [
+    ("redodb_engine_shards", float_of_int (Engine.shards t.eng));
+    ("redodb_engine_epoch", float_of_int (Engine.current_epoch t.eng));
+    ("redodb_engine_commits_decided", float_of_int decided);
+    ("redodb_engine_commits_applied", float_of_int applied);
+  ]
+  @ depths
+
+let execute t ~tid ~rid (req : Protocol.req) : Protocol.resp =
   match req with
   | Ping -> Ok
   | Get k -> (
@@ -53,11 +88,11 @@ let execute t ~tid (req : Protocol.req) : Protocol.resp =
       | Result.Ok None -> Nil
       | Error e -> err_of_engine e)
   | Put (k, v) -> (
-      match Engine.put t.eng ~tid ~key:k ~value:v with
+      match Engine.put ~rid t.eng ~tid ~key:k ~value:v with
       | Result.Ok () -> Ok
       | Error e -> err_of_engine e)
   | Del k -> (
-      match Engine.delete t.eng ~tid k with
+      match Engine.delete t.eng ~tid ~rid k with
       | Result.Ok () -> Ok
       | Error e -> err_of_engine e)
   | Scan { prefix; max } -> (
@@ -69,28 +104,45 @@ let execute t ~tid (req : Protocol.req) : Protocol.resp =
       | Result.Ok vs -> Vals vs
       | Error e -> err_of_engine e)
   | Mput kvs -> (
-      match Engine.multi_put t.eng ~tid (List.map (fun (k, v) -> (k, Some v)) kvs) with
+      match
+        Engine.multi_put t.eng ~tid ~rid (List.map (fun (k, v) -> (k, Some v)) kvs)
+      with
       | Result.Ok { Engine.txid; epoch } -> Committed { txid; epoch }
       | Error e -> err_of_engine e)
   | Stats -> Json (Obs.Json.to_string (Engine.stats_json t.eng))
+  | Metrics -> Text (Obs.prometheus ~extra:(prom_gauges t) ())
   | Crash { seed; evict_prob; torn_prob; bitflips } -> (
       match Engine.crash_with_faults t.eng ~tid ~seed ~evict_prob ~torn_prob ~bitflips with
       | Result.Ok s -> Ok_ms (s *. 1e3)
       | Error d -> Err ("unrecoverable: " ^ d))
 
-let serve_one t ~tid req =
-  let t0 = if Obs.Metrics.is_on () then Unix.gettimeofday () else 0.0 in
-  let resp = Obs.Trace.span Obs.Trace.Serve_op ~tid (fun () -> execute t ~tid req) in
+let serve_one t ~tid ?(rid = 0) req =
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    Obs.Trace.span Obs.Trace.Serve_op ~tid ~rid (fun () -> execute t ~tid ~rid req)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  (* The per-class window is always on — it is what STATS exposes and
+     what SLO gates assert against, with or without --metrics. *)
+  let c = win_class req in
+  if c >= 0 then Obs.Window.record_span_s t.wins.(c) dt;
   if Obs.Metrics.is_on () then
-    Obs.Metrics.record_ns t.h_req ~tid
-      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+    Obs.Metrics.record_ns t.h_req ~tid (int_of_float (dt *. 1e9));
   resp
 
 let handle_conn t conn =
   let io = Protocol.Io.of_fd conn.cfd in
-  let reply resp =
+  let tid = conn.ctid in
+  let reply ?(rid = 0) resp =
     try
-      Protocol.Io.write_frame io (Protocol.encode_resp resp);
+      let t0 = if Obs.is_active () then Unix.gettimeofday () else 0. in
+      Protocol.Io.write_frame io (Protocol.encode_resp ~rid resp);
+      if t0 > 0. then begin
+        Obs.Trace.complete Obs.Trace.Ack ~tid ~rid ~t0;
+        if Obs.Metrics.is_on () then
+          Obs.Metrics.record_ns t.h_ack ~tid
+            (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+      end;
       true
     with _ -> false
   in
@@ -102,9 +154,17 @@ let handle_conn t conn =
            and drop the connection. *)
         ignore (reply (Protocol.Err ("bad frame: " ^ reason)))
     | Result.Ok (Some payload) -> (
-        match Protocol.decode_req payload with
+        let t0 = if Obs.is_active () then Unix.gettimeofday () else 0. in
+        match Protocol.decode_req_rid payload with
         | Error reason -> if reply (Protocol.Err ("bad request: " ^ reason)) then loop ()
-        | Result.Ok req -> if reply (serve_one t ~tid:conn.ctid req) then loop ())
+        | Result.Ok (rid, req) ->
+            if t0 > 0. then begin
+              Obs.Trace.complete Obs.Trace.Ingress ~tid ~rid ~t0;
+              if Obs.Metrics.is_on () then
+                Obs.Metrics.record_ns t.h_parse ~tid
+                  (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+            end;
+            if reply ~rid (serve_one t ~tid ~rid req) then loop ())
   in
   (try loop () with _ -> ());
   (try Unix.close conn.cfd with Unix.Unix_error _ -> ());
@@ -186,6 +246,9 @@ let start cfg =
       free_tids = List.init cfg.max_conns (fun i -> i + 1);
       accept_dom = None;
       h_req = Obs.Metrics.histogram "serve.request_ns";
+      h_parse = Obs.Metrics.histogram "serve.stage.parse";
+      h_ack = Obs.Metrics.histogram "serve.stage.ack";
+      wins = Array.map Obs.Window.create win_names;
     }
   in
   t.accept_dom <- Some (Domain.spawn (fun () -> accept_loop t));

@@ -98,6 +98,83 @@ let test_histogram_percentiles () =
   Obs.Metrics.reset_histogram h;
   check Alcotest.int "reset count" 0 (Obs.Metrics.hsnapshot h).Obs.Metrics.count
 
+(* ---- Window: sliding-window percentiles vs a sorted-array oracle ---- *)
+
+let test_window_oracle () =
+  let w = Obs.Window.create ~epochs:5 ~epoch_s:1.0 "test.win.oracle" in
+  Obs.Window.reset w;
+  check (Alcotest.float 0.) "window span" 5.0 (Obs.Window.window_s w);
+  checkb "registry is idempotent by name" true
+    (Obs.Window.create "test.win.oracle" == w);
+  checkb "find" true (Obs.Window.find "test.win.oracle" = Some w);
+  let st = Random.State.make [| 0x11a |] in
+  let n = 8_000 in
+  let values =
+    Array.init n (fun _ -> 1 + Random.State.int st (1 lsl (4 + Random.State.int st 16)))
+  in
+  (* spread the records across all live epochs (timestamps nondecreasing
+     over [100, 104]); merge-on-read must see every one of them *)
+  Array.iteri
+    (fun i v ->
+      let now = 100.0 +. (4.0 *. float_of_int i /. float_of_int n) in
+      Obs.Window.record_ns w ~now v)
+    values;
+  let s = Obs.Window.snapshot ~now:104.5 w in
+  check Alcotest.int "count" n s.Obs.Metrics.count;
+  check Alcotest.int "max exact" (Array.fold_left max 0 values) s.Obs.Metrics.max_ns;
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let oracle p = sorted.(int_of_float (p *. float_of_int (n - 1))) in
+  let near name got want =
+    let rel =
+      abs_float (float_of_int got -. float_of_int want) /. float_of_int want
+    in
+    if rel > 0.10 then
+      Alcotest.failf "%s: window %d vs oracle %d (%.1f%% off)" name got want
+        (100. *. rel)
+  in
+  near "p50" s.Obs.Metrics.p50 (oracle 0.50);
+  near "p90" s.Obs.Metrics.p90 (oracle 0.90);
+  near "p99" s.Obs.Metrics.p99 (oracle 0.99);
+  near "p999" s.Obs.Metrics.p999 (oracle 0.999)
+
+(* Rotation recycles epochs in place: values older than the window fall
+   out as [now] advances, newer ones survive, and a long gap drains the
+   window completely. *)
+let test_window_rotation_expiry () =
+  let w = Obs.Window.create ~epochs:4 ~epoch_s:1.0 "test.win.rot" in
+  Obs.Window.reset w;
+  for _ = 1 to 100 do Obs.Window.record_ns w ~now:200.0 1_000 done;
+  for _ = 1 to 50 do Obs.Window.record_ns w ~now:203.0 1_000_000 done;
+  let s = Obs.Window.snapshot ~now:203.0 w in
+  check Alcotest.int "both batches inside the window" 150 s.Obs.Metrics.count;
+  (* window now covers epochs 202..205: the t=200 batch has expired *)
+  let s = Obs.Window.snapshot ~now:205.5 w in
+  check Alcotest.int "old epoch expired on rotation" 50 s.Obs.Metrics.count;
+  checkb "survivors are the fresh batch" true (s.Obs.Metrics.p50 >= 500_000);
+  let s = Obs.Window.snapshot ~now:300.0 w in
+  check Alcotest.int "fully drained after a long gap" 0 s.Obs.Metrics.count;
+  (* record_span_s converts seconds to nanoseconds *)
+  Obs.Window.record_span_s w ~now:300.0 0.001;
+  let s = Obs.Window.snapshot ~now:300.0 w in
+  check Alcotest.int "span recorded" 1 s.Obs.Metrics.count;
+  checkb "span stored in ns" true
+    (s.Obs.Metrics.max_ns >= 900_000 && s.Obs.Metrics.max_ns <= 1_100_000);
+  (* windows are the always-on telemetry plane: recording is not gated
+     on Metrics.enable *)
+  let was_on = Obs.Metrics.is_on () in
+  Obs.Metrics.enable false;
+  Obs.Window.record_ns w ~now:300.1 2_000;
+  Obs.Metrics.enable was_on;
+  check Alcotest.int "records while metrics are disabled" 2
+    (Obs.Window.snapshot ~now:300.2 w).Obs.Metrics.count;
+  (* the registry JSON carries this window with percentile members *)
+  match Obs.Json.member "test.win.rot" (Obs.Window.to_json ~now:300.2 ()) with
+  | Some row ->
+      checkb "to_json has count" true (Obs.Json.member "count" row <> None);
+      checkb "to_json has p99_ns" true (Obs.Json.member "p99_ns" row <> None)
+  | None -> Alcotest.fail "to_json lacks the registered window"
+
 (* ---- Trace: ring wraparound ---- *)
 
 let test_trace_wraparound () =
@@ -234,6 +311,10 @@ let suites =
         Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
         Alcotest.test_case "histogram percentiles vs oracle" `Quick
           test_histogram_percentiles;
+        Alcotest.test_case "window percentiles vs oracle" `Quick
+          test_window_oracle;
+        Alcotest.test_case "window rotation and expiry" `Quick
+          test_window_rotation_expiry;
         Alcotest.test_case "trace ring wraparound" `Quick test_trace_wraparound;
         Alcotest.test_case "chrome trace roundtrip" `Quick
           test_trace_chrome_roundtrip;

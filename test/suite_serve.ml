@@ -85,6 +85,56 @@ let test_protocol_malformed () =
   | Ok _ -> Alcotest.fail "accepted malformed response"
   | Error _ -> ()
 
+(* ---- trace context (RID) and METRICS on the wire ---- *)
+
+let test_rid_roundtrip () =
+  let reqs = [ P.Ping; P.Get "k"; P.Mput [ ("a", "1"); ("b", "2") ]; P.Metrics ] in
+  List.iter
+    (fun r ->
+      match P.decode_req_rid (P.encode_req ~rid:7 r) with
+      | Ok (rid, r') ->
+          Alcotest.(check int) "req rid echoed" 7 rid;
+          Alcotest.(check bool) "req preserved under RID" true (r = r')
+      | Error e -> Alcotest.fail ("rid req round-trip: " ^ e))
+    reqs;
+  let resps =
+    [ P.Ok; P.Val "v"; P.Committed { txid = 3; epoch = 5 }; P.Text "# x 1\n" ]
+  in
+  List.iter
+    (fun r ->
+      match P.decode_resp_rid (P.encode_resp ~rid:9 r) with
+      | Ok (rid, r') ->
+          Alcotest.(check int) "resp rid echoed" 9 rid;
+          Alcotest.(check bool) "resp preserved under RID" true (r = r')
+      | Error e -> Alcotest.fail ("rid resp round-trip: " ^ e))
+    resps;
+  (* rid 0 encodes to the bare frame — full backward compatibility *)
+  Alcotest.(check string) "rid 0 is the plain frame" (P.encode_req P.Ping)
+    (P.encode_req ~rid:0 P.Ping);
+  (match P.decode_req_rid "PING" with
+  | Ok (0, P.Ping) -> ()
+  | _ -> Alcotest.fail "bare frame should decode with rid 0");
+  (* the plain decoder accepts a RID frame and drops the id *)
+  (match P.decode_req (P.encode_req ~rid:3 (P.Put ("k", "v"))) with
+  | Ok (P.Put ("k", "v")) -> ()
+  | _ -> Alcotest.fail "plain decoder should accept and drop RID");
+  (* malformed trace contexts are rejected, never silently zeroed *)
+  List.iter
+    (fun s ->
+      match P.decode_req s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted bad RID frame %S" s)
+      | Error _ -> ())
+    [ "RID 0 PING"; "RID -2 PING"; "RID PING"; "RID 7" ]
+
+let test_metrics_roundtrip () =
+  (match P.decode_req (P.encode_req P.Metrics) with
+  | Ok P.Metrics -> ()
+  | _ -> Alcotest.fail "METRICS request round-trip");
+  let body = "# TYPE redodb_epoch gauge\nredodb_epoch 42\n" in
+  match P.decode_resp (P.encode_resp (P.Text body)) with
+  | Ok (P.Text b) -> Alcotest.(check string) "TEXT payload intact" body b
+  | _ -> Alcotest.fail "TEXT response round-trip"
+
 (* ---- shard router vs a model (single-threaded, no scheduler) ---- *)
 
 let test_router_model () =
@@ -686,6 +736,79 @@ let test_stalled_coordinator_helping () =
   Alcotest.(check bool) "helping was counted" true
     (Obs.Metrics.counter_value c_helped > helped_before)
 
+(* ---- request span tree under the deterministic scheduler ---- *)
+
+(* One cross-shard MPUT must leave a complete causally-ordered span tree
+   in the trace, linked by its request id: the commit umbrella span, a
+   prepare per shard, exactly one decision, an apply per shard, and the
+   queue-wait spans of the batcher submissions — ordered commit <=
+   prepares <= decide <= applies by start timestamp. *)
+let test_sched_span_tree () =
+  Obs.Trace.enable ();
+  Fun.protect ~finally:(fun () -> Obs.Trace.disable ()) @@ fun () ->
+  let e = small_engine ~shards:2 ~num_threads:2 ~linger_steps:2 () in
+  let ka = key_on e 0 "ta" and kb = key_on e 1 "tb" in
+  let committed = ref false in
+  let body _fid =
+    match E.multi_put e ~tid:0 ~rid:42 [ (ka, Some "x"); (kb, Some "x") ] with
+    | Ok _ -> committed := true
+    | Error err -> Alcotest.fail (E.pp_error err)
+  in
+  ignore (Sched.run ~seed:7 ~num_fibers:1 body);
+  Alcotest.(check bool) "mput committed" true !committed;
+  let doc = Obs.Trace.export () in
+  let events =
+    match Obs.Json.member "traceEvents" doc with
+    | Some (Obs.Json.List es) -> es
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let rid_of ev =
+    match Obs.Json.member "args" ev with
+    | Some args -> (
+        match Obs.Json.member "rid" args with
+        | Some (Obs.Json.Int r) -> r
+        | _ -> 0)
+    | None -> 0
+  in
+  let num = function
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | Some (Obs.Json.Float f) -> f
+    | _ -> Alcotest.fail "non-numeric ts"
+  in
+  let spans =
+    List.filter_map
+      (fun ev ->
+        if rid_of ev <> 42 then None
+        else
+          match Obs.Json.member "name" ev with
+          | Some (Obs.Json.String n) -> Some (n, num (Obs.Json.member "ts" ev))
+          | _ -> Alcotest.fail "span without name")
+      events
+  in
+  let ts_of n =
+    List.filter_map (fun (m, ts) -> if m = n then Some ts else None) spans
+  in
+  let count n = List.length (ts_of n) in
+  Alcotest.(check bool) "a prepare span per shard" true (count "prepare" >= 2);
+  Alcotest.(check int) "exactly one decision span" 1 (count "decide");
+  Alcotest.(check bool) "an apply span per shard" true (count "apply" >= 2);
+  Alcotest.(check int) "one commit umbrella span" 1 (count "commit");
+  Alcotest.(check bool) "queue-wait spans from the batcher" true
+    (count "queue_wait" >= 1);
+  let mn l = List.fold_left min infinity l in
+  let mx l = List.fold_left max neg_infinity l in
+  let t_commit = List.hd (ts_of "commit") in
+  let t_decide = List.hd (ts_of "decide") in
+  Alcotest.(check bool) "commit span opens the tree" true
+    (List.for_all (fun (_, ts) -> t_commit <= ts) spans);
+  Alcotest.(check bool) "every prepare precedes the decision" true
+    (mx (ts_of "prepare") <= t_decide);
+  Alcotest.(check bool) "the decision precedes every apply" true
+    (t_decide <= mn (ts_of "apply"));
+  (* the link is per-request: no span leaks to another request id *)
+  Alcotest.(check int) "no spans under a foreign rid" 0
+    (List.length (List.filter (fun ev -> rid_of ev = 41) events))
+
 (* ---- loopback TCP smoke (server + client over a real socket) ---- *)
 
 let test_socket_smoke () =
@@ -741,6 +864,15 @@ let test_socket_smoke () =
           Alcotest.(check bool) "stats reports both shards" true
             (Obs.Json.member "shards" j = Some (Obs.Json.Int 2))
       | Error e -> Alcotest.fail ("stats: " ^ e));
+      (match Serve.Client.metrics c with
+      | Ok text ->
+          Alcotest.(check bool) "metrics exposition has a TYPE line" true
+            (String.length text > 0
+            && String.split_on_char '\n' text
+               |> List.exists (String.starts_with ~prefix:"# TYPE "))
+      | Error e -> Alcotest.fail ("metrics: " ^ e));
+      Alcotest.(check bool) "client stamped request ids" true
+        (Serve.Client.last_rid c > 0);
       (match Serve.Client.crash c ~seed:4 ~evict_prob:0.5 ~torn_prob:0.3 ~bitflips:0 with
       | Ok ms -> Alcotest.(check bool) "recovery time reported" true (ms >= 0.)
       | Error e -> Alcotest.fail ("crash: " ^ e));
@@ -756,6 +888,10 @@ let suites =
         Alcotest.test_case "round-trips" `Quick test_protocol_roundtrip;
         Alcotest.test_case "malformed input is rejected" `Quick
           test_protocol_malformed;
+        Alcotest.test_case "RID trace context round-trips" `Quick
+          test_rid_roundtrip;
+        Alcotest.test_case "METRICS/TEXT round-trips" `Quick
+          test_metrics_roundtrip;
       ] );
     ( "serve-engine",
       [
@@ -785,6 +921,8 @@ let suites =
           test_scan_never_observes_partial_mput;
         Alcotest.test_case "stalled coordinator is helped to completion" `Quick
           test_stalled_coordinator_helping;
+        Alcotest.test_case "MPUT leaves a causally-ordered span tree" `Quick
+          test_sched_span_tree;
       ] );
     ( "serve-wire",
       [ Alcotest.test_case "loopback socket smoke" `Quick test_socket_smoke ] );
