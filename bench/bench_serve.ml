@@ -92,6 +92,9 @@ let () =
   let stats_file = ref "" in
   let prom_file = ref "" in
   let prom_at = ref 0.5 in
+  let call_timeout = ref 0. in
+  let cl_retries = ref 0 in
+  let ttl_us = ref 0 in
   let spec =
     [
       ("--host", Arg.Set_string host, "ADDR server address (default 127.0.0.1)");
@@ -128,6 +131,16 @@ let () =
       ( "--prom-at",
         Arg.Set_float prom_at,
         "FRAC fraction of total ops after which --prom-file scrapes (default 0.5)" );
+      ( "--call-timeout",
+        Arg.Set_float call_timeout,
+        "S per-attempt client read deadline in seconds (0 = wait forever)" );
+      ( "--retries",
+        Arg.Set_int cl_retries,
+        "N transparent client-side retries per request (resilient policy)" );
+      ( "--ttl-us",
+        Arg.Set_int ttl_us,
+        "T attach a T-microsecond server-side deadline to every request \
+         (expired requests are shed with TIMEOUT)" );
     ]
   in
   Arg.parse spec
@@ -154,8 +167,26 @@ let () =
     else if !scan_every > 0 && i mod !scan_every = !scan_every / 2 then `Scan
     else `Put
   in
+  (* Resilience policy: opting into a timeout or retries switches the
+     client to the resilient machinery (reconnects included); otherwise
+     the strict legacy single-attempt contract applies. *)
+  let policy =
+    if !call_timeout > 0. || !cl_retries > 0 then
+      {
+        Serve.Client.resilient with
+        Serve.Client.call_timeout =
+          (if !call_timeout > 0. then !call_timeout
+           else Serve.Client.resilient.Serve.Client.call_timeout);
+        max_retries =
+          (if !cl_retries > 0 then !cl_retries
+           else Serve.Client.resilient.Serve.Client.max_retries);
+      }
+    else Serve.Client.default_policy
+  in
+  let req_ttl = if !ttl_us > 0 then Some !ttl_us else None in
   let connect () =
-    Serve.Client.connect ~retries:100 ~retry_delay:0.05 ~host:!host ~port:!port ()
+    Serve.Client.connect ~retries:100 ~retry_delay:0.05 ~policy ~host:!host
+      ~port:!port ()
   in
   let admin = connect () in
   Serve.Client.ping admin;
@@ -165,7 +196,12 @@ let () =
   let overloads = Atomic.make 0 in
   let unavailable = Atomic.make 0 in
   let in_doubt = Atomic.make 0 in
+  let shed = Atomic.make 0 in
   let client_errors = Atomic.make 0 in
+  let tally_acc =
+    Array.make nclients
+      { Serve.Client.retries = 0; timeouts = 0; reconnects = 0; resolved = 0 }
+  in
   let lat_put = Array.init nclients (fun _ -> ref []) in
   let lat_mput = Array.init nclients (fun _ -> ref []) in
   let lat_scan = Array.init nclients (fun _ -> ref []) in
@@ -251,6 +287,12 @@ let () =
                  Atomic.incr in_doubt;
                  Unix.sleepf 0.002;
                  attempt (n + 1) op
+             | Error `Timeout ->
+                 (* shed before execution (TTL or every attempt timed out
+                    with nothing durable): always safe to resend *)
+                 Atomic.incr shed;
+                 Unix.sleepf 0.001;
+                 attempt (n + 1) op
              | Error (`Unavailable _) | Error (`Err _) ->
                  Atomic.incr unavailable;
                  Unix.sleepf 0.002;
@@ -262,7 +304,8 @@ let () =
                  Result.map
                    (fun () -> ())
                    (timed lat_put.(c) (fun () ->
-                        Serve.Client.put cl ~key:(key c i) ~value:(value c i))))
+                        Serve.Client.put ?ttl_us:req_ttl cl ~key:(key c i)
+                          ~value:(value c i))))
          | `Mput ->
              let kvs =
                List.init !mput_size (fun j -> (mkey c i j, value c i))
@@ -277,13 +320,14 @@ let () =
                        then bump ()
                      in
                      bump ())
-                   (timed lat_mput.(c) (fun () -> Serve.Client.mput cl kvs)))
+                   (timed lat_mput.(c) (fun () ->
+                        Serve.Client.mput ?ttl_us:req_ttl cl kvs)))
          | `Scan ->
              attempt 0 (fun () ->
                  Result.map
                    (fun (_ : (string * string) list) -> ())
                    (timed lat_scan.(c) (fun () ->
-                        Serve.Client.scan cl
+                        Serve.Client.scan ?ttl_us:req_ttl cl
                           ~prefix:(Printf.sprintf "c%d:m" c)
                           ~max:!scan_max))));
          Atomic.incr done_ops
@@ -291,6 +335,7 @@ let () =
      with e ->
        Atomic.incr client_errors;
        Printf.eprintf "client %d died: %s\n%!" c (Printexc.to_string e));
+    tally_acc.(c) <- Serve.Client.tallies cl;
     Serve.Client.close cl
   in
   let t0 = Unix.gettimeofday () in
@@ -442,12 +487,30 @@ let () =
         ]
   in
   let throughput = if elapsed > 0. then float_of_int !n_acked /. elapsed else 0. in
+  let tot_tally =
+    Array.fold_left
+      (fun a (b : Serve.Client.tallies) ->
+        {
+          Serve.Client.retries = a.Serve.Client.retries + b.Serve.Client.retries;
+          timeouts = a.Serve.Client.timeouts + b.Serve.Client.timeouts;
+          reconnects = a.Serve.Client.reconnects + b.Serve.Client.reconnects;
+          resolved = a.Serve.Client.resolved + b.Serve.Client.resolved;
+        })
+      { Serve.Client.retries = 0; timeouts = 0; reconnects = 0; resolved = 0 }
+      tally_acc
+  in
   Printf.printf
     "bench_serve: %d clients x %d ops -> %d acked in %.3fs (%.0f ops/s), %d \
-     overloaded, %d unavailable, %d in-doubt retries%s\n"
+     overloaded, %d unavailable, %d in-doubt retries, %d shed%s\n"
     nclients per_client !n_acked elapsed throughput (Atomic.get overloads)
-    (Atomic.get unavailable) (Atomic.get in_doubt)
+    (Atomic.get unavailable) (Atomic.get in_doubt) (Atomic.get shed)
     (if Float.is_nan !crash_ms then "" else Printf.sprintf ", crash outage %.1fms" !crash_ms);
+  if policy != Serve.Client.default_policy then
+    Printf.printf
+      "client policy: %d attempt retries, %d attempt timeouts, %d reconnects, \
+       %d acks recovered via TXSTAT\n"
+      tot_tally.Serve.Client.retries tot_tally.Serve.Client.timeouts
+      tot_tally.Serve.Client.reconnects tot_tally.Serve.Client.resolved;
   Printf.printf
     "verify: acked_missing=%d mangled=%d unacked_present=%d mput_partial=%d\n%!"
     !acked_missing !mangled !unacked_present !mput_partial;
@@ -474,6 +537,18 @@ let () =
           ("overloads", Int (Atomic.get overloads));
           ("unavailable_retries", Int (Atomic.get unavailable));
           ("in_doubt_retries", Int (Atomic.get in_doubt));
+          ("shed_retries", Int (Atomic.get shed));
+          ("call_timeout_s", Float !call_timeout);
+          ("client_retries", Int !cl_retries);
+          ("ttl_us", Int !ttl_us);
+          ( "client_tallies",
+            Obj
+              [
+                ("retries", Int tot_tally.Serve.Client.retries);
+                ("timeouts", Int tot_tally.Serve.Client.timeouts);
+                ("reconnects", Int tot_tally.Serve.Client.reconnects);
+                ("resolved", Int tot_tally.Serve.Client.resolved);
+              ] );
           ("elapsed_s", Float elapsed);
           ("throughput_ops_s", Float throughput);
           ("max_commit_epoch", Int (Atomic.get last_epoch));

@@ -594,6 +594,270 @@ let serve_mput_torture ~shards ~rounds ~seed ~evict_prob ~torn_prob ~bitflips
   done;
   !failures
 
+(* ---- end-to-end chaos sweep (--serve-chaos) ----
+
+   Each round starts a FRESH engine + TCP server with a seeded network
+   chaos plan (sever / truncate / corrupt / delay / stall / drop-acked
+   -response), then drives it with resilient tokened clients doing
+   cross-shard MPUTs over real sockets.  Every third acked write is
+   re-submitted with the SAME token — the ambiguous-retry the client
+   contract allows after an [`InDoubt] give-up — so the durable outcome
+   ledger's dedup is exercised on every round, not only when the chaos
+   dice land on a dropped ack.  After the load quiesces the harness
+   audits straight through the in-process engine handle:
+
+     - every acked token is TXSTAT-committed with EXACTLY ONE outcome
+       record (two records = a duplicated commit; the
+       no-dedup-on-retry mutant must fail here), and every key of its
+       group carries the exact value written;
+     - every unacked/in-doubt token is either committed (keys exact)
+       or aborted (keys absent) — never half-applied, never unknown
+       after quiesce;
+     - every group is all-or-nothing across shards.
+
+   The plan is derived deterministically from the round seed (or
+   pinned by --chaos-plan, as printed in repro lines), so the fault
+   schedule of a failing round replays. *)
+
+let serve_chaos_torture ~shards ~rounds ~seed ~nclients ~per_client
+    ~plan_override ~mutants ~json_file =
+  let module E = Serve.Engine in
+  let module Ch = Serve.Chaos in
+  let module C = Serve.Commit in
+  let failures = ref 0 in
+  let rows = ref [] in
+  let repro round_seed plan =
+    Printf.sprintf
+      "--serve-chaos %d --rounds 1 --seed %d --chaos-plan \"%s\"%s" shards
+      (round_seed - 1) (Ch.pp_plan plan)
+      (String.concat ""
+         (List.map (fun m -> " --mutant " ^ C.pp_mutant m) mutants))
+  in
+  let mk_plan round_seed =
+    match plan_override with
+    | Some p -> { p with Ch.seed = round_seed }
+    | None ->
+        let st = Random.State.make [| round_seed; 0xc4a05 |] in
+        let pick a = a.(Random.State.int st (Array.length a)) in
+        {
+          Ch.default_plan with
+          Ch.seed = round_seed;
+          sever_prob = pick [| 0.; 0.005; 0.02 |];
+          truncate_prob = pick [| 0.; 0.005; 0.01 |];
+          corrupt_prob = pick [| 0.; 0.005 |];
+          delay_prob = pick [| 0.; 0.05; 0.2 |];
+          stall_prob = pick [| 0.; 0.002 |];
+          drop_prob = pick [| 0.005; 0.02 |];
+        }
+  in
+  for round = 1 to rounds do
+    let round_seed = seed + round in
+    let plan = mk_plan round_seed in
+    let src = Ch.source plan in
+    let srv =
+      Serve.Server.start
+        {
+          Serve.Server.host = "127.0.0.1";
+          port = 0;
+          max_conns = nclients + 4;
+          engine =
+            {
+              E.default_config with
+              E.shards;
+              num_threads = nclients + 6;
+              capacity_bytes = 1 lsl 20;
+              max_batch = 8;
+              queue_cap = 64;
+            };
+          chaos = Some src;
+        }
+    in
+    let e = Serve.Server.engine srv in
+    E.set_mutants e mutants;
+    let port = Serve.Server.port srv in
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          incr failures;
+          Printf.printf "  !! serve-chaos: %s (round %d)\n     repro: %s\n%!"
+            msg round
+            (repro round_seed plan))
+        fmt
+    in
+    (* group keys span shards by construction: member j routes to shard
+       [j mod shards], so every group with >= 2 members is cross-shard
+       and its retries take the 2PC outcome-ledger path *)
+    let group c i =
+      let gsize = if shards = 1 then 2 else min 3 shards in
+      List.init gsize (fun j ->
+          let rec probe n =
+            let k = Printf.sprintf "x%d.%d.%d.%d" round_seed c i n in
+            if E.shard_of e k = j mod shards then k else probe (n + 1)
+          in
+          (probe 0, Printf.sprintf "cv%d.%d.%d.%d" round_seed c i j))
+    in
+    let policy =
+      {
+        Serve.Client.resilient with
+        Serve.Client.call_timeout = 0.4;
+        max_retries = 8;
+        reconnect_attempts = 50;
+      }
+    in
+    (* per-op outcome, filled by the client domains *)
+    let outcomes =
+      Array.init nclients (fun _ -> Array.make per_client `Failed)
+    in
+    let run_client c =
+      match
+        Serve.Client.connect ~retries:100 ~retry_delay:0.02 ~policy
+          ~host:"127.0.0.1" ~port ()
+      with
+      | exception _ -> () (* chaos won: all ops stay `Failed/ambiguous *)
+      | cl ->
+          Fun.protect ~finally:(fun () -> Serve.Client.close cl)
+          @@ fun () ->
+          for i = 0 to per_client - 1 do
+            let tok = ((c + 1) * 100_000) + i + 1 in
+            let kvs = group c i in
+            (match Serve.Client.mput ~tok cl kvs with
+            | Ok _ -> outcomes.(c).(i) <- `Acked
+            | Error (`InDoubt _) -> outcomes.(c).(i) <- `Ambiguous
+            | Error _ -> ()
+            | exception _ -> ());
+            (* ambiguous-retry probe: a client that gave up [`InDoubt]
+               may legally re-submit with the same token; exactly-once
+               means the ledger must answer the duplicate from memory *)
+            (if outcomes.(c).(i) = `Acked && i mod 3 = 0 then
+               match Serve.Client.mput ~tok cl kvs with
+               | Ok _ | Error _ -> ()
+               | exception _ -> ());
+            (* exercise the degradation paths on the side: TTL'd reads
+               are shed, not served stale, and never disturb writes *)
+            if i mod 4 = 1 then
+              ignore
+                (try
+                   Serve.Client.scan ~ttl_us:5_000 cl
+                     ~prefix:(Printf.sprintf "x%d.%d" round_seed c)
+                     ~max:16
+                 with _ -> Result.Ok [])
+          done
+    in
+    let doms =
+      List.init nclients (fun c -> Domain.spawn (fun () -> run_client c))
+    in
+    List.iter Domain.join doms;
+    (* quiesced: audit straight through the engine *)
+    let acked = ref 0 and ambiguous = ref 0 and unacked = ref 0 in
+    for c = 0 to nclients - 1 do
+      for i = 0 to per_client - 1 do
+        let tok = ((c + 1) * 100_000) + i + 1 in
+        let kvs = group c i in
+        let n = List.length kvs in
+        let present =
+          List.filter_map
+            (fun (k, v) ->
+              match E.get e ~tid:0 k with
+              | Ok (Some v') ->
+                  if v' <> v then fail "key %s mangled: got %s want %s" k v' v;
+                  Some k
+              | Ok None -> None
+              | Error err ->
+                  fail "audit get %s rejected (%s)" k (E.pp_error err);
+                  None)
+            kvs
+        in
+        let n_present = List.length present in
+        if n_present <> 0 && n_present <> n then
+          fail "group c%d/%d half-applied: %d/%d keys durable" c i n_present n;
+        let st =
+          match E.txstat e ~tid:0 tok with
+          | Ok st -> st
+          | Error err ->
+              fail "TXSTAT %d rejected (%s)" tok (E.pp_error err);
+              E.Tx_unknown
+        in
+        match (outcomes.(c).(i), st) with
+        | `Acked, E.Tx_committed { records; _ } ->
+            incr acked;
+            if records <> 1 then
+              fail "token %d: duplicated commit (%d outcome records)" tok
+                records;
+            if n_present <> n then
+              fail "ACKED group c%d/%d lost: %d/%d keys durable" c i n_present
+                n
+        | `Acked, (E.Tx_aborted | E.Tx_unknown) ->
+            incr acked;
+            fail "ACKED token %d not committed in the ledger" tok
+        | (`Ambiguous | `Failed), E.Tx_committed { records; _ } ->
+            (if outcomes.(c).(i) = `Ambiguous then incr ambiguous
+             else incr unacked);
+            if records <> 1 then
+              fail "token %d: duplicated commit (%d outcome records)" tok
+                records;
+            if n_present <> n then
+              fail "committed group c%d/%d half-durable: %d/%d keys" c i
+                n_present n
+        | (`Ambiguous | `Failed), E.Tx_aborted ->
+            (if outcomes.(c).(i) = `Ambiguous then incr ambiguous
+             else incr unacked);
+            if n_present <> 0 then
+              fail "aborted group c%d/%d left %d/%d keys behind" c i n_present
+                n
+        | (`Ambiguous | `Failed), E.Tx_unknown ->
+            (if outcomes.(c).(i) = `Ambiguous then incr ambiguous
+             else incr unacked);
+            fail "token %d neither committed nor aborted after quiesce" tok
+      done
+    done;
+    Serve.Server.stop srv;
+    let faults = Ch.tallies src in
+    Printf.printf
+      "  round %2d: plan [%s] -> %d acked, %d ambiguous, %d unacked; faults %s\n%!"
+      round (Ch.pp_plan plan) !acked !ambiguous !unacked
+      (String.concat ", "
+         (List.map (fun (n, k) -> Printf.sprintf "%s=%d" n k) faults));
+    let open Obs.Json in
+    rows :=
+      Obj
+        [
+          ("round", Int round);
+          ("seed", Int round_seed);
+          ("plan", String (Ch.pp_plan plan));
+          ("repro", String (repro round_seed plan));
+          ("acked", Int !acked);
+          ("ambiguous", Int !ambiguous);
+          ("unacked", Int !unacked);
+          ( "faults",
+            Obj (List.map (fun (n, k) -> (n, Int k)) faults) );
+          ("total_faults", Int (Ch.total_faults src));
+        ]
+      :: !rows
+  done;
+  (if json_file <> "" then
+     let open Obs.Json in
+     let doc =
+       Obj
+         [
+           ("schema", String "redodb.chaos.v1");
+           ("shards", Int shards);
+           ("rounds", Int rounds);
+           ("seed", Int seed);
+           ("clients", Int nclients);
+           ("ops_per_client", Int per_client);
+           ( "mutants",
+             List (List.map (fun m -> String (C.pp_mutant m)) mutants) );
+           ("violations", Int !failures);
+           ("verdict", Bool (!failures = 0));
+           ("rows", List (List.rev !rows));
+         ]
+     in
+     let oc = open_out json_file in
+     to_channel oc doc;
+     output_char oc '\n';
+     close_out oc);
+  !failures
+
 let parse_kill s =
   let tid, step = parse_at ~flag:"--kill" s in
   (int_field ~flag:"--kill" tid, int_field ~flag:"--kill" step)
@@ -637,6 +901,11 @@ let () =
   let crash_step = ref None in
   let serve_shards = ref 0 in
   let serve_mput = ref 0 in
+  let serve_chaos = ref 0 in
+  let chaos_plan = ref None in
+  let chaos_json = ref "" in
+  let chaos_clients = ref 4 in
+  let chaos_ops = ref 12 in
   let crash_phase = ref None in
   let mutants = ref [] in
   let spec =
@@ -716,6 +985,28 @@ let () =
         "N torture the cross-shard commit with N shards: each round arms a \
          multi-shard MPUT to power-fail at a random 2PC phase boundary and \
          audits all-or-nothing after recovery" );
+      ( "--serve-chaos",
+        Arg.Set_int serve_chaos,
+        "N end-to-end chaos sweep with N shards: each round runs a fresh TCP \
+         server under a seeded network-fault plan, drives it with resilient \
+         tokened clients, and audits exactly-once + all-or-nothing through \
+         the engine" );
+      ( "--chaos-plan",
+        Arg.String
+          (fun s ->
+            match Serve.Chaos.parse_plan s with
+            | Ok p -> chaos_plan := Some p
+            | Error e -> raise (Arg.Bad ("--chaos-plan: " ^ e))),
+        "PLAN pin the --serve-chaos fault plan (from a repro line)" );
+      ( "--chaos-json",
+        Arg.Set_string chaos_json,
+        "FILE write a machine-readable --serve-chaos report" );
+      ( "--chaos-clients",
+        Arg.Set_int chaos_clients,
+        "C client domains per --serve-chaos round (default 4)" );
+      ( "--chaos-ops",
+        Arg.Set_int chaos_ops,
+        "K tokened MPUT groups per client per --serve-chaos round (default 12)" );
       ( "--crash-phase",
         Arg.String
           (fun s ->
@@ -739,10 +1030,11 @@ let () =
                   (Arg.Bad
                      (Printf.sprintf
                         "--mutant: expected skip-2pc | no-rollforward | \
-                         no-read-validation, got %S"
+                         no-read-validation | no-dedup-on-retry | \
+                         ack-before-commit, got %S"
                         s))),
-        "M drop a commit-protocol guard in --serve-mput mode (the sweep must \
-         then fail); repeatable" );
+        "M drop a commit-protocol guard in --serve-mput / --serve-chaos mode \
+         (the sweep must then fail); repeatable" );
       ( "--trace",
         Arg.String (fun f -> trace_file := Some f),
         "FILE export a Chrome trace-event JSON of the torture run" );
@@ -777,7 +1069,33 @@ let () =
   in
   let tp = if !torn_set then Some !torn_prob else None in
   let total_failures = ref 0 in
-  (if !serve_mput > 0 then begin
+  (if !serve_chaos > 0 then begin
+     (if Sys.unix then
+        try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+        with Invalid_argument _ -> ());
+     Printf.printf
+       "torturing serve-chaos/%d-shard (%d rounds, %d clients x %d groups%s%s)...\n%!"
+       !serve_chaos !rounds !chaos_clients !chaos_ops
+       (match !chaos_plan with
+       | None -> ""
+       | Some p -> ", plan [" ^ Serve.Chaos.pp_plan p ^ "]")
+       (match !mutants with
+       | [] -> ""
+       | ms ->
+           ", mutants "
+           ^ String.concat "," (List.map Serve.Commit.pp_mutant ms));
+     let t0 = Unix.gettimeofday () in
+     let f =
+       serve_chaos_torture ~shards:!serve_chaos ~rounds:!rounds ~seed:!seed
+         ~nclients:!chaos_clients ~per_client:!chaos_ops
+         ~plan_override:!chaos_plan ~mutants:!mutants ~json_file:!chaos_json
+     in
+     total_failures := !total_failures + f;
+     Printf.printf "%s (%.1fs)\n"
+       (if f = 0 then "ok" else Printf.sprintf "%d FAILURES" f)
+       (Unix.gettimeofday () -. t0)
+   end
+   else if !serve_mput > 0 then begin
      Printf.printf
        "torturing serve-mput/%d-shard (%d rounds, evict %.2f, torn %.2f, \
         flips %d%s%s)... %!"

@@ -5,6 +5,8 @@
      dune exec bin/json_check.exe -- --trace [--require-phases a,b,c] FILE...
      dune exec bin/json_check.exe -- --serve-stats FILE...
      dune exec bin/json_check.exe -- --prom FILE...
+     dune exec bin/json_check.exe -- --chaos FILE...
+     dune exec bin/json_check.exe -- --supervise FILE...
 
    Plain mode checks each FILE parses as JSON.  --trace mode additionally
    checks the Chrome trace-event structure: a top-level object with a
@@ -17,8 +19,14 @@
    with percentile snapshots).  --prom validates Prometheus text
    exposition 0.0.4 (not JSON): every non-comment line is
    <name>[{labels}] <value>, every sample is preceded by a # TYPE for
-   its family, and at least one sample exists.  Exits non-zero on the
-   first malformed file. *)
+   its family, and at least one sample exists.  --chaos validates the
+   chaos-sweep report (schema redodb.chaos.v1: every plan string must
+   round-trip through Serve.Chaos.parse_plan and every repro line must
+   replay a --serve-chaos round).  --supervise validates the
+   kill-restart audit report (schema redodb.supervise.v1: the verdict
+   must agree with the violation count and the run must actually have
+   killed and acked something).  Exits non-zero on the first malformed
+   file. *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -114,6 +122,132 @@ let check_serve_stats file doc =
   Printf.printf "%s: valid serving STATS (%d shards, %d windows)\n" file
     (List.length shard_rows) (List.length windows)
 
+(* ---- chaos-sweep report (crash_torture --serve-chaos --chaos-json) ---- *)
+
+let check_chaos file doc =
+  let mem k =
+    match Obs.Json.member k doc with
+    | Some v -> v
+    | None -> fail "%s: chaos report lacks %S" file k
+  in
+  (match mem "schema" with
+  | Obs.Json.String "redodb.chaos.v1" -> ()
+  | v ->
+      fail "%s: bad schema %s (want \"redodb.chaos.v1\")" file
+        (Obs.Json.to_string v));
+  let int_field k =
+    match mem k with
+    | Obs.Json.Int n -> n
+    | _ -> fail "%s: %S is not an integer" file k
+  in
+  let rounds = int_field "rounds" in
+  let violations = int_field "violations" in
+  ignore (int_field "shards");
+  ignore (int_field "seed");
+  (match mem "verdict" with
+  | Obs.Json.Bool b ->
+      if b <> (violations = 0) then
+        fail "%s: verdict %b contradicts violations=%d" file b violations
+  | _ -> fail "%s: \"verdict\" is not a bool" file);
+  let rows =
+    match mem "rows" with
+    | Obs.Json.List rows -> rows
+    | _ -> fail "%s: \"rows\" is not an array" file
+  in
+  if List.length rows <> rounds then
+    fail "%s: %d rows for %d rounds" file (List.length rows) rounds;
+  List.iteri
+    (fun i row ->
+      let rmem k =
+        match Obs.Json.member k row with
+        | Some v -> v
+        | None -> fail "%s: rows[%d] lacks %S" file i k
+      in
+      (* the plan must round-trip through the real parser, and the repro
+         line must name the sweep that replays it *)
+      (match rmem "plan" with
+      | Obs.Json.String p -> (
+          match Serve.Chaos.parse_plan p with
+          | Ok plan ->
+              if Serve.Chaos.pp_plan plan <> p then
+                fail "%s: rows[%d] plan does not round-trip: %S" file i p
+          | Error e -> fail "%s: rows[%d] unparsable plan %S (%s)" file i p e)
+      | _ -> fail "%s: rows[%d] \"plan\" is not a string" file i);
+      (match rmem "repro" with
+      | Obs.Json.String r ->
+          let has_sub sub =
+            let n = String.length sub and m = String.length r in
+            let rec go j = j + n <= m && (String.sub r j n = sub || go (j + 1)) in
+            go 0
+          in
+          if not (has_sub "--serve-chaos") then
+            fail "%s: rows[%d] repro lacks --serve-chaos: %S" file i r
+      | _ -> fail "%s: rows[%d] \"repro\" is not a string" file i);
+      List.iter
+        (fun k ->
+          match rmem k with
+          | Obs.Json.Int _ -> ()
+          | _ -> fail "%s: rows[%d] %S is not an integer" file i k)
+        [ "round"; "seed"; "acked"; "ambiguous"; "unacked"; "total_faults" ])
+    rows;
+  Printf.printf "%s: valid chaos report (%d rounds, %d violations)\n" file
+    rounds violations
+
+(* ---- supervised-restart report (redodb_server --supervise) ---- *)
+
+let check_supervise file doc =
+  let mem k =
+    match Obs.Json.member k doc with
+    | Some v -> v
+    | None -> fail "%s: supervise report lacks %S" file k
+  in
+  (match mem "schema" with
+  | Obs.Json.String "redodb.supervise.v1" -> ()
+  | v ->
+      fail "%s: bad schema %s (want \"redodb.supervise.v1\")" file
+        (Obs.Json.to_string v));
+  let int_field k =
+    match mem k with
+    | Obs.Json.Int n -> n
+    | _ -> fail "%s: %S is not an integer" file k
+  in
+  let kills = int_field "kills" in
+  let rounds = int_field "rounds" in
+  let acked = int_field "acked" in
+  let violations =
+    match mem "violations" with
+    | Obs.Json.List vs ->
+        List.iteri
+          (fun i -> function
+            | Obs.Json.String _ -> ()
+            | _ -> fail "%s: violations[%d] is not a string" file i)
+          vs;
+        List.length vs
+    | _ -> fail "%s: \"violations\" is not an array" file
+  in
+  List.iter
+    (fun k -> ignore (int_field k))
+    [
+      "clients"; "unresolved"; "definite_fail"; "resolved_commits";
+      "client_retries"; "client_timeouts"; "client_reconnects";
+      "txstat_resolved_acks";
+    ];
+  if kills <> rounds then fail "%s: %d kills for %d rounds" file kills rounds;
+  if kills < 1 then fail "%s: a supervise run needs at least one kill" file;
+  if acked < 1 then
+    fail "%s: no acked writes — the audit proved nothing" file;
+  (match mem "verdict" with
+  | Obs.Json.String ("pass" | "fail") ->
+      let pass = mem "verdict" = Obs.Json.String "pass" in
+      if pass <> (violations = 0) then
+        fail "%s: verdict %S contradicts %d violations" file
+          (if pass then "pass" else "fail")
+          violations
+  | v -> fail "%s: bad \"verdict\" %s" file (Obs.Json.to_string v));
+  Printf.printf
+    "%s: valid supervise report (%d kills, %d acked, %d violations)\n" file
+    kills acked violations
+
 (* ---- Prometheus text exposition 0.0.4 ---- *)
 
 let prom_name_ok s =
@@ -189,6 +323,8 @@ let () =
   let trace_mode = ref false in
   let serve_stats_mode = ref false in
   let prom_mode = ref false in
+  let chaos_mode = ref false in
+  let supervise_mode = ref false in
   let required = ref [] in
   let files = ref [] in
   let rec parse = function
@@ -196,6 +332,8 @@ let () =
     | "--trace" :: rest -> trace_mode := true; parse rest
     | "--serve-stats" :: rest -> serve_stats_mode := true; parse rest
     | "--prom" :: rest -> prom_mode := true; parse rest
+    | "--chaos" :: rest -> chaos_mode := true; parse rest
+    | "--supervise" :: rest -> supervise_mode := true; parse rest
     | "--require-phases" :: csv :: rest ->
         required := String.split_on_char ',' csv;
         parse rest
@@ -205,7 +343,8 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if !files = [] then
     fail
-      "usage: json_check [--trace [--require-phases a,b] | --serve-stats | --prom] FILE...";
+      "usage: json_check [--trace [--require-phases a,b] | --serve-stats | \
+       --prom | --chaos | --supervise] FILE...";
   List.iter
     (fun file ->
       if !prom_mode then check_prom file
@@ -215,5 +354,7 @@ let () =
         | Ok doc ->
             if !trace_mode then check_trace ~required:!required file doc
             else if !serve_stats_mode then check_serve_stats file doc
+            else if !chaos_mode then check_chaos file doc
+            else if !supervise_mode then check_supervise file doc
             else Printf.printf "%s: valid JSON\n" file)
     !files

@@ -45,6 +45,15 @@ module type CONFIG = sig
   val omit_prepub_fence : bool
 end
 
+module type S_backed = sig
+  include Ptm_intf.S
+
+  val create_backed :
+    num_threads:int -> words:int -> backing:string -> unit -> t
+
+  val reopen : num_threads:int -> backing:string -> unit -> t
+end
+
 (* Consensus/replica words are yield points under the deterministic
    scheduler. *)
 module Atomic = Sched.Atomic
@@ -124,19 +133,12 @@ module Make (C : CONFIG) = struct
     | Some p -> Seqtid.of_int64 (Int64.of_int p)
     | None -> unrecoverable (Printf.sprintf "curComb header corrupt (%Lx)" w)
 
-  let create ~num_threads ~words () =
-    if words <= Palloc.heap_base then invalid_arg (C.name ^ ".create: words");
-    (* Replica strides must be cache-line aligned: a replica boundary in
-       the middle of a line would let one torn write-back corrupt two
-       replicas at once, defeating the redundancy recovery relies on. *)
-    let words =
-      (words + Pmem.words_per_line - 1) / Pmem.words_per_line * Pmem.words_per_line
-    in
+  (* Volatile skeleton over an existing region: the [t] record, state
+     matrix, ring and seq-0 sentinel — no durable writes, so it serves
+     both [create] (which formats next) and [reopen] (which recovers). *)
+  let build ~num_threads ~words pm =
     let nrep = num_threads + 1 in
     let base i = 64 + (i * words) in
-    let pm =
-      Pmem.create ~max_threads:num_threads ~words:(64 + (nrep * words)) ()
-    in
     let mk_state () =
       {
         ticket = Atomic.make (-1);
@@ -180,14 +182,31 @@ module Make (C : CONFIG) = struct
     let sentinel = Seqtid.pack ~seq:0 ~tid:num_threads ~idx:0 in
     Atomic.set t.st_matrix.(num_threads).(0).ticket sentinel;
     Atomic.set t.ring.(0) sentinel;
+    t
+
+  let create_impl ?backing ~num_threads ~words () =
+    if words <= Palloc.heap_base then invalid_arg (C.name ^ ".create: words");
+    (* Replica strides must be cache-line aligned: a replica boundary in
+       the middle of a line would let one torn write-back corrupt two
+       replicas at once, defeating the redundancy recovery relies on. *)
+    let words =
+      (words + Pmem.words_per_line - 1) / Pmem.words_per_line * Pmem.words_per_line
+    in
+    let nrep = num_threads + 1 in
+    let pm =
+      Pmem.create ?backing ~max_threads:num_threads
+        ~words:(64 + (nrep * words)) ()
+    in
+    let t = build ~num_threads ~words pm in
+    let base0 = t.combs.(0).base in
     let mem =
       {
-        Palloc.get = (fun a -> Pmem.get_word pm (base 0 + a));
-        set = (fun a v -> Pmem.set_word pm ~tid:0 (base 0 + a) v);
+        Palloc.get = (fun a -> Pmem.get_word pm (base0 + a));
+        set = (fun a v -> Pmem.set_word pm ~tid:0 (base0 + a) v);
       }
     in
     Palloc.format mem ~words;
-    Pmem.pwb_range pm ~tid:0 (base 0) (base 0 + words - 1);
+    Pmem.pwb_range pm ~tid:0 base0 (base0 + words - 1);
     Pmem.set_word pm ~tid:0 header_addr
       (seal_hdr (Seqtid.pack ~seq:0 ~tid:0 ~idx:0));
     Pmem.set_word pm ~tid:0 (record_addr 0)
@@ -195,6 +214,11 @@ module Make (C : CONFIG) = struct
     Pmem.pwb_range pm ~tid:0 header_addr (record_addr 0);
     Pmem.psync pm ~tid:0;
     t
+
+  let create ~num_threads ~words () = create_impl ~num_threads ~words ()
+
+  let create_backed ~num_threads ~words ~backing () =
+    create_impl ~backing ~num_threads ~words ()
 
   let pmem t = t.pm
   let stats t = Pmem.stats t.pm
@@ -771,6 +795,29 @@ module Make (C : CONFIG) = struct
     Pmem.pwb_range t.pm ~tid:0 header_addr
       (record_addr (min t.nrep max_records - 1));
     Pmem.psync t.pm ~tid:0
+
+  (* Map an existing region file and recover it: the file's size fixes
+     the geometry ([64 + (num_threads + 1) * words] total words), and
+     the normal null-recovery path rebuilds all volatile state from the
+     durable image alone — the same code that runs after a simulated
+     power failure runs here after a real process death. *)
+  let reopen ~num_threads ~backing () =
+    let pm = Pmem.reopen ~max_threads:num_threads ~backing () in
+    let nrep = num_threads + 1 in
+    let total = Pmem.size_words pm in
+    if total <= 64 || (total - 64) mod nrep <> 0 then
+      invalid_arg
+        (Printf.sprintf
+           "%s.reopen: %s holds %d words, not 64 + %d replica strides"
+           C.name backing total nrep);
+    let words = (total - 64) / nrep in
+    if words mod Pmem.words_per_line <> 0 || words <= Palloc.heap_base then
+      invalid_arg
+        (Printf.sprintf "%s.reopen: %s replica stride %d words is invalid"
+           C.name backing words);
+    let t = build ~num_threads ~words pm in
+    recover t;
+    t
 
   let crash_and_recover t =
     Pmem.crash t.pm;

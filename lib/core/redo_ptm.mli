@@ -32,14 +32,35 @@ module type CONFIG = sig
   val omit_prepub_fence : bool
 end
 
-module Make (C : CONFIG) : Ptm_intf.S
+(** {!Ptm_intf.S} plus file-backed region persistence: the durable image
+    lives in a [MAP_SHARED] region file (see {!Pmem.create}), so it
+    survives a real [kill -9] of the owning process and a fresh process
+    can {!S_backed.reopen} it and run the normal recovery path. *)
+module type S_backed = sig
+  include Ptm_intf.S
+
+  (** Like [create], but the durable image is the named region file
+      (created/truncated). *)
+  val create_backed :
+    num_threads:int -> words:int -> backing:string -> unit -> t
+
+  (** Map an existing region file written by [create_backed] (possibly
+      by a dead process) and recover it.  Geometry comes from the file
+      size; [num_threads] must match the creating configuration (the
+      replica count [num_threads + 1] is validated against the size).
+      Raises [Invalid_argument] on a size mismatch and
+      {!Ptm_intf.Unrecoverable} when the durable metadata refuses. *)
+  val reopen : num_threads:int -> backing:string -> unit -> t
+end
+
+module Make (C : CONFIG) : S_backed
 
 (** Base Redo-PTM: no optimizations, stores flushed immediately. *)
-module Base : Ptm_intf.S
+module Base : S_backed
 
 (** Redo-PTM + the two-instance time window and backoff. *)
-module Timed : Ptm_intf.S
+module Timed : S_backed
 
 (** RedoTimed + store aggregation, flush aggregation, postponed pwbs and
     ntstore copies — the paper's flagship configuration. *)
-module Opt : Ptm_intf.S
+module Opt : S_backed

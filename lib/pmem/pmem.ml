@@ -27,11 +27,33 @@ type plan =
   | At_step of int (* absolute step number at which to fire *)
   | Probabilistic of { rng : Random.State.t; prob : float }
 
+(* Durable image: either plain process memory (the default) or a
+   MAP_SHARED mmap of a region file.  The mapped variant is what makes a
+   real [kill -9] an honest power failure: words written back through
+   [writeback_line*] land in the kernel page cache and survive the
+   process, while the volatile [data] image, staging buffers and dirty
+   set die with it — exactly the split the simulated [crash] models.
+   All durable accesses are aligned 64-bit word reads/writes, so the two
+   representations are interchangeable behind [img_get]/[img_set]. *)
+type image =
+  | Mem of Bytes.t
+  | Map of (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let[@inline] img_get img addr =
+  match img with
+  | Mem b -> Bytes.get_int64_le b (addr * 8)
+  | Map a -> Bigarray.Array1.unsafe_get a addr
+
+let[@inline] img_set img addr v =
+  match img with
+  | Mem b -> Bytes.set_int64_le b (addr * 8) v
+  | Map a -> Bigarray.Array1.unsafe_set a addr v
+
 type t = {
   words : int;
   nlines : int;
   data : Bytes.t; (* volatile (cache) image *)
-  durable : Bytes.t; (* what survives a crash *)
+  durable : image; (* what survives a crash *)
   dirty : Bytes.t; (* one byte per line: written since last made durable *)
   staging : staging array; (* per tid *)
   counters : int array array; (* per tid *)
@@ -58,16 +80,30 @@ let set_flush_cost t n = t.flush_cost <- n
 
 let size_words t = t.words
 
-let create ~max_threads ~words () =
-  if max_threads < 1 then invalid_arg "Pmem.create: max_threads < 1";
-  if words < words_per_line then invalid_arg "Pmem.create: words too small";
-  let words = (words + words_per_line - 1) / words_per_line * words_per_line in
+(* Map [words] 64-bit words of [path] as a shared Int64 bigarray.  The
+   file is created/truncated when [truncate]; otherwise it must already
+   hold exactly [words * 8] bytes. *)
+let map_backing ~path ~words ~truncate =
+  let flags =
+    if truncate then Unix.[ O_RDWR; O_CREAT; O_TRUNC ] else Unix.[ O_RDWR ]
+  in
+  let fd = Unix.openfile path flags 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      if truncate then Unix.ftruncate fd (words * 8);
+      let a =
+        Unix.map_file fd Bigarray.int64 Bigarray.c_layout true [| words |]
+      in
+      Bigarray.array1_of_genarray a)
+
+let mk ~max_threads ~words ~durable =
   let nlines = words / words_per_line in
   {
     words;
     nlines;
     data = Bytes.make (words * 8) '\000';
-    durable = Bytes.make (words * 8) '\000';
+    durable;
     dirty = Bytes.make nlines '\000';
     staging =
       Array.init max_threads (fun _ -> { lines = Array.make 64 0; count = 0 });
@@ -82,6 +118,35 @@ let create ~max_threads ~words () =
     torn_lines = Atomic.make 0;
     bit_flips = Atomic.make 0;
   }
+
+let create ?backing ~max_threads ~words () =
+  if max_threads < 1 then invalid_arg "Pmem.create: max_threads < 1";
+  if words < words_per_line then invalid_arg "Pmem.create: words too small";
+  let words = (words + words_per_line - 1) / words_per_line * words_per_line in
+  let durable =
+    match backing with
+    | None -> Mem (Bytes.make (words * 8) '\000')
+    | Some path -> Map (map_backing ~path ~words ~truncate:true)
+  in
+  mk ~max_threads ~words ~durable
+
+let reopen ~max_threads ~backing () =
+  if max_threads < 1 then invalid_arg "Pmem.reopen: max_threads < 1";
+  let st = Unix.stat backing in
+  let bytes = st.Unix.st_size in
+  if bytes < words_per_line * 8 || bytes mod (words_per_line * 8) <> 0 then
+    invalid_arg
+      (Printf.sprintf "Pmem.reopen: %s has %d bytes, not a positive line \
+                       multiple" backing bytes);
+  let words = bytes / 8 in
+  let durable = Map (map_backing ~path:backing ~words ~truncate:false) in
+  let t = mk ~max_threads ~words ~durable in
+  (* The volatile image of a freshly restarted machine is whatever the
+     durable medium holds — same as post-[crash]. *)
+  for addr = 0 to words - 1 do
+    Bytes.set_int64_le t.data (addr * 8) (img_get durable addr)
+  done;
+  t
 
 let[@inline] check_addr t addr =
   if addr < 0 || addr >= t.words then
@@ -228,9 +293,18 @@ let pwb_range t ~tid lo hi =
 
 (* Write a line back to the durable image without the device-latency model
    (used by simulated crashes, which should not pay it). *)
+(* Persist [len] words starting at [off] from the volatile image, one
+   aligned 64-bit store each — on a mapped image each word hits the
+   shared page individually, so a process killed mid-copy leaves a
+   prefix of whole words (a torn line, never a torn word). *)
+let persist_words t ~off len =
+  for i = 0 to len - 1 do
+    img_set t.durable (off + i) (Bytes.get_int64_le t.data ((off + i) * 8))
+  done
+
 let writeback_line_raw t line =
   let off = line * words_per_line in
-  copy_words_raw t.data t.durable ~src_off:off ~dst_off:off words_per_line;
+  persist_words t ~off words_per_line;
   Bytes.unsafe_set t.dirty line '\000'
 
 (* Write a staged line back to the durable image.  The line contents are the
@@ -308,7 +382,9 @@ let ntcopy_words t ~tid ~src ~dst len =
 
 let crash t =
   Obs.Trace.instant Obs.Trace.Crash ~tid:0;
-  Bytes.blit t.durable 0 t.data 0 (Bytes.length t.durable);
+  for addr = 0 to t.words - 1 do
+    Bytes.set_int64_le t.data (addr * 8) (img_get t.durable addr)
+  done;
   Bytes.fill t.dirty 0 t.nlines '\000';
   Array.iter (fun s -> s.count <- 0) t.staging;
   t.frozen <- false;
@@ -331,14 +407,13 @@ let writeback_line_torn t rng line =
   let off = line * words_per_line in
   (if Random.State.bool rng then begin
      let k = 1 + Random.State.int rng (words_per_line - 1) in
-     copy_words_raw t.data t.durable ~src_off:off ~dst_off:off k
+     persist_words t ~off k
    end
    else begin
      (* nonempty proper subset: mask in [1, 2^8 - 2] *)
      let mask = 1 + Random.State.int rng ((1 lsl words_per_line) - 2) in
      for i = 0 to words_per_line - 1 do
-       if mask land (1 lsl i) <> 0 then
-         copy_words_raw t.data t.durable ~src_off:(off + i) ~dst_off:(off + i) 1
+       if mask land (1 lsl i) <> 0 then persist_words t ~off:(off + i) 1
      done
    end);
   Atomic.incr t.torn_lines;
@@ -380,16 +455,13 @@ let corrupt_words_in t ~seed ~count ~ranges =
       in
       let addr = pick i ranges in
       let bit = Random.State.int rng 64 in
-      let flip img =
-        Bytes.set_int64_le img (addr * 8)
-          (Int64.logxor (Bytes.get_int64_le img (addr * 8))
-             (Int64.shift_left 1L bit))
-      in
+      let mask = Int64.shift_left 1L bit in
       (* A media error corrupts the durable copy; mirror it into the
          volatile image too so that this can be called on a quiesced,
          post-crash region without racing the cache model. *)
-      flip t.durable;
-      flip t.data;
+      img_set t.durable addr (Int64.logxor (img_get t.durable addr) mask);
+      Bytes.set_int64_le t.data (addr * 8)
+        (Int64.logxor (Bytes.get_int64_le t.data (addr * 8)) mask);
       Atomic.incr t.bit_flips;
       Obs.bit_flip_injected ()
     done
@@ -400,7 +472,7 @@ let corrupt_words t ~seed ~count =
 
 let durable_word t addr =
   check_addr t addr;
-  Bytes.get_int64_le t.durable (addr * 8)
+  img_get t.durable addr
 
 (* ---- Fault injection API ---------------------------------------------- *)
 

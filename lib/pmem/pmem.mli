@@ -40,8 +40,25 @@ val words_per_line : int
 
 (** [create ~max_threads ~words ()] allocates a region of [words] 64-bit
     words (rounded up to a cache-line multiple) usable by thread ids
-    [0 .. max_threads - 1]. The region starts zeroed, and zeroed durable. *)
-val create : max_threads:int -> words:int -> unit -> t
+    [0 .. max_threads - 1]. The region starts zeroed, and zeroed durable.
+
+    With [?backing:path] the durable image is a [MAP_SHARED] mmap of the
+    named region file (created/truncated to size): write-backs land in
+    the kernel page cache and therefore survive a [kill -9] of this
+    process, while the volatile image, staging buffers and dirty set die
+    with it — a real process kill becomes an honest instance of the
+    power-failure model.  A kill between the per-word durable stores of
+    one line write-back leaves a torn line (never a torn word), the
+    fault class {!crash_with_faults} already exercises. *)
+val create : ?backing:string -> max_threads:int -> words:int -> unit -> t
+
+(** [reopen ~max_threads ~backing ()] maps an existing region file
+    written by [create ?backing] (in this or a previous process) without
+    truncating it.  Geometry is taken from the file size, which must be
+    a positive cache-line multiple.  The volatile image starts as a copy
+    of the durable one — the state of a machine that just powered on —
+    so callers run their recovery procedure next. *)
+val reopen : max_threads:int -> backing:string -> unit -> t
 
 (** Total number of words in the region. *)
 val size_words : t -> int

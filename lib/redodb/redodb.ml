@@ -68,10 +68,10 @@ let bucket_count tx h = Int64.to_int (P.get tx h)
 let db_count tx h = Int64.to_int (P.get tx (h + 1))
 let buckets tx h = Int64.to_int (P.get tx (h + 2))
 
-let open_db ~num_threads ~capacity_bytes () =
-  (* region sizing: user data + power-of-two allocator slack + table *)
-  let words = max (1 lsl 16) (capacity_bytes / 8 * 6) in
-  let p = P.create ~num_threads ~words () in
+(* region sizing: user data + power-of-two allocator slack + table *)
+let region_words ~capacity_bytes = max (1 lsl 16) (capacity_bytes / 8 * 6)
+
+let format_db p num_threads =
   ignore
     (P.update p ~tid:0 (fun tx ->
          let hdr = P.alloc tx 3 in
@@ -85,6 +85,24 @@ let open_db ~num_threads ~capacity_bytes () =
          P.set tx (hdr + 2) (Int64.of_int b);
          P.set tx (Palloc.root_addr slot) (Int64.of_int hdr);
          0L));
+  { p; num_threads }
+
+let open_db ~num_threads ~capacity_bytes () =
+  let words = region_words ~capacity_bytes in
+  let p = P.create ~num_threads ~words () in
+  format_db p num_threads
+
+(* File-backed variants: the PTM's durable image is a MAP_SHARED region
+   file, so the store survives a real [kill -9] and a fresh process can
+   [reopen_backed] it — which skips the header format (the mapped image
+   already holds one) and runs the PTM's recovery instead. *)
+let open_backed ~num_threads ~capacity_bytes ~backing () =
+  let words = region_words ~capacity_bytes in
+  let p = P.create_backed ~num_threads ~words ~backing () in
+  format_db p num_threads
+
+let reopen_backed ~num_threads ~backing () =
+  let p = P.reopen ~num_threads ~backing () in
   { p; num_threads }
 
 let bucket_of tx h key_hash =

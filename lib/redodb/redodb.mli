@@ -5,6 +5,19 @@
 
 include Db_intf.S
 
+(** Like [open_db], but the durable image is a [MAP_SHARED] map of the
+    named region file (created/truncated), so acked writes survive a
+    real [kill -9] of this process — see {!Pmem.create}. *)
+val open_backed :
+  num_threads:int -> capacity_bytes:int -> backing:string -> unit -> t
+
+(** Map an existing region file written by {!open_backed} (possibly by a
+    dead process) and run the PTM's recovery; the existing store header
+    is kept, not re-formatted.  Raises [Invalid_argument] on a geometry
+    mismatch and {!Ptm.Ptm_intf.Unrecoverable} when the durable metadata
+    refuses. *)
+val reopen_backed : num_threads:int -> backing:string -> unit -> t
+
 (** Crash under the media-fault model of the backing RedoOpt PTM (torn
     write-backs, then [bitflips] bit flips in the PTM's durable metadata)
     and recover.  [Ok elapsed] mirrors {!crash_and_recover}'s timing

@@ -32,9 +32,10 @@ module A = Sched.Atomic
 
 type request = {
   ops : (string * string option) list;
-  state : int A.t;  (* 0 = Pending, 1 = Acked, 2 = Rejected *)
+  state : int A.t;  (* 0 = Pending, 1 = Acked, 2 = Rejected, 3 = Shed *)
   rid : int;  (* wire request id (0 = none), carried into trace spans *)
   t_enq : float;  (* gettimeofday at enqueue, 0. when obs is inactive *)
+  deadline : float;  (* absolute gettimeofday deadline; 0. = none *)
 }
 
 type t = {
@@ -49,11 +50,17 @@ type t = {
   qlen : int A.t;  (* mirrors Queue.length q for lock-free peeks *)
   leader : int A.t;  (* committing tid, or -1 *)
   crashing : bool A.t;
+  ack_early : bool A.t;
+      (* ack-before-commit mutant: acknowledge drained requests BEFORE
+         their batch transaction commits.  Deliberately unsound — the
+         supervised kill-restart audit must catch the acked-write loss a
+         kill in the ack-to-commit window produces. *)
   mutable sizes : int list;  (* committed batch sizes, newest first *)
   mutable attempts : string list list;
       (* keys of every drained batch, logged BEFORE its commit: the
          mid-batch crash oracle checks all-or-nothing against this *)
   c_overload : Obs.Metrics.counter;
+  c_shed : Obs.Metrics.counter;  (* requests dropped on TTL expiry *)
   c_batches : Obs.Metrics.counter;
   h_batch : Obs.Metrics.histogram;
   h_qdepth : Obs.Metrics.histogram;
@@ -78,9 +85,11 @@ let create ~db ~shard ~max_batch ~linger_us ~linger_steps ~queue_cap =
     qlen = A.make 0;
     leader = A.make (-1);
     crashing = A.make false;
+    ack_early = A.make false;
     sizes = [];
     attempts = [];
     c_overload = Obs.Metrics.counter "serve.overload_rejections";
+    c_shed = Obs.Metrics.counter "serve.shed.expired";
     c_batches = Obs.Metrics.counter "serve.batches";
     h_batch = Obs.Metrics.histogram "serve.batch_size";
     h_qdepth = Obs.Metrics.histogram (Printf.sprintf "serve.shard%d.queue_depth" shard);
@@ -134,6 +143,22 @@ let note_drained t ~tid batch =
       batch
   end
 
+(* Deadline shedding: requests whose TTL ran out while they queued are
+   dropped at drain time, before any engine work is spent on them.  The
+   clock is wall time only — requests submitted under the deterministic
+   scheduler carry no deadline, so scheduled-mode replay determinism is
+   untouched. *)
+let split_expired batch =
+  if List.for_all (fun r -> r.deadline = 0.) batch then (batch, [])
+  else
+    let now = Unix.gettimeofday () in
+    List.partition (fun r -> r.deadline = 0. || now <= r.deadline) batch
+
+let shed t ~tid expired =
+  List.iter (fun r -> A.set r.state 3) expired;
+  if expired <> [] && Obs.Metrics.is_on () then
+    List.iter (fun _ -> Obs.Metrics.incr t.c_shed ~tid) expired
+
 let commit_batch t ~tid batch =
   let keys = List.concat_map (fun r -> List.map fst r.ops) batch in
   Sched.Mutex.lock t.lock ~tid;
@@ -141,6 +166,15 @@ let commit_batch t ~tid batch =
   Sched.Mutex.unlock t.lock ~tid;
   let size = List.length batch in
   let t_txn = if Obs.Metrics.is_on () then Unix.gettimeofday () else 0. in
+  (* Mutant: release every waiter (their TCP acks go out) BEFORE the
+     batch transaction commits, then hold the window open a beat so a
+     process kill reliably lands inside it — the unsoundness the
+     supervised kill-restart audit exists to catch.  Real mode only
+     (ack_early is never set under the deterministic scheduler). *)
+  if A.get t.ack_early then begin
+    List.iter (fun r -> A.set r.state 1) batch;
+    Unix.sleepf 0.005
+  end;
   (* If the transaction dies (e.g. allocator exhaustion), the drained
      requests must not hang their clients: reject them and let the
      exception surface through the leader's own submit. *)
@@ -212,17 +246,26 @@ let run_leader t ~tid ~mine =
       note_drained t ~tid batch;
       if batch <> [] then
         if A.get t.crashing then List.iter (fun r -> A.set r.state 2) batch
-        else commit_batch t ~tid batch
+        else begin
+          let live, expired = split_expired batch in
+          shed t ~tid expired;
+          if live <> [] then commit_batch t ~tid live
+        end
     end
   done
 
-let submit t ~tid ?(rid = 0) ops =
+let submit t ~tid ?(rid = 0) ?(deadline = 0.) ops =
   if A.get t.crashing then Error `Rejected
+  else if deadline > 0. && Unix.gettimeofday () > deadline then begin
+    (* Already expired at admission: shed without touching the queue. *)
+    if Obs.Metrics.is_on () then Obs.Metrics.incr t.c_shed ~tid;
+    Error `Shed
+  end
   else begin
     let t_enq = if Obs.is_active () then Unix.gettimeofday () else 0. in
     Sched.Mutex.lock t.lock ~tid;
     let admitted = Queue.length t.q < t.queue_cap in
-    let mine = { ops; state = A.make 0; rid; t_enq } in
+    let mine = { ops; state = A.make 0; rid; t_enq; deadline } in
     if admitted then begin
       Queue.push mine t.q;
       A.set t.qlen (Queue.length t.q)
@@ -239,6 +282,7 @@ let submit t ~tid ?(rid = 0) ops =
         match A.get mine.state with
         | 1 -> Result.Ok ()
         | 2 -> Error `Rejected
+        | 3 -> Error `Shed
         | _ ->
             if A.get t.leader = -1 && A.compare_and_set t.leader (-1) tid then begin
               Fun.protect
@@ -258,6 +302,7 @@ let submit t ~tid ?(rid = 0) ops =
 (* ---- crash plumbing (engine-driven) ---- *)
 
 let set_crashing t v = A.set t.crashing v
+let set_ack_early t v = A.set t.ack_early v
 let quiesced t = A.get t.leader = -1 && A.get t.qlen = 0
 
 (* Power-failure reset: the queue and every request in it are volatile.

@@ -30,23 +30,37 @@ val create :
     transaction has committed — the write is durable and visible.
     [`Overloaded]: the bounded queue was full, nothing was enqueued.
     [`Rejected]: a crash tore the request down before commit (it was
-    never acknowledged).  [rid] is the wire request id (0 = none): the
-    request's queue-wait trace span carries it, linking the span into
-    the request's tree.  The stage also feeds the
-    [serve.stage.{queue,linger,drain,txn}] latency histograms when
-    metrics are on. *)
+    never acknowledged).
+    [`Shed]: the request's [deadline] (absolute [Unix.gettimeofday]
+    time; [0.] = none) expired while it queued — it was dropped before
+    any engine work, nothing durable happened, and the client may
+    safely retry.  Deadlines are wall-clock only: scheduled-mode
+    callers pass none, keeping replay determinism.
+    [rid] is the wire request id (0 = none): the request's queue-wait
+    trace span carries it, linking the span into the request's tree.
+    The stage also feeds the [serve.stage.{queue,linger,drain,txn}]
+    latency histograms when metrics are on, and counts TTL drops in
+    [serve.shed.expired]. *)
 val submit :
   t ->
   tid:int ->
   ?rid:int ->
+  ?deadline:float ->
   (string * string option) list ->
-  (unit, [ `Overloaded | `Rejected ]) result
+  (unit, [ `Overloaded | `Rejected | `Shed ]) result
 
 (** {2 Crash plumbing (driven by {!Engine})} *)
 
 (** While set, new submissions are rejected and the leader drains the
     queue by rejection instead of committing. *)
 val set_crashing : t -> bool -> unit
+
+(** Install the ack-before-commit mutant: drained requests are
+    acknowledged BEFORE their batch transaction commits.  Deliberately
+    unsound (sweep calibration only): a process kill in the widened
+    ack-to-commit window loses acked writes, which the supervised
+    kill-restart audit must detect. *)
+val set_ack_early : t -> bool -> unit
 
 (** No leader committing and nothing queued. *)
 val quiesced : t -> bool

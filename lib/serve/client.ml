@@ -1,27 +1,98 @@
-(* Blocking client for the RedoDB wire protocol: one socket, one
-   outstanding request.  Concurrency comes from opening more clients
-   (one per load-generator thread), matching the server's
-   one-domain-per-connection model. *)
+(* Resilient blocking client for the RedoDB wire protocol: one socket,
+   one outstanding request.  Concurrency comes from opening more
+   clients (one per load-generator thread), matching the server's
+   one-domain-per-connection model.
+
+   Resilience is policy-driven and off by default (default_policy keeps
+   the original strict single-attempt behaviour):
+
+   - every attempt is bounded by [call_timeout] (a read deadline armed
+     on the connection; the stream is unrecoverable past a timeout so
+     the socket is closed and lazily reconnected);
+   - idempotent requests (GET/MGET/SCAN/PING/STATS/METRICS, and any
+     request answered with the retryable OVERLOADED/TIMEOUT shed
+     responses) retry transparently under exponential backoff + jitter;
+   - writes are exactly-once: a tokened PUT/DEL/MPUT whose attempt ends
+     ambiguously (timeout, dead/corrupt connection — the ack may be
+     lost AFTER the commit) is never blindly resent.  The client first
+     resolves the token with TXSTAT: COMMITTED means the earlier
+     attempt won (done — its ack is recovered from the ledger), ABORTED
+     means nothing durable happened (resend is safe), UNKNOWN means the
+     attempt is still in flight server-side (poll again).  An untokened
+     write keeps the strict behaviour: ambiguous failures raise.
+
+   The client serializes its own requests, so it never queries a token
+   while also submitting it — the precondition for the server's
+   presumed-abort TXSTAT answer. *)
+
+type policy = {
+  call_timeout : float;
+  max_retries : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+  reconnect_attempts : int;
+  reconnect_delay : float;
+}
+
+let default_policy =
+  {
+    call_timeout = 0.;
+    max_retries = 0;
+    base_delay = 0.01;
+    max_delay = 0.5;
+    jitter = 0.5;
+    reconnect_attempts = 0;
+    reconnect_delay = 0.05;
+  }
+
+let resilient =
+  {
+    call_timeout = 1.;
+    max_retries = 12;
+    base_delay = 0.005;
+    max_delay = 0.2;
+    jitter = 0.5;
+    reconnect_attempts = 100;
+    reconnect_delay = 0.02;
+  }
+
+type tallies = { retries : int; timeouts : int; reconnects : int; resolved : int }
 
 type t = {
-  fd : Unix.file_descr;
-  io : Protocol.Io.t;
+  host : string;
+  port : int;
+  policy : policy;
+  rng : Random.State.t;
+  mutable fd : Unix.file_descr;
+  mutable io : Protocol.Io.t;
+  mutable alive : bool;
   mutable next_rid : int;  (* request ids are per-connection, from 1 *)
+  tok_base : int;
+  mutable next_tok : int;
+  mutable n_retries : int;
+  mutable n_timeouts : int;
+  mutable n_reconnects : int;
+  mutable n_resolved : int;
 }
 
 type error =
-  [ `Overloaded | `Unavailable of string | `InDoubt of int | `Err of string ]
+  [ `Overloaded
+  | `Unavailable of string
+  | `InDoubt of int
+  | `Timeout
+  | `Err of string ]
 
 exception Protocol_error of string
 
-let connect ?(retries = 0) ?(retry_delay = 0.05) ~host ~port () =
+let open_fd ~host ~port ~retries ~retry_delay =
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
   let rec go attempt =
     let fd = Unix.socket PF_INET SOCK_STREAM 0 in
     match Unix.connect fd addr with
     | () ->
         Unix.setsockopt fd TCP_NODELAY true;
-        { fd; io = Protocol.Io.of_fd fd; next_rid = 1 }
+        fd
     | exception Unix.Unix_error ((ECONNREFUSED | ENETUNREACH | ETIMEDOUT), _, _)
       when attempt < retries ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -33,34 +104,220 @@ let connect ?(retries = 0) ?(retry_delay = 0.05) ~host ~port () =
   in
   go 0
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+(* Distinct token namespaces for clients of one process; pids separate
+   concurrent client processes.  Uniqueness, not secrecy or
+   determinism, is all tokens need — harnesses that want reproducible
+   tokens pass their own via [?tok]. *)
+let client_seq = Atomic.make 0
 
-(* Every request carries a fresh id; the response must echo it (0 is
-   tolerated — a pre-RID server).  A non-zero mismatch means the stream
-   slipped a frame: fail loudly rather than mispair request/response. *)
-let call t req =
+let connect ?(retries = 0) ?(retry_delay = 0.05) ?(policy = default_policy)
+    ~host ~port () =
+  let fd = open_fd ~host ~port ~retries ~retry_delay in
+  let seq = Atomic.fetch_and_add client_seq 1 in
+  let tok_base =
+    (((Unix.getpid () land 0xFFFF) lsl 16) lor (seq land 0xFFFF)) * 1_000_000
+  in
+  {
+    host;
+    port;
+    policy;
+    rng = Random.State.make [| tok_base; 0x5eed |];
+    fd;
+    io = Protocol.Io.of_fd fd;
+    alive = true;
+    next_rid = 1;
+    tok_base;
+    next_tok = 0;
+    n_retries = 0;
+    n_timeouts = 0;
+    n_reconnects = 0;
+    n_resolved = 0;
+  }
+
+let kill t =
+  if t.alive then begin
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    t.alive <- false
+  end
+
+let close t = kill t
+
+let reconnect t =
+  let rec go attempt =
+    match open_fd ~host:t.host ~port:t.port ~retries:0 ~retry_delay:0. with
+    | fd ->
+        t.fd <- fd;
+        t.io <- Protocol.Io.of_fd fd;
+        t.alive <- true;
+        t.next_rid <- 1;
+        t.n_reconnects <- t.n_reconnects + 1
+    | exception e ->
+        if attempt >= t.policy.reconnect_attempts then
+          raise (Protocol_error ("reconnect failed: " ^ Printexc.to_string e))
+        else begin
+          Unix.sleepf t.policy.reconnect_delay;
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+let ensure t = if not t.alive then reconnect t
+
+let fresh_tok t =
+  t.next_tok <- t.next_tok + 1;
+  t.tok_base + t.next_tok
+
+let tallies t =
+  {
+    retries = t.n_retries;
+    timeouts = t.n_timeouts;
+    reconnects = t.n_reconnects;
+    resolved = t.n_resolved;
+  }
+
+(* Why an attempt failed without a well-formed response.  Past any of
+   these the stream position is unknowable, so the socket is dead;
+   whether the REQUEST took effect is unknowable too — that ambiguity
+   is what the write path resolves through TXSTAT. *)
+type attempt_error = Timed_out | Conn_dead of string
+
+(* One framed round-trip.  Every request carries a fresh id; the
+   response must echo it (0 is tolerated — a pre-RID server).  A
+   non-zero mismatch means the stream slipped a frame: connection dead
+   rather than mispair request/response. *)
+let attempt ?timeout ?(ttl_us = 0) ?(tok = 0) t req =
   let rid = t.next_rid in
   t.next_rid <- rid + 1;
-  Protocol.Io.write_frame t.io (Protocol.encode_req ~rid req);
-  match Protocol.Io.read_frame t.io with
-  | Error reason -> raise (Protocol_error reason)
-  | Result.Ok None -> raise (Protocol_error "connection closed by server")
-  | Result.Ok (Some payload) -> (
-      match Protocol.decode_resp_rid payload with
-      | Error reason -> raise (Protocol_error ("bad response: " ^ reason))
-      | Result.Ok (r, _) when r <> 0 && r <> rid ->
-          raise
-            (Protocol_error
-               (Printf.sprintf "response RID %d does not match request RID %d" r rid))
-      | Result.Ok (_, resp) -> resp)
+  let dead reason =
+    kill t;
+    Error (Conn_dead reason)
+  in
+  match Protocol.Io.write_frame t.io (Protocol.encode_req ~rid ~ttl_us ~tok req) with
+  | exception e -> dead ("send failed: " ^ Printexc.to_string e)
+  | () -> (
+      let tmo = match timeout with Some s -> s | None -> t.policy.call_timeout in
+      Protocol.Io.set_deadline t.io
+        (if tmo > 0. then Unix.gettimeofday () +. tmo else 0.);
+      match Protocol.Io.read_frame t.io with
+      | exception Protocol.Io.Read_timeout ->
+          t.n_timeouts <- t.n_timeouts + 1;
+          kill t;
+          Error Timed_out
+      | exception e -> dead ("receive failed: " ^ Printexc.to_string e)
+      | Error reason -> dead ("bad frame: " ^ reason)
+      | Result.Ok None -> dead "connection closed by server"
+      | Result.Ok (Some payload) -> (
+          match Protocol.decode_resp_rid payload with
+          | Error reason -> dead ("bad response: " ^ reason)
+          | Result.Ok (r, _) when r <> 0 && r <> rid ->
+              dead
+                (Printf.sprintf "response RID %d does not match request RID %d" r
+                   rid)
+          | Result.Ok (_, resp) -> Result.Ok resp))
+
+let backoff t k =
+  t.n_retries <- t.n_retries + 1;
+  let d = min t.policy.max_delay (t.policy.base_delay *. (2. ** float_of_int k)) in
+  let j = 1. -. (t.policy.jitter /. 2.) +. Random.State.float t.rng t.policy.jitter in
+  Unix.sleepf (d *. j)
+
+(* Raw single round-trip (no retries), kept for harnesses that drive
+   the protocol directly.  Honors the policy call timeout. *)
+let call t req =
+  ensure t;
+  match attempt t req with
+  | Result.Ok resp -> resp
+  | Error Timed_out -> raise (Protocol_error "request timed out")
+  | Error (Conn_dead reason) -> raise (Protocol_error reason)
 
 let last_rid t = t.next_rid - 1
 
+(* Transparent retry loop for IDEMPOTENT requests: re-running them is
+   harmless, so client-side timeouts, dead connections and the server's
+   retryable shed answers (OVERLOADED/TIMEOUT) all just retry under
+   backoff.  Exhaustion surfaces the server's TIMEOUT shape (mapped to
+   [`Timeout] by the typed wrappers) for timeouts, or raises for a
+   connection that will not come back. *)
+let idem ?(ttl_us = 0) t req =
+  let rec go k =
+    ensure t;
+    match attempt t ~ttl_us req with
+    | Result.Ok (Protocol.Overloaded | Protocol.Timeout)
+      when k < t.policy.max_retries ->
+        backoff t k;
+        go (k + 1)
+    | Result.Ok resp -> resp
+    | Error Timed_out when k < t.policy.max_retries ->
+        backoff t k;
+        go (k + 1)
+    | Error (Conn_dead _) when k < t.policy.max_retries ->
+        backoff t k;
+        go (k + 1)
+    | Error Timed_out -> Protocol.Timeout
+    | Error (Conn_dead reason) -> raise (Protocol_error reason)
+  in
+  go 0
+
+(* Exactly-once write loop.  Retryable shed answers resend directly
+   (nothing durable happened).  An AMBIGUOUS failure — timeout or dead
+   connection, where the commit may have happened and only the ack was
+   lost — resolves the token first: COMMITTED recovers the lost ack
+   from the ledger, ABORTED proves a resend safe, UNKNOWN polls.  Only
+   tokened writes get this; an untokened ambiguous write raises. *)
+let write_call ?(ttl_us = 0) ~tok t req =
+  let give_up_unresolved () = Protocol.Txstat_unknown in
+  let rec go k =
+    ensure t;
+    match attempt t ~ttl_us ~tok req with
+    | Result.Ok (Protocol.Overloaded | Protocol.Timeout)
+      when k < t.policy.max_retries ->
+        backoff t k;
+        go (k + 1)
+    | Result.Ok resp -> resp
+    | Error why ->
+        if tok > 0 && k < t.policy.max_retries then resolve (k + 1)
+        else (
+          match why with
+          | Timed_out -> Protocol.Timeout
+          | Conn_dead reason -> raise (Protocol_error reason))
+  and resolve k =
+    ensure t;
+    match attempt t (Protocol.Txstat tok) with
+    | Result.Ok (Protocol.Txstat_committed _ as resp) ->
+        t.n_resolved <- t.n_resolved + 1;
+        resp
+    | Result.Ok Protocol.Txstat_aborted ->
+        backoff t k;
+        go k
+    | Result.Ok Protocol.Txstat_unknown ->
+        if k < t.policy.max_retries then begin
+          backoff t k;
+          resolve (k + 1)
+        end
+        else give_up_unresolved ()
+    | Result.Ok (Protocol.Overloaded | Protocol.Timeout) | Error Timed_out ->
+        if k < t.policy.max_retries then begin
+          backoff t k;
+          resolve (k + 1)
+        end
+        else give_up_unresolved ()
+    | Result.Ok resp -> resp
+    | Error (Conn_dead reason) ->
+        if k < t.policy.max_retries then begin
+          backoff t k;
+          resolve (k + 1)
+        end
+        else raise (Protocol_error ("write resolution failed: " ^ reason))
+  in
+  go 0
+
 (* Typed wrappers.  [`Overloaded] is the backpressure signal callers are
-   expected to handle; [`Unavailable] means the request took no durable
-   effect and is retryable after recovery; [`InDoubt] means an MPUT's
-   outcome is unknown until recovery resolves it.  Any other shape
-   mismatch is a protocol error. *)
+   expected to handle; [`Timeout] means the request was shed (or every
+   attempt timed out) with no durable effect — always safe to retry;
+   [`Unavailable] means the request took no durable effect and is
+   retryable after recovery; [`InDoubt] means a write's outcome is
+   unknown (0 = unresolved token).  Any other shape mismatch is a
+   protocol error. *)
 
 let shape (resp : Protocol.resp) =
   match resp with
@@ -76,85 +333,122 @@ let shape (resp : Protocol.resp) =
   | Committed _ -> "COMMITTED"
   | Unavail _ -> "UNAVAILABLE"
   | In_doubt _ -> "INDOUBT"
+  | Timeout -> "TIMEOUT"
+  | Txstat_committed _ -> "TXSTAT COMMITTED"
+  | Txstat_aborted -> "TXSTAT ABORTED"
+  | Txstat_unknown -> "TXSTAT UNKNOWN"
   | Err _ -> "ERR"
 
 let unexpected what resp =
   raise (Protocol_error (Printf.sprintf "%s: unexpected %s response" what (shape resp)))
 
-let ping t = match call t Protocol.Ping with Ok -> () | r -> unexpected "PING" r
+let ping t = match idem t Protocol.Ping with Ok -> () | r -> unexpected "PING" r
 
-let put t ~key ~value =
-  match call t (Protocol.Put (key, value)) with
+let put ?ttl_us ?(tok = 0) t ~key ~value =
+  match write_call ?ttl_us ~tok t (Protocol.Put (key, value)) with
   | Ok -> Result.Ok ()
+  | Txstat_committed _ -> Result.Ok ()  (* an earlier attempt committed *)
+  | Txstat_unknown -> Error (`InDoubt 0)
   | Overloaded -> Error `Overloaded
+  | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
   | Err e -> Error (`Err e)
   | r -> unexpected "PUT" r
 
-let get t key =
-  match call t (Protocol.Get key) with
+let get ?ttl_us t key =
+  match idem ?ttl_us t (Protocol.Get key) with
   | Val v -> Result.Ok (Some v)
   | Nil -> Result.Ok None
   | Overloaded -> Error `Overloaded
+  | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
   | Err e -> Error (`Err e)
   | r -> unexpected "GET" r
 
-let del t key =
-  match call t (Protocol.Del key) with
+let del ?ttl_us ?(tok = 0) t key =
+  match write_call ?ttl_us ~tok t (Protocol.Del key) with
   | Ok -> Result.Ok ()
+  | Txstat_committed _ -> Result.Ok ()
+  | Txstat_unknown -> Error (`InDoubt 0)
   | Overloaded -> Error `Overloaded
+  | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
   | Err e -> Error (`Err e)
   | r -> unexpected "DEL" r
 
-let mget t keys =
-  match call t (Protocol.Mget keys) with
+let mget ?ttl_us t keys =
+  match idem ?ttl_us t (Protocol.Mget keys) with
   | Vals vs -> Result.Ok vs
   | Overloaded -> Error `Overloaded
+  | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
   | Err e -> Error (`Err e)
   | r -> unexpected "MGET" r
 
-let mput t kvs =
-  match call t (Protocol.Mput kvs) with
+let mput ?ttl_us ?(tok = 0) t kvs =
+  match write_call ?ttl_us ~tok t (Protocol.Mput kvs) with
   | Committed { txid; epoch } -> Result.Ok (txid, epoch)
+  | Txstat_committed { txid; epoch; _ } -> Result.Ok (txid, epoch)
+  | Txstat_unknown -> Error (`InDoubt 0)
   | Overloaded -> Error `Overloaded
+  | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
   | In_doubt txid -> Error (`InDoubt txid)
   | Err e -> Error (`Err e)
   | r -> unexpected "MPUT" r
 
-let scan t ~prefix ~max =
-  match call t (Protocol.Scan { prefix; max }) with
+let scan ?ttl_us t ~prefix ~max =
+  match idem ?ttl_us t (Protocol.Scan { prefix; max }) with
   | Kvs kvs -> Result.Ok kvs
   | Overloaded -> Error `Overloaded
+  | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
   | Err e -> Error (`Err e)
   | r -> unexpected "SCAN" r
+
+let txstat t tok =
+  match idem t (Protocol.Txstat tok) with
+  | Txstat_committed { txid; epoch; records } ->
+      Result.Ok (`Committed (txid, epoch, records))
+  | Txstat_aborted -> Result.Ok `Aborted
+  | Txstat_unknown -> Result.Ok `Unknown
+  | Overloaded -> Error `Overloaded
+  | Timeout -> Error `Timeout
+  | Unavail d -> Error (`Unavailable d)
+  | Err e -> Error (`Err e)
+  | r -> unexpected "TXSTAT" r
 
 (* Admin calls never raise on a well-formed reply of the wrong shape:
    the server legitimately answers OVERLOADED/UNAVAILABLE under load or
    mid-crash, and a stats probe must degrade to an [Error], not tear
    down the caller. *)
 let stats t =
-  match call t Protocol.Stats with
+  match idem t Protocol.Stats with
   | Json s -> Obs.Json.parse s
   | Overloaded -> Error "overloaded"
+  | Timeout -> Error "timeout"
   | Unavail d -> Error ("unavailable: " ^ d)
   | Err e -> Error e
   | r -> Error (Printf.sprintf "STATS: unexpected %s response" (shape r))
 
 let metrics t =
-  match call t Protocol.Metrics with
+  match idem t Protocol.Metrics with
   | Text s -> Result.Ok s
   | Overloaded -> Error "overloaded"
+  | Timeout -> Error "timeout"
   | Unavail d -> Error ("unavailable: " ^ d)
   | Err e -> Error e
   | r -> Error (Printf.sprintf "METRICS: unexpected %s response" (shape r))
 
+(* Recovery legitimately takes longer than any per-request budget:
+   CRASH runs with the deadline disarmed. *)
 let crash t ~seed ~evict_prob ~torn_prob ~bitflips =
-  match call t (Protocol.Crash { seed; evict_prob; torn_prob; bitflips }) with
-  | Ok_ms ms -> Result.Ok ms
-  | Err e -> Error e
-  | r -> unexpected "CRASH" r
+  ensure t;
+  match
+    attempt ~timeout:0. t (Protocol.Crash { seed; evict_prob; torn_prob; bitflips })
+  with
+  | Result.Ok (Ok_ms ms) -> Result.Ok ms
+  | Result.Ok (Err e) -> Error e
+  | Result.Ok r -> unexpected "CRASH" r
+  | Error Timed_out -> raise (Protocol_error "CRASH timed out")
+  | Error (Conn_dead reason) -> raise (Protocol_error reason)

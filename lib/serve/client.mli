@@ -1,51 +1,128 @@
-(** Blocking client for the RedoDB wire protocol: one socket, one
-    outstanding request.  For concurrency, open one client per thread. *)
+(** Resilient blocking client for the RedoDB wire protocol: one socket,
+    one outstanding request.  For concurrency, open one client per
+    thread.
+
+    Resilience is policy-driven: each attempt is bounded by a read
+    deadline, idempotent requests retry transparently under exponential
+    backoff + jitter across reconnects, and tokened writes are
+    EXACTLY-ONCE — an ambiguous failure (timeout, dead connection; the
+    ack may be lost after the commit) is resolved through the server's
+    durable outcome ledger (TXSTAT) instead of blind resending.
+    {!default_policy} disables all of it, keeping the strict
+    single-attempt behaviour. *)
 
 type t
 
+type policy = {
+  call_timeout : float;  (** per-attempt read deadline, seconds; 0. = wait forever *)
+  max_retries : int;  (** extra attempts after the first *)
+  base_delay : float;  (** backoff base, seconds; doubles per retry *)
+  max_delay : float;  (** backoff cap *)
+  jitter : float;  (** multiplicative jitter fraction in [0, 1] *)
+  reconnect_attempts : int;  (** reconnects tried per dead connection *)
+  reconnect_delay : float;  (** seconds between reconnect attempts *)
+}
+
+(** No timeout, no retries, no reconnects: the strict legacy contract
+    (any transport trouble raises {!Protocol_error}). *)
+val default_policy : policy
+
+(** 1 s attempts, 12 retries (5 ms base, 200 ms cap, 50% jitter), up to
+    100 reconnects 20 ms apart — survives the chaos sweep's fault rates
+    and a supervised server restart. *)
+val resilient : policy
+
+(** Client-side effort counters: [retries] (backoff loops entered),
+    [timeouts] (attempts cut by the read deadline), [reconnects],
+    [resolved] (writes whose lost ack was recovered via TXSTAT). *)
+type tallies = { retries : int; timeouts : int; reconnects : int; resolved : int }
+
+val tallies : t -> tallies
+
 (** Unexpected wire behaviour (broken frame, shape mismatch, server
-    closed mid-request).  Distinct from [Error] results, which are
-    well-formed server answers. *)
+    closed mid-request) that the policy could not absorb.  Distinct
+    from [Error] results, which are well-formed server answers. *)
 exception Protocol_error of string
 
 (** [retries] extra attempts on connection refusal (the server may still
-    be binding), [retry_delay] seconds apart. *)
+    be binding), [retry_delay] seconds apart; [policy] governs all
+    later calls. *)
 val connect :
-  ?retries:int -> ?retry_delay:float -> host:string -> port:int -> unit -> t
+  ?retries:int ->
+  ?retry_delay:float ->
+  ?policy:policy ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
 
 val close : t -> unit
 
-(** One raw round-trip.  Every request is sent with a fresh
-    per-connection request id (from 1); a response echoing a different
-    non-zero id raises {!Protocol_error} (a zero id — a pre-RID server —
-    is tolerated). *)
+(** A fresh write token, unique across the clients of this process (and
+    across processes via the pid).  Pass it to {!put}/{!del}/{!mput} to
+    make the write exactly-once under retries; pass the SAME token when
+    re-submitting after an [`InDoubt] give-up. *)
+val fresh_tok : t -> int
+
+(** One raw round-trip, no retries (reconnects if the connection is
+    dead).  Honors the policy call timeout; a timeout or transport
+    failure raises {!Protocol_error}.  Every request is sent with a
+    fresh per-connection request id (from 1); a response echoing a
+    different non-zero id raises (a zero id — a pre-RID server — is
+    tolerated). *)
 val call : t -> Protocol.req -> Protocol.resp
 
 (** Request id of the most recent {!call} (0 before the first). *)
 val last_rid : t -> int
 
 (** {2 Typed wrappers} — [`Overloaded] is admission-control backpressure
-    (nothing was enqueued; retry now), [`Unavailable] means the request
+    (nothing was enqueued; retry now), [`Timeout] means the request was
+    shed before execution or every attempt timed out with nothing
+    durable (always safe to retry), [`Unavailable] means the request
     took no durable effect (engine crashing/crashed or a definite
-    cross-shard abort; retry after recovery), [`InDoubt txid] means an
-    MPUT prepared durably but its outcome is unknown until recovery —
-    re-read before replaying.  [`Err] is any other server-side refusal. *)
+    cross-shard abort; retry after recovery), [`InDoubt txid] means a
+    write's outcome is unknown ([txid] = 0 when a tokened write's
+    TXSTAT resolution exhausted its retries still UNKNOWN — re-submit
+    with the same token once the server is back).  [`Err] is any other
+    server-side refusal.
+
+    All wrappers retry per the policy.  [ttl_us] attaches a server-side
+    deadline: the request is shed with [`Timeout] rather than served
+    stale.  [tok] (writes only) makes the write exactly-once. *)
 
 type error =
-  [ `Overloaded | `Unavailable of string | `InDoubt of int | `Err of string ]
+  [ `Overloaded
+  | `Unavailable of string
+  | `InDoubt of int
+  | `Timeout
+  | `Err of string ]
 
 val ping : t -> unit
-val put : t -> key:string -> value:string -> (unit, error) result
-val get : t -> string -> (string option, error) result
-val del : t -> string -> (unit, error) result
-val mget : t -> string list -> (string option list, error) result
+
+val put :
+  ?ttl_us:int -> ?tok:int -> t -> key:string -> value:string -> (unit, error) result
+
+val get : ?ttl_us:int -> t -> string -> (string option, error) result
+val del : ?ttl_us:int -> ?tok:int -> t -> string -> (unit, error) result
+val mget : ?ttl_us:int -> t -> string list -> (string option list, error) result
 
 (** [Ok (txid, epoch)]: the MPUT committed all-or-nothing across shards
-    at commit epoch [epoch] ([txid] = 0 for a single-shard MPUT). *)
-val mput : t -> (string * string) list -> (int * int, error) result
+    at commit epoch [epoch] ([txid] = 0 for a single-shard MPUT).  When
+    the ack was recovered through TXSTAT the pair comes from the
+    durable outcome record. *)
+val mput :
+  ?ttl_us:int -> ?tok:int -> t -> (string * string) list -> (int * int, error) result
 
 val scan :
-  t -> prefix:string -> max:int -> ((string * string) list, error) result
+  ?ttl_us:int -> t -> prefix:string -> max:int -> ((string * string) list, error) result
+
+(** Resolve a write token from the durable ledger: [`Committed (txid,
+    epoch, records)] ([records] > 1 proves a duplicated commit),
+    [`Aborted] (resend safe), or [`Unknown] (in flight; poll). *)
+val txstat :
+  t ->
+  int ->
+  ([ `Committed of int * int * int | `Aborted | `Unknown ], error) result
 
 (** Parsed STATS document.  Never raises on a well-formed reply: an
     off-shape answer (e.g. [OVERLOADED] under load) is an [Error]. *)
@@ -57,7 +134,9 @@ val stats : t -> (Obs.Json.t, string) result
 val metrics : t -> (string, string) result
 
 (** Simulated power failure + recovery; [Ok] carries the outage in
-    milliseconds, [Error] means the engine stayed down (unrecoverable). *)
+    milliseconds, [Error] means the engine stayed down (unrecoverable).
+    Runs with the read deadline disarmed — recovery legitimately
+    outlasts any per-request budget. *)
 val crash :
   t ->
   seed:int ->

@@ -39,6 +39,21 @@ let txid_hwm_key = "m!ht"
 let prep_key txid = Printf.sprintf "%s%010d" prep_prefix txid
 let dec_key txid = Printf.sprintf "%s%010d" dec_prefix txid
 
+(* Outcome ledger for exactly-once client retries: a write carrying a
+   client token leaves an OUTCOME record ("m!o!<token>!<txid>") on its
+   coordinator shard, committed in the SAME transaction as the data (the
+   decision batch for cross-shard, the write batch itself for
+   single-shard) — so "the write is durable" and "its outcome is
+   recorded" are one atomic event.  A retried token dedups against the
+   ledger; TXSTAT answers from it after a crash.  Unlike prepare and
+   decision records, outcomes survive Forget: they are the only durable
+   proof the transaction happened once a forgotten txid's records are
+   gone.  Two records under one token = a duplicated commit — exactly
+   what the no-dedup-on-retry mutant must produce and the audits seek. *)
+let outcome_ns = "m!o!"
+let outcome_prefix tok = Printf.sprintf "%s%020d!" outcome_ns tok
+let outcome_key ~tok ~txid = Printf.sprintf "%s%010d" (outcome_prefix tok) txid
+
 let classify_key k =
   if String.length k > 0 && k.[0] = 'u' then `User
   else
@@ -50,6 +65,21 @@ let classify_key k =
       match txid_of prep_prefix with Some t -> `Prep t | None -> `Other
     else if String.starts_with ~prefix:dec_prefix k then
       match txid_of dec_prefix with Some t -> `Decision t | None -> `Other
+    else if String.starts_with ~prefix:outcome_ns k then
+      match
+        String.index_from_opt k (String.length outcome_ns) '!'
+      with
+      | Some i -> (
+          match
+            ( int_of_string_opt
+                (String.sub k (String.length outcome_ns)
+                   (i - String.length outcome_ns)),
+              int_of_string_opt
+                (String.sub k (i + 1) (String.length k - i - 1)) )
+          with
+          | Some tok, Some txid -> `Outcome (tok, txid)
+          | _ -> `Other)
+      | None -> `Other
     else `Other
 
 (* ---- record codec (digest-framed, binary-safe) ---- *)
@@ -181,6 +211,24 @@ let decode_decision s =
         else Some (txid, epoch, participants)
       with Bad_record -> None)
 
+(* outcome record: txid (0 = single-shard fast path), commit epoch *)
+let encode_outcome ~txid ~epoch =
+  let b = Buffer.create 16 in
+  add_int b txid;
+  add_int b epoch;
+  frame (Buffer.contents b)
+
+let decode_outcome s =
+  match unframe s with
+  | None -> None
+  | Some body -> (
+      let cur = { s = body; pos = 0 } in
+      try
+        let txid = take_int cur in
+        let epoch = take_int cur in
+        if cur.pos <> String.length body then None else Some (txid, epoch)
+      with Bad_record -> None)
+
 (* ---- protocol phase boundaries (crash-injection points) ---- *)
 
 (* Each constructor names the instant JUST AFTER that phase's durable
@@ -231,16 +279,28 @@ let parse_phase s =
      after the ack loses or half-applies an ACKED multi_put.
    - [No_read_validation]: snapshot reads skip epoch validation and
      helping, so a scan can interleave with the apply phase and observe
-     a half-applied multi_put. *)
-type mutant = Skip_2pc | No_rollforward | No_read_validation
+     a half-applied multi_put.
+   - [No_dedup]: the engine skips the outcome-ledger lookup on tokened
+     writes, so a client retry after a dropped response re-commits the
+     transaction — two outcome records under one token, a duplicated
+     (non-exactly-once) commit the chaos sweep must catch.
+   - [Ack_early]: the batcher acknowledges a write BEFORE its batch
+     transaction commits, so a kill in the ack-to-commit window loses an
+     acked write — the violation the supervised kill-restart audit must
+     catch. *)
+type mutant = Skip_2pc | No_rollforward | No_read_validation | No_dedup | Ack_early
 
 let pp_mutant = function
   | Skip_2pc -> "skip-2pc"
   | No_rollforward -> "no-rollforward"
   | No_read_validation -> "no-read-validation"
+  | No_dedup -> "no-dedup-on-retry"
+  | Ack_early -> "ack-before-commit"
 
 let parse_mutant = function
   | "skip-2pc" -> Some Skip_2pc
   | "no-rollforward" -> Some No_rollforward
   | "no-read-validation" -> Some No_read_validation
+  | "no-dedup-on-retry" -> Some No_dedup
+  | "ack-before-commit" -> Some Ack_early
   | _ -> None

@@ -39,6 +39,11 @@ type config = {
   linger_us : float;
   linger_steps : int;
   queue_cap : int;
+  backing_dir : string option;
+      (* when set, each shard's durable image is a MAP_SHARED region
+         file <dir>/shard-<i>.region: acked writes survive a kill -9 of
+         this process, and a fresh engine over the same directory
+         reopens the files and recovers instead of formatting *)
 }
 
 let default_config =
@@ -51,6 +56,7 @@ let default_config =
     linger_us = 0.;
     linger_steps = 0;
     queue_cap = 64;
+    backing_dir = None;
   }
 
 (* A decided-but-not-yet-forgotten cross-shard transaction, published so
@@ -75,6 +81,10 @@ type t = {
   applied : int A.t;  (* of those, fully applied on every shard *)
   reg_lock : Sched.Mutex.t;
   registry : (int, pending) Hashtbl.t;  (* guarded by reg_lock *)
+  active_toks : (int, unit) Hashtbl.t;
+      (* client tokens with a write in flight, guarded by reg_lock: a
+         concurrent TXSTAT answers UNKNOWN for them instead of the
+         presumed-abort a missing outcome record would imply *)
   commit_window : bool array;  (* per tid: between decide commit and publish *)
   mutable mutants : Commit.mutant list;
   mutable crash_after : Commit.phase option;
@@ -87,6 +97,8 @@ type t = {
   c_rollf : Obs.Metrics.counter;
   c_rollb : Obs.Metrics.counter;
   c_retry : Obs.Metrics.counter;
+  c_dedup : Obs.Metrics.counter;  (* tokened retries answered from the ledger *)
+  c_txstat : Obs.Metrics.counter;
   h_prep : Obs.Metrics.histogram;
   h_dec : Obs.Metrics.histogram;
   h_app : Obs.Metrics.histogram;
@@ -94,20 +106,68 @@ type t = {
 }
 
 type ack = { txid : int; epoch : int }
-type error = Overloaded | Unavailable of string | In_doubt of int
+type error = Overloaded | Unavailable of string | In_doubt of int | Timed_out
+
+type tx_status =
+  | Tx_committed of { txid : int; epoch : int; records : int }
+  | Tx_aborted
+  | Tx_unknown
 
 let pp_error = function
   | Overloaded -> "overloaded"
   | Unavailable d -> "unavailable: " ^ d
   | In_doubt txid -> Printf.sprintf "in doubt: txn %d" txid
+  | Timed_out -> "timed out (shed before execution)"
+
+let shard_file dir s = Filename.concat dir (Printf.sprintf "shard-%d.region" s)
+
+(* A formatted region always carries a sealed (nonzero) header word, and
+   the header is made durable before [create_backed] returns — so a
+   region file whose first word is still zero is one whose creation was
+   cut down (killed between ftruncate and the format's psync).  It holds
+   no data; reopening it would refuse forever ("header corrupt and no
+   replica record validates"), turning one unlucky kill into a permanent
+   crash loop.  Detect it and recreate instead. *)
+let region_formatted f =
+  let ic = open_in_bin f in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match really_input_string ic 8 with
+      | s -> String.exists (fun c -> c <> '\000') s
+      | exception End_of_file -> false)
+
+(* Forward declaration: [create] runs commit recovery when it reopens a
+   backing directory, but recover_commit is defined with the rest of the
+   recovery code below. *)
+let recover_commit_ref : (t -> (unit, string) result) ref =
+  ref (fun _ -> Result.Ok ())
 
 let create cfg =
   if cfg.shards < 1 then invalid_arg "Engine.create: shards";
   if cfg.num_threads < 1 then invalid_arg "Engine.create: num_threads";
   let per_shard = max (1 lsl 14) (cfg.capacity_bytes / cfg.shards) in
+  let reused = ref false in
   let dbs =
-    Array.init cfg.shards (fun _ ->
-        Kv.Redodb.open_db ~num_threads:cfg.num_threads ~capacity_bytes:per_shard ())
+    Array.init cfg.shards (fun s ->
+        match cfg.backing_dir with
+        | None ->
+            Kv.Redodb.open_db ~num_threads:cfg.num_threads
+              ~capacity_bytes:per_shard ()
+        | Some dir ->
+            if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+            let f = shard_file dir s in
+            if
+              Sys.file_exists f
+              && (Unix.stat f).Unix.st_size > 0
+              && region_formatted f
+            then begin
+              reused := true;
+              Kv.Redodb.reopen_backed ~num_threads:cfg.num_threads ~backing:f ()
+            end
+            else
+              Kv.Redodb.open_backed ~num_threads:cfg.num_threads
+                ~capacity_bytes:per_shard ~backing:f ())
   in
   let batchers =
     if not cfg.batch then [||]
@@ -117,40 +177,58 @@ let create cfg =
             ~linger_us:cfg.linger_us ~linger_steps:cfg.linger_steps
             ~queue_cap:cfg.queue_cap)
   in
-  {
-    cfg;
-    dbs;
-    batchers;
-    inflight = A.make 0;
-    crashing = A.make false;
-    crash_gate = Sched.Mutex.create ();
-    next_txid = A.make 1;
-    epoch_src = A.make 0;
-    decided = A.make 0;
-    applied = A.make 0;
-    reg_lock = Sched.Mutex.create ();
-    registry = Hashtbl.create 16;
-    commit_window = Array.make cfg.num_threads false;
-    mutants = [];
-    crash_after = None;
-    c_reqs = Obs.Metrics.counter "serve.requests";
-    c_multi = Obs.Metrics.counter "serve.multi_shard_ops";
-    c_prep = Obs.Metrics.counter "serve.commit.prepares";
-    c_dec = Obs.Metrics.counter "serve.commit.decides";
-    c_apply = Obs.Metrics.counter "serve.commit.applies";
-    c_helped = Obs.Metrics.counter "serve.commit.helped_applies";
-    c_rollf = Obs.Metrics.counter "serve.commit.rollforwards";
-    c_rollb = Obs.Metrics.counter "serve.commit.rollbacks";
-    c_retry = Obs.Metrics.counter "serve.commit.snapshot_retries";
-    h_prep = Obs.Metrics.histogram "serve.stage.prepare";
-    h_dec = Obs.Metrics.histogram "serve.stage.decide";
-    h_app = Obs.Metrics.histogram "serve.stage.apply";
-    heat = Array.make_matrix cfg.shards 16 0;
-  }
+  let t =
+    {
+      cfg;
+      dbs;
+      batchers;
+      inflight = A.make 0;
+      crashing = A.make false;
+      crash_gate = Sched.Mutex.create ();
+      next_txid = A.make 1;
+      epoch_src = A.make 0;
+      decided = A.make 0;
+      applied = A.make 0;
+      reg_lock = Sched.Mutex.create ();
+      registry = Hashtbl.create 16;
+      active_toks = Hashtbl.create 16;
+      commit_window = Array.make cfg.num_threads false;
+      mutants = [];
+      crash_after = None;
+      c_reqs = Obs.Metrics.counter "serve.requests";
+      c_multi = Obs.Metrics.counter "serve.multi_shard_ops";
+      c_prep = Obs.Metrics.counter "serve.commit.prepares";
+      c_dec = Obs.Metrics.counter "serve.commit.decides";
+      c_apply = Obs.Metrics.counter "serve.commit.applies";
+      c_helped = Obs.Metrics.counter "serve.commit.helped_applies";
+      c_rollf = Obs.Metrics.counter "serve.commit.rollforwards";
+      c_rollb = Obs.Metrics.counter "serve.commit.rollbacks";
+      c_retry = Obs.Metrics.counter "serve.commit.snapshot_retries";
+      c_dedup = Obs.Metrics.counter "serve.retry.dedup_hits";
+      c_txstat = Obs.Metrics.counter "serve.txstat.queries";
+      h_prep = Obs.Metrics.histogram "serve.stage.prepare";
+      h_dec = Obs.Metrics.histogram "serve.stage.decide";
+      h_app = Obs.Metrics.histogram "serve.stage.apply";
+      heat = Array.make_matrix cfg.shards 16 0;
+    }
+  in
+  (* A reopened backing directory may hold in-doubt cross-shard records
+     from the previous incarnation: resolve them before serving.
+     recover_commit is forward-declared below; tie the knot by hand. *)
+  if !reused then begin
+    match !recover_commit_ref t with
+    | Result.Ok () -> ()
+    | Error detail -> failwith ("Engine.create: recovery failed: " ^ detail)
+  end;
+  t
 
 let config t = t.cfg
 let shards t = t.cfg.shards
-let set_mutants t ms = t.mutants <- ms
+
+let set_mutants t ms =
+  t.mutants <- ms;
+  let early = List.mem Commit.Ack_early ms in
+  Array.iter (fun b -> Batcher.set_ack_early b early) t.batchers
 let set_crash_after t p = t.crash_after <- p
 let current_epoch t = A.get t.epoch_src
 
@@ -235,28 +313,110 @@ let with_entry t ~tid f =
 
 (* ---- writes ---- *)
 
-let submit_shard t ~tid ?(rid = 0) shard ops =
+let submit_shard t ~tid ?(rid = 0) ?(deadline = 0.) shard ops =
   if t.cfg.batch then
-    match Batcher.submit t.batchers.(shard) ~tid ~rid ops with
+    match Batcher.submit t.batchers.(shard) ~tid ~rid ~deadline ops with
     | Result.Ok () -> Result.Ok ()
     | Error `Overloaded -> Error Overloaded
     | Error `Rejected -> Error (Unavailable "crashed before commit")
+    | Error `Shed -> Error Timed_out
   else begin
     Kv.Redodb.write_batch t.dbs.(shard) ~tid ops;
     Result.Ok ()
   end
 
-let put ?(rid = 0) t ~tid ~key ~value =
-  with_entry t ~tid @@ fun () ->
-  let s = shard_of t key in
-  touch t s key;
-  submit_shard t ~tid ~rid s [ (Commit.user_key key, Some value) ]
+(* ---- exactly-once bookkeeping (the outcome ledger) ---- *)
 
-let delete t ~tid ?(rid = 0) key =
+(* How many outcome records this token left behind, across all shards: a
+   committed write leaves exactly one; a second record under the same
+   token is durable proof of a duplicated (non-exactly-once) commit.
+   Latest txid/epoch wins for the reported ack. *)
+let outcome_records t ~tid tok =
+  let prefix = Commit.outcome_prefix tok in
+  let plen = String.length prefix in
+  let n = ref 0 and best = ref None in
+  for s = 0 to t.cfg.shards - 1 do
+    let c = Kv.Redodb.seek t.dbs.(s) ~tid prefix in
+    let rec walk () =
+      match Kv.Redodb.entry c with
+      | Some (k, v) when String.length k >= plen && String.sub k 0 plen = prefix ->
+          (match Commit.decode_outcome v with
+          | Some (txid, epoch) ->
+              incr n;
+              (match !best with
+              | Some (bt, _) when bt >= txid -> ()
+              | _ -> best := Some (txid, epoch))
+          | None -> ());
+          ignore (Kv.Redodb.next c);
+          walk ()
+      | _ -> ()
+    in
+    walk ()
+  done;
+  (!n, !best)
+
+let register_tok t ~tid tok =
+  if tok > 0 then begin
+    Sched.Mutex.lock t.reg_lock ~tid;
+    Hashtbl.replace t.active_toks tok ();
+    Sched.Mutex.unlock t.reg_lock ~tid
+  end
+
+let unregister_tok t ~tid tok =
+  if tok > 0 then begin
+    Sched.Mutex.lock t.reg_lock ~tid;
+    Hashtbl.remove t.active_toks tok;
+    Sched.Mutex.unlock t.reg_lock ~tid
+  end
+
+(* A tokened retry whose first attempt already committed is answered
+   from the ledger without re-running anything.  Single-shard tokened
+   writes record outcome txid 0 — retries overwrite the same ledger key,
+   so the record count stays 1 by construction and the dedup check is
+   purely an optimisation there; for cross-shard 2PC (fresh txid per
+   attempt) it is what keeps retries exactly-once. *)
+let dedup_hit t ~tid tok =
+  if tok <= 0 || List.mem Commit.No_dedup t.mutants then None
+  else
+    match outcome_records t ~tid tok with
+    | 0, _ -> None
+    | _, Some (txid, epoch) ->
+        Obs.Metrics.incr t.c_dedup ~tid;
+        Some { txid; epoch }
+    | _, None -> None
+
+(* The ledger write rides in the SAME batch (hence the same PTM
+   transaction) as the user write: the record exists iff the write
+   committed. *)
+let outcome_op t ~tok ~txid =
+  ( Commit.outcome_key ~tok ~txid,
+    Some (Commit.encode_outcome ~txid ~epoch:(A.get t.epoch_src)) )
+
+let put ?(rid = 0) ?(tok = 0) ?(deadline = 0.) t ~tid ~key ~value =
   with_entry t ~tid @@ fun () ->
-  let s = shard_of t key in
-  touch t s key;
-  submit_shard t ~tid ~rid s [ (Commit.user_key key, None) ]
+  match dedup_hit t ~tid tok with
+  | Some _ -> Result.Ok ()
+  | None ->
+      register_tok t ~tid tok;
+      Fun.protect ~finally:(fun () -> unregister_tok t ~tid tok) @@ fun () ->
+      let s = shard_of t key in
+      touch t s key;
+      let ops = [ (Commit.user_key key, Some value) ] in
+      let ops = if tok > 0 then outcome_op t ~tok ~txid:0 :: ops else ops in
+      submit_shard t ~tid ~rid ~deadline s ops
+
+let delete t ~tid ?(rid = 0) ?(tok = 0) ?(deadline = 0.) key =
+  with_entry t ~tid @@ fun () ->
+  match dedup_hit t ~tid tok with
+  | Some _ -> Result.Ok ()
+  | None ->
+      register_tok t ~tid tok;
+      Fun.protect ~finally:(fun () -> unregister_tok t ~tid tok) @@ fun () ->
+      let s = shard_of t key in
+      touch t s key;
+      let ops = [ (Commit.user_key key, None) ] in
+      let ops = if tok > 0 then outcome_op t ~tok ~txid:0 :: ops else ops in
+      submit_shard t ~tid ~rid ~deadline s ops
 
 (* ---- cross-shard commit ---- *)
 
@@ -328,17 +488,21 @@ let publish t ~tid txid p =
   A.incr t.decided;
   Sched.Mutex.unlock t.reg_lock ~tid
 
-let two_phase t ~tid ~rid slices parts =
+let two_phase t ~tid ~rid ~tok ~deadline slices parts =
   let txid = A.fetch_and_add t.next_txid 1 in
   Obs.Trace.span Obs.Trace.Commit ~tid ~arg:txid ~rid @@ fun () ->
-  (* PREPARE: stage each shard's slice, shards in index order. *)
+  (* PREPARE: stage each shard's slice, shards in index order.  The
+     request deadline covers the prepares only — once every prepare is
+     durably staged the transaction crosses into decide, where shedding
+     would leave work recovery must redo for no latency win. *)
   let rec prepare k done_ = function
     | [] -> Result.Ok ()
     | (s, ops) :: rest -> (
         let record = Commit.encode_prep ~txid ~participants:parts ~ops in
         match
           stage t.h_prep Obs.Trace.Prepare ~tid ~arg:s ~rid @@ fun () ->
-          submit_shard t ~tid ~rid s [ (Commit.prep_key txid, Some record) ]
+          submit_shard t ~tid ~rid ~deadline s
+            [ (Commit.prep_key txid, Some record) ]
         with
         | Result.Ok () ->
             Obs.Metrics.incr t.c_prep ~tid;
@@ -362,9 +526,21 @@ let two_phase t ~tid ~rid slices parts =
       let epoch = 1 + A.fetch_and_add t.epoch_src 1 in
       let record = Commit.encode_decision ~txid ~epoch ~participants:parts in
       let coord = List.hd parts in
+      (* The token's outcome record commits atomically WITH the decision
+         — the commit point and the exactly-once evidence are one PTM
+         transaction.  A retried 2PC attempt uses a fresh txid, so a
+         duplicated commit leaves a second record under the same token
+         prefix (what the no-dedup-on-retry mutant must produce). *)
+      let dec_ops =
+        let d = [ (Commit.dec_key txid, Some record) ] in
+        if tok > 0 then
+          (Commit.outcome_key ~tok ~txid, Some (Commit.encode_outcome ~txid ~epoch))
+          :: d
+        else d
+      in
       match
         stage t.h_dec Obs.Trace.Decide ~tid ~arg:txid ~rid @@ fun () ->
-        submit_shard t ~tid ~rid coord [ (Commit.dec_key txid, Some record) ]
+        submit_shard t ~tid ~rid coord dec_ops
       with
       | Error e ->
           (* a rejected submit was never committed: definite abort *)
@@ -392,42 +568,48 @@ let two_phase t ~tid ~rid slices parts =
    (fast path, no commit records).  Several shards: the two-phase
    protocol — all-or-nothing across shards, with the ack carrying the
    transaction's commit epoch. *)
-let multi_put t ~tid ?(rid = 0) ops =
+let multi_put t ~tid ?(rid = 0) ?(tok = 0) ?(deadline = 0.) ops =
   with_entry t ~tid @@ fun () ->
   Obs.Metrics.incr t.c_multi ~tid;
-  let per_shard = Array.make t.cfg.shards [] in
-  List.iter
-    (fun (key, v) ->
-      let s = shard_of t key in
-      touch t s key;
-      per_shard.(s) <- (Commit.user_key key, v) :: per_shard.(s))
-    ops;
-  let parts = ref [] in
-  for s = t.cfg.shards - 1 downto 0 do
-    if per_shard.(s) <> [] then parts := s :: !parts
-  done;
-  let slices = List.map (fun s -> (s, List.rev per_shard.(s))) !parts in
-  match slices with
-  | [] -> Result.Ok { txid = 0; epoch = A.get t.epoch_src }
-  | [ (s, ops) ] -> (
-      match submit_shard t ~tid ~rid s ops with
-      | Result.Ok () -> Result.Ok { txid = 0; epoch = A.get t.epoch_src }
-      | Error _ as e -> e)
-  | _ when List.mem Commit.Skip_2pc t.mutants ->
-      (* mutant: the pre-commit-layer behavior — independent per-shard
-         commits in index order; a crash between them durably applies a
-         prefix of the write set. *)
-      let rec go k = function
-        | [] -> Result.Ok { txid = 0; epoch = A.get t.epoch_src }
-        | (s, ops) :: rest -> (
-            match submit_shard t ~tid s ops with
-            | Result.Ok () ->
-                maybe_crash t (Commit.Prepare k);
-                go (k + 1) rest
-            | Error _ as e -> e)
-      in
-      go 1 slices
-  | _ -> two_phase t ~tid ~rid slices !parts
+  match dedup_hit t ~tid tok with
+  | Some ack -> Result.Ok ack
+  | None ->
+      register_tok t ~tid tok;
+      Fun.protect ~finally:(fun () -> unregister_tok t ~tid tok) @@ fun () ->
+      let per_shard = Array.make t.cfg.shards [] in
+      List.iter
+        (fun (key, v) ->
+          let s = shard_of t key in
+          touch t s key;
+          per_shard.(s) <- (Commit.user_key key, v) :: per_shard.(s))
+        ops;
+      let parts = ref [] in
+      for s = t.cfg.shards - 1 downto 0 do
+        if per_shard.(s) <> [] then parts := s :: !parts
+      done;
+      let slices = List.map (fun s -> (s, List.rev per_shard.(s))) !parts in
+      match slices with
+      | [] -> Result.Ok { txid = 0; epoch = A.get t.epoch_src }
+      | [ (s, ops) ] -> (
+          let ops = if tok > 0 then outcome_op t ~tok ~txid:0 :: ops else ops in
+          match submit_shard t ~tid ~rid ~deadline s ops with
+          | Result.Ok () -> Result.Ok { txid = 0; epoch = A.get t.epoch_src }
+          | Error _ as e -> e)
+      | _ when List.mem Commit.Skip_2pc t.mutants ->
+          (* mutant: the pre-commit-layer behavior — independent per-shard
+             commits in index order; a crash between them durably applies a
+             prefix of the write set. *)
+          let rec go k = function
+            | [] -> Result.Ok { txid = 0; epoch = A.get t.epoch_src }
+            | (s, ops) :: rest -> (
+                match submit_shard t ~tid s ops with
+                | Result.Ok () ->
+                    maybe_crash t (Commit.Prepare k);
+                    go (k + 1) rest
+                | Error _ as e -> e)
+          in
+          go 1 slices
+      | _ -> two_phase t ~tid ~rid ~tok ~deadline slices !parts
 
 (* ---- reads (epoch-validated snapshots, never batched) ---- *)
 
@@ -520,6 +702,43 @@ let scan t ~tid ~prefix ~max =
       let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !all in
       List.filteri (fun i _ -> i < max) sorted )
 
+(* ---- exactly-once status (TXSTAT) ---- *)
+
+(* Resolve the fate of a client write token from the durable ledger.
+   Order matters: help decided commits to completion first (a decided
+   cross-shard transaction's outcome record is already durable on the
+   coordinator, so this is belt-and-braces), then read the ledger, and
+   only then consult the volatile active set — a token that is neither
+   recorded nor in flight is presumed aborted, which is safe because
+   the client serializes its retries (it never queries a token while
+   also submitting it). *)
+let txstat t ~tid tok =
+  with_entry t ~tid @@ fun () ->
+  Obs.Metrics.incr t.c_txstat ~tid;
+  help_complete t ~tid;
+  match outcome_records t ~tid tok with
+  | 0, _ ->
+      Sched.Mutex.lock t.reg_lock ~tid;
+      let active = Hashtbl.mem t.active_toks tok in
+      Sched.Mutex.unlock t.reg_lock ~tid;
+      Result.Ok (if active then Tx_unknown else Tx_aborted)
+  | n, best ->
+      let txid, epoch = Option.value best ~default:(0, 0) in
+      Result.Ok (Tx_committed { txid; epoch; records = n })
+
+(* Fraction of the busiest shard's admission queue in use ([0., 1.]);
+   0. when batching is off.  The server's pressure-shedding signal:
+   cheap (no locks), monotone with queue growth, and deliberately
+   pessimistic — one hot shard is enough to start shedding scans. *)
+let overload_hint t =
+  if not t.cfg.batch || t.cfg.queue_cap <= 0 then 0.
+  else begin
+    let worst =
+      Array.fold_left (fun acc b -> max acc (Batcher.queue_depth b)) 0 t.batchers
+    in
+    float_of_int worst /. float_of_int t.cfg.queue_cap
+  end
+
 (* User keys only — commit metadata and high-water marks are not data. *)
 let count t ~tid =
   Array.fold_left
@@ -588,7 +807,7 @@ let recover_commit t =
                     bad :=
                       Printf.sprintf "shard %d: corrupt decision record %S" s k
                       :: !bad)
-            | `User | `Other -> ()))
+            | `User | `Other | `Outcome _ -> ()))
     t.dbs;
   match !bad with
   | detail :: _ -> Error detail
@@ -630,9 +849,12 @@ let recover_commit t =
       A.set t.decided 0;
       A.set t.applied 0;
       Hashtbl.reset t.registry;
+      Hashtbl.reset t.active_toks;
       Sched.Mutex.reset t.reg_lock;
       Array.fill t.commit_window 0 (Array.length t.commit_window) false;
       Result.Ok ()
+
+let () = recover_commit_ref := recover_commit
 
 let recover_all t ~seed ~evict_prob ~torn_prob ~bitflips =
   match recover_shards t ~seed ~evict_prob ~torn_prob ~bitflips with

@@ -25,9 +25,16 @@ type config = {
   linger_us : float;  (** flush deadline of a non-full batch (wall clock) *)
   linger_steps : int;  (** the same window in scheduler steps under {!Sched} *)
   queue_cap : int;  (** per-shard admission bound *)
+  backing_dir : string option;
+      (** when set, each shard's durable image is a [MAP_SHARED] region
+          file [<dir>/shard-<i>.region]: acked writes survive a [kill
+          -9] of this process, and a fresh engine over the same
+          directory reopens the files and runs recovery (including
+          commit recovery) instead of formatting *)
 }
 
-(** 4 shards, 9 tids, 1 MiB, batching on (cap 16, zero linger), queue cap 64. *)
+(** 4 shards, 9 tids, 1 MiB, batching on (cap 16, zero linger), queue
+    cap 64, no backing directory (volatile, in-process regions). *)
 val default_config : config
 
 type t
@@ -49,6 +56,23 @@ type error =
       (** the named cross-shard transaction prepared durably but its
           decide outcome is unknown; recovery will complete or roll it
           back — the caller must re-read before replaying *)
+  | Timed_out
+      (** the request's deadline expired while it queued: it was shed
+          before any engine work (cross-shard: before any prepare
+          landed, or the staged prepares were rolled back), nothing
+          durable happened, and retrying is always safe *)
+
+(** Resolution of a client write token (see {!txstat}). *)
+type tx_status =
+  | Tx_committed of { txid : int; epoch : int; records : int }
+      (** the token's write committed; [records] counts its durable
+          outcome records across shards — a correct engine leaves
+          exactly one, so [records > 1] is proof of a duplicated
+          (non-exactly-once) commit *)
+  | Tx_aborted  (** no durable outcome and not in flight: definitely
+                    rolled back (presumed abort) — replaying is safe *)
+  | Tx_unknown
+      (** the token has a write in flight right now; poll again *)
 
 val pp_error : error -> string
 val create : config -> t
@@ -61,16 +85,40 @@ val shard_of : t -> string -> int
 (** Write entry points take an optional wire request id [rid] (0 =
     none): it rides into every trace span the request produces — queue
     wait, 2PC prepare/decide/apply, the commit itself — so one request's
-    span tree can be followed across threads in the trace export. *)
+    span tree can be followed across threads in the trace export.
+
+    They also take an optional client write token [tok] (0 = none) and
+    absolute wall-clock [deadline] ([Unix.gettimeofday] scale; [0.] =
+    none).  A tokened write records its commit in the durable outcome
+    ledger atomically with the write itself, so a RETRY of the same
+    token is exactly-once: if the first attempt committed, the retry is
+    answered from the ledger ([serve.retry.dedup_hits]) without
+    re-running; {!txstat} resolves the token after a lost ack.  A
+    deadline that expires while the request queues sheds it with
+    [Timed_out] before any durable work. *)
 
 val put :
-  ?rid:int -> t -> tid:int -> key:string -> value:string -> (unit, error) result
+  ?rid:int ->
+  ?tok:int ->
+  ?deadline:float ->
+  t ->
+  tid:int ->
+  key:string ->
+  value:string ->
+  (unit, error) result
 
 val get : t -> tid:int -> string -> (string option, error) result
 
 (** Acked delete (no existence report: under group commit the delete is
     folded into a batch transaction). *)
-val delete : t -> tid:int -> ?rid:int -> string -> (unit, error) result
+val delete :
+  t ->
+  tid:int ->
+  ?rid:int ->
+  ?tok:int ->
+  ?deadline:float ->
+  string ->
+  (unit, error) result
 
 (** Results in request order; epoch-validated consistent snapshot. *)
 val multi_get : t -> tid:int -> string list -> (string option list, error) result
@@ -78,7 +126,20 @@ val multi_get : t -> tid:int -> string list -> (string option list, error) resul
 (** [Some v] puts, [None] deletes.  All-or-nothing across shards; the
     ack's [epoch] orders the commit against snapshot reads. *)
 val multi_put :
-  t -> tid:int -> ?rid:int -> (string * string option) list -> (ack, error) result
+  t ->
+  tid:int ->
+  ?rid:int ->
+  ?tok:int ->
+  ?deadline:float ->
+  (string * string option) list ->
+  (ack, error) result
+
+(** Resolve the fate of a write token from the durable outcome ledger
+    (works across engine restarts over the same backing directory).
+    [Tx_aborted] is presumed abort — sound provided the client
+    serializes its own retries, i.e. never queries a token while also
+    submitting it, which {!Client} guarantees. *)
+val txstat : t -> tid:int -> int -> (tx_status, error) result
 
 (** Up to [max] key-sorted pairs whose key starts with [prefix], merged
     across per-shard snapshots taken at one validated epoch — a scan
@@ -97,7 +158,10 @@ val commit_stats : t -> int * int
 
 (** {2 Fault injection} *)
 
-(** Install guard-dropping protocol mutants (sweep calibration only). *)
+(** Install guard-dropping protocol mutants (sweep calibration only).
+    {!Commit.Ack_early} is forwarded into every shard's batcher
+    ({!Batcher.set_ack_early}); {!Commit.No_dedup} disables the outcome
+    ledger dedup check so a tokened retry re-runs its commit. *)
 val set_mutants : t -> Commit.mutant list -> unit
 
 (** Arm a one-shot whole-machine crash ({!Commit.Injected_crash} raised
@@ -166,6 +230,11 @@ val attempted_batches : t -> shard:int -> string list list
 
 (** Current per-shard queue depths (batching only; [[]] otherwise). *)
 val queue_depths : t -> int list
+
+(** Fraction of the busiest shard's admission queue in use ([0.] when
+    batching is off): the server's cheap overload signal for per-class
+    shedding — scans go first, then multi-key writes. *)
+val overload_hint : t -> float
 
 (** Engine + per-shard stats (counters, queue depths, key-popularity
     heat sketches), commit-state snapshot, the sliding-window percentile

@@ -22,12 +22,28 @@
      CRASH 42 0.5 0.3 0        -> OK 12.5 (recovery ms) | ERR <detail>
      PING                      -> OK
 
-   Trace context: any payload may start with "RID <n> " (n > 0), a
-   client-assigned request id echoed on the response — e.g.
+   Request envelope: any request payload may start with up to three
+   optional prefixes, in this order —
 
-     RID 7 GET 3:abc           -> RID 7 VAL 5:hello
+     RID <n>   (n > 0)  client-assigned trace id, echoed on the response
+     TTL <us>  (us > 0) deadline budget in microseconds: if the request
+                        is still queued when it expires, the server sheds
+                        it with the retryable TIMEOUT response instead of
+                        wasting engine work
+     TOK <n>   (n > 0)  client write token (PUT/DEL/MPUT): the commit
+                        leaves a durable outcome record under the token,
+                        so a retried token dedups server-side
+                        (exactly-once) and TXSTAT can resolve its fate
 
-   Absent prefix = id 0, so old clients and servers interoperate.
+   e.g.  RID 7 TTL 50000 TOK 91 MPUT 1:a 2:v1 1:b 2:v2
+
+   Absent prefixes = 0, so old clients and servers interoperate.  Only
+   RID is echoed on responses.
+
+     TXSTAT 91                 -> TXSTAT COMMITTED 7 3 1
+                                  (txid, commit epoch, outcome records)
+                                | TXSTAT ABORTED | TXSTAT UNKNOWN
+     (shed request)            -> TIMEOUT  (retryable: nothing executed)
 
    The same grammar is documented for humans in README.md ("Serving"). *)
 
@@ -46,6 +62,12 @@ type req =
   | Stats
   | Metrics
   | Crash of { seed : int; evict_prob : float; torn_prob : float; bitflips : int }
+  | Txstat of int  (* resolve the fate of the write carrying this token *)
+
+(* Request envelope: the optional RID/TTL/TOK prefixes (0 = absent). *)
+type env = { rid : int; ttl_us : int; tok : int }
+
+let no_env = { rid = 0; ttl_us = 0; tok = 0 }
 
 type resp =
   | Ok
@@ -60,6 +82,10 @@ type resp =
   | Committed of { txid : int; epoch : int }
   | Unavail of string
   | In_doubt of int
+  | Timeout  (* shed before execution (TTL expired / overload): retryable *)
+  | Txstat_committed of { txid : int; epoch : int; records : int }
+  | Txstat_aborted
+  | Txstat_unknown
   | Err of string
 
 (* ---- payload encoding ---- *)
@@ -79,8 +105,14 @@ let payload f =
 (* "RID <n> " trace-context prefix; omitted when the id is 0. *)
 let with_rid rid p = if rid > 0 then Printf.sprintf "RID %d %s" rid p else p
 
-let encode_req ?(rid = 0) req =
-  with_rid rid
+(* Full request envelope, fixed prefix order RID, TTL, TOK. *)
+let with_env { rid; ttl_us; tok } p =
+  let p = if tok > 0 then Printf.sprintf "TOK %d %s" tok p else p in
+  let p = if ttl_us > 0 then Printf.sprintf "TTL %d %s" ttl_us p else p in
+  with_rid rid p
+
+let encode_req ?(rid = 0) ?(ttl_us = 0) ?(tok = 0) req =
+  with_env { rid; ttl_us; tok }
   @@
   match req with
   | Ping -> "PING"
@@ -115,6 +147,7 @@ let encode_req ?(rid = 0) req =
   | Metrics -> "METRICS"
   | Crash { seed; evict_prob; torn_prob; bitflips } ->
       Printf.sprintf "CRASH %d %g %g %d" seed evict_prob torn_prob bitflips
+  | Txstat tok -> Printf.sprintf "TXSTAT %d" tok
 
 let encode_resp ?(rid = 0) resp =
   with_rid rid
@@ -148,6 +181,11 @@ let encode_resp ?(rid = 0) resp =
   | Committed { txid; epoch } -> Printf.sprintf "COMMITTED %d %d" txid epoch
   | Unavail d -> payload (fun b -> Buffer.add_string b "UNAVAILABLE "; add_str b d)
   | In_doubt txid -> Printf.sprintf "INDOUBT %d" txid
+  | Timeout -> "TIMEOUT"
+  | Txstat_committed { txid; epoch; records } ->
+      Printf.sprintf "TXSTAT COMMITTED %d %d %d" txid epoch records
+  | Txstat_aborted -> "TXSTAT ABORTED"
+  | Txstat_unknown -> "TXSTAT UNKNOWN"
   | Err msg -> payload (fun b -> Buffer.add_string b "ERR "; add_str b msg)
 
 (* ---- payload decoding ---- *)
@@ -214,6 +252,25 @@ let split_rid = function
       if rid <= 0 then Error "RID must be positive" else Result.Ok (rid, rest)
   | toks -> Result.Ok (0, toks)
 
+(* RID, then TTL, then TOK — each optional, each positive. *)
+let split_env toks =
+  let* rid, toks = split_rid toks in
+  let* ttl_us, toks =
+    match toks with
+    | Atom "TTL" :: n :: rest ->
+        let* us = int_tok n in
+        if us <= 0 then Error "TTL must be positive" else Result.Ok (us, rest)
+    | toks -> Result.Ok (0, toks)
+  in
+  let* tok, toks =
+    match toks with
+    | Atom "TOK" :: n :: rest ->
+        let* tok = int_tok n in
+        if tok <= 0 then Error "TOK must be positive" else Result.Ok (tok, rest)
+    | toks -> Result.Ok (0, toks)
+  in
+  Result.Ok ({ rid; ttl_us; tok }, toks)
+
 let decode_req_toks toks =
   match toks with
   | [ Atom "PING" ] -> Result.Ok Ping
@@ -245,14 +302,21 @@ let decode_req_toks toks =
       let* torn_prob = float_tok torn in
       let* bitflips = int_tok flips in
       Result.Ok (Crash { seed; evict_prob; torn_prob; bitflips })
+  | [ Atom "TXSTAT"; tok ] ->
+      let* tok = int_tok tok in
+      if tok <= 0 then Error "TXSTAT token must be positive"
+      else Result.Ok (Txstat tok)
   | Atom c :: _ -> Error ("unknown or malformed command " ^ c)
   | _ -> Error "empty or malformed request"
 
-let decode_req_rid p =
+let decode_req_env p =
   let* toks = tokenize p in
-  let* rid, toks = split_rid toks in
+  let* env, toks = split_env toks in
   let* req = decode_req_toks toks in
-  Result.Ok (rid, req)
+  Result.Ok (env, req)
+
+let decode_req_rid p =
+  Result.map (fun (env, req) -> (env.rid, req)) (decode_req_env p)
 
 let decode_req p = Result.map snd (decode_req_rid p)
 
@@ -299,6 +363,14 @@ let decode_resp_toks toks =
   | [ Atom "INDOUBT"; txid ] ->
       let* txid = int_tok txid in
       Result.Ok (In_doubt txid)
+  | [ Atom "TIMEOUT" ] -> Result.Ok Timeout
+  | [ Atom "TXSTAT"; Atom "COMMITTED"; txid; epoch; records ] ->
+      let* txid = int_tok txid in
+      let* epoch = int_tok epoch in
+      let* records = int_tok records in
+      Result.Ok (Txstat_committed { txid; epoch; records })
+  | [ Atom "TXSTAT"; Atom "ABORTED" ] -> Result.Ok Txstat_aborted
+  | [ Atom "TXSTAT"; Atom "UNKNOWN" ] -> Result.Ok Txstat_unknown
   | [ Atom "ERR"; msg ] ->
       let* msg = str_tok msg in
       Result.Ok (Err msg)
@@ -315,17 +387,44 @@ let decode_resp p = Result.map snd (decode_resp_rid p)
 (* ---- framed blocking IO over a file descriptor ---- *)
 
 module Io = struct
+  exception Read_timeout
+
   type t = {
     fd : Unix.file_descr;
     buf : Bytes.t;
     mutable pos : int;  (* next unread byte in [buf] *)
     mutable len : int;  (* valid bytes in [buf] *)
+    mutable deadline : float;  (* absolute wall time; 0. = block forever *)
   }
 
-  let of_fd fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+  let of_fd fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0; deadline = 0. }
+  let set_deadline t d = t.deadline <- d
+
+  (* Poll until [fd] is readable or the deadline passes.  select is
+     restarted on EINTR and on spurious wakeups, re-deriving the
+     remaining budget from the absolute deadline each time. *)
+  let rec wait_readable t =
+    let remaining = t.deadline -. Unix.gettimeofday () in
+    if remaining <= 0. then raise Read_timeout;
+    match Unix.select [ t.fd ] [] [] remaining with
+    | [], _, _ -> wait_readable t
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable t
+
+  (* A signal landing during a blocking read (EINTR) or a spurious
+     wakeup on a nonblocking fd (EAGAIN) must not kill the frame: the
+     stream position is untouched, so just retry. *)
+  let rec read_some t =
+    if t.deadline > 0. then wait_readable t;
+    match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+    | n -> n
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        read_some t
 
   let refill t =
-    let n = Unix.read t.fd t.buf 0 (Bytes.length t.buf) in
+    let n = read_some t in
     t.pos <- 0;
     t.len <- n;
     n > 0
@@ -378,10 +477,13 @@ module Io = struct
   let write_all fd s =
     let b = Bytes.unsafe_of_string s in
     let rec go off len =
-      if len > 0 then begin
-        let n = Unix.write fd b off len in
-        go (off + n) (len - n)
-      end
+      if len > 0 then
+        match Unix.write fd b off len with
+        | n -> go (off + n) (len - n)
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            go off len
     in
     go 0 (String.length s)
 

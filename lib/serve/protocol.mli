@@ -18,6 +18,20 @@ type req =
   | Stats
   | Metrics  (** Prometheus text exposition of the server's registry *)
   | Crash of { seed : int; evict_prob : float; torn_prob : float; bitflips : int }
+  | Txstat of int
+      (** resolve the fate of the write that carried this client token:
+          answered from the durable outcome ledger, so it works across
+          reconnects, server restarts and recovery *)
+
+(** Request envelope: the optional [RID]/[TTL]/[TOK] payload prefixes
+    (in that order; 0 = absent).  [rid] is the trace id echoed on the
+    response; [ttl_us] a deadline budget in microseconds after which the
+    server sheds the still-queued request with [Timeout]; [tok] a client
+    write token making PUT/DEL/MPUT retries exactly-once. *)
+type env = { rid : int; ttl_us : int; tok : int }
+
+(** All-zero envelope (no prefixes). *)
+val no_env : env
 
 type resp =
   | Ok
@@ -41,6 +55,18 @@ type resp =
       (** MPUT outcome unknown: the named transaction prepared durably
           but the decide result was lost; recovery completes or rolls it
           back, so the client must re-read before replaying *)
+  | Timeout
+      (** the request was shed before execution (its TTL expired while
+          queued, or overload shedding dropped it): nothing ran, nothing
+          durable happened — always safe to retry *)
+  | Txstat_committed of { txid : int; epoch : int; records : int }
+      (** the token's write committed; [records] counts its outcome
+          records — a correct engine writes exactly one, so [records >
+          1] is proof of a duplicated (non-exactly-once) commit *)
+  | Txstat_aborted  (** definitely rolled back; replaying is safe *)
+  | Txstat_unknown
+      (** still in flight (or the token was never seen and the engine
+          cannot yet rule a verdict): poll again *)
   | Err of string
 
 (** Payload encoding/decoding (framing excluded). Decoders return a
@@ -56,19 +82,36 @@ type resp =
     [encode_resp] emit the prefix when [rid > 0]; [decode_req]/
     [decode_resp] accept and discard it, the [_rid] variants return it. *)
 
-val encode_req : ?rid:int -> req -> string
+val encode_req : ?rid:int -> ?ttl_us:int -> ?tok:int -> req -> string
 val decode_req : string -> (req, string) result
 val decode_req_rid : string -> (int * req, string) result
+
+(** Full envelope decode: RID, TTL and TOK prefixes. *)
+val decode_req_env : string -> (env * req, string) result
+
 val encode_resp : ?rid:int -> resp -> string
 val decode_resp : string -> (resp, string) result
 val decode_resp_rid : string -> (int * resp, string) result
 
 (** Framed blocking IO over a [Unix.file_descr] with an internal read
-    buffer.  One [Io.t] per connection (reads); writes are stateless. *)
+    buffer.  One [Io.t] per connection (reads); writes are stateless.
+    Reads and writes retry [EINTR]/[EAGAIN] — a signal landing during a
+    partial read or write never desyncs the stream. *)
 module Io : sig
+  (** Raised out of {!read_frame} when the read deadline passes with the
+      wanted bytes still missing.  The stream position is unspecified
+      (the frame may be half-read): the only safe continuation is to
+      close the connection. *)
+  exception Read_timeout
+
   type t
 
   val of_fd : Unix.file_descr -> t
+
+  (** [set_deadline t d] arms an absolute wall-clock read deadline
+      ([Unix.gettimeofday] scale) enforced with [select] before every
+      blocking read; [0.] (the initial state) blocks forever. *)
+  val set_deadline : t -> float -> unit
 
   (** [Ok None] is a clean EOF at a frame boundary. *)
   val read_frame : t -> (string option, string) result

@@ -10,7 +10,14 @@
    The protocol layer never kills the server: a malformed payload in a
    well-formed frame answers [Err reason] and the connection continues;
    a broken frame (unknown stream position) answers [Err] and closes
-   that one connection. *)
+   that one connection.  Likewise a connection that dies mid-frame —
+   for real or by injected chaos (Chaos.Cut) — only tears down its own
+   handler, whose tid slot is reaped and reused.
+
+   Degradation order under pressure: TTL-expired requests are shed
+   first (queued writes by the batcher, reads here at execution), then
+   scans, then multi-gets — cheap point ops and writes keep flowing
+   until admission control itself pushes back. *)
 
 module A = Stdlib.Atomic
 
@@ -21,10 +28,28 @@ type conn = {
   mutable cdom : unit Domain.t option;
 }
 
-type config = { host : string; port : int; max_conns : int; engine : Engine.config }
+type config = {
+  host : string;
+  port : int;
+  max_conns : int;
+  engine : Engine.config;
+  chaos : Chaos.source option;
+}
 
 let default_config =
-  { host = "127.0.0.1"; port = 0; max_conns = 8; engine = Engine.default_config }
+  {
+    host = "127.0.0.1";
+    port = 0;
+    max_conns = 8;
+    engine = Engine.default_config;
+    chaos = None;
+  }
+
+(* Overload shedding thresholds, as fractions of the busiest shard's
+   admission queue (Engine.overload_hint): scans go well before the
+   queue is full, multi-gets only when it is nearly so. *)
+let shed_scan_level = 0.5
+let shed_mget_level = 0.75
 
 type t = {
   cfg : config;
@@ -39,6 +64,9 @@ type t = {
   h_req : Obs.Metrics.histogram;
   h_parse : Obs.Metrics.histogram;
   h_ack : Obs.Metrics.histogram;
+  c_shed_scan : Obs.Metrics.counter;
+  c_shed_mget : Obs.Metrics.counter;
+  c_shed_read : Obs.Metrics.counter;  (* reads whose TTL expired pre-execution *)
   wins : Obs.Window.t array;  (* per op class, indexed like win_class *)
 }
 
@@ -55,12 +83,13 @@ let win_class : Protocol.req -> int = function
   | Mget _ -> 3
   | Mput _ -> 4
   | Scan _ -> 5
-  | Ping | Stats | Metrics | Crash _ -> -1
+  | Ping | Stats | Metrics | Crash _ | Txstat _ -> -1
 
 let err_of_engine = function
   | Engine.Overloaded -> Protocol.Overloaded
   | Engine.Unavailable d -> Protocol.Unavail d
   | Engine.In_doubt txid -> Protocol.In_doubt txid
+  | Engine.Timed_out -> Protocol.Timeout
 
 (* Engine gauges appended to the Prometheus exposition: the live values
    a scraper wants that are not registry counters/histograms. *)
@@ -79,35 +108,64 @@ let prom_gauges t =
   ]
   @ depths
 
-let execute t ~tid ~rid (req : Protocol.req) : Protocol.resp =
+(* [deadline] is absolute ([Unix.gettimeofday]; 0. = none), computed at
+   ingress from the TTL envelope prefix.  Writes carry it into the
+   engine (the batcher sheds queued expired requests); reads check it
+   here at execution — either way an expired request answers the
+   retryable [Timeout], never a half-executed result. *)
+let execute t ~tid ~env ~deadline (req : Protocol.req) : Protocol.resp =
+  let rid = env.Protocol.rid and tok = env.Protocol.tok in
+  let expired () = deadline > 0. && Unix.gettimeofday () > deadline in
+  let shed_read c =
+    Obs.Metrics.incr c ~tid;
+    Protocol.Timeout
+  in
   match req with
   | Ping -> Ok
-  | Get k -> (
-      match Engine.get t.eng ~tid k with
-      | Result.Ok (Some v) -> Val v
-      | Result.Ok None -> Nil
-      | Error e -> err_of_engine e)
+  | Get k ->
+      if expired () then shed_read t.c_shed_read
+      else (
+        match Engine.get t.eng ~tid k with
+        | Result.Ok (Some v) -> Val v
+        | Result.Ok None -> Nil
+        | Error e -> err_of_engine e)
   | Put (k, v) -> (
-      match Engine.put ~rid t.eng ~tid ~key:k ~value:v with
+      match Engine.put ~rid ~tok ~deadline t.eng ~tid ~key:k ~value:v with
       | Result.Ok () -> Ok
       | Error e -> err_of_engine e)
   | Del k -> (
-      match Engine.delete t.eng ~tid ~rid k with
+      match Engine.delete t.eng ~tid ~rid ~tok ~deadline k with
       | Result.Ok () -> Ok
       | Error e -> err_of_engine e)
-  | Scan { prefix; max } -> (
-      match Engine.scan t.eng ~tid ~prefix ~max with
-      | Result.Ok kvs -> Kvs kvs
-      | Error e -> err_of_engine e)
-  | Mget ks -> (
-      match Engine.multi_get t.eng ~tid ks with
-      | Result.Ok vs -> Vals vs
-      | Error e -> err_of_engine e)
+  | Scan { prefix; max } ->
+      if expired () then shed_read t.c_shed_read
+      else if Engine.overload_hint t.eng >= shed_scan_level then
+        shed_read t.c_shed_scan
+      else (
+        match Engine.scan t.eng ~tid ~prefix ~max with
+        | Result.Ok kvs -> Kvs kvs
+        | Error e -> err_of_engine e)
+  | Mget ks ->
+      if expired () then shed_read t.c_shed_read
+      else if Engine.overload_hint t.eng >= shed_mget_level then
+        shed_read t.c_shed_mget
+      else (
+        match Engine.multi_get t.eng ~tid ks with
+        | Result.Ok vs -> Vals vs
+        | Error e -> err_of_engine e)
   | Mput kvs -> (
       match
-        Engine.multi_put t.eng ~tid ~rid (List.map (fun (k, v) -> (k, Some v)) kvs)
+        Engine.multi_put t.eng ~tid ~rid ~tok ~deadline
+          (List.map (fun (k, v) -> (k, Some v)) kvs)
       with
       | Result.Ok { Engine.txid; epoch } -> Committed { txid; epoch }
+      | Error e -> err_of_engine e)
+  | Txstat tok -> (
+      match Engine.txstat t.eng ~tid tok with
+      | Result.Ok (Engine.Tx_committed { txid; epoch; records }) ->
+          Txstat_committed { txid; epoch; records }
+      | Result.Ok Engine.Tx_aborted -> Txstat_aborted
+      | Result.Ok Engine.Tx_unknown -> Txstat_unknown
       | Error e -> err_of_engine e)
   | Stats -> Json (Obs.Json.to_string (Engine.stats_json t.eng))
   | Metrics -> Text (Obs.prometheus ~extra:(prom_gauges t) ())
@@ -116,10 +174,12 @@ let execute t ~tid ~rid (req : Protocol.req) : Protocol.resp =
       | Result.Ok s -> Ok_ms (s *. 1e3)
       | Error d -> Err ("unrecoverable: " ^ d))
 
-let serve_one t ~tid ?(rid = 0) req =
+let serve_one t ~tid ?(env = Protocol.no_env) ?(deadline = 0.) req =
+  let rid = env.Protocol.rid in
   let t0 = Unix.gettimeofday () in
   let resp =
-    Obs.Trace.span Obs.Trace.Serve_op ~tid ~rid (fun () -> execute t ~tid ~rid req)
+    Obs.Trace.span Obs.Trace.Serve_op ~tid ~rid (fun () ->
+        execute t ~tid ~env ~deadline req)
   in
   let dt = Unix.gettimeofday () -. t0 in
   (* The per-class window is always on — it is what STATS exposes and
@@ -133,10 +193,14 @@ let serve_one t ~tid ?(rid = 0) req =
 let handle_conn t conn =
   let io = Protocol.Io.of_fd conn.cfd in
   let tid = conn.ctid in
+  let chaos = Option.map (fun src -> Chaos.conn src ~tid) t.cfg.chaos in
   let reply ?(rid = 0) resp =
     try
       let t0 = if Obs.is_active () then Unix.gettimeofday () else 0. in
-      Protocol.Io.write_frame io (Protocol.encode_resp ~rid resp);
+      let payload = Protocol.encode_resp ~rid resp in
+      (match chaos with
+      | None -> Protocol.Io.write_frame io payload
+      | Some ch -> Chaos.send ch conn.cfd payload);
       if t0 > 0. then begin
         Obs.Trace.complete Obs.Trace.Ack ~tid ~rid ~t0;
         if Obs.Metrics.is_on () then
@@ -147,6 +211,7 @@ let handle_conn t conn =
     with _ -> false
   in
   let rec loop () =
+    Option.iter Chaos.before_read chaos;
     match Protocol.Io.read_frame io with
     | Result.Ok None -> ()  (* clean EOF *)
     | Error reason ->
@@ -155,16 +220,24 @@ let handle_conn t conn =
         ignore (reply (Protocol.Err ("bad frame: " ^ reason)))
     | Result.Ok (Some payload) -> (
         let t0 = if Obs.is_active () then Unix.gettimeofday () else 0. in
-        match Protocol.decode_req_rid payload with
+        match Protocol.decode_req_env payload with
         | Error reason -> if reply (Protocol.Err ("bad request: " ^ reason)) then loop ()
-        | Result.Ok (rid, req) ->
+        | Result.Ok (env, req) ->
+            let rid = env.Protocol.rid in
             if t0 > 0. then begin
               Obs.Trace.complete Obs.Trace.Ingress ~tid ~rid ~t0;
               if Obs.Metrics.is_on () then
                 Obs.Metrics.record_ns t.h_parse ~tid
                   (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
             end;
-            if reply ~rid (serve_one t ~tid ~rid req) then loop ())
+            (* The TTL clock starts at ingress, covering queueing and
+               execution but not the network hop in. *)
+            let deadline =
+              if env.Protocol.ttl_us > 0 then
+                Unix.gettimeofday () +. (float_of_int env.Protocol.ttl_us *. 1e-6)
+              else 0.
+            in
+            if reply ~rid (serve_one t ~tid ~env ~deadline req) then loop ())
   in
   (try loop () with _ -> ());
   (try Unix.close conn.cfd with Unix.Unix_error _ -> ());
@@ -248,6 +321,9 @@ let start cfg =
       h_req = Obs.Metrics.histogram "serve.request_ns";
       h_parse = Obs.Metrics.histogram "serve.stage.parse";
       h_ack = Obs.Metrics.histogram "serve.stage.ack";
+      c_shed_scan = Obs.Metrics.counter "serve.shed.scan";
+      c_shed_mget = Obs.Metrics.counter "serve.shed.mget";
+      c_shed_read = Obs.Metrics.counter "serve.shed.read_expired";
       wins = Array.map Obs.Window.create win_names;
     }
   in
@@ -277,4 +353,37 @@ let stop t =
     Mutex.unlock t.lock
   end
 
+(* Graceful drain: stop accepting, then shut only the RECEIVE side of
+   every connection — a handler blocked on the next frame sees a clean
+   EOF, while one mid-request finishes executing and its ack still
+   flows out the intact send side.  Every acked write is durable
+   (that's the ack contract), so after drain a restart loses nothing. *)
+let drain t =
+  if not (A.exchange t.stopping true) then begin
+    (try Unix.shutdown t.listener SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    Option.iter Domain.join t.accept_dom;
+    t.accept_dom <- None;
+    Mutex.lock t.lock;
+    let conns = t.conns in
+    Mutex.unlock t.lock;
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.cfd SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun c -> Option.iter Domain.join c.cdom) conns;
+    Mutex.lock t.lock;
+    t.conns <- [];
+    Mutex.unlock t.lock
+  end
+
 let wait t = Option.iter Domain.join t.accept_dom
+
+(* Live handler count (joined handlers excluded): the mid-frame
+   disconnect test asserts the slot comes back. *)
+let live_conns t =
+  Mutex.lock t.lock;
+  reap_locked t;
+  let n = List.length t.conns in
+  Mutex.unlock t.lock;
+  n

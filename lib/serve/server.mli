@@ -2,16 +2,27 @@
     domain per live connection, each assigned an engine tid from a fixed
     pool of [max_conns] slots (tid 0 is reserved for in-process callers).
     Speaks the length-prefixed {!Protocol}; malformed requests answer
-    [Err] without killing the server. *)
+    [Err] without killing the server, and a connection dying mid-frame
+    only tears down its own handler (the tid slot is reaped and reused).
+
+    Degradation under pressure, in order: TTL-expired requests are shed
+    with the retryable [Timeout] (queued writes by the batcher, reads at
+    execution), then scans, then multi-gets (per-class thresholds on
+    {!Engine.overload_hint}); point ops and writes keep flowing until
+    admission control pushes back with [Overloaded]. *)
 
 type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
   max_conns : int;  (** connection-slot pool; excess accepts answer [Overloaded] *)
   engine : Engine.config;  (** [num_threads] must exceed [max_conns] *)
+  chaos : Chaos.source option;
+      (** inject seeded network faults into every connection (tests and
+          the chaos sweep only) *)
 }
 
-(** 127.0.0.1, ephemeral port, 8 connection slots, {!Engine.default_config}. *)
+(** 127.0.0.1, ephemeral port, 8 connection slots,
+    {!Engine.default_config}, no chaos. *)
 val default_config : config
 
 type t
@@ -23,8 +34,19 @@ val port : t -> int
 val engine : t -> Engine.t
 
 (** Idempotent: closes the listener and every live connection, then joins
-    all domains. *)
+    all domains.  Abrupt — a request mid-execution loses its ack (the
+    write may still be durable); use {!drain} for the graceful variant. *)
 val stop : t -> unit
+
+(** Graceful drain: stop accepting, shut the receive side of every
+    connection so handlers finish (and ack) their in-flight request,
+    then join all domains.  Every acked write is durable, so a restart
+    after [drain] loses nothing.  Idempotent with {!stop} (first of the
+    two wins). *)
+val drain : t -> unit
 
 (** Blocks until the accept loop exits (i.e. until {!stop}). *)
 val wait : t -> unit
+
+(** Live handler-domain count (finished handlers are reaped first). *)
+val live_conns : t -> int

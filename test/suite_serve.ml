@@ -11,7 +11,7 @@ module P = Serve.Protocol
 module C = Serve.Commit
 
 let small_engine ?(shards = 2) ?(num_threads = 4) ?(batch = true) ?(max_batch = 4)
-    ?(linger_steps = 0) ?(queue_cap = 16) () =
+    ?(linger_steps = 0) ?(queue_cap = 16) ?backing_dir () =
   E.create
     {
       E.shards;
@@ -22,6 +22,7 @@ let small_engine ?(shards = 2) ?(num_threads = 4) ?(batch = true) ?(max_batch = 
       linger_us = 0.;
       linger_steps;
       queue_cap;
+      backing_dir;
     }
 
 (* ---- protocol ---- *)
@@ -382,7 +383,7 @@ let test_overload_backpressure () =
       (match E.put e ~tid:fid ~key:(Printf.sprintf "k%d" fid) ~value:"v" with
       | Ok () -> `Acked
       | Error E.Overloaded -> `Overloaded
-      | Error (E.Unavailable _ | E.In_doubt _) -> `Unavailable)
+      | Error (E.Unavailable _ | E.In_doubt _ | E.Timed_out) -> `Unavailable)
   in
   let r = Sched.run ~seed:3 ~num_fibers:6 body in
   List.iter (fun s -> Alcotest.(check string) "no fiber wedged" "finished" s)
@@ -825,6 +826,7 @@ let test_socket_smoke () =
             num_threads = 3;
             capacity_bytes = 1 lsl 16;
           };
+        chaos = None;
       }
   with
   | exception Unix.Unix_error ((EPERM | EACCES | EADDRNOTAVAIL), _, _) ->
@@ -843,6 +845,7 @@ let test_socket_smoke () =
         | Error (`Unavailable d) -> Alcotest.fail ("unavailable: " ^ d)
         | Error (`InDoubt txid) ->
             Alcotest.fail (Printf.sprintf "in doubt: txn %d" txid)
+        | Error `Timeout -> Alcotest.fail "unexpected timeout"
         | Error (`Err e) -> Alcotest.fail e
       in
       ok (Serve.Client.put c ~key:"alpha" ~value:"1");
@@ -881,6 +884,532 @@ let test_socket_smoke () =
       ok (Serve.Client.del c "alpha");
       Alcotest.(check (option string)) "deleted" None (ok (Serve.Client.get c "alpha"))
 
+(* ---- resilience: envelope, framing, policy, exactly-once, chaos ---- *)
+
+let test_env_roundtrip () =
+  List.iter
+    (fun ((rid, ttl_us, tok), req) ->
+      let s = P.encode_req ~rid ~ttl_us ~tok req in
+      match P.decode_req_env s with
+      | Ok (env, req') ->
+          Alcotest.(check bool)
+            ("envelope survives: " ^ s)
+            true
+            (env.P.rid = rid && env.P.ttl_us = ttl_us && env.P.tok = tok
+           && req' = req)
+      | Error e -> Alcotest.fail (s ^ ": " ^ e))
+    [
+      ((0, 0, 0), P.Ping);
+      ((7, 0, 0), P.Get "key");
+      ((0, 2500, 0), P.Scan { prefix = "x"; max = 4 });
+      ((0, 0, 99), P.Put ("k", "v with spaces"));
+      ((12, 1, 345), P.Mput [ ("a", "1"); ("b", "2") ]);
+      ((1, 50_000, 7), P.Del "gone");
+      ((0, 0, 0), P.Txstat 42);
+    ];
+  List.iter
+    (fun r ->
+      match P.decode_resp (P.encode_resp r) with
+      | Ok r' ->
+          Alcotest.(check bool) "shed/TXSTAT responses round-trip" true (r = r')
+      | Error e -> Alcotest.fail e)
+    [
+      P.Timeout;
+      P.Txstat_committed { txid = 9; epoch = 4; records = 2 };
+      P.Txstat_aborted;
+      P.Txstat_unknown;
+    ]
+
+let test_env_malformed () =
+  List.iter
+    (fun s ->
+      match P.decode_req_env s with
+      | Ok _ -> Alcotest.fail ("accepted malformed envelope: " ^ s)
+      | Error _ -> ())
+    [
+      "RID 0 PING";
+      "TTL 0 PING";
+      "TTL x PING";
+      "TOK -3 PING";
+      "TOK 5";
+      "TOK 3 TTL 5 PING" (* prefixes out of order *);
+      "TOK 3 TOK 4 PING";
+      "TXSTAT 0";
+      "TXSTAT";
+    ]
+
+let test_io_framing_fuzz () =
+  let with_pair f =
+    let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close a with Unix.Unix_error _ -> ());
+        try Unix.close b with Unix.Unix_error _ -> ())
+      (fun () -> f a b)
+  in
+  (* Seeded binary payloads written as one stream by a concurrently
+     scheduled domain in 1-7 byte chunks: the reader must reassemble
+     every frame exactly, then see a clean EOF at the boundary. *)
+  with_pair (fun a b ->
+      let rng = Random.State.make [| 0xf4a2e; 17 |] in
+      let payloads =
+        List.init 25 (fun _ ->
+            String.init (Random.State.int rng 300) (fun _ ->
+                Char.chr (Random.State.int rng 256)))
+      in
+      let stream =
+        String.concat ""
+          (List.map
+             (fun p -> Printf.sprintf "%d\n%s" (String.length p) p)
+             payloads)
+      in
+      let writer =
+        Domain.spawn (fun () ->
+            let rng = Random.State.make [| 0x5eed |] in
+            let n = String.length stream in
+            let i = ref 0 in
+            while !i < n do
+              let k = min (1 + Random.State.int rng 7) (n - !i) in
+              i := !i + Unix.write_substring a stream !i k
+            done;
+            Unix.close a)
+      in
+      let io = P.Io.of_fd b in
+      List.iteri
+        (fun i p ->
+          match P.Io.read_frame io with
+          | Ok (Some got) ->
+              if got <> p then
+                Alcotest.fail
+                  (Printf.sprintf "frame %d corrupted in reassembly" i)
+          | Ok None -> Alcotest.fail "EOF before all frames"
+          | Error e -> Alcotest.fail e)
+        payloads;
+      (match P.Io.read_frame io with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "expected clean EOF at frame boundary");
+      Domain.join writer);
+  (* Malformed streams must come back as decode errors, never crash or
+     hang; an empty stream is a clean EOF. *)
+  let feed bytes check =
+    with_pair (fun a b ->
+        if bytes <> "" then
+          ignore (Unix.write_substring a bytes 0 (String.length bytes));
+        Unix.close a;
+        check (P.Io.read_frame (P.Io.of_fd b)))
+  in
+  let expect_err what = function
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ ": expected a framing error")
+  in
+  feed "" (function
+    | Ok None -> ()
+    | _ -> Alcotest.fail "empty stream must be a clean EOF");
+  feed "xyz\nrest" (expect_err "garbage length line");
+  feed "\n" (expect_err "empty frame header");
+  feed "12" (expect_err "EOF inside header");
+  feed "5\nab" (expect_err "EOF inside payload");
+  feed "-4\nabcd" (expect_err "negative length");
+  feed "99999999\n" (expect_err "length above max_frame");
+  feed "9999999999\n" (expect_err "overlong header");
+  (* An armed read deadline with no bytes arriving raises Read_timeout. *)
+  with_pair (fun _a b ->
+      let io = P.Io.of_fd b in
+      P.Io.set_deadline io (Unix.gettimeofday () +. 0.05);
+      match P.Io.read_frame io with
+      | exception P.Io.Read_timeout -> ()
+      | _ -> Alcotest.fail "armed deadline must raise Read_timeout")
+
+let test_chaos_plan_roundtrip () =
+  let module Ch = Serve.Chaos in
+  let check_rt p =
+    let s = Ch.pp_plan p in
+    match Ch.parse_plan s with
+    | Ok p' -> Alcotest.(check string) "pp/parse fixpoint" s (Ch.pp_plan p')
+    | Error e -> Alcotest.fail (s ^ ": " ^ e)
+  in
+  check_rt Ch.default_plan;
+  check_rt
+    {
+      Ch.seed = 94211;
+      sever_prob = 0.015;
+      truncate_prob = 0.005;
+      corrupt_prob = 0.002;
+      delay_prob = 0.2;
+      delay_us = 450;
+      stall_prob = 0.001;
+      stall_us = 30_000;
+      drop_prob = 0.08;
+    };
+  List.iter
+    (fun s ->
+      match Ch.parse_plan s with
+      | Ok _ -> Alcotest.fail ("accepted bad plan: " ^ s)
+      | Error _ -> ())
+    [ "sever=1.5"; "bogus=1"; "seed=x"; "drop=-0.1"; "seed" ];
+  Alcotest.(check bool) "derive is deterministic and spreads" true
+    (Ch.derive 42 1 = Ch.derive 42 1 && Ch.derive 42 1 <> Ch.derive 42 2)
+
+let test_deadline_shed_engine () =
+  let e = small_engine ~shards:2 () in
+  let past = Unix.gettimeofday () -. 1. in
+  (match E.put ~deadline:past e ~tid:0 ~key:"late" ~value:"v" with
+  | Error E.Timed_out -> ()
+  | Ok () -> Alcotest.fail "expired put must be shed"
+  | Error _ -> Alcotest.fail "expected Timed_out");
+  (match E.delete e ~tid:0 ~deadline:past "late" with
+  | Error E.Timed_out -> ()
+  | _ -> Alcotest.fail "expired delete must be shed");
+  (match E.get e ~tid:0 "late" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "shed write must leave nothing durable");
+  match E.put e ~tid:0 ~key:"ok" ~value:"v" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "undeadlined put must still land"
+
+let test_exactly_once_txstat () =
+  let e = small_engine ~shards:2 ~num_threads:3 () in
+  let ok what = function
+    | Ok v -> v
+    | Error _ -> Alcotest.fail ("engine error: " ^ what)
+  in
+  (* Single-shard tokened put: the retry overwrites the same ledger key,
+     so exactly one outcome record survives. *)
+  ok "put tok 7" (E.put ~tok:7 e ~tid:0 ~key:"k1" ~value:"v1");
+  ok "retry tok 7" (E.put ~tok:7 e ~tid:0 ~key:"k1" ~value:"v1");
+  (match E.txstat e ~tid:0 7 with
+  | Ok (E.Tx_committed { records; _ }) ->
+      Alcotest.(check int) "single-shard retry leaves one record" 1 records
+  | _ -> Alcotest.fail "tok 7 must resolve committed");
+  (* Cross-shard tokened MPUT: keys pinned to distinct shards so the
+     commit really is two-phase; the retry is answered from the ledger
+     with the original ack. *)
+  let key_on shard =
+    let rec go i =
+      let k = Printf.sprintf "xk%d" i in
+      if E.shard_of e k = shard then k else go (i + 1)
+    in
+    go 0
+  in
+  let kvs = [ (key_on 0, Some "a"); (key_on 1, Some "b") ] in
+  let ack1 = ok "mput tok 9" (E.multi_put ~tok:9 e ~tid:1 kvs) in
+  let ack2 = ok "retry tok 9" (E.multi_put ~tok:9 e ~tid:1 kvs) in
+  Alcotest.(check bool) "retry answered from the ledger" true
+    (ack1.E.txid = ack2.E.txid && ack1.E.epoch = ack2.E.epoch);
+  (match E.txstat e ~tid:0 9 with
+  | Ok (E.Tx_committed { records; _ }) ->
+      Alcotest.(check int) "dedup keeps exactly one outcome record" 1 records
+  | _ -> Alcotest.fail "tok 9 must resolve committed");
+  (match E.txstat e ~tid:0 424242 with
+  | Ok E.Tx_aborted -> ()
+  | _ -> Alcotest.fail "unseen token must be presumed aborted");
+  (* The no-dedup mutant re-executes the retry under a fresh txid and
+     leaves a second record — durable proof the guard matters. *)
+  E.set_mutants e [ C.No_dedup ];
+  ignore (ok "mutant retry tok 9" (E.multi_put ~tok:9 e ~tid:1 kvs));
+  E.set_mutants e [];
+  match E.txstat e ~tid:0 9 with
+  | Ok (E.Tx_committed { records; _ }) ->
+      Alcotest.(check bool) "mutant leaves duplicated outcome records" true
+        (records >= 2)
+  | _ -> Alcotest.fail "tok 9 still committed after the mutant retry"
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "redodb-test" "" in
+  Unix.unlink dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_backed_reopen () =
+  with_temp_dir @@ fun dir ->
+  let mk () = small_engine ~shards:2 ~batch:false ~backing_dir:dir () in
+  let ok what = function
+    | Ok v -> v
+    | Error _ -> Alcotest.fail ("engine error: " ^ what)
+  in
+  let e1 = mk () in
+  for i = 0 to 19 do
+    ok "seed put"
+      (E.put e1 ~tid:0 ~key:(Printf.sprintf "key%02d" i)
+         ~value:(string_of_int i))
+  done;
+  ignore
+    (ok "seed mput" (E.multi_put e1 ~tid:0 [ ("m0", Some "a"); ("m1", Some "b") ]));
+  (* A fresh engine over the same directory reopens the region files and
+     recovers every acked write instead of formatting. *)
+  let e2 = mk () in
+  for i = 0 to 19 do
+    Alcotest.(check (option string))
+      "value survives reopen"
+      (Some (string_of_int i))
+      (ok "reopened get" (E.get e2 ~tid:0 (Printf.sprintf "key%02d" i)))
+  done;
+  Alcotest.(check (option string))
+    "mput survives reopen" (Some "b")
+    (ok "reopened get" (E.get e2 ~tid:0 "m1"))
+
+let test_unformatted_region_recreated () =
+  with_temp_dir @@ fun dir ->
+  (* A kill landing between a region file's ftruncate and its format's
+     first psync leaves a nonempty all-zeros file.  It holds no data, so
+     opening it must recreate the region — refusing would turn one
+     unlucky kill into a permanent crash loop. *)
+  let oc = open_out_bin (Filename.concat dir "shard-0.region") in
+  output_string oc (String.make 4096 '\000');
+  close_out oc;
+  let e = small_engine ~shards:2 ~batch:false ~backing_dir:dir () in
+  (match E.put e ~tid:0 ~key:"alive" ~value:"yes" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "engine over a cut-down region must serve");
+  match E.get e ~tid:0 "alive" with
+  | Ok (Some "yes") -> ()
+  | _ -> Alcotest.fail "write over a recreated region must stick"
+
+let serve_config ?(max_conns = 4) ?(linger_us = 0.) () =
+  {
+    Serve.Server.host = "127.0.0.1";
+    port = 0;
+    max_conns;
+    engine =
+      {
+        E.default_config with
+        shards = 2;
+        num_threads = max_conns + 2;
+        capacity_bytes = 1 lsl 16;
+        max_batch = 8;
+        linger_us;
+      };
+    chaos = None;
+  }
+
+let loopback_unavailable = function
+  | Unix.Unix_error ((EPERM | EACCES | EADDRNOTAVAIL), _, _) -> true
+  | _ -> false
+
+let test_client_call_timeout () =
+  (* A listener that accepts and then never replies: the read deadline
+     must cut each attempt, and the idempotent request must come back
+     [`Timeout] once retries exhaust — bounded, never hung. *)
+  let srv = Unix.socket PF_INET SOCK_STREAM 0 in
+  match
+    Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    Unix.listen srv 8
+  with
+  | exception e when loopback_unavailable e ->
+      Unix.close srv;
+      Printf.printf "client timeout skipped: loopback sockets unavailable\n"
+  | () ->
+      let port =
+        match Unix.getsockname srv with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      let held = ref [] in
+      let stop = Atomic.make false in
+      (* select-driven accept: a plain blocking accept would not wake
+         when the main domain closes the listener *)
+      let acceptor =
+        Domain.spawn (fun () ->
+            try
+              while not (Atomic.get stop) do
+                match Unix.select [ srv ] [] [] 0.05 with
+                | [], _, _ -> ()
+                | _ ->
+                    let fd, _ = Unix.accept srv in
+                    held := fd :: !held
+              done
+            with Unix.Unix_error _ | Invalid_argument _ -> ())
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          Domain.join acceptor;
+          (try Unix.close srv with Unix.Unix_error _ -> ());
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            !held)
+        (fun () ->
+          let policy =
+            {
+              Serve.Client.resilient with
+              call_timeout = 0.15;
+              max_retries = 1;
+              base_delay = 0.005;
+              max_delay = 0.01;
+              reconnect_attempts = 2;
+              reconnect_delay = 0.01;
+            }
+          in
+          let c = Serve.Client.connect ~policy ~host:"127.0.0.1" ~port () in
+          Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+          let t0 = Unix.gettimeofday () in
+          (match Serve.Client.get c "k" with
+          | Error `Timeout -> ()
+          | Ok _ -> Alcotest.fail "a silent server cannot answer"
+          | Error _ -> Alcotest.fail "expected `Timeout");
+          let dt = Unix.gettimeofday () -. t0 in
+          Alcotest.(check bool) "bounded by deadline x attempts" true (dt < 3.);
+          let t = Serve.Client.tallies c in
+          Alcotest.(check bool) "deadline cuts were counted" true
+            (t.Serve.Client.timeouts >= 2))
+
+let test_midframe_disconnect_no_leak () =
+  match Serve.Server.start (serve_config ~max_conns:2 ()) with
+  | exception e when loopback_unavailable e ->
+      Printf.printf "mid-frame test skipped: loopback sockets unavailable\n"
+  | srv ->
+      Fun.protect ~finally:(fun () -> Serve.Server.stop srv) @@ fun () ->
+      let port = Serve.Server.port srv in
+      let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+      (* Clients that die mid-frame (header sent, payload never comes)
+         must not leak handler slots. *)
+      for _ = 1 to 6 do
+        let s = Unix.socket PF_INET SOCK_STREAM 0 in
+        Unix.connect s addr;
+        ignore (Unix.write_substring s "100\nabc" 0 7);
+        Unix.close s
+      done;
+      let deadline = Unix.gettimeofday () +. 5. in
+      while
+        Serve.Server.live_conns srv > 0 && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.005
+      done;
+      Alcotest.(check int) "mid-frame disconnects free their slots" 0
+        (Serve.Server.live_conns srv);
+      (* The kernel backlog can still hold churn connections the server
+         answers OVERLOADED while its slots cycle — keep probing until a
+         fresh client is actually served. *)
+      let rec probe until =
+        let c = Serve.Client.connect ~retries:50 ~host:"127.0.0.1" ~port () in
+        match Serve.Client.ping c with
+        | () -> c
+        | exception Serve.Client.Protocol_error _
+          when Unix.gettimeofday () < until ->
+            Serve.Client.close c;
+            Unix.sleepf 0.02;
+            probe until
+      in
+      let c = probe (Unix.gettimeofday () +. 5.) in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      match Serve.Client.put c ~key:"after" ~value:"ok" with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "server must keep serving after the churn"
+
+let test_ttl_shed_over_wire () =
+  (* 1 ms TTL inside a 30 ms group-commit linger window: the batcher
+     must shed the queued write with TIMEOUT and commit nothing. *)
+  match Serve.Server.start (serve_config ~linger_us:30_000. ()) with
+  | exception e when loopback_unavailable e ->
+      Printf.printf "ttl shed skipped: loopback sockets unavailable\n"
+  | srv ->
+      Fun.protect ~finally:(fun () -> Serve.Server.stop srv) @@ fun () ->
+      let c =
+        Serve.Client.connect ~retries:50 ~host:"127.0.0.1"
+          ~port:(Serve.Server.port srv) ()
+      in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      (match Serve.Client.put c ~ttl_us:1000 ~key:"stale" ~value:"v" with
+      | Error `Timeout -> ()
+      | Ok () -> Alcotest.fail "expired TTL must shed the write"
+      | Error _ -> Alcotest.fail "expected `Timeout");
+      (match E.get (Serve.Server.engine srv) ~tid:0 "stale" with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "shed write must leave nothing durable");
+      (match Serve.Client.put c ~key:"fresh" ~value:"v" with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "untimed put must ride the linger window");
+      match Serve.Client.get c "fresh" with
+      | Ok (Some "v") -> ()
+      | _ -> Alcotest.fail "fresh write must be readable"
+
+let test_graceful_drain () =
+  match Serve.Server.start (serve_config ()) with
+  | exception e when loopback_unavailable e ->
+      Printf.printf "drain test skipped: loopback sockets unavailable\n"
+  | srv ->
+      let port = Serve.Server.port srv in
+      let c = Serve.Client.connect ~retries:50 ~host:"127.0.0.1" ~port () in
+      (match Serve.Client.put c ~key:"durable" ~value:"1" with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "put before drain");
+      Serve.Client.close c;
+      Serve.Server.drain srv;
+      let deadline = Unix.gettimeofday () +. 5. in
+      while
+        Serve.Server.live_conns srv > 0 && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.005
+      done;
+      Alcotest.(check int) "drained server holds no connections" 0
+        (Serve.Server.live_conns srv);
+      (match E.get (Serve.Server.engine srv) ~tid:0 "durable" with
+      | Ok (Some "1") -> ()
+      | _ -> Alcotest.fail "acked write must survive the drain");
+      (match Serve.Client.connect ~host:"127.0.0.1" ~port () with
+      | exception _ -> ()
+      | c2 ->
+          Serve.Client.close c2;
+          Alcotest.fail "drained listener must refuse new connections");
+      (* stop after drain is an idempotent no-op, not an error *)
+      Serve.Server.stop srv
+
+let test_resilient_client_under_chaos () =
+  let plan =
+    {
+      Serve.Chaos.default_plan with
+      seed = 4242;
+      drop_prob = 0.25;
+      truncate_prob = 0.05;
+      delay_prob = 0.1;
+      delay_us = 200;
+    }
+  in
+  let src = Serve.Chaos.source plan in
+  let cfg = { (serve_config ()) with Serve.Server.chaos = Some src } in
+  match Serve.Server.start cfg with
+  | exception e when loopback_unavailable e ->
+      Printf.printf "chaos client skipped: loopback sockets unavailable\n"
+  | srv ->
+      Fun.protect ~finally:(fun () -> Serve.Server.stop srv) @@ fun () ->
+      let policy =
+        {
+          Serve.Client.resilient with
+          call_timeout = 0.2;
+          max_retries = 10;
+          reconnect_attempts = 30;
+          reconnect_delay = 0.005;
+        }
+      in
+      let c =
+        Serve.Client.connect ~retries:50 ~policy ~host:"127.0.0.1"
+          ~port:(Serve.Server.port srv) ()
+      in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      for i = 0 to 11 do
+        let key = Printf.sprintf "c%02d" i in
+        let tok = Serve.Client.fresh_tok c in
+        match Serve.Client.put ~tok c ~key ~value:(string_of_int i) with
+        | Ok () -> ()
+        | Error (`InDoubt _) ->
+            Alcotest.fail "tokened put must resolve, not stay in doubt"
+        | Error _ -> Alcotest.fail ("put failed under chaos: " ^ key)
+      done;
+      let e = Serve.Server.engine srv in
+      for i = 0 to 11 do
+        match E.get e ~tid:0 (Printf.sprintf "c%02d" i) with
+        | Ok (Some v) when v = string_of_int i -> ()
+        | _ -> Alcotest.fail "acked write missing after chaos"
+      done;
+      Alcotest.(check bool) "chaos actually injected faults" true
+        (Serve.Chaos.total_faults src > 0)
+
 let suites =
   [
     ( "serve-protocol",
@@ -892,6 +1421,14 @@ let suites =
           test_rid_roundtrip;
         Alcotest.test_case "METRICS/TEXT round-trips" `Quick
           test_metrics_roundtrip;
+        Alcotest.test_case "RID/TTL/TOK envelope round-trips" `Quick
+          test_env_roundtrip;
+        Alcotest.test_case "malformed envelopes are rejected" `Quick
+          test_env_malformed;
+        Alcotest.test_case "frame decoder survives dribble and garbage" `Quick
+          test_io_framing_fuzz;
+        Alcotest.test_case "chaos plans pp/parse round-trip" `Quick
+          test_chaos_plan_roundtrip;
       ] );
     ( "serve-engine",
       [
@@ -926,4 +1463,25 @@ let suites =
       ] );
     ( "serve-wire",
       [ Alcotest.test_case "loopback socket smoke" `Quick test_socket_smoke ] );
+    ( "serve-resilience",
+      [
+        Alcotest.test_case "expired deadlines shed before durable work" `Quick
+          test_deadline_shed_engine;
+        Alcotest.test_case "tokened retries are exactly-once (TXSTAT)" `Quick
+          test_exactly_once_txstat;
+        Alcotest.test_case "acked writes survive engine reopen" `Quick
+          test_backed_reopen;
+        Alcotest.test_case "cut-down region file is recreated, not refused"
+          `Quick test_unformatted_region_recreated;
+        Alcotest.test_case "client call timeout is bounded" `Quick
+          test_client_call_timeout;
+        Alcotest.test_case "mid-frame disconnects leak no handler slots" `Quick
+          test_midframe_disconnect_no_leak;
+        Alcotest.test_case "TTL expiry sheds queued writes over the wire"
+          `Quick test_ttl_shed_over_wire;
+        Alcotest.test_case "graceful drain keeps acked writes" `Quick
+          test_graceful_drain;
+        Alcotest.test_case "resilient client rides out injected chaos" `Quick
+          test_resilient_client_under_chaos;
+      ] );
   ]
