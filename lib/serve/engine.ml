@@ -750,18 +750,24 @@ let count t ~tid =
 
 (* ---- crash and recovery ---- *)
 
+(* Every shard recovers before anything is reported: an early refusal
+   must not abandon the shards after it (their acked data would sit
+   unrecovered behind a healthy region) — fault isolation starts here.
+   [Error detail] names the COMPLETE failing set, in shard order. *)
 let recover_shards t ~seed ~evict_prob ~torn_prob ~bitflips =
-  let rec go s acc =
-    if s >= t.cfg.shards then Result.Ok acc
-    else
-      match
-        Kv.Redodb.crash_with_faults t.dbs.(s) ~seed:(seed + s) ~evict_prob
-          ~torn_prob ~bitflips
-      with
-      | Result.Ok dt -> go (s + 1) (acc +. dt)
-      | Error detail -> Error (Printf.sprintf "shard %d: %s" s detail)
-  in
-  go 0 0.
+  let bad = ref [] in
+  let total = ref 0. in
+  for s = t.cfg.shards - 1 downto 0 do
+    match
+      Kv.Redodb.crash_with_faults t.dbs.(s) ~seed:(seed + s) ~evict_prob
+        ~torn_prob ~bitflips
+    with
+    | Result.Ok dt -> total := !total +. dt
+    | Error detail -> bad := Printf.sprintf "shard %d: %s" s detail :: !bad
+  done;
+  match !bad with
+  | [] -> Result.Ok !total
+  | bad -> Error (String.concat "; " bad)
 
 (* Commit recovery, from the durable records alone (every shard's region
    is self-describing: any prepare record names all participants).
