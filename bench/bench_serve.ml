@@ -4,7 +4,12 @@
    range on their own connection, retrying on OVERLOADED backpressure;
    an optional crasher fires the protocol-level CRASH (simulated power
    failure + per-shard recovery + cross-shard commit recovery) once a
-   fraction of the total load is in flight.  MPUTs span the shards (a
+   fraction of the total load is in flight; an optional corrupter
+   (--corrupt-shard N@k) injects silent bit rot into one shard's
+   durable metadata mid-load and then requires the server's online
+   scrubber to quarantine, rebuild and readmit that shard before the
+   verify phase — measuring the client-visible cost of a full
+   self-healing round-trip.  MPUTs span the shards (a
    group of derived keys sharing one value), exercising the two-phase
    cross-shard commit; SCANs exercise the epoch-validated snapshot
    path.  Client-side latencies are recorded per op class (p50/p99).
@@ -95,6 +100,7 @@ let () =
   let call_timeout = ref 0. in
   let cl_retries = ref 0 in
   let ttl_us = ref 0 in
+  let corrupt_spec = ref None in
   let spec =
     [
       ("--host", Arg.Set_string host, "ADDR server address (default 127.0.0.1)");
@@ -141,6 +147,33 @@ let () =
         Arg.Set_int ttl_us,
         "T attach a T-microsecond server-side deadline to every request \
          (expired requests are shed with TIMEOUT)" );
+      ( "--corrupt-shard",
+        Arg.String
+          (fun s ->
+            match String.index_opt s '@' with
+            | Some at -> (
+                let shard = String.sub s 0 at
+                and after =
+                  String.sub s (at + 1) (String.length s - at - 1)
+                in
+                match (int_of_string_opt shard, int_of_string_opt after) with
+                | Some sh, Some k when sh >= 0 && k >= 0 ->
+                    corrupt_spec := Some (sh, k)
+                | _ ->
+                    raise
+                      (Arg.Bad
+                         (Printf.sprintf "--corrupt-shard: bad N@k %S" s)))
+            | None ->
+                raise
+                  (Arg.Bad
+                     (Printf.sprintf
+                        "--corrupt-shard: expected N@k (shard N after k \
+                         total ops), got %S"
+                        s))),
+        "N@k inject silent bit rot into shard N after k total ops; the \
+         server's scrubber must then quarantine, rebuild and readmit it \
+         before verification (requires a server running --scrub-us; exit \
+         1 if the shard is not healthy again)" );
     ]
   in
   Arg.parse spec
@@ -197,6 +230,7 @@ let () =
   let unavailable = Atomic.make 0 in
   let in_doubt = Atomic.make 0 in
   let shed = Atomic.make 0 in
+  let shard_down = Atomic.make 0 in
   let client_errors = Atomic.make 0 in
   let tally_acc =
     Array.make nclients
@@ -225,6 +259,27 @@ let () =
              | Ok ms -> crash_ms := ms
              | Error d -> failwith ("CRASH did not recover: " ^ d)))
     end
+  in
+
+  (* Optional corrupter: seeded silent rot into one shard at the op
+     threshold, on its own connection so it never interleaves with the
+     admin socket.  The damage is invisible to live reads — only the
+     scrubber can notice. *)
+  let corrupted = ref false in
+  let corrupter =
+    match !corrupt_spec with
+    | None -> None
+    | Some (shard, k) ->
+        Some
+          (Domain.spawn (fun () ->
+               while Atomic.get done_ops < k do
+                 Unix.sleepf 0.001
+               done;
+               let cl = connect () in
+               (match Serve.Client.corrupt cl ~shard ~seed:!seed ~count:3 with
+               | Ok () -> corrupted := true
+               | Error e -> Printf.eprintf "CORRUPT failed: %s\n%!" e);
+               Serve.Client.close cl))
   in
 
   (* Optional mid-load METRICS scrape: proves the telemetry plane answers
@@ -293,6 +348,13 @@ let () =
                  Atomic.incr shed;
                  Unix.sleepf 0.001;
                  attempt (n + 1) op
+             | Error (`Shard_down _) ->
+                 (* one shard quarantined or rebuilding: nothing durable
+                    happened and the rest of the fleet keeps serving, so
+                    wait out the rebuild and resend *)
+                 Atomic.incr shard_down;
+                 Unix.sleepf 0.002;
+                 attempt (n + 1) op
              | Error (`Unavailable _) | Error (`Err _) ->
                  Atomic.incr unavailable;
                  Unix.sleepf 0.002;
@@ -343,7 +405,58 @@ let () =
   List.iter Domain.join doms;
   let elapsed = Unix.gettimeofday () -. t0 in
   Option.iter Domain.join crasher;
+  Option.iter Domain.join corrupter;
   Option.iter Domain.join prom_scraper;
+
+  (* Self-healing gate: after a --corrupt-shard run, the scrubber must
+     have quarantined the rotten shard, rebuilt it and readmitted it.
+     Poll HEALTH until every shard is healthy again (the load may have
+     finished before the scrubber) and keep the final document for the
+     report. *)
+  let health_doc = ref Obs.Json.Null in
+  let healed = ref true in
+  (match !corrupt_spec with
+  | None -> ()
+  | Some (shard, _) ->
+      let all_healthy j =
+        match Obs.Json.member "shards" j with
+        | Some (Obs.Json.List rows) ->
+            rows <> []
+            && List.for_all
+                 (fun r ->
+                   match Obs.Json.member "state" r with
+                   | Some (Obs.Json.String "healthy") -> true
+                   | _ -> false)
+                 rows
+        | _ -> false
+      in
+      let readmitted j =
+        match Obs.Json.member "serve.health.readmissions" j with
+        | Some (Obs.Json.Int n) -> n >= 1
+        | _ -> false
+      in
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec poll () =
+        match Serve.Client.health admin with
+        | Ok j when all_healthy j && readmitted j -> health_doc := j
+        | Ok j ->
+            health_doc := j;
+            if Unix.gettimeofday () < deadline then begin
+              Unix.sleepf 0.02;
+              poll ()
+            end
+            else healed := false
+        | Error e ->
+            Printf.eprintf "HEALTH failed: %s\n%!" e;
+            healed := false
+      in
+      poll ();
+      if not !corrupted then healed := false;
+      Printf.printf
+        "corrupt-shard %d: %s (%d shard-down retries)\n%!" shard
+        (if !healed then "quarantined, rebuilt and readmitted"
+         else "NOT healed before the deadline")
+        (Atomic.get shard_down));
 
   (* ---- verify ---- *)
   let n_acked = ref 0 in
@@ -501,9 +614,11 @@ let () =
   in
   Printf.printf
     "bench_serve: %d clients x %d ops -> %d acked in %.3fs (%.0f ops/s), %d \
-     overloaded, %d unavailable, %d in-doubt retries, %d shed%s\n"
+     overloaded, %d unavailable, %d in-doubt retries, %d shed, %d shard-down \
+     retries%s\n"
     nclients per_client !n_acked elapsed throughput (Atomic.get overloads)
     (Atomic.get unavailable) (Atomic.get in_doubt) (Atomic.get shed)
+    (Atomic.get shard_down)
     (if Float.is_nan !crash_ms then "" else Printf.sprintf ", crash outage %.1fms" !crash_ms);
   if policy != Serve.Client.default_policy then
     Printf.printf
@@ -538,6 +653,18 @@ let () =
           ("unavailable_retries", Int (Atomic.get unavailable));
           ("in_doubt_retries", Int (Atomic.get in_doubt));
           ("shed_retries", Int (Atomic.get shed));
+          ("shard_down_retries", Int (Atomic.get shard_down));
+          ( "corrupt_shard",
+            match !corrupt_spec with
+            | None -> Null
+            | Some (shard, k) ->
+                Obj
+                  [
+                    ("shard", Int shard);
+                    ("after_ops", Int k);
+                    ("healed", Bool !healed);
+                  ] );
+          ("health", !health_doc);
           ("call_timeout_s", Float !call_timeout);
           ("client_retries", Int !cl_retries);
           ("ttl_us", Int !ttl_us);
@@ -612,5 +739,9 @@ let () =
   end;
   if not !prom_ok then begin
     prerr_endline "bench_serve: mid-load METRICS scrape failed";
+    exit 1
+  end;
+  if not !healed then begin
+    prerr_endline "bench_serve: corrupted shard was not healed";
     exit 1
   end

@@ -18,6 +18,10 @@
                                         [--crash-phase P] [--mutant M]...
                                         [--evict-prob P] [--torn-prob P]
                                         [--bitflips N]
+     dune exec bin/crash_torture.exe -- --serve-quarantine N [--rounds R]
+                                        [--seed S] [--chaos-clients C]
+                                        [--chaos-ops K] [--mutant M]...
+                                        [--health-json FILE]
 
    Default (quiescent) mode: each round runs a batch of random set
    operations (tracked in a volatile model), then crashes the simulated
@@ -670,6 +674,7 @@ let serve_chaos_torture ~shards ~rounds ~seed ~nclients ~per_client
               queue_cap = 64;
             };
           chaos = Some src;
+          scrub_pause_us = None;
         }
     in
     let e = Serve.Server.engine srv in
@@ -858,6 +863,374 @@ let serve_chaos_torture ~shards ~rounds ~seed ~nclients ~per_client
      close_out oc);
   !failures
 
+(* ---- per-shard quarantine sweep (--serve-quarantine) ----
+
+   Each round starts a FRESH isolated server (per-shard fault isolation
+   on, online scrubber on its dedicated domain) and drives it with
+   resilient tokened clients mixing single-shard PUTs and cross-shard
+   MPUTs over real sockets.  Mid-load the harness injects silent bit
+   rot into ONE victim shard's durable metadata over the wire (CORRUPT
+   — invisible to live reads).  The scrubber must find the rot,
+   quarantine only the victim, rebuild it online from its snapshot
+   export plus commit-journal replay, and readmit it — while every
+   other shard keeps serving without a single SHARD_UNAVAILABLE.  The
+   harness then exercises the operator path: FREEZE the victim and
+   REBUILD it over the wire while a hammer domain writes at it — the
+   clean protocol refuses those writes, so a write that was ACKED
+   during the rebuild and then lost is the serve-while-rebuilding
+   violation.
+
+   Audits (each violation prints a replayable repro line):
+     - zero acked-write loss across quarantine -> rebuild ->
+       readmission -> freeze -> rebuild: every acked token is
+       TXSTAT-committed with exactly one outcome record and every key
+       carries the exact value written;
+     - all-or-nothing: no cross-shard group is ever half-durable;
+     - fault isolation: no op that avoided the victim shard was ever
+       refused with SHARD_UNAVAILABLE;
+     - self-healing: the scrubber actually quarantined AND readmitted
+       the victim (the no-scrub-verify mutant must fail here), and a
+       final mutant-blind verification of every shard passes. *)
+
+let serve_quarantine_torture ~shards ~rounds ~seed ~nclients ~per_client
+    ~mutants ~json_file =
+  let module E = Serve.Engine in
+  let module C = Serve.Commit in
+  let failures = ref 0 in
+  let rows = ref [] in
+  let repro round_seed =
+    Printf.sprintf "--serve-quarantine %d --rounds 1 --seed %d%s" shards
+      (round_seed - 1)
+      (String.concat ""
+         (List.map (fun m -> " --mutant " ^ C.pp_mutant m) mutants))
+  in
+  for round = 1 to rounds do
+    let round_seed = seed + round in
+    let victim = round_seed mod shards in
+    let max_conns = nclients + 4 in
+    let srv =
+      Serve.Server.start
+        {
+          Serve.Server.host = "127.0.0.1";
+          port = 0;
+          max_conns;
+          engine =
+            {
+              E.default_config with
+              E.shards;
+              (* + 1 for the in-process tid, + 1 for the scrub domain *)
+              num_threads = max_conns + 2;
+              capacity_bytes = 1 lsl 20;
+              max_batch = 8;
+              queue_cap = 64;
+              isolate = true;
+            };
+          chaos = None;
+          scrub_pause_us = Some 200.;
+        }
+    in
+    let e = Serve.Server.engine srv in
+    E.set_mutants e mutants;
+    (* a realistic device cost stretches the rebuild window the hammer
+       below must race *)
+    E.set_flush_cost e 150;
+    let port = Serve.Server.port srv in
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          incr failures;
+          Printf.printf
+            "  !! serve-quarantine: %s (round %d)\n     repro: %s\n%!" msg
+            round (repro round_seed))
+        fmt
+    in
+    let key_for ~shard tag =
+      let rec probe n =
+        let k = Printf.sprintf "%s.%d" tag n in
+        if E.shard_of e k = shard then k else probe (n + 1)
+      in
+      probe 0
+    in
+    (* the op matrix is fixed upfront: each op knows its shard set, so
+       the isolation audit can tell victim traffic from healthy traffic *)
+    let ops =
+      Array.init nclients (fun c ->
+          Array.init per_client (fun i ->
+              let tok = ((c + 1) * 1_000_000) + i + 1 in
+              let tag j = Printf.sprintf "q%d.%d.%d.%d" round_seed c i j in
+              let kvs, on =
+                if i mod 2 = 0 then
+                  let s = (c + i) mod shards in
+                  ( [ (key_for ~shard:s (tag 0), Printf.sprintf "v%d.0" tok) ],
+                    [ s ] )
+                else
+                  let s1 = i mod shards and s2 = (i + 1) mod shards in
+                  ( [
+                      (key_for ~shard:s1 (tag 1), Printf.sprintf "v%d.1" tok);
+                      (key_for ~shard:s2 (tag 2), Printf.sprintf "v%d.2" tok);
+                    ],
+                    List.sort_uniq compare [ s1; s2 ] )
+              in
+              (tok, kvs, on, ref `Failed)))
+    in
+    let policy =
+      {
+        Serve.Client.resilient with
+        Serve.Client.call_timeout = 0.4;
+        max_retries = 10;
+      }
+    in
+    let run_client c =
+      match
+        Serve.Client.connect ~retries:100 ~retry_delay:0.02 ~policy
+          ~host:"127.0.0.1" ~port ()
+      with
+      | exception _ -> ()
+      | cl ->
+          Fun.protect ~finally:(fun () -> Serve.Client.close cl) @@ fun () ->
+          Array.iteri
+            (fun i (tok, kvs, _, st) ->
+              (* pause a third in so the mid-load corruption, quarantine
+                 and rebuild all land amid live traffic *)
+              if i = per_client / 3 then Unix.sleepf 0.08;
+              let outcome =
+                match kvs with
+                | [ (k, v) ] -> (
+                    match Serve.Client.put ~tok cl ~key:k ~value:v with
+                    | Ok () -> `Acked
+                    | Error (`InDoubt _) -> `Ambiguous
+                    | Error (`Shard_down _) -> `Refused
+                    | Error _ -> `Failed
+                    | exception _ -> `Failed)
+                | _ -> (
+                    match Serve.Client.mput ~tok cl kvs with
+                    | Ok _ -> `Acked
+                    | Error (`InDoubt _) -> `Ambiguous
+                    | Error (`Shard_down _) -> `Refused
+                    | Error _ -> `Failed
+                    | exception _ -> `Failed)
+              in
+              st := outcome)
+            ops.(c)
+    in
+    let doms =
+      List.init nclients (fun c -> Domain.spawn (fun () -> run_client c))
+    in
+    (* mid-load: rot the victim silently, over the wire *)
+    Unix.sleepf 0.02;
+    let admin =
+      Serve.Client.connect ~retries:100 ~retry_delay:0.02
+        ~policy:Serve.Client.resilient ~host:"127.0.0.1" ~port ()
+    in
+    (match
+       Serve.Client.corrupt admin ~shard:victim ~seed:round_seed ~count:3
+     with
+    | Ok () -> ()
+    | Error d -> fail "CORRUPT refused: %s" d
+    | exception Serve.Client.Protocol_error d -> fail "CORRUPT died: %s" d);
+    (* self-healing: the scrubber must quarantine AND readmit on its own *)
+    let cv k =
+      match List.assoc_opt k (E.health_counters e) with
+      | Some v -> v
+      | None -> 0
+    in
+    let deadline = Unix.gettimeofday () +. 10. in
+    while
+      cv "serve.health.readmissions" < 1 && Unix.gettimeofday () < deadline
+    do
+      Unix.sleepf 0.01
+    done;
+    if cv "serve.health.quarantines" < 1 then
+      fail "scrubber never quarantined the rotten shard %d" victim
+    else if cv "serve.health.readmissions" < 1 then
+      fail "victim shard %d was quarantined but never rebuilt + readmitted"
+        victim;
+    List.iter Domain.join doms;
+    (* operator path: freeze, then rebuild over the wire under a hammer *)
+    (match Serve.Client.freeze admin victim with
+    | Ok () -> ()
+    | Error d -> fail "FREEZE refused: %s" d
+    | exception Serve.Client.Protocol_error d -> fail "FREEZE died: %s" d);
+    let hammer_stop = Atomic.make false in
+    let hammer_acked = ref [] in
+    let admitted_rebuilding = ref false in
+    let hammer =
+      Domain.spawn (fun () ->
+          let n = ref 0 in
+          while not (Atomic.get hammer_stop) do
+            incr n;
+            (* admission invariant, probed deterministically: a shard
+               that reads Rebuilding on both sides of the admission
+               check must have refused.  The racing put below catches
+               the same mutant the hard way (acked-then-lost) when the
+               write actually lands inside the window. *)
+            let st1, _, _ = E.shard_health e victim in
+            let adm = E.shard_admits e victim in
+            let st2, _, _ = E.shard_health e victim in
+            if st1 = "rebuilding" && st2 = "rebuilding" && adm then
+              admitted_rebuilding := true;
+            let k =
+              key_for ~shard:victim (Printf.sprintf "rb%d.%d" round_seed !n)
+            in
+            (match E.put e ~tid:0 ~key:k ~value:(string_of_int !n) with
+            | Ok () -> hammer_acked := (k, string_of_int !n) :: !hammer_acked
+            | Error _ -> ());
+            Domain.cpu_relax ()
+          done)
+    in
+    (match Serve.Client.rebuild admin victim with
+    | Ok ms -> if ms < 0. then fail "negative rebuild time"
+    | Error d -> fail "REBUILD failed: %s" d
+    | exception Serve.Client.Protocol_error d -> fail "REBUILD died: %s" d);
+    Atomic.set hammer_stop true;
+    Domain.join hammer;
+    Serve.Client.close admin;
+    if !admitted_rebuilding then
+      fail
+        "shard %d admitted requests while REBUILDING (serve-while-rebuilding)"
+        victim;
+    (* a write acked at any point — including during the rebuild — must
+       survive; acked-then-lost is the serve-while-rebuilding violation *)
+    List.iter
+      (fun (k, v) ->
+        match E.get e ~tid:0 k with
+        | Ok (Some v') when v' = v -> ()
+        | Ok (Some v') -> fail "rebuild-window write %s mangled: got %s" k v'
+        | _ ->
+            fail "write %s ACKED during REBUILD was lost (serve-while-rebuilding)"
+              k)
+      !hammer_acked;
+    (* quiesced: audit every op straight through the engine *)
+    let acked = ref 0 and refused_victim = ref 0 in
+    Array.iter
+      (Array.iter (fun (tok, kvs, on, st) ->
+           let n = List.length kvs in
+           let n_present =
+             List.length
+               (List.filter
+                  (fun (k, v) ->
+                    match E.get e ~tid:0 k with
+                    | Ok (Some v') ->
+                        if v' <> v then
+                          fail "key %s mangled: got %s want %s" k v' v;
+                        true
+                    | Ok None -> false
+                    | Error err ->
+                        fail "audit get %s rejected (%s)" k (E.pp_error err);
+                        false)
+                  kvs)
+           in
+           if n_present <> 0 && n_present <> n then
+             fail "group tok %d half-applied: %d/%d keys durable" tok
+               n_present n;
+           (match !st with
+           | `Refused ->
+               if List.mem victim on then incr refused_victim
+               else
+                 fail
+                   "op tok %d touching only healthy shards answered \
+                    SHARD_UNAVAILABLE"
+                   tok
+           | `Acked -> incr acked
+           | `Ambiguous | `Failed -> ());
+           let stat =
+             match E.txstat e ~tid:0 tok with
+             | Ok s -> Some s
+             | Error err ->
+                 fail "TXSTAT %d rejected (%s)" tok (E.pp_error err);
+                 None
+           in
+           match (!st, stat) with
+           | `Acked, Some (E.Tx_committed { records; _ }) ->
+               if records <> 1 then
+                 fail "token %d: duplicated commit (%d outcome records)" tok
+                   records;
+               if n_present <> n then
+                 fail "ACKED group tok %d lost: %d/%d keys durable" tok
+                   n_present n
+           | `Acked, (Some (E.Tx_aborted | E.Tx_unknown) | None) ->
+               fail "ACKED token %d not committed in the ledger" tok
+           | _, Some (E.Tx_committed { records; _ }) ->
+               if records <> 1 then
+                 fail "token %d: duplicated commit (%d outcome records)" tok
+                   records;
+               if n_present <> n then
+                 fail "committed group tok %d half-durable: %d/%d keys" tok
+                   n_present n
+           | _, Some E.Tx_aborted ->
+               if n_present <> 0 then
+                 fail "aborted group tok %d left %d/%d keys behind" tok
+                   n_present n
+           | _, Some E.Tx_unknown ->
+               fail "token %d neither committed nor aborted after quiesce" tok
+           | _, None -> ()))
+      ops;
+    (* final mutant-blind verification: surviving silent rot fails *)
+    for s = 0 to shards - 1 do
+      (match E.verify_shard e s with
+      | Ok () -> ()
+      | Error d -> fail "final verification: shard %d still rotten (%s)" s d);
+      let state, _, _ = E.shard_health e s in
+      if state <> "healthy" then
+        fail "shard %d ended the round %s, not healthy" s state
+    done;
+    let hc = E.health_counters e in
+    Serve.Server.stop srv;
+    let passes, anomalies =
+      match Serve.Server.scrubber srv with
+      | Some sc -> (Serve.Scrub.full_passes sc, Serve.Scrub.anomalies sc)
+      | None -> (0, 0)
+    in
+    Printf.printf
+      "  round %2d: victim %d -> %d acked, %d victim refusals, %d \
+       rebuild-window acks; %s; scrub passes %d, anomalies %d\n\
+       %!"
+      round victim !acked !refused_victim
+      (List.length !hammer_acked)
+      (String.concat ", "
+         (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) hc))
+      passes anomalies;
+    let open Obs.Json in
+    rows :=
+      Obj
+        [
+          ("round", Int round);
+          ("seed", Int round_seed);
+          ("victim", Int victim);
+          ("repro", String (repro round_seed));
+          ("acked", Int !acked);
+          ("victim_refusals", Int !refused_victim);
+          ("rebuild_window_acks", Int (List.length !hammer_acked));
+          ("health", Obj (List.map (fun (n, v) -> (n, Int v)) hc));
+          ("scrub_full_passes", Int passes);
+          ("scrub_anomalies", Int anomalies);
+        ]
+      :: !rows
+  done;
+  (if json_file <> "" then
+     let open Obs.Json in
+     let doc =
+       Obj
+         [
+           ("schema", String "redodb.quarantine.v1");
+           ("shards", Int shards);
+           ("rounds", Int rounds);
+           ("seed", Int seed);
+           ("clients", Int nclients);
+           ("ops_per_client", Int per_client);
+           ( "mutants",
+             List (List.map (fun m -> String (C.pp_mutant m)) mutants) );
+           ("violations", Int !failures);
+           ("verdict", Bool (!failures = 0));
+           ("rows", List (List.rev !rows));
+         ]
+     in
+     let oc = open_out json_file in
+     to_channel oc doc;
+     output_char oc '\n';
+     close_out oc);
+  !failures
+
 let parse_kill s =
   let tid, step = parse_at ~flag:"--kill" s in
   (int_field ~flag:"--kill" tid, int_field ~flag:"--kill" step)
@@ -907,6 +1280,8 @@ let () =
   let chaos_clients = ref 4 in
   let chaos_ops = ref 12 in
   let crash_phase = ref None in
+  let serve_quarantine = ref 0 in
+  let health_json = ref "" in
   let mutants = ref [] in
   let spec =
     [
@@ -1007,6 +1382,17 @@ let () =
       ( "--chaos-ops",
         Arg.Set_int chaos_ops,
         "K tokened MPUT groups per client per --serve-chaos round (default 12)" );
+      ( "--serve-quarantine",
+        Arg.Set_int serve_quarantine,
+        "N per-shard fault-isolation sweep with N shards: each round rots one \
+         shard's durable metadata under live resilient-client load; the \
+         online scrubber must quarantine only that shard, rebuild it from \
+         its snapshot export + commit-journal replay and readmit it, with \
+         zero acked-write loss and no SHARD_UNAVAILABLE on healthy shards \
+         (uses --chaos-clients / --chaos-ops for the load shape)" );
+      ( "--health-json",
+        Arg.Set_string health_json,
+        "FILE write a machine-readable --serve-quarantine report" );
       ( "--crash-phase",
         Arg.String
           (fun s ->
@@ -1031,10 +1417,12 @@ let () =
                      (Printf.sprintf
                         "--mutant: expected skip-2pc | no-rollforward | \
                          no-read-validation | no-dedup-on-retry | \
-                         ack-before-commit, got %S"
+                         ack-before-commit | no-scrub-verify | \
+                         serve-while-rebuilding, got %S"
                         s))),
-        "M drop a commit-protocol guard in --serve-mput / --serve-chaos mode \
-         (the sweep must then fail); repeatable" );
+        "M drop a commit-protocol or health-plane guard in --serve-mput / \
+         --serve-chaos / --serve-quarantine mode (the sweep must then \
+         fail); repeatable" );
       ( "--trace",
         Arg.String (fun f -> trace_file := Some f),
         "FILE export a Chrome trace-event JSON of the torture run" );
@@ -1069,7 +1457,32 @@ let () =
   in
   let tp = if !torn_set then Some !torn_prob else None in
   let total_failures = ref 0 in
-  (if !serve_chaos > 0 then begin
+  (if !serve_quarantine > 0 then begin
+     (if Sys.unix then
+        try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+        with Invalid_argument _ -> ());
+     Printf.printf
+       "torturing serve-quarantine/%d-shard (%d rounds, %d clients x %d \
+        ops%s)...\n\
+        %!"
+       !serve_quarantine !rounds !chaos_clients !chaos_ops
+       (match !mutants with
+       | [] -> ""
+       | ms ->
+           ", mutants "
+           ^ String.concat "," (List.map Serve.Commit.pp_mutant ms));
+     let t0 = Unix.gettimeofday () in
+     let f =
+       serve_quarantine_torture ~shards:!serve_quarantine ~rounds:!rounds
+         ~seed:!seed ~nclients:!chaos_clients ~per_client:!chaos_ops
+         ~mutants:!mutants ~json_file:!health_json
+     in
+     total_failures := !total_failures + f;
+     Printf.printf "%s (%.1fs)\n"
+       (if f = 0 then "ok" else Printf.sprintf "%d FAILURES" f)
+       (Unix.gettimeofday () -. t0)
+   end
+   else if !serve_chaos > 0 then begin
      (if Sys.unix then
         try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
         with Invalid_argument _ -> ());

@@ -7,6 +7,7 @@
      dune exec bin/json_check.exe -- --prom FILE...
      dune exec bin/json_check.exe -- --chaos FILE...
      dune exec bin/json_check.exe -- --supervise FILE...
+     dune exec bin/json_check.exe -- --health FILE...
 
    Plain mode checks each FILE parses as JSON.  --trace mode additionally
    checks the Chrome trace-event structure: a top-level object with a
@@ -25,8 +26,10 @@
    replay a --serve-chaos round).  --supervise validates the
    kill-restart audit report (schema redodb.supervise.v1: the verdict
    must agree with the violation count and the run must actually have
-   killed and acked something).  Exits non-zero on the first malformed
-   file. *)
+   killed and acked something).  --health validates the quarantine-sweep
+   report (schema redodb.quarantine.v1: verdict consistent with the
+   violation count, one row per round, every repro line replayable with
+   --serve-quarantine).  Exits non-zero on the first malformed file. *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -101,10 +104,41 @@ let check_serve_stats file doc =
   in
   List.iteri
     (fun i row ->
-      match Obs.Json.member "heat" row with
+      (match Obs.Json.member "heat" row with
       | Some (Obs.Json.List hs) when List.length hs = 16 -> ()
-      | _ -> fail "%s: shard_stats[%d] lacks a 16-bucket \"heat\" sketch" file i)
+      | _ -> fail "%s: shard_stats[%d] lacks a 16-bucket \"heat\" sketch" file i);
+      (* the health plane is part of the STATS contract: every shard row
+         must say whether the shard is serving and how far the scrubber
+         has walked it *)
+      (match Obs.Json.member "health" row with
+      | Some
+          (Obs.Json.String
+             ("healthy" | "suspect" | "quarantined" | "rebuilding")) ->
+          ()
+      | _ -> fail "%s: shard_stats[%d] lacks a valid \"health\" state" file i);
+      (match Obs.Json.member "health_reason" row with
+      | Some (Obs.Json.String _) -> ()
+      | _ -> fail "%s: shard_stats[%d] lacks \"health_reason\"" file i);
+      match Obs.Json.member "scrub_passes" row with
+      | Some (Obs.Json.Int n) when n >= 0 -> ()
+      | _ -> fail "%s: shard_stats[%d] lacks integer \"scrub_passes\"" file i)
     shard_rows;
+  (match mem "health" with
+  | Obs.Json.Obj kvs ->
+      (match List.assoc_opt "isolate" kvs with
+      | Some (Obs.Json.Bool _) -> ()
+      | _ -> fail "%s: \"health\" lacks bool \"isolate\"" file);
+      List.iter
+        (fun k ->
+          match List.assoc_opt k kvs with
+          | Some (Obs.Json.Int _) -> ()
+          | _ -> fail "%s: \"health\" lacks counter %S" file k)
+        [
+          "serve.health.suspects"; "serve.health.quarantines";
+          "serve.health.rebuilds"; "serve.health.readmissions";
+          "serve.health.scrub_anomalies";
+        ]
+  | _ -> fail "%s: \"health\" is not an object" file);
   let windows =
     match mem "windows" with
     | Obs.Json.Obj kvs -> kvs
@@ -191,6 +225,80 @@ let check_chaos file doc =
         [ "round"; "seed"; "acked"; "ambiguous"; "unacked"; "total_faults" ])
     rows;
   Printf.printf "%s: valid chaos report (%d rounds, %d violations)\n" file
+    rounds violations
+
+(* ---- quarantine-sweep report (crash_torture --serve-quarantine) ---- *)
+
+let check_health file doc =
+  let mem k =
+    match Obs.Json.member k doc with
+    | Some v -> v
+    | None -> fail "%s: quarantine report lacks %S" file k
+  in
+  (match mem "schema" with
+  | Obs.Json.String "redodb.quarantine.v1" -> ()
+  | v ->
+      fail "%s: bad schema %s (want \"redodb.quarantine.v1\")" file
+        (Obs.Json.to_string v));
+  let int_field k =
+    match mem k with
+    | Obs.Json.Int n -> n
+    | _ -> fail "%s: %S is not an integer" file k
+  in
+  let rounds = int_field "rounds" in
+  let violations = int_field "violations" in
+  List.iter
+    (fun k -> ignore (int_field k))
+    [ "shards"; "seed"; "clients"; "ops_per_client" ];
+  (match mem "verdict" with
+  | Obs.Json.Bool b ->
+      if b <> (violations = 0) then
+        fail "%s: verdict %b contradicts violations=%d" file b violations
+  | _ -> fail "%s: \"verdict\" is not a bool" file);
+  let rows =
+    match mem "rows" with
+    | Obs.Json.List rows -> rows
+    | _ -> fail "%s: \"rows\" is not an array" file
+  in
+  if List.length rows <> rounds then
+    fail "%s: %d rows for %d rounds" file (List.length rows) rounds;
+  List.iteri
+    (fun i row ->
+      let rmem k =
+        match Obs.Json.member k row with
+        | Some v -> v
+        | None -> fail "%s: rows[%d] lacks %S" file i k
+      in
+      (match rmem "repro" with
+      | Obs.Json.String r ->
+          let has_sub sub =
+            let n = String.length sub and m = String.length r in
+            let rec go j = j + n <= m && (String.sub r j n = sub || go (j + 1)) in
+            go 0
+          in
+          if not (has_sub "--serve-quarantine") then
+            fail "%s: rows[%d] repro lacks --serve-quarantine: %S" file i r
+      | _ -> fail "%s: rows[%d] \"repro\" is not a string" file i);
+      List.iter
+        (fun k ->
+          match rmem k with
+          | Obs.Json.Int _ -> ()
+          | _ -> fail "%s: rows[%d] %S is not an integer" file i k)
+        [
+          "round"; "seed"; "victim"; "acked"; "victim_refusals";
+          "rebuild_window_acks"; "scrub_full_passes"; "scrub_anomalies";
+        ];
+      match rmem "health" with
+      | Obs.Json.Obj kvs ->
+          List.iter
+            (fun k ->
+              match List.assoc_opt k kvs with
+              | Some (Obs.Json.Int _) -> ()
+              | _ -> fail "%s: rows[%d] health lacks counter %S" file i k)
+            [ "serve.health.quarantines"; "serve.health.readmissions" ]
+      | _ -> fail "%s: rows[%d] \"health\" is not an object" file i)
+    rows;
+  Printf.printf "%s: valid quarantine report (%d rounds, %d violations)\n" file
     rounds violations
 
 (* ---- supervised-restart report (redodb_server --supervise) ---- *)
@@ -316,6 +424,12 @@ let check_prom file =
    with End_of_file -> ());
   close_in ic;
   if !samples = 0 then fail "%s: no samples in exposition" file;
+  (* the per-shard health plane must be scrapeable *)
+  List.iter
+    (fun fam ->
+      if not (Hashtbl.mem typed fam) then
+        fail "%s: exposition lacks the %s gauge family" file fam)
+    [ "redodb_shard_health"; "redodb_shard_scrub_passes" ];
   Printf.printf "%s: valid Prometheus exposition, %d samples, %d families\n" file
     !samples (Hashtbl.length typed)
 
@@ -325,6 +439,7 @@ let () =
   let prom_mode = ref false in
   let chaos_mode = ref false in
   let supervise_mode = ref false in
+  let health_mode = ref false in
   let required = ref [] in
   let files = ref [] in
   let rec parse = function
@@ -334,6 +449,7 @@ let () =
     | "--prom" :: rest -> prom_mode := true; parse rest
     | "--chaos" :: rest -> chaos_mode := true; parse rest
     | "--supervise" :: rest -> supervise_mode := true; parse rest
+    | "--health" :: rest -> health_mode := true; parse rest
     | "--require-phases" :: csv :: rest ->
         required := String.split_on_char ',' csv;
         parse rest
@@ -344,7 +460,7 @@ let () =
   if !files = [] then
     fail
       "usage: json_check [--trace [--require-phases a,b] | --serve-stats | \
-       --prom | --chaos | --supervise] FILE...";
+       --prom | --chaos | --supervise | --health] FILE...";
   List.iter
     (fun file ->
       if !prom_mode then check_prom file
@@ -356,5 +472,6 @@ let () =
             else if !serve_stats_mode then check_serve_stats file doc
             else if !chaos_mode then check_chaos file doc
             else if !supervise_mode then check_supervise file doc
+            else if !health_mode then check_health file doc
             else Printf.printf "%s: valid JSON\n" file)
     !files

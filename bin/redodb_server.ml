@@ -247,6 +247,8 @@ let () =
   let trace_file = ref "" in
   let pmem_dir = ref "" in
   let chaos = ref "" in
+  let isolate = ref false in
+  let scrub_us = ref 0.0 in
   let mutants = ref [] in
   let supervise_rounds = ref 0 in
   let sup_clients = ref 6 in
@@ -288,6 +290,15 @@ let () =
         Arg.Set_string chaos,
         "PLAN inject seeded network faults, e.g. \
          \"seed=7,sever=0.01,drop=0.02\" (see Serve.Chaos)" );
+      ( "--isolate",
+        Arg.Set isolate,
+        " per-shard fault isolation: an unrecoverable shard is \
+         quarantined (SHARD_UNAVAILABLE) instead of failing the engine, \
+         and FREEZE/REBUILD work" );
+      ( "--scrub-us",
+        Arg.Set_float scrub_us,
+        "US run the online scrubber on a dedicated domain, pausing US \
+         between per-shard verifications (implies --isolate; 0 = off)" );
       ( "--mutant",
         Arg.String
           (fun s ->
@@ -352,6 +363,7 @@ let () =
   end;
   Obs.Metrics.enable !metrics;
   if !trace_file <> "" then Obs.Trace.enable ();
+  let scrubbing = !scrub_us > 0. in
   let cfg =
     {
       Serve.Server.host = !host;
@@ -360,7 +372,8 @@ let () =
       engine =
         {
           Serve.Engine.shards = !shards;
-          num_threads = !max_conns + 1;
+          (* + 1 for the in-process tid, + 1 more for the scrub domain *)
+          num_threads = (!max_conns + if scrubbing then 2 else 1);
           capacity_bytes = !capacity;
           batch = not !no_batch;
           max_batch = !max_batch;
@@ -368,6 +381,7 @@ let () =
           linger_steps = 0;
           queue_cap = !queue_cap;
           backing_dir = (if !pmem_dir = "" then None else Some !pmem_dir);
+          isolate = !isolate || scrubbing;
         };
       chaos =
         (if !chaos = "" then None
@@ -375,6 +389,7 @@ let () =
            match Serve.Chaos.parse_plan !chaos with
            | Result.Ok plan -> Some (Serve.Chaos.source plan)
            | Error reason -> raise (Arg.Bad reason));
+      scrub_pause_us = (if scrubbing then Some !scrub_us else None);
     }
   in
   let srv = Serve.Server.start cfg in

@@ -52,6 +52,13 @@ module type S_backed = sig
     num_threads:int -> words:int -> backing:string -> unit -> t
 
   val reopen : num_threads:int -> backing:string -> unit -> t
+  val export_image : t -> tid:int -> int64 array
+
+  val create_from_image :
+    ?backing:string -> num_threads:int -> image:int64 array -> unit -> t
+
+  val verify_meta : t -> (unit, string) result
+  val corrupt_durable_meta : t -> seed:int -> count:int -> unit
 end
 
 (* Consensus/replica words are yield points under the deterministic
@@ -837,6 +844,109 @@ module Make (C : CONFIG) = struct
       Pmem.corrupt_words_in t.pm ~seed:(seed + 0x0bf1) ~count:bitflips
         ~ranges:(meta_ranges t);
     recover t
+
+  (* ---- Relocatable snapshots and online metadata verification --------
+
+     A snapshot is the logical word image of one consistent replica:
+     every pointer the allocator and the data structures store is a
+     region-relative offset (replica-base-relative at the physical
+     layer), so the image carries no absolute addresses and can be
+     imported into a brand-new region at any base — the "relocatable
+     region" property the serving layer's shard rebuild relies on. *)
+
+  (* Consistent logical image [0, words): one read-only transaction over
+     the current replica, so the copy can never observe a half-applied
+     update. *)
+  let export_image t ~tid =
+    let img = Array.make t.words 0L in
+    ignore
+      (read_only t ~tid (fun tx ->
+           for a = 0 to t.words - 1 do
+             img.(a) <- get tx a
+           done;
+           0L));
+    img
+
+  (* [create_impl] with the Palloc format replaced by blitting a
+     previously exported image into replica 0: the image already holds a
+     formatted heap, and sealing the header/record at seq 0 idx 0 makes
+     that replica the designated consistent one. *)
+  let create_from_image ?backing ~num_threads ~image () =
+    let words = Array.length image in
+    if words <= Palloc.heap_base then
+      invalid_arg (C.name ^ ".create_from_image: image too small");
+    if words mod Pmem.words_per_line <> 0 then
+      invalid_arg (C.name ^ ".create_from_image: image not line-aligned");
+    let nrep = num_threads + 1 in
+    let pm =
+      Pmem.create ?backing ~max_threads:num_threads
+        ~words:(64 + (nrep * words)) ()
+    in
+    let t = build ~num_threads ~words pm in
+    let base0 = t.combs.(0).base in
+    for a = 0 to words - 1 do
+      Pmem.set_word pm ~tid:0 (base0 + a) image.(a)
+    done;
+    Pmem.pwb_range pm ~tid:0 base0 (base0 + words - 1);
+    Pmem.set_word pm ~tid:0 header_addr
+      (seal_hdr (Seqtid.pack ~seq:0 ~tid:0 ~idx:0));
+    Pmem.set_word pm ~tid:0 (record_addr 0)
+      (seal_hdr (Seqtid.pack ~seq:0 ~tid:0 ~idx:0));
+    Pmem.pwb_range pm ~tid:0 header_addr (record_addr 0);
+    Pmem.psync pm ~tid:0;
+    t
+
+  (* Online scrub check over the DURABLE image ({!Pmem.durable_word}),
+     never the volatile one a live read sees: the header must unseal to
+     an in-range replica, and every nonzero replica record must unseal
+     with its own index.  Live operation only ever persists sealed
+     values (or zeroes, for retired records) into these words, so any
+     violation is silent media rot — caught here before the next crash
+     would reload the volatile image from the rotten durable one. *)
+  let verify_meta t =
+    match Pmem.Checksum.unseal (Pmem.durable_word t.pm header_addr) with
+    | None ->
+        Error
+          (Printf.sprintf "durable curComb header fails its seal (%Lx)"
+             (Pmem.durable_word t.pm header_addr))
+    | Some p ->
+        let ci = Seqtid.idx (Seqtid.of_int64 (Int64.of_int p)) in
+        if ci < 0 || ci >= t.nrep then
+          Error
+            (Printf.sprintf "durable curComb header names replica %d of %d"
+               ci t.nrep)
+        else begin
+          let bad = ref None in
+          for i = 0 to min t.nrep max_records - 1 do
+            if !bad = None then begin
+              let w = Pmem.durable_word t.pm (record_addr i) in
+              if not (Int64.equal w 0L) then
+                match Pmem.Checksum.unseal w with
+                | Some p
+                  when Seqtid.idx (Seqtid.of_int64 (Int64.of_int p)) = i ->
+                    ()
+                | Some _ ->
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "durable replica record %d carries a foreign index"
+                           i)
+                | None ->
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "durable replica record %d fails its seal (%Lx)" i w)
+            end
+          done;
+          match !bad with None -> Result.Ok () | Some d -> Error d
+        end
+
+  (* Silent-corruption injection for the scrub/quarantine harnesses:
+     durable-only bit flips inside the validated metadata words, leaving
+     the volatile image intact (see {!Pmem.corrupt_durable_words_in}). *)
+  let corrupt_durable_meta t ~seed ~count =
+    Pmem.corrupt_durable_words_in t.pm ~seed ~count
+      ~ranges:[ (header_addr, record_addr (min t.nrep max_records - 1)) ]
 
   let nvm_usage_words t =
     let cur = Atomic.get t.cur_comb in

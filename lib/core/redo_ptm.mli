@@ -51,6 +51,41 @@ module type S_backed = sig
       Raises [Invalid_argument] on a size mismatch and
       {!Ptm_intf.Unrecoverable} when the durable metadata refuses. *)
   val reopen : num_threads:int -> backing:string -> unit -> t
+
+  (** {2 Relocatable snapshots and online scrub}
+
+      A snapshot is the logical word image of one consistent replica.
+      All pointers in the image are region-relative offsets, so it can be
+      imported into a brand-new region (any base, any replica count) —
+      Puddles-style relocatable regions with application-independent
+      restore. *)
+
+  (** Consistent logical image of words [0, words): taken inside one
+      read-only transaction, so it never observes a half-applied update. *)
+  val export_image : t -> tid:int -> int64 array
+
+  (** Build a fresh instance whose replica-0 heap is the given exported
+      image (instead of a newly formatted empty heap).  The image length
+      fixes the region's logical word count; [num_threads] may differ
+      from the exporting instance's.  @raise Invalid_argument if the
+      image is shorter than the allocator header or not cache-line
+      aligned. *)
+  val create_from_image :
+    ?backing:string -> num_threads:int -> image:int64 array -> unit -> t
+
+  (** Non-destructive scrub check of the durable sealed metadata (the
+      [curComb] header and replica records), read from the {e durable}
+      image ({!Pmem.durable_word}) rather than the volatile one live
+      operations see: detects silent media rot before the next crash
+      turns it into an {!Ptm_intf.Unrecoverable} (or worse, a silent
+      rollback).  Safe to call concurrently with transactions. *)
+  val verify_meta : t -> (unit, string) result
+
+  (** Inject [count] silent single-bit flips into the durable metadata
+      words only ({!Pmem.corrupt_durable_words_in} over the sealed
+      header/record range): live reads cannot observe them, {!verify_meta}
+      can.  Scrub-harness fault injection. *)
+  val corrupt_durable_meta : t -> seed:int -> count:int -> unit
 end
 
 module Make (C : CONFIG) : S_backed

@@ -470,6 +470,39 @@ let corrupt_words_in t ~seed ~count ~ranges =
 let corrupt_words t ~seed ~count =
   corrupt_words_in t ~seed ~count ~ranges:[ (0, t.words - 1) ]
 
+let corrupt_durable_words_in t ~seed ~count ~ranges =
+  if count < 0 then invalid_arg "Pmem.corrupt_durable_words_in: count < 0";
+  let ranges =
+    List.filter
+      (fun (lo, hi) ->
+        check_addr t lo;
+        check_addr t hi;
+        lo <= hi)
+      ranges
+  in
+  let total = List.fold_left (fun n (lo, hi) -> n + hi - lo + 1) 0 ranges in
+  if total > 0 then begin
+    let rng = Random.State.make [| seed; 0xb17f |] in
+    for _ = 1 to count do
+      let i = Random.State.int rng total in
+      let rec pick i = function
+        | [] -> assert false
+        | (lo, hi) :: tl -> if i <= hi - lo then lo + i else pick (i - (hi - lo + 1)) tl
+      in
+      let addr = pick i ranges in
+      let bit = Random.State.int rng 64 in
+      let mask = Int64.shift_left 1L bit in
+      (* Silent media corruption: ONLY the durable image is damaged.  The
+         volatile copy the running process reads stays intact, so live
+         operations cannot observe the rot — only a scrub that re-reads
+         [durable_word], or the next crash (which reloads the volatile
+         image from the durable one), surfaces it. *)
+      img_set t.durable addr (Int64.logxor (img_get t.durable addr) mask);
+      Atomic.incr t.bit_flips;
+      Obs.bit_flip_injected ()
+    done
+  end
+
 let durable_word t addr =
   check_addr t addr;
   img_get t.durable addr

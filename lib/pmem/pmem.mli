@@ -164,6 +164,18 @@ val corrupt_words : t -> seed:int -> count:int -> unit
 val corrupt_words_in :
   t -> seed:int -> count:int -> ranges:(int * int) list -> unit
 
+(** [corrupt_durable_words_in t ~seed ~count ~ranges] is
+    {!corrupt_words_in} restricted to the durable image: the volatile copy
+    the running process reads is left intact, modelling {e silent} media rot
+    under a live region.  Running operations cannot observe the damage; it
+    surfaces only to a scrubber re-reading {!durable_word} against expected
+    checksums, or at the next crash, when the volatile image is reloaded
+    from the rotten durable one.  Same RNG stream as {!corrupt_words_in}
+    (equal seeds target equal words/bits); counted in {!Stats} and the
+    [pmem.fault.bit_flip] metric. *)
+val corrupt_durable_words_in :
+  t -> seed:int -> count:int -> ranges:(int * int) list -> unit
+
 (** [durable_word t addr] reads the durable image directly (test oracle). *)
 val durable_word : t -> int -> int64
 

@@ -16,7 +16,24 @@ module P = Ptm.Redo_ptm.Opt
 
 let name = "RedoDB"
 
-type t = { p : P.t; num_threads : int }
+(* One committed write transaction's effective operations, as recorded
+   by the (optional) volatile commit journal: plain puts/deletes plus
+   high-water max-merges.  Replaying a journal oldest-first onto an
+   older snapshot of the same store is last-writer-wins idempotent, so
+   a record present in both the snapshot and the journal is harmless —
+   which is what lets the journal cut and the snapshot export be two
+   separate steps (see [journal_cut]). *)
+type journal_rec = {
+  j_ops : (string * string option) list;
+  j_hwms : (string * int) list;
+}
+
+type journal = {
+  jlock : Sched.Mutex.t;  (* held across commit + append: journal order = commit order *)
+  mutable recs : journal_rec list;  (* newest first *)
+}
+
+type t = { p : P.t; num_threads : int; mutable journal : journal option }
 
 let slot = 1
 let node_words = 4
@@ -85,7 +102,7 @@ let format_db p num_threads =
          P.set tx (hdr + 2) (Int64.of_int b);
          P.set tx (Palloc.root_addr slot) (Int64.of_int hdr);
          0L));
-  { p; num_threads }
+  { p; num_threads; journal = None }
 
 let open_db ~num_threads ~capacity_bytes () =
   let words = region_words ~capacity_bytes in
@@ -103,7 +120,55 @@ let open_backed ~num_threads ~capacity_bytes ~backing () =
 
 let reopen_backed ~num_threads ~backing () =
   let p = P.reopen ~num_threads ~backing () in
-  { p; num_threads }
+  { p; num_threads; journal = None }
+
+(* ---- commit journal (volatile, off by default) ----
+   When enabled, every committed write transaction appends its effective
+   operations, in commit order (the journal lock is held across the PTM
+   commit and the append).  The serving layer uses it as the shard
+   rebuild ledger: last-good snapshot + journal replay reconstructs the
+   store including every ack issued since the snapshot. *)
+
+let enable_journal t =
+  match t.journal with
+  | Some _ -> ()
+  | None -> t.journal <- Some { jlock = Sched.Mutex.create (); recs = [] }
+
+let journaling t = t.journal <> None
+
+(* Run [f] (a single write transaction) and append [rec_of result] to
+   the journal, atomically with respect to other journaled writers. *)
+let journaled t ~tid rec_of f =
+  match t.journal with
+  | None -> f ()
+  | Some j ->
+      Sched.Mutex.lock j.jlock ~tid;
+      Fun.protect ~finally:(fun () -> Sched.Mutex.unlock j.jlock ~tid)
+      @@ fun () ->
+      let r = f () in
+      (match rec_of r with Some jr -> j.recs <- jr :: j.recs | None -> ());
+      r
+
+(* Records so far, oldest first (commit order). *)
+let journal_records t ~tid =
+  match t.journal with
+  | None -> []
+  | Some j ->
+      Sched.Mutex.lock j.jlock ~tid;
+      Fun.protect ~finally:(fun () -> Sched.Mutex.unlock j.jlock ~tid)
+      @@ fun () -> List.rev j.recs
+
+(* Drop the accumulated records.  Cut FIRST, export the snapshot SECOND:
+   a transaction committing in between lands in both the fresh journal
+   and the snapshot, which replay tolerates (last-writer-wins); the
+   other order could lose it from both. *)
+let journal_cut t ~tid =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      Sched.Mutex.lock j.jlock ~tid;
+      Fun.protect ~finally:(fun () -> Sched.Mutex.unlock j.jlock ~tid)
+      @@ fun () -> j.recs <- []
 
 let bucket_of tx h key_hash =
   buckets tx h + (Int64.to_int key_hash mod bucket_count tx h)
@@ -187,23 +252,31 @@ let delete_tx tx key =
 
 let put t ~tid ~key ~value =
   Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:0 @@ fun () ->
-  ignore (P.update t.p ~tid (fun tx -> put_tx tx ~key ~value; 0L))
+  journaled t ~tid
+    (fun () -> Some { j_ops = [ (key, Some value) ]; j_hwms = [] })
+    (fun () -> ignore (P.update t.p ~tid (fun tx -> put_tx tx ~key ~value; 0L)))
 
 let delete t ~tid key =
   Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:2 @@ fun () ->
-  P.update t.p ~tid (fun tx -> if delete_tx tx key then 1L else 0L) = 1L
+  journaled t ~tid
+    (fun _ -> Some { j_ops = [ (key, None) ]; j_hwms = [] })
+    (fun () ->
+      P.update t.p ~tid (fun tx -> if delete_tx tx key then 1L else 0L) = 1L)
 
 let write_batch t ~tid ops =
   Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:3 @@ fun () ->
-  ignore
-    (P.update t.p ~tid (fun tx ->
-         List.iter
-           (fun (key, v) ->
-             match v with
-             | Some value -> put_tx tx ~key ~value
-             | None -> ignore (delete_tx tx key))
-           ops;
-         0L))
+  journaled t ~tid
+    (fun () -> Some { j_ops = ops; j_hwms = [] })
+    (fun () ->
+      ignore
+        (P.update t.p ~tid (fun tx ->
+             List.iter
+               (fun (key, v) ->
+                 match v with
+                 | Some value -> put_tx tx ~key ~value
+                 | None -> ignore (delete_tx tx key))
+               ops;
+             0L)))
 
 (* Value lookup usable inside any transaction (update or read-only). *)
 let lookup_tx tx key =
@@ -223,6 +296,15 @@ let lookup_tx tx key =
    transactions have since overwritten. *)
 let apply_guarded t ~tid ~guard ~hwms ops =
   Obs.Trace.span Obs.Trace.Db_op ~tid ~arg:3 @@ fun () ->
+  journaled t ~tid
+    (fun applied ->
+      (* Journal only an APPLIED batch — and include the guard delete,
+         so a replayed journal leaves the guard dead exactly like the
+         original commit did. *)
+      if applied then
+        Some { j_ops = ops @ [ (guard, None) ]; j_hwms = hwms }
+      else None)
+  @@ fun () ->
   P.update t.p ~tid (fun tx ->
       let h = header tx in
       let _, _, g = locate tx h guard (hash_string guard) in
@@ -331,6 +413,80 @@ let stats t = P.stats t.p
 let reset_stats t = Pmem.reset_stats (P.pmem t.p)
 let set_flush_cost t iters = Pmem.set_flush_cost (P.pmem t.p) iters
 let memory_usage t = (P.nvm_usage_words t.p, P.volatile_usage_words t.p)
+
+(* Replay a journal, oldest first, one transaction per record (the
+   record boundaries are the original commit boundaries).  Bypasses the
+   target's own journal deliberately: a rebuilt store takes a fresh
+   snapshot export right after replay, so re-journaling the replayed
+   history would only duplicate it. *)
+let replay_journal t ~tid recs =
+  List.iter
+    (fun { j_ops; j_hwms } ->
+      ignore
+        (P.update t.p ~tid (fun tx ->
+             List.iter
+               (fun (key, v) ->
+                 match v with
+                 | Some value -> put_tx tx ~key ~value
+                 | None -> ignore (delete_tx tx key))
+               j_ops;
+             List.iter
+               (fun (key, n) ->
+                 let cur =
+                   match lookup_tx tx key with
+                   | Some s -> Option.value (int_of_string_opt s) ~default:(-1)
+                   | None -> -1
+                 in
+                 if n > cur then put_tx tx ~key ~value:(string_of_int n))
+               j_hwms;
+             0L)))
+    recs
+
+(* ---- relocatable region snapshots ----
+   Wire format of a sealed snapshot:
+     "RDBSNAP1" | words:u64le | words * u64le image | digest:u64le
+   The image is the PTM's logical word image (region-relative pointers
+   only — see {!Ptm.Redo_ptm}), so it restores into ANY fresh region:
+   different base, different replica count, different backing file. *)
+
+let snapshot_magic = "RDBSNAP1"
+
+let export_snapshot t ~tid =
+  let img = P.export_image t.p ~tid in
+  let words = Array.length img in
+  let b = Buffer.create (24 + (words * 8)) in
+  Buffer.add_string b snapshot_magic;
+  Buffer.add_int64_le b (Int64.of_int words);
+  Array.iter (Buffer.add_int64_le b) img;
+  Buffer.add_int64_le b (Pmem.Checksum.digest img);
+  Buffer.contents b
+
+let open_from_snapshot ?backing ~num_threads snap =
+  let mlen = String.length snapshot_magic in
+  if String.length snap < mlen + 16 then Error "snapshot: truncated header"
+  else if not (String.equal (String.sub snap 0 mlen) snapshot_magic) then
+    Error "snapshot: bad magic"
+  else begin
+    let words = Int64.to_int (String.get_int64_le snap mlen) in
+    if words <= 0 || String.length snap <> mlen + 8 + (words * 8) + 8 then
+      Error "snapshot: length does not match header"
+    else begin
+      let img = Array.init words (fun i -> String.get_int64_le snap (mlen + 8 + (i * 8))) in
+      let digest = String.get_int64_le snap (mlen + 8 + (words * 8)) in
+      if not (Int64.equal digest (Pmem.Checksum.digest img)) then
+        Error "snapshot: digest mismatch"
+      else
+        match P.create_from_image ?backing ~num_threads ~image:img () with
+        | p -> Result.Ok { p; num_threads; journal = None }
+        | exception Invalid_argument d -> Error ("snapshot: " ^ d)
+    end
+  end
+
+(* Online scrub hooks: non-destructive verification of the durable
+   sealed PTM metadata, and silent (durable-image-only) corruption
+   injection for the scrub/quarantine harnesses. *)
+let verify_meta t = P.verify_meta t.p
+let corrupt_durable_meta t ~seed ~count = P.corrupt_durable_meta t.p ~seed ~count
 
 (* ---- cursors ----
    The hash map is unordered, so a cursor materialises a consistent

@@ -37,6 +37,63 @@ val crash_with_faults :
     (initialisation flushes would otherwise pay it too). *)
 val set_flush_cost : t -> int -> unit
 
+(** {1 Commit journal and relocatable snapshots (shard rebuild)} *)
+
+(** One committed write transaction's effective operations: puts/deletes
+    plus high-water max-merges.  Replay is last-writer-wins idempotent. *)
+type journal_rec = {
+  j_ops : (string * string option) list;
+  j_hwms : (string * int) list;
+}
+
+(** Switch on the volatile commit journal (off by default, and off is
+    free): every later committed write transaction appends one
+    {!journal_rec} in commit order — the journal lock is held across the
+    PTM commit and the append, serializing journaled writers.  The
+    serving layer's per-shard rebuild ledger. *)
+val enable_journal : t -> unit
+
+(** Whether the journal is enabled. *)
+val journaling : t -> bool
+
+(** Accumulated records, oldest (commit order) first; [[]] when off. *)
+val journal_records : t -> tid:int -> journal_rec list
+
+(** Drop the accumulated records.  To refresh a snapshot, cut FIRST and
+    export SECOND: a commit landing in between then appears in both the
+    journal and the snapshot, which idempotent replay tolerates —
+    the opposite order could lose it from both. *)
+val journal_cut : t -> tid:int -> unit
+
+(** Replay records oldest-first, one transaction per record.  Bypasses
+    the target's own journal (a rebuilt store re-exports right after). *)
+val replay_journal : t -> tid:int -> journal_rec list -> unit
+
+(** Sealed relocatable snapshot of the whole store: the PTM's consistent
+    logical word image (region-relative pointers only) framed with a
+    magic, the word count, and a trailing {!Pmem.Checksum.digest}.
+    Taken inside one read-only transaction. *)
+val export_snapshot : t -> tid:int -> string
+
+(** Restore a snapshot into a brand-new region (fresh in-process region,
+    or the named backing file when [backing] is given) — any offset, any
+    [num_threads].  [Error] on a malformed blob or a digest mismatch;
+    nothing is created in that case. *)
+val open_from_snapshot :
+  ?backing:string -> num_threads:int -> string -> (t, string) result
+
+(** {1 Online scrub hooks} *)
+
+(** Non-destructively re-verify the durable sealed PTM metadata (read
+    from the durable image, which live operations never consult): [Error]
+    means silent media rot that the next crash would trip over.  Safe
+    concurrently with transactions. *)
+val verify_meta : t -> (unit, string) result
+
+(** Inject [count] silent single-bit flips into the durable metadata
+    words only: invisible to live reads, caught by {!verify_meta}. *)
+val corrupt_durable_meta : t -> seed:int -> count:int -> unit
+
 (** [apply_guarded t ~tid ~guard ~hwms ops]: in ONE transaction, iff
     [guard] is a live key, apply [ops] ([Some v] puts, [None] deletes),
     delete [guard], and raise each decimal-string high-water key in

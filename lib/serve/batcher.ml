@@ -32,7 +32,9 @@ module A = Sched.Atomic
 
 type request = {
   ops : (string * string option) list;
-  state : int A.t;  (* 0 = Pending, 1 = Acked, 2 = Rejected, 3 = Shed *)
+  state : int A.t;
+      (* 0 = Pending, 1 = Acked, 2 = Rejected, 3 = Shed,
+         4 = Quarantined (shard health admission reject) *)
   rid : int;  (* wire request id (0 = none), carried into trace spans *)
   t_enq : float;  (* gettimeofday at enqueue, 0. when obs is inactive *)
   deadline : float;  (* absolute gettimeofday deadline; 0. = none *)
@@ -50,6 +52,10 @@ type t = {
   qlen : int A.t;  (* mirrors Queue.length q for lock-free peeks *)
   leader : int A.t;  (* committing tid, or -1 *)
   crashing : bool A.t;
+  quarantined : bool A.t;
+      (* shard health admission: reject new and queued requests with
+         `Quarantined (distinct from crashing — the rest of the engine
+         keeps serving, and the reply names the one dead shard) *)
   ack_early : bool A.t;
       (* ack-before-commit mutant: acknowledge drained requests BEFORE
          their batch transaction commits.  Deliberately unsound — the
@@ -85,6 +91,7 @@ let create ~db ~shard ~max_batch ~linger_us ~linger_steps ~queue_cap =
     qlen = A.make 0;
     leader = A.make (-1);
     crashing = A.make false;
+    quarantined = A.make false;
     ack_early = A.make false;
     sizes = [];
     attempts = [];
@@ -198,16 +205,20 @@ let commit_batch t ~tid batch =
 
 let run_leader t ~tid ~mine =
   while A.get mine.state = 0 do
-    if A.get t.crashing then begin
+    if A.get t.crashing || A.get t.quarantined then begin
       (* Reject everything still queued (unacknowledged by construction);
-         the engine's quiesce loop waits for this drain. *)
+         the engine's quiesce loop waits for this drain.  Quarantine
+         drains identically but with its own terminal state, so waiters
+         learn WHICH failure they hit (retry after recovery vs. retry
+         after the shard is readmitted). *)
+      let st = if A.get t.crashing then 2 else 4 in
       Sched.Mutex.lock t.lock ~tid;
       let batch = ref [] in
       Queue.iter (fun r -> batch := r :: !batch) t.q;
       Queue.clear t.q;
       A.set t.qlen 0;
       Sched.Mutex.unlock t.lock ~tid;
-      List.iter (fun r -> A.set r.state 2) !batch
+      List.iter (fun r -> A.set r.state st) !batch
     end
     else begin
       (* Linger: give followers a window to fill the batch, bounded by
@@ -222,7 +233,8 @@ let run_leader t ~tid ~mine =
       while
         A.get t.qlen < t.max_batch
         && (not (now_expired t ~opened))
-        && not (A.get t.crashing)
+        && (not (A.get t.crashing))
+        && not (A.get t.quarantined)
       do
         backoff !spins;
         incr spins
@@ -246,6 +258,8 @@ let run_leader t ~tid ~mine =
       note_drained t ~tid batch;
       if batch <> [] then
         if A.get t.crashing then List.iter (fun r -> A.set r.state 2) batch
+        else if A.get t.quarantined then
+          List.iter (fun r -> A.set r.state 4) batch
         else begin
           let live, expired = split_expired batch in
           shed t ~tid expired;
@@ -255,7 +269,8 @@ let run_leader t ~tid ~mine =
   done
 
 let submit t ~tid ?(rid = 0) ?(deadline = 0.) ops =
-  if A.get t.crashing then Error `Rejected
+  if A.get t.quarantined then Error `Quarantined
+  else if A.get t.crashing then Error `Rejected
   else if deadline > 0. && Unix.gettimeofday () > deadline then begin
     (* Already expired at admission: shed without touching the queue. *)
     if Obs.Metrics.is_on () then Obs.Metrics.incr t.c_shed ~tid;
@@ -283,6 +298,7 @@ let submit t ~tid ?(rid = 0) ?(deadline = 0.) ops =
         | 1 -> Result.Ok ()
         | 2 -> Error `Rejected
         | 3 -> Error `Shed
+        | 4 -> Error `Quarantined
         | _ ->
             if A.get t.leader = -1 && A.compare_and_set t.leader (-1) tid then begin
               Fun.protect
@@ -302,6 +318,7 @@ let submit t ~tid ?(rid = 0) ?(deadline = 0.) ops =
 (* ---- crash plumbing (engine-driven) ---- *)
 
 let set_crashing t v = A.set t.crashing v
+let set_quarantined t v = A.set t.quarantined v
 let set_ack_early t v = A.set t.ack_early v
 let quiesced t = A.get t.leader = -1 && A.get t.qlen = 0
 
@@ -313,6 +330,7 @@ let reset t =
   A.set t.qlen 0;
   A.set t.leader (-1);
   A.set t.crashing false;
+  A.set t.quarantined false;
   Sched.Mutex.reset t.lock
 
 (* ---- introspection ---- *)

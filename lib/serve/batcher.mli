@@ -36,6 +36,9 @@ val create :
     any engine work, nothing durable happened, and the client may
     safely retry.  Deadlines are wall-clock only: scheduled-mode
     callers pass none, keeping replay determinism.
+    [`Quarantined]: the shard is under health quarantine — nothing
+    durable happened; retry once the shard is readmitted (other shards
+    keep serving).
     [rid] is the wire request id (0 = none): the request's queue-wait
     trace span carries it, linking the span into the request's tree.
     The stage also feeds the [serve.stage.{queue,linger,drain,txn}]
@@ -47,13 +50,19 @@ val submit :
   ?rid:int ->
   ?deadline:float ->
   (string * string option) list ->
-  (unit, [ `Overloaded | `Rejected | `Shed ]) result
+  (unit, [ `Overloaded | `Rejected | `Shed | `Quarantined ]) result
 
 (** {2 Crash plumbing (driven by {!Engine})} *)
 
 (** While set, new submissions are rejected and the leader drains the
     queue by rejection instead of committing. *)
 val set_crashing : t -> bool -> unit
+
+(** Shard health admission: while set, new submissions answer
+    [`Quarantined] and the leader drains the queue with the same state
+    (unacknowledged by construction) — the quarantined-shard analogue of
+    {!set_crashing}, distinct so waiters learn which failure they hit. *)
+val set_quarantined : t -> bool -> unit
 
 (** Install the ack-before-commit mutant: drained requests are
     acknowledged BEFORE their batch transaction commits.  Deliberately

@@ -79,6 +79,7 @@ type t = {
 type error =
   [ `Overloaded
   | `Unavailable of string
+  | `Shard_down of int
   | `InDoubt of int
   | `Timeout
   | `Err of string ]
@@ -242,7 +243,8 @@ let idem ?(ttl_us = 0) t req =
   let rec go k =
     ensure t;
     match attempt t ~ttl_us req with
-    | Result.Ok (Protocol.Overloaded | Protocol.Timeout)
+    | Result.Ok
+        (Protocol.Overloaded | Protocol.Timeout | Protocol.Shard_unavailable _)
       when k < t.policy.max_retries ->
         backoff t k;
         go (k + 1)
@@ -269,7 +271,8 @@ let write_call ?(ttl_us = 0) ~tok t req =
   let rec go k =
     ensure t;
     match attempt t ~ttl_us ~tok req with
-    | Result.Ok (Protocol.Overloaded | Protocol.Timeout)
+    | Result.Ok
+        (Protocol.Overloaded | Protocol.Timeout | Protocol.Shard_unavailable _)
       when k < t.policy.max_retries ->
         backoff t k;
         go (k + 1)
@@ -337,6 +340,7 @@ let shape (resp : Protocol.resp) =
   | Txstat_committed _ -> "TXSTAT COMMITTED"
   | Txstat_aborted -> "TXSTAT ABORTED"
   | Txstat_unknown -> "TXSTAT UNKNOWN"
+  | Shard_unavailable _ -> "SHARD_UNAVAILABLE"
   | Err _ -> "ERR"
 
 let unexpected what resp =
@@ -352,6 +356,7 @@ let put ?ttl_us ?(tok = 0) t ~key ~value =
   | Overloaded -> Error `Overloaded
   | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
+  | Shard_unavailable s -> Error (`Shard_down s)
   | Err e -> Error (`Err e)
   | r -> unexpected "PUT" r
 
@@ -362,6 +367,7 @@ let get ?ttl_us t key =
   | Overloaded -> Error `Overloaded
   | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
+  | Shard_unavailable s -> Error (`Shard_down s)
   | Err e -> Error (`Err e)
   | r -> unexpected "GET" r
 
@@ -373,6 +379,7 @@ let del ?ttl_us ?(tok = 0) t key =
   | Overloaded -> Error `Overloaded
   | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
+  | Shard_unavailable s -> Error (`Shard_down s)
   | Err e -> Error (`Err e)
   | r -> unexpected "DEL" r
 
@@ -382,6 +389,7 @@ let mget ?ttl_us t keys =
   | Overloaded -> Error `Overloaded
   | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
+  | Shard_unavailable s -> Error (`Shard_down s)
   | Err e -> Error (`Err e)
   | r -> unexpected "MGET" r
 
@@ -393,6 +401,7 @@ let mput ?ttl_us ?(tok = 0) t kvs =
   | Overloaded -> Error `Overloaded
   | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
+  | Shard_unavailable s -> Error (`Shard_down s)
   | In_doubt txid -> Error (`InDoubt txid)
   | Err e -> Error (`Err e)
   | r -> unexpected "MPUT" r
@@ -403,6 +412,7 @@ let scan ?ttl_us t ~prefix ~max =
   | Overloaded -> Error `Overloaded
   | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
+  | Shard_unavailable s -> Error (`Shard_down s)
   | Err e -> Error (`Err e)
   | r -> unexpected "SCAN" r
 
@@ -415,6 +425,7 @@ let txstat t tok =
   | Overloaded -> Error `Overloaded
   | Timeout -> Error `Timeout
   | Unavail d -> Error (`Unavailable d)
+  | Shard_unavailable s -> Error (`Shard_down s)
   | Err e -> Error (`Err e)
   | r -> unexpected "TXSTAT" r
 
@@ -452,3 +463,40 @@ let crash t ~seed ~evict_prob ~torn_prob ~bitflips =
   | Result.Ok r -> unexpected "CRASH" r
   | Error Timed_out -> raise (Protocol_error "CRASH timed out")
   | Error (Conn_dead reason) -> raise (Protocol_error reason)
+
+(* Health-plane calls.  HEALTH is an idempotent probe like STATS;
+   FREEZE/REBUILD/CORRUPT are single-shot admin verbs (REBUILD replays a
+   commit journal and, like CRASH, can outlast any per-request budget,
+   so all three run with the deadline disarmed). *)
+
+let health t =
+  match idem t Protocol.Health with
+  | Json s -> Obs.Json.parse s
+  | Overloaded -> Error "overloaded"
+  | Timeout -> Error "timeout"
+  | Unavail d -> Error ("unavailable: " ^ d)
+  | Err e -> Error e
+  | r -> Error (Printf.sprintf "HEALTH: unexpected %s response" (shape r))
+
+let admin what t req =
+  ensure t;
+  match attempt ~timeout:0. t req with
+  | Result.Ok Protocol.Ok -> Result.Ok ()
+  | Result.Ok (Err e) -> Error e
+  | Result.Ok r -> unexpected what r
+  | Error Timed_out -> raise (Protocol_error (what ^ " timed out"))
+  | Error (Conn_dead reason) -> raise (Protocol_error reason)
+
+let freeze t shard = admin "FREEZE" t (Protocol.Freeze shard)
+
+let rebuild t shard =
+  ensure t;
+  match attempt ~timeout:0. t (Protocol.Rebuild shard) with
+  | Result.Ok (Ok_ms ms) -> Result.Ok ms
+  | Result.Ok (Err e) -> Error e
+  | Result.Ok r -> unexpected "REBUILD" r
+  | Error Timed_out -> raise (Protocol_error "REBUILD timed out")
+  | Error (Conn_dead reason) -> raise (Protocol_error reason)
+
+let corrupt t ~shard ~seed ~count =
+  admin "CORRUPT" t (Protocol.Corrupt { shard; seed; count })

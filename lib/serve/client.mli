@@ -80,7 +80,12 @@ val last_rid : t -> int
     shed before execution or every attempt timed out with nothing
     durable (always safe to retry), [`Unavailable] means the request
     took no durable effect (engine crashing/crashed or a definite
-    cross-shard abort; retry after recovery), [`InDoubt txid] means a
+    cross-shard abort; retry after recovery), [`Shard_down s] means the
+    one shard the request needed is quarantined or rebuilding — nothing
+    durable happened and every other shard keeps serving, so the
+    request is safe to retry once the shard readmits (the retry loop
+    already backs off through short quarantines; this error is the
+    shard staying down past the retry budget), [`InDoubt txid] means a
     write's outcome is unknown ([txid] = 0 when a tokened write's
     TXSTAT resolution exhausted its retries still UNKNOWN — re-submit
     with the same token once the server is back).  [`Err] is any other
@@ -93,6 +98,7 @@ val last_rid : t -> int
 type error =
   [ `Overloaded
   | `Unavailable of string
+  | `Shard_down of int
   | `InDoubt of int
   | `Timeout
   | `Err of string ]
@@ -144,3 +150,22 @@ val crash :
   torn_prob:float ->
   bitflips:int ->
   (float, string) result
+
+(** Parsed HEALTH document: per-shard health states, reasons and scrub
+    progress plus the [serve.health.*] counter totals.  Same error
+    contract as {!stats}. *)
+val health : t -> (Obs.Json.t, string) result
+
+(** Quarantine one shard by hand (the FREEZE admin verb): its requests
+    answer [`Shard_down] until {!rebuild} readmits it. *)
+val freeze : t -> int -> (unit, string) result
+
+(** Rebuild a quarantined shard online from its snapshot export plus
+    commit-journal replay; [Ok] carries the rebuild milliseconds.
+    Runs with the read deadline disarmed, like {!crash}. *)
+val rebuild : t -> int -> (float, string) result
+
+(** Inject [count] seeded silent bit flips into one shard's durable PTM
+    metadata (torture hook): invisible to live reads, caught by the
+    online scrubber. *)
+val corrupt : t -> shard:int -> seed:int -> count:int -> (unit, string) result

@@ -287,8 +287,24 @@ let parse_phase s =
    - [Ack_early]: the batcher acknowledges a write BEFORE its batch
      transaction commits, so a kill in the ack-to-commit window loses an
      acked write — the violation the supervised kill-restart audit must
-     catch. *)
-type mutant = Skip_2pc | No_rollforward | No_read_validation | No_dedup | Ack_early
+     catch.
+   - [No_scrub_verify]: the online scrubber walks every shard on
+     schedule but skips the durable-checksum re-verification, so silent
+     media rot is never promoted to Suspect and the shard is never
+     quarantined or rebuilt — the quarantine sweep's detection audit
+     must catch the still-rotten region.
+   - [Serve_while_rebuilding]: shard health admission lets operations
+     through while the shard is [Rebuilding], so writes acked against
+     the doomed old instance vanish when the rebuilt store is swapped
+     in — the zero-acked-write-loss audit must catch them. *)
+type mutant =
+  | Skip_2pc
+  | No_rollforward
+  | No_read_validation
+  | No_dedup
+  | Ack_early
+  | No_scrub_verify
+  | Serve_while_rebuilding
 
 let pp_mutant = function
   | Skip_2pc -> "skip-2pc"
@@ -296,6 +312,8 @@ let pp_mutant = function
   | No_read_validation -> "no-read-validation"
   | No_dedup -> "no-dedup-on-retry"
   | Ack_early -> "ack-before-commit"
+  | No_scrub_verify -> "no-scrub-verify"
+  | Serve_while_rebuilding -> "serve-while-rebuilding"
 
 let parse_mutant = function
   | "skip-2pc" -> Some Skip_2pc
@@ -303,4 +321,6 @@ let parse_mutant = function
   | "no-read-validation" -> Some No_read_validation
   | "no-dedup-on-retry" -> Some No_dedup
   | "ack-before-commit" -> Some Ack_early
+  | "no-scrub-verify" -> Some No_scrub_verify
+  | "serve-while-rebuilding" -> Some Serve_while_rebuilding
   | _ -> None

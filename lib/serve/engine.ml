@@ -44,6 +44,14 @@ type config = {
          file <dir>/shard-<i>.region: acked writes survive a kill -9 of
          this process, and a fresh engine over the same directory
          reopens the files and recovers instead of formatting *)
+  isolate : bool;
+      (* per-shard fault isolation: an Unrecoverable shard is
+         quarantined (other shards keep serving) instead of taking the
+         whole engine down, each shard keeps a commit journal plus a
+         sealed relocatable snapshot export, and quarantined shards can
+         be rebuilt online from snapshot + journal replay.  Off by
+         default: the legacy engine-fatal behavior is exactly preserved
+         (and the journal/export overhead is not paid). *)
 }
 
 let default_config =
@@ -57,6 +65,7 @@ let default_config =
     linger_steps = 0;
     queue_cap = 64;
     backing_dir = None;
+    isolate = false;
   }
 
 (* A decided-but-not-yet-forgotten cross-shard transaction, published so
@@ -73,6 +82,19 @@ type t = {
   batchers : Batcher.t array;  (* empty when cfg.batch = false *)
   inflight : int A.t;  (* ops currently inside a shard (reads + commits) *)
   crashing : bool A.t;
+  (* per-shard health machine (see [shard_admits]):
+     0 Healthy -> 1 Suspect -> 2 Quarantined -> 3 Rebuilding -> 0 *)
+  health : int A.t array;
+  health_lock : Sched.Mutex.t;  (* serializes transitions and rebuilds *)
+  hreason : string array;  (* why the shard left Healthy; "" when healthy *)
+  exports : string option array;  (* last good sealed snapshot per shard *)
+  scrub_pass : int A.t array;  (* completed scrub verifications per shard *)
+  hc_suspects : int A.t;
+  hc_quarantines : int A.t;
+  hc_rebuilds : int A.t;
+  hc_readmissions : int A.t;
+  hc_scrub_anomalies : int A.t;
+  mutable flush_cost : int option;  (* re-applied to rebuilt shards *)
   crash_gate : Sched.Mutex.t;  (* serializes whole-engine crashes *)
   (* cross-shard commit state (volatile; rebuilt by recover_commit) *)
   next_txid : int A.t;
@@ -99,6 +121,11 @@ type t = {
   c_retry : Obs.Metrics.counter;
   c_dedup : Obs.Metrics.counter;  (* tokened retries answered from the ledger *)
   c_txstat : Obs.Metrics.counter;
+  c_suspect : Obs.Metrics.counter;
+  c_quar : Obs.Metrics.counter;
+  c_rebuild : Obs.Metrics.counter;
+  c_readmit : Obs.Metrics.counter;
+  c_scrub_anom : Obs.Metrics.counter;
   h_prep : Obs.Metrics.histogram;
   h_dec : Obs.Metrics.histogram;
   h_app : Obs.Metrics.histogram;
@@ -106,7 +133,15 @@ type t = {
 }
 
 type ack = { txid : int; epoch : int }
-type error = Overloaded | Unavailable of string | In_doubt of int | Timed_out
+
+type error =
+  | Overloaded
+  | Unavailable of string
+  | In_doubt of int
+  | Timed_out
+  | Shard_down of int
+      (* the one shard this request needed is quarantined or rebuilding;
+         every other shard keeps serving — retry after readmission *)
 
 type tx_status =
   | Tx_committed of { txid : int; epoch : int; records : int }
@@ -118,6 +153,7 @@ let pp_error = function
   | Unavailable d -> "unavailable: " ^ d
   | In_doubt txid -> Printf.sprintf "in doubt: txn %d" txid
   | Timed_out -> "timed out (shed before execution)"
+  | Shard_down s -> Printf.sprintf "shard %d unavailable (quarantined)" s
 
 let shard_file dir s = Filename.concat dir (Printf.sprintf "shard-%d.region" s)
 
@@ -184,6 +220,17 @@ let create cfg =
       batchers;
       inflight = A.make 0;
       crashing = A.make false;
+      health = Array.init cfg.shards (fun _ -> A.make 0);
+      health_lock = Sched.Mutex.create ();
+      hreason = Array.make cfg.shards "";
+      exports = Array.make cfg.shards None;
+      scrub_pass = Array.init cfg.shards (fun _ -> A.make 0);
+      hc_suspects = A.make 0;
+      hc_quarantines = A.make 0;
+      hc_rebuilds = A.make 0;
+      hc_readmissions = A.make 0;
+      hc_scrub_anomalies = A.make 0;
+      flush_cost = None;
       crash_gate = Sched.Mutex.create ();
       next_txid = A.make 1;
       epoch_src = A.make 0;
@@ -206,6 +253,11 @@ let create cfg =
       c_retry = Obs.Metrics.counter "serve.commit.snapshot_retries";
       c_dedup = Obs.Metrics.counter "serve.retry.dedup_hits";
       c_txstat = Obs.Metrics.counter "serve.txstat.queries";
+      c_suspect = Obs.Metrics.counter "serve.health.suspects";
+      c_quar = Obs.Metrics.counter "serve.health.quarantines";
+      c_rebuild = Obs.Metrics.counter "serve.health.rebuilds";
+      c_readmit = Obs.Metrics.counter "serve.health.readmissions";
+      c_scrub_anom = Obs.Metrics.counter "serve.health.scrub_anomalies";
       h_prep = Obs.Metrics.histogram "serve.stage.prepare";
       h_dec = Obs.Metrics.histogram "serve.stage.decide";
       h_app = Obs.Metrics.histogram "serve.stage.apply";
@@ -220,6 +272,16 @@ let create cfg =
     | Result.Ok () -> ()
     | Error detail -> failwith ("Engine.create: recovery failed: " ^ detail)
   end;
+  (* Fault isolation keeps, per shard, a rebuild ledger (the commit
+     journal) anchored at a sealed relocatable snapshot.  The anchor is
+     taken here — after any recovery — so journal replay over it always
+     reconstructs the full committed state. *)
+  if cfg.isolate then
+    Array.iteri
+      (fun s db ->
+        Kv.Redodb.enable_journal db;
+        t.exports.(s) <- Some (Kv.Redodb.export_snapshot db ~tid:0))
+      dbs;
   t
 
 let config t = t.cfg
@@ -311,19 +373,158 @@ let with_entry t ~tid f =
       Obs.Metrics.incr t.c_reqs ~tid;
       Fun.protect ~finally:(fun () -> exit_ t) f
 
+(* ---- per-shard health machine ----
+
+   Healthy (0) and Suspect (1) shards serve — Suspect means one scrub
+   verification found durable rot and a confirming re-verification is
+   still owed.  Quarantined (2) and Rebuilding (3) shards admit nothing;
+   every other shard keeps serving (degraded mode).  The
+   serve-while-rebuilding mutant drops the Rebuilding half of the guard,
+   so writes land on the doomed old instance and vanish at the swap —
+   the violation the quarantine sweep's zero-acked-write-loss audit
+   exists to catch. *)
+
+let health_name = function
+  | 0 -> "healthy"
+  | 1 -> "suspect"
+  | 2 -> "quarantined"
+  | 3 -> "rebuilding"
+  | _ -> "unknown"
+
+let shard_admits t s =
+  match A.get t.health.(s) with
+  | 2 -> false
+  | 3 -> List.mem Commit.Serve_while_rebuilding t.mutants
+  | _ -> true
+
+let check_shard t s = if shard_admits t s then Result.Ok () else Error (Shard_down s)
+
+let shard_health t s =
+  (health_name (A.get t.health.(s)), t.hreason.(s), A.get t.scrub_pass.(s))
+
+let health_counters t =
+  [
+    ("serve.health.suspects", A.get t.hc_suspects);
+    ("serve.health.quarantines", A.get t.hc_quarantines);
+    ("serve.health.rebuilds", A.get t.hc_rebuilds);
+    ("serve.health.readmissions", A.get t.hc_readmissions);
+    ("serve.health.scrub_anomalies", A.get t.hc_scrub_anomalies);
+  ]
+
+(* Quarantine [s]: flips admission off and tells the shard's batcher to
+   drain its queue with [`Quarantined] (nothing in it was acked).  Used
+   by the scrubber on confirmed rot, by the recovery path on a per-shard
+   Unrecoverable (when [isolate]), and by the FREEZE admin verb. *)
+let quarantine t ~tid s ~reason =
+  Sched.Mutex.lock t.health_lock ~tid;
+  let st = A.get t.health.(s) in
+  if st <> 2 && st <> 3 then begin
+    A.set t.health.(s) 2;
+    t.hreason.(s) <- reason;
+    if Array.length t.batchers > 0 then
+      Batcher.set_quarantined t.batchers.(s) true;
+    A.incr t.hc_quarantines;
+    Obs.Metrics.incr t.c_quar ~tid
+  end;
+  Sched.Mutex.unlock t.health_lock ~tid
+
+(* Raw durable-metadata verification of one shard, mutant-blind: the
+   sweep's final audit uses this directly, so a scrubber that "verified"
+   nothing (the no-scrub-verify mutant) cannot also fool the audit. *)
+let verify_shard t s = Kv.Redodb.verify_meta t.dbs.(s)
+
+(* One scrubber step over shard [s]: re-verify the durable sealed
+   metadata against silent media rot.  Two-strike policy — the first
+   anomaly only marks the shard Suspect (it keeps serving; live
+   operations never read the durable image, so nothing wrong has been
+   served yet) and the caller immediately re-steps to confirm; the
+   second strike quarantines.  A Suspect shard that re-verifies clean is
+   re-trusted.  Under the no-scrub-verify mutant the walk still advances
+   (scrub progress looks alive) but the verification never runs. *)
+let scrub_step t ~tid s =
+  match A.get t.health.(s) with
+  | 2 | 3 -> `Skipped
+  | st -> (
+      let verdict =
+        if List.mem Commit.No_scrub_verify t.mutants then Result.Ok ()
+        else Kv.Redodb.verify_meta t.dbs.(s)
+      in
+      A.incr t.scrub_pass.(s);
+      match verdict with
+      | Result.Ok () ->
+          if st = 1 then begin
+            Sched.Mutex.lock t.health_lock ~tid;
+            if A.get t.health.(s) = 1 then begin
+              A.set t.health.(s) 0;
+              t.hreason.(s) <- ""
+            end;
+            Sched.Mutex.unlock t.health_lock ~tid
+          end;
+          `Clean
+      | Error detail ->
+          A.incr t.hc_scrub_anomalies;
+          Obs.Metrics.incr t.c_scrub_anom ~tid;
+          if st = 0 then begin
+            Sched.Mutex.lock t.health_lock ~tid;
+            if A.get t.health.(s) = 0 then begin
+              A.set t.health.(s) 1;
+              t.hreason.(s) <- detail;
+              A.incr t.hc_suspects;
+              Obs.Metrics.incr t.c_suspect ~tid
+            end;
+            Sched.Mutex.unlock t.health_lock ~tid;
+            `Suspected detail
+          end
+          else begin
+            quarantine t ~tid s ~reason:detail;
+            `Confirmed detail
+          end)
+
+(* Refresh shard [s]'s rebuild anchor: cut the journal FIRST, export
+   SECOND — a commit landing between the two appears in both the journal
+   and the snapshot, which idempotent replay tolerates; the opposite
+   order could lose it from both.  Called by the scrubber after a clean
+   pass so journals stay short. *)
+let refresh_export t ~tid s =
+  if t.cfg.isolate && A.get t.health.(s) = 0 then begin
+    Kv.Redodb.journal_cut t.dbs.(s) ~tid;
+    t.exports.(s) <- Some (Kv.Redodb.export_snapshot t.dbs.(s) ~tid)
+  end
+
+(* Test/torture hook: inject silent single-bit rot into one shard's
+   durable metadata — invisible to live operations, caught by the
+   scrubber (or by the next crash recovery). *)
+let corrupt_shard t s ~seed ~count =
+  Kv.Redodb.corrupt_durable_meta t.dbs.(s) ~seed ~count
+
+let has_mutant t m = List.mem m t.mutants
+
 (* ---- writes ---- *)
 
 let submit_shard t ~tid ?(rid = 0) ?(deadline = 0.) shard ops =
-  if t.cfg.batch then
-    match Batcher.submit t.batchers.(shard) ~tid ~rid ~deadline ops with
-    | Result.Ok () -> Result.Ok ()
-    | Error `Overloaded -> Error Overloaded
-    | Error `Rejected -> Error (Unavailable "crashed before commit")
-    | Error `Shed -> Error Timed_out
-  else begin
-    Kv.Redodb.write_batch t.dbs.(shard) ~tid ops;
-    Result.Ok ()
-  end
+  match check_shard t shard with
+  | Error _ as e -> e
+  | Result.Ok () -> (
+      match
+        if t.cfg.batch then
+          match Batcher.submit t.batchers.(shard) ~tid ~rid ~deadline ops with
+          | Result.Ok () -> Result.Ok ()
+          | Error `Overloaded -> Error Overloaded
+          | Error `Rejected -> Error (Unavailable "crashed before commit")
+          | Error `Shed -> Error Timed_out
+          | Error `Quarantined -> Error (Shard_down shard)
+        else begin
+          Kv.Redodb.write_batch t.dbs.(shard) ~tid ops;
+          Result.Ok ()
+        end
+      with
+      | r -> r
+      | exception Ptm.Ptm_intf.Unrecoverable { detail; _ }
+        when t.cfg.isolate ->
+          (* a live op tripped over the shard's region: fault-isolate it
+             instead of taking the engine down *)
+          quarantine t ~tid shard ~reason:detail;
+          Error (Shard_down shard))
 
 (* ---- exactly-once bookkeeping (the outcome ledger) ---- *)
 
@@ -425,6 +626,9 @@ let delete t ~tid ?(rid = 0) ?(tok = 0) ?(deadline = 0.) key =
    batcher is for acked user writes; abort must also work while the
    batcher is already rejecting during a crash start. *)
 let rollback t ~tid txid shards =
+  (* A quarantined participant's prepare record is out of reach; it is
+     deleted (still undecided, so: aborted) when the shard rebuilds. *)
+  let shards = List.filter (shard_admits t) shards in
   List.iter
     (fun s -> Kv.Redodb.write_batch t.dbs.(s) ~tid [ (Commit.prep_key txid, None) ])
     shards;
@@ -438,16 +642,21 @@ let rollback t ~tid txid shards =
 let run_applies t ~tid ~helper ~inject ?(rid = 0) txid p =
   List.iteri
     (fun i (s, ops) ->
-      let did =
-        stage t.h_app Obs.Trace.Apply ~tid ~arg:s ~rid @@ fun () ->
-        Kv.Redodb.apply_guarded t.dbs.(s) ~tid ~guard:(Commit.prep_key txid)
-          ~hwms:
-            [ (Commit.epoch_hwm_key, p.p_epoch); (Commit.txid_hwm_key, txid) ]
-          ops
-      in
-      if did then begin
-        Obs.Metrics.incr t.c_apply ~tid;
-        if helper then Obs.Metrics.incr t.c_helped ~tid
+      (* a quarantined participant's apply is deferred: its restored
+         prepare record is driven by the surviving decision record at
+         rebuild time *)
+      if shard_admits t s then begin
+        let did =
+          stage t.h_app Obs.Trace.Apply ~tid ~arg:s ~rid @@ fun () ->
+          Kv.Redodb.apply_guarded t.dbs.(s) ~tid ~guard:(Commit.prep_key txid)
+            ~hwms:
+              [ (Commit.epoch_hwm_key, p.p_epoch); (Commit.txid_hwm_key, txid) ]
+            ops
+        in
+        if did then begin
+          Obs.Metrics.incr t.c_apply ~tid;
+          if helper then Obs.Metrics.incr t.c_helped ~tid
+        end
       end;
       if inject then maybe_crash t (Commit.Apply (i + 1)))
     p.p_ops
@@ -466,9 +675,15 @@ let complete t ~tid ~helper ~inject ?(rid = 0) txid p =
   end;
   Sched.Mutex.unlock t.reg_lock ~tid;
   if mine then begin
-    Kv.Redodb.write_batch t.dbs.(List.hd p.p_parts) ~tid
-      [ (Commit.dec_key txid, None) ];
-    if inject then maybe_crash t Commit.Forget
+    (* Forget the decision record only when every participant's apply
+       could actually run: a quarantined participant resolves its
+       restored prepare from this very record at rebuild time, so the
+       record must survive until then (the rebuild forgets it). *)
+    if List.for_all (fun (s, _) -> shard_admits t s) p.p_ops then begin
+      Kv.Redodb.write_batch t.dbs.(List.hd p.p_parts) ~tid
+        [ (Commit.dec_key txid, None) ];
+      if inject then maybe_crash t Commit.Forget
+    end
   end
 
 (* Readers help every published decided transaction to completion before
@@ -514,6 +729,17 @@ let two_phase t ~tid ~rid ~tok ~deadline slices parts =
   in
   match prepare 1 [] slices with
   | Error _ as e -> e
+  | Result.Ok () when not (List.for_all (shard_admits t) parts) ->
+      (* A participant was quarantined between its prepare and the
+         decision.  No decision record exists, so this is a definite
+         abort: roll the reachable prepares back (the quarantined
+         shard's one dies at rebuild — still undecided, so: aborted) and
+         refuse.  Nothing durable commits on any shard — the
+         mid-2PC-quarantine test's no-prefix-commit oracle. *)
+      rollback t ~tid txid parts;
+      Error
+        (Shard_down
+           (List.find (fun s -> not (shard_admits t s)) parts))
   | Result.Ok () -> (
       (* DECIDE: the decision record's commit is the commit point.  The
          commit_window flag marks this thread as stall-hazardous until
@@ -650,8 +876,11 @@ let snapshot_read t ~tid f =
 let get t ~tid key =
   with_entry t ~tid @@ fun () ->
   let s = shard_of t key in
-  touch t s key;
-  Result.Ok (Kv.Redodb.get t.dbs.(s) ~tid (Commit.user_key key))
+  match check_shard t s with
+  | Error _ as e -> e
+  | Result.Ok () ->
+      touch t s key;
+      Result.Ok (Kv.Redodb.get t.dbs.(s) ~tid (Commit.user_key key))
 
 (* One read-only snapshot per visited shard, shards in index order. *)
 let multi_get t ~tid keys =
@@ -664,17 +893,24 @@ let multi_get t ~tid keys =
       touch t s key;
       per_shard.(s) <- (i, Commit.user_key key) :: per_shard.(s))
     keys;
-  Result.Ok
-    ( snapshot_read t ~tid @@ fun () ->
-      let out = Array.make (List.length keys) None in
-      for s = 0 to t.cfg.shards - 1 do
-        match List.rev per_shard.(s) with
-        | [] -> ()
-        | batch ->
-            let vals = Kv.Redodb.get_batch t.dbs.(s) ~tid (List.map snd batch) in
-            List.iter2 (fun (i, _) v -> out.(i) <- v) batch vals
-      done;
-      Array.to_list out )
+  let down = ref None in
+  for s = t.cfg.shards - 1 downto 0 do
+    if per_shard.(s) <> [] && not (shard_admits t s) then down := Some s
+  done;
+  match !down with
+  | Some s -> Error (Shard_down s)
+  | None ->
+      Result.Ok
+        ( snapshot_read t ~tid @@ fun () ->
+          let out = Array.make (List.length keys) None in
+          for s = 0 to t.cfg.shards - 1 do
+            match List.rev per_shard.(s) with
+            | [] -> ()
+            | batch ->
+                let vals = Kv.Redodb.get_batch t.dbs.(s) ~tid (List.map snd batch) in
+                List.iter2 (fun (i, _) v -> out.(i) <- v) batch vals
+          done;
+          Array.to_list out )
 
 let scan t ~tid ~prefix ~max =
   with_entry t ~tid @@ fun () ->
@@ -687,7 +923,11 @@ let scan t ~tid ~prefix ~max =
   Result.Ok
     ( snapshot_read t ~tid @@ fun () ->
       let all = ref [] in
+      (* degraded mode: a scan serves the healthy subset of the
+         keyspace; the per-shard health gauges tell clients which part
+         is missing *)
       for s = 0 to t.cfg.shards - 1 do
+        if shard_admits t s then begin
         let c = Kv.Redodb.seek t.dbs.(s) ~tid iprefix in
         let rec walk () =
           match Kv.Redodb.entry c with
@@ -698,6 +938,7 @@ let scan t ~tid ~prefix ~max =
           | _ -> ()
         in
         walk ()
+        end
       done;
       let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !all in
       List.filteri (fun i _ -> i < max) sorted )
@@ -741,29 +982,41 @@ let overload_hint t =
 
 (* User keys only — commit metadata and high-water marks are not data. *)
 let count t ~tid =
-  Array.fold_left
-    (fun acc db ->
-      acc
-      + Kv.Redodb.fold db ~tid ~init:0 (fun n k _ ->
-            if String.length k > 0 && k.[0] = 'u' then n + 1 else n))
-    0 t.dbs
+  let acc = ref 0 in
+  Array.iteri
+    (fun s db ->
+      if shard_admits t s then
+        acc :=
+          !acc
+          + Kv.Redodb.fold db ~tid ~init:0 (fun n k _ ->
+                if String.length k > 0 && k.[0] = 'u' then n + 1 else n))
+    t.dbs;
+  !acc
 
 (* ---- crash and recovery ---- *)
 
 (* Every shard recovers before anything is reported: an early refusal
    must not abandon the shards after it (their acked data would sit
    unrecovered behind a healthy region) — fault isolation starts here.
-   [Error detail] names the COMPLETE failing set, in shard order. *)
+   Without [isolate], [Error detail] names the COMPLETE failing set, in
+   shard order, and the engine stays down.  With [isolate], a refusing
+   shard is quarantined instead and recovery succeeds for the rest: the
+   engine comes back serving every healthy shard, and the quarantined
+   one waits for its online rebuild.  Already-quarantined shards are
+   skipped (their durable state is known-bad until rebuilt). *)
 let recover_shards t ~seed ~evict_prob ~torn_prob ~bitflips =
   let bad = ref [] in
   let total = ref 0. in
   for s = t.cfg.shards - 1 downto 0 do
-    match
-      Kv.Redodb.crash_with_faults t.dbs.(s) ~seed:(seed + s) ~evict_prob
-        ~torn_prob ~bitflips
-    with
-    | Result.Ok dt -> total := !total +. dt
-    | Error detail -> bad := Printf.sprintf "shard %d: %s" s detail :: !bad
+    if A.get t.health.(s) < 2 then
+      match
+        Kv.Redodb.crash_with_faults t.dbs.(s) ~seed:(seed + s) ~evict_prob
+          ~torn_prob ~bitflips
+      with
+      | Result.Ok dt -> total := !total +. dt
+      | Error detail ->
+          if t.cfg.isolate then quarantine t ~tid:0 s ~reason:detail
+          else bad := Printf.sprintf "shard %d: %s" s detail :: !bad
   done;
   match !bad with
   | [] -> Result.Ok !total
@@ -787,6 +1040,7 @@ let recover_commit t =
   let bad = ref [] in
   Array.iteri
     (fun s db ->
+      if A.get t.health.(s) < 2 then
       Kv.Redodb.fold db ~tid:0 ~init:() (fun () k v ->
           if k = Commit.epoch_hwm_key then
             max_epoch := max !max_epoch (Option.value (int_of_string_opt v) ~default:0)
@@ -796,8 +1050,8 @@ let recover_commit t =
             match Commit.classify_key k with
             | `Prep tx -> (
                 match Commit.decode_prep v with
-                | Some (txid, _, ops) when txid = tx ->
-                    Hashtbl.replace preps (txid, s) ops;
+                | Some (txid, parts, ops) when txid = tx ->
+                    Hashtbl.replace preps (txid, s) (parts, ops);
                     max_txid := max !max_txid txid
                 | _ ->
                     bad :=
@@ -825,7 +1079,7 @@ let recover_commit t =
             List.iter
               (fun s ->
                 match Hashtbl.find_opt preps (txid, s) with
-                | Some ops ->
+                | Some (_, ops) ->
                     let did =
                       Kv.Redodb.apply_guarded t.dbs.(s) ~tid:0
                         ~guard:(Commit.prep_key txid)
@@ -840,15 +1094,27 @@ let recover_commit t =
                     Hashtbl.remove preps (txid, s)
                 | None -> ())
               parts;
-          Kv.Redodb.write_batch t.dbs.(s_dec) ~tid:0 [ (Commit.dec_key txid, None) ])
+          (* same retention rule as [complete]: a quarantined
+             participant resolves its prepare from this decision record
+             at rebuild time, so keep it until every participant could
+             apply *)
+          if List.for_all (shard_admits t) parts then
+            Kv.Redodb.write_batch t.dbs.(s_dec) ~tid:0
+              [ (Commit.dec_key txid, None) ])
         decs;
       Hashtbl.iter
-        (fun ((txid, s) as key) _ ->
+        (fun ((txid, s) as key) (parts, _) ->
           ignore key;
-          if no_rf || not (Hashtbl.mem decs txid) then begin
-            Kv.Redodb.write_batch t.dbs.(s) ~tid:0 [ (Commit.prep_key txid, None) ];
-            Obs.Metrics.incr t.c_rollb ~tid:0
-          end)
+          if no_rf || not (Hashtbl.mem decs txid) then
+            (* A participant behind quarantine could hold the decision
+               record this transaction's fate hangs on: leave the
+               prepare in doubt until that shard rebuilds — rolling it
+               back now could abort an acked commit. *)
+            if List.for_all (shard_admits t) parts then begin
+              Kv.Redodb.write_batch t.dbs.(s) ~tid:0
+                [ (Commit.prep_key txid, None) ];
+              Obs.Metrics.incr t.c_rollb ~tid:0
+            end)
         preps;
       A.set t.next_txid (!max_txid + 1);
       A.set t.epoch_src !max_epoch;
@@ -869,6 +1135,143 @@ let recover_all t ~seed ~evict_prob ~torn_prob ~bitflips =
       match recover_commit t with
       | Result.Ok () -> Result.Ok dt
       | Error detail -> Error ("commit recovery: " ^ detail))
+
+(* ---- online rebuild of a quarantined shard ---- *)
+
+(* Resolve the rebuilt shard's restored in-doubt commit records from the
+   decision records that survived on the other shards (or on the rebuilt
+   shard itself, when it was the coordinator).  A prepare with a
+   surviving decision is rolled FORWARD — the deferred apply the live
+   [complete] skipped while the shard was quarantined; one without is
+   rolled BACK (no decision record could exist anywhere: the live path
+   aborted it).  The decision record is forgotten only once no OTHER
+   participant still sits behind quarantine waiting to resolve from it. *)
+let resolve_rebuilt t ~tid s db =
+  let preps = ref [] in
+  Kv.Redodb.fold db ~tid ~init:() (fun () k v ->
+      match Commit.classify_key k with
+      | `Prep tx -> (
+          match Commit.decode_prep v with
+          | Some (txid, parts, ops) when txid = tx ->
+              preps := (txid, parts, ops) :: !preps
+          | _ -> ())
+      | _ -> ());
+  let find_decision txid =
+    let found = ref None in
+    Array.iteri
+      (fun s' db' ->
+        if Option.is_none !found && (s' = s || shard_admits t s') then
+          let db' = if s' = s then db else db' in
+          match Kv.Redodb.get db' ~tid (Commit.dec_key txid) with
+          | Some v -> (
+              match Commit.decode_decision v with
+              | Some (txid', epoch, _) when txid' = txid ->
+                  found := Some (s', epoch)
+              | _ -> ())
+          | None -> ())
+      t.dbs;
+    !found
+  in
+  List.iter
+    (fun (txid, parts, ops) ->
+      match find_decision txid with
+      | Some (s_dec, epoch) ->
+          let did =
+            Kv.Redodb.apply_guarded db ~tid ~guard:(Commit.prep_key txid)
+              ~hwms:
+                [ (Commit.epoch_hwm_key, epoch); (Commit.txid_hwm_key, txid) ]
+              ops
+          in
+          if did then Obs.Metrics.incr t.c_rollf ~tid;
+          if List.for_all (fun p -> p = s || shard_admits t p) parts then begin
+            let dbd = if s_dec = s then db else t.dbs.(s_dec) in
+            Kv.Redodb.write_batch dbd ~tid [ (Commit.dec_key txid, None) ]
+          end
+      | None ->
+          Kv.Redodb.write_batch db ~tid [ (Commit.prep_key txid, None) ];
+          Obs.Metrics.incr t.c_rollb ~tid)
+    !preps
+
+(* Rebuild quarantined shard [s] online, without interrupting the other
+   shards: restore the last good sealed snapshot export into a brand-new
+   region (relocatable — any offset, any region), replay the commit
+   journal over it (the volatile ledger survived whatever rotted the
+   durable image; replay is idempotent last-writer-wins), resolve
+   restored in-doubt 2PC records from surviving decision records, swap
+   the rebuilt store in with a fresh batcher, re-anchor the journal at a
+   fresh export, and readmit.  On [Error] the shard stays quarantined
+   and the rebuild may be retried. *)
+let rebuild_shard t ~tid s =
+  if not t.cfg.isolate then
+    Error "rebuild: engine not configured with isolate"
+  else begin
+    Sched.Mutex.lock t.health_lock ~tid;
+    let st = A.get t.health.(s) in
+    if st <> 2 then begin
+      Sched.Mutex.unlock t.health_lock ~tid;
+      Error
+        (Printf.sprintf "rebuild: shard %d is %s, not quarantined" s
+           (health_name st))
+    end
+    else begin
+      A.set t.health.(s) 3;
+      Sched.Mutex.unlock t.health_lock ~tid;
+      A.incr t.hc_rebuilds;
+      Obs.Metrics.incr t.c_rebuild ~tid;
+      let old = t.dbs.(s) in
+      let restore () =
+        match t.exports.(s) with
+        | None -> Error "rebuild: no snapshot export for shard"
+        | Some snap -> (
+            let ledger = Kv.Redodb.journal_records old ~tid in
+            let backing =
+              Option.map
+                (fun dir -> shard_file dir s ^ ".rebuild")
+                t.cfg.backing_dir
+            in
+            match
+              Kv.Redodb.open_from_snapshot ?backing
+                ~num_threads:t.cfg.num_threads snap
+            with
+            | Error _ as e -> e
+            | Result.Ok fresh ->
+                (match t.flush_cost with
+                | Some c -> Kv.Redodb.set_flush_cost fresh c
+                | None -> ());
+                Kv.Redodb.enable_journal fresh;
+                Kv.Redodb.replay_journal fresh ~tid ledger;
+                resolve_rebuilt t ~tid s fresh;
+                (* the rebuilt region replaces the rotten one on disk;
+                   the old store's private mapping stays valid until it
+                   is dropped with the old instance *)
+                (match (backing, t.cfg.backing_dir) with
+                | Some tmp, Some dir -> Unix.rename tmp (shard_file dir s)
+                | _ -> ());
+                Result.Ok fresh)
+      in
+      match restore () with
+      | Error detail ->
+          A.set t.health.(s) 2;
+          Error ("rebuild: " ^ detail)
+      | Result.Ok fresh ->
+          t.dbs.(s) <- fresh;
+          if Array.length t.batchers > 0 then begin
+            t.batchers.(s) <-
+              Batcher.create ~db:fresh ~shard:s ~max_batch:t.cfg.max_batch
+                ~linger_us:t.cfg.linger_us ~linger_steps:t.cfg.linger_steps
+                ~queue_cap:t.cfg.queue_cap;
+            Batcher.set_ack_early t.batchers.(s)
+              (List.mem Commit.Ack_early t.mutants)
+          end;
+          Kv.Redodb.journal_cut fresh ~tid;
+          t.exports.(s) <- Some (Kv.Redodb.export_snapshot fresh ~tid);
+          t.hreason.(s) <- "";
+          A.set t.health.(s) 0;
+          A.incr t.hc_readmissions;
+          Obs.Metrics.incr t.c_readmit ~tid;
+          Result.Ok ()
+    end
+  end
 
 (* Whole-engine power failure under load: new requests bounce, queued
    unacknowledged requests are drained by rejection, in-flight committed
@@ -904,9 +1307,16 @@ let crash_with_faults t ~tid ~seed ~evict_prob ~torn_prob ~bitflips =
    mid-batch or mid-2PC. *)
 let crash_hard_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips =
   Array.iter Batcher.reset t.batchers;
+  (* Batcher.reset clears the quarantine flag with the rest of the
+     volatile stage state; quarantine survives a power failure (the
+     shard's region is still bad), so re-assert it. *)
+  Array.iteri
+    (fun s b -> Batcher.set_quarantined b (A.get t.health.(s) >= 2))
+    t.batchers;
   A.set t.inflight 0;
   A.set t.crashing false;
   Sched.Mutex.reset t.crash_gate;
+  Sched.Mutex.reset t.health_lock;
   t.crash_after <- None;
   recover_all t ~seed ~evict_prob ~torn_prob ~bitflips
 
@@ -915,7 +1325,9 @@ let crash_hard_with_faults t ~seed ~evict_prob ~torn_prob ~bitflips =
 (* Installed after creation so the shards' initialisation flushes do not
    pay the device cost (startup with a realistic model would take
    seconds); the per-region override survives crash recovery. *)
-let set_flush_cost t iters = Array.iter (fun db -> Kv.Redodb.set_flush_cost db iters) t.dbs
+let set_flush_cost t iters =
+  t.flush_cost <- Some iters;  (* re-applied to rebuilt shards *)
+  Array.iter (fun db -> Kv.Redodb.set_flush_cost db iters) t.dbs
 
 let stall_hazard t ~tid =
   Array.exists (fun b -> Batcher.stall_hazard b ~tid) t.batchers
@@ -962,6 +1374,9 @@ let stats_json t =
                  Obs.Json.List
                    (Array.to_list (Array.map (fun n -> Obs.Json.Int n) t.heat.(i)))
                );
+               ("health", Obs.Json.String (health_name (A.get t.health.(i))));
+               ("health_reason", Obs.Json.String t.hreason.(i));
+               ("scrub_passes", Obs.Json.Int (A.get t.scrub_pass.(i)));
              ])
          t.dbs)
   in
@@ -977,6 +1392,12 @@ let stats_json t =
       ("decided", Obs.Json.Int (A.get t.decided));
       ("applied", Obs.Json.Int (A.get t.applied));
       ("pending_commits", Obs.Json.Int (Hashtbl.length t.registry));
+      ( "health",
+        Obs.Json.Obj
+          (("isolate", Obs.Json.Bool t.cfg.isolate)
+          :: List.map
+               (fun (k, v) -> (k, Obs.Json.Int v))
+               (health_counters t)) );
       ("shard_stats", Obs.Json.List shard_rows);
       ("windows", Obs.Window.to_json ());
       ("metrics", Obs.Metrics.to_json ());

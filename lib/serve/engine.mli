@@ -31,10 +31,22 @@ type config = {
           -9] of this process, and a fresh engine over the same
           directory reopens the files and runs recovery (including
           commit recovery) instead of formatting *)
+  isolate : bool;
+      (** per-shard fault isolation: a shard whose recovery, scrub
+          verification, or live operation raises
+          {!Ptm.Ptm_intf.Unrecoverable} is QUARANTINED — its requests
+          answer [Shard_down] while every other shard keeps serving —
+          instead of taking the whole engine down.  Each shard then
+          keeps a commit journal ({!Kv.Redodb.enable_journal}) anchored
+          at a sealed relocatable snapshot export, giving quarantined
+          shards the {!rebuild_shard} online recovery path.  [false]
+          (the default) preserves the legacy engine-fatal behavior
+          exactly and pays no journal/export overhead. *)
 }
 
 (** 4 shards, 9 tids, 1 MiB, batching on (cap 16, zero linger), queue
-    cap 64, no backing directory (volatile, in-process regions). *)
+    cap 64, no backing directory (volatile, in-process regions), fault
+    isolation off. *)
 val default_config : config
 
 type t
@@ -61,6 +73,12 @@ type error =
           before any engine work (cross-shard: before any prepare
           landed, or the staged prepares were rolled back), nothing
           durable happened, and retrying is always safe *)
+  | Shard_down of int
+      (** the one shard this request needed is quarantined or
+          rebuilding; nothing durable happened on any shard (a
+          cross-shard [multi_put] whose participant quarantined mid-2PC
+          is cleanly aborted — never a prefix commit).  Every other
+          shard keeps serving; retry after readmission *)
 
 (** Resolution of a client write token (see {!txstat}). *)
 type tx_status =
@@ -208,8 +226,86 @@ val crash_hard_with_faults :
 
 (** Install the {!Pmem.set_flush_cost} device model on every shard
     (post-creation, so initialisation does not pay it; survives crash
-    recovery). *)
+    recovery and is re-applied to rebuilt shards). *)
 val set_flush_cost : t -> int -> unit
+
+(** {2 Per-shard health (fault isolation)}
+
+    The health machine each shard moves through:
+    [Healthy -> Suspect -> Quarantined -> Rebuilding -> Healthy].
+    Healthy and Suspect shards serve (Suspect means one scrub anomaly
+    awaits confirmation); Quarantined and Rebuilding shards answer
+    [Shard_down] while every other shard keeps serving — degraded mode.
+    Scans and [count] serve the healthy subset of the keyspace. *)
+
+(** [(state, reason, scrub_passes)] for one shard: [state] is
+    ["healthy"], ["suspect"], ["quarantined"] or ["rebuilding"];
+    [reason] is why it left Healthy ([""] when healthy); [scrub_passes]
+    counts completed scrub verifications. *)
+val shard_health : t -> int -> string * string * int
+
+(** Would the shard admit a request right now?  (The
+    serve-while-rebuilding mutant makes Rebuilding shards answer [true]
+    — the unsoundness the quarantine sweep must catch.) *)
+val shard_admits : t -> int -> bool
+
+(** Health counter snapshot: suspects, quarantines, rebuilds,
+    readmissions, scrub_anomalies (the [serve.health.*] counters). *)
+val health_counters : t -> (string * int) list
+
+(** Quarantine one shard by hand (the FREEZE admin verb): admission
+    flips off, its batcher drains with no acks, every other shard keeps
+    serving.  Also invoked internally on a per-shard
+    {!Ptm.Ptm_intf.Unrecoverable} during recovery or a live op (when
+    [isolate]) and by the scrubber on confirmed rot. *)
+val quarantine : t -> tid:int -> int -> reason:string -> unit
+
+(** One online-scrub step over one shard: re-verify the durable sealed
+    PTM metadata ({!Kv.Redodb.verify_meta}) against silent media rot,
+    which live operations never read and would otherwise only surface
+    at the next crash recovery.  Two-strike policy: the first anomaly
+    marks the shard Suspect ([`Suspected], still serving — the caller
+    re-steps immediately to confirm); the second quarantines
+    ([`Confirmed]).  A Suspect shard that re-verifies clean is
+    re-trusted.  [`Skipped] for Quarantined/Rebuilding shards.  Under
+    {!Commit.No_scrub_verify} the walk advances but never verifies. *)
+val scrub_step :
+  t ->
+  tid:int ->
+  int ->
+  [ `Clean | `Suspected of string | `Confirmed of string | `Skipped ]
+
+(** Raw durable-metadata verification of one shard, mutant-blind — the
+    sweep's final audit, so a scrubber that skipped its verifications
+    cannot also fool the audit. *)
+val verify_shard : t -> int -> (unit, string) result
+
+(** Rebuild a quarantined shard online: restore its last good sealed
+    snapshot export into a brand-new region (relocatable — any offset),
+    replay the commit journal over it (idempotent last-writer-wins; the
+    volatile ledger survived the media rot), resolve restored in-doubt
+    2PC records from the decision records that survived on the other
+    shards, swap the rebuilt store in, re-anchor the journal at a fresh
+    export, and readmit the shard.  The other shards serve throughout.
+    [Error] (not quarantined, no export, corrupt snapshot, or [isolate]
+    off) leaves the shard quarantined; the rebuild may be retried. *)
+val rebuild_shard : t -> tid:int -> int -> (unit, string) result
+
+(** Re-anchor one Healthy shard's rebuild ledger: cut the journal, then
+    take a fresh snapshot export (that order — a commit landing between
+    the two lands in both, which idempotent replay tolerates).  The
+    scrubber calls this after a clean pass so journals stay short.
+    No-op unless [isolate] and Healthy. *)
+val refresh_export : t -> tid:int -> int -> unit
+
+(** Inject silent single-bit rot into one shard's durable PTM metadata
+    (sweep/test hook): invisible to live operations, promoted to
+    Suspect/Quarantined by the scrubber before any client reads a bad
+    image. *)
+val corrupt_shard : t -> int -> seed:int -> count:int -> unit
+
+(** Is the named mutant installed?  (Harness introspection.) *)
+val has_mutant : t -> Commit.mutant -> bool
 
 (** {2 Introspection} *)
 

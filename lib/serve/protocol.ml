@@ -22,6 +22,20 @@
      CRASH 42 0.5 0.3 0        -> OK 12.5 (recovery ms) | ERR <detail>
      PING                      -> OK
 
+   Shard-health admin verbs (PR 9 fault isolation):
+
+     HEALTH                    -> JSON <per-shard health document>
+     FREEZE 2                  -> OK (shard 2 quarantined) | ERR <detail>
+     REBUILD 2                 -> OK 3.1 (rebuild ms) | ERR <detail>
+     CORRUPT 2 42 3            -> OK (3 silent bit flips, seed 42, into
+                                  shard 2's durable metadata — torture
+                                  hook, like CRASH)
+
+   A data request whose shard is quarantined or rebuilding answers
+
+     SHARD_UNAVAILABLE <s>     (retryable after the shard readmits;
+                                every other shard keeps serving)
+
    Request envelope: any request payload may start with up to three
    optional prefixes, in this order —
 
@@ -63,6 +77,11 @@ type req =
   | Metrics
   | Crash of { seed : int; evict_prob : float; torn_prob : float; bitflips : int }
   | Txstat of int  (* resolve the fate of the write carrying this token *)
+  | Health  (* per-shard health states + counters, as JSON *)
+  | Freeze of int  (* quarantine one shard by hand *)
+  | Rebuild of int  (* rebuild a quarantined shard online *)
+  | Corrupt of { shard : int; seed : int; count : int }
+      (* inject silent durable-metadata rot (torture hook, like CRASH) *)
 
 (* Request envelope: the optional RID/TTL/TOK prefixes (0 = absent). *)
 type env = { rid : int; ttl_us : int; tok : int }
@@ -83,6 +102,9 @@ type resp =
   | Unavail of string
   | In_doubt of int
   | Timeout  (* shed before execution (TTL expired / overload): retryable *)
+  | Shard_unavailable of int
+      (* the one shard this request needed is quarantined or rebuilding;
+         other shards keep serving — retryable after readmission *)
   | Txstat_committed of { txid : int; epoch : int; records : int }
   | Txstat_aborted
   | Txstat_unknown
@@ -148,6 +170,11 @@ let encode_req ?(rid = 0) ?(ttl_us = 0) ?(tok = 0) req =
   | Crash { seed; evict_prob; torn_prob; bitflips } ->
       Printf.sprintf "CRASH %d %g %g %d" seed evict_prob torn_prob bitflips
   | Txstat tok -> Printf.sprintf "TXSTAT %d" tok
+  | Health -> "HEALTH"
+  | Freeze s -> Printf.sprintf "FREEZE %d" s
+  | Rebuild s -> Printf.sprintf "REBUILD %d" s
+  | Corrupt { shard; seed; count } ->
+      Printf.sprintf "CORRUPT %d %d %d" shard seed count
 
 let encode_resp ?(rid = 0) resp =
   with_rid rid
@@ -182,6 +209,7 @@ let encode_resp ?(rid = 0) resp =
   | Unavail d -> payload (fun b -> Buffer.add_string b "UNAVAILABLE "; add_str b d)
   | In_doubt txid -> Printf.sprintf "INDOUBT %d" txid
   | Timeout -> "TIMEOUT"
+  | Shard_unavailable s -> Printf.sprintf "SHARD_UNAVAILABLE %d" s
   | Txstat_committed { txid; epoch; records } ->
       Printf.sprintf "TXSTAT COMMITTED %d %d %d" txid epoch records
   | Txstat_aborted -> "TXSTAT ABORTED"
@@ -306,6 +334,21 @@ let decode_req_toks toks =
       let* tok = int_tok tok in
       if tok <= 0 then Error "TXSTAT token must be positive"
       else Result.Ok (Txstat tok)
+  | [ Atom "HEALTH" ] -> Result.Ok Health
+  | [ Atom "FREEZE"; s ] ->
+      let* s = int_tok s in
+      if s < 0 then Error "FREEZE shard must be non-negative"
+      else Result.Ok (Freeze s)
+  | [ Atom "REBUILD"; s ] ->
+      let* s = int_tok s in
+      if s < 0 then Error "REBUILD shard must be non-negative"
+      else Result.Ok (Rebuild s)
+  | [ Atom "CORRUPT"; shard; seed; count ] ->
+      let* shard = int_tok shard in
+      let* seed = int_tok seed in
+      let* count = int_tok count in
+      if shard < 0 then Error "CORRUPT shard must be non-negative"
+      else Result.Ok (Corrupt { shard; seed; count })
   | Atom c :: _ -> Error ("unknown or malformed command " ^ c)
   | _ -> Error "empty or malformed request"
 
@@ -364,6 +407,9 @@ let decode_resp_toks toks =
       let* txid = int_tok txid in
       Result.Ok (In_doubt txid)
   | [ Atom "TIMEOUT" ] -> Result.Ok Timeout
+  | [ Atom "SHARD_UNAVAILABLE"; s ] ->
+      let* s = int_tok s in
+      Result.Ok (Shard_unavailable s)
   | [ Atom "TXSTAT"; Atom "COMMITTED"; txid; epoch; records ] ->
       let* txid = int_tok txid in
       let* epoch = int_tok epoch in

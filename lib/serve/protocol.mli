@@ -22,6 +22,18 @@ type req =
       (** resolve the fate of the write that carried this client token:
           answered from the durable outcome ledger, so it works across
           reconnects, server restarts and recovery *)
+  | Health
+      (** per-shard health states, reasons and scrub progress plus the
+          [serve.health.*] counter totals, as a JSON document *)
+  | Freeze of int  (** quarantine one shard by hand (admin) *)
+  | Rebuild of int
+      (** rebuild a quarantined shard online from its snapshot export
+          plus commit-journal replay; answers [Ok_ms] with the rebuild
+          milliseconds *)
+  | Corrupt of { shard : int; seed : int; count : int }
+      (** inject [count] silent bit flips into one shard's durable PTM
+          metadata (torture hook, like [Crash]): invisible to live
+          reads, caught by the online scrubber *)
 
 (** Request envelope: the optional [RID]/[TTL]/[TOK] payload prefixes
     (in that order; 0 = absent).  [rid] is the trace id echoed on the
@@ -59,6 +71,11 @@ type resp =
       (** the request was shed before execution (its TTL expired while
           queued, or overload shedding dropped it): nothing ran, nothing
           durable happened — always safe to retry *)
+  | Shard_unavailable of int
+      (** the one shard this request needed is quarantined or
+          rebuilding: nothing durable happened (a cross-shard MPUT is
+          cleanly aborted, never a prefix commit), every other shard
+          keeps serving — retry after the shard readmits *)
   | Txstat_committed of { txid : int; epoch : int; records : int }
       (** the token's write committed; [records] counts its outcome
           records — a correct engine writes exactly one, so [records >

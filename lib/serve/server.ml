@@ -34,6 +34,11 @@ type config = {
   max_conns : int;
   engine : Engine.config;
   chaos : Chaos.source option;
+  scrub_pause_us : float option;
+      (* Some p: run the online scrubber on a dedicated domain, pausing
+         p µs (wall clock) between per-shard verifications — the
+         low-priority cadence.  Uses engine tid [max_conns + 1], so the
+         engine needs num_threads >= max_conns + 2.  None: no scrubber. *)
 }
 
 let default_config =
@@ -43,6 +48,7 @@ let default_config =
     max_conns = 8;
     engine = Engine.default_config;
     chaos = None;
+    scrub_pause_us = None;
   }
 
 (* Overload shedding thresholds, as fractions of the busiest shard's
@@ -61,6 +67,8 @@ type t = {
   mutable conns : conn list;
   mutable free_tids : int list;
   mutable accept_dom : unit Domain.t option;
+  scrubber : Scrub.t option;
+  mutable scrub_dom : unit Domain.t option;
   h_req : Obs.Metrics.histogram;
   h_parse : Obs.Metrics.histogram;
   h_ack : Obs.Metrics.histogram;
@@ -83,13 +91,16 @@ let win_class : Protocol.req -> int = function
   | Mget _ -> 3
   | Mput _ -> 4
   | Scan _ -> 5
-  | Ping | Stats | Metrics | Crash _ | Txstat _ -> -1
+  | Ping | Stats | Metrics | Crash _ | Txstat _ | Health | Freeze _
+  | Rebuild _ | Corrupt _ ->
+      -1
 
 let err_of_engine = function
   | Engine.Overloaded -> Protocol.Overloaded
   | Engine.Unavailable d -> Protocol.Unavail d
   | Engine.In_doubt txid -> Protocol.In_doubt txid
   | Engine.Timed_out -> Protocol.Timeout
+  | Engine.Shard_down s -> Protocol.Shard_unavailable s
 
 (* Engine gauges appended to the Prometheus exposition: the live values
    a scraper wants that are not registry counters/histograms. *)
@@ -100,13 +111,45 @@ let prom_gauges t =
       (Engine.queue_depths t.eng)
   in
   let decided, applied = Engine.commit_stats t.eng in
+  (* Per-shard health gauges: 0 healthy, 1 suspect, 2 quarantined,
+     3 rebuilding — plus scrub progress and the serve.health.* totals. *)
+  let health_code = function
+    | "healthy" -> 0.
+    | "suspect" -> 1.
+    | "quarantined" -> 2.
+    | "rebuilding" -> 3.
+    | _ -> -1.
+  in
+  let health =
+    List.concat
+      (List.init (Engine.shards t.eng) (fun s ->
+           let state, _, passes = Engine.shard_health t.eng s in
+           [
+             ( Printf.sprintf "redodb_shard_health{shard=\"%d\"}" s,
+               health_code state );
+             ( Printf.sprintf "redodb_shard_scrub_passes{shard=\"%d\"}" s,
+               float_of_int passes );
+           ]))
+  in
+  let totals =
+    List.map
+      (fun (k, v) ->
+        (* "serve.health.suspects" -> redodb_health_suspects *)
+        let short =
+          match String.rindex_opt k '.' with
+          | Some i -> String.sub k (i + 1) (String.length k - i - 1)
+          | None -> k
+        in
+        ("redodb_health_" ^ short, float_of_int v))
+      (Engine.health_counters t.eng)
+  in
   [
     ("redodb_engine_shards", float_of_int (Engine.shards t.eng));
     ("redodb_engine_epoch", float_of_int (Engine.current_epoch t.eng));
     ("redodb_engine_commits_decided", float_of_int decided);
     ("redodb_engine_commits_applied", float_of_int applied);
   ]
-  @ depths
+  @ depths @ health @ totals
 
 (* [deadline] is absolute ([Unix.gettimeofday]; 0. = none), computed at
    ingress from the TTL envelope prefix.  Writes carry it into the
@@ -173,6 +216,49 @@ let execute t ~tid ~env ~deadline (req : Protocol.req) : Protocol.resp =
       match Engine.crash_with_faults t.eng ~tid ~seed ~evict_prob ~torn_prob ~bitflips with
       | Result.Ok s -> Ok_ms (s *. 1e3)
       | Error d -> Err ("unrecoverable: " ^ d))
+  | Health ->
+      let shards = Engine.shards t.eng in
+      let rows =
+        List.init shards (fun s ->
+            let state, reason, passes = Engine.shard_health t.eng s in
+            Obs.Json.Obj
+              [
+                ("shard", Obs.Json.Int s);
+                ("state", Obs.Json.String state);
+                ("reason", Obs.Json.String reason);
+                ("scrub_passes", Obs.Json.Int passes);
+              ])
+      in
+      Json
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              (("isolate",
+                Obs.Json.Bool (Engine.config t.eng).Engine.isolate)
+              :: List.map
+                   (fun (k, v) -> (k, Obs.Json.Int v))
+                   (Engine.health_counters t.eng)
+              @ [ ("shards", Obs.Json.List rows) ])))
+  | Freeze s ->
+      if s < 0 || s >= Engine.shards t.eng then Err "FREEZE: no such shard"
+      else begin
+        Engine.quarantine t.eng ~tid s ~reason:"operator freeze";
+        Ok
+      end
+  | Rebuild s ->
+      if s < 0 || s >= Engine.shards t.eng then Err "REBUILD: no such shard"
+      else begin
+        let t0 = Unix.gettimeofday () in
+        match Engine.rebuild_shard t.eng ~tid s with
+        | Result.Ok () -> Ok_ms ((Unix.gettimeofday () -. t0) *. 1e3)
+        | Error d -> Err d
+      end
+  | Corrupt { shard; seed; count } ->
+      if shard < 0 || shard >= Engine.shards t.eng then
+        Err "CORRUPT: no such shard"
+      else begin
+        Engine.corrupt_shard t.eng shard ~seed ~count;
+        Ok
+      end
 
 let serve_one t ~tid ?(env = Protocol.no_env) ?(deadline = 0.) req =
   let rid = env.Protocol.rid in
@@ -290,6 +376,12 @@ let start cfg =
   if cfg.max_conns < 1 then invalid_arg "Server.start: max_conns";
   if cfg.engine.Engine.num_threads < cfg.max_conns + 1 then
     invalid_arg "Server.start: engine.num_threads must exceed max_conns";
+  if
+    cfg.scrub_pause_us <> None
+    && cfg.engine.Engine.num_threads < cfg.max_conns + 2
+  then
+    invalid_arg
+      "Server.start: the scrubber needs engine.num_threads >= max_conns + 2";
   (if Sys.unix then
      try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let eng = Engine.create cfg.engine in
@@ -318,6 +410,8 @@ let start cfg =
       (* tid 0 stays with the engine owner; connections use 1..max_conns *)
       free_tids = List.init cfg.max_conns (fun i -> i + 1);
       accept_dom = None;
+      scrubber = Option.map (fun _ -> Scrub.create eng) cfg.scrub_pause_us;
+      scrub_dom = None;
       h_req = Obs.Metrics.histogram "serve.request_ns";
       h_parse = Obs.Metrics.histogram "serve.stage.parse";
       h_ack = Obs.Metrics.histogram "serve.stage.ack";
@@ -328,10 +422,22 @@ let start cfg =
     }
   in
   t.accept_dom <- Some (Domain.spawn (fun () -> accept_loop t));
+  (* The scrubber gets the tid slot just past the connection pool; it
+     never competes with handlers for engine threads. *)
+  (match (t.scrubber, cfg.scrub_pause_us) with
+  | Some sc, Some pause_us ->
+      t.scrub_dom <-
+        Some
+          (Domain.spawn (fun () ->
+               Scrub.run sc ~tid:(cfg.max_conns + 1)
+                 ~stop:(fun () -> A.get t.stopping)
+                 ~pause_us))
+  | _ -> ());
   t
 
 let port t = t.bound_port
 let engine t = t.eng
+let scrubber t = t.scrubber
 
 let stop t =
   if not (A.exchange t.stopping true) then begin
@@ -340,6 +446,8 @@ let stop t =
     (try Unix.close t.listener with Unix.Unix_error _ -> ());
     Option.iter Domain.join t.accept_dom;
     t.accept_dom <- None;
+    Option.iter Domain.join t.scrub_dom;
+    t.scrub_dom <- None;
     Mutex.lock t.lock;
     let conns = t.conns in
     Mutex.unlock t.lock;
@@ -364,6 +472,8 @@ let drain t =
     (try Unix.close t.listener with Unix.Unix_error _ -> ());
     Option.iter Domain.join t.accept_dom;
     t.accept_dom <- None;
+    Option.iter Domain.join t.scrub_dom;
+    t.scrub_dom <- None;
     Mutex.lock t.lock;
     let conns = t.conns in
     Mutex.unlock t.lock;

@@ -19,10 +19,15 @@ type config = {
   chaos : Chaos.source option;
       (** inject seeded network faults into every connection (tests and
           the chaos sweep only) *)
+  scrub_pause_us : float option;
+      (** [Some p]: run the online {!Scrub} scrubber on a dedicated
+          domain with engine tid [max_conns + 1] (so [engine.num_threads]
+          must be at least [max_conns + 2]), pausing [p] µs between
+          per-shard verifications.  [None]: no scrubber. *)
 }
 
 (** 127.0.0.1, ephemeral port, 8 connection slots,
-    {!Engine.default_config}, no chaos. *)
+    {!Engine.default_config}, no chaos, no scrubber. *)
 val default_config : config
 
 type t
@@ -32,6 +37,10 @@ val start : config -> t
 
 val port : t -> int
 val engine : t -> Engine.t
+
+(** The running scrubber, when [scrub_pause_us] was set (introspection:
+    passes, anomalies, rebuild counts). *)
+val scrubber : t -> Scrub.t option
 
 (** Idempotent: closes the listener and every live connection, then joins
     all domains.  Abrupt — a request mid-execution loses its ack (the

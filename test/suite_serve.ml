@@ -11,7 +11,7 @@ module P = Serve.Protocol
 module C = Serve.Commit
 
 let small_engine ?(shards = 2) ?(num_threads = 4) ?(batch = true) ?(max_batch = 4)
-    ?(linger_steps = 0) ?(queue_cap = 16) ?backing_dir () =
+    ?(linger_steps = 0) ?(queue_cap = 16) ?(isolate = false) ?backing_dir () =
   E.create
     {
       E.shards;
@@ -23,6 +23,7 @@ let small_engine ?(shards = 2) ?(num_threads = 4) ?(batch = true) ?(max_batch = 
       linger_steps;
       queue_cap;
       backing_dir;
+      isolate;
     }
 
 (* ---- protocol ---- *)
@@ -383,7 +384,8 @@ let test_overload_backpressure () =
       (match E.put e ~tid:fid ~key:(Printf.sprintf "k%d" fid) ~value:"v" with
       | Ok () -> `Acked
       | Error E.Overloaded -> `Overloaded
-      | Error (E.Unavailable _ | E.In_doubt _ | E.Timed_out) -> `Unavailable)
+      | Error (E.Unavailable _ | E.In_doubt _ | E.Timed_out | E.Shard_down _)
+        -> `Unavailable)
   in
   let r = Sched.run ~seed:3 ~num_fibers:6 body in
   List.iter (fun s -> Alcotest.(check string) "no fiber wedged" "finished" s)
@@ -827,6 +829,7 @@ let test_socket_smoke () =
             capacity_bytes = 1 lsl 16;
           };
         chaos = None;
+        scrub_pause_us = None;
       }
   with
   | exception Unix.Unix_error ((EPERM | EACCES | EADDRNOTAVAIL), _, _) ->
@@ -845,6 +848,8 @@ let test_socket_smoke () =
         | Error (`Unavailable d) -> Alcotest.fail ("unavailable: " ^ d)
         | Error (`InDoubt txid) ->
             Alcotest.fail (Printf.sprintf "in doubt: txn %d" txid)
+        | Error (`Shard_down s) ->
+            Alcotest.fail (Printf.sprintf "shard %d down" s)
         | Error `Timeout -> Alcotest.fail "unexpected timeout"
         | Error (`Err e) -> Alcotest.fail e
       in
@@ -1186,6 +1191,7 @@ let serve_config ?(max_conns = 4) ?(linger_us = 0.) () =
         linger_us;
       };
     chaos = None;
+    scrub_pause_us = None;
   }
 
 let loopback_unavailable = function
@@ -1410,6 +1416,193 @@ let test_resilient_client_under_chaos () =
       Alcotest.(check bool) "chaos actually injected faults" true
         (Serve.Chaos.total_faults src > 0)
 
+(* ---- per-shard fault isolation: quarantine, degraded mode, rebuild ---- *)
+
+(* Silent rot on one shard, found by the scrubber (two strikes), must
+   quarantine only that shard: concurrent writers on the other shards
+   never see a refusal across quarantine AND rebuild, the rotten shard
+   answers Shard_down without durable effect, and the online rebuild
+   (snapshot export + commit-journal replay) readmits it with every
+   previously acked write intact. *)
+let test_quarantine_under_load () =
+  let e = small_engine ~shards:3 ~num_threads:6 ~isolate:true () in
+  let nseed = 30 in
+  for i = 0 to nseed - 1 do
+    okc
+      (E.put e ~tid:0
+         ~key:(Printf.sprintf "seed%03d" i)
+         ~value:(string_of_int i))
+  done;
+  E.corrupt_shard e 0 ~seed:11 ~count:4;
+  let state () =
+    let s, _, _ = E.shard_health e 0 in
+    s
+  in
+  Alcotest.(check string) "rot is silent before the scrub" "healthy" (state ());
+  let k0 = key_on e 0 "qk" in
+  let stop = Atomic.make false in
+  let refused = Atomic.make 0 in
+  let doms =
+    List.init 2 (fun w ->
+        Domain.spawn (fun () ->
+            let i = ref 0 in
+            while not (Atomic.get stop) do
+              let k = Printf.sprintf "load%d-%04d" w !i in
+              if E.shard_of e k <> 0 then begin
+                match E.put e ~tid:(w + 1) ~key:k ~value:"v" with
+                | Ok () | Error E.Overloaded | Error E.Timed_out -> ()
+                | Error (E.Shard_down _ | E.Unavailable _ | E.In_doubt _) ->
+                    Atomic.incr refused
+              end;
+              incr i
+            done))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      List.iter Domain.join doms)
+    (fun () ->
+      (* two-strike scrub: the first anomaly suspects, the confirm
+         quarantines *)
+      (match E.scrub_step e ~tid:0 0 with
+      | `Suspected _ | `Confirmed _ -> ()
+      | `Clean | `Skipped -> Alcotest.fail "scrub must flag the rotten shard");
+      (match E.scrub_step e ~tid:0 0 with
+      | `Confirmed _ | `Skipped -> ()
+      | `Clean | `Suspected _ -> Alcotest.fail "second strike must quarantine");
+      Alcotest.(check string) "shard 0 quarantined" "quarantined" (state ());
+      (* degraded mode: the quarantined shard refuses, nothing durable *)
+      (match E.put e ~tid:0 ~key:k0 ~value:"x" with
+      | Error (E.Shard_down 0) -> ()
+      | _ -> Alcotest.fail "write to a quarantined shard must answer Shard_down");
+      (match E.get e ~tid:0 k0 with
+      | Error (E.Shard_down 0) -> ()
+      | _ -> Alcotest.fail "read from a quarantined shard must answer Shard_down");
+      (* online rebuild: snapshot export + commit-journal replay *)
+      (match E.rebuild_shard e ~tid:0 0 with
+      | Ok () -> ()
+      | Error d -> Alcotest.fail ("rebuild failed: " ^ d));
+      Alcotest.(check string) "shard 0 readmitted" "healthy" (state ()));
+  Alcotest.(check int) "healthy shards never refused a write" 0
+    (Atomic.get refused);
+  (* every pre-rot acked write — including shard 0's — survived *)
+  for i = 0 to nseed - 1 do
+    match E.get e ~tid:0 (Printf.sprintf "seed%03d" i) with
+    | Ok (Some v) ->
+        Alcotest.(check string)
+          (Printf.sprintf "seed%03d intact" i)
+          (string_of_int i) v
+    | _ -> Alcotest.fail (Printf.sprintf "seed%03d lost across the rebuild" i)
+  done;
+  okc (E.put e ~tid:0 ~key:k0 ~value:"fresh");
+  Alcotest.(check (option string)) "readmitted shard serves" (Some "fresh")
+    (present e k0);
+  let hc = E.health_counters e in
+  let cv k = match List.assoc_opt k hc with Some v -> v | None -> 0 in
+  Alcotest.(check bool) "counters track the round-trip" true
+    (cv "serve.health.quarantines" >= 1 && cv "serve.health.readmissions" >= 1)
+
+(* The sealed relocatable snapshot restores into a brand-new region
+   (different geometry and offsets): every key survives, the restored
+   region is live and verifies, and a tampered or truncated blob is
+   refused with nothing created. *)
+let test_snapshot_roundtrip () =
+  let db = Kv.Redodb.open_db ~num_threads:2 ~capacity_bytes:(1 lsl 16) () in
+  for i = 0 to 99 do
+    Kv.Redodb.put db ~tid:0
+      ~key:(Printf.sprintf "k%03d" i)
+      ~value:(Printf.sprintf "v%d" i)
+  done;
+  ignore (Kv.Redodb.delete db ~tid:0 "k050");
+  let snap = Kv.Redodb.export_snapshot db ~tid:0 in
+  (match Kv.Redodb.open_from_snapshot ~num_threads:3 snap with
+  | Error d -> Alcotest.fail ("import refused a good snapshot: " ^ d)
+  | Ok fresh ->
+      Alcotest.(check int) "counts match" (Kv.Redodb.count db ~tid:0)
+        (Kv.Redodb.count fresh ~tid:0);
+      for i = 0 to 99 do
+        let k = Printf.sprintf "k%03d" i in
+        Alcotest.(check (option string)) k (Kv.Redodb.get db ~tid:0 k)
+          (Kv.Redodb.get fresh ~tid:0 k)
+      done;
+      Kv.Redodb.put fresh ~tid:0 ~key:"new" ~value:"x";
+      Alcotest.(check (option string)) "restored region serves" (Some "x")
+        (Kv.Redodb.get fresh ~tid:0 "new");
+      (match Kv.Redodb.verify_meta fresh with
+      | Ok () -> ()
+      | Error d -> Alcotest.fail ("restored region fails verification: " ^ d)));
+  let bad = Bytes.of_string snap in
+  let mid = Bytes.length bad / 2 in
+  Bytes.set bad mid (Char.chr (Char.code (Bytes.get bad mid) lxor 1));
+  (match Kv.Redodb.open_from_snapshot ~num_threads:2 (Bytes.to_string bad) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bit-flipped snapshot must be refused");
+  match
+    Kv.Redodb.open_from_snapshot ~num_threads:2
+      (String.sub snap 0 (String.length snap / 2))
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated snapshot must be refused"
+
+(* A cross-shard MPUT with a quarantined participant must abort cleanly:
+   Shard_down, no durable effect on ANY shard (never a prefix commit),
+   the healthy shard keeps serving, and after the participant rebuilds
+   the same MPUT commits. *)
+let test_mid_2pc_quarantine () =
+  let e = small_engine ~shards:2 ~num_threads:2 ~isolate:true () in
+  let ka = key_on e 0 "a" and kb = key_on e 1 "b" in
+  okc (E.put e ~tid:0 ~key:ka ~value:"a0");
+  okc (E.put e ~tid:0 ~key:kb ~value:"b0");
+  E.quarantine e ~tid:0 1 ~reason:"operator freeze (test)";
+  (match E.multi_put e ~tid:0 [ (ka, Some "A"); (kb, Some "B") ] with
+  | Error (E.Shard_down 1) -> ()
+  | Ok _ -> Alcotest.fail "MPUT through a quarantined participant must abort"
+  | Error err -> Alcotest.fail (E.pp_error err));
+  Alcotest.(check (option string)) "no prefix on the healthy shard" (Some "a0")
+    (present e ka);
+  okc (E.put e ~tid:0 ~key:ka ~value:"a1");
+  (match E.rebuild_shard e ~tid:0 1 with
+  | Ok () -> ()
+  | Error d -> Alcotest.fail ("rebuild: " ^ d));
+  Alcotest.(check (option string))
+    "participant's data survived the freeze round-trip" (Some "b0")
+    (present e kb);
+  let ack = okc (E.multi_put e ~tid:0 [ (ka, Some "A"); (kb, Some "B") ]) in
+  Alcotest.(check bool) "post-readmission MPUT commits" true (ack.E.txid > 0);
+  Alcotest.(check (pair (option string) (option string)))
+    "post-readmission MPUT applied" (Some "A", Some "B")
+    (present e ka, present e kb)
+
+(* No_scrub_verify: a scrubber that skips re-verification reports a
+   rotten shard Clean forever.  Only the mutant-blind audit verifier
+   still sees the rot — which is exactly how the quarantine sweep
+   catches the mutant (rot never quarantined, never rebuilt, final
+   audit fails). *)
+let test_mutant_no_scrub_verify () =
+  let rotten mutants =
+    let e = small_engine ~shards:2 ~isolate:true () in
+    E.set_mutants e mutants;
+    E.corrupt_shard e 0 ~seed:5 ~count:3;
+    e
+  in
+  let e = rotten [] in
+  (match E.scrub_step e ~tid:0 0 with
+  | `Suspected _ | `Confirmed _ -> ()
+  | `Clean | `Skipped -> Alcotest.fail "clean scrubber must flag seeded rot");
+  let e = rotten [ C.No_scrub_verify ] in
+  (match E.scrub_step e ~tid:0 0 with
+  | `Clean -> ()
+  | _ -> Alcotest.fail "mutant must wave the rotten shard through");
+  (match E.scrub_step e ~tid:0 0 with
+  | `Clean -> ()
+  | _ -> Alcotest.fail "mutant stays blind on the second pass");
+  let healthy, _, passes = E.shard_health e 0 in
+  Alcotest.(check string) "mutant never quarantines" "healthy" healthy;
+  Alcotest.(check bool) "scrub cursor still advanced" true (passes >= 2);
+  match E.verify_shard e 0 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "audit verifier must still see the rot"
+
 let suites =
   [
     ( "serve-protocol",
@@ -1483,5 +1676,16 @@ let suites =
           test_graceful_drain;
         Alcotest.test_case "resilient client rides out injected chaos" `Quick
           test_resilient_client_under_chaos;
+      ] );
+    ( "serve-health",
+      [
+        Alcotest.test_case "quarantine isolates one shard under load" `Quick
+          test_quarantine_under_load;
+        Alcotest.test_case "snapshot round-trips into a fresh region" `Quick
+          test_snapshot_roundtrip;
+        Alcotest.test_case "mid-2PC participant quarantine aborts cleanly"
+          `Quick test_mid_2pc_quarantine;
+        Alcotest.test_case "mutant: no-scrub-verify hides rot from the scrub"
+          `Quick test_mutant_no_scrub_verify;
       ] );
   ]
