@@ -79,6 +79,558 @@ let parse_slos s =
   List.map parse_slo
     (List.filter (fun e -> e <> "") (String.split_on_char ',' s))
 
+(* Evaluate SLO gates against the server's "windows" document.  A gate
+   that cannot find its window FAILS: an unevaluable SLO must not pass. *)
+let eval_slos slos windows =
+  List.map
+    (fun s ->
+      let observed =
+        match Obs.Json.member ("serve.win." ^ s.s_class) windows with
+        | Some w -> (
+            match Obs.Json.member (s.s_q ^ "_ns") w with
+            | Some (Obs.Json.Int n) -> Some n
+            | _ -> None)
+        | None -> None
+      in
+      let pass = match observed with Some n -> n <= s.s_bound_ns | None -> false in
+      Printf.printf "slo %s: observed %s bound %dns -> %s\n%!" s.s_spec
+        (match observed with Some n -> Printf.sprintf "%dns" n | None -> "n/a")
+        s.s_bound_ns
+        (if pass then "PASS" else "FAIL");
+      (s, observed, pass))
+    slos
+
+let slo_json rows =
+  let open Obs.Json in
+  List
+    (List.map
+       (fun (s, observed, pass) ->
+         Obj
+           [
+             ("spec", String s.s_spec);
+             ("quantile", String s.s_q);
+             ("class", String s.s_class);
+             ("bound_ns", Int s.s_bound_ns);
+             ("observed_ns", match observed with Some n -> Int n | None -> Null);
+             ("pass", Bool pass);
+           ])
+       rows)
+
+(* ---- pipelined open-loop mode (--connections N --pipeline D) ----
+
+   Instead of one blocking closed-loop domain per connection, a handful
+   of driver domains each run an Aio event loop with one fiber per
+   connection.  Every fiber keeps D requests in flight (distinct RIDs,
+   responses matched out of order through the incremental frame
+   decoder), so 1000 connections x depth 8 = 8000 outstanding requests
+   from ~4 OS threads — the open-loop pressure that lets the reactor
+   front-end and the group-commit batcher show their "queue deep,
+   combine wide" behavior.  Values are a pure function of the key, so
+   replaying an ambiguous op after a reconnect or an UNAVAILABLE window
+   is idempotent; the verify phase then applies the same acked=>durable
+   audit as the closed-loop mode. *)
+module Pipelined = struct
+  module P = Serve.Protocol
+  module D = P.Io.Decoder
+
+  exception Dead
+
+  let max_tries = 5000
+
+  type tallies = {
+    overloads : int Atomic.t;
+    unavailable : int Atomic.t;
+    shed : int Atomic.t;
+    shard_down : int Atomic.t;
+    reconnects : int Atomic.t;
+    gave_up : int Atomic.t;
+    done_ops : int Atomic.t;
+  }
+
+  type conn = {
+    cid : int;
+    per_conn : int;
+    depth : int;
+    ckey : int -> string;
+    cvalue : int -> string;
+    ttl_us : int option;
+    addr : Unix.sockaddr;
+    tl : tallies;
+    acked : bool array;
+    tries : int array;
+    lats : float list ref;
+    mutable fd : Unix.file_descr;
+    mutable dec : D.t;
+    mutable rid : int;
+    inflight : (int, int * float) Hashtbl.t;  (* rid -> (op idx, send time) *)
+    pending : int Queue.t;
+    mutable completed : int;
+    mutable cool_until : float;
+    mutable out : Bytes.t;
+    mutable out_off : int;
+    mutable out_len : int;
+  }
+
+  let rec connectc ?(attempt = 0) c =
+    if attempt > 200 then failwith "pipelined: server unreachable";
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+    Unix.set_nonblock fd;
+    match Unix.connect fd c.addr with
+    | () -> fd
+    | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+        ignore (Aio.wait_writable fd);
+        match Unix.getsockopt_error fd with
+        | None -> fd
+        | Some _ ->
+            Aio.close fd;
+            Aio.sleep 0.05;
+            connectc ~attempt:(attempt + 1) c)
+    | exception Unix.Unix_error (_, _, _) ->
+        Aio.close fd;
+        Aio.sleep 0.05;
+        connectc ~attempt:(attempt + 1) c
+
+  let append c s =
+    let n = String.length s in
+    let need = c.out_len + n in
+    if c.out_off > 0 && c.out_off + need > Bytes.length c.out then begin
+      Bytes.blit c.out c.out_off c.out 0 c.out_len;
+      c.out_off <- 0
+    end;
+    if need > Bytes.length c.out then begin
+      let cap = ref (max 1024 (Bytes.length c.out)) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let b = Bytes.create !cap in
+      Bytes.blit c.out c.out_off b 0 c.out_len;
+      c.out <- b;
+      c.out_off <- 0
+    end;
+    Bytes.blit_string s 0 c.out (c.out_off + c.out_len) n;
+    c.out_len <- c.out_len + n
+
+  let rec flush c =
+    if c.out_len = 0 then `All
+    else
+      match Unix.write c.fd c.out c.out_off c.out_len with
+      | n ->
+          c.out_off <- c.out_off + n;
+          c.out_len <- c.out_len - n;
+          if c.out_len = 0 then begin
+            c.out_off <- 0;
+            `All
+          end
+          else flush c
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          `Blocked
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush c
+      | exception Unix.Unix_error (_, _, _) -> raise Dead
+
+  let complete c =
+    c.completed <- c.completed + 1;
+    Atomic.incr c.tl.done_ops
+
+  let retry c i counter =
+    Atomic.incr counter;
+    c.tries.(i) <- c.tries.(i) + 1;
+    if c.tries.(i) >= max_tries then begin
+      Atomic.incr c.tl.gave_up;
+      complete c
+    end
+    else begin
+      Queue.push i c.pending;
+      c.cool_until <- Float.max c.cool_until (Unix.gettimeofday () +. 0.002)
+    end
+
+  let handle c frame =
+    match P.decode_resp_rid frame with
+    | Error _ -> raise Dead
+    | Ok (rid, resp) -> (
+        match Hashtbl.find_opt c.inflight rid with
+        | None -> ()
+        | Some (i, t0) -> (
+            Hashtbl.remove c.inflight rid;
+            match resp with
+            | P.Ok ->
+                c.acked.(i) <- true;
+                c.lats := (Unix.gettimeofday () -. t0) :: !(c.lats);
+                complete c
+            | P.Overloaded -> retry c i c.tl.overloads
+            | P.Timeout -> retry c i c.tl.shed
+            | P.Shard_unavailable _ -> retry c i c.tl.shard_down
+            | _ -> retry c i c.tl.unavailable))
+
+  let top_up c =
+    if Unix.gettimeofday () >= c.cool_until then
+      while
+        Hashtbl.length c.inflight < c.depth && not (Queue.is_empty c.pending)
+      do
+        let i = Queue.pop c.pending in
+        c.rid <- c.rid + 1;
+        let payload =
+          P.encode_req ~rid:c.rid ?ttl_us:c.ttl_us
+            (P.Put (c.ckey i, c.cvalue i))
+        in
+        append c (Printf.sprintf "%d\n%s" (String.length payload) payload);
+        Hashtbl.replace c.inflight c.rid (i, Unix.gettimeofday ())
+      done
+
+  let rec read_avail c =
+    D.ensure c.dec 8192;
+    match Unix.read c.fd (D.buffer c.dec) (D.write_off c.dec) (D.room c.dec) with
+    | 0 -> raise Dead
+    | n ->
+        D.filled c.dec n;
+        let rec drain () =
+          match D.next c.dec with
+          | `Frame f ->
+              handle c f;
+              drain ()
+          | `Need_more -> ()
+          | `Error _ -> raise Dead
+        in
+        drain ();
+        `Progress
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `Empty
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_avail c
+    | exception Unix.Unix_error (_, _, _) -> raise Dead
+
+  (* Everything in flight when a connection dies is ambiguous; values
+     are a pure function of the key, so all of it is simply requeued. *)
+  let reconnect c =
+    Atomic.incr c.tl.reconnects;
+    (try Aio.close c.fd with _ -> ());
+    Hashtbl.iter (fun _ (i, _) -> Queue.push i c.pending) c.inflight;
+    Hashtbl.clear c.inflight;
+    c.dec <- D.create ();
+    c.out_off <- 0;
+    c.out_len <- 0;
+    c.cool_until <- Unix.gettimeofday () +. 0.05;
+    c.fd <- connectc c
+
+  let run_conn c =
+    c.fd <- connectc c;
+    let rec loop () =
+      if c.completed < c.per_conn then begin
+        (try
+           let now = Unix.gettimeofday () in
+           if
+             c.cool_until > now
+             && Hashtbl.length c.inflight = 0
+             && c.out_len = 0
+           then Aio.sleep (c.cool_until -. now);
+           top_up c;
+           let w = flush c in
+           match read_avail c with
+           | `Progress -> ()
+           | `Empty ->
+               if w = `Blocked then ignore (Aio.wait_writable c.fd)
+               else if Hashtbl.length c.inflight > 0 then begin
+                 (* safety deadline: a server stuck past it is treated as
+                    a dead connection and the window is replayed *)
+                 match
+                   Aio.wait_readable
+                     ~deadline:(Unix.gettimeofday () +. 5.)
+                     c.fd
+                 with
+                 | `Ready -> ()
+                 | `Timed_out -> raise Dead
+               end
+               else Aio.sleep 0.002
+         with Dead -> reconnect c);
+        loop ()
+      end
+    in
+    loop ();
+    try Aio.close c.fd with _ -> ()
+
+  let run ~host ~port ~connections ~pipeline ~drivers ~ops ~value_bytes ~seed
+      ~crash_at ~json_file ~slos ~stats_file ~prom_file ~prom_at ~ttl_us
+      ~fetch_stats () =
+    if connections < 1 || pipeline < 1 || drivers < 1 || ops < 1 then
+      failwith "pipelined mode wants --connections/--pipeline/--drivers/--ops >= 1";
+    let addr =
+      let ip =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.ADDR_INET (ip, port)
+    in
+    let total = connections * ops in
+    let tl =
+      {
+        overloads = Atomic.make 0;
+        unavailable = Atomic.make 0;
+        shed = Atomic.make 0;
+        shard_down = Atomic.make 0;
+        reconnects = Atomic.make 0;
+        gave_up = Atomic.make 0;
+        done_ops = Atomic.make 0;
+      }
+    in
+    let key cid i = Printf.sprintf "p%d:%06d" cid i in
+    let value cid i =
+      let stem = Printf.sprintf "v%d-%d-%d." seed cid i in
+      let b = Buffer.create value_bytes in
+      while Buffer.length b < value_bytes do
+        Buffer.add_string b stem
+      done;
+      Buffer.sub b 0 value_bytes
+    in
+    let conns =
+      List.init connections (fun cid ->
+          let pending = Queue.create () in
+          for i = 0 to ops - 1 do
+            Queue.push i pending
+          done;
+          {
+            cid;
+            per_conn = ops;
+            depth = pipeline;
+            ckey = key cid;
+            cvalue = value cid;
+            ttl_us = (if ttl_us > 0 then Some ttl_us else None);
+            addr;
+            tl;
+            acked = Array.make ops false;
+            tries = Array.make ops 0;
+            lats = ref [];
+            fd = Unix.stdin;
+            dec = D.create ();
+            rid = 0;
+            inflight = Hashtbl.create 16;
+            pending;
+            completed = 0;
+            cool_until = 0.;
+            out = Bytes.create 1024;
+            out_off = 0;
+            out_len = 0;
+          })
+    in
+    let connect_admin () =
+      Serve.Client.connect ~retries:100 ~retry_delay:0.05 ~host ~port ()
+    in
+    let admin = connect_admin () in
+    Serve.Client.ping admin;
+
+    let crash_ms = ref nan in
+    let crasher =
+      if Float.is_nan crash_at then None
+      else begin
+        let threshold = int_of_float (crash_at *. float_of_int total) in
+        Some
+          (Domain.spawn (fun () ->
+               while Atomic.get tl.done_ops < threshold do
+                 Unix.sleepf 0.001
+               done;
+               match
+                 Serve.Client.crash admin ~seed ~evict_prob:0.2 ~torn_prob:0.2
+                   ~bitflips:0
+               with
+               | Ok ms -> crash_ms := ms
+               | Error d -> failwith ("CRASH did not recover: " ^ d)))
+      end
+    in
+    let prom_ok = ref true in
+    let prom_scraper =
+      if prom_file = "" then None
+      else begin
+        let threshold = max 1 (int_of_float (prom_at *. float_of_int total)) in
+        Some
+          (Domain.spawn (fun () ->
+               while Atomic.get tl.done_ops < threshold do
+                 Unix.sleepf 0.001
+               done;
+               let cl = connect_admin () in
+               (match Serve.Client.metrics cl with
+               | Ok text ->
+                   let oc = open_out prom_file in
+                   output_string oc text;
+                   close_out oc
+               | Error e ->
+                   prom_ok := false;
+                   Printf.eprintf "mid-load METRICS failed: %s\n%!" e);
+               Serve.Client.close cl))
+      end
+    in
+
+    let t0 = Unix.gettimeofday () in
+    let doms =
+      List.init drivers (fun d ->
+          let mine =
+            List.filteri (fun i _ -> i mod drivers = d) conns
+          in
+          Domain.spawn (fun () ->
+              if mine <> [] then begin
+                let loop = Aio.create ~tid:d () in
+                Aio.run loop (fun () ->
+                    List.iter (fun c -> Aio.spawn (fun () -> run_conn c)) mine)
+              end))
+    in
+    List.iter Domain.join doms;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Option.iter Domain.join crasher;
+    Option.iter Domain.join prom_scraper;
+
+    (* ---- verify: acked => present with the exact value ---- *)
+    let n_acked = ref 0 in
+    List.iter
+      (fun c -> Array.iter (fun a -> if a then incr n_acked) c.acked)
+      conns;
+    let acked_missing = ref 0 and mangled = ref 0 and unacked_present = ref 0 in
+    let mget ks =
+      match Serve.Client.mget admin ks with
+      | Ok vs -> vs
+      | Error _ -> failwith "verify MGET failed"
+    in
+    let chunk = 64 in
+    List.iter
+      (fun c ->
+        let rec chunks lo =
+          if lo < ops then begin
+            let n = min chunk (ops - lo) in
+            let idxs = List.init n (fun j -> lo + j) in
+            List.iter2
+              (fun i v ->
+                match (v, c.acked.(i)) with
+                | Some v, was_acked ->
+                    if v <> c.cvalue i then begin
+                      incr mangled;
+                      Printf.eprintf "MANGLED %s\n%!" (c.ckey i)
+                    end
+                    else if not was_acked then incr unacked_present
+                | None, true ->
+                    incr acked_missing;
+                    Printf.eprintf "ACKED BUT MISSING %s\n%!" (c.ckey i)
+                | None, false -> ())
+              idxs
+              (mget (List.map c.ckey idxs));
+            chunks (lo + n)
+          end
+        in
+        chunks 0)
+      conns;
+
+    let want_stats = fetch_stats || slos <> [] || stats_file <> "" in
+    let stats =
+      if want_stats then
+        match Serve.Client.stats admin with
+        | Ok j -> j
+        | Error e -> failwith ("STATS failed: " ^ e)
+      else Obs.Json.Null
+    in
+    Serve.Client.close admin;
+    if stats_file <> "" then begin
+      let oc = open_out stats_file in
+      Obs.Json.to_channel oc stats;
+      output_char oc '\n';
+      close_out oc
+    end;
+    let windows =
+      Option.value (Obs.Json.member "windows" stats) ~default:Obs.Json.Null
+    in
+    let slo_rows = eval_slos slos windows in
+    let slo_failed = List.exists (fun (_, _, pass) -> not pass) slo_rows in
+
+    let lat_all =
+      List.concat_map (fun c -> !(c.lats)) conns |> Array.of_list
+    in
+    Array.sort compare lat_all;
+    let throughput =
+      if elapsed > 0. then float_of_int !n_acked /. elapsed else 0.
+    in
+    Printf.printf
+      "bench_serve (pipelined): %d conns x depth %d x %d ops on %d drivers -> \
+       %d acked in %.3fs (%.0f ops/s), %d overloaded, %d unavailable, %d \
+       shed, %d shard-down, %d reconnects, %d gave up%s\n"
+      connections pipeline ops drivers !n_acked elapsed throughput
+      (Atomic.get tl.overloads) (Atomic.get tl.unavailable) (Atomic.get tl.shed)
+      (Atomic.get tl.shard_down) (Atomic.get tl.reconnects)
+      (Atomic.get tl.gave_up)
+      (if Float.is_nan !crash_ms then ""
+       else Printf.sprintf ", crash outage %.1fms" !crash_ms);
+    Printf.printf "verify: acked_missing=%d mangled=%d unacked_present=%d\n%!"
+      !acked_missing !mangled !unacked_present;
+
+    let verdict = !acked_missing = 0 && !mangled = 0 in
+    if json_file <> "" then begin
+      let open Obs.Json in
+      let lat_put =
+        let n = Array.length lat_all in
+        if n = 0 then Null
+        else
+          Obj
+            [
+              ("count", Int n);
+              ("p50_us", Float (percentile lat_all 0.50 *. 1e6));
+              ("p99_us", Float (percentile lat_all 0.99 *. 1e6));
+            ]
+      in
+      let doc =
+        Obj
+          [
+            ("schema", String "redodb.pipelined.v1");
+            ("host", String host);
+            ("port", Int port);
+            ("connections", Int connections);
+            ("pipeline", Int pipeline);
+            ("drivers", Int drivers);
+            ("ops_per_conn", Int ops);
+            ("value_bytes", Int value_bytes);
+            ("seed", Int seed);
+            ("ttl_us", Int ttl_us);
+            ("crash_at", if Float.is_nan crash_at then Null else Float crash_at);
+            ("crash_ms", if Float.is_nan !crash_ms then Null else Float !crash_ms);
+            ("acked", Int !n_acked);
+            ( "retries",
+              Obj
+                [
+                  ("overloaded", Int (Atomic.get tl.overloads));
+                  ("unavailable", Int (Atomic.get tl.unavailable));
+                  ("shed", Int (Atomic.get tl.shed));
+                  ("shard_down", Int (Atomic.get tl.shard_down));
+                ] );
+            ("reconnects", Int (Atomic.get tl.reconnects));
+            ("gave_up", Int (Atomic.get tl.gave_up));
+            ("elapsed_s", Float elapsed);
+            ("throughput_ops_s", Float throughput);
+            ("latency", Obj [ ("put", lat_put) ]);
+            ( "verify",
+              Obj
+                [
+                  ("acked_missing", Int !acked_missing);
+                  ("mangled", Int !mangled);
+                  ("unacked_present", Int !unacked_present);
+                  ("checked", Int total);
+                ] );
+            ("verdict", Bool verdict);
+            ("server_windows", windows);
+            ("slo", slo_json slo_rows);
+            ("server_stats", stats);
+          ]
+      in
+      let oc = open_out json_file in
+      to_channel oc doc;
+      output_char oc '\n';
+      close_out oc
+    end;
+    if not verdict then begin
+      prerr_endline "bench_serve: VERIFICATION FAILED";
+      exit 1
+    end;
+    if slo_failed then begin
+      prerr_endline "bench_serve: SLO VIOLATED";
+      exit 1
+    end;
+    if not !prom_ok then begin
+      prerr_endline "bench_serve: mid-load METRICS scrape failed";
+      exit 1
+    end
+end
+
 let () =
   let host = ref "127.0.0.1" in
   let port = ref 7599 in
@@ -101,12 +653,25 @@ let () =
   let cl_retries = ref 0 in
   let ttl_us = ref 0 in
   let corrupt_spec = ref None in
+  let connections = ref 0 in
+  let pipeline = ref 8 in
+  let drivers = ref 4 in
   let spec =
     [
       ("--host", Arg.Set_string host, "ADDR server address (default 127.0.0.1)");
       ("--port", Arg.Set_int port, "P server port (default 7599)");
       ("--clients", Arg.Set_int clients, "N closed-loop client connections (default 4)");
       ("--ops", Arg.Set_int ops, "N ops per client (default 2000)");
+      ( "--connections",
+        Arg.Set_int connections,
+        "N pipelined open-loop mode: N multiplexed connections driven by \
+         a few Aio event-loop domains (0 = closed-loop legacy mode)" );
+      ( "--pipeline",
+        Arg.Set_int pipeline,
+        "D requests kept in flight per pipelined connection (default 8)" );
+      ( "--drivers",
+        Arg.Set_int drivers,
+        "K driver domains multiplexing the pipelined connections (default 4)" );
       ("--value-bytes", Arg.Set_int value_bytes, "B value payload size (default 64)");
       ("--seed", Arg.Set_int seed, "S seed for values and the CRASH fault draw (default 42)");
       ( "--crash-at",
@@ -181,6 +746,15 @@ let () =
     "bench_serve [options]";
   (if Sys.unix then
      try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if !connections > 0 then begin
+    Pipelined.run ~host:!host ~port:!port ~connections:!connections
+      ~pipeline:!pipeline ~drivers:!drivers ~ops:!ops
+      ~value_bytes:!value_bytes ~seed:!seed ~crash_at:!crash_at
+      ~json_file:!json_file ~slos:!slos ~stats_file:!stats_file
+      ~prom_file:!prom_file ~prom_at:!prom_at ~ttl_us:!ttl_us
+      ~fetch_stats:!fetch_stats ();
+    exit 0
+  end;
   let nclients = !clients and per_client = !ops in
   let total = nclients * per_client in
   let key c i = Printf.sprintf "c%d:%06d" c i in
@@ -546,30 +1120,11 @@ let () =
     close_out oc
   end;
 
-  (* Server-side windowed percentiles and the SLO verdicts.  A gate that
-     cannot find its window FAILS: an unevaluable SLO must not pass. *)
+  (* Server-side windowed percentiles and the SLO verdicts. *)
   let windows =
     Option.value (Obs.Json.member "windows" stats) ~default:Obs.Json.Null
   in
-  let slo_rows =
-    List.map
-      (fun s ->
-        let observed =
-          match Obs.Json.member ("serve.win." ^ s.s_class) windows with
-          | Some w -> (
-              match Obs.Json.member (s.s_q ^ "_ns") w with
-              | Some (Obs.Json.Int n) -> Some n
-              | _ -> None)
-          | None -> None
-        in
-        let pass = match observed with Some n -> n <= s.s_bound_ns | None -> false in
-        Printf.printf "slo %s: observed %s bound %dns -> %s\n%!" s.s_spec
-          (match observed with Some n -> Printf.sprintf "%dns" n | None -> "n/a")
-          s.s_bound_ns
-          (if pass then "PASS" else "FAIL");
-        (s, observed, pass))
-      !slos
-  in
+  let slo_rows = eval_slos !slos windows in
   let slo_failed = List.exists (fun (_, _, pass) -> not pass) slo_rows in
 
   (* Satellite view of the batching behavior, from the server's own
@@ -702,21 +1257,7 @@ let () =
                 ("queue_wait", server_hist "serve.stage.queue");
                 ("batch_size", server_hist "serve.batch_size");
               ] );
-          ( "slo",
-            List
-              (List.map
-                 (fun (s, observed, pass) ->
-                   Obj
-                     [
-                       ("spec", String s.s_spec);
-                       ("quantile", String s.s_q);
-                       ("class", String s.s_class);
-                       ("bound_ns", Int s.s_bound_ns);
-                       ( "observed_ns",
-                         match observed with Some n -> Int n | None -> Null );
-                       ("pass", Bool pass);
-                     ])
-                 slo_rows) );
+          ("slo", slo_json slo_rows);
           ("server_stats", stats);
         ]
     in

@@ -8,6 +8,7 @@
      dune exec bin/json_check.exe -- --chaos FILE...
      dune exec bin/json_check.exe -- --supervise FILE...
      dune exec bin/json_check.exe -- --health FILE...
+     dune exec bin/json_check.exe -- --pipelined FILE...
 
    Plain mode checks each FILE parses as JSON.  --trace mode additionally
    checks the Chrome trace-event structure: a top-level object with a
@@ -29,7 +30,12 @@
    killed and acked something).  --health validates the quarantine-sweep
    report (schema redodb.quarantine.v1: verdict consistent with the
    violation count, one row per round, every repro line replayable with
-   --serve-quarantine).  Exits non-zero on the first malformed file. *)
+   --serve-quarantine).  --pipelined validates the open-loop pipelined
+   bench report (schema redodb.pipelined.v1: connection count and
+   inflight depth, per-class windowed percentiles from the server, the
+   zero-loss audit with a consistent verdict, and — when a mid-load
+   crash was requested — proof it actually fired and recovered).
+   Exits non-zero on the first malformed file. *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -301,6 +307,81 @@ let check_health file doc =
   Printf.printf "%s: valid quarantine report (%d rounds, %d violations)\n" file
     rounds violations
 
+(* ---- pipelined open-loop report (bench_serve --connections) ---- *)
+
+let check_pipelined file doc =
+  let mem k =
+    match Obs.Json.member k doc with
+    | Some v -> v
+    | None -> fail "%s: pipelined report lacks %S" file k
+  in
+  (match mem "schema" with
+  | Obs.Json.String "redodb.pipelined.v1" -> ()
+  | v ->
+      fail "%s: bad schema %s (want \"redodb.pipelined.v1\")" file
+        (Obs.Json.to_string v));
+  let int_field k =
+    match mem k with
+    | Obs.Json.Int n -> n
+    | _ -> fail "%s: %S is not an integer" file k
+  in
+  let connections = int_field "connections" in
+  let pipeline = int_field "pipeline" in
+  let acked = int_field "acked" in
+  if connections < 1 then fail "%s: connections < 1" file;
+  if pipeline < 1 then fail "%s: pipeline (inflight depth) < 1" file;
+  if acked < 1 then fail "%s: no acked writes — the audit proved nothing" file;
+  List.iter
+    (fun k -> ignore (int_field k))
+    [ "drivers"; "ops_per_conn"; "seed"; "reconnects"; "gave_up" ];
+  (match mem "throughput_ops_s" with
+  | Obs.Json.Float _ | Obs.Json.Int _ -> ()
+  | _ -> fail "%s: non-numeric \"throughput_ops_s\"" file);
+  (* a crash that was requested must actually have fired and recovered *)
+  (match (mem "crash_at", mem "crash_ms") with
+  | Obs.Json.Null, _ -> ()
+  | _, (Obs.Json.Float _ | Obs.Json.Int _) -> ()
+  | _, v ->
+      fail "%s: crash_at set but crash_ms is %s (crash never recovered)" file
+        (Obs.Json.to_string v));
+  (* the zero-loss audit: counters present, verdict consistent *)
+  let verify = mem "verify" in
+  let vint k =
+    match Obs.Json.member k verify with
+    | Some (Obs.Json.Int n) -> n
+    | _ -> fail "%s: verify lacks integer %S" file k
+  in
+  let acked_missing = vint "acked_missing" in
+  let mangled = vint "mangled" in
+  ignore (vint "unacked_present");
+  ignore (vint "checked");
+  (match mem "verdict" with
+  | Obs.Json.Bool b ->
+      if b <> (acked_missing = 0 && mangled = 0) then
+        fail "%s: verdict %b contradicts acked_missing=%d mangled=%d" file b
+          acked_missing mangled
+  | _ -> fail "%s: \"verdict\" is not a bool" file);
+  (* per-class windowed percentiles from the server *)
+  (match mem "server_windows" with
+  | Obs.Json.Obj kvs ->
+      (match List.assoc_opt "serve.win.put" kvs with
+      | Some w -> check_window file "serve.win.put" w
+      | None -> fail "%s: server_windows lacks \"serve.win.put\"" file)
+  | _ -> fail "%s: \"server_windows\" is not an object" file);
+  (match mem "slo" with
+  | Obs.Json.List rows ->
+      List.iteri
+        (fun i row ->
+          match Obs.Json.member "pass" row with
+          | Some (Obs.Json.Bool _) -> ()
+          | _ -> fail "%s: slo[%d] lacks bool \"pass\"" file i)
+        rows
+  | _ -> fail "%s: \"slo\" is not an array" file);
+  Printf.printf
+    "%s: valid pipelined report (%d conns x depth %d, %d acked, verdict %s)\n"
+    file connections pipeline acked
+    (match mem "verdict" with Obs.Json.Bool true -> "pass" | _ -> "fail")
+
 (* ---- supervised-restart report (redodb_server --supervise) ---- *)
 
 let check_supervise file doc =
@@ -440,6 +521,7 @@ let () =
   let chaos_mode = ref false in
   let supervise_mode = ref false in
   let health_mode = ref false in
+  let pipelined_mode = ref false in
   let required = ref [] in
   let files = ref [] in
   let rec parse = function
@@ -450,6 +532,7 @@ let () =
     | "--chaos" :: rest -> chaos_mode := true; parse rest
     | "--supervise" :: rest -> supervise_mode := true; parse rest
     | "--health" :: rest -> health_mode := true; parse rest
+    | "--pipelined" :: rest -> pipelined_mode := true; parse rest
     | "--require-phases" :: csv :: rest ->
         required := String.split_on_char ',' csv;
         parse rest
@@ -460,7 +543,7 @@ let () =
   if !files = [] then
     fail
       "usage: json_check [--trace [--require-phases a,b] | --serve-stats | \
-       --prom | --chaos | --supervise | --health] FILE...";
+       --prom | --chaos | --supervise | --health | --pipelined] FILE...";
   List.iter
     (fun file ->
       if !prom_mode then check_prom file
@@ -473,5 +556,6 @@ let () =
             else if !chaos_mode then check_chaos file doc
             else if !supervise_mode then check_supervise file doc
             else if !health_mode then check_health file doc
+            else if !pipelined_mode then check_pipelined file doc
             else Printf.printf "%s: valid JSON\n" file)
     !files

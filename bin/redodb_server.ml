@@ -241,6 +241,10 @@ let () =
   let linger_us = ref 0.0 in
   let queue_cap = ref 64 in
   let max_conns = ref 8 in
+  let reactors = ref 0 in
+  let workers = ref 2 in
+  let max_inflight = ref 64 in
+  let block_mutant = ref false in
   let capacity = ref (1 lsl 20) in
   let flush_cost = ref 150 in
   let metrics = ref false in
@@ -271,6 +275,27 @@ let () =
         Arg.Set_int queue_cap,
         "N per-shard admission bound; beyond it requests get OVERLOADED (default 64)" );
       ("--max-conns", Arg.Set_int max_conns, "N connection slots (default 8)");
+      ( "--reactors",
+        Arg.Int
+          (fun n ->
+            reactors :=
+              if n < 0 then min 8 (max 1 (Domain.recommended_domain_count ()))
+              else n),
+        "N event-driven front-end with N reactor domains multiplexing all \
+         connections as fibers (-1 = auto: recommended_domain_count capped \
+         at 8; 0 = legacy thread-per-connection, the default)" );
+      ( "--workers",
+        Arg.Set_int workers,
+        "W worker fibers (engine tids) per reactor (default 2; reactor mode)" );
+      ( "--max-inflight",
+        Arg.Set_int max_inflight,
+        "D per-connection pipelining window before the reactor stops \
+         reading (default 64; reactor mode)" );
+      ( "--block-in-reactor",
+        Arg.Set block_mutant,
+        " mutant: workers issue a blocking 20 ms sleep on the event loop \
+         per request (fairness-collapse mutant; the pipelined SLO gate \
+         must catch it)" );
       ( "--capacity-bytes",
         Arg.Set_int capacity,
         "B total user-data budget across shards (default 1 MiB)" );
@@ -352,6 +377,13 @@ let () =
         "--pmem-dir"; dir;
       ]
       @ (if !no_batch then [ "--no-batch" ] else [])
+      @ (if !reactors > 0 then
+           [
+             "--reactors"; string_of_int !reactors;
+             "--workers"; string_of_int !workers;
+             "--max-inflight"; string_of_int !max_inflight;
+           ]
+         else [])
       @ (if !metrics then [ "--metrics" ] else [])
       @ List.concat_map
           (fun m -> [ "--mutant"; Serve.Commit.pp_mutant m ])
@@ -364,42 +396,78 @@ let () =
   Obs.Metrics.enable !metrics;
   if !trace_file <> "" then Obs.Trace.enable ();
   let scrubbing = !scrub_us > 0. in
-  let cfg =
+  let chaos_src =
+    if !chaos = "" then None
+    else
+      match Serve.Chaos.parse_plan !chaos with
+      | Result.Ok plan -> Some (Serve.Chaos.source plan)
+      | Error reason -> raise (Arg.Bad reason)
+  in
+  (* Engine concurrency: one tid per request executor (a connection
+     slot on the legacy path, a worker fiber on the reactor path) plus
+     the in-process owner and, if scrubbing, the scrub domain. *)
+  let executors =
+    if !reactors > 0 then !reactors * !workers else !max_conns
+  in
+  let engine_cfg =
     {
-      Serve.Server.host = !host;
-      port = !port;
-      max_conns = !max_conns;
-      engine =
-        {
-          Serve.Engine.shards = !shards;
-          (* + 1 for the in-process tid, + 1 more for the scrub domain *)
-          num_threads = (!max_conns + if scrubbing then 2 else 1);
-          capacity_bytes = !capacity;
-          batch = not !no_batch;
-          max_batch = !max_batch;
-          linger_us = !linger_us;
-          linger_steps = 0;
-          queue_cap = !queue_cap;
-          backing_dir = (if !pmem_dir = "" then None else Some !pmem_dir);
-          isolate = !isolate || scrubbing;
-        };
-      chaos =
-        (if !chaos = "" then None
-         else
-           match Serve.Chaos.parse_plan !chaos with
-           | Result.Ok plan -> Some (Serve.Chaos.source plan)
-           | Error reason -> raise (Arg.Bad reason));
-      scrub_pause_us = (if scrubbing then Some !scrub_us else None);
+      Serve.Engine.shards = !shards;
+      num_threads = (executors + if scrubbing then 2 else 1);
+      capacity_bytes = !capacity;
+      batch = not !no_batch;
+      max_batch = !max_batch;
+      linger_us = !linger_us;
+      linger_steps = 0;
+      queue_cap = !queue_cap;
+      backing_dir = (if !pmem_dir = "" then None else Some !pmem_dir);
+      isolate = !isolate || scrubbing;
     }
   in
-  let srv = Serve.Server.start cfg in
-  if !mutants <> [] then Serve.Engine.set_mutants (Serve.Server.engine srv) !mutants;
+  let scrub_pause_us = if scrubbing then Some !scrub_us else None in
+  let front =
+    if !reactors > 0 then
+      `Reactor
+        (Serve.Reactor.start
+           {
+             Serve.Reactor.host = !host;
+             port = !port;
+             reactors = !reactors;
+             workers_per_reactor = !workers;
+             max_conns = !max_conns;
+             max_inflight = !max_inflight;
+             ingress_cap = 4096;
+             engine = engine_cfg;
+             chaos = chaos_src;
+             scrub_pause_us;
+             block_in_reactor = !block_mutant;
+           })
+    else
+      `Server
+        (Serve.Server.start
+           {
+             Serve.Server.host = !host;
+             port = !port;
+             max_conns = !max_conns;
+             engine = engine_cfg;
+             chaos = chaos_src;
+             scrub_pause_us;
+           })
+  in
+  let eng, bound_port =
+    match front with
+    | `Reactor r -> (Serve.Reactor.engine r, Serve.Reactor.port r)
+    | `Server s -> (Serve.Server.engine s, Serve.Server.port s)
+  in
+  if !mutants <> [] then Serve.Engine.set_mutants eng !mutants;
   (* After creation: initialisation flushes must not pay the device cost
      (a realistic model would stretch startup into seconds). *)
-  Serve.Engine.set_flush_cost (Serve.Server.engine srv) !flush_cost;
-  pf "redodb_server listening on %s:%d (%d shard%s, %s%s%s)\n%!" !host
-    (Serve.Server.port srv) !shards
+  Serve.Engine.set_flush_cost eng !flush_cost;
+  pf "redodb_server listening on %s:%d (%d shard%s, %s, %s%s%s)\n%!" !host
+    bound_port !shards
     (if !shards = 1 then "" else "s")
+    (if !reactors > 0 then
+       Printf.sprintf "%d reactors x %d workers" !reactors !workers
+     else Printf.sprintf "%d conn slots" !max_conns)
     (if !no_batch then "unbatched"
      else Printf.sprintf "batched: max %d, linger %.0fus" !max_batch !linger_us)
     (if !pmem_dir = "" then "" else ", backed by " ^ !pmem_dir)
@@ -415,7 +483,9 @@ let () =
   done;
   (* Graceful drain: stop accepting, let in-flight requests finish and
      ack (their writes are durable), then flush traces and exit 0. *)
-  Serve.Server.drain srv;
+  (match front with
+  | `Reactor r -> Serve.Reactor.drain r
+  | `Server s -> Serve.Server.drain s);
   if !trace_file <> "" then begin
     Obs.Trace.write_file !trace_file;
     epf "redodb_server: trace written to %s\n%!" !trace_file

@@ -1,0 +1,124 @@
+/* Minimal epoll binding for the aio event loop.
+ *
+ * The OCaml side owns all bookkeeping (fd table, waiters, timers); the
+ * stubs only expose the three kernel calls it cannot express with the
+ * stdlib: create an epoll instance, add/remove an fd with the fixed
+ * edge-triggered interest mask, and wait.
+ *
+ * Registration always asks for EPOLLIN|EPOLLOUT|EPOLLET|EPOLLRDHUP:
+ * one registration per fd for its lifetime, both directions, edges
+ * only.  The loop's contract (wait only after EAGAIN) plus the kernel
+ * reporting current readiness at EPOLL_CTL_ADD time makes the missed-
+ * edge race impossible.
+ *
+ * On non-Linux builds every stub raises; the OCaml side probes
+ * aio_epoll_supported once and falls back to a select(2) backend.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/unixsupport.h>
+#include <caml/signals.h>
+#include <errno.h>
+#include <string.h>
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+
+#define AIO_MAX_EVENTS 256
+
+CAMLprim value aio_epoll_supported(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value aio_epoll_create(value unit)
+{
+  (void)unit;
+  int fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd == -1) uerror("epoll_create1", Nothing);
+  return Val_int(fd);
+}
+
+/* op: 0 = add (full edge-triggered interest mask), 1 = del.  Deleting
+   an fd the kernel already dropped (close races) is not an error. */
+CAMLprim value aio_epoll_ctl(value vep, value vop, value vfd)
+{
+  struct epoll_event ev;
+  int op = Int_val(vop) == 0 ? EPOLL_CTL_ADD : EPOLL_CTL_DEL;
+  memset(&ev, 0, sizeof ev);
+  ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+  ev.data.fd = Int_val(vfd);
+  if (epoll_ctl(Int_val(vep), op, Int_val(vfd), &ev) == -1) {
+    if (op == EPOLL_CTL_DEL && (errno == ENOENT || errno == EBADF))
+      return Val_unit;
+    uerror("epoll_ctl", Nothing);
+  }
+  return Val_unit;
+}
+
+/* Wait up to [timeout_ms] (-1 = forever) and fill [vout] (an int
+   array of (fd, flags) pairs; flags: 1 read-ready, 2 write-ready —
+   error/hup raises both so whichever side is waiting wakes up and
+   observes the failure from the syscall).  Returns the pair count.
+   The runtime lock is released across the kernel wait so sibling
+   domains (and stop-the-world GC) are never stalled by an idle loop;
+   the roots registered by CAMLparam keep [vout] valid across any
+   collection that happens meanwhile.  EINTR reports as zero events —
+   the caller re-derives its timeout and retries. */
+CAMLprim value aio_epoll_wait(value vep, value vtimeout_ms, value vout)
+{
+  CAMLparam3(vep, vtimeout_ms, vout);
+  struct epoll_event evs[AIO_MAX_EVENTS];
+  int cap = Wosize_val(vout) / 2;
+  int epfd = Int_val(vep);
+  int timeout = Int_val(vtimeout_ms);
+  int n, i;
+  if (cap > AIO_MAX_EVENTS) cap = AIO_MAX_EVENTS;
+  caml_enter_blocking_section();
+  n = epoll_wait(epfd, evs, cap, timeout);
+  caml_leave_blocking_section();
+  if (n == -1) {
+    if (errno == EINTR) CAMLreturn(Val_int(0));
+    uerror("epoll_wait", Nothing);
+  }
+  for (i = 0; i < n; i++) {
+    int fl = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) fl |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLHUP | EPOLLERR)) fl |= 2;
+    Field(vout, 2 * i) = Val_int(evs[i].data.fd);
+    Field(vout, 2 * i + 1) = Val_int(fl);
+  }
+  CAMLreturn(Val_int(n));
+}
+
+#else /* !__linux__ */
+
+CAMLprim value aio_epoll_supported(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value aio_epoll_create(value unit)
+{
+  (void)unit;
+  caml_failwith("aio: epoll unsupported on this platform");
+}
+
+CAMLprim value aio_epoll_ctl(value vep, value vop, value vfd)
+{
+  (void)vep; (void)vop; (void)vfd;
+  caml_failwith("aio: epoll unsupported on this platform");
+}
+
+CAMLprim value aio_epoll_wait(value vep, value vtimeout_ms, value vout)
+{
+  (void)vep; (void)vtimeout_ms; (void)vout;
+  caml_failwith("aio: epoll unsupported on this platform");
+}
+
+#endif

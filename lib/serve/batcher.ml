@@ -109,9 +109,13 @@ let create ~db ~shard ~max_batch ~linger_us ~linger_steps ~queue_cap =
 (* Waiting for an ack can outlast a timeslice (the leader is committing a
    whole batch through the simulated device), and on few cores a pure
    spin starves the very leader it waits for — back off to the OS after a
-   burst of spins. *)
+   burst of spins.  Under an aio reactor the wait is a fiber yield
+   point instead: the loop keeps serving sibling connections (including
+   the fiber that will lead the commit) and, past a burst, parks on a
+   timer so an idle reactor does not spin its core. *)
 let backoff n =
   if Sched.active () then Sched.yield ()
+  else if Aio.active () then if n < 256 then Aio.yield () else Aio.sleep 5e-5
   else if n < 64 then Domain.cpu_relax ()
   else Unix.sleepf 5e-5
 

@@ -205,9 +205,11 @@ let note c tally counter =
   A.incr tally;
   Obs.Metrics.incr counter ~tid:c.tid
 
+(* Aio.sleep is a deadline timer inside a reactor fiber (the loop keeps
+   serving other connections) and plain Unix.sleepf everywhere else. *)
 let maybe_sleep c ~us tally counter =
   note c tally counter;
-  if us > 0 then Unix.sleepf (float_of_int us *. 1e-6)
+  if us > 0 then Aio.sleep (float_of_int us *. 1e-6)
 
 (* Between requests: receive-side faults. *)
 let before_read c =
@@ -236,17 +238,29 @@ let write_raw fd frame off len =
         ()
   done
 
-(* Response-side faults.  [payload] is the unframed response line; the
-   length prefix is reconstructed here (same grammar as Protocol.Io)
-   because truncation and corruption need byte-level control under the
-   framing. *)
-let send c fd payload =
+(* Response-side fault verdict.  [payload] is the unframed response
+   line; the length prefix is reconstructed here (same grammar as
+   Protocol.Io) because truncation and corruption need byte-level
+   control under the framing.  The verdict is a pure value so the
+   reactor can apply it to its buffered, non-blocking write path
+   (appending the surviving bytes and scheduling the delay as a timer)
+   while the legacy blocking [send] below interprets it directly.
+   Tallies and counters are noted at decision time either way. *)
+type verdict =
+  | Deliver of string  (* the full frame bytes, unharmed or corrupted *)
+  | Deliver_delayed of string * int  (* frame, delay in microseconds *)
+  | Drop_response
+      (* the request EXECUTED (a write may have committed) but the
+         client never hears: the ack-loss fault exactly-once retries
+         must absorb *)
+  | Truncate_and_cut of string  (* write this strict prefix, then sever *)
+
+let send_verdict c payload =
   let p = c.src.plan in
   let r = u01 c.st in
   if r < p.drop_prob then begin
-    (* the request EXECUTED (a write may have committed) but the client
-       never hears: the ack-loss fault exactly-once retries must absorb *)
-    note c c.src.tally.drops c.src.c_drop
+    note c c.src.tally.drops c.src.c_drop;
+    Drop_response
   end
   else begin
     let frame = Printf.sprintf "%d\n%s" (String.length payload) payload in
@@ -254,8 +268,7 @@ let send c fd payload =
       note c c.src.tally.truncates c.src.c_trunc;
       let keep = 1 + (Int64.to_int (Int64.logand (sm_next c.st) 0x3FFFFFFFL)
                       mod (String.length frame - 1)) in
-      write_raw fd frame 0 keep;
-      raise (Cut "truncate")
+      Truncate_and_cut (String.sub frame 0 keep)
     end
     else begin
       let frame =
@@ -274,7 +287,21 @@ let send c fd payload =
       in
       if r >= p.drop_prob +. p.truncate_prob +. p.corrupt_prob
          && r < p.drop_prob +. p.truncate_prob +. p.corrupt_prob +. p.delay_prob
-      then maybe_sleep c ~us:p.delay_us c.src.tally.delays c.src.c_delay;
-      write_raw fd frame 0 (String.length frame)
+      then begin
+        note c c.src.tally.delays c.src.c_delay;
+        Deliver_delayed (frame, p.delay_us)
+      end
+      else Deliver frame
     end
   end
+
+let send c fd payload =
+  match send_verdict c payload with
+  | Drop_response -> ()
+  | Truncate_and_cut prefix ->
+      write_raw fd prefix 0 (String.length prefix);
+      raise (Cut "truncate")
+  | Deliver_delayed (frame, us) ->
+      if us > 0 then Aio.sleep (float_of_int us *. 1e-6);
+      write_raw fd frame 0 (String.length frame)
+  | Deliver frame -> write_raw fd frame 0 (String.length frame)

@@ -62,10 +62,28 @@ type conn
 val conn : source -> tid:int -> conn
 
 (** Call between requests, before blocking on the next frame: may sleep
-    (delay/stall) or raise {!Cut} (sever). *)
+    (delay/stall — a fiber timer under an aio reactor, a real sleep
+    elsewhere) or raise {!Cut} (sever). *)
 val before_read : conn -> unit
 
-(** Chaos-mediated response write, replacing [Protocol.Io.write_frame]:
+(** Response-side fault verdict for one response: what should reach the
+    wire.  A pure value (tallies and counters are noted at decision
+    time) so the reactor can apply it to its buffered non-blocking
+    write path — append the surviving bytes, schedule the delay as a
+    timer, sever after flushing the truncated prefix. *)
+type verdict =
+  | Deliver of string  (** the full frame bytes, unharmed or corrupted *)
+  | Deliver_delayed of string * int  (** frame, delay in microseconds *)
+  | Drop_response
+      (** the request executed (a write may have committed) but the
+          client never hears: the ack-loss fault the exactly-once
+          retries must absorb *)
+  | Truncate_and_cut of string  (** write this strict prefix, then sever *)
+
+val send_verdict : conn -> string -> verdict
+
+(** Chaos-mediated blocking response write, replacing
+    [Protocol.Io.write_frame]: interprets {!send_verdict} directly —
     may drop the response entirely (returns, writes nothing), truncate
     the frame mid-write and raise {!Cut}, corrupt one payload byte, or
     delay — otherwise writes the frame intact.  [payload] is the

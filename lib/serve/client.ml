@@ -500,3 +500,188 @@ let rebuild t shard =
 
 let corrupt t ~shard ~seed ~count =
   admin "CORRUPT" t (Protocol.Corrupt { shard; seed; count })
+
+(* Resolve-FIRST variant of [write_call], for a tokened write whose
+   first attempt was already on the wire when the stream died: the
+   commit may have happened, so the token is queried before any
+   resend.  ABORTED proves the resend safe and falls back into the
+   ordinary exactly-once loop. *)
+let write_resolve ?(ttl_us = 0) ~tok t req =
+  let rec resolve k =
+    ensure t;
+    match attempt t (Protocol.Txstat tok) with
+    | Result.Ok (Protocol.Txstat_committed _ as resp) ->
+        t.n_resolved <- t.n_resolved + 1;
+        resp
+    | Result.Ok Protocol.Txstat_aborted -> write_call ~ttl_us ~tok t req
+    | Result.Ok (Protocol.Txstat_unknown | Protocol.Overloaded | Protocol.Timeout)
+    | Error Timed_out ->
+        if k < t.policy.max_retries then begin
+          backoff t k;
+          resolve (k + 1)
+        end
+        else Protocol.Txstat_unknown
+    | Result.Ok resp -> resp
+    | Error (Conn_dead reason) ->
+        if k < t.policy.max_retries then begin
+          backoff t k;
+          resolve (k + 1)
+        end
+        else raise (Protocol_error ("write resolution failed: " ^ reason))
+  in
+  resolve 0
+
+(* Pipelined mode: up to [window] requests in flight on one connection,
+   responses matched back to submissions by the RID echoed on every
+   response — they may arrive out of order (the reactor front-end
+   completes whichever engine call finishes first).
+
+   The exactly-once machinery is the same as the serial client's, it
+   just kicks in for a whole window at once: when the stream dies
+   (timeout, unmatched RID, dead socket) the client reconnects and
+   settles every unresolved submission serially — idempotent requests
+   re-run via [idem]; tokened writes resolve their token FIRST
+   ([write_resolve]: COMMITTED recovers the lost ack, ABORTED proves a
+   resend safe, UNKNOWN polls); an untokened write raises, exactly as
+   strict mode would.  Server shed answers (OVERLOADED/TIMEOUT) are
+   delivered raw: an open-loop driver decides its own retry policy. *)
+module Pipeline = struct
+  type ticket = int
+
+  type entry = {
+    preq : Protocol.req;
+    pttl_us : int;
+    ptok : int;
+    mutable result : Protocol.resp option;
+  }
+
+  type p = {
+    c : t;
+    win : int;
+    mutable next_ticket : int;
+    entries : (int, entry) Hashtbl.t;  (* ticket -> entry (until awaited) *)
+    by_rid : (int, int) Hashtbl.t;  (* live rid -> ticket, this connection *)
+    fifo : int Queue.t;  (* unresolved tickets, submission order *)
+    mutable inflight_ : int;
+  }
+
+  let create ?(window = 8) c =
+    if window < 1 then invalid_arg "Pipeline.create: window";
+    {
+      c;
+      win = window;
+      next_ticket = 0;
+      entries = Hashtbl.create 64;
+      by_rid = Hashtbl.create 64;
+      fifo = Queue.create ();
+      inflight_ = 0;
+    }
+
+  let window p = p.win
+  let inflight p = p.inflight_
+  let client p = p.c
+
+  let is_idem = function
+    | Protocol.Get _ | Protocol.Mget _ | Protocol.Scan _ | Protocol.Ping
+    | Protocol.Stats | Protocol.Metrics | Protocol.Health | Protocol.Txstat _
+      ->
+        true
+    | Protocol.Put _ | Protocol.Del _ | Protocol.Mput _ | Protocol.Crash _
+    | Protocol.Freeze _ | Protocol.Rebuild _ | Protocol.Corrupt _ ->
+        false
+
+  let redo p e =
+    if is_idem e.preq then idem ~ttl_us:e.pttl_us p.c e.preq
+    else if e.ptok > 0 then
+      write_resolve ~ttl_us:e.pttl_us ~tok:e.ptok p.c e.preq
+    else
+      raise
+        (Protocol_error
+           "pipelined write without a token lost its connection (outcome \
+            unknowable)")
+
+  (* The stream is gone: reconnect and settle every unresolved
+     submission serially through the retry/exactly-once machinery. *)
+  let recover p =
+    kill p.c;
+    Hashtbl.reset p.by_rid;
+    reconnect p.c;
+    let pend = Queue.fold (fun acc tk -> tk :: acc) [] p.fifo in
+    Queue.clear p.fifo;
+    List.iter
+      (fun tk ->
+        match Hashtbl.find_opt p.entries tk with
+        | Some e when e.result = None ->
+            e.result <- Some (redo p e);
+            p.inflight_ <- p.inflight_ - 1
+        | _ -> ())
+      (List.rev pend)
+
+  (* Absorb one response frame (whatever RID it carries), or fail over
+     to [recover].  RID 0 cannot be correlated in pipelined mode, and
+     an unmatched RID means the stream slipped a frame: both settle
+     the window through recovery. *)
+  let pump p =
+    ensure p.c;
+    let tmo = p.c.policy.call_timeout in
+    Protocol.Io.set_deadline p.c.io
+      (if tmo > 0. then Unix.gettimeofday () +. tmo else 0.);
+    match Protocol.Io.read_frame p.c.io with
+    | exception Protocol.Io.Read_timeout ->
+        p.c.n_timeouts <- p.c.n_timeouts + 1;
+        recover p
+    | exception _ -> recover p
+    | Error _ -> recover p
+    | Result.Ok None -> recover p
+    | Result.Ok (Some payload) -> (
+        match Protocol.decode_resp_rid payload with
+        | Error _ -> recover p
+        | Result.Ok (rid, resp) -> (
+            match Hashtbl.find_opt p.by_rid rid with
+            | Some tk ->
+                Hashtbl.remove p.by_rid rid;
+                (match Hashtbl.find_opt p.entries tk with
+                | Some e when e.result = None ->
+                    e.result <- Some resp;
+                    p.inflight_ <- p.inflight_ - 1
+                | _ -> ())
+            | None -> recover p))
+
+  let submit ?(ttl_us = 0) ?(tok = 0) p req =
+    while p.inflight_ >= p.win do
+      pump p
+    done;
+    let tk = p.next_ticket in
+    p.next_ticket <- tk + 1;
+    let e = { preq = req; pttl_us = ttl_us; ptok = tok; result = None } in
+    Hashtbl.replace p.entries tk e;
+    Queue.push tk p.fifo;
+    p.inflight_ <- p.inflight_ + 1;
+    ensure p.c;
+    let rid = p.c.next_rid in
+    p.c.next_rid <- rid + 1;
+    (match
+       Protocol.Io.write_frame p.c.io (Protocol.encode_req ~rid ~ttl_us ~tok req)
+     with
+    | () -> Hashtbl.replace p.by_rid rid tk
+    | exception _ -> recover p);
+    tk
+
+  let rec await p tk =
+    match Hashtbl.find_opt p.entries tk with
+    | None ->
+        raise (Protocol_error "Pipeline.await: unknown or already-awaited ticket")
+    | Some e -> (
+        match e.result with
+        | Some r ->
+            Hashtbl.remove p.entries tk;
+            r
+        | None ->
+            pump p;
+            await p tk)
+
+  let drain p =
+    while p.inflight_ > 0 do
+      pump p
+    done
+end

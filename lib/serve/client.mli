@@ -169,3 +169,43 @@ val rebuild : t -> int -> (float, string) result
     metadata (torture hook): invisible to live reads, caught by the
     online scrubber. *)
 val corrupt : t -> shard:int -> seed:int -> count:int -> (unit, string) result
+
+(** Pipelined mode: up to [window] requests in flight on one
+    connection, responses matched back to submissions by the RID
+    echoed on every response (they may complete out of order under the
+    reactor front-end).  When the stream dies — timeout, dead socket,
+    unmatched RID — the client reconnects and settles every unresolved
+    submission through the serial retry/exactly-once machinery:
+    idempotent requests re-run transparently; a tokened write resolves
+    its token FIRST (COMMITTED recovers the lost ack, ABORTED proves a
+    resend safe); an untokened write raises, as strict mode would.
+    Server shed answers (OVERLOADED/TIMEOUT) are delivered raw — an
+    open-loop driver owns its retry policy. *)
+module Pipeline : sig
+  type p
+
+  (** Handle for one in-flight submission. *)
+  type ticket
+
+  (** [create ?window c] wraps connected client [c] (whose policy
+      drives timeouts, retries and reconnects).  Default window 8. *)
+  val create : ?window:int -> t -> p
+
+  val window : p -> int
+
+  (** Submissions not yet resolved (a full window blocks {!submit}). *)
+  val inflight : p -> int
+
+  val client : p -> t
+
+  (** Send one request without waiting.  Blocks only while the window
+      is full, pumping responses until a slot opens. *)
+  val submit : ?ttl_us:int -> ?tok:int -> p -> Protocol.req -> ticket
+
+  (** Block until [ticket]'s response arrives (absorbing other
+      responses along the way).  Each ticket may be awaited once. *)
+  val await : p -> ticket -> Protocol.resp
+
+  (** Resolve everything outstanding (awaits still pick up results). *)
+  val drain : p -> unit
+end

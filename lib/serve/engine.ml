@@ -348,7 +348,15 @@ let stage h kind ~tid ~arg ~rid f =
         raise e
   end
 
-let relax () = if Sched.active () then Sched.yield () else Domain.cpu_relax ()
+(* Spin-wait escape valve.  Under the deterministic scheduler it is a
+   schedule step; under an aio reactor it MUST yield the fiber — a
+   cpu_relax spin here (snapshot retries, the crash quiesce loop) would
+   wedge the whole reactor domain, including the sibling fibers whose
+   progress the spin is waiting on. *)
+let relax () =
+  if Sched.active () then Sched.yield ()
+  else if Aio.active () then Aio.yield ()
+  else Domain.cpu_relax ()
 
 (* Every public operation holds an inflight token while it touches a
    shard; the crash path waits for the count to drain.  The double check

@@ -430,21 +430,126 @@ let decode_resp_rid p =
 
 let decode_resp p = Result.map snd (decode_resp_rid p)
 
-(* ---- framed blocking IO over a file descriptor ---- *)
+(* ---- framed IO over a file descriptor ---- *)
 
 module Io = struct
   exception Read_timeout
 
+  (* Incremental (resumable) frame decoder: bytes are appended to a
+     growable per-connection buffer as they arrive, and [next] either
+     carves a complete frame out of it or answers [`Need_more] — it
+     never blocks, which is what lets one reactor domain interleave
+     thousands of half-received connections.  Consumed bytes are
+     reclaimed by compaction (on demand, when space is needed) instead
+     of per-frame allocation. *)
+  module Decoder = struct
+    type t = {
+      mutable buf : Bytes.t;
+      mutable pos : int;  (* next unconsumed byte *)
+      mutable len : int;  (* filled bytes *)
+    }
+
+    let create ?(initial = 8192) () =
+      { buf = Bytes.create (max 64 initial); pos = 0; len = 0 }
+
+    let pending t = t.len - t.pos
+
+    (* Make at least [n] writable bytes available after [len]:
+       compact first (cheap, shifts only the live tail), then double. *)
+    let ensure t n =
+      if Bytes.length t.buf - t.len < n then begin
+        let live = t.len - t.pos in
+        if t.pos > 0 then begin
+          Bytes.blit t.buf t.pos t.buf 0 live;
+          t.pos <- 0;
+          t.len <- live
+        end;
+        if Bytes.length t.buf - t.len < n then begin
+          let cap = ref (Bytes.length t.buf) in
+          while !cap - live < n do
+            cap := !cap * 2
+          done;
+          let b = Bytes.create !cap in
+          Bytes.blit t.buf 0 b 0 live;
+          t.buf <- b
+        end
+      end
+
+    (* Zero-copy fill: read straight into [buffer] at [write_off]
+       (after [ensure]), then account the bytes with [filled]. *)
+    let buffer t = t.buf
+    let write_off t = t.len
+    let room t = Bytes.length t.buf - t.len
+
+    let filled t n =
+      if n < 0 || n > room t then invalid_arg "Decoder.filled";
+      t.len <- t.len + n
+
+    let feed t src off n =
+      ensure t n;
+      Bytes.blit src off t.buf t.len n;
+      t.len <- t.len + n
+
+    let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+    (* Carve the next frame.  A decode error poisons the stream (the
+       position past a malformed header is unknowable); callers answer
+       once and close, exactly like the blocking path always did. *)
+    let next t =
+      let n = t.len in
+      let rec digits i = if i < n && Bytes.get t.buf i >= '0' && Bytes.get t.buf i <= '9' then digits (i + 1) else i in
+      let d = digits t.pos in
+      if d - t.pos > 9 then `Error "frame header too long"
+      else if d >= n then begin
+        (* all digits so far; header still incomplete *)
+        ensure t 64;
+        `Need_more
+      end
+      else if Bytes.get t.buf d <> '\n' then
+        `Error (Printf.sprintf "bad frame header byte %C" (Bytes.get t.buf d))
+      else if d = t.pos then `Error "empty frame header"
+      else begin
+        let flen = int_of_string (Bytes.sub_string t.buf t.pos (d - t.pos)) in
+        if flen > max_frame then `Error "frame too large"
+        else if n - d - 1 >= flen then begin
+          let p = Bytes.sub_string t.buf (d + 1) flen in
+          t.pos <- d + 1 + flen;
+          if t.pos = t.len then begin
+            (* frame boundary: recycle the whole buffer for free *)
+            t.pos <- 0;
+            t.len <- 0
+          end;
+          `Frame p
+        end
+        else begin
+          (* Reserve the rest of the payload up front so the reader
+             can pull it in big slabs. *)
+          ensure t (flen - (n - d - 1));
+          `Need_more
+        end
+      end
+
+    (* Why an EOF here is dirty, or [None] if the stream is at a clean
+       frame boundary. *)
+    let eof_reason t =
+      if pending t = 0 then None
+      else begin
+        let n = t.len in
+        let rec digits i = if i < n && Bytes.get t.buf i >= '0' && Bytes.get t.buf i <= '9' then digits (i + 1) else i in
+        if digits t.pos >= n then Some "EOF inside frame header"
+        else Some "EOF inside frame payload"
+      end
+  end
+
   type t = {
     fd : Unix.file_descr;
-    buf : Bytes.t;
-    mutable pos : int;  (* next unread byte in [buf] *)
-    mutable len : int;  (* valid bytes in [buf] *)
+    dec : Decoder.t;
     mutable deadline : float;  (* absolute wall time; 0. = block forever *)
   }
 
-  let of_fd fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0; deadline = 0. }
+  let of_fd fd = { fd; dec = Decoder.create (); deadline = 0. }
   let set_deadline t d = t.deadline <- d
+  let decoder t = t.dec
 
   (* Poll until [fd] is readable or the deadline passes.  select is
      restarted on EINTR and on spurious wakeups, re-deriving the
@@ -457,68 +562,35 @@ module Io = struct
     | _ -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable t
 
-  (* A signal landing during a blocking read (EINTR) or a spurious
-     wakeup on a nonblocking fd (EAGAIN) must not kill the frame: the
-     stream position is untouched, so just retry. *)
-  let rec read_some t =
-    if t.deadline > 0. then wait_readable t;
-    match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
-    | n -> n
-    | exception
-        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-      ->
-        read_some t
-
-  let refill t =
-    let n = read_some t in
-    t.pos <- 0;
-    t.len <- n;
-    n > 0
-
-  let read_byte t =
-    if t.pos >= t.len && not (refill t) then None
-    else begin
-      let c = Bytes.get t.buf t.pos in
-      t.pos <- t.pos + 1;
-      Some c
-    end
-
-  let read_exact t dst off len =
-    let got = min len (t.len - t.pos) in
-    Bytes.blit t.buf t.pos dst off got;
-    t.pos <- t.pos + got;
-    let rec go off len =
-      if len = 0 then true
-      else if t.pos >= t.len && not (refill t) then false
-      else begin
-        let got = min len (t.len - t.pos) in
-        Bytes.blit t.buf t.pos dst off got;
-        t.pos <- t.pos + got;
-        go (off + got) (len - got)
-      end
-    in
-    go (off + got) (len - got)
-
-  (* One frame; [Ok None] is a clean EOF at a frame boundary. *)
+  (* Blocking wrapper over the incremental decoder.  One frame;
+     [Ok None] is a clean EOF at a frame boundary.  A signal landing
+     during a blocking read (EINTR) or a spurious wakeup on a
+     nonblocking fd (EAGAIN) must not kill the frame: the decoder
+     state is untouched, so just retry. *)
   let read_frame t =
-    let rec header acc ndigits =
-      match read_byte t with
-      | None -> if ndigits = 0 then Result.Ok None else Error "EOF inside frame header"
-      | Some '\n' -> if ndigits = 0 then Error "empty frame header" else Result.Ok (Some acc)
-      | Some c when c >= '0' && c <= '9' ->
-          if ndigits > 8 then Error "frame header too long"
-          else header ((acc * 10) + Char.code c - Char.code '0') (ndigits + 1)
-      | Some c -> Error (Printf.sprintf "bad frame header byte %C" c)
+    let rec go () =
+      match Decoder.next t.dec with
+      | `Frame p -> Result.Ok (Some p)
+      | `Error reason -> Error reason
+      | `Need_more -> (
+          if t.deadline > 0. then wait_readable t;
+          match
+            Unix.read t.fd (Decoder.buffer t.dec) (Decoder.write_off t.dec)
+              (Decoder.room t.dec)
+          with
+          | 0 -> (
+              match Decoder.eof_reason t.dec with
+              | None -> Result.Ok None
+              | Some reason -> Error reason)
+          | n ->
+              Decoder.filled t.dec n;
+              go ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              go ())
     in
-    match header 0 0 with
-    | Error _ as e -> e
-    | Result.Ok None -> Result.Ok None
-    | Result.Ok (Some len) ->
-        if len > max_frame then Error "frame too large"
-        else
-          let b = Bytes.create len in
-          if read_exact t b 0 len then Result.Ok (Some (Bytes.unsafe_to_string b))
-          else Error "EOF inside frame payload"
+    go ()
 
   let write_all fd s =
     let b = Bytes.unsafe_of_string s in

@@ -110,8 +110,9 @@ val encode_resp : ?rid:int -> resp -> string
 val decode_resp : string -> (resp, string) result
 val decode_resp_rid : string -> (int * resp, string) result
 
-(** Framed blocking IO over a [Unix.file_descr] with an internal read
-    buffer.  One [Io.t] per connection (reads); writes are stateless.
+(** Framed IO over a [Unix.file_descr].  The core is the incremental
+    {!Io.Decoder}; the blocking [read_frame] below is a thin wrapper
+    over it.  One [Io.t] per connection (reads); writes are stateless.
     Reads and writes retry [EINTR]/[EAGAIN] — a signal landing during a
     partial read or write never desyncs the stream. *)
 module Io : sig
@@ -121,9 +122,54 @@ module Io : sig
       close the connection. *)
   exception Read_timeout
 
+  (** Incremental (resumable) frame decoder.  Feed it whatever bytes
+      the socket had — dribbles, coalesced frames, half a header —
+      and {!Decoder.next} either carves a complete frame or answers
+      [`Need_more] without blocking.  The buffer is per-connection and
+      growable; consumed frames are reclaimed by compaction, not
+      per-frame allocation.  This is what lets one reactor domain
+      interleave thousands of half-received connections. *)
+  module Decoder : sig
+    type t
+
+    val create : ?initial:int -> unit -> t
+
+    (** Append [n] bytes of [src] at [off] (copies; grows as needed). *)
+    val feed : t -> Bytes.t -> int -> int -> unit
+
+    val feed_string : t -> string -> unit
+
+    (** [`Frame payload] consumes one complete frame; [`Need_more]
+        means the buffered bytes end mid-header or mid-payload (never
+        blocks); [`Error reason] poisons the stream — the position
+        past a malformed header is unknowable, so answer once and
+        close, exactly like the blocking path. *)
+    val next : t -> [ `Frame of string | `Need_more | `Error of string ]
+
+    (** Buffered-but-unconsumed byte count. *)
+    val pending : t -> int
+
+    (** Why an EOF at this point is dirty ([Some reason]), or [None]
+        at a clean frame boundary. *)
+    val eof_reason : t -> string option
+
+    (** {2 Zero-copy fill} — reserve space with [ensure], read straight
+        into [buffer] at [write_off] (at most [room] bytes), then
+        account the bytes with [filled].  The reactor's read path. *)
+
+    val ensure : t -> int -> unit
+    val buffer : t -> Bytes.t
+    val write_off : t -> int
+    val room : t -> int
+    val filled : t -> int -> unit
+  end
+
   type t
 
   val of_fd : Unix.file_descr -> t
+
+  (** The connection's decoder (shared with {!read_frame}). *)
+  val decoder : t -> Decoder.t
 
   (** [set_deadline t d] arms an absolute wall-clock read deadline
       ([Unix.gettimeofday] scale) enforced with [select] before every

@@ -1603,6 +1603,440 @@ let test_mutant_no_scrub_verify () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "audit verifier must still see the rot"
 
+(* ---- aio reactor: event loop, incremental decoding, pipelining ---- *)
+
+(* The resumable frame decoder must reassemble a seeded binary stream
+   byte-for-byte whether it arrives dribbled or coalesced, and turn
+   garbage into the same decode errors the blocking path always
+   raised. *)
+let test_decoder_incremental () =
+  let module D = P.Io.Decoder in
+  let rng = Random.State.make [| 0xdec0de; 3 |] in
+  let payloads =
+    List.init 40 (fun _ ->
+        String.init (Random.State.int rng 400) (fun _ ->
+            Char.chr (Random.State.int rng 256)))
+  in
+  let stream =
+    String.concat ""
+      (List.map (fun p -> Printf.sprintf "%d\n%s" (String.length p) p) payloads)
+  in
+  (* dribbled in 1-5 byte chunks, decoding interleaved with feeding *)
+  let dec = D.create ~initial:16 () in
+  let got = ref [] in
+  let i = ref 0 in
+  let n = String.length stream in
+  while !i < n do
+    let k = min (1 + Random.State.int rng 5) (n - !i) in
+    D.feed_string dec (String.sub stream !i k);
+    i := !i + k;
+    let rec drain () =
+      match D.next dec with
+      | `Frame p ->
+          got := p :: !got;
+          drain ()
+      | `Need_more -> ()
+      | `Error e -> Alcotest.fail e
+    in
+    drain ()
+  done;
+  Alcotest.(check int) "all dribbled frames reassembled" (List.length payloads)
+    (List.length !got);
+  List.iter2
+    (fun want g -> if want <> g then Alcotest.fail "dribbled frame corrupted")
+    payloads (List.rev !got);
+  Alcotest.(check bool) "dribbled stream ends at a clean boundary" true
+    (D.eof_reason dec = None);
+  (* coalesced: the whole stream in one feed *)
+  let dec = D.create () in
+  D.feed_string dec stream;
+  List.iter
+    (fun want ->
+      match D.next dec with
+      | `Frame p when p = want -> ()
+      | `Frame _ -> Alcotest.fail "coalesced frame corrupted"
+      | `Need_more -> Alcotest.fail "Need_more with the full stream buffered"
+      | `Error e -> Alcotest.fail e)
+    payloads;
+  Alcotest.(check bool) "coalesced stream ends at a clean boundary" true
+    (D.next dec = `Need_more && D.eof_reason dec = None);
+  (* garbage and torn streams: same errors as the blocking decoder *)
+  let expect_error bytes want =
+    let dec = D.create () in
+    D.feed_string dec bytes;
+    match D.next dec with
+    | `Error e -> Alcotest.(check string) ("error for " ^ String.escaped bytes) want e
+    | `Frame _ | `Need_more ->
+        Alcotest.fail ("garbage accepted: " ^ String.escaped bytes)
+  in
+  expect_error "12x\nhello" "bad frame header byte 'x'";
+  expect_error "1234567890\n" "frame header too long";
+  expect_error "\n" "empty frame header";
+  expect_error "99999999\nx" "frame too large";
+  let torn bytes want =
+    let dec = D.create () in
+    D.feed_string dec bytes;
+    Alcotest.(check bool) ("torn " ^ String.escaped bytes) true
+      (D.next dec = `Need_more && D.eof_reason dec = Some want)
+  in
+  torn "12" "EOF inside frame header";
+  torn "5\nab" "EOF inside frame payload"
+
+(* The event loop by itself: timers fire in deadline order, suspended
+   fibers resume, cross-domain posts land, IO waits with a deadline
+   time out, and two fibers stream a socketpair through EAGAIN. *)
+let test_aio_loop () =
+  let l = Aio.create () in
+  let order = ref [] in
+  let push x = order := x :: !order in
+  let resume = ref (fun () -> ()) in
+  Aio.post l (fun () ->
+      Aio.spawn (fun () ->
+          Aio.sleep 0.03;
+          push "t30");
+      Aio.spawn (fun () ->
+          Aio.sleep 0.01;
+          push "t10");
+      Aio.spawn (fun () ->
+          Aio.sleep 0.02;
+          push "t20");
+      Aio.spawn (fun () ->
+          Aio.suspend (fun k -> resume := k);
+          push "resumed");
+      Aio.spawn (fun () ->
+          Aio.yield ();
+          !resume ());
+      Alcotest.(check bool) "active inside a fiber" true (Aio.active ()));
+  let poster =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.005;
+        Aio.post l (fun () -> push "posted"))
+  in
+  Aio.run l (fun () -> push "main");
+  Domain.join poster;
+  Alcotest.(check bool) "inactive outside the loop" false (Aio.active ());
+  let o = List.rev !order in
+  let pos x =
+    let rec go i = function
+      | [] -> Alcotest.fail (x ^ " never ran")
+      | y :: _ when y = x -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 o
+  in
+  Alcotest.(check bool) "timers fired in deadline order" true
+    (pos "t10" < pos "t20" && pos "t20" < pos "t30");
+  ignore (pos "main");
+  ignore (pos "resumed");
+  ignore (pos "posted");
+  (* a quiet fd times out; a busy socketpair streams through EAGAIN *)
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  Unix.set_nonblock b;
+  let l = Aio.create () in
+  let received = Buffer.create 1024 in
+  let timed_out = ref false in
+  let msg =
+    String.concat "" (List.init 2000 (fun i -> Printf.sprintf "m%04d." i))
+  in
+  Aio.post l (fun () ->
+      (match Aio.wait_readable ~deadline:(Unix.gettimeofday () +. 0.02) b with
+      | `Timed_out -> timed_out := true
+      | `Ready -> ());
+      let buf = Bytes.create 97 in
+      let rec go () =
+        match Unix.read b buf 0 97 with
+        | 0 -> Aio.close b
+        | n ->
+            Buffer.add_subbytes received buf 0 n;
+            go ()
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            (match Aio.wait_readable b with `Ready | `Timed_out -> ());
+            go ()
+        | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      in
+      go ());
+  Aio.post l (fun () ->
+      (* start writing only after the reader's deadline probe expired *)
+      Aio.sleep 0.03;
+      let bts = Bytes.of_string msg in
+      let off = ref 0 in
+      let rec go () =
+        if !off < Bytes.length bts then (
+          match Unix.write a bts !off (min 1237 (Bytes.length bts - !off)) with
+          | n ->
+              off := !off + n;
+              Aio.yield ();
+              go ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+              (match Aio.wait_writable a with `Ready | `Timed_out -> ());
+              go ()
+          | exception Unix.Unix_error (EINTR, _, _) -> go ())
+        else Aio.close a
+      in
+      go ());
+  Aio.run l (fun () -> ());
+  Alcotest.(check bool) "read deadline fired" true !timed_out;
+  Alcotest.(check string) "streamed byte-for-byte across fibers" msg
+    (Buffer.contents received)
+
+let reactor_config ?(reactors = 2) ?(workers = 2) ?(max_conns = 16)
+    ?(max_inflight = 8) ?chaos () =
+  {
+    Serve.Reactor.host = "127.0.0.1";
+    port = 0;
+    reactors;
+    workers_per_reactor = workers;
+    max_conns;
+    max_inflight;
+    ingress_cap = 256;
+    engine =
+      {
+        E.default_config with
+        shards = 2;
+        num_threads = (reactors * workers) + 2;
+        capacity_bytes = 1 lsl 16;
+        max_batch = 8;
+      };
+    chaos;
+    scrub_pause_us = None;
+    block_in_reactor = false;
+  }
+
+(* The reactor front-end speaks the same protocol as the legacy server
+   (same client, serial and pipelined), exposes connection occupancy
+   in STATS, and drains gracefully with every acked write durable. *)
+let test_reactor_smoke () =
+  match Serve.Reactor.start (reactor_config ()) with
+  | exception e when loopback_unavailable e ->
+      Printf.printf "reactor smoke skipped: loopback sockets unavailable\n"
+  | srv ->
+      let stopped = ref false in
+      Fun.protect
+        ~finally:(fun () -> if not !stopped then Serve.Reactor.stop srv)
+      @@ fun () ->
+      let c =
+        Serve.Client.connect ~retries:50 ~host:"127.0.0.1"
+          ~port:(Serve.Reactor.port srv) ()
+      in
+      Serve.Client.ping c;
+      let ok = function
+        | Ok v -> v
+        | Error _ -> Alcotest.fail "request failed against the reactor"
+      in
+      ok (Serve.Client.put c ~key:"alpha" ~value:"1");
+      let _txid, _epoch =
+        ok (Serve.Client.mput c [ ("beta", "2"); ("gamma", "3") ])
+      in
+      Alcotest.(check (option string)) "get over the reactor" (Some "1")
+        (ok (Serve.Client.get c "alpha"));
+      Alcotest.(check (list (option string)))
+        "mget over the reactor"
+        [ Some "2"; None ]
+        (ok (Serve.Client.mget c [ "beta"; "nope" ]));
+      Alcotest.(check (list (pair string string)))
+        "scan over the reactor"
+        [ ("alpha", "1"); ("beta", "2"); ("gamma", "3") ]
+        (ok (Serve.Client.scan c ~prefix:"" ~max:10));
+      (match Serve.Client.stats c with
+      | Ok j -> (
+          match Obs.Json.member "conns" j with
+          | Some (Obs.Json.Obj fields) ->
+              (match List.assoc_opt "open" fields with
+              | Some (Obs.Json.Int n) ->
+                  Alcotest.(check bool) "STATS counts this connection" true
+                    (n >= 1)
+              | _ -> Alcotest.fail "conns.open missing from STATS")
+          | _ -> Alcotest.fail "conns occupancy missing from STATS")
+      | Error e -> Alcotest.fail ("stats: " ^ e));
+      (* pipelined: a window of interleaved writes and reads completes
+         with every response matched back to its submission *)
+      let p = Serve.Client.Pipeline.create ~window:8 c in
+      let tickets =
+        List.init 24 (fun i ->
+            if i mod 2 = 0 then
+              ( i,
+                `Put,
+                Serve.Client.Pipeline.submit p
+                  (P.Put (Printf.sprintf "pk%02d" i, string_of_int i)) )
+            else (i, `Get, Serve.Client.Pipeline.submit p (P.Get "alpha")))
+      in
+      List.iter
+        (fun (i, kind, tk) ->
+          match (kind, Serve.Client.Pipeline.await p tk) with
+          | `Put, P.Ok -> ()
+          | `Get, P.Val "1" -> ()
+          | _ -> Alcotest.fail (Printf.sprintf "pipelined response %d wrong" i))
+        tickets;
+      Alcotest.(check int) "window fully drained" 0
+        (Serve.Client.Pipeline.inflight p);
+      Alcotest.(check bool) "reactor saw this connection" true
+        (Serve.Reactor.live_conns srv >= 1);
+      Serve.Client.close c;
+      (* graceful drain: acked writes remain durable in the engine *)
+      Serve.Reactor.drain srv;
+      stopped := true;
+      let e = Serve.Reactor.engine srv in
+      (match E.get e ~tid:0 "pk22" with
+      | Ok (Some "22") -> ()
+      | _ -> Alcotest.fail "acked pipelined write lost across drain")
+
+(* Out-of-order completion: a hand-rolled server reads a whole window
+   of requests and answers them in REVERSE order — the pipelined
+   client must match responses back by RID, not arrival order. *)
+let test_pipeline_rid_matching () =
+  let n = 8 in
+  match Unix.socket PF_INET SOCK_STREAM 0 with
+  | exception e when loopback_unavailable e ->
+      Printf.printf "pipeline RID skipped: loopback sockets unavailable\n"
+  | srv_fd -> (
+      match
+        Unix.setsockopt srv_fd SO_REUSEADDR true;
+        Unix.bind srv_fd (ADDR_INET (Unix.inet_addr_loopback, 0));
+        Unix.listen srv_fd 4
+      with
+      | exception e when loopback_unavailable e ->
+          (try Unix.close srv_fd with Unix.Unix_error _ -> ());
+          Printf.printf "pipeline RID skipped: loopback sockets unavailable\n"
+      | () ->
+          let port =
+            match Unix.getsockname srv_fd with
+            | ADDR_INET (_, p) -> p
+            | ADDR_UNIX _ -> assert false
+          in
+          let server =
+            Domain.spawn (fun () ->
+                let fd, _ = Unix.accept srv_fd in
+                let io = P.Io.of_fd fd in
+                let batch = ref [] in
+                (try
+                   for _ = 1 to n do
+                     match P.Io.read_frame io with
+                     | Ok (Some payload) -> (
+                         match P.decode_req_env payload with
+                         | Ok (env, P.Get k) ->
+                             batch := (env.P.rid, k) :: !batch
+                         | _ -> ())
+                     | _ -> ()
+                   done
+                 with _ -> ());
+                (* reverse arrival order: last request answered first *)
+                List.iter
+                  (fun (rid, k) ->
+                    P.Io.write_frame io (P.encode_resp ~rid (P.Val ("v:" ^ k))))
+                  !batch;
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                try Unix.close srv_fd with Unix.Unix_error _ -> ())
+          in
+          let c = Serve.Client.connect ~retries:50 ~host:"127.0.0.1" ~port () in
+          let p = Serve.Client.Pipeline.create ~window:n c in
+          let tickets =
+            List.init n (fun i ->
+                ( i,
+                  Serve.Client.Pipeline.submit p
+                    (P.Get (Printf.sprintf "k%d" i)) ))
+          in
+          List.iter
+            (fun (i, tk) ->
+              match Serve.Client.Pipeline.await p tk with
+              | P.Val v ->
+                  Alcotest.(check string) "response matched by RID"
+                    (Printf.sprintf "v:k%d" i) v
+              | _ -> Alcotest.fail "unexpected response shape")
+            tickets;
+          Serve.Client.close c;
+          Domain.join server)
+
+(* Chaos round against the REACTOR path: pipelined tokened writes with
+   drops/truncates/delays injected must still land exactly once — the
+   client's recovery (token resolve before resend) plus the server's
+   outcome ledger give one commit record per token, and every acked
+   write is durable. *)
+let test_reactor_pipelined_chaos () =
+  let plan =
+    {
+      Serve.Chaos.default_plan with
+      seed = 909;
+      drop_prob = 0.2;
+      truncate_prob = 0.04;
+      delay_prob = 0.1;
+      delay_us = 150;
+    }
+  in
+  let src = Serve.Chaos.source plan in
+  match Serve.Reactor.start (reactor_config ~chaos:src ()) with
+  | exception e when loopback_unavailable e ->
+      Printf.printf "reactor chaos skipped: loopback sockets unavailable\n"
+  | srv ->
+      Fun.protect ~finally:(fun () -> Serve.Reactor.stop srv) @@ fun () ->
+      let policy =
+        {
+          Serve.Client.resilient with
+          call_timeout = 0.2;
+          max_retries = 10;
+          reconnect_attempts = 30;
+          reconnect_delay = 0.005;
+        }
+      in
+      let c =
+        Serve.Client.connect ~retries:50 ~policy ~host:"127.0.0.1"
+          ~port:(Serve.Reactor.port srv) ()
+      in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let n = 24 in
+      let toks = Array.init n (fun _ -> Serve.Client.fresh_tok c) in
+      let key i = Printf.sprintf "p%02d" i in
+      let p = Serve.Client.Pipeline.create ~window:6 c in
+      let tickets =
+        List.init n (fun i ->
+            ( i,
+              Serve.Client.Pipeline.submit ~tok:toks.(i) p
+                (P.Put (key i, string_of_int i)) ))
+      in
+      let acked = Array.make n false in
+      List.iter
+        (fun (i, tk) ->
+          match Serve.Client.Pipeline.await p tk with
+          | P.Ok | P.Txstat_committed _ -> acked.(i) <- true
+          | P.Overloaded | P.Timeout | P.Txstat_unknown | P.Unavail _
+          | P.Shard_unavailable _ | P.In_doubt _ ->
+              ()  (* settled serially below *)
+          | P.Err e -> Alcotest.fail ("pipelined put: " ^ e)
+          | _ -> Alcotest.fail "unexpected pipelined response shape")
+        tickets;
+      (* settle the stragglers through the serial exactly-once path,
+         reusing each write's original token *)
+      for i = 0 to n - 1 do
+        if not acked.(i) then begin
+          match
+            Serve.Client.put ~tok:toks.(i) c ~key:(key i)
+              ~value:(string_of_int i)
+          with
+          | Ok () -> acked.(i) <- true
+          | Error (`InDoubt _) ->
+              Alcotest.fail "tokened put must resolve, not stay in doubt"
+          | Error _ -> Alcotest.fail ("put failed under chaos: " ^ key i)
+        end
+      done;
+      (* every acked write durable, with exactly one outcome record *)
+      let e = Serve.Reactor.engine srv in
+      for i = 0 to n - 1 do
+        (match E.get e ~tid:0 (key i) with
+        | Ok (Some v) when v = string_of_int i -> ()
+        | _ -> Alcotest.fail ("acked write missing after chaos: " ^ key i));
+        match Serve.Client.txstat c toks.(i) with
+        | Ok (`Committed (_, _, records)) ->
+            if records <> 1 then
+              Alcotest.fail
+                (Printf.sprintf "tok %d: %d outcome records (duplicated \
+                                 commit)" toks.(i) records)
+        | Ok (`Aborted | `Unknown) ->
+            Alcotest.fail "acked token not committed at audit"
+        | Error _ -> Alcotest.fail "audit TXSTAT failed"
+      done;
+      Alcotest.(check bool) "chaos actually injected faults" true
+        (Serve.Chaos.total_faults src > 0)
+
 let suites =
   [
     ( "serve-protocol",
@@ -1620,6 +2054,9 @@ let suites =
           test_env_malformed;
         Alcotest.test_case "frame decoder survives dribble and garbage" `Quick
           test_io_framing_fuzz;
+        Alcotest.test_case
+          "incremental decoder survives dribble, coalescing and garbage"
+          `Quick test_decoder_incremental;
         Alcotest.test_case "chaos plans pp/parse round-trip" `Quick
           test_chaos_plan_roundtrip;
       ] );
@@ -1656,6 +2093,17 @@ let suites =
       ] );
     ( "serve-wire",
       [ Alcotest.test_case "loopback socket smoke" `Quick test_socket_smoke ] );
+    ( "serve-reactor",
+      [
+        Alcotest.test_case "aio loop: timers, suspend, posts, fiber IO" `Quick
+          test_aio_loop;
+        Alcotest.test_case "reactor front-end smoke (serial + pipelined)"
+          `Quick test_reactor_smoke;
+        Alcotest.test_case "permuted responses match back by RID" `Quick
+          test_pipeline_rid_matching;
+        Alcotest.test_case "chaos round on the reactor path is exactly-once"
+          `Quick test_reactor_pipelined_chaos;
+      ] );
     ( "serve-resilience",
       [
         Alcotest.test_case "expired deadlines shed before durable work" `Quick
